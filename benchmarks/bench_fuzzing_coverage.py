@@ -1,0 +1,108 @@
+"""§II-B.2 -- attack-path-guided fuzz testing with coverage percent.
+
+"The attack trees are used to create TARA attack paths, which define the
+interfaces for protocol-guided ... fuzz testing.  The coverage of tested
+protocol can then be measured with percent."
+
+Regenerates the mechanism: an attack tree for the keyless opener yields
+the fuzz plan; mutants of a valid open command are fired at the access
+ECU's control pipeline.  Shape expectations: the fully hardened pipeline
+rejects 100% of mutants, a whitelist-only pipeline leaks the freshness
+abuse mutants, and coverage rises from 0% to 100% as interfaces are
+fuzzed.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.controls import (
+    ControlPipeline,
+    IdWhitelist,
+    MessageCounterCheck,
+    ReplayGuard,
+    SenderAuthentication,
+)
+from repro.sim.crypto import KeyStore
+from repro.sim.events import EventBus
+from repro.sim.network import Message
+from repro.tara.attack_tree import AttackStep, AttackTree, or_node
+from repro.tara.fuzzing import FuzzCampaign, FuzzPlan
+
+
+def make_plan():
+    tree = AttackTree(
+        goal="open vehicle without owner key",
+        root=or_node(
+            "access paths",
+            AttackStep("forge open command", interface="BLE"),
+            AttackStep("inject door frame", interface="CAN"),
+        ),
+    )
+    return FuzzPlan.from_tree(tree)
+
+
+def make_seed(keystore):
+    keystore.provision("phone")
+    return Message(
+        kind="open_command", sender="phone",
+        payload={"key_id": "KEY-1", "strength": 5}, counter=3,
+    ).with_timestamp(100.0).signed(keystore)
+
+
+def hardened_pipeline(keystore):
+    clock, bus = SimClock(), EventBus()
+    clock.run_until(150.0)
+    pipeline = ControlPipeline("ECU_GW", clock, bus)
+    pipeline.add(SenderAuthentication(keystore))
+    pipeline.add(ReplayGuard(max_age_ms=500.0))
+    pipeline.add(MessageCounterCheck())
+    pipeline.add(IdWhitelist({"KEY-1"}, kinds={"open_command"}))
+    return clock, pipeline
+
+
+def test_fuzz_hardened_pipeline_rejects_all(benchmark):
+    def campaign():
+        keystore = KeyStore()
+        seed = make_seed(keystore)
+        clock, pipeline = hardened_pipeline(keystore)
+        run = FuzzCampaign(clock, pipeline, make_plan())
+        run.fuzz_interface("BLE", seed)
+        run.fuzz_interface("CAN", seed)
+        return run.report()
+
+    report = benchmark(campaign)
+    assert report.rejection_rate == 1.0
+    assert report.interface_coverage == 1.0
+    benchmark.extra_info["mutants"] = len(report.outcomes)
+    benchmark.extra_info["by_operator"] = {
+        op: counts for op, counts in report.by_operator().items()
+    }
+
+
+def test_fuzz_weak_pipeline_exposes_gaps(benchmark):
+    def campaign():
+        keystore = KeyStore()
+        seed = make_seed(keystore)
+        clock, bus = SimClock(), EventBus()
+        pipeline = ControlPipeline("ECU_GW", clock, bus)
+        pipeline.add(IdWhitelist({"KEY-1"}, kinds={"open_command"}))
+        run = FuzzCampaign(clock, pipeline, make_plan())
+        run.fuzz_interface("BLE", seed)
+        return run.report()
+
+    report = benchmark(campaign)
+    assert report.rejection_rate < 1.0
+    accepted_ops = {o.case.operator for o in report.accepted}
+    assert "counter_replay" in accepted_ops
+    benchmark.extra_info["accepted_operators"] = sorted(accepted_ops)
+
+
+def test_fuzz_coverage_percent_tracks_interfaces(benchmark):
+    def partial_campaign():
+        keystore = KeyStore()
+        seed = make_seed(keystore)
+        clock, pipeline = hardened_pipeline(keystore)
+        run = FuzzCampaign(clock, pipeline, make_plan())
+        run.fuzz_interface("BLE", seed)  # one of two planned interfaces
+        return run.report()
+
+    report = benchmark(partial_campaign)
+    assert report.interface_coverage == 0.5

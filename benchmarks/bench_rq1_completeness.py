@@ -1,0 +1,55 @@
+"""RQ1 -- completeness of safety-security co-engineered validation.
+
+Times the deductive + inductive audits over both use cases and verifies
+they certify completeness: every safety goal attacked, every threat in
+the shared library either attacked or justified.
+"""
+
+from repro.core.completeness import CompletenessAuditor
+from repro.usecases import uc1, uc2
+
+
+def audit(module):
+    pipeline = module.build_pipeline()
+    auditor = CompletenessAuditor(
+        library=pipeline.library,
+        goals=pipeline.goals,
+        attacks=pipeline.attacks,
+    )
+    for threat_id, reason in module.JUSTIFICATIONS.items():
+        auditor.justify(threat_id, reason)
+    return auditor.audit()
+
+
+def test_rq1_uc1_complete(benchmark):
+    report = benchmark.pedantic(audit, args=(uc1,), rounds=1, iterations=1)
+    assert report.deductively_complete
+    assert report.inductively_complete
+    summary = report.summary()
+    assert summary["goals"] == 6
+    assert summary["goals_covered"] == 6
+    assert summary["threats_uncovered"] == 0
+    benchmark.extra_info["summary"] = summary
+
+
+def test_rq1_uc2_complete(benchmark):
+    report = benchmark.pedantic(audit, args=(uc2,), rounds=1, iterations=1)
+    assert report.complete
+    summary = report.summary()
+    assert summary["goals"] == 4
+    assert summary["threats_uncovered"] == 0
+    benchmark.extra_info["summary"] = summary
+
+
+def test_rq1_audit_scales_with_library(benchmark):
+    """The audit itself is cheap: goals x attacks + threats x attacks."""
+    pipeline = uc1.build_pipeline()
+    auditor = CompletenessAuditor(
+        library=pipeline.library,
+        goals=pipeline.goals,
+        attacks=pipeline.attacks,
+    )
+    for threat_id, reason in uc1.JUSTIFICATIONS.items():
+        auditor.justify(threat_id, reason)
+    report = benchmark(auditor.audit)
+    assert report.complete

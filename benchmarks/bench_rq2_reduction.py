@@ -1,0 +1,74 @@
+"""RQ2 -- judging threat severity to reduce the test space.
+
+Regenerates the two reduction mechanisms:
+
+* asset-relevance scoping of the threat library (§III-A2),
+* ASIL-driven filtering and budget allocation over the derived attacks
+  (§III-B: "a higher ASIL rating may be used to justify a greater
+  testing effort").
+
+Shape expectations: the reduced spaces shrink monotonically as the floor
+rises, and higher-ASIL attacks receive strictly more executions.
+"""
+
+from repro.core.prioritization import Prioritizer
+from repro.model.asset import AssetRelevance
+from repro.model.ratings import Asil
+from repro.threatlib.catalog import build_catalog
+from repro.usecases import uc1
+
+
+def test_rq2_asset_scoping(benchmark):
+    def scope():
+        library = build_catalog()
+        scoped = library.scoped({AssetRelevance.GENERIC_CURRENT_VEHICLE})
+        return library.stats(), scoped.stats()
+
+    full, scoped = benchmark(scope)
+    assert scoped["assets"] < full["assets"]
+    assert scoped["threat_scenarios"] < full["threat_scenarios"]
+    benchmark.extra_info["full"] = full
+    benchmark.extra_info["scoped"] = scoped
+
+
+def test_rq2_asil_filtering_monotone(benchmark):
+    pipeline = uc1.build_pipeline()
+    prioritizer = Prioritizer(list(pipeline.goals))
+
+    def survivors_per_floor():
+        return [
+            len(prioritizer.filter(pipeline.attacks, floor))
+            for floor in (Asil.QM, Asil.A, Asil.B, Asil.C, Asil.D)
+        ]
+
+    counts = benchmark(survivors_per_floor)
+    assert counts[0] == 23  # no reduction at the QM floor
+    assert counts == sorted(counts, reverse=True)
+    assert counts[-1] >= 1  # the ASIL D signage attacks remain
+    benchmark.extra_info["survivors"] = dict(
+        zip(["QM", "A", "B", "C", "D"], counts)
+    )
+
+
+def test_rq2_budget_follows_asil(benchmark):
+    pipeline = uc1.build_pipeline()
+    prioritizer = Prioritizer(list(pipeline.goals))
+
+    def plan():
+        return prioritizer.plan(pipeline.attacks, budget=1000)
+
+    test_plan = benchmark(plan)
+    assert test_plan.total_allocated == 1000
+    by_asil: dict[str, int] = {}
+    for entry in test_plan.entries:
+        by_asil.setdefault(entry.asil.value, 0)
+        by_asil[entry.asil.value] += entry.allocated_tests
+    # Mean allocation per attack must rise with the ASIL.
+    def mean(asil_value):
+        count = sum(
+            1 for e in test_plan.entries if e.asil.value == asil_value
+        )
+        return by_asil.get(asil_value, 0) / count if count else 0.0
+
+    assert mean("ASIL D") > mean("ASIL C") > mean("ASIL B") > mean("ASIL A")
+    benchmark.extra_info["allocation_by_asil"] = by_asil

@@ -1,0 +1,75 @@
+"""RQ3 -- reproducible attack specification and execution.
+
+Times the full tool chain the paper's conclusion announces: attack
+descriptions encoded in the DSL, automatically translated to test cases,
+executed against the simulated SUT -- twice, verifying the two runs
+produce identical verdicts and identical event counts (determinism is
+what makes the attacks *reproducible*).
+"""
+
+from repro.dsl import analyze, format_attacks, parse
+from repro.testing import TestHarness
+from repro.threatlib.catalog import build_catalog
+from repro.usecases import uc1, uc2
+
+
+def test_rq3_dsl_round_trip_all_attacks(benchmark):
+    """Encode all 52 attack descriptions to DSL and parse them back."""
+    library = build_catalog()
+    uc1_attacks = list(uc1.build_attacks(library))
+    uc2_attacks = list(uc2.build_attacks(library))
+
+    def round_trip():
+        document1 = format_attacks(uc1_attacks)
+        document2 = format_attacks(uc2_attacks)
+        parsed1 = analyze(
+            parse(document1), library, list(uc1.build_hara().safety_goals)
+        )
+        parsed2 = analyze(
+            parse(document2), library, list(uc2.build_hara().safety_goals)
+        )
+        return len(parsed1) + len(parsed2)
+
+    assert benchmark(round_trip) == 23 + 29
+
+
+def test_rq3_execution_is_deterministic(benchmark):
+    """Same test case, two executions, identical observable outcomes."""
+    registry = uc2.build_bindings()
+    attack = uc2.build_attacks().get("AD08")
+
+    def run_twice():
+        harness = TestHarness()
+        first = harness.execute(registry.compile(attack))
+        second = harness.execute(registry.compile(attack))
+        return first, second
+
+    first, second = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    assert first.verdict is second.verdict
+    assert first.success_observed == second.success_observed
+    assert (
+        first.scenario_result.stats["door"]
+        == second.scenario_result.stats["door"]
+    )
+    assert first.scenario_result.detection_records["ECU_GW"] == (
+        second.scenario_result.detection_records["ECU_GW"]
+    )
+
+
+def test_rq3_compile_and_execute_bound_campaign(benchmark):
+    """Time the compile+execute path for the UC II bound attacks."""
+    registry = uc2.build_bindings()
+    attacks = [
+        attack
+        for attack in uc2.build_attacks()
+        if registry.can_compile(attack)
+    ]
+
+    def campaign():
+        tests = [registry.compile(attack) for attack in attacks]
+        return TestHarness().execute_all(tests)
+
+    report = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    assert report.total == 5
+    assert not report.inconclusive
+    benchmark.extra_info["summary"] = report.summary()

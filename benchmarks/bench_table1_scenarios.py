@@ -1,0 +1,41 @@
+"""Table I -- example scenarios connected to the automotive domain.
+
+Regenerates the (scenario, sub-scenario) rows of Table I from the built-in
+catalog and checks them against the paper's content.  The benchmark times
+full catalog construction (Step 1 of the process).
+"""
+
+from repro.threatlib.catalog import build_catalog, table1_rows
+
+#: The (scenario, sub-scenario excerpt) pairs Table I prints.
+EXPECTED_EXCERPTS = (
+    ("Road intersection", "hijacked automated vehicle"),
+    ("Road intersection", "road-side system providing information"),
+    ("Road intersection", "Emergency vehicle approaches"),
+    ("Keep car secure", "Vehicle updates are changes made"),
+    ("Advanced access", "orders a car in the target destination"),
+)
+
+
+def test_table1_scenarios(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 5
+    for (expected_scenario, excerpt), (scenario, description) in zip(
+        EXPECTED_EXCERPTS, rows
+    ):
+        assert scenario.startswith(expected_scenario.split()[0])
+        assert excerpt.lower() in description.lower()
+    benchmark.extra_info["rows"] = [
+        f"{scenario} | {description[:60]}" for scenario, description in rows
+    ]
+
+
+def test_table1_catalog_contains_scenarios(benchmark):
+    library = benchmark(build_catalog)
+    names = {scenario.name for scenario in library.scenarios}
+    assert names == {
+        "Road intersection",
+        "Keep car secure for the whole vehicle lifetime",
+        "Advanced access to vehicle",
+    }
+    assert library.stats()["sub_scenarios"] == 5

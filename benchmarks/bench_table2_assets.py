@@ -1,0 +1,43 @@
+"""Table II -- sample assets and asset groups for the 3rd scenario.
+
+Regenerates the asset/asset-group rows of Table II ("Advanced access to
+vehicle") and verifies them verbatim against the paper.
+"""
+
+from repro.threatlib.catalog import (
+    SCENARIO_ADVANCED_ACCESS,
+    build_catalog,
+    table2_rows,
+)
+
+#: Table II of the paper, verbatim.
+EXPECTED = (
+    ("Gateway", "Hardware"),
+    ("Driver and Maintenance personal", "Person"),
+    ("ECU", "Hardware/ Software"),
+    ("V2X communications", "Hardware/ Information"),
+)
+
+
+def test_table2_assets(benchmark):
+    rows = benchmark(table2_rows)
+    assert rows == EXPECTED
+    benchmark.extra_info["rows"] = [f"{a} | {g}" for a, g in rows]
+
+
+def test_table2_assets_registered_in_catalog(benchmark):
+    def lookup():
+        library = build_catalog()
+        return [library.asset(name) for name, __ in EXPECTED]
+
+    assets = benchmark(lookup)
+    assert [asset.name for asset in assets] == [name for name, __ in EXPECTED]
+    # Every Table II asset has threat scenarios somewhere in the catalog
+    # or is a Person (social-engineering target referenced via ECU rows).
+    library = build_catalog()
+    for asset in assets:
+        threats = library.threats_for_asset(asset.name)
+        scenario_refs = {threat.scenario for threat in threats}
+        assert threats or asset.name == "V2X communications" or (
+            SCENARIO_ADVANCED_ACCESS not in scenario_refs
+        )

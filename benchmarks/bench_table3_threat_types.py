@@ -1,0 +1,41 @@
+"""Table III -- threat scenarios and their STRIDE threat types.
+
+Regenerates the three Table III rows ("keep car secure for the whole
+vehicle product lifetime" scenario) and additionally checks that the
+keyword classifier (the Step 1.3 aid) reproduces the same mappings from
+the raw threat statements.
+"""
+
+from repro.stride import suggest_stride
+from repro.threatlib.catalog import table3_rows
+
+#: Table III of the paper.
+EXPECTED = (
+    ("Spoofing of messages by impersonation", "Spoofing"),
+    (
+        "External interfaces (such as USB) may be used as a point of "
+        "attack, for example through code injection",
+        "Elevation of privilege",
+    ),
+    (
+        "Manipulation of functions to operate systems remotely, such as "
+        "remote key, immobiliser, and charging pile",
+        "Tampering",
+    ),
+)
+
+
+def test_table3_rows(benchmark):
+    rows = benchmark(table3_rows)
+    assert rows == EXPECTED
+    benchmark.extra_info["rows"] = [f"{t[:50]} -> {s}" for t, s in rows]
+
+
+def test_table3_classifier_agrees(benchmark):
+    def classify_all():
+        return tuple(
+            suggest_stride(text).value for text, __ in EXPECTED
+        )
+
+    suggested = benchmark(classify_all)
+    assert suggested == tuple(stride for __, stride in EXPECTED)

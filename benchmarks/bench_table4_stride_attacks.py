@@ -1,0 +1,64 @@
+"""Table IV -- STRIDE threats and attack types.
+
+Regenerates the full threat-type -> attack-type mapping and verifies it
+verbatim; also times the reverse lookups the derivation step performs.
+"""
+
+from repro.model.threat import StrideType
+from repro.stride.mapping import (
+    STRIDE_ATTACK_TABLE,
+    all_attack_types,
+    stride_types_for,
+)
+
+#: Table IV of the paper, verbatim.
+EXPECTED = {
+    "Spoofing": ("Fake messages", "Spoofing"),
+    "Tampering": (
+        "Corrupt data or code", "Deliver malware", "Alter", "Inject",
+        "Corrupt messages", "Manipulate", "Config. change",
+    ),
+    "Repudiation": (
+        "Replay", "Repudiation of message transmission", "Delay",
+    ),
+    "Information disclosure": (
+        "Listen", "Intercept", "Eavesdropping", "Illegal acquisition",
+        "Covert channel", "Config. change",
+    ),
+    "Denial of service": ("Disable", "Denial of service", "Jamming"),
+    "Elevation of privilege": (
+        "Illegal acquisition", "Gain elevated access",
+    ),
+}
+
+
+def test_table4_mapping(benchmark):
+    def regenerate():
+        return {
+            stride.value: STRIDE_ATTACK_TABLE[stride]
+            for stride in StrideType
+        }
+
+    table = benchmark(regenerate)
+    assert table == EXPECTED
+    benchmark.extra_info["rows"] = [
+        f"{stride}: {', '.join(names)}" for stride, names in table.items()
+    ]
+
+
+def test_table4_pair_count(benchmark):
+    pairs = benchmark(all_attack_types)
+    assert len(pairs) == 23
+
+
+def test_table4_reverse_lookup(benchmark):
+    def reverse_all():
+        names = {
+            name for names in STRIDE_ATTACK_TABLE.values() for name in names
+        }
+        return {name: stride_types_for(name) for name in names}
+
+    reverse = benchmark(reverse_all)
+    assert len(reverse["Config. change"]) == 2
+    assert len(reverse["Illegal acquisition"]) == 2
+    assert len(reverse["Disable"]) == 1

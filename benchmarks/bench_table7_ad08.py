@@ -1,0 +1,48 @@
+"""Table VII -- the AD08 attack description (Use Case II).
+
+Regenerates the complete Table VII block from the UC II derivation and
+verifies every row verbatim against the paper.
+"""
+
+from repro.core.reporting import render_attack_description
+from repro.usecases import uc2
+
+
+def test_table7_ad08_fields(benchmark):
+    attacks = benchmark(uc2.build_attacks)
+    ad08 = attacks.get("AD08")
+    assert ad08.description == (
+        "The attacker uses modified keys to gain access to the vehicle."
+    )
+    assert ad08.safety_goal_ids == ("SG01",)
+    assert ad08.interface == "ECU_GW"
+    assert ad08.threat_link.threat_scenario_id == "3.1.4"
+    assert ad08.threat_link.text == (
+        "Spoofing of messages (e.g. 802.11p V2X) by impersonation"
+    )
+    assert ad08.stride.value == "Spoofing"
+    assert ad08.attack_type.name == "Spoofing"
+    assert ad08.precondition == (
+        "Vehicle is closed. Attacker has an authenticated communication "
+        "link"
+    )
+    assert ad08.expected_measures == (
+        "Check received vehicles electronic ID with list of allowed IDs"
+    )
+    assert ad08.attack_success == "Open the vehicle"
+    assert ad08.attack_fails == "Opening is rejected"
+    assert ad08.implementation_comments == (
+        "a) Randomly replace IDs of keys and b) test against increasing "
+        "IDs (if a valid ID is known)"
+    )
+    benchmark.extra_info["table"] = render_attack_description(ad08)
+
+
+def test_table7_goal_is_keep_vehicle_closed(benchmark):
+    def lookup():
+        goals = {g.identifier: g for g in uc2.build_hara().safety_goals}
+        return goals["SG01"]
+
+    sg01 = benchmark(lookup)
+    assert sg01.name == "Keep vehicle closed"
+    assert sg01.asil.value == "ASIL D"

@@ -1,0 +1,71 @@
+"""§IV-B statistics -- Use Case II: Keyless Car Opener.
+
+Paper: "The 20 ratings obtained yielded 7 N/A cases, 5 No-ASIL cases, 2
+for ASIL A, 4 for ASIL B, 1 for ASIL C and 1 for ASIL D", four safety
+goals SG01..SG04, and "in total 27 possible attacks with safety critical
+impact and additionally two attacks, which deal with privacy issues".
+"""
+
+from repro.core.reporting import render_asil_distribution
+from repro.model.ratings import Asil
+from repro.usecases import uc2
+
+PAPER_DISTRIBUTION = {
+    Asil.NOT_APPLICABLE: 7,
+    Asil.QM: 5,
+    Asil.A: 2,
+    Asil.B: 4,
+    Asil.C: 1,
+    Asil.D: 1,
+}
+
+PAPER_GOALS = {
+    "SG01": Asil.D, "SG02": Asil.B, "SG03": Asil.A, "SG04": Asil.A,
+}
+
+
+def test_uc2_rating_distribution(benchmark):
+    hara = benchmark(uc2.build_hara)
+    assert len(hara.functions) == 2
+    assert len(hara.ratings) == 20
+    assert hara.asil_distribution() == PAPER_DISTRIBUTION
+    benchmark.extra_info["distribution"] = render_asil_distribution(
+        hara.asil_distribution()
+    )
+
+
+def test_uc2_safety_goals(benchmark):
+    def goal_asils():
+        return {
+            goal.identifier: goal.asil
+            for goal in uc2.build_hara().safety_goals
+        }
+
+    assert benchmark(goal_asils) == PAPER_GOALS
+
+
+def test_uc2_attack_counts(benchmark):
+    attacks = benchmark(uc2.build_attacks)
+    assert len(attacks.safety_attacks()) == 27
+    assert len(attacks.privacy_attacks()) == 2
+    benchmark.extra_info["counts"] = (
+        "27 safety-critical + 2 privacy attacks"
+    )
+
+
+def test_uc2_explicit_paper_attacks_present(benchmark):
+    """§IV-B names three attacks beyond Table VII; all must exist."""
+
+    def collect():
+        attacks = uc2.build_attacks()
+        return {
+            "can_flood": attacks.get("AD03"),
+            "replay": attacks.get("AD02"),
+            "modified_keys": attacks.get("AD08"),
+        }
+
+    named = benchmark(collect)
+    assert "CAN bus" in named["can_flood"].description
+    assert named["can_flood"].targets_goal("SG03")
+    assert "replays it" in named["replay"].description
+    assert "modified keys" in named["modified_keys"].description

@@ -1,0 +1,77 @@
+"""SaSeVAL: safety/security-aware validation of safety-critical systems.
+
+A production-quality reproduction of *SaSeVAL* (Wolschke et al., DSN 2021):
+a systematic process that derives security attacks traceable to safety
+goals, plus everything needed to actually run them -- a threat library with
+the STRIDE mappings, an ISO 26262 HARA engine, ISO/SAE 21434 TARA support,
+an attack-description DSL compiling to executable test cases, and a
+discrete-event automotive simulator (vehicle, CAN, V2X, Bluetooth keyless
+entry, security controls, attack injectors) serving as the system under
+test.
+
+Quickstart::
+
+    from repro import build_catalog, Hara, SaSeValPipeline
+    from repro.model import FailureMode, Severity, Exposure, Controllability
+
+    pipeline = SaSeValPipeline(name="demo")
+    pipeline.provide_threat_library(build_catalog())
+
+    hara = Hara(name="demo")
+    fn = hara.add_function("Rat01", "Road works warning")
+    hara.rate(fn, FailureMode.NO, hazard="Driver not warned",
+              severity=Severity.S3, exposure=Exposure.E3,
+              controllability=Controllability.C3)
+    hara.derive_goal("Avoid ineffective warning", from_functions=["Rat01"])
+    pipeline.provide_safety_analysis(hara)
+
+    deriver = pipeline.begin_attack_description()
+    # ... deriver.derive(...) per safety goal x attack type ...
+
+See ``examples/`` for complete end-to-end runs of the paper's two use
+cases.
+"""
+
+from repro.core.completeness import CompletenessAuditor, CompletenessReport
+from repro.core.derivation import AttackDeriver, AttackDescriptionSet
+from repro.core.pipeline import SaSeValPipeline, Step, stage_graph
+from repro.core.prioritization import Prioritizer, TestPlan
+from repro.core.traceability import TraceMatrix
+from repro.hara.analysis import Hara
+from repro.hara.asil import determine_asil
+from repro.model.attack import AttackCategory, AttackDescription
+from repro.model.ratings import Asil
+from repro.model.safety import SafetyConcern, SafetyGoal
+from repro.model.threat import AttackType, StrideType, ThreatScenario
+from repro.threatlib.builder import ThreatLibraryBuilder
+from repro.threatlib.catalog import build_catalog
+from repro.threatlib.library import ThreatLibrary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Asil",
+    "AttackCategory",
+    "AttackDeriver",
+    "AttackDescription",
+    "AttackDescriptionSet",
+    "AttackType",
+    "CompletenessAuditor",
+    "CompletenessReport",
+    "Hara",
+    "Prioritizer",
+    "SaSeValPipeline",
+    "SafetyConcern",
+    "SafetyGoal",
+    "Step",
+    "StrideType",
+    "TestPlan",
+    "ThreatLibrary",
+    "ThreatLibraryBuilder",
+    "ThreatScenario",
+    "TraceMatrix",
+    "__version__",
+    "build_catalog",
+    "determine_asil",
+    "stage_graph",
+]

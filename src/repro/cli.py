@@ -1,0 +1,182 @@
+"""Command-line interface to the SaSeVAL reproduction.
+
+Usage (also via ``python -m repro``)::
+
+    repro report uc1              # HARA summary + goals + attack counts
+    repro report uc2
+    repro attack AD20 --usecase uc1   # render one attack (Table VI style)
+    repro export uc2 attacks.dsl      # write all attacks as DSL
+    repro validate attacks.dsl --usecase uc2   # parse + semantic check
+    repro run AD08 --usecase uc2      # execute a bound attack, print verdict
+    repro trace uc1                   # goal/attack/threat matrix (Markdown)
+
+The CLI is a thin shell over the library; every command returns a proper
+exit code (0 ok, 1 user error, 2 validation/semantic failure) so it can
+gate CI pipelines on completeness or verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.reporting import (
+    render_asil_distribution,
+    render_attack_description,
+)
+from repro.dsl import analyze, format_attacks, parse
+from repro.errors import ReproError
+from repro.testing import TestHarness
+from repro.threatlib.catalog import build_catalog
+from repro.usecases import uc1, uc2
+
+_USE_CASES = {"uc1": uc1, "uc2": uc2}
+
+
+def _module_for(name: str):
+    if name not in _USE_CASES:
+        raise SystemExit(f"unknown use case {name!r} (choose uc1 or uc2)")
+    return _USE_CASES[name]
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Print the use case's analysis summary."""
+    module = _module_for(args.usecase)
+    hara = module.build_hara()
+    attacks = module.build_attacks()
+    print(module.USE_CASE_NAME)
+    print(f"  functions : {len(hara.functions)}")
+    print(f"  ratings   : {len(hara.ratings)}")
+    print(
+        "  asil      : "
+        + render_asil_distribution(hara.asil_distribution())
+    )
+    print(f"  goals     : {len(hara.safety_goals)}")
+    for goal in hara.safety_goals:
+        print(f"    - {goal}")
+    safety = len(attacks.safety_attacks())
+    privacy = len(attacks.privacy_attacks())
+    print(f"  attacks   : {safety} safety + {privacy} privacy")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    """Render one attack description in the paper's table layout."""
+    module = _module_for(args.usecase)
+    attacks = module.build_attacks()
+    if args.attack_id not in attacks:
+        print(
+            f"no attack {args.attack_id} in {module.USE_CASE_NAME}",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_attack_description(attacks.get(args.attack_id)))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Write a use case's attack descriptions as a DSL document."""
+    module = _module_for(args.usecase)
+    document = format_attacks(list(module.build_attacks()))
+    Path(args.output).write_text(document, encoding="utf-8")
+    print(f"wrote {len(document.splitlines())} lines to {args.output}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Parse + semantically validate a DSL document."""
+    module = _module_for(args.usecase)
+    source = Path(args.file).read_text(encoding="utf-8")
+    try:
+        attacks = analyze(
+            parse(source),
+            build_catalog(),
+            list(module.build_hara().safety_goals),
+        )
+    except ReproError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 2
+    print(f"OK: {len(attacks)} attack description(s) validated")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute one bound attack against the simulator."""
+    module = _module_for(args.usecase)
+    attacks = module.build_attacks()
+    if args.attack_id not in attacks:
+        print(f"no attack {args.attack_id}", file=sys.stderr)
+        return 1
+    registry = module.build_bindings()
+    attack = attacks.get(args.attack_id)
+    if not registry.can_compile(attack):
+        print(
+            f"{args.attack_id} has no executable binding (concept-level "
+            "only; see Step 4 of the process)",
+            file=sys.stderr,
+        )
+        return 1
+    execution = TestHarness().execute(registry.compile(attack))
+    print(execution.summary())
+    print(f"  {execution.notes}")
+    return 0 if execution.sut_passed else 2
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Print the goal/attack/threat traceability matrix."""
+    module = _module_for(args.usecase)
+    pipeline = module.build_pipeline()
+    print(pipeline.trace_matrix().to_markdown())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SaSeVAL safety/security validation tooling",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="use-case analysis summary")
+    report.add_argument("usecase", choices=sorted(_USE_CASES))
+    report.set_defaults(handler=cmd_report)
+
+    attack = commands.add_parser("attack", help="render one attack")
+    attack.add_argument("attack_id")
+    attack.add_argument("--usecase", default="uc1", choices=sorted(_USE_CASES))
+    attack.set_defaults(handler=cmd_attack)
+
+    export = commands.add_parser("export", help="export attacks as DSL")
+    export.add_argument("usecase", choices=sorted(_USE_CASES))
+    export.add_argument("output")
+    export.set_defaults(handler=cmd_export)
+
+    validate = commands.add_parser("validate", help="validate a DSL file")
+    validate.add_argument("file")
+    validate.add_argument(
+        "--usecase", default="uc1", choices=sorted(_USE_CASES)
+    )
+    validate.set_defaults(handler=cmd_validate)
+
+    run = commands.add_parser("run", help="execute a bound attack")
+    run.add_argument("attack_id")
+    run.add_argument("--usecase", default="uc1", choices=sorted(_USE_CASES))
+    run.set_defaults(handler=cmd_run)
+
+    trace = commands.add_parser("trace", help="traceability matrix")
+    trace.add_argument("usecase", choices=sorted(_USE_CASES))
+    trace.set_defaults(handler=cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""Completeness audits -- the answer to RQ1.
+
+SaSeVAL argues completeness from two directions (paper §III):
+
+* **Deductive**: the derivation starts from safety goals, so "the system
+  is tested against critical unwanted effects" -- the audit checks that
+  every safety goal is targeted by at least one attack description.
+* **Inductive**: "check whether all threats in the threat library are
+  covered by the attack description.  If an attack is not covered, the
+  test engineer should consider either creating an additional attack
+  description or writing a justification on why the threat is not applied
+  for the given SUT."
+
+:class:`CompletenessAuditor` implements both, including the justification
+registry the inductive argument needs.  ``assert_complete`` raises
+:class:`~repro.errors.CoverageError` so CI can gate on completeness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.derivation import AttackDescriptionSet
+from repro.errors import CoverageError, ValidationError
+from repro.model.safety import SafetyGoal
+from repro.threatlib.library import ThreatLibrary
+
+
+@dataclasses.dataclass(frozen=True)
+class Justification:
+    """A recorded reason why a threat is not attacked for this SUT."""
+
+    threat_id: str
+    reason: str
+    author: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.reason:
+            raise ValidationError(
+                f"justification for threat {self.threat_id} needs a reason"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class GoalCoverage:
+    """Deductive audit result for one safety goal."""
+
+    goal: SafetyGoal
+    attack_ids: tuple[str, ...]
+
+    @property
+    def covered(self) -> bool:
+        """True when at least one attack targets the goal."""
+        return bool(self.attack_ids)
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreatCoverage:
+    """Inductive audit result for one threat scenario."""
+
+    threat_id: str
+    threat_text: str
+    attack_ids: tuple[str, ...]
+    justification: Justification | None
+
+    @property
+    def covered(self) -> bool:
+        """True when attacked or justified away."""
+        return bool(self.attack_ids) or self.justification is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class CompletenessReport:
+    """Combined deductive + inductive audit result."""
+
+    goal_coverage: tuple[GoalCoverage, ...]
+    threat_coverage: tuple[ThreatCoverage, ...]
+
+    @property
+    def uncovered_goals(self) -> tuple[GoalCoverage, ...]:
+        """Safety goals no attack description targets."""
+        return tuple(
+            entry for entry in self.goal_coverage if not entry.covered
+        )
+
+    @property
+    def uncovered_threats(self) -> tuple[ThreatCoverage, ...]:
+        """Threats neither attacked nor justified."""
+        return tuple(
+            entry for entry in self.threat_coverage if not entry.covered
+        )
+
+    @property
+    def deductively_complete(self) -> bool:
+        """Every safety goal has at least one attack (RQ1, deductive)."""
+        return not self.uncovered_goals
+
+    @property
+    def inductively_complete(self) -> bool:
+        """Every threat is attacked or justified (RQ1, inductive)."""
+        return not self.uncovered_threats
+
+    @property
+    def complete(self) -> bool:
+        """Both audit directions pass."""
+        return self.deductively_complete and self.inductively_complete
+
+    def summary(self) -> dict[str, int]:
+        """Counts for reports and benchmarks."""
+        justified = sum(
+            1
+            for entry in self.threat_coverage
+            if entry.justification is not None and not entry.attack_ids
+        )
+        return {
+            "goals": len(self.goal_coverage),
+            "goals_covered": sum(
+                1 for entry in self.goal_coverage if entry.covered
+            ),
+            "threats": len(self.threat_coverage),
+            "threats_attacked": sum(
+                1 for entry in self.threat_coverage if entry.attack_ids
+            ),
+            "threats_justified": justified,
+            "threats_uncovered": len(self.uncovered_threats),
+        }
+
+
+@dataclasses.dataclass
+class CompletenessAuditor:
+    """Runs the RQ1 audits over a library, goal set and attack set."""
+
+    library: ThreatLibrary
+    goals: tuple[SafetyGoal, ...]
+    attacks: AttackDescriptionSet
+    _justifications: dict[str, Justification] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def justify(
+        self, threat_id: str, reason: str, author: str = ""
+    ) -> Justification:
+        """Record why a threat is not applied for this SUT.
+
+        The threat must exist in the library; justifying an already
+        attacked threat is allowed (it documents scope decisions) but a
+        second justification for the same threat is an error.
+        """
+        self.library.threat(threat_id)
+        if threat_id in self._justifications:
+            raise ValidationError(
+                f"threat {threat_id} already has a justification"
+            )
+        justification = Justification(
+            threat_id=threat_id, reason=reason, author=author
+        )
+        self._justifications[threat_id] = justification
+        return justification
+
+    @property
+    def justifications(self) -> tuple[Justification, ...]:
+        """All recorded justifications."""
+        return tuple(self._justifications.values())
+
+    def audit(self) -> CompletenessReport:
+        """Run both audits and return the combined report."""
+        goal_entries = tuple(
+            GoalCoverage(
+                goal=goal,
+                attack_ids=tuple(
+                    attack.identifier
+                    for attack in self.attacks.by_goal(goal.identifier)
+                ),
+            )
+            for goal in self.goals
+        )
+        threat_entries = tuple(
+            ThreatCoverage(
+                threat_id=threat.identifier,
+                threat_text=threat.text,
+                attack_ids=tuple(
+                    attack.identifier
+                    for attack in self.attacks.by_threat(threat.identifier)
+                ),
+                justification=self._justifications.get(threat.identifier),
+            )
+            for threat in self.library.threats
+        )
+        return CompletenessReport(
+            goal_coverage=goal_entries, threat_coverage=threat_entries
+        )
+
+    def assert_complete(self) -> CompletenessReport:
+        """Audit and raise :class:`CoverageError` unless complete.
+
+        The error message lists every uncovered goal and threat, so a CI
+        failure is immediately actionable.
+        """
+        report = self.audit()
+        if report.complete:
+            return report
+        lines: list[str] = []
+        for entry in report.uncovered_goals:
+            lines.append(
+                f"safety goal {entry.goal.identifier} "
+                f"({entry.goal.name!r}) has no attack description"
+            )
+        for entry in report.uncovered_threats:
+            lines.append(
+                f"threat {entry.threat_id} ({entry.threat_text!r}) is "
+                "neither attacked nor justified"
+            )
+        raise CoverageError(
+            "completeness audit failed:\n  " + "\n  ".join(lines)
+        )

@@ -1,0 +1,258 @@
+"""Attack-description derivation (paper §III-C, Step 3).
+
+The derivation step combines the two analysis strands:
+
+* from **Step 2** the safety goals / concerns -- *what must not happen*,
+* from **Step 1** the threat library -- *what an attacker can do*,
+
+and produces validated :class:`~repro.model.attack.AttackDescription`
+objects.  "For each combination of safety goal and attack type the
+potential attacks and the safety and/or security measures to be active are
+identified."
+
+:class:`AttackDeriver` enforces the traces the paper's completeness
+argument rests on:
+
+* every referenced safety goal must exist in the Step 2 results,
+* the linked threat scenario must exist in the threat library,
+* the attack type must be a Table IV manifestation of one of the threat
+  scenario's STRIDE types (Step 1.3 -> 1.4 chain).
+
+:class:`AttackDescriptionSet` is the resulting container, queryable by
+goal, threat and category -- the inputs to the RQ1 audits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ValidationError
+from repro.model.attack import (
+    AttackCategory,
+    AttackDescription,
+    ThreatLink,
+)
+from repro.model.identifiers import next_id
+from repro.model.safety import SafetyGoal
+from repro.model.threat import StrideType
+from repro.stride.mapping import resolve_attack_type, stride_types_for
+from repro.threatlib.library import ThreatLibrary
+
+
+@dataclasses.dataclass
+class AttackDescriptionSet:
+    """An ordered, id-unique collection of attack descriptions."""
+
+    name: str = "attack descriptions"
+    _attacks: dict[str, AttackDescription] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def add(self, attack: AttackDescription) -> AttackDescription:
+        """Add an attack description.
+
+        Raises:
+            ValidationError: on duplicate identifiers.
+        """
+        if attack.identifier in self._attacks:
+            raise ValidationError(
+                f"{self.name}: attack {attack.identifier} already present"
+            )
+        self._attacks[attack.identifier] = attack
+        return attack
+
+    def get(self, identifier: str) -> AttackDescription:
+        """Look up an attack description by id."""
+        if identifier not in self._attacks:
+            raise ValidationError(
+                f"{self.name}: no attack description {identifier}"
+            )
+        return self._attacks[identifier]
+
+    def __len__(self) -> int:
+        return len(self._attacks)
+
+    def __iter__(self):
+        return iter(self._attacks.values())
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._attacks
+
+    @property
+    def attacks(self) -> tuple[AttackDescription, ...]:
+        """All attack descriptions in derivation order."""
+        return tuple(self._attacks.values())
+
+    @property
+    def identifiers(self) -> tuple[str, ...]:
+        """All attack ids in derivation order."""
+        return tuple(self._attacks)
+
+    def by_goal(self, safety_goal_id: str) -> tuple[AttackDescription, ...]:
+        """Attacks targeting one safety goal."""
+        return tuple(
+            attack
+            for attack in self._attacks.values()
+            if attack.targets_goal(safety_goal_id)
+        )
+
+    def by_threat(self, threat_id: str) -> tuple[AttackDescription, ...]:
+        """Attacks linked to one threat scenario."""
+        return tuple(
+            attack
+            for attack in self._attacks.values()
+            if attack.threat_link.threat_scenario_id == threat_id
+        )
+
+    def by_category(
+        self, category: AttackCategory
+    ) -> tuple[AttackDescription, ...]:
+        """Attacks of one impact category (safety vs privacy)."""
+        return tuple(
+            attack
+            for attack in self._attacks.values()
+            if attack.category is category
+        )
+
+    def safety_attacks(self) -> tuple[AttackDescription, ...]:
+        """The safety-impacting attacks (§IV counts these separately)."""
+        return self.by_category(AttackCategory.SAFETY)
+
+    def privacy_attacks(self) -> tuple[AttackDescription, ...]:
+        """The privacy-impacting attacks."""
+        return self.by_category(AttackCategory.PRIVACY)
+
+
+@dataclasses.dataclass
+class AttackDeriver:
+    """Derives attack descriptions against a library and a goal set.
+
+    Attributes:
+        library: The Step 1 threat library.
+        goals: The Step 2 safety goals, keyed by identifier.
+        results: The accumulating attack-description set.
+    """
+
+    library: ThreatLibrary
+    goals: dict[str, SafetyGoal]
+    results: AttackDescriptionSet
+
+    @classmethod
+    def create(
+        cls,
+        library: ThreatLibrary,
+        goals: list[SafetyGoal],
+        name: str = "attack descriptions",
+    ) -> "AttackDeriver":
+        """Build a deriver from a library and the Step 2 goal list."""
+        goal_map: dict[str, SafetyGoal] = {}
+        for goal in goals:
+            if goal.identifier in goal_map:
+                raise ValidationError(
+                    f"duplicate safety goal {goal.identifier} in Step 2 input"
+                )
+            goal_map[goal.identifier] = goal
+        return cls(
+            library=library,
+            goals=goal_map,
+            results=AttackDescriptionSet(name=name),
+        )
+
+    def derive(
+        self,
+        description: str,
+        safety_goal_ids: tuple[str, ...],
+        threat_id: str,
+        attack_type_name: str,
+        interface: str,
+        precondition: str,
+        expected_measures: str,
+        attack_success: str,
+        attack_fails: str,
+        implementation_comments: str = "",
+        category: AttackCategory = AttackCategory.SAFETY,
+        stride: StrideType | None = None,
+        identifier: str | None = None,
+    ) -> AttackDescription:
+        """Derive one validated attack description.
+
+        Args:
+            description: Attack story ("Attacker tries to overload the ECU
+                by packet flooding.").
+            safety_goal_ids: Goals whose violation is targeted.
+            threat_id: Threat-library scenario to link ("2.1.4").
+            attack_type_name: A Table IV attack-type name ("Disable").
+            interface: Interface / ECU under attack ("OBU RSU").
+            precondition: Situation in which the attack starts.
+            expected_measures: Controls/fallbacks assumed present.
+            attack_success: Success criteria (how the goal gets violated).
+            attack_fails: Detection criteria of a failed attack.
+            implementation_comments: Notes for Step 4.
+            category: SAFETY (default) or PRIVACY.
+            stride: Optional STRIDE disambiguation for ambiguous attack
+                types ("Illegal acquisition" appears under two types).
+            identifier: Explicit ``ADnn``; auto-assigned when omitted.
+
+        Raises:
+            ValidationError: on any broken trace (unknown goal/threat,
+                attack type not manifesting the threat's STRIDE types).
+        """
+        for goal_id in safety_goal_ids:
+            if goal_id not in self.goals:
+                raise ValidationError(
+                    f"attack references unknown safety goal {goal_id} "
+                    "(not part of the Step 2 results)"
+                )
+        threat = self.library.threat(threat_id)
+        if stride is None:
+            # Prefer a STRIDE type the threat actually maps to.
+            candidates = [
+                candidate
+                for candidate in stride_types_for(attack_type_name)
+                if threat.describes(candidate)
+            ]
+            if not candidates:
+                raise ValidationError(
+                    f"attack type {attack_type_name!r} manifests none of "
+                    f"threat {threat_id}'s STRIDE types "
+                    f"({', '.join(s.value for s in threat.stride)})"
+                )
+            stride = candidates[0]
+        attack_type = resolve_attack_type(attack_type_name, stride)
+        if not threat.describes(attack_type.stride):
+            raise ValidationError(
+                f"threat {threat_id} is not a {attack_type.stride.value} "
+                f"threat; cannot apply attack type {attack_type.name!r}"
+            )
+        attack = AttackDescription(
+            identifier=identifier
+            or next_id(set(self.results.identifiers), "AD"),
+            description=description,
+            safety_goal_ids=safety_goal_ids,
+            interface=interface,
+            threat_link=ThreatLink(
+                threat_scenario_id=threat_id, text=threat.text
+            ),
+            stride=attack_type.stride,
+            attack_type=attack_type,
+            precondition=precondition,
+            expected_measures=expected_measures,
+            attack_success=attack_success,
+            attack_fails=attack_fails,
+            implementation_comments=implementation_comments,
+            category=category,
+        )
+        return self.results.add(attack)
+
+    def applicable_attack_types(
+        self, threat_id: str
+    ) -> tuple[str, ...]:
+        """The Table IV attack-type names applicable to a threat.
+
+        A convenience for analysts working through "each combination of
+        safety goal and attack type".
+        """
+        return tuple(
+            attack_type.name
+            for attack_type in self.library.attack_types_for_threat(threat_id)
+        )

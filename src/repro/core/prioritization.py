@@ -1,0 +1,192 @@
+"""Test-space reduction and effort allocation -- the answer to RQ2.
+
+The paper reduces the security test space two ways:
+
+* **Asset scoping** (§III-A2): limit the threat analysis to assets of
+  interesting relevance classes -- implemented by
+  :meth:`repro.threatlib.library.ThreatLibrary.scoped`.
+* **ASIL-driven effort** (§III-B): "The HARA is used to identify the
+  hazards that the validation is supposed to address (RQ2).  A higher ASIL
+  rating may be used to justify a greater testing effort."
+
+This module implements the second: ranking attack descriptions by the
+highest ASIL among their targeted goals, filtering by an ASIL floor, and
+allocating a finite test budget proportionally to ASIL weight (with CAL as
+an optional multiplier for security assurance depth).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.derivation import AttackDescriptionSet
+from repro.errors import ValidationError
+from repro.model.attack import AttackDescription
+from repro.model.ratings import Asil, CalLevel
+from repro.model.safety import SafetyGoal
+
+#: Relative testing-effort weight per ASIL.  Exponential-ish growth
+#: mirrors how verification effort scales across ASILs in practice;
+#: privacy attacks (no safety goal) get the base weight 1.
+ASIL_WEIGHTS: dict[Asil, int] = {
+    Asil.NOT_APPLICABLE: 1,
+    Asil.QM: 1,
+    Asil.A: 2,
+    Asil.B: 4,
+    Asil.C: 8,
+    Asil.D: 16,
+}
+
+
+def attack_asil(
+    attack: AttackDescription, goals: dict[str, SafetyGoal]
+) -> Asil:
+    """The highest ASIL among an attack's targeted safety goals.
+
+    Privacy attacks target no goal and rate ``Asil.QM``.
+
+    Raises:
+        ValidationError: when the attack references a goal missing from
+            ``goals`` (a broken Step 2 trace).
+    """
+    best = Asil.QM
+    for goal_id in attack.safety_goal_ids:
+        if goal_id not in goals:
+            raise ValidationError(
+                f"attack {attack.identifier} references unknown goal {goal_id}"
+            )
+        if goals[goal_id].asil > best:
+            best = goals[goal_id].asil
+    return best
+
+
+@dataclasses.dataclass(frozen=True)
+class PrioritizedAttack:
+    """An attack with its derived priority data."""
+
+    attack: AttackDescription
+    asil: Asil
+    weight: int
+    allocated_tests: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class TestPlan:
+    """The RQ2 output: ordered attacks with test-budget allocation."""
+
+    entries: tuple[PrioritizedAttack, ...]
+    budget: int
+
+    @property
+    def total_allocated(self) -> int:
+        """Sum of allocated test executions (== budget when budget > 0)."""
+        return sum(entry.allocated_tests for entry in self.entries)
+
+    def allocation(self) -> dict[str, int]:
+        """Attack id -> allocated test count."""
+        return {
+            entry.attack.identifier: entry.allocated_tests
+            for entry in self.entries
+        }
+
+    def reduction_ratio(self, universe: int) -> float:
+        """Fraction of the unreduced test space retained.
+
+        ``universe`` is the size of the unfiltered attack set; the ratio
+        quantifies RQ2's reduction claim.
+        """
+        if universe <= 0:
+            raise ValidationError("universe size must be positive")
+        return len(self.entries) / universe
+
+
+class Prioritizer:
+    """Ranks and budgets attack descriptions by safety impact (RQ2)."""
+
+    def __init__(
+        self,
+        goals: list[SafetyGoal],
+        cal_levels: dict[str, CalLevel] | None = None,
+    ) -> None:
+        """Args:
+            goals: The Step 2 safety goals.
+            cal_levels: Optional attack-id -> CAL mapping; when present, a
+                CAL acts as an additional effort multiplier (CAL1 x1 ..
+                CAL4 x4), reflecting §II-B: "the necessary level of testing
+                is determined by the cybersecurity assurance level".
+        """
+        self._goals = {goal.identifier: goal for goal in goals}
+        self._cal_levels = dict(cal_levels or {})
+
+    def rank(
+        self, attacks: AttackDescriptionSet
+    ) -> tuple[PrioritizedAttack, ...]:
+        """All attacks ordered by descending ASIL, stable within a level."""
+        entries = [
+            PrioritizedAttack(
+                attack=attack,
+                asil=attack_asil(attack, self._goals),
+                weight=self._weight(attack),
+            )
+            for attack in attacks
+        ]
+        entries.sort(key=lambda entry: -entry.asil.rank)
+        return tuple(entries)
+
+    def filter(
+        self, attacks: AttackDescriptionSet, minimum: Asil
+    ) -> tuple[AttackDescription, ...]:
+        """Attacks whose ASIL meets the floor -- the reduced test space."""
+        return tuple(
+            entry.attack
+            for entry in self.rank(attacks)
+            if entry.asil >= minimum
+        )
+
+    def plan(
+        self,
+        attacks: AttackDescriptionSet,
+        budget: int,
+        minimum: Asil = Asil.QM,
+    ) -> TestPlan:
+        """Allocate ``budget`` test executions across the reduced space.
+
+        Allocation is proportional to weight with largest-remainder
+        rounding, so the budget is spent exactly and every selected attack
+        receives at least one execution when the budget allows.
+
+        Raises:
+            ValidationError: when the budget is negative.
+        """
+        if budget < 0:
+            raise ValidationError("test budget must be >= 0")
+        ranked = [
+            entry for entry in self.rank(attacks) if entry.asil >= minimum
+        ]
+        if not ranked or budget == 0:
+            return TestPlan(entries=tuple(ranked), budget=budget)
+        total_weight = sum(entry.weight for entry in ranked)
+        shares = [
+            budget * entry.weight / total_weight for entry in ranked
+        ]
+        floors = [int(share) for share in shares]
+        remainder = budget - sum(floors)
+        by_fraction = sorted(
+            range(len(ranked)),
+            key=lambda index: -(shares[index] - floors[index]),
+        )
+        for index in by_fraction[:remainder]:
+            floors[index] += 1
+        entries = tuple(
+            dataclasses.replace(entry, allocated_tests=count)
+            for entry, count in zip(ranked, floors)
+        )
+        return TestPlan(entries=entries, budget=budget)
+
+    def _weight(self, attack: AttackDescription) -> int:
+        """ASIL weight times the optional CAL multiplier."""
+        weight = ASIL_WEIGHTS[attack_asil(attack, self._goals)]
+        cal = self._cal_levels.get(attack.identifier)
+        if cal is not None:
+            weight *= int(cal)
+        return weight

@@ -1,0 +1,130 @@
+"""Rendering of SaSeVAL artifacts as review-ready text.
+
+Attack descriptions are communication artifacts between security testers,
+safety engineers and implementers; the paper presents them as two-column
+tables (Tables VI and VII).  This module renders:
+
+* an attack description in the paper's table layout
+  (:func:`render_attack_description`),
+* a HARA as the excerpt format of §III-B (:func:`render_hara_rating`),
+* ASIL distributions as the count lines §IV reports
+  (:func:`render_asil_distribution`),
+* completeness reports (:func:`render_completeness`).
+
+All output is deterministic plain text / Markdown.
+"""
+
+from __future__ import annotations
+
+from repro.core.completeness import CompletenessReport
+from repro.hara.analysis import Hara
+from repro.model.attack import AttackDescription
+from repro.model.ratings import Asil
+from repro.model.safety import HazardRating
+
+
+def render_attack_description(attack: AttackDescription) -> str:
+    """Render one attack description as a Table VI/VII style block."""
+    rows = [
+        ("Attack Description", f"{attack.identifier} - {attack.description}"),
+        ("SG IDs", ", ".join(attack.safety_goal_ids) or "- (privacy)"),
+        ("Interface / ECU", attack.interface),
+        (
+            "Link to Threat Library",
+            f"Threat scenario {attack.threat_link.threat_scenario_id}: "
+            f"{attack.threat_link.text}",
+        ),
+        (
+            "Types",
+            f"Threat: {attack.stride.value} - Attack: {attack.attack_type.name}",
+        ),
+        ("Precondition", attack.precondition),
+        ("Expected Measures", attack.expected_measures),
+        ("Attack Success", attack.attack_success),
+        ("Attack Fails", attack.attack_fails),
+        ("Attack impl. comments", attack.implementation_comments or "-"),
+    ]
+    label_width = max(len(label) for label, __ in rows)
+    lines = [f"{label.ljust(label_width)} | {value}" for label, value in rows]
+    ruler = "-" * max(len(line) for line in lines)
+    return "\n".join([ruler] + lines + [ruler])
+
+
+def render_hara_rating(rating: HazardRating) -> str:
+    """Render one HARA row as the bullet excerpt of §III-B."""
+    lines = [
+        f"* Function (with ID): {rating.function.name} "
+        f"({rating.function.identifier})",
+        f"* Failure Mode and Hazard: {rating.failure_mode.value.upper()} - "
+        f"{rating.hazard}",
+    ]
+    if rating.is_rated:
+        assert rating.exposure is not None
+        assert rating.severity is not None
+        assert rating.controllability is not None
+        lines.append(
+            f"* Exposure & Hazardous Event: E={int(rating.exposure)} "
+            f"{rating.hazardous_event}"
+        )
+        lines.append(
+            f"* Severity: S={int(rating.severity)} {rating.rationale}".rstrip()
+        )
+        lines.append(
+            f"* Controllability: C={int(rating.controllability)}"
+        )
+        lines.append(f"* ASIL: {rating.asil.value}")
+    else:
+        lines.append(f"* Not applicable: {rating.rationale}")
+    return "\n".join(lines)
+
+
+def render_asil_distribution(distribution: dict[Asil, int]) -> str:
+    """Render an ASIL distribution as the §IV count sentence.
+
+    Example output: ``5 for "N/A", 5 for "No ASIL", 7 for "ASIL A", ...``
+    """
+    labels = {
+        Asil.NOT_APPLICABLE: '"N/A"',
+        Asil.QM: '"No ASIL"',
+        Asil.A: '"ASIL A"',
+        Asil.B: '"ASIL B"',
+        Asil.C: '"ASIL C"',
+        Asil.D: '"ASIL D"',
+    }
+    parts = [
+        f"{distribution.get(asil, 0)} for {labels[asil]}" for asil in labels
+    ]
+    return ", ".join(parts)
+
+
+def render_hara_summary(hara: Hara) -> str:
+    """Multi-line HARA summary: functions, rating counts, safety goals."""
+    lines = [f"HARA: {hara.name}"]
+    lines.append(f"Functions analysed: {len(hara.functions)}")
+    for function in hara.functions:
+        lines.append(f"  - {function.identifier}: {function.name}")
+    lines.append(f"Ratings: {len(hara.ratings)}")
+    lines.append("  " + render_asil_distribution(hara.asil_distribution()))
+    lines.append(f"Safety goals: {len(hara.safety_goals)}")
+    for goal in hara.safety_goals:
+        lines.append(f"  - {goal}")
+    return "\n".join(lines)
+
+
+def render_completeness(report: CompletenessReport) -> str:
+    """Render an RQ1 audit result as a short review block."""
+    summary = report.summary()
+    lines = [
+        "Completeness audit (RQ1)",
+        f"  deductive : {summary['goals_covered']}/{summary['goals']} "
+        "safety goals covered by attacks",
+        f"  inductive : {summary['threats_attacked']} threats attacked, "
+        f"{summary['threats_justified']} justified, "
+        f"{summary['threats_uncovered']} uncovered",
+        f"  verdict   : {'COMPLETE' if report.complete else 'INCOMPLETE'}",
+    ]
+    for entry in report.uncovered_goals:
+        lines.append(f"  ! goal {entry.goal.identifier} uncovered")
+    for entry in report.uncovered_threats:
+        lines.append(f"  ! threat {entry.threat_id} uncovered")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""The attack-description DSL (the paper's announced tooling).
+
+Pipeline: :func:`~repro.dsl.parser.parse` (text -> AST) ->
+:func:`~repro.dsl.semantics.analyze` (AST -> validated attack
+descriptions) -> :class:`~repro.dsl.compiler.BindingRegistry` (attack
+descriptions -> executable test cases).  The reverse direction,
+:func:`~repro.dsl.formatter.format_attack`, makes the DSL a lossless
+storage format.
+"""
+
+from repro.dsl.ast import AttackBlockNode, DocumentNode, FieldNode
+from repro.dsl.compiler import Binder, BindingRegistry
+from repro.dsl.formatter import format_attack, format_attacks
+from repro.dsl.lexer import tokenize
+from repro.dsl.parser import parse
+from repro.dsl.semantics import analyze
+
+__all__ = [
+    "AttackBlockNode",
+    "Binder",
+    "BindingRegistry",
+    "DocumentNode",
+    "FieldNode",
+    "analyze",
+    "format_attack",
+    "format_attacks",
+    "parse",
+    "tokenize",
+]

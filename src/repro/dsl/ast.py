@@ -1,0 +1,63 @@
+"""Abstract syntax tree of the attack-description DSL."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldNode:
+    """One ``name: value`` field inside an attack block.
+
+    Attributes:
+        name: Field name (``description``, ``goals``, ...).
+        values: The parsed value items.  Strings hold one item; identifier
+            lists (``goals``) hold one item per identifier; the ``none``
+            goals marker yields an empty tuple.
+        line / column: Source position of the field name.
+    """
+
+    name: str
+    values: tuple[str, ...]
+    line: int
+    column: int
+
+    @property
+    def single(self) -> str:
+        """The single value of a scalar field."""
+        return self.values[0] if self.values else ""
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackBlockNode:
+    """One ``attack ADnn { ... }`` block."""
+
+    identifier: str
+    fields: tuple[FieldNode, ...]
+    line: int
+    column: int
+
+    def field(self, name: str) -> FieldNode | None:
+        """Look up a field by name (first occurrence)."""
+        for field_node in self.fields:
+            if field_node.name == name:
+                return field_node
+        return None
+
+    def field_names(self) -> tuple[str, ...]:
+        """All present field names, in source order."""
+        return tuple(field_node.name for field_node in self.fields)
+
+
+@dataclasses.dataclass(frozen=True)
+class DocumentNode:
+    """A parsed DSL document: a sequence of attack blocks."""
+
+    blocks: tuple[AttackBlockNode, ...]
+
+    def block(self, identifier: str) -> AttackBlockNode | None:
+        """Look up a block by attack identifier."""
+        for block in self.blocks:
+            if block.identifier == identifier:
+                return block
+        return None

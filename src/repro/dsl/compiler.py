@@ -1,0 +1,109 @@
+"""Compiler: attack descriptions -> executable test cases.
+
+The last translation step of the tool chain: each validated
+:class:`~repro.model.attack.AttackDescription` is bound to an executable
+:class:`~repro.testing.testcase.TestCase` through a
+:class:`BindingRegistry`.
+
+A *binding* supplies what the concept-level description cannot know --
+the concrete scenario factory, attack injector and oracles for a given
+SUT.  Bindings register either for a specific attack id (``AD20``) or for
+an (attack type, interface) pair, so one binding can serve every attack of
+that shape.  The use-case modules (:mod:`repro.usecases`) register the
+bindings for the paper's two SUTs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import DslSemanticError
+from repro.model.attack import AttackDescription
+from repro.testing.testcase import TestCase
+
+#: A binder receives the attack description and returns a TestCase.
+Binder = Callable[[AttackDescription], TestCase]
+
+
+@dataclasses.dataclass
+class BindingRegistry:
+    """Maps attack descriptions to executable bindings.
+
+    Resolution order: exact attack id first, then the
+    (attack-type name, interface) pair, then the attack-type name alone.
+    """
+
+    _by_id: dict[str, Binder] = dataclasses.field(default_factory=dict)
+    _by_shape: dict[tuple[str, str], Binder] = dataclasses.field(
+        default_factory=dict
+    )
+    _by_type: dict[str, Binder] = dataclasses.field(default_factory=dict)
+
+    def bind_id(self, attack_id: str, binder: Binder) -> None:
+        """Register a binding for one specific attack description."""
+        if attack_id in self._by_id:
+            raise DslSemanticError(
+                f"binding for {attack_id} already registered"
+            )
+        self._by_id[attack_id] = binder
+
+    def bind_shape(
+        self, attack_type_name: str, interface: str, binder: Binder
+    ) -> None:
+        """Register a binding for an (attack type, interface) shape."""
+        key = (attack_type_name.lower(), interface.lower())
+        if key in self._by_shape:
+            raise DslSemanticError(
+                f"binding for {attack_type_name!r} on {interface!r} already "
+                "registered"
+            )
+        self._by_shape[key] = binder
+
+    def bind_type(self, attack_type_name: str, binder: Binder) -> None:
+        """Register a fallback binding for an attack type."""
+        key = attack_type_name.lower()
+        if key in self._by_type:
+            raise DslSemanticError(
+                f"type binding for {attack_type_name!r} already registered"
+            )
+        self._by_type[key] = binder
+
+    def resolve(self, attack: AttackDescription) -> Binder:
+        """Find the binder for an attack description.
+
+        Raises:
+            DslSemanticError: when no binding matches -- the attack cannot
+                be implemented against this SUT yet (a Step 4 gap, which
+                the paper's process would surface the same way).
+        """
+        if attack.identifier in self._by_id:
+            return self._by_id[attack.identifier]
+        shape = (attack.attack_type.name.lower(), attack.interface.lower())
+        if shape in self._by_shape:
+            return self._by_shape[shape]
+        type_key = attack.attack_type.name.lower()
+        if type_key in self._by_type:
+            return self._by_type[type_key]
+        raise DslSemanticError(
+            f"no executable binding for {attack.identifier} "
+            f"({attack.attack_type.name!r} on {attack.interface!r})"
+        )
+
+    def compile(self, attack: AttackDescription) -> TestCase:
+        """Compile one attack description into a test case."""
+        return self.resolve(attack)(attack)
+
+    def compile_all(
+        self, attacks: list[AttackDescription]
+    ) -> tuple[TestCase, ...]:
+        """Compile a list of attack descriptions."""
+        return tuple(self.compile(attack) for attack in attacks)
+
+    def can_compile(self, attack: AttackDescription) -> bool:
+        """True when a binding exists for the attack."""
+        try:
+            self.resolve(attack)
+        except DslSemanticError:
+            return False
+        return True

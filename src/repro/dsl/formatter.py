@@ -1,0 +1,47 @@
+"""Formatter: attack descriptions -> DSL source (the encoder direction).
+
+Formatting and re-parsing round-trips losslessly; the property tests rely
+on this to show the DSL can serve as the canonical storage format for
+attack descriptions.
+"""
+
+from __future__ import annotations
+
+from repro.model.attack import AttackCategory, AttackDescription
+
+
+def _quote(text: str) -> str:
+    """Escape and double-quote a string value."""
+    escaped = (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+    return f'"{escaped}"'
+
+
+def format_attack(attack: AttackDescription) -> str:
+    """Render one attack description as a DSL block."""
+    goals = ", ".join(attack.safety_goal_ids) if attack.safety_goal_ids else "none"
+    lines = [
+        f"attack {attack.identifier} {{",
+        f"  description: {_quote(attack.description)}",
+        f"  goals: {goals}",
+        f"  interface: {_quote(attack.interface)}",
+        f"  threat: {attack.threat_link.threat_scenario_id}",
+        f"  threat_type: {_quote(attack.stride.value)}",
+        f"  attack_type: {_quote(attack.attack_type.name)}",
+        f"  precondition: {_quote(attack.precondition)}",
+        f"  expected_measures: {_quote(attack.expected_measures)}",
+        f"  success: {_quote(attack.attack_success)}",
+        f"  fails: {_quote(attack.attack_fails)}",
+    ]
+    if attack.implementation_comments:
+        lines.append(f"  impl: {_quote(attack.implementation_comments)}")
+    if attack.category is not AttackCategory.SAFETY:
+        lines.append(f"  category: {attack.category.value}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_attacks(attacks: list[AttackDescription]) -> str:
+    """Render a list of attack descriptions as one DSL document."""
+    return "\n\n".join(format_attack(attack) for attack in attacks) + "\n"

@@ -1,0 +1,133 @@
+"""Lexer for the attack-description DSL.
+
+Hand-written scanner producing :class:`~repro.dsl.tokens.Token` streams.
+Line comments start with ``#``; strings are double-quoted with ``\\"`` and
+``\\\\`` escapes and must close on the same line (attack prose is long but
+the format keeps one field per line).
+"""
+
+from __future__ import annotations
+
+from repro.dsl.tokens import Token, TokenType
+from repro.errors import DslSyntaxError
+
+_PUNCTUATION = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize DSL source text.
+
+    Returns the token list ending with an EOF token.
+
+    Raises:
+        DslSyntaxError: on unterminated strings or illegal characters.
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def advance(count: int = 1) -> None:
+        nonlocal index, line, column
+        for __ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+        if char in " \t\r\n":
+            advance()
+            continue
+        if char == "#":
+            while index < length and source[index] != "\n":
+                advance()
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[char], char, line, column))
+            advance()
+            continue
+        if char == '"':
+            tokens.append(_scan_string(source, index, line, column, advance))
+            continue
+        if char.isdigit():
+            tokens.append(_scan_dotted(source, index, line, column, advance))
+            continue
+        if char.isalpha() or char == "_":
+            tokens.append(_scan_ident(source, index, line, column, advance))
+            continue
+        raise DslSyntaxError(f"illegal character {char!r}", line, column)
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens
+
+
+def _scan_string(source, start, line, column, advance) -> Token:
+    """Scan a double-quoted string starting at ``start``."""
+    index = start + 1
+    parts: list[str] = []
+    while index < len(source):
+        char = source[index]
+        if char == "\n":
+            raise DslSyntaxError("unterminated string", line, column)
+        if char == "\\":
+            if index + 1 >= len(source):
+                raise DslSyntaxError("unterminated escape", line, column)
+            escape = source[index + 1]
+            if escape == '"':
+                parts.append('"')
+            elif escape == "\\":
+                parts.append("\\")
+            elif escape == "n":
+                parts.append("\n")
+            else:
+                raise DslSyntaxError(
+                    f"unknown escape \\{escape}", line, column
+                )
+            index += 2
+            continue
+        if char == '"':
+            consumed = index - start + 1
+            advance(consumed)
+            return Token(TokenType.STRING, "".join(parts), line, column)
+        parts.append(char)
+        index += 1
+    raise DslSyntaxError("unterminated string", line, column)
+
+
+def _scan_dotted(source, start, line, column, advance) -> Token:
+    """Scan a dotted number like ``2.1.4`` (also plain integers)."""
+    index = start
+    while index < len(source) and (
+        source[index].isdigit() or source[index] == "."
+    ):
+        index += 1
+    text = source[start:index]
+    if text.endswith("."):
+        raise DslSyntaxError(
+            f"malformed dotted number {text!r}", line, column
+        )
+    advance(index - start)
+    return Token(TokenType.DOTTED, text, line, column)
+
+
+def _scan_ident(source, start, line, column, advance) -> Token:
+    """Scan an identifier / keyword."""
+    index = start
+    while index < len(source) and (
+        source[index].isalnum() or source[index] in "_-"
+    ):
+        index += 1
+    text = source[start:index]
+    advance(index - start)
+    token_type = TokenType.ATTACK if text == "attack" else TokenType.IDENT
+    return Token(token_type, text, line, column)

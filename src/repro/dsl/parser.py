@@ -1,0 +1,174 @@
+"""Recursive-descent parser for the attack-description DSL.
+
+Grammar::
+
+    document := attack_block*
+    attack_block := 'attack' IDENT '{' field* '}'
+    field := IDENT ':' value
+    value := STRING | DOTTED | ident_list
+    ident_list := IDENT (',' IDENT)*
+
+Structural validation (duplicate/unknown/missing fields) happens here so
+error positions are precise; referential validation (do the goals and
+threats exist?) is the semantic pass's job.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.ast import AttackBlockNode, DocumentNode, FieldNode
+from repro.dsl.lexer import tokenize
+from repro.dsl.tokens import FIELD_SPECS, Token, TokenType
+from repro.errors import DslSyntaxError
+from repro.model.identifiers import is_attack_id
+
+
+class _Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._position += 1
+        return token
+
+    def expect(self, token_type: TokenType) -> Token:
+        token = self.current
+        if token.type is not token_type:
+            raise DslSyntaxError(
+                f"expected {token_type.value}, found {token.type.value} "
+                f"{token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def parse_document(self) -> DocumentNode:
+        blocks: list[AttackBlockNode] = []
+        while self.current.type is not TokenType.EOF:
+            blocks.append(self.parse_attack_block())
+        document = DocumentNode(blocks=tuple(blocks))
+        self._check_unique_ids(document)
+        return document
+
+    def parse_attack_block(self) -> AttackBlockNode:
+        keyword = self.expect(TokenType.ATTACK)
+        name_token = self.expect(TokenType.IDENT)
+        if not is_attack_id(name_token.value):
+            raise DslSyntaxError(
+                f"attack identifier must look like AD20, got "
+                f"{name_token.value!r}",
+                name_token.line,
+                name_token.column,
+            )
+        self.expect(TokenType.LBRACE)
+        fields: list[FieldNode] = []
+        while self.current.type is not TokenType.RBRACE:
+            fields.append(self.parse_field())
+        self.expect(TokenType.RBRACE)
+        block = AttackBlockNode(
+            identifier=name_token.value,
+            fields=tuple(fields),
+            line=keyword.line,
+            column=keyword.column,
+        )
+        self._check_fields(block)
+        return block
+
+    def parse_field(self) -> FieldNode:
+        name_token = self.expect(TokenType.IDENT)
+        if name_token.value not in FIELD_SPECS:
+            raise DslSyntaxError(
+                f"unknown field {name_token.value!r} (known: "
+                f"{', '.join(sorted(FIELD_SPECS))})",
+                name_token.line,
+                name_token.column,
+            )
+        self.expect(TokenType.COLON)
+        values = self._parse_value(name_token.value)
+        return FieldNode(
+            name=name_token.value,
+            values=values,
+            line=name_token.line,
+            column=name_token.column,
+        )
+
+    def _parse_value(self, field_name: str) -> tuple[str, ...]:
+        token = self.current
+        if token.type is TokenType.STRING:
+            self.advance()
+            return (token.value,)
+        if token.type is TokenType.DOTTED:
+            self.advance()
+            return (token.value,)
+        if token.type is TokenType.IDENT:
+            identifiers = [self.advance().value]
+            while self.current.type is TokenType.COMMA:
+                self.advance()
+                identifiers.append(self.expect(TokenType.IDENT).value)
+            if (
+                field_name == "goals"
+                and len(identifiers) == 1
+                and identifiers[0].lower() == "none"
+            ):
+                return ()
+            return tuple(identifiers)
+        raise DslSyntaxError(
+            f"expected a value for field {field_name!r}, found "
+            f"{token.type.value}",
+            token.line,
+            token.column,
+        )
+
+    @staticmethod
+    def _check_fields(block: AttackBlockNode) -> None:
+        seen: set[str] = set()
+        for field_node in block.fields:
+            if field_node.name in seen:
+                raise DslSyntaxError(
+                    f"duplicate field {field_node.name!r} in "
+                    f"{block.identifier}",
+                    field_node.line,
+                    field_node.column,
+                )
+            seen.add(field_node.name)
+        missing = [
+            name
+            for name, required in FIELD_SPECS.items()
+            if required and name not in seen
+        ]
+        if missing:
+            raise DslSyntaxError(
+                f"attack {block.identifier} misses required fields: "
+                f"{', '.join(missing)}",
+                block.line,
+                block.column,
+            )
+
+    @staticmethod
+    def _check_unique_ids(document: DocumentNode) -> None:
+        seen: set[str] = set()
+        for block in document.blocks:
+            if block.identifier in seen:
+                raise DslSyntaxError(
+                    f"duplicate attack identifier {block.identifier}",
+                    block.line,
+                    block.column,
+                )
+            seen.add(block.identifier)
+
+
+def parse(source: str) -> DocumentNode:
+    """Parse DSL source text into a document AST.
+
+    Raises:
+        DslSyntaxError: on any lexical or structural problem.
+    """
+    return _Parser(tokenize(source)).parse_document()

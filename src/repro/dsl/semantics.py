@@ -1,0 +1,88 @@
+"""Semantic analysis: DSL AST -> validated attack descriptions.
+
+The semantic pass resolves every reference a parsed attack block makes --
+safety goals against the Step 2 results, threat scenarios against the
+Step 1 library, attack types against the Table IV mapping -- and emits
+:class:`~repro.model.attack.AttackDescription` objects.  It reuses the
+:class:`~repro.core.derivation.AttackDeriver`, so DSL-sourced attacks pass
+exactly the same trace validation as programmatically derived ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.derivation import AttackDeriver, AttackDescriptionSet
+from repro.dsl.ast import AttackBlockNode, DocumentNode
+from repro.errors import CatalogError, DslSemanticError, ValidationError
+from repro.model.attack import AttackCategory
+from repro.model.safety import SafetyGoal
+from repro.model.threat import StrideType
+from repro.threatlib.library import ThreatLibrary
+
+
+def analyze(
+    document: DocumentNode,
+    library: ThreatLibrary,
+    goals: list[SafetyGoal],
+) -> AttackDescriptionSet:
+    """Validate a parsed document and produce attack descriptions.
+
+    Raises:
+        DslSemanticError: carrying the attack id and the underlying trace
+            problem for every broken reference.
+    """
+    deriver = AttackDeriver.create(library, goals, name="DSL attacks")
+    for block in document.blocks:
+        _analyze_block(block, deriver)
+    return deriver.results
+
+
+def _analyze_block(block: AttackBlockNode, deriver: AttackDeriver) -> None:
+    def text(name: str, default: str = "") -> str:
+        field = block.field(name)
+        return field.single if field is not None else default
+
+    goals_field = block.field("goals")
+    assert goals_field is not None  # parser enforces required fields
+    category = _category(block)
+    stride = _stride(block)
+    try:
+        deriver.derive(
+            description=text("description"),
+            safety_goal_ids=goals_field.values,
+            threat_id=text("threat"),
+            attack_type_name=text("attack_type"),
+            interface=text("interface"),
+            precondition=text("precondition"),
+            expected_measures=text("expected_measures"),
+            attack_success=text("success"),
+            attack_fails=text("fails"),
+            implementation_comments=text("impl"),
+            category=category,
+            stride=stride,
+            identifier=block.identifier,
+        )
+    except (ValidationError, CatalogError) as exc:
+        raise DslSemanticError(f"{block.identifier}: {exc}") from exc
+
+
+def _category(block: AttackBlockNode) -> AttackCategory:
+    field = block.field("category")
+    if field is None:
+        return AttackCategory.SAFETY
+    label = field.single.lower()
+    for member in AttackCategory:
+        if member.value == label:
+            return member
+    raise DslSemanticError(
+        f"{block.identifier}: unknown category {field.single!r} "
+        "(expected safety or privacy)"
+    )
+
+
+def _stride(block: AttackBlockNode) -> StrideType:
+    field = block.field("threat_type")
+    assert field is not None
+    try:
+        return StrideType.from_label(field.single)
+    except ValueError as exc:
+        raise DslSemanticError(f"{block.identifier}: {exc}") from exc

@@ -1,0 +1,74 @@
+"""Token definitions for the attack-description DSL.
+
+The paper's conclusion announces "a first version of a domain specific
+language (DSL).  It encodes the attacks such that it can be automatically
+translated to test cases."  This package is that DSL, built as a classic
+lexer -> parser -> semantic-analysis -> compiler chain.
+
+The surface syntax mirrors the attack-description table rows::
+
+    attack AD20 {
+      description: "Attacker tries to overload the ECU by packet flooding."
+      goals: SG01, SG02, SG03
+      interface: "OBU RSU"
+      threat: 2.1.4
+      threat_type: "Denial of service"
+      attack_type: "Disable"
+      precondition: "Vehicle is approaching the construction side"
+      expected_measures: "Message counter for broken messages"
+      success: "Shutdown of service"
+      fails: "Security control identifies unwanted sender ..."
+      impl: "Create an authenticated sender as attacker ..."
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    ATTACK = "attack"          # the single keyword
+    IDENT = "identifier"       # AD20, SG01, goals, safety, ...
+    DOTTED = "dotted number"   # 2.1.4
+    STRING = "string"          # "..."
+    LBRACE = "{"
+    RBRACE = "}"
+    COLON = ":"
+    COMMA = ","
+    EOF = "end of input"
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.type.value} {self.value!r} at {self.line}:{self.column}"
+
+
+#: Field names an attack block accepts, mapped to whether they are
+#: required.  ``goals`` is required but may be the literal ``none`` for
+#: privacy attacks; ``impl`` and ``category`` are optional.
+FIELD_SPECS: dict[str, bool] = {
+    "description": True,
+    "goals": True,
+    "interface": True,
+    "threat": True,
+    "threat_type": True,
+    "attack_type": True,
+    "precondition": True,
+    "expected_measures": True,
+    "success": True,
+    "fails": True,
+    "impl": False,
+    "category": False,
+}

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the SaSeVAL reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single base class at an API boundary.  Subpackages raise the most
+specific subclass that applies:
+
+* :class:`ValidationError` -- a model object is internally inconsistent
+  (e.g. an attack description referencing an unknown safety goal).
+* :class:`SerializationError` -- a JSON payload cannot be decoded into a
+  model object.
+* :class:`CatalogError` -- a lookup in the built-in threat catalog or a
+  user threat library failed.
+* :class:`DslError` and its subclasses -- problems in the attack-description
+  DSL (lexing, parsing, semantic analysis, compilation).
+* :class:`SimulationError` -- illegal simulator operations (scheduling in
+  the past, attaching an injector to a missing channel, ...).
+* :class:`HarnessError` -- test-harness misuse (running an unbound test
+  case, asking for a verdict before execution, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ValidationError(ReproError):
+    """A model object violates an invariant of the SaSeVAL process.
+
+    Raised eagerly at construction or registration time so that malformed
+    artifacts never propagate into later pipeline stages.
+    """
+
+
+class SerializationError(ReproError):
+    """A persisted artifact could not be decoded back into model objects."""
+
+
+class CatalogError(ReproError):
+    """A threat-library or catalog lookup failed.
+
+    Carries the offending key so callers can report which scenario, asset
+    or threat identifier was missing.
+    """
+
+    def __init__(self, message: str, key: str | None = None) -> None:
+        super().__init__(message)
+        self.key = key
+
+
+class CoverageError(ReproError):
+    """A completeness audit (RQ1) was asked to certify an incomplete set."""
+
+
+class DslError(ReproError):
+    """Base class for attack-description DSL errors."""
+
+
+class DslSyntaxError(DslError):
+    """The DSL source text is not well-formed.
+
+    ``line`` and ``column`` are 1-based positions of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class DslSemanticError(DslError):
+    """The DSL source parsed but refers to unknown or inconsistent entities."""
+
+
+class SimulationError(ReproError):
+    """An illegal operation was attempted on the simulator substrate."""
+
+
+class HarnessError(ReproError):
+    """The test harness was driven incorrectly by the caller."""

@@ -1,0 +1,53 @@
+"""ISO 26262 Hazard Analysis and Risk Assessment (paper §II-C, §III-B).
+
+The package provides:
+
+* :func:`~repro.hara.asil.determine_asil` and the explicit
+  :data:`~repro.hara.asil.ASIL_TABLE` (ISO 26262-3 Table 4),
+* ASIL utilities (:func:`~repro.hara.asil.highest_asil`,
+  :func:`~repro.hara.asil.decompose`),
+* the :class:`~repro.hara.analysis.Hara` engine that applies the
+  failure-mode guidewords, derives ASILs from S/E/C inputs and groups
+  safety-relevant hazards into safety goals.
+
+Rating value types (:class:`~repro.model.ratings.Severity` etc.) are
+re-exported for convenience.
+"""
+
+from repro.hara.analysis import Hara
+from repro.hara.asil import (
+    ASIL_TABLE,
+    decompose,
+    determine_asil,
+    highest_asil,
+)
+from repro.hara.persistence import (
+    hara_from_dict,
+    hara_to_dict,
+    load_hara,
+    save_hara,
+)
+from repro.model.ratings import (
+    Asil,
+    Controllability,
+    Exposure,
+    FailureMode,
+    Severity,
+)
+
+__all__ = [
+    "ASIL_TABLE",
+    "Asil",
+    "Controllability",
+    "Exposure",
+    "FailureMode",
+    "Hara",
+    "Severity",
+    "decompose",
+    "determine_asil",
+    "hara_from_dict",
+    "hara_to_dict",
+    "highest_asil",
+    "load_hara",
+    "save_hara",
+]

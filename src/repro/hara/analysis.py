@@ -1,0 +1,298 @@
+"""The HARA engine: functions x guidewords -> ratings -> safety goals.
+
+Reproduces the analysis of paper §II-C / §III-B: every function under
+analysis is examined against the eight failure-mode guidewords; each
+examination either yields a rated hazardous event (S/E/C -> ASIL) or is
+recorded as not applicable.  Safety-relevant ratings (ASIL A-D) are then
+grouped into safety goals.
+
+The engine *derives* the ASIL itself (via :func:`repro.hara.asil
+.determine_asil`); callers supply only S, E and C.  This is what makes the
+reproduced use-case statistics (§IV) checkable: the paper's reported ASIL
+distributions must fall out of the encoded S/E/C inputs, not be asserted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+
+from repro.errors import ValidationError
+from repro.hara.asil import determine_asil, highest_asil
+from repro.model.identifiers import next_id
+from repro.model.ratings import (
+    Asil,
+    Controllability,
+    Exposure,
+    FailureMode,
+    Severity,
+)
+from repro.model.safety import (
+    HazardRating,
+    SafetyConcern,
+    SafetyGoal,
+    VehicleFunction,
+)
+
+
+@dataclasses.dataclass
+class Hara:
+    """A Hazard Analysis and Risk Assessment for one item/use case.
+
+    Typical use::
+
+        hara = Hara(name="Use Case I")
+        fn = hara.add_function("Rat01", "Hazardous location notifications")
+        hara.rate(
+            fn, FailureMode.NO,
+            hazard="The driver can not be warned ...",
+            hazardous_event="Crash into road works",
+            severity=Severity.S3, exposure=Exposure.E3,
+            controllability=Controllability.C3,
+        )
+        goal = hara.derive_goal(
+            "Avoid ineffective location notification ...",
+            from_functions=["Rat01"],
+        )
+
+    Attributes:
+        name: Analysis name, usually the use case.
+    """
+
+    name: str
+    _functions: dict[str, VehicleFunction] = dataclasses.field(
+        default_factory=dict
+    )
+    _ratings: list[HazardRating] = dataclasses.field(default_factory=list)
+    _goals: dict[str, SafetyGoal] = dataclasses.field(default_factory=dict)
+
+    # -- functions ------------------------------------------------------
+
+    def add_function(
+        self, identifier: str, name: str, description: str = ""
+    ) -> VehicleFunction:
+        """Register a function under analysis and return it.
+
+        Raises:
+            ValidationError: on duplicate function identifiers.
+        """
+        if identifier in self._functions:
+            raise ValidationError(
+                f"HARA {self.name!r}: function {identifier} already registered"
+            )
+        function = VehicleFunction(
+            identifier=identifier, name=name, description=description
+        )
+        self._functions[identifier] = function
+        return function
+
+    def function(self, identifier: str) -> VehicleFunction:
+        """Look up a registered function by identifier."""
+        if identifier not in self._functions:
+            raise ValidationError(
+                f"HARA {self.name!r}: unknown function {identifier}"
+            )
+        return self._functions[identifier]
+
+    @property
+    def functions(self) -> tuple[VehicleFunction, ...]:
+        """All registered functions, in registration order."""
+        return tuple(self._functions.values())
+
+    # -- ratings --------------------------------------------------------
+
+    def rate(
+        self,
+        function: VehicleFunction | str,
+        failure_mode: FailureMode,
+        hazard: str,
+        severity: Severity,
+        exposure: Exposure,
+        controllability: Controllability,
+        hazardous_event: str = "",
+        rationale: str = "",
+    ) -> HazardRating:
+        """Rate one hazardous event; the ASIL is computed, not supplied.
+
+        A (function, guideword) pair may be rated several times -- the
+        paper's UC I produced 29 ratings from 3 functions because "failure
+        modes may lead to more than one failure".
+        """
+        resolved = self._resolve(function)
+        rating = HazardRating(
+            function=resolved,
+            failure_mode=failure_mode,
+            hazard=hazard,
+            hazardous_event=hazardous_event,
+            severity=severity,
+            exposure=exposure,
+            controllability=controllability,
+            asil=determine_asil(severity, exposure, controllability),
+            rationale=rationale,
+        )
+        self._ratings.append(rating)
+        return rating
+
+    def rate_not_applicable(
+        self,
+        function: VehicleFunction | str,
+        failure_mode: FailureMode,
+        reason: str,
+    ) -> HazardRating:
+        """Record that a guideword produces no hazardous event (an N/A row)."""
+        resolved = self._resolve(function)
+        rating = HazardRating(
+            function=resolved,
+            failure_mode=failure_mode,
+            hazard=reason,
+            asil=Asil.NOT_APPLICABLE,
+            rationale=reason,
+        )
+        self._ratings.append(rating)
+        return rating
+
+    @property
+    def ratings(self) -> tuple[HazardRating, ...]:
+        """All ratings, in analysis order."""
+        return tuple(self._ratings)
+
+    def ratings_for(self, function: VehicleFunction | str) -> tuple[HazardRating, ...]:
+        """The ratings recorded for one function."""
+        resolved = self._resolve(function)
+        return tuple(
+            rating
+            for rating in self._ratings
+            if rating.function.identifier == resolved.identifier
+        )
+
+    def asil_distribution(self) -> dict[Asil, int]:
+        """Count ratings per ASIL class -- the statistic §IV reports.
+
+        Every ASIL class appears as a key (zero counts included) so the
+        distribution always has the same shape.
+        """
+        counts = Counter(rating.asil for rating in self._ratings)
+        return {asil: counts.get(asil, 0) for asil in Asil}
+
+    def uncovered_guidewords(
+        self, function: VehicleFunction | str
+    ) -> tuple[FailureMode, ...]:
+        """Guidewords not yet applied to a function (completeness aid, RQ1).
+
+        The guideword approach argues completeness by examining *every*
+        failure mode for every function; this reports what is still open.
+        """
+        resolved = self._resolve(function)
+        applied = {
+            rating.failure_mode
+            for rating in self.ratings_for(resolved)
+        }
+        return tuple(mode for mode in FailureMode if mode not in applied)
+
+    def is_guideword_complete(self) -> bool:
+        """True when every function has every guideword examined."""
+        return all(
+            not self.uncovered_guidewords(function)
+            for function in self._functions.values()
+        )
+
+    # -- safety goals ---------------------------------------------------
+
+    def derive_goal(
+        self,
+        name: str,
+        from_functions: list[str],
+        safe_state: str = "",
+        ftti_ms: int | None = None,
+        identifier: str | None = None,
+    ) -> SafetyGoal:
+        """Create a safety goal covering the given functions' hazards.
+
+        The goal's ASIL is the highest ASIL among the safety-relevant
+        ratings of the referenced functions.
+
+        Raises:
+            ValidationError: when no referenced rating is safety-relevant
+                (QM/N-A hazards yield no safety goal) or a function is
+                unknown.
+        """
+        relevant: list[Asil] = []
+        for function_id in from_functions:
+            self.function(function_id)
+            relevant.extend(
+                rating.asil
+                for rating in self.ratings_for(function_id)
+                if rating.asil.is_safety_relevant
+            )
+        if not relevant:
+            raise ValidationError(
+                f"HARA {self.name!r}: no safety-relevant rating under "
+                f"functions {from_functions}; cannot derive a safety goal"
+            )
+        goal = SafetyGoal(
+            identifier=identifier or next_id(set(self._goals), "SG"),
+            name=name,
+            asil=highest_asil(relevant),
+            safe_state=safe_state,
+            ftti_ms=ftti_ms,
+            hazard_refs=tuple(from_functions),
+        )
+        return self.add_goal(goal)
+
+    def add_goal(self, goal: SafetyGoal) -> SafetyGoal:
+        """Register an externally constructed safety goal.
+
+        Used when encoding published analyses whose goal ASILs are given
+        directly (e.g. the paper's SG01..SG06 for UC I).
+        """
+        if goal.identifier in self._goals:
+            raise ValidationError(
+                f"HARA {self.name!r}: safety goal {goal.identifier} exists"
+            )
+        self._goals[goal.identifier] = goal
+        return goal
+
+    def goal(self, identifier: str) -> SafetyGoal:
+        """Look up a safety goal by identifier."""
+        if identifier not in self._goals:
+            raise ValidationError(
+                f"HARA {self.name!r}: unknown safety goal {identifier}"
+            )
+        return self._goals[identifier]
+
+    @property
+    def safety_goals(self) -> tuple[SafetyGoal, ...]:
+        """All safety goals, in creation order."""
+        return tuple(self._goals.values())
+
+    def concerns(self) -> tuple[SafetyConcern, ...]:
+        """Derive one safety concern (test objective) per safety goal.
+
+        The concern's accident text is synthesised from the hazards of the
+        ratings the goal references; the critical situation is left to the
+        use case to refine.
+        """
+        results: list[SafetyConcern] = []
+        for goal in self._goals.values():
+            hazards = [
+                rating.hazardous_event or rating.hazard
+                for function_id in goal.hazard_refs
+                for rating in self.ratings_for(function_id)
+                if rating.asil.is_safety_relevant
+            ]
+            accident = "; ".join(dict.fromkeys(hazard for hazard in hazards if hazard))
+            results.append(
+                SafetyConcern(
+                    goal=goal,
+                    accident=accident or f"Violation of {goal.identifier}",
+                )
+            )
+        return tuple(results)
+
+    # -- internals ------------------------------------------------------
+
+    def _resolve(self, function: VehicleFunction | str) -> VehicleFunction:
+        """Accept a function object or identifier; return the registered one."""
+        if isinstance(function, VehicleFunction):
+            return self.function(function.identifier)
+        return self.function(function)

@@ -1,0 +1,91 @@
+"""ASIL determination per ISO 26262-3:2018, Table 4.
+
+The HARA rates each hazardous event for Severity (S), Exposure (E) and
+Controllability (C); the three together determine the ASIL.  The normative
+table follows a regular structure: with all three classes at least 1, the
+ASIL depends only on the *sum* S+E+C::
+
+    sum <= 6 -> QM      sum == 7 -> ASIL A    sum == 8 -> ASIL B
+    sum == 9 -> ASIL C  sum == 10 -> ASIL D
+
+and any class of 0 (S0 "no injuries", E0 "incredible", C0 "controllable in
+general") yields QM directly.  We build the explicit 3x4x3 table from that
+rule once at import time and expose both the table and the function, so
+tests can cross-check spot values from the standard against the rule.
+"""
+
+from __future__ import annotations
+
+from repro.model.ratings import Asil, Controllability, Exposure, Severity
+
+_SUM_TO_ASIL = {7: Asil.A, 8: Asil.B, 9: Asil.C, 10: Asil.D}
+
+
+def determine_asil(
+    severity: Severity,
+    exposure: Exposure,
+    controllability: Controllability,
+) -> Asil:
+    """Return the ASIL for an (S, E, C) rating per ISO 26262-3 Table 4.
+
+    >>> determine_asil(Severity.S3, Exposure.E3, Controllability.C3)
+    <Asil.C: 'ASIL C'>
+    >>> determine_asil(Severity.S3, Exposure.E4, Controllability.C3)
+    <Asil.D: 'ASIL D'>
+    """
+    if severity is Severity.S0:
+        return Asil.QM
+    if exposure is Exposure.E0:
+        return Asil.QM
+    if controllability is Controllability.C0:
+        return Asil.QM
+    total = int(severity) + int(exposure) + int(controllability)
+    return _SUM_TO_ASIL.get(total, Asil.QM)
+
+
+#: The explicit determination table, keyed by (S, E, C), covering S1-S3,
+#: E1-E4, C1-C3 -- the cells ISO 26262-3 Table 4 prints.
+ASIL_TABLE: dict[tuple[Severity, Exposure, Controllability], Asil] = {
+    (severity, exposure, controllability): determine_asil(
+        severity, exposure, controllability
+    )
+    for severity in (Severity.S1, Severity.S2, Severity.S3)
+    for exposure in (Exposure.E1, Exposure.E2, Exposure.E3, Exposure.E4)
+    for controllability in (
+        Controllability.C1,
+        Controllability.C2,
+        Controllability.C3,
+    )
+}
+
+
+def highest_asil(values: list[Asil]) -> Asil:
+    """The most demanding ASIL in ``values`` (QM when the list is empty).
+
+    Used when one safety goal covers several hazard ratings: the goal
+    inherits the highest ASIL among them.
+    """
+    result = Asil.QM
+    for value in values:
+        if value > result:
+            result = value
+    return result
+
+
+def decompose(asil: Asil) -> tuple[tuple[Asil, Asil], ...]:
+    """ASIL decomposition pairs per ISO 26262-9 clause 5.
+
+    Returns the permitted decompositions of ``asil`` into two redundant
+    requirements (order-insensitive, listed once with the higher first).
+    QM and N/A decompose to nothing.
+
+    >>> decompose(Asil.D)
+    ((<Asil.C: 'ASIL C'>, <Asil.A: 'ASIL A'>), (<Asil.B: 'ASIL B'>, <Asil.B: 'ASIL B'>), (<Asil.D: 'ASIL D'>, <Asil.QM: 'QM'>))
+    """
+    table: dict[Asil, tuple[tuple[Asil, Asil], ...]] = {
+        Asil.D: ((Asil.C, Asil.A), (Asil.B, Asil.B), (Asil.D, Asil.QM)),
+        Asil.C: ((Asil.B, Asil.A), (Asil.C, Asil.QM)),
+        Asil.B: ((Asil.A, Asil.A), (Asil.B, Asil.QM)),
+        Asil.A: ((Asil.A, Asil.QM),),
+    }
+    return table.get(asil, ())

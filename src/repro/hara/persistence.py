@@ -1,0 +1,120 @@
+"""JSON persistence for HARA documents.
+
+A HARA is a reviewed, versioned work product; like the threat library it
+must survive round trips through a text format.  The document layout::
+
+    {
+      "name": "...",
+      "functions": [...],
+      "ratings": [...],
+      "safety_goals": [...]
+    }
+
+On load, every rated row's stored ASIL is re-derived from its S/E/C
+values and must match -- a tampered or hand-edited document that breaks
+the ISO 26262 determination is rejected, not silently accepted.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.hara.analysis import Hara
+from repro.hara.asil import determine_asil
+from repro.model.serialization import (
+    hazard_rating_from_dict,
+    hazard_rating_to_dict,
+    safety_goal_from_dict,
+    safety_goal_to_dict,
+    vehicle_function_to_dict,
+)
+
+
+def hara_to_dict(hara: Hara) -> dict[str, Any]:
+    """Encode a HARA as a JSON-compatible document."""
+    return {
+        "name": hara.name,
+        "functions": [
+            vehicle_function_to_dict(function) for function in hara.functions
+        ],
+        "ratings": [
+            hazard_rating_to_dict(rating) for rating in hara.ratings
+        ],
+        "safety_goals": [
+            safety_goal_to_dict(goal) for goal in hara.safety_goals
+        ],
+    }
+
+
+def hara_from_dict(payload: dict[str, Any]) -> Hara:
+    """Decode a HARA document, re-validating every derived ASIL.
+
+    Raises:
+        SerializationError: on malformed documents or when a stored ASIL
+            disagrees with the ISO 26262 determination of its S/E/C row.
+    """
+    if "name" not in payload:
+        raise SerializationError("HARA document: missing 'name'")
+    hara = Hara(name=payload["name"])
+    for function_payload in payload.get("functions", []):
+        hara.add_function(
+            identifier=function_payload.get("id", ""),
+            name=function_payload.get("name", ""),
+            description=function_payload.get("description", ""),
+        )
+    for rating_payload in payload.get("ratings", []):
+        rating = hazard_rating_from_dict(rating_payload)
+        if rating.is_rated:
+            assert rating.severity is not None
+            assert rating.exposure is not None
+            assert rating.controllability is not None
+            derived = determine_asil(
+                rating.severity, rating.exposure, rating.controllability
+            )
+            if derived is not rating.asil:
+                raise SerializationError(
+                    f"HARA {hara.name!r}: stored ASIL {rating.asil.value} "
+                    f"contradicts the S/E/C determination "
+                    f"({derived.value}) for "
+                    f"{rating.function.identifier}/"
+                    f"{rating.failure_mode.value}"
+                )
+            hara.rate(
+                rating.function.identifier,
+                rating.failure_mode,
+                hazard=rating.hazard,
+                severity=rating.severity,
+                exposure=rating.exposure,
+                controllability=rating.controllability,
+                hazardous_event=rating.hazardous_event,
+                rationale=rating.rationale,
+            )
+        else:
+            hara.rate_not_applicable(
+                rating.function.identifier,
+                rating.failure_mode,
+                reason=rating.rationale or rating.hazard,
+            )
+    for goal_payload in payload.get("safety_goals", []):
+        hara.add_goal(safety_goal_from_dict(goal_payload))
+    return hara
+
+
+def save_hara(hara: Hara, path: str | Path) -> None:
+    """Write a HARA to ``path`` as pretty-printed JSON."""
+    document = json.dumps(hara_to_dict(hara), indent=2)
+    Path(path).write_text(document + "\n", encoding="utf-8")
+
+
+def load_hara(path: str | Path) -> Hara:
+    """Read a HARA from a JSON file (re-deriving and checking ASILs)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError(f"{path}: expected a JSON object")
+    return hara_from_dict(payload)

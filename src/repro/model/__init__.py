@@ -1,0 +1,77 @@
+"""Core data model of the SaSeVAL reproduction.
+
+This package defines the value types every other subpackage builds on:
+scenarios, assets, threat scenarios, STRIDE threat types, attack types,
+HARA ratings, safety goals/concerns and attack descriptions -- plus typed
+identifier helpers and JSON serialization.
+
+The model layer has no dependencies beyond :mod:`repro.errors`; analysis
+logic (ASIL determination, STRIDE mappings, risk matrices) lives in the
+dedicated subpackages :mod:`repro.hara`, :mod:`repro.stride` and
+:mod:`repro.tara`.
+"""
+
+from repro.model.asset import Asset, AssetGroup, AssetRelevance
+from repro.model.attack import (
+    AttackCategory,
+    AttackDescription,
+    ThreatLink,
+)
+from repro.model.identifiers import (
+    attack_id,
+    function_id,
+    next_id,
+    safety_goal_id,
+    threat_scenario_id,
+)
+from repro.model.ratings import (
+    Asil,
+    CalLevel,
+    Controllability,
+    Exposure,
+    FailureMode,
+    FeasibilityRating,
+    ImpactRating,
+    RiskLevel,
+    Severity,
+)
+from repro.model.safety import (
+    HazardRating,
+    SafetyConcern,
+    SafetyGoal,
+    VehicleFunction,
+)
+from repro.model.scenario import Scenario, SubScenario
+from repro.model.threat import AttackType, StrideType, ThreatScenario
+
+__all__ = [
+    "Asset",
+    "AssetGroup",
+    "AssetRelevance",
+    "AttackCategory",
+    "AttackDescription",
+    "AttackType",
+    "Asil",
+    "CalLevel",
+    "Controllability",
+    "Exposure",
+    "FailureMode",
+    "FeasibilityRating",
+    "HazardRating",
+    "ImpactRating",
+    "RiskLevel",
+    "SafetyConcern",
+    "SafetyGoal",
+    "Scenario",
+    "Severity",
+    "StrideType",
+    "SubScenario",
+    "ThreatLink",
+    "ThreatScenario",
+    "VehicleFunction",
+    "attack_id",
+    "function_id",
+    "next_id",
+    "safety_goal_id",
+    "threat_scenario_id",
+]

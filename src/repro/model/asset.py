@@ -1,0 +1,138 @@
+"""Assets, asset groups and asset types (paper §III-A1, Tables II & V).
+
+The number of assets per scenario "could be significant", so the paper
+classifies them two ways:
+
+* **Asset groups** -- coarse kinds with common properties ("cloud services,
+  devices, hardware, software, information, person, server, service").
+  An asset may belong to several groups: Table II lists "ECU" as
+  "Hardware / Software" and "V2X communications" as "Information /
+  Hardware".
+* **Asset types** -- relevance classes used for test-space reduction (RQ2):
+  generic assets, use-case-specific assets, assets generic for current
+  vehicles (highest priority), generic for ADAS/AD vehicles, generic for
+  connected vehicles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ValidationError
+
+
+class AssetGroup(enum.Enum):
+    """Coarse classification of assets (paper §III-A1)."""
+
+    CLOUD_SERVICE = "Cloud service"
+    DEVICE = "Device"
+    HARDWARE = "Hardware"
+    SOFTWARE = "Software"
+    INFORMATION = "Information"
+    PERSON = "Person"
+    SERVER = "Server"
+    SERVICE = "Service"
+
+    @classmethod
+    def from_label(cls, label: str) -> "AssetGroup":
+        """Parse a group label case-insensitively ("hardware" -> HARDWARE)."""
+        normalized = label.strip().lower()
+        for member in cls:
+            if member.value.lower() == normalized:
+                return member
+        raise ValueError(f"unknown asset group: {label!r}")
+
+
+class AssetRelevance(enum.Enum):
+    """Asset types used to limit threat analysis scope (§III-A2, RQ2).
+
+    Ordered by the priority the paper assigns: assets generic for all
+    current vehicles have "the highest priority".
+    """
+
+    GENERIC = "Generic asset"
+    USE_CASE = "Interesting from a certain use case's perspective"
+    GENERIC_CURRENT_VEHICLE = "Generic for current vehicles"
+    GENERIC_ADAS_AD = "Generic for ADAS/AD vehicles"
+    GENERIC_CONNECTED = "Generic for connected vehicles"
+
+    @property
+    def priority(self) -> int:
+        """Analysis priority, higher = analysed first (RQ2)."""
+        return _RELEVANCE_PRIORITY[self]
+
+
+_RELEVANCE_PRIORITY = {
+    AssetRelevance.GENERIC_CURRENT_VEHICLE: 5,
+    AssetRelevance.GENERIC_ADAS_AD: 4,
+    AssetRelevance.GENERIC_CONNECTED: 3,
+    AssetRelevance.GENERIC: 2,
+    AssetRelevance.USE_CASE: 1,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Asset:
+    """Something of value an attacker may target (one row of Table II).
+
+    Attributes:
+        name: Unique asset name within a scenario, e.g. ``"Gateway"``.
+        groups: One or more :class:`AssetGroup` classifications.
+        relevance: The :class:`AssetRelevance` type used for scoping (RQ2).
+        description: Optional free text.
+        interfaces: Names of the interfaces through which the asset can be
+            reached (e.g. ``("OBU", "RSU")`` for V2X communications).  The
+            attack description names the interface to attack (§III-C).
+    """
+
+    name: str
+    groups: frozenset[AssetGroup]
+    relevance: AssetRelevance = AssetRelevance.GENERIC
+    description: str = ""
+    interfaces: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("asset name must not be empty")
+        if not self.groups:
+            raise ValidationError(
+                f"asset {self.name!r} must belong to at least one asset group"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        *groups: AssetGroup,
+        relevance: AssetRelevance = AssetRelevance.GENERIC,
+        description: str = "",
+        interfaces: tuple[str, ...] = (),
+    ) -> "Asset":
+        """Convenience constructor taking groups as varargs.
+
+        >>> Asset.of("Gateway", AssetGroup.HARDWARE).group_label
+        'Hardware'
+        """
+        return cls(
+            name=name,
+            groups=frozenset(groups),
+            relevance=relevance,
+            description=description,
+            interfaces=interfaces,
+        )
+
+    @property
+    def group_label(self) -> str:
+        """Groups rendered as in Table II, e.g. ``"Hardware/ Software"``.
+
+        Groups are joined with ``"/ "`` in enum-definition order so output
+        is deterministic.
+        """
+        ordered = [group for group in AssetGroup if group in self.groups]
+        return "/ ".join(group.value for group in ordered)
+
+    @property
+    def priority(self) -> int:
+        """Shortcut to the relevance priority (RQ2 ordering key)."""
+        return self.relevance.priority

@@ -1,0 +1,169 @@
+"""Attack descriptions -- the primary output artifact of SaSeVAL (§III-C).
+
+An attack description "operates on the concept level": it is a structured,
+natural-language specification that names the safety goal(s) and threat
+scenario addressed and gives a tester everything needed to later implement
+the attack.  Tables VI and VII of the paper show two complete instances
+(AD20 -- packet flooding against the OBU/RSU interface; AD08 -- modified
+keys against the keyless-entry gateway); :class:`AttackDescription` mirrors
+their row structure field by field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ValidationError
+from repro.model.identifiers import (
+    require_attack_id,
+    require_safety_goal_id,
+    require_threat_scenario_id,
+)
+from repro.model.threat import AttackType, StrideType
+
+
+class AttackCategory(enum.Enum):
+    """Impact category of an attack description.
+
+    The paper's UC II found "27 possible attacks with safety critical
+    impact and additionally two attacks, which deal with privacy issues",
+    so the category distinguishes safety-impacting from privacy-impacting
+    attacks (the proposed future extension).
+    """
+
+    SAFETY = "safety"
+    PRIVACY = "privacy"
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreatLink:
+    """The explicit trace from an attack description into the threat library.
+
+    Table VI renders this as "Link to Threat Library -- Threat scenario
+    2.1.4: An attacker alters the functioning of the Vehicle Gateway ...".
+
+    Attributes:
+        threat_scenario_id: Dotted identifier of the linked threat scenario.
+        text: The threat-scenario statement, repeated for self-containment.
+    """
+
+    threat_scenario_id: str
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        require_threat_scenario_id(self.threat_scenario_id)
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackDescription:
+    """A concept-level attack specification (Tables VI / VII).
+
+    Field-by-field correspondence with the paper's attack-description
+    template (§III-C):
+
+    ==========================  =============================================
+    Paper row                   Attribute
+    ==========================  =============================================
+    Attack Description          ``identifier`` + ``description``
+    SG IDs / SG ID and Name     ``safety_goal_ids``
+    Interface / ECU             ``interface``
+    Link to Threat Library      ``threat_link``
+    Types                       ``stride`` (threat type) + ``attack_type``
+    Precondition                ``precondition``
+    Expected Measures           ``expected_measures``
+    Attack Success              ``attack_success``
+    Attack Fails                ``attack_fails``
+    Attack impl. comments       ``implementation_comments``
+    ==========================  =============================================
+
+    Attributes:
+        identifier: ``ADnn``.
+        description: Attack story, optionally including attacker motivation
+            and pursued goal.
+        safety_goal_ids: Safety goals whose violation the attack targets.
+            An attack may threaten several goals at once (AD20 targets
+            SG01, SG02 and SG03).  Privacy attacks may target none.
+        interface: The asset interface / ECU under attack ("OBU RSU",
+            "ECU_GW").
+        threat_link: Trace into the threat library.
+        stride: STRIDE threat type of the attack.
+        attack_type: The manifestation (Table IV attack type) applied.
+        precondition: "The situation in which the attack can get started" --
+            environment state or vehicle operational mode.
+        expected_measures: Security controls or safety fallbacks assumed to
+            react ("Message counter for broken messages").
+        attack_success: Criteria under which the attack succeeded -- this
+            "usually indicates how the safety goal is violated".
+        attack_fails: How a failed attack is detected -- "indicates a
+            non-vulnerable system".
+        implementation_comments: Guidance for the later executable
+            implementation.
+        category: Safety- or privacy-impacting.
+    """
+
+    identifier: str
+    description: str
+    safety_goal_ids: tuple[str, ...]
+    interface: str
+    threat_link: ThreatLink
+    stride: StrideType
+    attack_type: AttackType
+    precondition: str
+    expected_measures: str
+    attack_success: str
+    attack_fails: str
+    implementation_comments: str = ""
+    category: AttackCategory = AttackCategory.SAFETY
+
+    def __post_init__(self) -> None:
+        require_attack_id(self.identifier)
+        for goal_id in self.safety_goal_ids:
+            require_safety_goal_id(goal_id)
+        if len(set(self.safety_goal_ids)) != len(self.safety_goal_ids):
+            raise ValidationError(
+                f"{self.identifier}: duplicate safety goal reference"
+            )
+        if self.category is AttackCategory.SAFETY and not self.safety_goal_ids:
+            raise ValidationError(
+                f"{self.identifier}: a safety-impacting attack must name at "
+                "least one safety goal (this is the explicit safety trace "
+                "SaSeVAL exists to provide)"
+            )
+        if not self.description:
+            raise ValidationError(f"{self.identifier}: description is empty")
+        if self.attack_type.stride is not self.stride:
+            raise ValidationError(
+                f"{self.identifier}: attack type {self.attack_type.name!r} "
+                f"manifests {self.attack_type.stride.value}, but the attack "
+                f"declares threat type {self.stride.value} (Step 1.4 mapping "
+                "violated)"
+            )
+        for field_name in (
+            "precondition",
+            "expected_measures",
+            "attack_success",
+            "attack_fails",
+        ):
+            if not getattr(self, field_name):
+                raise ValidationError(
+                    f"{self.identifier}: {field_name} must be specified for "
+                    "reproducibility (RQ3)"
+                )
+
+    @property
+    def is_privacy_attack(self) -> bool:
+        """True for the privacy-impact attacks of §IV-B."""
+        return self.category is AttackCategory.PRIVACY
+
+    def targets_goal(self, safety_goal_id: str) -> bool:
+        """True when this attack targets the given safety goal."""
+        return safety_goal_id in self.safety_goal_ids
+
+    def summary(self) -> str:
+        """One-line summary: id, attack type, targeted goals."""
+        goals = ", ".join(self.safety_goal_ids) or "privacy"
+        return (
+            f"{self.identifier} [{self.attack_type.name} / "
+            f"{self.stride.value}] -> {goals}"
+        )

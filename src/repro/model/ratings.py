@@ -1,0 +1,234 @@
+"""Rating scales used by the safety and security analyses.
+
+The SaSeVAL process leans on two normative rating systems:
+
+* **ISO 26262** (functional safety): a hazardous event is rated for
+  *Severity* (S0-S3), *Exposure* (E0-E4) and *Controllability* (C0-C3);
+  those three determine the *ASIL* (QM, A, B, C, D).  The failure-mode
+  guidewords of the HARA (§II-C of the paper) are also defined here.
+* **ISO/SAE 21434** (cybersecurity): threats are rated for *impact* and
+  *attack feasibility*, which determine a risk level and a *CAL*
+  (cybersecurity assurance level, §II-B item 3).
+
+This module defines the *value types* only.  The determination tables
+(S/E/C -> ASIL, impact x feasibility -> risk) live in :mod:`repro.hara.asil`
+and :mod:`repro.tara.risk` respectively, keeping data and policy separate.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Severity(enum.IntEnum):
+    """ISO 26262 severity of harm (S0 = no injuries .. S3 = fatal)."""
+
+    S0 = 0
+    S1 = 1
+    S2 = 2
+    S3 = 3
+
+    @property
+    def meaning(self) -> str:
+        """Human-readable definition from ISO 26262-3 Table 1."""
+        return _SEVERITY_MEANINGS[self]
+
+
+class Exposure(enum.IntEnum):
+    """ISO 26262 probability of exposure to the operational situation."""
+
+    E0 = 0
+    E1 = 1
+    E2 = 2
+    E3 = 3
+    E4 = 4
+
+    @property
+    def meaning(self) -> str:
+        """Human-readable definition from ISO 26262-3 Table 2."""
+        return _EXPOSURE_MEANINGS[self]
+
+
+class Controllability(enum.IntEnum):
+    """ISO 26262 controllability of the hazardous event by the driver."""
+
+    C0 = 0
+    C1 = 1
+    C2 = 2
+    C3 = 3
+
+    @property
+    def meaning(self) -> str:
+        """Human-readable definition from ISO 26262-3 Table 3."""
+        return _CONTROLLABILITY_MEANINGS[self]
+
+
+_SEVERITY_MEANINGS = {
+    Severity.S0: "No injuries",
+    Severity.S1: "Light and moderate injuries",
+    Severity.S2: "Severe and life-threatening injuries (survival probable)",
+    Severity.S3: "Life-threatening injuries (survival uncertain), fatal injuries",
+}
+
+_EXPOSURE_MEANINGS = {
+    Exposure.E0: "Incredible",
+    Exposure.E1: "Very low probability",
+    Exposure.E2: "Low probability",
+    Exposure.E3: "Medium probability",
+    Exposure.E4: "High probability",
+}
+
+_CONTROLLABILITY_MEANINGS = {
+    Controllability.C0: "Controllable in general",
+    Controllability.C1: "Simply controllable",
+    Controllability.C2: "Normally controllable",
+    Controllability.C3: "Difficult to control or uncontrollable",
+}
+
+
+class Asil(enum.Enum):
+    """Automotive Safety Integrity Level, ordered QM < A < B < C < D.
+
+    ``NOT_APPLICABLE`` covers HARA rows the paper reports as "N/A" --
+    failure-mode/function combinations that do not produce a hazardous
+    event at all (e.g. "inverted" applied to a one-shot notification).
+    It is not an ISO 26262 level; it exists so the reproduction can report
+    the same rating distributions as §IV of the paper.
+    """
+
+    NOT_APPLICABLE = "N/A"
+    QM = "QM"
+    A = "ASIL A"
+    B = "ASIL B"
+    C = "ASIL C"
+    D = "ASIL D"
+
+    @property
+    def rank(self) -> int:
+        """Ordering key: N/A=-1, QM=0, A=1 .. D=4."""
+        return _ASIL_RANKS[self]
+
+    @property
+    def is_safety_relevant(self) -> bool:
+        """True for ASIL A-D; False for QM and N/A rows."""
+        return self.rank >= 1
+
+    def __lt__(self, other: "Asil") -> bool:
+        if not isinstance(other, Asil):
+            return NotImplemented
+        return self.rank < other.rank
+
+    def __le__(self, other: "Asil") -> bool:
+        if not isinstance(other, Asil):
+            return NotImplemented
+        return self.rank <= other.rank
+
+    def __gt__(self, other: "Asil") -> bool:
+        if not isinstance(other, Asil):
+            return NotImplemented
+        return self.rank > other.rank
+
+    def __ge__(self, other: "Asil") -> bool:
+        if not isinstance(other, Asil):
+            return NotImplemented
+        return self.rank >= other.rank
+
+    @classmethod
+    def from_label(cls, label: str) -> "Asil":
+        """Parse labels as they appear in the paper ("ASIL C", "C", "QM", "N/A", "No ASIL")."""
+        normalized = label.strip().upper()
+        if normalized in ("N/A", "NA", "NOT APPLICABLE"):
+            return cls.NOT_APPLICABLE
+        if normalized in ("QM", "NO ASIL", "NO-ASIL"):
+            return cls.QM
+        normalized = normalized.removeprefix("ASIL").strip()
+        for member in (cls.A, cls.B, cls.C, cls.D):
+            if normalized == member.name:
+                return member
+        raise ValueError(f"unknown ASIL label: {label!r}")
+
+
+_ASIL_RANKS = {
+    Asil.NOT_APPLICABLE: -1,
+    Asil.QM: 0,
+    Asil.A: 1,
+    Asil.B: 2,
+    Asil.C: 3,
+    Asil.D: 4,
+}
+
+
+class FailureMode(enum.Enum):
+    """HARA guidewords applied to each function (paper §II-C).
+
+    "The identified functions are rated for the failure modes No,
+    Unintended, too Early, too Late, Less, More, Inverted and
+    Intermittent."
+    """
+
+    NO = "No"
+    UNINTENDED = "Unintended"
+    TOO_EARLY = "too Early"
+    TOO_LATE = "too Late"
+    LESS = "Less"
+    MORE = "More"
+    INVERTED = "Inverted"
+    INTERMITTENT = "Intermittent"
+
+    @property
+    def guide_question(self) -> str:
+        """The analysis prompt each guideword poses for a function."""
+        return _GUIDE_QUESTIONS[self]
+
+
+_GUIDE_QUESTIONS = {
+    FailureMode.NO: "What if the function is not provided at all?",
+    FailureMode.UNINTENDED: "What if the function activates without demand?",
+    FailureMode.TOO_EARLY: "What if the function acts before it is needed?",
+    FailureMode.TOO_LATE: "What if the function acts after it is needed?",
+    FailureMode.LESS: "What if the function under-delivers (magnitude/extent)?",
+    FailureMode.MORE: "What if the function over-delivers (magnitude/extent)?",
+    FailureMode.INVERTED: "What if the function acts in the opposite direction?",
+    FailureMode.INTERMITTENT: "What if the function drops in and out?",
+}
+
+
+class ImpactRating(enum.IntEnum):
+    """ISO/SAE 21434 impact of a damage scenario (per impact category)."""
+
+    NEGLIGIBLE = 0
+    MODERATE = 1
+    MAJOR = 2
+    SEVERE = 3
+
+
+class FeasibilityRating(enum.IntEnum):
+    """ISO/SAE 21434 attack feasibility (attack-potential based), aggregated."""
+
+    VERY_LOW = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+
+class RiskLevel(enum.IntEnum):
+    """Cybersecurity risk value 1 (lowest) .. 5 (highest)."""
+
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+    R5 = 5
+
+
+class CalLevel(enum.IntEnum):
+    """Cybersecurity Assurance Level (ISO/SAE 21434 annex E), CAL1..CAL4.
+
+    The paper (§II-B item 3) uses the CAL to set "the necessary level of
+    testing"; :mod:`repro.core.prioritization` consumes it for RQ2.
+    """
+
+    CAL1 = 1
+    CAL2 = 2
+    CAL3 = 3
+    CAL4 = 4

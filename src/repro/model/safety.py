@@ -1,0 +1,189 @@
+"""Safety-side artifacts: hazardous events, safety goals, safety concerns.
+
+A HARA (paper §II-C, §III-B) rates each *function x failure mode* pair as a
+:class:`HazardRating`; safety-relevant ratings yield :class:`SafetyGoal`
+objects with an ASIL.  A :class:`SafetyConcern` packages a safety goal with
+the operational situation in which its violation has the highest impact --
+it is the *test objective* the validation must address (Step 2 output).
+
+The fault-tolerant time interval (FTTI) of ISO 26262 is attached to safety
+goals: "the counter measures of the SUT have a maximum time span to react
+and mitigate the imminent hazardous event".  The simulator's safety monitor
+(:mod:`repro.sim.monitor`) enforces it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ValidationError
+from repro.model.identifiers import (
+    require_function_id,
+    require_safety_goal_id,
+)
+from repro.model.ratings import (
+    Asil,
+    Controllability,
+    Exposure,
+    FailureMode,
+    Severity,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class VehicleFunction:
+    """A function considered by the HARA (e.g. "Road works warning").
+
+    Attributes:
+        identifier: HARA function id, e.g. ``Rat01``.
+        name: The function name as the paper prints it, e.g.
+            ``"Hazardous location notifications (Road works warning)"``.
+        description: Optional behaviour summary.
+    """
+
+    identifier: str
+    name: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        require_function_id(self.identifier)
+        if not self.name:
+            raise ValidationError(
+                f"function {self.identifier} must have a name"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class HazardRating:
+    """One HARA row: a function's failure mode with its E/S/C rating.
+
+    ``asil`` is *derived* by :func:`repro.hara.asil.determine_asil`; the
+    dataclass stores it so persisted analyses are self-contained, and the
+    HARA engine verifies consistency on ingestion.  Rows the analysis
+    deemed non-hazardous carry ``asil = Asil.NOT_APPLICABLE`` and no E/S/C.
+
+    Attributes:
+        function: The rated :class:`VehicleFunction`.
+        failure_mode: The guideword applied.
+        hazard: Natural-language hazard ("The driver can not be warned and
+            the automated control is not returned.").
+        hazardous_event: The event in traffic terms ("Crash into road
+            works").
+        severity/exposure/controllability: ISO 26262 ratings; ``None`` for
+            N/A rows.
+        asil: The resulting ASIL classification.
+        rationale: Free-text justification (the paper records e.g. "see
+            Statistics Road Works" for E=3).
+    """
+
+    function: VehicleFunction
+    failure_mode: FailureMode
+    hazard: str
+    hazardous_event: str = ""
+    severity: Severity | None = None
+    exposure: Exposure | None = None
+    controllability: Controllability | None = None
+    asil: Asil = Asil.NOT_APPLICABLE
+    rationale: str = ""
+
+    def __post_init__(self) -> None:
+        rated = (self.severity, self.exposure, self.controllability)
+        if self.asil is Asil.NOT_APPLICABLE:
+            if any(value is not None for value in rated):
+                raise ValidationError(
+                    "a N/A hazard rating must not carry S/E/C values "
+                    f"({self.function.identifier}/{self.failure_mode.value})"
+                )
+        else:
+            if any(value is None for value in rated):
+                raise ValidationError(
+                    "a rated hazard needs severity, exposure and "
+                    f"controllability ({self.function.identifier}/"
+                    f"{self.failure_mode.value})"
+                )
+
+    @property
+    def is_rated(self) -> bool:
+        """True when the row carries S/E/C values (i.e. is not N/A)."""
+        return self.asil is not Asil.NOT_APPLICABLE
+
+
+@dataclasses.dataclass(frozen=True)
+class SafetyGoal:
+    """A top-level safety requirement produced by the HARA.
+
+    Example from the paper: "SG01. Avoid ineffective location notification
+    without returning driving control to human (ASIL C)".
+
+    Attributes:
+        identifier: ``SGnn``.
+        name: The goal statement.
+        asil: The (highest) ASIL of the hazards this goal addresses.
+        safe_state: The state the vehicle must reach on malfunction
+            ("control returned to driver", "vehicle stays closed").
+        ftti_ms: Fault-tolerant time interval in milliseconds; the
+            maximum reaction time of counter-measures.  ``None`` when not
+            yet allocated (the paper notes FTTIs "could be difficult to
+            determine ... in practice").
+        hazard_refs: Function identifiers of the HARA rows this goal
+            covers, for traceability.
+    """
+
+    identifier: str
+    name: str
+    asil: Asil
+    safe_state: str = ""
+    ftti_ms: int | None = None
+    hazard_refs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        require_safety_goal_id(self.identifier)
+        if not self.name:
+            raise ValidationError(f"safety goal {self.identifier} needs a name")
+        if not self.asil.is_safety_relevant:
+            raise ValidationError(
+                f"safety goal {self.identifier} must carry ASIL A-D, "
+                f"got {self.asil.value} (QM/N-A hazards yield no safety goal)"
+            )
+        if self.ftti_ms is not None and self.ftti_ms <= 0:
+            raise ValidationError(
+                f"safety goal {self.identifier}: FTTI must be positive"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.identifier}. {self.name} ({self.asil.value})"
+
+
+@dataclasses.dataclass(frozen=True)
+class SafetyConcern:
+    """A test objective: a safety goal paired with its critical situation.
+
+    "The safety concern is determined via safety analysis.  It expresses
+    which kind of accident may happen, if it is not fulfilled.  It serves
+    as test objective that the validation should address." (§III-B)
+
+    Attributes:
+        goal: The safety goal whose violation the concern describes.
+        accident: What happens if the goal is violated.
+        critical_situation: The operational situation in which violation
+            has the highest safety impact; feeds attack preconditions.
+        expected_reaction: How the vehicle should react with appropriate
+            security controls in place.
+    """
+
+    goal: SafetyGoal
+    accident: str
+    critical_situation: str = ""
+    expected_reaction: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.accident:
+            raise ValidationError(
+                f"safety concern for {self.goal.identifier} must state the "
+                "accident that may happen"
+            )
+
+    @property
+    def asil(self) -> Asil:
+        """The ASIL inherited from the underlying safety goal."""
+        return self.goal.asil

@@ -1,0 +1,88 @@
+"""Driving scenarios and sub-scenarios (paper §III-A1, Table I).
+
+A *scenario* is a high-level operational story ("Road intersection", "Keep
+car secure for the whole vehicle product lifetime", "Advanced access to
+vehicle").  Each scenario is refined into *sub-scenarios* -- concrete
+situations an analysis can reason about (e.g. "An intersection with traffic
+lights is approached by a hijacked automated vehicle that has no intention
+to stop").
+
+Scenarios are the entry point of threat-library creation: Step 1.1 selects
+the useful ones, Step 1.2 studies them (with their assets) to enumerate
+threat scenarios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ValidationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SubScenario:
+    """A concrete situation within a scenario.
+
+    Attributes:
+        name: Short unique-within-scenario handle.
+        description: The natural-language situation text, as it would
+            appear in a scenario catalog row.
+    """
+
+    name: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("sub-scenario name must not be empty")
+        if not self.description:
+            raise ValidationError(f"sub-scenario {self.name!r} needs a description")
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A high-level driving/ownership scenario (one row group of Table I).
+
+    Attributes:
+        name: Unique scenario name, e.g. ``"Road intersection"``.
+        description: Optional summary of the scenario's intent.
+        sub_scenarios: The concrete situations refining this scenario.
+        domain: Application domain; the paper works in ``"automotive"`` but
+            states the approach generalises to other safety-critical
+            domains, so the field is free-form.
+    """
+
+    name: str
+    description: str = ""
+    sub_scenarios: tuple[SubScenario, ...] = ()
+    domain: str = "automotive"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("scenario name must not be empty")
+        seen: set[str] = set()
+        for sub in self.sub_scenarios:
+            if sub.name in seen:
+                raise ValidationError(
+                    f"scenario {self.name!r} has duplicate sub-scenario {sub.name!r}"
+                )
+            seen.add(sub.name)
+
+    def sub_scenario(self, name: str) -> SubScenario:
+        """Return the named sub-scenario.
+
+        Raises:
+            ValidationError: if no sub-scenario has that name.
+        """
+        for sub in self.sub_scenarios:
+            if sub.name == name:
+                return sub
+        raise ValidationError(
+            f"scenario {self.name!r} has no sub-scenario {name!r}"
+        )
+
+    def with_sub_scenario(self, sub: SubScenario) -> "Scenario":
+        """Return a copy of this scenario with ``sub`` appended."""
+        return dataclasses.replace(
+            self, sub_scenarios=self.sub_scenarios + (sub,)
+        )

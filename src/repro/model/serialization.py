@@ -1,0 +1,357 @@
+"""JSON (de)serialization for every model artifact.
+
+Attack descriptions, threat libraries and HARA results are process
+*documents* in SaSeVAL -- they are reviewed, versioned and handed between
+safety and security teams.  This module provides explicit, schema-stable
+dict representations for all model types so those documents can be stored
+as JSON and reloaded without loss.
+
+Design choices:
+
+* Explicit per-type functions rather than reflection magic: the wire format
+  is an interface, and accidental field renames must not silently change it.
+* Enums are stored by their *label* (the paper's vocabulary: ``"ASIL C"``,
+  ``"Spoofing"``), not by Python enum name, so the files read like the
+  paper's tables.
+* ``from_dict`` functions raise :class:`~repro.errors.SerializationError`
+  with the failing key path on malformed input.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.model.asset import Asset, AssetGroup, AssetRelevance
+from repro.model.attack import (
+    AttackCategory,
+    AttackDescription,
+    ThreatLink,
+)
+from repro.model.ratings import (
+    Asil,
+    Controllability,
+    Exposure,
+    FailureMode,
+    Severity,
+)
+from repro.model.safety import (
+    HazardRating,
+    SafetyConcern,
+    SafetyGoal,
+    VehicleFunction,
+)
+from repro.model.scenario import Scenario, SubScenario
+from repro.model.threat import AttackType, StrideType, ThreatScenario
+
+
+def _require(payload: dict[str, Any], key: str, context: str) -> Any:
+    """Fetch a mandatory key or raise a descriptive SerializationError."""
+    if key not in payload:
+        raise SerializationError(f"{context}: missing key {key!r}")
+    return payload[key]
+
+
+def _decode_enum(factory: Any, label: str, context: str) -> Any:
+    """Decode an enum label via its ``from_label``/value lookup."""
+    try:
+        if hasattr(factory, "from_label"):
+            return factory.from_label(label)
+        return factory(label)
+    except (ValueError, KeyError) as exc:
+        raise SerializationError(f"{context}: {exc}") from exc
+
+
+# -- scenarios ---------------------------------------------------------------
+
+def scenario_to_dict(scenario: Scenario) -> dict[str, Any]:
+    """Encode a :class:`Scenario` (with sub-scenarios) as a JSON dict."""
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "domain": scenario.domain,
+        "sub_scenarios": [
+            {"name": sub.name, "description": sub.description}
+            for sub in scenario.sub_scenarios
+        ],
+    }
+
+
+def scenario_from_dict(payload: dict[str, Any]) -> Scenario:
+    """Decode a :class:`Scenario` from its JSON dict."""
+    context = f"scenario {payload.get('name', '<unnamed>')!r}"
+    subs = tuple(
+        SubScenario(
+            name=_require(sub, "name", context),
+            description=_require(sub, "description", context),
+        )
+        for sub in payload.get("sub_scenarios", [])
+    )
+    return Scenario(
+        name=_require(payload, "name", "scenario"),
+        description=payload.get("description", ""),
+        sub_scenarios=subs,
+        domain=payload.get("domain", "automotive"),
+    )
+
+
+# -- assets ------------------------------------------------------------------
+
+def asset_to_dict(asset: Asset) -> dict[str, Any]:
+    """Encode an :class:`Asset` as a JSON dict (groups sorted for stability)."""
+    ordered_groups = [g.value for g in AssetGroup if g in asset.groups]
+    return {
+        "name": asset.name,
+        "groups": ordered_groups,
+        "relevance": asset.relevance.value,
+        "description": asset.description,
+        "interfaces": list(asset.interfaces),
+    }
+
+
+def asset_from_dict(payload: dict[str, Any]) -> Asset:
+    """Decode an :class:`Asset` from its JSON dict."""
+    context = f"asset {payload.get('name', '<unnamed>')!r}"
+    groups = frozenset(
+        _decode_enum(AssetGroup, label, context)
+        for label in _require(payload, "groups", context)
+    )
+    relevance_label = payload.get("relevance", AssetRelevance.GENERIC.value)
+    relevance = next(
+        (member for member in AssetRelevance if member.value == relevance_label),
+        None,
+    )
+    if relevance is None:
+        raise SerializationError(
+            f"{context}: unknown relevance {relevance_label!r}"
+        )
+    return Asset(
+        name=_require(payload, "name", "asset"),
+        groups=groups,
+        relevance=relevance,
+        description=payload.get("description", ""),
+        interfaces=tuple(payload.get("interfaces", [])),
+    )
+
+
+# -- threats -----------------------------------------------------------------
+
+def threat_scenario_to_dict(threat: ThreatScenario) -> dict[str, Any]:
+    """Encode a :class:`ThreatScenario` as a JSON dict."""
+    return {
+        "id": threat.identifier,
+        "text": threat.text,
+        "scenario": threat.scenario,
+        "asset": threat.asset,
+        "stride": [stride.value for stride in threat.stride],
+        "attack_examples": list(threat.attack_examples),
+    }
+
+
+def threat_scenario_from_dict(payload: dict[str, Any]) -> ThreatScenario:
+    """Decode a :class:`ThreatScenario` from its JSON dict."""
+    context = f"threat scenario {payload.get('id', '<unnumbered>')}"
+    stride = tuple(
+        _decode_enum(StrideType, label, context)
+        for label in _require(payload, "stride", context)
+    )
+    return ThreatScenario(
+        identifier=_require(payload, "id", "threat scenario"),
+        text=_require(payload, "text", context),
+        scenario=payload.get("scenario", ""),
+        asset=payload.get("asset", ""),
+        stride=stride,
+        attack_examples=tuple(payload.get("attack_examples", [])),
+    )
+
+
+def attack_type_to_dict(attack_type: AttackType) -> dict[str, Any]:
+    """Encode an :class:`AttackType` as a JSON dict."""
+    return {"name": attack_type.name, "stride": attack_type.stride.value}
+
+
+def attack_type_from_dict(payload: dict[str, Any]) -> AttackType:
+    """Decode an :class:`AttackType` from its JSON dict."""
+    context = f"attack type {payload.get('name', '<unnamed>')!r}"
+    return AttackType(
+        name=_require(payload, "name", "attack type"),
+        stride=_decode_enum(
+            StrideType, _require(payload, "stride", context), context
+        ),
+    )
+
+
+# -- safety ------------------------------------------------------------------
+
+def vehicle_function_to_dict(function: VehicleFunction) -> dict[str, Any]:
+    """Encode a :class:`VehicleFunction` as a JSON dict."""
+    return {
+        "id": function.identifier,
+        "name": function.name,
+        "description": function.description,
+    }
+
+
+def vehicle_function_from_dict(payload: dict[str, Any]) -> VehicleFunction:
+    """Decode a :class:`VehicleFunction` from its JSON dict."""
+    return VehicleFunction(
+        identifier=_require(payload, "id", "vehicle function"),
+        name=_require(payload, "name", "vehicle function"),
+        description=payload.get("description", ""),
+    )
+
+
+def hazard_rating_to_dict(rating: HazardRating) -> dict[str, Any]:
+    """Encode a :class:`HazardRating` as a JSON dict."""
+    return {
+        "function": vehicle_function_to_dict(rating.function),
+        "failure_mode": rating.failure_mode.value,
+        "hazard": rating.hazard,
+        "hazardous_event": rating.hazardous_event,
+        "severity": rating.severity.name if rating.severity else None,
+        "exposure": rating.exposure.name if rating.exposure else None,
+        "controllability": (
+            rating.controllability.name if rating.controllability else None
+        ),
+        "asil": rating.asil.value,
+        "rationale": rating.rationale,
+    }
+
+
+def hazard_rating_from_dict(payload: dict[str, Any]) -> HazardRating:
+    """Decode a :class:`HazardRating` from its JSON dict."""
+    context = "hazard rating"
+    failure_label = _require(payload, "failure_mode", context)
+    failure_mode = next(
+        (mode for mode in FailureMode if mode.value == failure_label), None
+    )
+    if failure_mode is None:
+        raise SerializationError(f"{context}: unknown guideword {failure_label!r}")
+
+    def decode_scale(factory: Any, key: str) -> Any:
+        label = payload.get(key)
+        if label is None:
+            return None
+        try:
+            return factory[label]
+        except KeyError as exc:
+            raise SerializationError(f"{context}: bad {key} {label!r}") from exc
+
+    return HazardRating(
+        function=vehicle_function_from_dict(_require(payload, "function", context)),
+        failure_mode=failure_mode,
+        hazard=_require(payload, "hazard", context),
+        hazardous_event=payload.get("hazardous_event", ""),
+        severity=decode_scale(Severity, "severity"),
+        exposure=decode_scale(Exposure, "exposure"),
+        controllability=decode_scale(Controllability, "controllability"),
+        asil=_decode_enum(Asil, _require(payload, "asil", context), context),
+        rationale=payload.get("rationale", ""),
+    )
+
+
+def safety_goal_to_dict(goal: SafetyGoal) -> dict[str, Any]:
+    """Encode a :class:`SafetyGoal` as a JSON dict."""
+    return {
+        "id": goal.identifier,
+        "name": goal.name,
+        "asil": goal.asil.value,
+        "safe_state": goal.safe_state,
+        "ftti_ms": goal.ftti_ms,
+        "hazard_refs": list(goal.hazard_refs),
+    }
+
+
+def safety_goal_from_dict(payload: dict[str, Any]) -> SafetyGoal:
+    """Decode a :class:`SafetyGoal` from its JSON dict."""
+    context = f"safety goal {payload.get('id', '<unnumbered>')}"
+    return SafetyGoal(
+        identifier=_require(payload, "id", "safety goal"),
+        name=_require(payload, "name", context),
+        asil=_decode_enum(Asil, _require(payload, "asil", context), context),
+        safe_state=payload.get("safe_state", ""),
+        ftti_ms=payload.get("ftti_ms"),
+        hazard_refs=tuple(payload.get("hazard_refs", [])),
+    )
+
+
+def safety_concern_to_dict(concern: SafetyConcern) -> dict[str, Any]:
+    """Encode a :class:`SafetyConcern` as a JSON dict."""
+    return {
+        "goal": safety_goal_to_dict(concern.goal),
+        "accident": concern.accident,
+        "critical_situation": concern.critical_situation,
+        "expected_reaction": concern.expected_reaction,
+    }
+
+
+def safety_concern_from_dict(payload: dict[str, Any]) -> SafetyConcern:
+    """Decode a :class:`SafetyConcern` from its JSON dict."""
+    context = "safety concern"
+    return SafetyConcern(
+        goal=safety_goal_from_dict(_require(payload, "goal", context)),
+        accident=_require(payload, "accident", context),
+        critical_situation=payload.get("critical_situation", ""),
+        expected_reaction=payload.get("expected_reaction", ""),
+    )
+
+
+# -- attack descriptions -----------------------------------------------------
+
+def attack_description_to_dict(attack: AttackDescription) -> dict[str, Any]:
+    """Encode an :class:`AttackDescription` as a JSON dict."""
+    return {
+        "id": attack.identifier,
+        "description": attack.description,
+        "safety_goal_ids": list(attack.safety_goal_ids),
+        "interface": attack.interface,
+        "threat_link": {
+            "threat_scenario_id": attack.threat_link.threat_scenario_id,
+            "text": attack.threat_link.text,
+        },
+        "stride": attack.stride.value,
+        "attack_type": attack_type_to_dict(attack.attack_type),
+        "precondition": attack.precondition,
+        "expected_measures": attack.expected_measures,
+        "attack_success": attack.attack_success,
+        "attack_fails": attack.attack_fails,
+        "implementation_comments": attack.implementation_comments,
+        "category": attack.category.value,
+    }
+
+
+def attack_description_from_dict(payload: dict[str, Any]) -> AttackDescription:
+    """Decode an :class:`AttackDescription` from its JSON dict."""
+    context = f"attack description {payload.get('id', '<unnumbered>')}"
+    link_payload = _require(payload, "threat_link", context)
+    category_label = payload.get("category", AttackCategory.SAFETY.value)
+    category = next(
+        (member for member in AttackCategory if member.value == category_label),
+        None,
+    )
+    if category is None:
+        raise SerializationError(f"{context}: unknown category {category_label!r}")
+    return AttackDescription(
+        identifier=_require(payload, "id", "attack description"),
+        description=_require(payload, "description", context),
+        safety_goal_ids=tuple(payload.get("safety_goal_ids", [])),
+        interface=_require(payload, "interface", context),
+        threat_link=ThreatLink(
+            threat_scenario_id=_require(
+                link_payload, "threat_scenario_id", context
+            ),
+            text=link_payload.get("text", ""),
+        ),
+        stride=_decode_enum(
+            StrideType, _require(payload, "stride", context), context
+        ),
+        attack_type=attack_type_from_dict(
+            _require(payload, "attack_type", context)
+        ),
+        precondition=_require(payload, "precondition", context),
+        expected_measures=_require(payload, "expected_measures", context),
+        attack_success=_require(payload, "attack_success", context),
+        attack_fails=_require(payload, "attack_fails", context),
+        implementation_comments=payload.get("implementation_comments", ""),
+        category=category,
+    )

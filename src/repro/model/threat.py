@@ -1,0 +1,144 @@
+"""Threat scenarios, STRIDE threat types and attack types (§III-A2..A4).
+
+The central chain of the threat library is::
+
+    scenario -> asset -> ThreatScenario -> StrideType -> AttackType
+
+A *threat scenario* is a natural-language statement of what could go wrong
+for an asset ("Spoofing of messages by impersonation").  Each is mapped to
+one (or more) *threat types* of the Microsoft STRIDE model, and each STRIDE
+type has a fixed set of *attack types* -- the concrete manifestations a
+tester can implement (Table IV).  This module holds the value types; the
+normative STRIDE->attack-type table lives in :mod:`repro.stride.mapping`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ValidationError
+from repro.model.identifiers import require_threat_scenario_id
+
+
+class StrideType(enum.Enum):
+    """The six Microsoft STRIDE threat types (Swiderski & Snyder 2004)."""
+
+    SPOOFING = "Spoofing"
+    TAMPERING = "Tampering"
+    REPUDIATION = "Repudiation"
+    INFORMATION_DISCLOSURE = "Information disclosure"
+    DENIAL_OF_SERVICE = "Denial of service"
+    ELEVATION_OF_PRIVILEGE = "Elevation of privilege"
+
+    @property
+    def violated_property(self) -> str:
+        """The security property each STRIDE type violates."""
+        return _VIOLATED_PROPERTIES[self]
+
+    @classmethod
+    def from_label(cls, label: str) -> "StrideType":
+        """Parse a threat-type label case-insensitively.
+
+        Accepts the full name and common short forms ("DoS", "EoP",
+        "Info disclosure").
+        """
+        normalized = label.strip().lower()
+        aliases = {
+            "dos": cls.DENIAL_OF_SERVICE,
+            "eop": cls.ELEVATION_OF_PRIVILEGE,
+            "info disclosure": cls.INFORMATION_DISCLOSURE,
+            "information disclosure": cls.INFORMATION_DISCLOSURE,
+            "elevation privilege": cls.ELEVATION_OF_PRIVILEGE,
+        }
+        if normalized in aliases:
+            return aliases[normalized]
+        for member in cls:
+            if member.value.lower() == normalized:
+                return member
+        raise ValueError(f"unknown STRIDE threat type: {label!r}")
+
+
+_VIOLATED_PROPERTIES = {
+    StrideType.SPOOFING: "Authenticity",
+    StrideType.TAMPERING: "Integrity",
+    StrideType.REPUDIATION: "Non-repudiability",
+    StrideType.INFORMATION_DISCLOSURE: "Confidentiality",
+    StrideType.DENIAL_OF_SERVICE: "Availability",
+    StrideType.ELEVATION_OF_PRIVILEGE: "Authorization",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackType:
+    """A manifestation of a STRIDE threat type (one cell of Table IV).
+
+    Attributes:
+        name: The attack-type name, e.g. ``"Fake messages"``, ``"Disable"``.
+        stride: The STRIDE threat type this attack type manifests.  A name
+            may appear under several STRIDE types (Table IV lists "Config.
+            change" under both Tampering and Information disclosure, and
+            "Illegal acquisition" under both Information disclosure and
+            Elevation of privilege); each (name, stride) pair is a distinct
+            :class:`AttackType`.
+    """
+
+    name: str
+    stride: StrideType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("attack type name must not be empty")
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.stride.value})"
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreatScenario:
+    """A natural-language threat statement for an asset (Table III row).
+
+    Attributes:
+        identifier: Dotted id as the paper uses ("2.1.4", "3.1.4").
+        text: The threat statement, e.g. "Spoofing of messages (e.g.
+            802.11p V2X) by impersonation".
+        scenario: Name of the scenario this threat was found in.
+        asset: Name of the targeted asset.
+        stride: STRIDE threat types this scenario maps to (Step 1.3).
+            Usually a single type; kept as a tuple because some statements
+            legitimately map to more than one.
+        attack_examples: Optional concrete example attacks (Table V's
+            right-most column).
+    """
+
+    identifier: str
+    text: str
+    scenario: str
+    asset: str
+    stride: tuple[StrideType, ...]
+    attack_examples: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        require_threat_scenario_id(self.identifier)
+        if not self.text:
+            raise ValidationError(
+                f"threat scenario {self.identifier} needs a text"
+            )
+        if not self.stride:
+            raise ValidationError(
+                f"threat scenario {self.identifier} must map to at least one "
+                "STRIDE threat type (Step 1.3 of threat-library creation)"
+            )
+        if len(set(self.stride)) != len(self.stride):
+            raise ValidationError(
+                f"threat scenario {self.identifier} lists a STRIDE type twice"
+            )
+
+    @property
+    def primary_stride(self) -> StrideType:
+        """The first (primary) STRIDE classification."""
+        return self.stride[0]
+
+    def describes(self, stride: StrideType) -> bool:
+        """True when this threat scenario maps to ``stride``."""
+        return stride in self.stride

@@ -1,0 +1,88 @@
+"""The automotive simulation substrate.
+
+The paper derives attack descriptions for later execution on real test
+stands; this package provides the simulated equivalent so the derived
+attacks can actually run: a deterministic discrete-event kernel
+(:mod:`~repro.sim.clock`), channels and messages with honest
+authentication (:mod:`~repro.sim.network`, :mod:`~repro.sim.crypto`),
+ECUs with admission control and finite capacity (:mod:`~repro.sim.ecu`),
+a CAN bus with arbitration and limited bandwidth (:mod:`~repro.sim.can`),
+V2X and BLE endpoints (:mod:`~repro.sim.v2x`, :mod:`~repro.sim.ble`),
+deployable security controls (:mod:`~repro.sim.controls`), attack
+injectors (:mod:`~repro.sim.attacks`), a safety monitor with FTTI
+deadlines (:mod:`~repro.sim.monitor`), and the two use-case scenario
+assemblies (:mod:`~repro.sim.scenarios`).
+"""
+
+from repro.sim.ble import (
+    AccessEcu,
+    DoorLock,
+    DoorLockEcu,
+    DoorState,
+    Smartphone,
+)
+from repro.sim.can import CanBus, make_frame
+from repro.sim.clock import EventHandle, SimClock
+from repro.sim.crypto import ChallengeResponse, KeyStore
+from repro.sim.ecu import Ecu, Gateway
+from repro.sim.events import EventBus, SimEvent
+from repro.sim.monitor import SafetyMonitor, Violation
+from repro.sim.network import Channel, Message
+from repro.sim.scenarios import (
+    CONTROL_AUTH,
+    CONTROL_COUNTER,
+    CONTROL_FLOOD,
+    CONTROL_LOCATION,
+    CONTROL_RANGE,
+    CONTROL_REPLAY,
+    CONTROL_WHITELIST,
+    UC1_ALL_CONTROLS,
+    UC2_ALL_CONTROLS,
+    ConstructionSiteScenario,
+    KeylessEntryScenario,
+    ScenarioResult,
+)
+from repro.sim.v2x import OnBoardUnit, RoadsideUnit
+from repro.sim.vehicle import Driver, DrivingMode, Vehicle
+from repro.sim.world import World, Zone
+
+__all__ = [
+    "AccessEcu",
+    "CONTROL_AUTH",
+    "CONTROL_COUNTER",
+    "CONTROL_FLOOD",
+    "CONTROL_LOCATION",
+    "CONTROL_RANGE",
+    "CONTROL_REPLAY",
+    "CONTROL_WHITELIST",
+    "CanBus",
+    "Channel",
+    "ChallengeResponse",
+    "ConstructionSiteScenario",
+    "DoorLock",
+    "DoorLockEcu",
+    "DoorState",
+    "Driver",
+    "DrivingMode",
+    "Ecu",
+    "EventBus",
+    "EventHandle",
+    "Gateway",
+    "KeyStore",
+    "KeylessEntryScenario",
+    "Message",
+    "OnBoardUnit",
+    "RoadsideUnit",
+    "SafetyMonitor",
+    "ScenarioResult",
+    "SimClock",
+    "SimEvent",
+    "Smartphone",
+    "UC1_ALL_CONTROLS",
+    "UC2_ALL_CONTROLS",
+    "Vehicle",
+    "Violation",
+    "World",
+    "Zone",
+    "make_frame",
+]

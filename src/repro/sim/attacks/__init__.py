@@ -1,0 +1,35 @@
+"""Attack injectors -- executable attack implementations (Step 4 inputs).
+
+Each injector corresponds to Table IV attack types:
+
+* :class:`~repro.sim.attacks.flooding.FloodingAttack` -- Denial of
+  service / "Disable", "Denial of service" (AD20),
+* :class:`~repro.sim.attacks.spoofing.SpoofingAttack` and
+  :class:`~repro.sim.attacks.spoofing.KeyForgeryAttack` -- Spoofing /
+  "Fake messages", "Spoofing" (AD08),
+* :class:`~repro.sim.attacks.replay.ReplayAttack` -- Repudiation /
+  "Replay",
+* :class:`~repro.sim.attacks.replay.EavesdropAttack` -- Information
+  disclosure / "Eavesdropping", "Listen",
+* :class:`~repro.sim.attacks.tampering.TamperingAttack` -- Tampering /
+  "Alter", "Corrupt messages",
+* :class:`~repro.sim.attacks.tampering.JammingAttack` -- Denial of
+  service / "Jamming".
+"""
+
+from repro.sim.attacks.base import AttackInjector
+from repro.sim.attacks.flooding import FloodingAttack
+from repro.sim.attacks.replay import EavesdropAttack, ReplayAttack
+from repro.sim.attacks.spoofing import KeyForgeryAttack, SpoofingAttack
+from repro.sim.attacks.tampering import JammingAttack, TamperingAttack
+
+__all__ = [
+    "AttackInjector",
+    "EavesdropAttack",
+    "FloodingAttack",
+    "JammingAttack",
+    "KeyForgeryAttack",
+    "ReplayAttack",
+    "SpoofingAttack",
+    "TamperingAttack",
+]

@@ -1,0 +1,60 @@
+"""Attack-injector framework.
+
+An injector is the executable counterpart of an attack description's
+*implementation comments*: it is attached to a channel of the simulated
+SUT and scheduled on the shared clock.  Injectors keep simple statistics
+(messages sent, window of activity) so test oracles can correlate SUT
+reactions with attacker activity.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.network import Channel, Message
+
+
+class AttackInjector(abc.ABC):
+    """Base class for all attack injectors.
+
+    Attributes:
+        name: Attacker identity / label.
+        channel: The channel the injector operates on.
+    """
+
+    def __init__(self, name: str, clock: SimClock, channel: Channel) -> None:
+        self.name = name
+        self.channel = channel
+        self._clock = clock
+        self.messages_sent = 0
+        self.started_at: float | None = None
+        self.ended_at: float | None = None
+
+    @abc.abstractmethod
+    def launch(self, start_ms: float) -> None:
+        """Schedule the attack to begin at ``start_ms`` (absolute time)."""
+
+    def _mark_start(self) -> None:
+        if self.started_at is None:
+            self.started_at = self._clock.now
+
+    def _mark_end(self) -> None:
+        self.ended_at = self._clock.now
+
+    def _emit(self, message: Message) -> None:
+        """Send one attack message and count it."""
+        self._mark_start()
+        self.channel.send(message)
+        self.messages_sent += 1
+
+    def _validate_window(self, start_ms: float, duration_ms: float) -> None:
+        if start_ms < self._clock.now:
+            raise SimulationError(
+                f"attack {self.name!r}: start {start_ms} ms is in the past"
+            )
+        if duration_ms <= 0:
+            raise SimulationError(
+                f"attack {self.name!r}: duration must be positive"
+            )

@@ -1,0 +1,104 @@
+"""Packet-flooding attack (AD20).
+
+"Attacker tries to overload the ECU by packet flooding. ...  Create an
+authenticated sender as attacker beside the original sender, additionally
+the attacker sender should send extra messages (with high frequency or in
+chaotic way)."
+
+The injector supports both halves of that implementation comment:
+
+* ``authenticated=True`` provisions the attacker in the keystore, so
+  sender authentication does *not* stop the flood -- only the flooding
+  detector's frequency analysis can,
+* ``chaotic=True`` varies the inter-message gap deterministically (a
+  fixed pattern of long/short gaps) instead of a constant rate, to probe
+  naive fixed-window detectors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.attacks.base import AttackInjector
+from repro.sim.clock import SimClock
+from repro.sim.crypto import KeyStore
+from repro.sim.network import Channel, Message
+
+#: Deterministic "chaotic" gap pattern (multipliers on the base interval).
+_CHAOTIC_PATTERN = (0.2, 1.7, 0.4, 0.1, 2.3, 0.6, 0.3, 1.1)
+
+
+class FloodingAttack(AttackInjector):
+    """Flood a channel with extra messages from one sender identity.
+
+    Attributes:
+        kind: Message kind to flood with (mimics legitimate traffic).
+        interval_ms: Base gap between messages (1/rate).
+        duration_ms: Attack window length.
+        authenticated: Sign messages with the attacker's provisioned key.
+        chaotic: Use the varying gap pattern instead of a constant rate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        channel: Channel,
+        kind: str,
+        interval_ms: float = 5.0,
+        duration_ms: float = 5000.0,
+        keystore: KeyStore | None = None,
+        authenticated: bool = True,
+        chaotic: bool = False,
+        payload_factory: Callable[[int], dict[str, Any]] | None = None,
+        location: str = "",
+    ) -> None:
+        super().__init__(name, clock, channel)
+        self.kind = kind
+        self.interval_ms = interval_ms
+        self.duration_ms = duration_ms
+        self.authenticated = authenticated
+        self.chaotic = chaotic
+        self.location = location
+        self._keystore = keystore
+        self._payload_factory = payload_factory or (lambda n: {"flood": n})
+        self._counter = 0
+        if authenticated:
+            if keystore is None:
+                raise ValueError(
+                    "authenticated flooding needs a keystore to provision "
+                    "the attacker identity in"
+                )
+            keystore.provision(name)
+
+    def launch(self, start_ms: float) -> None:
+        """Schedule the flood over [start_ms, start_ms + duration_ms]."""
+        self._validate_window(start_ms, self.duration_ms)
+        end = start_ms + self.duration_ms
+        self._clock.schedule_at(start_ms, lambda: self._burst(end, 0))
+
+    def _burst(self, end: float, step: int) -> None:
+        if self._clock.now > end:
+            self._mark_end()
+            return
+        self._send_one()
+        gap = self.interval_ms
+        if self.chaotic:
+            gap *= _CHAOTIC_PATTERN[step % len(_CHAOTIC_PATTERN)]
+        self._clock.schedule(
+            max(gap, 0.01), lambda: self._burst(end, step + 1)
+        )
+
+    def _send_one(self) -> None:
+        self._counter += 1
+        message = Message(
+            kind=self.kind,
+            sender=self.name,
+            payload=self._payload_factory(self._counter),
+            counter=self._counter,
+            location=self.location,
+        ).with_timestamp(self._clock.now)
+        if self.authenticated:
+            assert self._keystore is not None
+            message = message.signed(self._keystore)
+        self._emit(message)

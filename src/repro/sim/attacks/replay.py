@@ -1,0 +1,147 @@
+"""Replay and eavesdropping attacks.
+
+* :class:`ReplayAttack` -- captures traffic via a channel tap and re-sends
+  it verbatim later and/or on another channel.  Because the replayed
+  message keeps its original counter, timestamp and (valid!) MAC, sender
+  authentication passes -- only freshness checks (replay guard, message
+  counter) or location plausibility can stop it.  Cross-channel replay
+  models UC I's "warnings replayed from other locations or other
+  vehicles" (SG05).
+* :class:`EavesdropAttack` -- a purely passive tap building the usage
+  profile of §IV-B's privacy attacks ("attacks may create profiles about
+  the usage", SG06 "Avoid profile building with warnings").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.attacks.base import AttackInjector
+from repro.sim.clock import SimClock
+from repro.sim.network import Channel, Message
+
+
+class ReplayAttack(AttackInjector):
+    """Capture-and-replay of channel traffic.
+
+    Attributes:
+        capture_kinds: Message kinds worth recording (None = everything).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        channel: Channel,
+        capture_kinds: set[str] | None = None,
+    ) -> None:
+        super().__init__(name, clock, channel)
+        self.capture_kinds = capture_kinds
+        self.captured: list[Message] = []
+        self._seen_ids: set[int] = set()
+        channel.tap(self._capture)
+
+    def launch(self, start_ms: float) -> None:
+        """Capturing is armed at construction; launch is a no-op.
+
+        Use :meth:`replay` to schedule the actual re-sends.
+        """
+
+    def _capture(self, message: Message) -> None:
+        if message.unique_id in self._seen_ids:
+            return  # our own replay coming back around the tap
+        if self.capture_kinds is None or message.kind in self.capture_kinds:
+            self.captured.append(message)
+            self._seen_ids.add(message.unique_id)
+
+    def replay(
+        self,
+        at_ms: float,
+        index: int = -1,
+        count: int = 1,
+        gap_ms: float = 50.0,
+        via: Channel | None = None,
+    ) -> None:
+        """Schedule ``count`` verbatim re-sends of a captured message.
+
+        Args:
+            at_ms: Absolute start time; must leave time to capture first.
+            index: Which captured message (default: latest at replay time).
+            count: Number of re-sends.
+            gap_ms: Gap between re-sends.
+            via: Channel to replay on (default: the capture channel);
+                a different channel models replaying at another location /
+                towards another vehicle.
+        """
+        if count < 1:
+            raise SimulationError("replay count must be >= 1")
+        target = via or self.channel
+        for repetition in range(count):
+            self._clock.schedule_at(
+                at_ms + repetition * gap_ms,
+                lambda i=index, t=target: self._replay_one(i, t),
+            )
+
+    def _replay_one(self, index: int, target: Channel) -> None:
+        if not self.captured:
+            return  # nothing captured yet; the attack fizzles
+        try:
+            message = self.captured[index]
+        except IndexError:
+            return
+        self._mark_start()
+        # Verbatim: original counter, timestamp and MAC are preserved.
+        target.send(message)
+        self.messages_sent += 1
+
+
+class EavesdropAttack(AttackInjector):
+    """Passive profiling of channel traffic.
+
+    Records every observed message and derives a usage profile: counts per
+    message kind, per sender, and the observation times -- enough to show
+    that "attacks may create profiles about the usage" when traffic is
+    observable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        channel: Channel,
+        classifier: Callable[[Message], str] | None = None,
+    ) -> None:
+        super().__init__(name, clock, channel)
+        self._classifier = classifier or (lambda message: message.kind)
+        self.observations: list[tuple[float, str, str]] = []
+        channel.tap(self._observe)
+
+    def launch(self, start_ms: float) -> None:
+        """Passive attacks are armed at construction; launch is a no-op."""
+
+    def _observe(self, message: Message) -> None:
+        self._mark_start()
+        self.observations.append(
+            (self._clock.now, self._classifier(message), message.sender)
+        )
+
+    def profile(self) -> dict[str, dict[str, int]]:
+        """The derived usage profile.
+
+        Returns ``{"by_kind": {...}, "by_sender": {...}}`` observation
+        counts.  A non-trivial profile from an outsider position is the
+        success evidence of the privacy attacks.
+        """
+        by_kind: dict[str, int] = {}
+        by_sender: dict[str, int] = {}
+        for __, kind, sender in self.observations:
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            by_sender[sender] = by_sender.get(sender, 0) + 1
+        return {"by_kind": by_kind, "by_sender": by_sender}
+
+    def observed_activity_times(self, kind: str) -> tuple[float, ...]:
+        """Observation times of one message kind (usage pattern)."""
+        return tuple(
+            time for time, observed, __ in self.observations if observed == kind
+        )

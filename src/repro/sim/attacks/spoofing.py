@@ -1,0 +1,166 @@
+"""Spoofing attacks: forged senders, fake messages, key forgery (AD08).
+
+Two injectors:
+
+* :class:`SpoofingAttack` -- send messages claiming another identity
+  (without its key: the honest MAC cannot be produced) or fake content
+  from an attacker-controlled identity (e.g. a forged speed-limit
+  broadcast).
+* :class:`KeyForgeryAttack` -- AD08's implementation comments verbatim:
+  "a) Randomly replace IDs of keys and b) test against increasing IDs (if
+  a valid ID is known)".  The attacker holds an authenticated link (their
+  own provisioned identity, per the AD08 precondition) and sweeps
+  electronic key IDs against the whitelist.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.attacks.base import AttackInjector
+from repro.sim.ble import KIND_OPEN
+from repro.sim.clock import SimClock
+from repro.sim.crypto import KeyStore
+from repro.sim.network import Channel, Message
+
+
+class SpoofingAttack(AttackInjector):
+    """Send forged messages over a channel.
+
+    Attributes:
+        claimed_sender: The identity written into the messages.  When it
+            differs from ``name`` and ``sign_as_self`` is False, the
+            message is unauthenticated (the attacker lacks the victim's
+            key) -- sender authentication rejects it.
+        sign_as_self: Sign with the attacker's own provisioned key while
+            still claiming ``claimed_sender`` -- verification against the
+            claimed sender's key fails, modelling a stolen-but-wrong
+            credential.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        channel: Channel,
+        kind: str,
+        claimed_sender: str,
+        payload: dict[str, Any],
+        keystore: KeyStore | None = None,
+        sign_as_self: bool = False,
+        location: str = "",
+    ) -> None:
+        super().__init__(name, clock, channel)
+        self.kind = kind
+        self.claimed_sender = claimed_sender
+        self.payload = dict(payload)
+        self.sign_as_self = sign_as_self
+        self.location = location
+        self._keystore = keystore
+        self._counter = 1000  # distinct space from honest counters
+        if sign_as_self:
+            if keystore is None:
+                raise SimulationError(
+                    "sign_as_self spoofing needs a keystore"
+                )
+            keystore.provision(name)
+
+    def launch(self, start_ms: float, count: int = 1, gap_ms: float = 50.0) -> None:
+        """Send ``count`` forged messages starting at ``start_ms``."""
+        if count < 1:
+            raise SimulationError("spoofing count must be >= 1")
+        for index in range(count):
+            self._clock.schedule_at(
+                start_ms + index * gap_ms, self._send_one
+            )
+
+    def _send_one(self) -> None:
+        self._counter += 1
+        message = Message(
+            kind=self.kind,
+            sender=self.claimed_sender,
+            payload=dict(self.payload),
+            counter=self._counter,
+            location=self.location,
+        ).with_timestamp(self._clock.now)
+        if self.sign_as_self:
+            assert self._keystore is not None
+            key = self._keystore.key_of(self.name)
+            from repro.sim.crypto import compute_mac
+
+            message = Message(
+                kind=message.kind,
+                sender=message.sender,
+                payload=message.payload,
+                counter=message.counter,
+                timestamp=message.timestamp,
+                auth_tag=compute_mac(key, message.signing_bytes()),
+                location=message.location,
+            )
+        self._emit(message)
+
+
+class KeyForgeryAttack(AttackInjector):
+    """AD08: sweep electronic key IDs over an authenticated link.
+
+    Attributes:
+        strategy: ``"random"`` (randomly replace IDs of keys, seeded for
+            reproducibility) or ``"incrementing"`` (test against
+            increasing IDs from ``known_valid_id``).
+        attempts: Number of forged open commands to send.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        channel: Channel,
+        keystore: KeyStore,
+        strategy: str = "random",
+        attempts: int = 20,
+        gap_ms: float = 100.0,
+        known_valid_id: str = "KEY-1000",
+        seed: int = 42,
+    ) -> None:
+        super().__init__(name, clock, channel)
+        if strategy not in ("random", "incrementing"):
+            raise SimulationError(
+                f"unknown key forgery strategy {strategy!r}"
+            )
+        if attempts < 1:
+            raise SimulationError("attempts must be >= 1")
+        self.strategy = strategy
+        self.attempts = attempts
+        self.gap_ms = gap_ms
+        self.known_valid_id = known_valid_id
+        self._keystore = keystore
+        self._rng = random.Random(seed)
+        self._counter = 0
+        keystore.provision(name)  # "Attacker has an authenticated communication link"
+
+    def launch(self, start_ms: float) -> None:
+        """Schedule the ID sweep starting at ``start_ms``."""
+        for index in range(self.attempts):
+            self._clock.schedule_at(
+                start_ms + index * self.gap_ms,
+                lambda i=index: self._attempt(i),
+            )
+
+    def _attempt(self, index: int) -> None:
+        self._counter += 1
+        message = Message(
+            kind=KIND_OPEN,
+            sender=self.name,
+            payload={"key_id": self._forge_id(index)},
+            counter=self._counter,
+            location="at-vehicle",
+        ).with_timestamp(self._clock.now)
+        self._emit(message.signed(self._keystore))
+
+    def _forge_id(self, index: int) -> str:
+        if self.strategy == "random":
+            return f"KEY-{self._rng.randint(0, 99999):05d}"
+        base = int(self.known_valid_id.rsplit("-", 1)[1])
+        return f"KEY-{base + index + 1}"

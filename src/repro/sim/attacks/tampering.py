@@ -1,0 +1,115 @@
+"""Tampering and jamming attacks.
+
+* :class:`TamperingAttack` -- a man-in-the-middle that observes traffic
+  and injects *modified* copies.  Without the victim's key the attacker
+  cannot recompute the MAC, so the tampered copy carries the original
+  (now wrong) tag -- sender authentication catches it; in architectures
+  without authentication, plausibility checks are the remaining line of
+  defence (§III-C's safety-measure fallback).
+* :class:`JammingAttack` -- denial of service on the physical channel
+  (Table IV lists "Jamming" under Denial of service); during the jam
+  window all sends are dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.attacks.base import AttackInjector
+from repro.sim.clock import SimClock
+from repro.sim.network import Channel, Message
+
+#: A payload mutator: receives a copy of the payload, returns the
+#: tampered payload.
+PayloadMutator = Callable[[dict[str, Any]], dict[str, Any]]
+
+
+class TamperingAttack(AttackInjector):
+    """Inject modified copies of observed messages.
+
+    Attributes:
+        target_kinds: Message kinds to tamper with.
+        mutator: The payload modification applied.
+        delay_ms: Gap between observing a message and injecting the
+            tampered copy.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        channel: Channel,
+        target_kinds: set[str],
+        mutator: PayloadMutator,
+        delay_ms: float = 5.0,
+    ) -> None:
+        super().__init__(name, clock, channel)
+        if not target_kinds:
+            raise SimulationError("tampering needs at least one target kind")
+        self.target_kinds = set(target_kinds)
+        self.mutator = mutator
+        self.delay_ms = delay_ms
+        self._armed = False
+        self._handled_ids: set[int] = set()
+        self.tampered_count = 0
+        channel.tap(self._observe)
+
+    def launch(self, start_ms: float) -> None:
+        """Arm the man-in-the-middle from ``start_ms`` on."""
+        self._clock.schedule_at(start_ms, self._arm)
+
+    def _arm(self) -> None:
+        self._armed = True
+        self._mark_start()
+
+    def _observe(self, message: Message) -> None:
+        if not self._armed or message.kind not in self.target_kinds:
+            return
+        if message.unique_id in self._handled_ids:
+            return  # our own injection coming back around the tap
+        self._handled_ids.add(message.unique_id)
+        tampered = dataclasses.replace(
+            message,
+            payload=self.mutator(dict(message.payload)),
+            # auth_tag intentionally kept: the attacker can't recompute it.
+        )
+        self.tampered_count += 1
+        self._clock.schedule(
+            self.delay_ms, lambda m=tampered: self._inject(m)
+        )
+
+    def _inject(self, message: Message) -> None:
+        self.channel.send(message)
+        self.messages_sent += 1
+
+
+class JammingAttack(AttackInjector):
+    """Jam the channel for a window of time.
+
+    Attributes:
+        duration_ms: Length of the jamming window.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        channel: Channel,
+        duration_ms: float = 5000.0,
+    ) -> None:
+        super().__init__(name, clock, channel)
+        if duration_ms <= 0:
+            raise SimulationError("jam duration must be positive")
+        self.duration_ms = duration_ms
+
+    def launch(self, start_ms: float) -> None:
+        """Schedule the jamming window."""
+        self._validate_window(start_ms, self.duration_ms)
+        self._clock.schedule_at(start_ms, self._start_jam)
+
+    def _start_jam(self) -> None:
+        self._mark_start()
+        self.channel.jam(self.duration_ms)
+        self._clock.schedule(self.duration_ms, self._mark_end)

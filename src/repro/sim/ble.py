@@ -1,0 +1,191 @@
+"""Bluetooth LE keyless car opener (Use Case II).
+
+"The use cases are opening and closing a vehicle via smartphone, which
+communicates via Bluetooth low energy with the car."  The substrate:
+
+* :class:`Smartphone` -- the legitimate key device; sends authenticated
+  ``open_command`` / ``close_command`` messages carrying its electronic
+  key ID,
+* :class:`AccessEcu` -- the vehicle-side gateway ("ECU_GW" in Table VII):
+  admission-controls each command, then forwards it as a CAN frame to the
+  door-lock ECU (the forwarding path the CAN-flooding attack abuses),
+* :class:`DoorLockEcu` + :class:`DoorLock` -- the actuator; publishes
+  ``door.opened`` / ``door.closed`` events the safety monitor and oracles
+  evaluate (UC II SG01 "Keep vehicle closed" etc.).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sim.can import CanBus, make_frame
+from repro.sim.clock import SimClock
+from repro.sim.crypto import KeyStore
+from repro.sim.ecu import Gateway
+from repro.sim.events import EventBus
+from repro.sim.network import Channel, Message
+
+KIND_OPEN = "open_command"
+KIND_CLOSE = "close_command"
+KIND_DIAG = "diag_request"
+
+#: CAN identifiers used on the body CAN.  Diagnostics frames carry a
+#: lower identifier and therefore win arbitration over door commands --
+#: which is why a forwarded diagnostics flood starves the door function
+#: (UC II: "Flooding of the CAN bus, by forwarded Bluetooth request,
+#: reducing availability of the function (SG03)").
+CAN_ID_DIAG = 0x100
+CAN_ID_DOOR_COMMAND = 0x200
+
+
+class DoorState(enum.Enum):
+    """Lock state of the vehicle."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+
+class DoorLock:
+    """The physical lock actuator with its published state."""
+
+    def __init__(self, clock: SimClock, bus: EventBus) -> None:
+        self.state = DoorState.CLOSED
+        self._clock = clock
+        self._bus = bus
+        self.open_count = 0
+        self.close_count = 0
+
+    def open(self, actor: str) -> None:
+        """Open the vehicle (idempotent)."""
+        if self.state is DoorState.OPEN:
+            return
+        self.state = DoorState.OPEN
+        self.open_count += 1
+        self._bus.publish(self._clock.now, "door.opened", "door", actor=actor)
+
+    def close(self, actor: str) -> None:
+        """Close the vehicle (idempotent)."""
+        if self.state is DoorState.CLOSED:
+            return
+        self.state = DoorState.CLOSED
+        self.close_count += 1
+        self._bus.publish(self._clock.now, "door.closed", "door", actor=actor)
+
+
+class Smartphone:
+    """The owner's smartphone key.
+
+    Attributes:
+        name: Sender identity (provisioned -- the phone is paired).
+        key_id: The electronic key ID carried in every command; the
+            :class:`~repro.sim.controls.access.IdWhitelist` checks it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_id: str,
+        clock: SimClock,
+        channel: Channel,
+        keystore: KeyStore,
+    ) -> None:
+        self.name = name
+        self.key_id = key_id
+        self._clock = clock
+        self._channel = channel
+        self._keystore = keystore
+        self._counter = 0
+        keystore.provision(name)
+
+    def _command(self, kind: str) -> Message:
+        self._counter += 1
+        message = Message(
+            kind=kind,
+            sender=self.name,
+            payload={"key_id": self.key_id},
+            counter=self._counter,
+            location="at-vehicle",
+        ).with_timestamp(self._clock.now)
+        return self._channel.send(message.signed(self._keystore))
+
+    def send_open(self) -> Message:
+        """Send an authenticated open command."""
+        return self._command(KIND_OPEN)
+
+    def send_close(self) -> Message:
+        """Send an authenticated close command."""
+        return self._command(KIND_CLOSE)
+
+
+class AccessEcu(Gateway):
+    """The BLE-facing gateway ECU ("ECU_GW").
+
+    Admitted open/close commands are forwarded onto the body CAN as door
+    frames; the door-lock ECU executes them.  Every admitted command is
+    also counted so availability oracles (SG03 "Prevent non-availability
+    of opening") can measure service latency end to end.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        bus: EventBus,
+        can_bus: CanBus,
+        service_time_ms: float = 0.2,
+        queue_capacity: int | None = 32,
+    ) -> None:
+        super().__init__(
+            name,
+            clock,
+            bus,
+            service_time_ms=service_time_ms,
+            queue_capacity=queue_capacity,
+        )
+        self._can = can_bus
+        self.add_route(KIND_OPEN, can_bus, self._to_door_frame)
+        self.add_route(KIND_CLOSE, can_bus, self._to_door_frame)
+        self.add_route(KIND_DIAG, can_bus, self._to_diag_frame)
+
+    def _to_diag_frame(self, message: Message) -> Message:
+        return make_frame(
+            sender=self.name,
+            can_id=CAN_ID_DIAG,
+            kind="diag_frame",
+            request=message.payload.get("request"),
+            origin=message.sender,
+        )
+
+    def _to_door_frame(self, message: Message) -> Message:
+        command = "open" if message.kind == KIND_OPEN else "close"
+        return make_frame(
+            sender=self.name,
+            can_id=CAN_ID_DOOR_COMMAND,
+            kind="door_command",
+            command=command,
+            key_id=message.payload.get("key_id"),
+            origin=message.sender,
+        )
+
+
+class DoorLockEcu:
+    """CAN receiver executing door commands on the lock actuator."""
+
+    def __init__(
+        self, name: str, clock: SimClock, bus: EventBus, lock: DoorLock
+    ) -> None:
+        self.name = name
+        self._clock = clock
+        self._bus = bus
+        self._lock = lock
+
+    def receive(self, frame: Message) -> None:
+        """Execute a door command frame (other frames are ignored)."""
+        if frame.kind != "door_command":
+            return
+        command = frame.payload.get("command")
+        actor = str(frame.payload.get("origin", frame.sender))
+        if command == "open":
+            self._lock.open(actor)
+        elif command == "close":
+            self._lock.close(actor)

@@ -1,0 +1,162 @@
+"""Discrete-event simulation clock.
+
+The simulator substrate is a classic discrete-event kernel: callbacks are
+scheduled at absolute times (milliseconds, float) and executed in time
+order; ties execute in scheduling order (a monotone sequence number breaks
+them), which keeps every run fully deterministic -- a hard requirement for
+reproducible attack testing (RQ3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry; ordering by (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by scheduling calls; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already ran."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """The scheduled execution time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True when the event was cancelled."""
+        return self._event.cancelled
+
+
+class SimClock:
+    """The discrete-event scheduler.
+
+    All simulator components share one clock; time only advances through
+    :meth:`run_until` / :meth:`run`.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._queue: list[_ScheduledEvent] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute ``time``.
+
+        Raises:
+            SimulationError: when scheduling in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} ms; clock is at {self._now} ms"
+            )
+        event = _ScheduledEvent(
+            time=time, sequence=self._sequence, callback=callback
+        )
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` milliseconds.
+
+        Raises:
+            SimulationError: on negative delays.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        start: float | None = None,
+        until: float | None = None,
+    ) -> None:
+        """Schedule ``callback`` every ``period`` ms, optionally bounded.
+
+        The first execution happens at ``start`` (default: one period from
+        now); repetition stops once the next occurrence would exceed
+        ``until``.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        first = start if start is not None else self._now + period
+
+        def fire_and_reschedule(at: float) -> None:
+            callback()
+            next_time = at + period
+            if until is None or next_time <= until:
+                self.schedule_at(next_time, lambda: fire_and_reschedule(next_time))
+
+        self.schedule_at(first, lambda: fire_and_reschedule(first))
+
+    def run_until(self, time: float) -> int:
+        """Execute events up to and including ``time``; advance the clock.
+
+        Returns the number of events executed.  The clock ends exactly at
+        ``time`` even if the queue drains earlier.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run backwards to {time} ms from {self._now} ms"
+            )
+        executed = 0
+        while self._queue and self._queue[0].time <= time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            executed += 1
+        self._now = time
+        return executed
+
+    def run(self) -> int:
+        """Execute all pending events (events may schedule new ones).
+
+        Returns the number of events executed.
+        """
+        executed = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            executed += 1
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)

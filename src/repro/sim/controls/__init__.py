@@ -1,0 +1,48 @@
+"""Security controls of the simulated SUT (the 'Expected Measures').
+
+* framework: :class:`~repro.sim.controls.base.SecurityControl`,
+  :class:`~repro.sim.controls.base.ControlPipeline`,
+  :class:`~repro.sim.controls.base.Decision`,
+* authentication: :class:`~repro.sim.controls.authentication
+  .SenderAuthentication`, :class:`~repro.sim.controls.authentication
+  .MessageCounterCheck`,
+* availability: :class:`~repro.sim.controls.flooding.FloodingDetector`,
+* access: :class:`~repro.sim.controls.access.IdWhitelist`,
+  :class:`~repro.sim.controls.access.ReplayGuard`,
+* plausibility: :class:`~repro.sim.controls.plausibility.ValueRangeCheck`,
+  :class:`~repro.sim.controls.plausibility.LocationConsistencyCheck`.
+"""
+
+from repro.sim.controls.access import IdWhitelist, ReplayGuard
+from repro.sim.controls.authentication import (
+    MessageCounterCheck,
+    SenderAuthentication,
+)
+from repro.sim.controls.base import (
+    ControlPipeline,
+    Decision,
+    DetectionRecord,
+    SecurityControl,
+)
+from repro.sim.controls.flooding import FloodingDetector
+from repro.sim.controls.plausibility import (
+    LocationConsistencyCheck,
+    ValueRangeCheck,
+)
+from repro.sim.controls.pseudonym import PseudonymProvider, linkability
+
+__all__ = [
+    "PseudonymProvider",
+    "linkability",
+    "ControlPipeline",
+    "Decision",
+    "DetectionRecord",
+    "FloodingDetector",
+    "IdWhitelist",
+    "LocationConsistencyCheck",
+    "MessageCounterCheck",
+    "ReplayGuard",
+    "SecurityControl",
+    "SenderAuthentication",
+    "ValueRangeCheck",
+]

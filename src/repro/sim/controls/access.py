@@ -1,0 +1,103 @@
+"""Access-control measures: ID whitelist and replay guard.
+
+* :class:`IdWhitelist` -- Table VII's expected measure, "Check received
+  vehicles electronic ID with list of allowed IDs".  AD08's
+  implementation comments attack it with (a) randomly replaced key IDs
+  and (b) incrementing IDs from a known valid one.
+* :class:`ReplayGuard` -- the timestamp/nonce freshness check UC II
+  proposes against command replay ("this might be prevented by timestamps
+  resp. challenge-responds-patterns within the communication").
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.controls.base import Decision, SecurityControl
+from repro.sim.network import Message
+
+
+class IdWhitelist(SecurityControl):
+    """Accept only messages whose electronic ID is on the allowed list.
+
+    Attributes:
+        field: Payload field carrying the electronic ID (``"key_id"``).
+        allowed: The allowed IDs.
+        kinds: Message kinds the check applies to (``None`` = all kinds).
+            Diagnostics or telemetry messages without a key ID are not the
+            whitelist's business.
+    """
+
+    def __init__(
+        self,
+        allowed: set[str],
+        field: str = "key_id",
+        kinds: set[str] | None = None,
+        name: str = "id-whitelist",
+    ) -> None:
+        super().__init__(name)
+        if not allowed:
+            raise SimulationError("an empty whitelist would deny everything")
+        self.field = field
+        self.kinds = set(kinds) if kinds is not None else None
+        self.allowed = set(allowed)
+
+    def inspect(self, message: Message, now: float) -> Decision:
+        if self.kinds is not None and message.kind not in self.kinds:
+            return Decision.passed(self.name)
+        value = message.payload.get(self.field)
+        if value is None:
+            return Decision.denied(
+                self.name, f"missing electronic ID field {self.field!r}"
+            )
+        if value not in self.allowed:
+            return Decision.denied(
+                self.name, f"electronic ID {value!r} not in list of allowed IDs"
+            )
+        return Decision.passed(self.name)
+
+    def allow(self, identifier: str) -> None:
+        """Provision an additional allowed ID."""
+        self.allowed.add(identifier)
+
+    def revoke(self, identifier: str) -> None:
+        """Remove an ID (e.g. a stolen key)."""
+        self.allowed.discard(identifier)
+
+
+class ReplayGuard(SecurityControl):
+    """Freshness check: recent timestamp plus no reuse of (sender, counter).
+
+    A replayed message carries its original timestamp and counter; either
+    the timestamp is stale (older than ``max_age_ms``) or, for fast
+    replays, the (sender, counter) pair was already consumed.
+    """
+
+    def __init__(
+        self, max_age_ms: float = 500.0, name: str = "replay-guard"
+    ) -> None:
+        super().__init__(name)
+        if max_age_ms <= 0:
+            raise SimulationError("max_age_ms must be positive")
+        self.max_age_ms = max_age_ms
+        self._seen: set[tuple[str, int]] = set()
+
+    def inspect(self, message: Message, now: float) -> Decision:
+        age = now - message.timestamp
+        if age > self.max_age_ms:
+            return Decision.denied(
+                self.name,
+                f"stale message from {message.sender!r}: {age:.0f} ms old "
+                f"(limit {self.max_age_ms:.0f} ms)",
+            )
+        key = (message.sender, message.counter)
+        if key in self._seen:
+            return Decision.denied(
+                self.name,
+                f"replayed message: counter {message.counter} from "
+                f"{message.sender!r} already consumed",
+            )
+        self._seen.add(key)
+        return Decision.passed(self.name)
+
+    def reset(self) -> None:
+        self._seen.clear()

@@ -1,0 +1,154 @@
+"""Security-control framework of the simulated SUT.
+
+Attack descriptions name their *Expected Measures* ("Message counter for
+broken messages", "Check received vehicles electronic ID with list of
+allowed IDs"); in the simulator each measure is a
+:class:`SecurityControl` that inspects incoming messages and returns a
+:class:`Decision`.  Controls are stacked in a :class:`ControlPipeline` in
+front of an ECU: the first denial wins, every denial is published as a
+``control.detection`` event (the "dedicated log files" of §III-C) and
+recorded in the pipeline's detection log, which test oracles read to
+decide the *Attack Fails* criteria.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventBus
+from repro.sim.network import Message
+
+
+@dataclasses.dataclass(frozen=True)
+class Decision:
+    """The verdict of one control over one message.
+
+    Attributes:
+        allowed: True to pass the message on.
+        control: Name of the deciding control (empty for the implicit
+            "no control objected" pass).
+        reason: Denial reason / pass note, human-readable.
+    """
+
+    allowed: bool
+    control: str = ""
+    reason: str = ""
+
+    @classmethod
+    def passed(cls, control: str = "", reason: str = "") -> "Decision":
+        """An allow decision."""
+        return cls(allowed=True, control=control, reason=reason)
+
+    @classmethod
+    def denied(cls, control: str, reason: str) -> "Decision":
+        """A deny decision; the reason lands in the detection log."""
+        return cls(allowed=False, control=control, reason=reason)
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectionRecord:
+    """One detection-log entry (a denied message)."""
+
+    time: float
+    control: str
+    reason: str
+    message_kind: str
+    sender: str
+
+
+class SecurityControl(abc.ABC):
+    """Base class for all security controls.
+
+    Subclasses implement :meth:`inspect`; they may keep per-sender state
+    (counters, rate windows, replay caches) -- one control instance guards
+    one ECU, so state is per protection point, as in a real SUT.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abc.abstractmethod
+    def inspect(self, message: Message, now: float) -> Decision:
+        """Inspect a message at time ``now`` and allow or deny it."""
+
+    def reset(self) -> None:
+        """Clear any per-sender state (between test executions)."""
+
+
+class ControlPipeline:
+    """An ordered stack of controls guarding one ECU.
+
+    The pipeline is also the ECU's intrusion log: every denial is recorded
+    and published on the event bus under
+    ``control.detection.<ecu>`` so oracles and the safety monitor can react.
+    """
+
+    def __init__(
+        self,
+        ecu_name: str,
+        clock: SimClock,
+        bus: EventBus,
+        controls: list[SecurityControl] | None = None,
+    ) -> None:
+        self.ecu_name = ecu_name
+        self._clock = clock
+        self._bus = bus
+        self._controls: list[SecurityControl] = list(controls or [])
+        self._detections: list[DetectionRecord] = []
+
+    def add(self, control: SecurityControl) -> "ControlPipeline":
+        """Append a control; returns self for chaining."""
+        self._controls.append(control)
+        return self
+
+    @property
+    def controls(self) -> tuple[SecurityControl, ...]:
+        """The stacked controls, in inspection order."""
+        return tuple(self._controls)
+
+    def admit(self, message: Message) -> Decision:
+        """Run all controls; first denial wins and is logged."""
+        now = self._clock.now
+        for control in self._controls:
+            decision = control.inspect(message, now)
+            if not decision.allowed:
+                record = DetectionRecord(
+                    time=now,
+                    control=decision.control or control.name,
+                    reason=decision.reason,
+                    message_kind=message.kind,
+                    sender=message.sender,
+                )
+                self._detections.append(record)
+                self._bus.publish(
+                    now,
+                    f"control.detection.{self.ecu_name}",
+                    self.ecu_name,
+                    control=record.control,
+                    reason=record.reason,
+                    kind=record.message_kind,
+                    sender=record.sender,
+                )
+                return decision
+        return Decision.passed()
+
+    @property
+    def detections(self) -> tuple[DetectionRecord, ...]:
+        """The intrusion log of this ECU."""
+        return tuple(self._detections)
+
+    def detections_by(self, control_name: str) -> tuple[DetectionRecord, ...]:
+        """Detections raised by one named control."""
+        return tuple(
+            record
+            for record in self._detections
+            if record.control == control_name
+        )
+
+    def reset(self) -> None:
+        """Clear control state and the detection log."""
+        for control in self._controls:
+            control.reset()
+        self._detections.clear()

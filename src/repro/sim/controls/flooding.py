@@ -1,0 +1,85 @@
+"""Flooding detection / rate limiting.
+
+AD20's *Attack Fails* criterion reads: "security control identifies
+unwanted sender enforce change of frequency".  :class:`FloodingDetector`
+implements exactly that: a sliding-window rate check per sender; a sender
+exceeding the limit is *flagged as unwanted* and blocked for a cool-down
+period (the enforced frequency change).  The SUT is thereby "expected to
+detect the flooding situation and to react appropriately".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.sim.controls.base import Decision, SecurityControl
+from repro.sim.network import Message
+
+
+class FloodingDetector(SecurityControl):
+    """Sliding-window per-sender rate limiter with unwanted-sender flagging.
+
+    Attributes:
+        window_ms: Length of the observation window.
+        max_messages: Messages allowed per sender within the window.
+        cooldown_ms: Block duration once a sender is flagged.
+    """
+
+    def __init__(
+        self,
+        window_ms: float = 1000.0,
+        max_messages: int = 20,
+        cooldown_ms: float = 5000.0,
+        name: str = "flooding-detector",
+    ) -> None:
+        super().__init__(name)
+        if window_ms <= 0 or cooldown_ms < 0:
+            raise SimulationError("flooding detector windows must be positive")
+        if max_messages < 1:
+            raise SimulationError("max_messages must be >= 1")
+        self.window_ms = window_ms
+        self.max_messages = max_messages
+        self.cooldown_ms = cooldown_ms
+        self._history: dict[str, deque[float]] = {}
+        self._blocked_until: dict[str, float] = {}
+        self._flagged: set[str] = set()
+
+    def inspect(self, message: Message, now: float) -> Decision:
+        sender = message.sender
+        blocked_until = self._blocked_until.get(sender, -1.0)
+        if now < blocked_until:
+            return Decision.denied(
+                self.name,
+                f"sender {sender!r} blocked until {blocked_until:.0f} ms "
+                "(enforced frequency change)",
+            )
+        window = self._history.setdefault(sender, deque())
+        window.append(now)
+        while window and window[0] < now - self.window_ms:
+            window.popleft()
+        if len(window) > self.max_messages:
+            self._flagged.add(sender)
+            self._blocked_until[sender] = now + self.cooldown_ms
+            window.clear()
+            return Decision.denied(
+                self.name,
+                f"flooding detected: sender {sender!r} exceeded "
+                f"{self.max_messages} msgs / {self.window_ms:.0f} ms; "
+                "identified as unwanted sender",
+            )
+        return Decision.passed(self.name)
+
+    def is_flagged(self, sender: str) -> bool:
+        """True when the sender was ever identified as unwanted."""
+        return sender in self._flagged
+
+    @property
+    def flagged_senders(self) -> tuple[str, ...]:
+        """All senders identified as unwanted, sorted."""
+        return tuple(sorted(self._flagged))
+
+    def reset(self) -> None:
+        self._history.clear()
+        self._blocked_until.clear()
+        self._flagged.clear()

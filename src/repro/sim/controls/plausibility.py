@@ -1,0 +1,106 @@
+"""Plausibility checks -- the safety-measure fallback of §III-C.
+
+"For example, a safety measure could determine that plausibility checks
+fail and trigger the shutdown of a system.  Such a measure could also be
+effective if an attack would cause inconsistent states."
+
+Two concrete checks the use cases need:
+
+* :class:`ValueRangeCheck` -- a payload value must lie within a plausible
+  range (e.g. a V2X speed limit between 5 and 130 km/h); tampered or
+  fuzzed values outside the range are rejected.
+* :class:`LocationConsistencyCheck` -- the message's origin location must
+  match the receiver's expectation; warnings "replayed from other
+  locations or other vehicles" (the UC I SG05 attack) fail it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.controls.base import Decision, SecurityControl
+from repro.sim.network import Message
+
+
+class ValueRangeCheck(SecurityControl):
+    """Require a numeric payload field within [minimum, maximum].
+
+    Messages without the field pass (the check guards one field, not the
+    schema); non-numeric values are implausible and denied.
+    """
+
+    def __init__(
+        self,
+        field: str,
+        minimum: float,
+        maximum: float,
+        name: str = "value-range",
+    ) -> None:
+        super().__init__(name)
+        if minimum > maximum:
+            raise SimulationError(
+                f"range check {field!r}: minimum {minimum} > maximum {maximum}"
+            )
+        self.field = field
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def inspect(self, message: Message, now: float) -> Decision:
+        if self.field not in message.payload:
+            return Decision.passed(self.name)
+        value = message.payload[self.field]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return Decision.denied(
+                self.name,
+                f"implausible non-numeric {self.field!r}: {value!r}",
+            )
+        if not self.minimum <= value <= self.maximum:
+            return Decision.denied(
+                self.name,
+                f"implausible {self.field!r}={value} outside "
+                f"[{self.minimum}, {self.maximum}]",
+            )
+        return Decision.passed(self.name)
+
+
+class LocationConsistencyCheck(SecurityControl):
+    """Require the message's origin location to match expectations.
+
+    The receiver registers the locations it considers plausible (e.g. the
+    construction site the vehicle is actually approaching); a warning
+    recorded elsewhere and replayed here carries the wrong location.
+    Messages without location information are denied when
+    ``require_location`` is set, passed otherwise.
+    """
+
+    def __init__(
+        self,
+        plausible_locations: set[str],
+        require_location: bool = True,
+        name: str = "location-consistency",
+    ) -> None:
+        super().__init__(name)
+        if not plausible_locations:
+            raise SimulationError(
+                "location consistency needs at least one plausible location"
+            )
+        self.plausible_locations = set(plausible_locations)
+        self.require_location = require_location
+
+    def inspect(self, message: Message, now: float) -> Decision:
+        if not message.location:
+            if self.require_location:
+                return Decision.denied(
+                    self.name, "message carries no origin location"
+                )
+            return Decision.passed(self.name)
+        if message.location not in self.plausible_locations:
+            return Decision.denied(
+                self.name,
+                f"origin location {message.location!r} inconsistent with "
+                f"expected {sorted(self.plausible_locations)}",
+            )
+        return Decision.passed(self.name)
+
+    def expect(self, location: str) -> None:
+        """Add a plausible origin location (vehicle moved on)."""
+        self.plausible_locations.add(location)

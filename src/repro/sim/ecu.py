@@ -1,0 +1,224 @@
+"""Electronic control units: admission control, finite processing, routing.
+
+An :class:`Ecu` is the protection point of the simulated SUT.  Incoming
+messages pass the ECU's :class:`~repro.sim.controls.base.ControlPipeline`
+(the deployed security controls), then queue for *finite* processing
+capacity -- which is what makes flooding a real attack: an overloaded ECU
+serves legitimate messages late or drops them once its queue is full
+(AD20: "Attacker tries to overload the ECU by packet flooding", expected
+effect "Shutdown of service").
+
+The :class:`Gateway` subclass routes admitted messages between networks
+(e.g. Bluetooth requests forwarded onto the CAN bus), reproducing the
+UC II architecture where "flooding of the CAN bus, by forwarded Bluetooth
+request" reduces availability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.controls.base import ControlPipeline
+from repro.sim.events import EventBus
+from repro.sim.network import Message
+
+
+class Ecu:
+    """A control unit with admission control and finite processing rate.
+
+    Attributes:
+        name: ECU name ("OBU", "ECU_GW").
+        pipeline: The security-control stack guarding this ECU.
+        service_time_ms: Processing time per admitted message.
+        queue_capacity: Max messages awaiting processing; ``None`` means
+            unbounded.  Arrivals beyond capacity are dropped and published
+            as ``ecu.<name>.overload`` events.
+        shutdown_after_overloads: After this many dropped-on-overload
+            arrivals, the ECU gives up and shuts down -- AD20's success
+            criterion, "Shutdown of service".  ``None`` disables the
+            failure mode (the ECU degrades but never dies).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        bus: EventBus,
+        service_time_ms: float = 0.5,
+        queue_capacity: int | None = None,
+        shutdown_after_overloads: int | None = None,
+    ) -> None:
+        if service_time_ms <= 0:
+            raise SimulationError("service time must be positive")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise SimulationError("queue capacity must be >= 1")
+        if shutdown_after_overloads is not None and shutdown_after_overloads < 1:
+            raise SimulationError("shutdown threshold must be >= 1")
+        self.name = name
+        self.service_time_ms = service_time_ms
+        self.queue_capacity = queue_capacity
+        self.shutdown_after_overloads = shutdown_after_overloads
+        self.pipeline = ControlPipeline(name, clock, bus)
+        self._clock = clock
+        self._bus = bus
+        self._busy_until = 0.0
+        self._queued = 0
+        self._processed = 0
+        self._rejected = 0
+        self._overloaded = 0
+        self._shut_down = False
+
+    # -- Receiver protocol -------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """Admission control, then enqueue for processing."""
+        if self._shut_down:
+            return
+        decision = self.pipeline.admit(message)
+        if not decision.allowed:
+            self._rejected += 1
+            return
+        if (
+            self.queue_capacity is not None
+            and self._queued >= self.queue_capacity
+        ):
+            self._overloaded += 1
+            self._bus.publish(
+                self._clock.now,
+                f"ecu.{self.name}.overload",
+                self.name,
+                kind=message.kind,
+                sender=message.sender,
+                queued=self._queued,
+            )
+            if (
+                self.shutdown_after_overloads is not None
+                and self._overloaded >= self.shutdown_after_overloads
+            ):
+                self._shut_down = True
+                self._bus.publish(
+                    self._clock.now,
+                    f"ecu.{self.name}.shutdown",
+                    self.name,
+                    overloads=self._overloaded,
+                )
+            return
+        start = max(self._clock.now, self._busy_until)
+        finish = start + self.service_time_ms
+        self._busy_until = finish
+        self._queued += 1
+        self._clock.schedule_at(finish, lambda m=message: self._process(m))
+
+    def _process(self, message: Message) -> None:
+        self._queued -= 1
+        self._processed += 1
+        self._bus.publish(
+            self._clock.now,
+            f"ecu.{self.name}.processed",
+            self.name,
+            kind=message.kind,
+            sender=message.sender,
+        )
+        self.handle(message)
+
+    # -- subclass API --------------------------------------------------------
+
+    def handle(self, message: Message) -> None:
+        """Application behaviour; subclasses override."""
+
+    # -- metrics --------------------------------------------------------------
+
+    @property
+    def backlog_ms(self) -> float:
+        """How far behind real time the ECU's processing currently is."""
+        return max(0.0, self._busy_until - self._clock.now)
+
+    @property
+    def is_shut_down(self) -> bool:
+        """True once sustained overload killed the service (AD20 success)."""
+        return self._shut_down
+
+    @property
+    def stats(self) -> dict[str, float]:
+        """Processing statistics."""
+        return {
+            "processed": self._processed,
+            "rejected": self._rejected,
+            "overloaded": self._overloaded,
+            "queued": self._queued,
+            "backlog_ms": self.backlog_ms,
+            "shut_down": self._shut_down,
+        }
+
+
+#: A route transform: takes the admitted message, returns the message to
+#: forward (e.g. wrap a BLE command into a CAN frame).
+RouteTransform = Callable[[Message], Message]
+
+
+class Gateway(Ecu):
+    """An ECU that routes admitted messages onto other networks.
+
+    Routes are registered per message kind; each admitted message of a
+    routed kind is transformed and sent on the target network after
+    processing.  Unrouted kinds are simply processed (and countable).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        bus: EventBus,
+        service_time_ms: float = 0.5,
+        queue_capacity: int | None = None,
+        shutdown_after_overloads: int | None = None,
+    ) -> None:
+        super().__init__(
+            name,
+            clock,
+            bus,
+            service_time_ms=service_time_ms,
+            queue_capacity=queue_capacity,
+            shutdown_after_overloads=shutdown_after_overloads,
+        )
+        self._routes: dict[str, tuple[object, RouteTransform]] = {}
+        self._forwarded = 0
+
+    def add_route(
+        self,
+        kind: str,
+        target,
+        transform: RouteTransform | None = None,
+    ) -> None:
+        """Route messages of ``kind`` to ``target`` (any object with send()).
+
+        ``transform`` defaults to identity.
+        """
+        if kind in self._routes:
+            raise SimulationError(
+                f"gateway {self.name}: route for {kind!r} already exists"
+            )
+        self._routes[kind] = (target, transform or (lambda message: message))
+
+    def handle(self, message: Message) -> None:
+        route = self._routes.get(message.kind)
+        if route is None:
+            return
+        target, transform = route
+        forwarded = transform(message)
+        self._forwarded += 1
+        self._bus.publish(
+            self._clock.now,
+            f"ecu.{self.name}.forwarded",
+            self.name,
+            kind=message.kind,
+            forwarded_kind=forwarded.kind,
+        )
+        target.send(forwarded)
+
+    @property
+    def forwarded(self) -> int:
+        """Number of messages routed onward."""
+        return self._forwarded

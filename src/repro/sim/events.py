@@ -1,0 +1,99 @@
+"""Topic-based event bus and simulation trace recording.
+
+Components publish domain events ("handover.requested", "door.opened",
+"control.detection") on a shared bus; the safety monitor, test oracles and
+reports subscribe or read the recorded trace afterwards.  The full ordered
+trace doubles as the simulation's test report substrate ("how the test
+report is gathered", §III-C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+Subscriber = Callable[["SimEvent"], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class SimEvent:
+    """One recorded domain event.
+
+    Attributes:
+        time: Simulation time (ms) at which the event was published.
+        topic: Dotted topic, e.g. ``"v2x.warning_received"``.
+        source: Publishing component name.
+        data: Topic-specific payload (small, JSON-compatible values).
+    """
+
+    time: float
+    topic: str
+    source: str
+    data: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+class EventBus:
+    """Publish/subscribe bus with a complete ordered trace.
+
+    Subscriptions match exact topics or prefixes: subscribing to
+    ``"v2x"`` receives ``"v2x.warning_received"`` and every other
+    ``v2x.*`` topic; subscribing to ``""`` receives everything.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[tuple[str, Subscriber]] = []
+        self._trace: list[SimEvent] = []
+
+    def subscribe(self, topic_prefix: str, subscriber: Subscriber) -> None:
+        """Register ``subscriber`` for all topics under ``topic_prefix``."""
+        self._subscribers.append((topic_prefix, subscriber))
+
+    def publish(
+        self,
+        time: float,
+        topic: str,
+        source: str,
+        **data: Any,
+    ) -> SimEvent:
+        """Record and dispatch an event; returns the recorded event."""
+        event = SimEvent(time=time, topic=topic, source=source, data=data)
+        self._trace.append(event)
+        for prefix, subscriber in self._subscribers:
+            if _matches(prefix, topic):
+                subscriber(event)
+        return event
+
+    @property
+    def trace(self) -> tuple[SimEvent, ...]:
+        """The complete event trace in publication order."""
+        return tuple(self._trace)
+
+    def events(self, topic_prefix: str) -> tuple[SimEvent, ...]:
+        """Recorded events under a topic prefix."""
+        return tuple(
+            event
+            for event in self._trace
+            if _matches(topic_prefix, event.topic)
+        )
+
+    def count(self, topic_prefix: str) -> int:
+        """Number of recorded events under a topic prefix."""
+        return len(self.events(topic_prefix))
+
+    def last(self, topic_prefix: str) -> SimEvent | None:
+        """Most recent event under a topic prefix, or None."""
+        for event in reversed(self._trace):
+            if _matches(topic_prefix, event.topic):
+                return event
+        return None
+
+    def clear(self) -> None:
+        """Drop the recorded trace (subscriptions stay)."""
+        self._trace.clear()
+
+
+def _matches(prefix: str, topic: str) -> bool:
+    """Prefix match on dotted topics ('' matches everything)."""
+    if not prefix:
+        return True
+    return topic == prefix or topic.startswith(prefix + ".")

@@ -1,0 +1,142 @@
+"""The safety monitor: goal invariants and FTTI deadlines.
+
+SaSeVAL's test verdicts hinge on whether an attack violated a safety goal.
+The monitor watches the running simulation and records
+:class:`Violation` objects when
+
+* a registered **invariant** (a predicate over the live SUT state, checked
+  periodically) reports a violation -- e.g. "the vehicle is inside the
+  construction zone while still in automated mode" (SG01), or
+* an expected **reaction deadline** passes without the expected event --
+  the FTTI notion of ISO 26262: "the counter measures of the SUT have a
+  maximum time span to react and mitigate the imminent hazardous event".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventBus
+
+#: An invariant check: returns None when satisfied, a detail string when
+#: violated.
+InvariantCheck = Callable[[], str | None]
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One recorded safety-goal violation."""
+
+    time: float
+    goal_id: str
+    detail: str
+
+
+class SafetyMonitor:
+    """Watches safety goals over a running simulation."""
+
+    def __init__(
+        self, clock: SimClock, bus: EventBus, check_period_ms: float = 50.0
+    ) -> None:
+        if check_period_ms <= 0:
+            raise SimulationError("check period must be positive")
+        self._clock = clock
+        self._bus = bus
+        self.check_period_ms = check_period_ms
+        self._violations: list[Violation] = []
+        self._violated_goals: set[str] = set()
+
+    # -- invariants ---------------------------------------------------------
+
+    def add_invariant(
+        self,
+        goal_id: str,
+        check: InvariantCheck,
+        until: float | None = None,
+    ) -> None:
+        """Register a periodic invariant for a safety goal.
+
+        The first violation per goal is recorded (with its detail); later
+        periods do not re-record it -- a violated goal stays violated for
+        the rest of the run, matching the test-verdict semantics.
+        """
+
+        def run_check() -> None:
+            if goal_id in self._violated_goals:
+                return
+            detail = check()
+            if detail is not None:
+                self._record(goal_id, detail)
+
+        self._clock.schedule_periodic(
+            self.check_period_ms, run_check, until=until
+        )
+
+    # -- FTTI deadlines -------------------------------------------------------
+
+    def expect_event_within(
+        self,
+        goal_id: str,
+        topic: str,
+        deadline_ms: float,
+        description: str = "",
+    ) -> None:
+        """Require an event under ``topic`` within ``deadline_ms`` from now.
+
+        If no matching event is published before the deadline, the goal is
+        violated ("reaction not within the FTTI").
+        """
+        if deadline_ms <= 0:
+            raise SimulationError("deadline must be positive")
+        registered_at = self._clock.now
+
+        def check_deadline() -> None:
+            if goal_id in self._violated_goals:
+                return
+            for event in self._bus.events(topic):
+                if event.time >= registered_at:
+                    return  # reaction happened in time
+            what = description or f"event {topic!r}"
+            self._record(
+                goal_id,
+                f"{what} did not occur within {deadline_ms:.0f} ms "
+                f"(FTTI expired at {registered_at + deadline_ms:.0f} ms)",
+            )
+
+        self._clock.schedule(deadline_ms, check_deadline)
+
+    # -- results ---------------------------------------------------------------
+
+    def _record(self, goal_id: str, detail: str) -> None:
+        violation = Violation(
+            time=self._clock.now, goal_id=goal_id, detail=detail
+        )
+        self._violations.append(violation)
+        self._violated_goals.add(goal_id)
+        self._bus.publish(
+            self._clock.now,
+            f"safety.violation.{goal_id}",
+            "safety-monitor",
+            detail=detail,
+        )
+
+    @property
+    def violations(self) -> tuple[Violation, ...]:
+        """All recorded violations, in time order."""
+        return tuple(self._violations)
+
+    def is_violated(self, goal_id: str) -> bool:
+        """True when the goal was violated at any point of the run."""
+        return goal_id in self._violated_goals
+
+    def violated_goals(self) -> tuple[str, ...]:
+        """Identifiers of all violated goals, sorted."""
+        return tuple(sorted(self._violated_goals))
+
+    @property
+    def all_goals_held(self) -> bool:
+        """True when no violation was recorded."""
+        return not self._violations

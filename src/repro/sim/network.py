@@ -1,0 +1,222 @@
+"""Generic message and channel abstractions of the simulated vehicle.
+
+Every communication path in the substrate -- V2X radio (RSU<->OBU), the
+Bluetooth low-energy link of the keyless opener, and the CAN bus -- is a
+:class:`Channel` carrying :class:`Message` objects.  Channels deliver with
+latency through the shared :class:`~repro.sim.clock.SimClock`, support
+taps (eavesdropping attackers see copies), jamming windows (messages are
+dropped), and a finite bandwidth (excess traffic queues up, which is how
+flooding degrades availability).
+
+Messages carry the authentication surface the security controls inspect:
+a claimed ``sender``, a monotonically increasing ``counter``, a send
+``timestamp``, and an optional HMAC ``auth_tag`` over all of it.  Attacks
+manipulate exactly these fields (spoof the sender, replay an old tag,
+tamper the payload) and the controls' verdicts follow honestly from HMAC
+verification and freshness checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections import deque
+from typing import Any, Callable, Protocol
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.crypto import KeyStore, canonical_payload, compute_mac
+from repro.sim.events import EventBus
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """One message on a channel.
+
+    Attributes:
+        kind: Message type, e.g. ``"road_works_warning"``,
+            ``"open_command"``, ``"can_frame"``.
+        sender: Claimed sender identity (spoofable).
+        payload: Message body (JSON-compatible values).
+        counter: Per-sender message counter (monotonic for honest senders).
+        timestamp: Send time in ms (stamped by the channel when unset).
+        auth_tag: HMAC over (kind, sender, counter, timestamp, payload);
+            empty for unauthenticated messages.
+        location: Logical origin location (used by plausibility checks on
+            replayed warnings "from other locations").
+        unique_id: Globally unique message id, assigned at construction.
+    """
+
+    kind: str
+    sender: str
+    payload: dict[str, Any]
+    counter: int = 0
+    timestamp: float = -1.0
+    auth_tag: str = ""
+    location: str = ""
+    unique_id: int = dataclasses.field(
+        default_factory=itertools.count(1).__next__
+    )
+
+    def signing_bytes(self) -> bytes:
+        """The byte string the auth tag covers."""
+        fields = {
+            "kind": self.kind,
+            "sender": self.sender,
+            "counter": self.counter,
+            "timestamp": self.timestamp,
+            **{f"payload.{key}": value for key, value in self.payload.items()},
+        }
+        return canonical_payload(fields)
+
+    def signed(self, keystore: KeyStore) -> "Message":
+        """Return a copy carrying a valid auth tag for ``sender``.
+
+        The sender must be provisioned in ``keystore``; honest components
+        sign everything they send, attackers can only sign with identities
+        they actually control.
+        """
+        key = keystore.key_of(self.sender)
+        return dataclasses.replace(
+            self, auth_tag=compute_mac(key, self.signing_bytes())
+        )
+
+    def with_timestamp(self, time: float) -> "Message":
+        """Copy with ``timestamp`` set (tag untouched -- stamp first, then sign)."""
+        return dataclasses.replace(self, timestamp=time)
+
+
+class Receiver(Protocol):
+    """Anything that can be attached to a channel."""
+
+    name: str
+
+    def receive(self, message: Message) -> None:
+        """Handle a delivered message."""
+
+
+class Channel:
+    """A broadcast medium delivering messages with latency.
+
+    Attributes:
+        name: Channel name ("v2x", "ble", "can").
+        latency_ms: Propagation + processing delay per message.
+        bandwidth_per_ms: Max deliveries per millisecond; ``None`` means
+            unlimited.  Excess messages queue behind earlier traffic, so a
+            flood inflates delivery times for everyone (availability loss).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        bus: EventBus,
+        latency_ms: float = 1.0,
+        bandwidth_per_ms: float | None = None,
+    ) -> None:
+        if latency_ms < 0:
+            raise SimulationError("channel latency must be >= 0")
+        if bandwidth_per_ms is not None and bandwidth_per_ms <= 0:
+            raise SimulationError("channel bandwidth must be positive")
+        self.name = name
+        self.latency_ms = latency_ms
+        self.bandwidth_per_ms = bandwidth_per_ms
+        self._clock = clock
+        self._bus = bus
+        self._receivers: list[Receiver] = []
+        self._taps: list[Callable[[Message], None]] = []
+        self._jam_until = -1.0
+        self._next_free = 0.0
+        self._sent = 0
+        self._delivered = 0
+        self._dropped = 0
+        self._delays: deque[float] = deque(maxlen=1000)
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, receiver: Receiver) -> None:
+        """Attach a receiver; it gets every delivered message."""
+        self._receivers.append(receiver)
+
+    def tap(self, listener: Callable[[Message], None]) -> None:
+        """Attach a passive tap (eavesdropper); sees sends immediately."""
+        self._taps.append(listener)
+
+    # -- jamming ----------------------------------------------------------
+
+    def jam(self, duration_ms: float) -> None:
+        """Jam the channel: sends during the window are dropped."""
+        if duration_ms <= 0:
+            raise SimulationError("jam duration must be positive")
+        self._jam_until = max(self._jam_until, self._clock.now + duration_ms)
+
+    @property
+    def jammed(self) -> bool:
+        """True while a jamming window is active."""
+        return self._clock.now < self._jam_until
+
+    # -- traffic ----------------------------------------------------------
+
+    def send(self, message: Message) -> Message:
+        """Send a message; returns the (timestamped) message actually sent.
+
+        Taps see the message even when the channel is jammed (the RF burst
+        happened); receivers only get it if the channel is clear, after
+        latency plus any congestion backlog.
+        """
+        if message.timestamp < 0:
+            message = message.with_timestamp(self._clock.now)
+        self._sent += 1
+        for listener in self._taps:
+            listener(message)
+        if self.jammed:
+            self._dropped += 1
+            self._bus.publish(
+                self._clock.now,
+                f"channel.{self.name}.dropped",
+                self.name,
+                kind=message.kind,
+                sender=message.sender,
+                reason="jammed",
+            )
+            return message
+        delay = self.latency_ms + self._congestion_delay()
+        self._delays.append(delay)
+        self._clock.schedule(delay, lambda m=message: self._deliver(m))
+        return message
+
+    def _congestion_delay(self) -> float:
+        """Extra queueing delay from the bandwidth limit."""
+        if self.bandwidth_per_ms is None:
+            return 0.0
+        slot = 1.0 / self.bandwidth_per_ms
+        earliest = max(self._clock.now, self._next_free)
+        self._next_free = earliest + slot
+        return earliest - self._clock.now
+
+    def _deliver(self, message: Message) -> None:
+        self._delivered += 1
+        self._bus.publish(
+            self._clock.now,
+            f"channel.{self.name}.delivered",
+            self.name,
+            kind=message.kind,
+            sender=message.sender,
+        )
+        for receiver in list(self._receivers):
+            receiver.receive(message)
+
+    # -- metrics ----------------------------------------------------------
+
+    @property
+    def stats(self) -> dict[str, float]:
+        """Traffic statistics: sent/delivered/dropped and mean delay."""
+        mean_delay = (
+            sum(self._delays) / len(self._delays) if self._delays else 0.0
+        )
+        return {
+            "sent": self._sent,
+            "delivered": self._delivered,
+            "dropped": self._dropped,
+            "mean_delay_ms": mean_delay,
+        }

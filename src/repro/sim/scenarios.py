@@ -1,0 +1,477 @@
+"""Ready-made SUT configurations for the paper's two use cases.
+
+* :class:`ConstructionSiteScenario` -- Use Case I / Fig. 2: an autonomous
+  vehicle approaches a construction site; the RSU informs the vehicle via
+  the OBU; the OBU warns the driver so control is transferred back before
+  the site.  Safety goals SG01..SG06 of §IV-A are monitored.
+* :class:`KeylessEntryScenario` -- Use Case II: opening and closing a
+  vehicle via smartphone over Bluetooth low energy, with the BLE->CAN
+  forwarding gateway ("ECU_GW").  Safety goals SG01..SG04 of §IV-B are
+  monitored.
+
+Both scenarios take a ``controls`` set naming the security controls to
+deploy, so ablation benchmarks can flip each expected measure on and off
+and observe the attack verdict change exactly as the attack description
+predicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.ble import (
+    AccessEcu,
+    DoorLock,
+    DoorLockEcu,
+    DoorState,
+    Smartphone,
+)
+from repro.sim.can import CanBus
+from repro.sim.clock import SimClock
+from repro.sim.controls import (
+    FloodingDetector,
+    IdWhitelist,
+    LocationConsistencyCheck,
+    MessageCounterCheck,
+    ReplayGuard,
+    SenderAuthentication,
+    ValueRangeCheck,
+)
+from repro.sim.crypto import KeyStore
+from repro.sim.events import EventBus
+from repro.sim.monitor import SafetyMonitor, Violation
+from repro.sim.network import Channel
+from repro.sim.v2x import OnBoardUnit, RoadsideUnit
+from repro.sim.vehicle import Driver, DrivingMode, Vehicle
+from repro.sim.world import World
+
+#: Control names accepted by both scenarios' ``controls`` parameter.
+CONTROL_AUTH = "sender-auth"
+CONTROL_COUNTER = "message-counter"
+CONTROL_FLOOD = "flooding-detector"
+CONTROL_RANGE = "value-range"
+CONTROL_LOCATION = "location-consistency"
+CONTROL_WHITELIST = "id-whitelist"
+CONTROL_REPLAY = "replay-guard"
+
+UC1_ALL_CONTROLS = frozenset(
+    {CONTROL_AUTH, CONTROL_COUNTER, CONTROL_FLOOD, CONTROL_RANGE, CONTROL_LOCATION}
+)
+UC2_ALL_CONTROLS = frozenset(
+    {
+        CONTROL_AUTH,
+        CONTROL_COUNTER,
+        CONTROL_FLOOD,
+        CONTROL_WHITELIST,
+        CONTROL_REPLAY,
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario run.
+
+    Attributes:
+        violations: Safety-goal violations recorded by the monitor.
+        detections: Per-ECU detection-log sizes (control name -> count is
+            available via ``detection_records``).
+        detection_records: The full intrusion logs per ECU.
+        stats: Component statistics (channels, ECUs, locks).
+    """
+
+    violations: tuple[Violation, ...]
+    detection_records: dict[str, tuple]
+    stats: dict[str, Any]
+
+    def violated(self, goal_id: str) -> bool:
+        """True when the named safety goal was violated."""
+        return any(violation.goal_id == goal_id for violation in self.violations)
+
+    @property
+    def any_violation(self) -> bool:
+        """True when any safety goal was violated."""
+        return bool(self.violations)
+
+    def detections_of(self, ecu: str, control: str | None = None) -> int:
+        """Detection count of one ECU (optionally one control)."""
+        records = self.detection_records.get(ecu, ())
+        if control is None:
+            return len(records)
+        return sum(1 for record in records if record.control == control)
+
+
+class ConstructionSiteScenario:
+    """Use Case I: AV approaching a construction site (Fig. 2).
+
+    Geometry and timing defaults: the vehicle starts at position 0 at
+    25 m/s; the construction zone spans [1500, 1600) m (reached after
+    ~60 s unattacked); the RSU broadcasts a road-works warning every
+    500 ms from t=500 ms.  The driver needs 1.5 s to take over after the
+    OBU's warning.
+
+    Safety goals monitored (§IV-A):
+
+    * **SG01** -- the vehicle must not be inside the construction zone
+      without the driver in control (violated when the zone is entered in
+      AUTOMATED/HANDOVER mode),
+    * **SG03** -- speed limits must be communicated safely (violated when
+      the automation ever targets an implausible speed),
+    * **SG04** -- take-over warnings must not be missed (FTTI between an
+      accepted warning and the take-over request),
+    * **SG05** -- no flood of unintended hazard warnings (violated when
+      more than ``max_warnings`` are shown).
+    """
+
+    ZONE_NAME = "construction"
+    RSU_LOCATION = "site-A"
+    REMOTE_LOCATION = "site-B"
+    LEGAL_MAX_SPEED_MPS = 40.0
+
+    def __init__(
+        self,
+        controls: frozenset[str] | set[str] = UC1_ALL_CONTROLS,
+        vehicle_speed_mps: float = 25.0,
+        driver_reaction_ms: float = 1500.0,
+        rsu_period_ms: float = 500.0,
+        zone_start_m: float = 1500.0,
+        zone_end_m: float = 1600.0,
+        zone_speed_limit_mps: float = 8.0,
+        handover_ftti_ms: float = 500.0,
+        max_warnings: int = 5,
+        obu_queue_capacity: int = 64,
+    ) -> None:
+        unknown = set(controls) - UC1_ALL_CONTROLS
+        if unknown:
+            raise SimulationError(f"unknown UC1 controls: {sorted(unknown)}")
+        self.controls = frozenset(controls)
+        self.zone_speed_limit_mps = zone_speed_limit_mps
+        self.handover_ftti_ms = handover_ftti_ms
+        self.max_warnings = max_warnings
+
+        self.clock = SimClock()
+        self.bus = EventBus()
+        self.keystore = KeyStore()
+        self.world = World(road_length_m=3000.0)
+        self.world.add_zone(self.ZONE_NAME, zone_start_m, zone_end_m)
+
+        self.vehicle = Vehicle(
+            "ego", self.clock, self.bus, self.world,
+            position_m=0.0, speed_mps=vehicle_speed_mps,
+        )
+        self.driver = Driver(
+            self.vehicle, self.clock, self.bus,
+            reaction_time_ms=driver_reaction_ms,
+            comfort_speed_mps=zone_speed_limit_mps,
+        )
+
+        self.v2x = Channel(
+            "v2x", self.clock, self.bus, latency_ms=2.0, bandwidth_per_ms=4.0
+        )
+        self.remote_channel = Channel(
+            "v2x-remote", self.clock, self.bus, latency_ms=2.0
+        )
+        self.rsu = RoadsideUnit(
+            "RSU-A", self.clock, self.v2x, self.keystore, self.RSU_LOCATION
+        )
+        self.remote_rsu = RoadsideUnit(
+            "RSU-B",
+            self.clock,
+            self.remote_channel,
+            self.keystore,
+            self.REMOTE_LOCATION,
+        )
+        self.obu = OnBoardUnit(
+            "OBU", self.clock, self.bus, self.vehicle,
+            queue_capacity=obu_queue_capacity,
+        )
+        self._deploy_obu_controls()
+        self.v2x.attach(self.obu)
+
+        self.rsu.broadcast_periodically(
+            rsu_period_ms, zone_start_m, zone_speed_limit_mps, until=None
+        )
+
+        self.monitor = SafetyMonitor(self.clock, self.bus)
+        self._install_goal_checks()
+
+    def _deploy_obu_controls(self) -> None:
+        # The flooding detector runs first: rate analysis is cheap and must
+        # shield the costlier checks (and the processing queue) from load.
+        pipeline = self.obu.pipeline
+        if CONTROL_FLOOD in self.controls:
+            pipeline.add(
+                FloodingDetector(
+                    window_ms=1000.0, max_messages=20, cooldown_ms=5000.0
+                )
+            )
+        if CONTROL_AUTH in self.controls:
+            pipeline.add(SenderAuthentication(self.keystore))
+        if CONTROL_COUNTER in self.controls:
+            pipeline.add(MessageCounterCheck())
+        if CONTROL_RANGE in self.controls:
+            pipeline.add(
+                ValueRangeCheck(
+                    "speed_limit_mps", 1.0, self.LEGAL_MAX_SPEED_MPS
+                )
+            )
+        if CONTROL_LOCATION in self.controls:
+            pipeline.add(
+                LocationConsistencyCheck(
+                    {self.RSU_LOCATION}, require_location=False
+                )
+            )
+
+    def _install_goal_checks(self) -> None:
+        def sg01_zone_without_driver() -> str | None:
+            in_zone = self.vehicle.in_zone(self.ZONE_NAME)
+            automated = self.vehicle.mode in (
+                DrivingMode.AUTOMATED,
+                DrivingMode.HANDOVER_REQUESTED,
+            )
+            if in_zone and automated:
+                return (
+                    "vehicle inside the construction zone in "
+                    f"{self.vehicle.mode.value} mode at "
+                    f"{self.vehicle.speed_mps:.1f} m/s"
+                )
+            return None
+
+        def sg03_implausible_speed_target() -> str | None:
+            if self.vehicle.target_speed_mps > self.LEGAL_MAX_SPEED_MPS:
+                return (
+                    "automation targets implausible speed "
+                    f"{self.vehicle.target_speed_mps:.1f} m/s"
+                )
+            return None
+
+        def sg05_warning_flood() -> str | None:
+            if self.obu.warnings_shown > self.max_warnings:
+                return (
+                    f"{self.obu.warnings_shown} hazard warnings shown "
+                    f"(limit {self.max_warnings})"
+                )
+            return None
+
+        self.monitor.add_invariant("SG01", sg01_zone_without_driver)
+        self.monitor.add_invariant("SG03", sg03_implausible_speed_target)
+        self.monitor.add_invariant("SG05", sg05_warning_flood)
+
+        # SG04: once a warning is accepted, the take-over request must
+        # follow within the FTTI.
+        def arm_sg04(event) -> None:
+            if not self._sg04_armed:
+                self._sg04_armed = True
+                self.monitor.expect_event_within(
+                    "SG04",
+                    "vehicle.handover_requested",
+                    self.handover_ftti_ms,
+                    description="take-over warning to the driver",
+                )
+
+        self._sg04_armed = False
+        self.bus.subscribe("obu.warning_accepted", arm_sg04)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, duration_ms: float = 80000.0) -> ScenarioResult:
+        """Run the scenario and collect the result."""
+        self.clock.run_until(duration_ms)
+        stats: dict[str, Any] = {
+            "v2x": self.v2x.stats,
+            "obu": self.obu.stats,
+            "vehicle": {
+                "position_m": self.vehicle.position_m,
+                "speed_mps": self.vehicle.speed_mps,
+                "mode": self.vehicle.mode.value,
+                "handover_requested_at": self.vehicle.handover_requested_at,
+                "manual_since": self.vehicle.manual_since,
+            },
+            "warnings_shown": self.obu.warnings_shown,
+        }
+        return ScenarioResult(
+            violations=self.monitor.violations,
+            detection_records={"OBU": self.obu.pipeline.detections},
+            stats=stats,
+        )
+
+
+class KeylessEntryScenario:
+    """Use Case II: keyless car opener over Bluetooth low energy.
+
+    The owner's smartphone (electronic key ``KEY-1000``) opens and closes
+    the vehicle; the BLE-facing gateway ("ECU_GW") admission-controls each
+    command and forwards it over the body CAN to the door-lock ECU.
+
+    Safety goals monitored (§IV-B):
+
+    * **SG01** -- "Keep vehicle closed": the door must never open for an
+      unauthorized actor,
+    * **SG02** -- "Avoid intermittent open/close": no open/close
+      oscillation (more than ``max_transitions`` state changes),
+    * **SG03** -- "Prevent non-availability of opening": a legitimate open
+      attempt must succeed within its deadline (armed per attempt),
+    * **SG04** -- "Prevent unintended closing": the door must not close
+      unless the owner asked.
+    """
+
+    OWNER = "phone-owner"
+    OWNER_KEY_ID = "KEY-1000"
+
+    def __init__(
+        self,
+        controls: frozenset[str] | set[str] = UC2_ALL_CONTROLS,
+        ble_latency_ms: float = 5.0,
+        can_frame_time_ms: float = 1.0,
+        open_deadline_ms: float = 500.0,
+        max_transitions: int = 6,
+    ) -> None:
+        unknown = set(controls) - UC2_ALL_CONTROLS
+        if unknown:
+            raise SimulationError(f"unknown UC2 controls: {sorted(unknown)}")
+        self.controls = frozenset(controls)
+        self.open_deadline_ms = open_deadline_ms
+        self.max_transitions = max_transitions
+
+        self.clock = SimClock()
+        self.bus = EventBus()
+        self.keystore = KeyStore()
+        self.ble = Channel(
+            "ble", self.clock, self.bus, latency_ms=ble_latency_ms,
+            bandwidth_per_ms=5.0,
+        )
+        self.can = CanBus(
+            "body-can", self.clock, self.bus,
+            frame_time_ms=can_frame_time_ms, queue_capacity=64,
+        )
+        self.lock = DoorLock(self.clock, self.bus)
+        self.access_ecu = AccessEcu(
+            "ECU_GW", self.clock, self.bus, self.can
+        )
+        self._deploy_access_controls()
+        self.ble.attach(self.access_ecu)
+        self.door_ecu = DoorLockEcu(
+            "door-ecu", self.clock, self.bus, self.lock
+        )
+        self.can.attach(self.door_ecu)
+        self.phone = Smartphone(
+            self.OWNER, self.OWNER_KEY_ID, self.clock, self.ble, self.keystore
+        )
+        self.monitor = SafetyMonitor(self.clock, self.bus)
+        self._owner_open_times: list[float] = []
+        self._install_goal_checks()
+
+    def _deploy_access_controls(self) -> None:
+        # Order: rate analysis first (shields everything downstream from
+        # load), then authenticity, then freshness, then authorization.
+        pipeline = self.access_ecu.pipeline
+        if CONTROL_FLOOD in self.controls:
+            pipeline.add(
+                FloodingDetector(
+                    window_ms=1000.0, max_messages=10, cooldown_ms=3000.0
+                )
+            )
+        if CONTROL_AUTH in self.controls:
+            pipeline.add(SenderAuthentication(self.keystore))
+        if CONTROL_REPLAY in self.controls:
+            pipeline.add(ReplayGuard(max_age_ms=200.0))
+        if CONTROL_COUNTER in self.controls:
+            pipeline.add(MessageCounterCheck())
+        if CONTROL_WHITELIST in self.controls:
+            pipeline.add(
+                IdWhitelist(
+                    {self.OWNER_KEY_ID},
+                    kinds={"open_command", "close_command"},
+                )
+            )
+
+    def _install_goal_checks(self) -> None:
+        def sg01_unauthorized_open() -> str | None:
+            for event in self.bus.events("door.opened"):
+                actor = event.data.get("actor")
+                if actor != self.OWNER:
+                    return f"vehicle opened by unauthorized actor {actor!r}"
+                recently_requested = any(
+                    0.0 <= event.time - request_time <= self.open_deadline_ms * 4
+                    for request_time in self._owner_open_times
+                )
+                if not recently_requested:
+                    return (
+                        "vehicle opened under the owner's identity without "
+                        f"a recent owner request (at {event.time:.0f} ms; "
+                        "replayed command)"
+                    )
+            return None
+
+        def sg02_intermittent() -> str | None:
+            transitions = self.lock.open_count + self.lock.close_count
+            if transitions > self.max_transitions:
+                return (
+                    f"{transitions} open/close transitions "
+                    f"(limit {self.max_transitions})"
+                )
+            return None
+
+        def sg04_unintended_close() -> str | None:
+            for event in self.bus.events("door.closed"):
+                actor = event.data.get("actor")
+                if actor != self.OWNER:
+                    return f"vehicle closed by unauthorized actor {actor!r}"
+            return None
+
+        self.monitor.add_invariant("SG01", sg01_unauthorized_open)
+        self.monitor.add_invariant("SG02", sg02_intermittent)
+        self.monitor.add_invariant("SG04", sg04_unintended_close)
+
+    # -- owner actions -----------------------------------------------------
+
+    def owner_opens(self, at_ms: float, expect_within_ms: float | None = None) -> None:
+        """Schedule a legitimate open attempt (arming SG03's deadline).
+
+        ``expect_within_ms`` defaults to the scenario's open deadline.
+        """
+        deadline = expect_within_ms or self.open_deadline_ms
+
+        def attempt() -> None:
+            self._owner_open_times.append(self.clock.now)
+            self.phone.send_open()
+            self.monitor.expect_event_within(
+                "SG03", "door.opened", deadline,
+                description="opening of the vehicle",
+            )
+
+        self.clock.schedule_at(at_ms, attempt)
+
+    def owner_closes(self, at_ms: float) -> None:
+        """Schedule a legitimate close command."""
+        self.clock.schedule_at(at_ms, self.phone.send_close)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, duration_ms: float = 20000.0) -> ScenarioResult:
+        """Run the scenario and collect the result."""
+        self.clock.run_until(duration_ms)
+        stats: dict[str, Any] = {
+            "ble": self.ble.stats,
+            "can": self.can.stats,
+            "access_ecu": self.access_ecu.stats,
+            "door": {
+                "state": self.lock.state.value,
+                "open_count": self.lock.open_count,
+                "close_count": self.lock.close_count,
+            },
+        }
+        return ScenarioResult(
+            violations=self.monitor.violations,
+            detection_records={
+                "ECU_GW": self.access_ecu.pipeline.detections
+            },
+            stats=stats,
+        )
+
+    @property
+    def door_state(self) -> DoorState:
+        """Current lock state."""
+        return self.lock.state

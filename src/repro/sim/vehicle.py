@@ -1,0 +1,233 @@
+"""Vehicle kinematics, driving-mode state machine and driver model.
+
+Use Case I revolves around the control handover: "The OBU should inform
+the driver, so that control is transferred back (upfront) to the driver."
+The vehicle therefore models:
+
+* longitudinal kinematics (position, speed, bounded accel/decel),
+* a driving-mode state machine: AUTOMATED -> HANDOVER_REQUESTED ->
+  MANUAL, plus SAFE_STOP as the ISO 26262 safe state,
+* a :class:`Driver` with a reaction time: after a take-over warning the
+  driver needs ``reaction_time_ms`` before control is actually transferred
+  (the controllability C=3 rating exists because "the driver is not
+  supposed to monitor the road while automated driving mode is active").
+
+All state transitions are published on the event bus so the safety
+monitor can check goals like SG01 ("avoid ineffective location
+notification without returning driving control to human") and their FTTIs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventBus
+from repro.sim.world import World
+
+
+class DrivingMode(enum.Enum):
+    """The vehicle's control mode."""
+
+    AUTOMATED = "automated"
+    HANDOVER_REQUESTED = "handover requested"
+    MANUAL = "manual"
+    SAFE_STOP = "safe stop"
+
+
+class Vehicle:
+    """A longitudinally simulated vehicle.
+
+    Attributes:
+        name: Vehicle identity ("ego").
+        position_m: Current position along the road.
+        speed_mps: Current speed (m/s).
+        mode: Current :class:`DrivingMode`.
+        tick_ms: Kinematics update period.
+    """
+
+    MAX_DECEL_MPS2 = 4.0
+    MAX_ACCEL_MPS2 = 2.0
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        bus: EventBus,
+        world: World,
+        position_m: float = 0.0,
+        speed_mps: float = 25.0,
+        tick_ms: float = 100.0,
+    ) -> None:
+        if speed_mps < 0:
+            raise SimulationError("initial speed must be >= 0")
+        self.name = name
+        self.position_m = position_m
+        self.speed_mps = speed_mps
+        self.mode = DrivingMode.AUTOMATED
+        self.tick_ms = tick_ms
+        self.target_speed_mps = speed_mps
+        self._clock = clock
+        self._bus = bus
+        self._world = world
+        self._handover_requested_at: float | None = None
+        self._manual_since: float | None = None
+        clock.schedule_periodic(tick_ms, self._tick, start=tick_ms)
+
+    # -- control ----------------------------------------------------------
+
+    def request_handover(self, reason: str = "") -> None:
+        """Issue a take-over warning to the driver.
+
+        Idempotent while already requested; ignored once in MANUAL or
+        SAFE_STOP (control is already with a safe authority).
+        """
+        if self.mode is not DrivingMode.AUTOMATED:
+            return
+        self.mode = DrivingMode.HANDOVER_REQUESTED
+        self._handover_requested_at = self._clock.now
+        self._bus.publish(
+            self._clock.now,
+            "vehicle.handover_requested",
+            self.name,
+            reason=reason,
+            position_m=self.position_m,
+        )
+
+    def driver_takes_over(self) -> None:
+        """The driver assumes manual control (called by :class:`Driver`)."""
+        if self.mode in (DrivingMode.MANUAL, DrivingMode.SAFE_STOP):
+            return
+        self.mode = DrivingMode.MANUAL
+        self._manual_since = self._clock.now
+        self._bus.publish(
+            self._clock.now,
+            "vehicle.manual_control",
+            self.name,
+            position_m=self.position_m,
+            latency_ms=(
+                self._clock.now - self._handover_requested_at
+                if self._handover_requested_at is not None
+                else None
+            ),
+        )
+
+    def safe_stop(self, reason: str = "") -> None:
+        """Enter the safe state: decelerate to standstill."""
+        if self.mode is DrivingMode.SAFE_STOP:
+            return
+        self.mode = DrivingMode.SAFE_STOP
+        self.target_speed_mps = 0.0
+        self._bus.publish(
+            self._clock.now,
+            "vehicle.safe_stop",
+            self.name,
+            reason=reason,
+            position_m=self.position_m,
+        )
+
+    def set_target_speed(self, speed_mps: float) -> None:
+        """Command a new target speed (speed limit, driver braking)."""
+        if speed_mps < 0:
+            raise SimulationError("target speed must be >= 0")
+        self.target_speed_mps = speed_mps
+        self._bus.publish(
+            self._clock.now,
+            "vehicle.target_speed",
+            self.name,
+            target_mps=speed_mps,
+        )
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def handover_requested_at(self) -> float | None:
+        """Time of the (first) take-over warning, if any."""
+        return self._handover_requested_at
+
+    @property
+    def manual_since(self) -> float | None:
+        """Time manual control was assumed, if it was."""
+        return self._manual_since
+
+    @property
+    def is_stopped(self) -> bool:
+        """True at (numerical) standstill."""
+        return self.speed_mps < 0.01
+
+    def in_zone(self, zone_name: str) -> bool:
+        """True when currently inside the named world zone."""
+        return self._world.in_zone(self.position_m, zone_name)
+
+    # -- kinematics ---------------------------------------------------------
+
+    def _tick(self) -> None:
+        dt = self.tick_ms / 1000.0
+        previous_zones = {
+            zone.name for zone in self._world.zones_at(self.position_m)
+        }
+        delta = self.target_speed_mps - self.speed_mps
+        if delta < 0:
+            self.speed_mps = max(
+                self.target_speed_mps,
+                self.speed_mps - self.MAX_DECEL_MPS2 * dt,
+            )
+        elif delta > 0:
+            self.speed_mps = min(
+                self.target_speed_mps,
+                self.speed_mps + self.MAX_ACCEL_MPS2 * dt,
+            )
+        self.position_m = self._world.clamp(
+            self.position_m + self.speed_mps * dt
+        )
+        current_zones = {
+            zone.name for zone in self._world.zones_at(self.position_m)
+        }
+        for zone_name in sorted(current_zones - previous_zones):
+            self._bus.publish(
+                self._clock.now,
+                "vehicle.entered_zone",
+                self.name,
+                zone=zone_name,
+                mode=self.mode.value,
+                speed_mps=self.speed_mps,
+            )
+
+
+class Driver:
+    """The human driver: reacts to take-over warnings after a delay.
+
+    Attributes:
+        reaction_time_ms: Time between warning and actually taking over.
+        comfort_speed_mps: Speed the driver settles to after take-over
+            (slowing for the hazard ahead).
+    """
+
+    def __init__(
+        self,
+        vehicle: Vehicle,
+        clock: SimClock,
+        bus: EventBus,
+        reaction_time_ms: float = 2000.0,
+        comfort_speed_mps: float = 8.0,
+    ) -> None:
+        if reaction_time_ms < 0:
+            raise SimulationError("reaction time must be >= 0")
+        self.reaction_time_ms = reaction_time_ms
+        self.comfort_speed_mps = comfort_speed_mps
+        self._vehicle = vehicle
+        self._clock = clock
+        self._reacting = False
+        bus.subscribe("vehicle.handover_requested", self._on_warning)
+
+    def _on_warning(self, event) -> None:
+        if event.source != self._vehicle.name or self._reacting:
+            return
+        self._reacting = True
+        self._clock.schedule(self.reaction_time_ms, self._take_over)
+
+    def _take_over(self) -> None:
+        self._vehicle.driver_takes_over()
+        self._vehicle.set_target_speed(self.comfort_speed_mps)
+        self._reacting = False

@@ -1,0 +1,104 @@
+"""The road world: a 1-D roadway with named zones.
+
+Use Case I (Fig. 2) only needs longitudinal geometry: an autonomous
+vehicle approaches a construction site along a road, with a road-side
+unit located ahead of the site.  The world is therefore a 1-D position
+axis (metres) with named :class:`Zone` intervals (construction site,
+RSU radio coverage, intersection box, ...).  Keeping the geometry minimal
+keeps every scenario deterministic and the safety predicates crisp
+("vehicle inside the construction zone while in automated mode").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass(frozen=True)
+class Zone:
+    """A named interval of the road, ``[start, end)`` in metres."""
+
+    name: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise SimulationError(
+                f"zone {self.name!r}: end ({self.end}) must exceed start "
+                f"({self.start})"
+            )
+
+    def contains(self, position: float) -> bool:
+        """True when ``position`` lies inside the zone."""
+        return self.start <= position < self.end
+
+    @property
+    def length(self) -> float:
+        """Zone length in metres."""
+        return self.end - self.start
+
+
+class World:
+    """The 1-D road with its zones.
+
+    Attributes:
+        road_length_m: Total road length; positions beyond it saturate.
+    """
+
+    def __init__(self, road_length_m: float = 3000.0) -> None:
+        if road_length_m <= 0:
+            raise SimulationError("road length must be positive")
+        self.road_length_m = road_length_m
+        self._zones: dict[str, Zone] = {}
+
+    def add_zone(self, name: str, start: float, end: float) -> Zone:
+        """Define a named zone.
+
+        Raises:
+            SimulationError: on duplicate names or out-of-road intervals.
+        """
+        if name in self._zones:
+            raise SimulationError(f"zone {name!r} already defined")
+        if start < 0 or end > self.road_length_m:
+            raise SimulationError(
+                f"zone {name!r} [{start}, {end}) outside road "
+                f"[0, {self.road_length_m})"
+            )
+        zone = Zone(name=name, start=start, end=end)
+        self._zones[name] = zone
+        return zone
+
+    def zone(self, name: str) -> Zone:
+        """Look up a zone by name."""
+        if name not in self._zones:
+            raise SimulationError(f"unknown zone {name!r}")
+        return self._zones[name]
+
+    @property
+    def zones(self) -> tuple[Zone, ...]:
+        """All zones in definition order."""
+        return tuple(self._zones.values())
+
+    def zones_at(self, position: float) -> tuple[Zone, ...]:
+        """The zones containing ``position``."""
+        return tuple(
+            zone for zone in self._zones.values() if zone.contains(position)
+        )
+
+    def in_zone(self, position: float, name: str) -> bool:
+        """True when ``position`` lies inside the named zone."""
+        return self.zone(name).contains(position)
+
+    def distance_to(self, position: float, name: str) -> float:
+        """Metres from ``position`` to the start of the named zone.
+
+        Negative once the position is past the zone start.
+        """
+        return self.zone(name).start - position
+
+    def clamp(self, position: float) -> float:
+        """Clamp a position onto the road."""
+        return min(max(position, 0.0), self.road_length_m)

@@ -1,0 +1,31 @@
+"""STRIDE threat model support (paper §III-A3/A4).
+
+Re-exports the :class:`~repro.model.threat.StrideType` value type alongside
+the normative Table IV mapping (:mod:`repro.stride.mapping`) and the
+keyword classifier that assists Step 1.3 (:mod:`repro.stride.classify`).
+"""
+
+from repro.model.threat import AttackType, StrideType
+from repro.stride.classify import Classification, classify, suggest_stride
+from repro.stride.mapping import (
+    STRIDE_ATTACK_TABLE,
+    all_attack_types,
+    attack_types_for,
+    resolve_attack_type,
+    stride_types_for,
+    validate_pair,
+)
+
+__all__ = [
+    "AttackType",
+    "Classification",
+    "STRIDE_ATTACK_TABLE",
+    "StrideType",
+    "all_attack_types",
+    "attack_types_for",
+    "classify",
+    "resolve_attack_type",
+    "stride_types_for",
+    "suggest_stride",
+    "validate_pair",
+]

@@ -1,0 +1,161 @@
+"""Heuristic STRIDE classification of threat-scenario text (Step 1.3 aid).
+
+Step 1.3 maps threat scenarios to STRIDE threat types.  The paper notes
+that mapping scenarios *directly* to attacks "could be done subjectively
+depending on how the scenarios are described"; routing through STRIDE makes
+it systematic.  This module supports that step with a transparent
+keyword-scoring classifier: it suggests STRIDE types for a natural-language
+threat statement, ranked by evidence, so an analyst can confirm rather than
+invent the mapping.
+
+The classifier is deliberately simple and fully inspectable -- a scoring
+table, not a learned model -- because its output is reviewed by humans and
+its behaviour must be explainable in a safety case.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.model.threat import StrideType
+
+#: Evidence table: keyword/phrase -> (STRIDE type, weight).  Phrases are
+#: matched on word boundaries, case-insensitively.  Weights reflect how
+#: specific a cue is: "impersonation" is near-conclusive for Spoofing,
+#: while "message" alone is weak evidence for several types.
+_EVIDENCE: tuple[tuple[str, StrideType, int], ...] = (
+    # Spoofing
+    ("spoof", StrideType.SPOOFING, 5),
+    ("impersonat", StrideType.SPOOFING, 5),
+    ("fake", StrideType.SPOOFING, 4),
+    ("masquerad", StrideType.SPOOFING, 4),
+    ("phishing", StrideType.SPOOFING, 4),
+    ("pretend", StrideType.SPOOFING, 3),
+    ("tricked into", StrideType.SPOOFING, 3),
+    ("forged", StrideType.SPOOFING, 3),
+    # Tampering
+    ("tamper", StrideType.TAMPERING, 5),
+    ("manipulat", StrideType.TAMPERING, 4),
+    ("inject", StrideType.TAMPERING, 4),
+    ("corrupt", StrideType.TAMPERING, 4),
+    ("alter", StrideType.TAMPERING, 4),
+    ("modif", StrideType.TAMPERING, 3),
+    ("malware", StrideType.TAMPERING, 3),
+    ("code injection", StrideType.TAMPERING, 5),
+    # Repudiation
+    ("replay", StrideType.REPUDIATION, 5),
+    ("repudiat", StrideType.REPUDIATION, 5),
+    ("deny having", StrideType.REPUDIATION, 4),
+    ("delay", StrideType.REPUDIATION, 3),
+    ("without trace", StrideType.REPUDIATION, 3),
+    # Information disclosure
+    ("eavesdrop", StrideType.INFORMATION_DISCLOSURE, 5),
+    ("listen", StrideType.INFORMATION_DISCLOSURE, 4),
+    ("intercept", StrideType.INFORMATION_DISCLOSURE, 4),
+    ("disclos", StrideType.INFORMATION_DISCLOSURE, 4),
+    ("leak", StrideType.INFORMATION_DISCLOSURE, 4),
+    ("profile", StrideType.INFORMATION_DISCLOSURE, 3),
+    ("privacy", StrideType.INFORMATION_DISCLOSURE, 3),
+    ("covert channel", StrideType.INFORMATION_DISCLOSURE, 5),
+    ("sniff", StrideType.INFORMATION_DISCLOSURE, 4),
+    # Denial of service
+    ("denial of service", StrideType.DENIAL_OF_SERVICE, 5),
+    ("flood", StrideType.DENIAL_OF_SERVICE, 5),
+    ("overload", StrideType.DENIAL_OF_SERVICE, 5),
+    ("jam", StrideType.DENIAL_OF_SERVICE, 4),
+    ("disable", StrideType.DENIAL_OF_SERVICE, 4),
+    ("crash", StrideType.DENIAL_OF_SERVICE, 3),
+    ("halt", StrideType.DENIAL_OF_SERVICE, 3),
+    ("unavailab", StrideType.DENIAL_OF_SERVICE, 4),
+    ("runs slowly", StrideType.DENIAL_OF_SERVICE, 3),
+    ("disrupt", StrideType.DENIAL_OF_SERVICE, 3),
+    # Elevation of privilege
+    ("elevat", StrideType.ELEVATION_OF_PRIVILEGE, 5),
+    ("privilege", StrideType.ELEVATION_OF_PRIVILEGE, 4),
+    ("backdoor", StrideType.ELEVATION_OF_PRIVILEGE, 4),
+    ("unauthorized access", StrideType.ELEVATION_OF_PRIVILEGE, 4),
+    ("gain access", StrideType.ELEVATION_OF_PRIVILEGE, 3),
+    ("insider", StrideType.ELEVATION_OF_PRIVILEGE, 3),
+    ("abuse of privileges", StrideType.ELEVATION_OF_PRIVILEGE, 5),
+    ("external interface", StrideType.ELEVATION_OF_PRIVILEGE, 4),
+    ("usb", StrideType.ELEVATION_OF_PRIVILEGE, 3),
+    ("point of attack", StrideType.ELEVATION_OF_PRIVILEGE, 3),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Classification:
+    """Result of classifying one threat statement.
+
+    Attributes:
+        scores: STRIDE type -> accumulated evidence weight (only non-zero
+            entries).
+        matched: The (phrase, stride, weight) evidence triples that fired,
+            for explainability.
+    """
+
+    scores: dict[StrideType, int]
+    matched: tuple[tuple[str, StrideType, int], ...]
+
+    @property
+    def best(self) -> StrideType | None:
+        """The highest-scoring STRIDE type, or None when nothing matched.
+
+        Ties break by STRIDE enum order, which is deterministic.
+        """
+        if not self.scores:
+            return None
+        return max(
+            self.scores,
+            key=lambda stride: (self.scores[stride], -list(StrideType).index(stride)),
+        )
+
+    def ranked(self) -> tuple[StrideType, ...]:
+        """All matched STRIDE types, best first."""
+        return tuple(
+            sorted(
+                self.scores,
+                key=lambda stride: (
+                    -self.scores[stride],
+                    list(StrideType).index(stride),
+                ),
+            )
+        )
+
+    def suggestions(self, min_score: int = 3) -> tuple[StrideType, ...]:
+        """STRIDE types with at least ``min_score`` evidence, best first."""
+        return tuple(
+            stride for stride in self.ranked() if self.scores[stride] >= min_score
+        )
+
+
+def classify(text: str) -> Classification:
+    """Score a threat statement against the STRIDE evidence table.
+
+    >>> classify("Spoofing of messages by impersonation").best.value
+    'Spoofing'
+    """
+    lowered = text.lower()
+    scores: dict[StrideType, int] = {}
+    matched: list[tuple[str, StrideType, int]] = []
+    for phrase, stride, weight in _EVIDENCE:
+        if _phrase_in(phrase, lowered):
+            scores[stride] = scores.get(stride, 0) + weight
+            matched.append((phrase, stride, weight))
+    return Classification(scores=scores, matched=tuple(matched))
+
+
+def suggest_stride(text: str) -> StrideType | None:
+    """Shortcut: the single best STRIDE suggestion for a statement."""
+    return classify(text).best
+
+
+def _phrase_in(phrase: str, lowered_text: str) -> bool:
+    """Word-boundary-aware containment check for a (stemmed) phrase.
+
+    Evidence entries are stems ("manipulat"), so the trailing boundary is
+    open while the leading one is anchored: "manipulation" matches, but
+    "emanipulat..." does not.
+    """
+    return re.search(r"\b" + re.escape(phrase), lowered_text) is not None

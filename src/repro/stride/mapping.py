@@ -1,0 +1,160 @@
+"""The normative STRIDE threat-type -> attack-type mapping (paper Table IV).
+
+Step 1.4 of threat-library creation maps each STRIDE threat type to "the
+corresponding manifestations of the threats, i.e. attack types".  This
+module encodes Table IV verbatim and offers lookups in both directions:
+
+* :func:`attack_types_for` -- the manifestations of a STRIDE type,
+* :func:`stride_types_for` -- the STRIDE types a named attack type can
+  manifest (some names appear under several types, e.g. "Config. change"
+  and "Illegal acquisition").
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.model.threat import AttackType, StrideType
+
+#: Table IV of the paper, verbatim.  Keys are STRIDE threat types; values
+#: are the attack-type names listed for that type, in table order.
+STRIDE_ATTACK_TABLE: dict[StrideType, tuple[str, ...]] = {
+    StrideType.SPOOFING: (
+        "Fake messages",
+        "Spoofing",
+    ),
+    StrideType.TAMPERING: (
+        "Corrupt data or code",
+        "Deliver malware",
+        "Alter",
+        "Inject",
+        "Corrupt messages",
+        "Manipulate",
+        "Config. change",
+    ),
+    StrideType.REPUDIATION: (
+        "Replay",
+        "Repudiation of message transmission",
+        "Delay",
+    ),
+    StrideType.INFORMATION_DISCLOSURE: (
+        "Listen",
+        "Intercept",
+        "Eavesdropping",
+        "Illegal acquisition",
+        "Covert channel",
+        "Config. change",
+    ),
+    StrideType.DENIAL_OF_SERVICE: (
+        "Disable",
+        "Denial of service",
+        "Jamming",
+    ),
+    StrideType.ELEVATION_OF_PRIVILEGE: (
+        "Illegal acquisition",
+        "Gain elevated access",
+    ),
+}
+
+
+def attack_types_for(stride: StrideType) -> tuple[AttackType, ...]:
+    """Return the attack types manifesting ``stride``, in Table IV order.
+
+    >>> [at.name for at in attack_types_for(StrideType.DENIAL_OF_SERVICE)]
+    ['Disable', 'Denial of service', 'Jamming']
+    """
+    return tuple(
+        AttackType(name=name, stride=stride)
+        for name in STRIDE_ATTACK_TABLE[stride]
+    )
+
+
+def all_attack_types() -> tuple[AttackType, ...]:
+    """Every (attack-type name, STRIDE type) pair of Table IV."""
+    pairs: list[AttackType] = []
+    for stride in StrideType:
+        pairs.extend(attack_types_for(stride))
+    return tuple(pairs)
+
+
+def stride_types_for(attack_type_name: str) -> tuple[StrideType, ...]:
+    """Return the STRIDE types a named attack type can manifest.
+
+    The lookup is case-insensitive.  Raises :class:`CatalogError` when the
+    name appears nowhere in Table IV.
+
+    >>> [s.value for s in stride_types_for("Illegal acquisition")]
+    ['Information disclosure', 'Elevation of privilege']
+    """
+    normalized = attack_type_name.strip().lower()
+    matches = tuple(
+        stride
+        for stride in StrideType
+        if any(
+            name.lower() == normalized
+            for name in STRIDE_ATTACK_TABLE[stride]
+        )
+    )
+    if not matches:
+        raise CatalogError(
+            f"attack type {attack_type_name!r} does not appear in Table IV",
+            key=attack_type_name,
+        )
+    return matches
+
+
+def resolve_attack_type(
+    attack_type_name: str, stride: StrideType | None = None
+) -> AttackType:
+    """Resolve a name (and optional STRIDE hint) to a unique AttackType.
+
+    When ``stride`` is given, the pair is validated against Table IV.
+    When omitted, the name must be unambiguous (manifest exactly one STRIDE
+    type) -- ambiguous names raise :class:`CatalogError` listing the
+    candidates, forcing callers to disambiguate explicitly.
+    """
+    candidates = stride_types_for(attack_type_name)
+    canonical = _canonical_name(attack_type_name)
+    if stride is not None:
+        if stride not in candidates:
+            raise CatalogError(
+                f"attack type {attack_type_name!r} does not manifest "
+                f"{stride.value} in Table IV",
+                key=attack_type_name,
+            )
+        return AttackType(name=canonical, stride=stride)
+    if len(candidates) > 1:
+        options = ", ".join(candidate.value for candidate in candidates)
+        raise CatalogError(
+            f"attack type {attack_type_name!r} is ambiguous (manifests "
+            f"{options}); pass the intended STRIDE type",
+            key=attack_type_name,
+        )
+    return AttackType(name=canonical, stride=candidates[0])
+
+
+def _canonical_name(attack_type_name: str) -> str:
+    """Return the Table IV spelling for a case-insensitive name match."""
+    normalized = attack_type_name.strip().lower()
+    for names in STRIDE_ATTACK_TABLE.values():
+        for name in names:
+            if name.lower() == normalized:
+                return name
+    raise CatalogError(
+        f"attack type {attack_type_name!r} does not appear in Table IV",
+        key=attack_type_name,
+    )
+
+
+def validate_pair(attack_type: AttackType) -> None:
+    """Raise :class:`CatalogError` unless the pair is a Table IV entry.
+
+    Used by the threat-library builder to guarantee that every attack type
+    attached to a threat scenario went through the Step 1.4 mapping.
+    """
+    names = STRIDE_ATTACK_TABLE[attack_type.stride]
+    if attack_type.name not in names:
+        raise CatalogError(
+            f"({attack_type.name!r}, {attack_type.stride.value}) is not a "
+            "Table IV mapping",
+            key=attack_type.name,
+        )

@@ -1,0 +1,88 @@
+"""Threat Analysis and Risk Assessment (paper §II-B).
+
+The TARA package covers the security-side analyses SaSeVAL consumes:
+
+* damage scenarios with S/F/O/P impact rating (:mod:`repro.tara.damage`),
+* attack-potential-based feasibility (:mod:`repro.tara.feasibility`),
+* the risk matrix and CAL assignment (:mod:`repro.tara.risk`),
+* AND/OR attack trees with path enumeration and coverage accounting
+  (:mod:`repro.tara.attack_tree`),
+* the TARA-HARA cross-check aligning damage scenarios with hazardous
+  events (:mod:`repro.tara.crosscheck`).
+"""
+
+from repro.tara.attack_tree import (
+    AttackNode,
+    AttackPath,
+    AttackStep,
+    AttackTree,
+    and_node,
+    or_node,
+)
+from repro.tara.crosscheck import (
+    CrossCheckEntry,
+    CrossCheckOutcome,
+    CrossCheckReport,
+    cross_check,
+)
+from repro.tara.damage import (
+    DamageScenario,
+    ImpactCategory,
+    safety_relevant,
+)
+from repro.tara.fuzzing import (
+    FuzzCampaign,
+    FuzzCase,
+    FuzzOutcome,
+    FuzzPlan,
+    FuzzReport,
+    MessageFuzzer,
+)
+from repro.tara.feasibility import (
+    AttackPotential,
+    ElapsedTime,
+    Equipment,
+    Expertise,
+    Knowledge,
+    WindowOfOpportunity,
+    rate_feasibility,
+)
+from repro.tara.risk import (
+    RISK_MATRIX,
+    RiskAssessment,
+    determine_cal,
+    determine_risk,
+)
+
+__all__ = [
+    "AttackNode",
+    "AttackPath",
+    "AttackPotential",
+    "AttackStep",
+    "AttackTree",
+    "CrossCheckEntry",
+    "CrossCheckOutcome",
+    "CrossCheckReport",
+    "DamageScenario",
+    "ElapsedTime",
+    "Equipment",
+    "Expertise",
+    "FuzzCampaign",
+    "FuzzCase",
+    "FuzzOutcome",
+    "FuzzPlan",
+    "FuzzReport",
+    "MessageFuzzer",
+    "ImpactCategory",
+    "Knowledge",
+    "RISK_MATRIX",
+    "RiskAssessment",
+    "WindowOfOpportunity",
+    "and_node",
+    "cross_check",
+    "determine_cal",
+    "determine_risk",
+    "or_node",
+    "rate_feasibility",
+    "safety_relevant",
+]

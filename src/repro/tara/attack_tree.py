@@ -1,0 +1,233 @@
+"""Attack trees and attack-path enumeration (paper §II-B item 2).
+
+"The TARA attack trees (with the goal as root node and ways of achieving
+that goal as paths from leaf nodes) provide a methodical way to describing
+the security of systems ...  The attack trees are used to create TARA
+attack paths, which define the interfaces for protocol-guided automated or
+semi-automated fuzz testing."
+
+The tree model is the classical AND/OR tree:
+
+* a **leaf** is an atomic attacker action with an optional
+  :class:`~repro.tara.feasibility.AttackPotential`,
+* an **OR node** is achieved by any one child,
+* an **AND node** requires all children.
+
+Path enumeration produces every minimal cut -- each is an *attack path*
+whose aggregate potential combines the steps (max of each factor would be
+optimistic; we sum elapsed time and take the max of the other factors,
+matching common TARA tooling).  Coverage bookkeeping ("the coverage of
+tested protocol can then be measured with percent") marks paths as tested.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from repro.errors import ValidationError
+from repro.tara.feasibility import (
+    AttackPotential,
+    ElapsedTime,
+    Equipment,
+    Expertise,
+    Knowledge,
+    WindowOfOpportunity,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackStep:
+    """A leaf: one atomic attacker action.
+
+    Attributes:
+        action: What the attacker does ("obtain valid session token").
+        interface: The interface exercised; attack paths inherit the union
+            of their steps' interfaces ("define the interfaces for ...
+            fuzz testing").
+        potential: Attack-potential vector of this step alone.
+    """
+
+    action: str
+    interface: str = ""
+    potential: AttackPotential = AttackPotential()
+
+    def __post_init__(self) -> None:
+        if not self.action:
+            raise ValidationError("attack step needs an action")
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackNode:
+    """An internal AND/OR node of the attack tree.
+
+    Attributes:
+        label: Subgoal text ("gain bus access").
+        operator: ``"OR"`` (any child suffices) or ``"AND"`` (all needed).
+        children: Child nodes or leaf steps, at least one.
+    """
+
+    label: str
+    operator: str
+    children: tuple["AttackNode | AttackStep", ...]
+
+    def __post_init__(self) -> None:
+        if self.operator not in ("AND", "OR"):
+            raise ValidationError(
+                f"attack node {self.label!r}: operator must be AND or OR, "
+                f"got {self.operator!r}"
+            )
+        if not self.children:
+            raise ValidationError(
+                f"attack node {self.label!r} must have at least one child"
+            )
+
+
+def or_node(label: str, *children: AttackNode | AttackStep) -> AttackNode:
+    """Build an OR node (any child achieves the subgoal)."""
+    return AttackNode(label=label, operator="OR", children=children)
+
+
+def and_node(label: str, *children: AttackNode | AttackStep) -> AttackNode:
+    """Build an AND node (all children required)."""
+    return AttackNode(label=label, operator="AND", children=children)
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackPath:
+    """One minimal way to achieve the tree's root goal.
+
+    Attributes:
+        goal: The root goal text.
+        steps: The leaf actions, in tree order.
+    """
+
+    goal: str
+    steps: tuple[AttackStep, ...]
+
+    @property
+    def interfaces(self) -> tuple[str, ...]:
+        """Distinct interfaces exercised, in step order."""
+        seen = dict.fromkeys(
+            step.interface for step in self.steps if step.interface
+        )
+        return tuple(seen)
+
+    @property
+    def potential(self) -> AttackPotential:
+        """Aggregate attack potential of the whole path.
+
+        Elapsed time accumulates across steps (attacks are sequential);
+        expertise, knowledge, window and equipment are driven by the most
+        demanding step.
+        """
+        total_time = sum(int(step.potential.elapsed_time) for step in self.steps)
+        time_scale = sorted(ElapsedTime, key=int)
+        elapsed = time_scale[0]
+        for candidate in time_scale:
+            if int(candidate) <= total_time:
+                elapsed = candidate
+        return AttackPotential(
+            elapsed_time=elapsed,
+            expertise=Expertise(
+                max(int(step.potential.expertise) for step in self.steps)
+            ),
+            knowledge=Knowledge(
+                max(int(step.potential.knowledge) for step in self.steps)
+            ),
+            window=WindowOfOpportunity(
+                max(int(step.potential.window) for step in self.steps)
+            ),
+            equipment=Equipment(
+                max(int(step.potential.equipment) for step in self.steps)
+            ),
+        )
+
+    def describe(self) -> str:
+        """Render the path as 'goal <- step1 -> step2 -> ...'."""
+        chain = " -> ".join(step.action for step in self.steps)
+        return f"{self.goal}: {chain}"
+
+
+@dataclasses.dataclass
+class AttackTree:
+    """An attack tree with the attacker goal as root.
+
+    Attributes:
+        goal: The root goal ("open vehicle without owner key").
+        root: The root AND/OR node (or a single step for trivial trees).
+    """
+
+    goal: str
+    root: AttackNode | AttackStep
+    _tested: set[tuple[str, ...]] = dataclasses.field(default_factory=set)
+
+    def paths(self) -> tuple[AttackPath, ...]:
+        """Enumerate every minimal attack path (cut set) of the tree."""
+        return tuple(
+            AttackPath(goal=self.goal, steps=steps)
+            for steps in _enumerate(self.root)
+        )
+
+    def mark_tested(self, path: AttackPath) -> None:
+        """Record that a path has been exercised by a test.
+
+        Raises:
+            ValidationError: when the path does not belong to this tree.
+        """
+        key = tuple(step.action for step in path.steps)
+        known = {
+            tuple(step.action for step in candidate.steps)
+            for candidate in self.paths()
+        }
+        if key not in known:
+            raise ValidationError(
+                f"path {key} is not a path of attack tree {self.goal!r}"
+            )
+        self._tested.add(key)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of attack paths exercised (the §II-B 'percent')."""
+        all_paths = self.paths()
+        if not all_paths:
+            return 1.0
+        return len(self._tested) / len(all_paths)
+
+    def untested_paths(self) -> tuple[AttackPath, ...]:
+        """The attack paths not yet exercised."""
+        return tuple(
+            path
+            for path in self.paths()
+            if tuple(step.action for step in path.steps) not in self._tested
+        )
+
+    def interfaces(self) -> tuple[str, ...]:
+        """All interfaces named anywhere in the tree (fuzz-target list)."""
+        seen: dict[str, None] = {}
+        for path in self.paths():
+            for interface in path.interfaces:
+                seen.setdefault(interface)
+        return tuple(seen)
+
+
+def _enumerate(
+    node: AttackNode | AttackStep,
+) -> tuple[tuple[AttackStep, ...], ...]:
+    """Recursive cut-set enumeration for AND/OR trees."""
+    if isinstance(node, AttackStep):
+        return ((node,),)
+    child_sets = [_enumerate(child) for child in node.children]
+    if node.operator == "OR":
+        merged: list[tuple[AttackStep, ...]] = []
+        for child_paths in child_sets:
+            merged.extend(child_paths)
+        return tuple(merged)
+    # AND: cartesian product of the children's path sets, concatenated.
+    combined: list[tuple[AttackStep, ...]] = []
+    for combo in itertools.product(*child_sets):
+        flattened: tuple[AttackStep, ...] = ()
+        for part in combo:
+            flattened = flattened + part
+        combined.append(flattened)
+    return tuple(combined)

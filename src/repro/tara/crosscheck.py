@@ -1,0 +1,178 @@
+"""TARA-HARA cross-check (paper §II-B).
+
+"Cybersecurity experts collect ... the damage scenarios ... that are
+assumed to be safety related.  With safety experts and their consolidated
+HARA, they systematically crosscheck hazard events from the HARA against
+damage scenarios from the TARA."  Two outcomes exist per damage scenario:
+
+1. **ALIGNED** -- the damage scenario is comparable to some hazardous
+   event(s); it can then be refined "through the systematic process of the
+   HARA" (driving-scenario catalogs, E/S/C rating).
+2. **SECURITY_ONLY** -- the damage scenario is purely cybersecurity
+   motivated ("motivated by malicious attacks, not by faults of the SUT")
+   and has no HARA counterpart.
+
+The matcher pairs damage scenarios with hazard ratings by asset/function
+reference and by lexical overlap of their consequence texts; every match is
+reported with its evidence so safety and security engineers can confirm or
+override it -- the library automates the bookkeeping, not the judgement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+
+from repro.model.safety import HazardRating
+from repro.tara.damage import DamageScenario
+
+_STOPWORDS = frozenset(
+    "a an and are as at be by can for from in into is it may no not of on "
+    "or so that the their this to with without".split()
+)
+
+
+class CrossCheckOutcome(enum.Enum):
+    """Classification of one damage scenario after the cross-check."""
+
+    ALIGNED = "aligned with hazardous event(s)"
+    SECURITY_ONLY = "cybersecurity-only (no HARA overlap)"
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossCheckEntry:
+    """The cross-check result for one damage scenario.
+
+    Attributes:
+        damage: The damage scenario examined.
+        outcome: ALIGNED or SECURITY_ONLY.
+        matched_ratings: The hazard ratings judged comparable (empty for
+            SECURITY_ONLY entries).
+        evidence: Human-readable justification of each match.
+    """
+
+    damage: DamageScenario
+    outcome: CrossCheckOutcome
+    matched_ratings: tuple[HazardRating, ...] = ()
+    evidence: tuple[str, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossCheckReport:
+    """Full TARA-HARA cross-check result."""
+
+    entries: tuple[CrossCheckEntry, ...]
+
+    @property
+    def aligned(self) -> tuple[CrossCheckEntry, ...]:
+        """Entries aligned with hazardous events (option 1 of §II-B)."""
+        return tuple(
+            entry
+            for entry in self.entries
+            if entry.outcome is CrossCheckOutcome.ALIGNED
+        )
+
+    @property
+    def security_only(self) -> tuple[CrossCheckEntry, ...]:
+        """Purely cybersecurity-motivated entries (option 2 of §II-B)."""
+        return tuple(
+            entry
+            for entry in self.entries
+            if entry.outcome is CrossCheckOutcome.SECURITY_ONLY
+        )
+
+    def uncovered_ratings(
+        self, ratings: list[HazardRating]
+    ) -> tuple[HazardRating, ...]:
+        """Hazard ratings no damage scenario aligned with.
+
+        Supports the reverse completeness question: are there hazards the
+        security analysis never considered as attack consequences?
+        """
+        matched: set[int] = set()
+        for entry in self.entries:
+            matched.update(id(rating) for rating in entry.matched_ratings)
+        return tuple(
+            rating for rating in ratings if id(rating) not in matched
+        )
+
+
+def cross_check(
+    damage_scenarios: list[DamageScenario],
+    hazard_ratings: list[HazardRating],
+    min_overlap: float = 0.2,
+) -> CrossCheckReport:
+    """Run the TARA-HARA cross-check.
+
+    A damage scenario aligns with a hazard rating when their consequence
+    texts share at least ``min_overlap`` (Jaccard) significant words, or
+    when the damage scenario's asset name appears in the rating's function
+    name.  Non-safety-relevant damage scenarios are SECURITY_ONLY by
+    definition (they have nothing to align).
+
+    Args:
+        damage_scenarios: TARA output.
+        hazard_ratings: HARA output (rated rows; N/A rows are skipped).
+        min_overlap: Jaccard threshold on significant-word sets.
+    """
+    rated = [rating for rating in hazard_ratings if rating.is_rated]
+    entries: list[CrossCheckEntry] = []
+    for damage in damage_scenarios:
+        matches: list[HazardRating] = []
+        evidence: list[str] = []
+        if damage.is_safety_relevant:
+            for rating in rated:
+                reason = _match_reason(damage, rating, min_overlap)
+                if reason:
+                    matches.append(rating)
+                    evidence.append(reason)
+        outcome = (
+            CrossCheckOutcome.ALIGNED
+            if matches
+            else CrossCheckOutcome.SECURITY_ONLY
+        )
+        entries.append(
+            CrossCheckEntry(
+                damage=damage,
+                outcome=outcome,
+                matched_ratings=tuple(matches),
+                evidence=tuple(evidence),
+            )
+        )
+    return CrossCheckReport(entries=tuple(entries))
+
+
+def _match_reason(
+    damage: DamageScenario, rating: HazardRating, min_overlap: float
+) -> str | None:
+    """Return an evidence string when damage and rating are comparable."""
+    if damage.asset and damage.asset.lower() in rating.function.name.lower():
+        return (
+            f"asset {damage.asset!r} appears in function "
+            f"{rating.function.identifier} ({rating.function.name!r})"
+        )
+    damage_words = _significant_words(damage.description)
+    hazard_words = _significant_words(
+        f"{rating.hazard} {rating.hazardous_event}"
+    )
+    if not damage_words or not hazard_words:
+        return None
+    intersection = damage_words & hazard_words
+    union = damage_words | hazard_words
+    overlap = len(intersection) / len(union)
+    if overlap >= min_overlap:
+        shared = ", ".join(sorted(intersection))
+        return (
+            f"consequence texts overlap {overlap:.0%} "
+            f"(shared terms: {shared})"
+        )
+    return None
+
+
+def _significant_words(text: str) -> set[str]:
+    """Lower-cased word set minus stopwords and short tokens."""
+    words = re.findall(r"[a-zA-Z]+", text.lower())
+    return {
+        word for word in words if len(word) > 2 and word not in _STOPWORDS
+    }

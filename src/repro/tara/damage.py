@@ -1,0 +1,99 @@
+"""Damage scenarios and impact rating (ISO/SAE 21434, paper §II-B).
+
+A TARA starts from *damage scenarios*: adverse end-consequences for road
+users resulting from the compromise of an asset.  Each damage scenario is
+rated for impact in four categories -- Safety, Financial, Operational,
+Privacy (S/F/O/P).  Safety-relevant damage scenarios are exactly the ones
+the TARA-HARA cross-check (paper §II-B) aligns with hazardous events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ValidationError
+from repro.model.ratings import ImpactRating
+
+
+class ImpactCategory(enum.Enum):
+    """The four ISO/SAE 21434 impact categories."""
+
+    SAFETY = "Safety"
+    FINANCIAL = "Financial"
+    OPERATIONAL = "Operational"
+    PRIVACY = "Privacy"
+
+
+@dataclasses.dataclass(frozen=True)
+class DamageScenario:
+    """An adverse end-consequence of compromising an asset.
+
+    Attributes:
+        identifier: Short unique handle, e.g. ``"DS-01"``.
+        description: What happens to road users / the item.
+        asset: The compromised asset's name.
+        impacts: Rating per impact category.  Categories not listed
+            default to :attr:`ImpactRating.NEGLIGIBLE`.
+    """
+
+    identifier: str
+    description: str
+    asset: str
+    impacts: tuple[tuple[ImpactCategory, ImpactRating], ...]
+
+    def __post_init__(self) -> None:
+        if not self.identifier:
+            raise ValidationError("damage scenario needs an identifier")
+        if not self.description:
+            raise ValidationError(
+                f"damage scenario {self.identifier} needs a description"
+            )
+        seen: set[ImpactCategory] = set()
+        for category, __ in self.impacts:
+            if category in seen:
+                raise ValidationError(
+                    f"damage scenario {self.identifier}: duplicate impact "
+                    f"category {category.value}"
+                )
+            seen.add(category)
+
+    def impact(self, category: ImpactCategory) -> ImpactRating:
+        """The rating for one category (NEGLIGIBLE when unrated)."""
+        for entry_category, rating in self.impacts:
+            if entry_category is category:
+                return rating
+        return ImpactRating.NEGLIGIBLE
+
+    @property
+    def safety_impact(self) -> ImpactRating:
+        """Shortcut for the safety-category impact."""
+        return self.impact(ImpactCategory.SAFETY)
+
+    @property
+    def is_safety_relevant(self) -> bool:
+        """True when the safety impact is above negligible.
+
+        These are the damage scenarios the TARA-HARA cross-check collects:
+        "cybersecurity experts collecting the damage scenarios ... that are
+        assumed to be safety related".
+        """
+        return self.safety_impact > ImpactRating.NEGLIGIBLE
+
+    @property
+    def overall_impact(self) -> ImpactRating:
+        """The maximum rating across categories (worst-case aggregation)."""
+        best = ImpactRating.NEGLIGIBLE
+        for __, rating in self.impacts:
+            if rating > best:
+                best = rating
+        return best
+
+
+def safety_relevant(
+    scenarios: list[DamageScenario],
+) -> tuple[DamageScenario, ...]:
+    """Filter damage scenarios with above-negligible safety impact."""
+    return tuple(
+        scenario for scenario in scenarios if scenario.is_safety_relevant
+    )

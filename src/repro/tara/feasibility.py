@@ -1,0 +1,122 @@
+"""Attack feasibility rating (ISO/SAE 21434 attack-potential approach).
+
+The attack-potential-based approach rates an attack path on five factors --
+elapsed time, specialist expertise, knowledge of the item, window of
+opportunity and equipment -- sums the factor values into an *attack
+potential*, and maps the sum to an aggregated
+:class:`~repro.model.ratings.FeasibilityRating` (the higher the required
+potential, the lower the feasibility).
+
+Factor values follow the common Annex-G style scale; the thresholds are the
+ones used throughout automotive TARA practice (e.g. the Kugler Maag TARA
+whitepaper the paper cites as [9]).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.model.ratings import FeasibilityRating
+
+
+class ElapsedTime(enum.IntEnum):
+    """Time needed to identify and exploit the weakness."""
+
+    ONE_DAY = 0
+    ONE_WEEK = 1
+    ONE_MONTH = 4
+    SIX_MONTHS = 17
+    BEYOND_SIX_MONTHS = 19
+
+
+class Expertise(enum.IntEnum):
+    """Attacker capability required."""
+
+    LAYMAN = 0
+    PROFICIENT = 3
+    EXPERT = 6
+    MULTIPLE_EXPERTS = 8
+
+
+class Knowledge(enum.IntEnum):
+    """Knowledge of the item or component required."""
+
+    PUBLIC = 0
+    RESTRICTED = 3
+    CONFIDENTIAL = 7
+    STRICTLY_CONFIDENTIAL = 11
+
+
+class WindowOfOpportunity(enum.IntEnum):
+    """Access conditions (availability of the target to the attacker)."""
+
+    UNLIMITED = 0
+    EASY = 1
+    MODERATE = 4
+    DIFFICULT = 10
+
+
+class Equipment(enum.IntEnum):
+    """Tools required to execute the attack."""
+
+    STANDARD = 0
+    SPECIALIZED = 4
+    BESPOKE = 7
+    MULTIPLE_BESPOKE = 9
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackPotential:
+    """The five-factor attack-potential vector for one attack path."""
+
+    elapsed_time: ElapsedTime = ElapsedTime.ONE_DAY
+    expertise: Expertise = Expertise.LAYMAN
+    knowledge: Knowledge = Knowledge.PUBLIC
+    window: WindowOfOpportunity = WindowOfOpportunity.UNLIMITED
+    equipment: Equipment = Equipment.STANDARD
+
+    @property
+    def value(self) -> int:
+        """Sum of the five factor values."""
+        return (
+            int(self.elapsed_time)
+            + int(self.expertise)
+            + int(self.knowledge)
+            + int(self.window)
+            + int(self.equipment)
+        )
+
+    @property
+    def feasibility(self) -> FeasibilityRating:
+        """Map the potential sum to an aggregated feasibility rating.
+
+        Thresholds (attack potential required -> feasibility):
+        0-13 HIGH, 14-19 MEDIUM, 20-24 LOW, >=25 VERY_LOW.
+        """
+        total = self.value
+        if total < 14:
+            return FeasibilityRating.HIGH
+        if total < 20:
+            return FeasibilityRating.MEDIUM
+        if total < 25:
+            return FeasibilityRating.LOW
+        return FeasibilityRating.VERY_LOW
+
+
+def rate_feasibility(
+    elapsed_time: ElapsedTime = ElapsedTime.ONE_DAY,
+    expertise: Expertise = Expertise.LAYMAN,
+    knowledge: Knowledge = Knowledge.PUBLIC,
+    window: WindowOfOpportunity = WindowOfOpportunity.UNLIMITED,
+    equipment: Equipment = Equipment.STANDARD,
+) -> FeasibilityRating:
+    """One-shot helper: factor values in, aggregated feasibility out."""
+    potential = AttackPotential(
+        elapsed_time=elapsed_time,
+        expertise=expertise,
+        knowledge=knowledge,
+        window=window,
+        equipment=equipment,
+    )
+    return potential.feasibility

@@ -1,0 +1,119 @@
+"""Cybersecurity risk determination and CAL assignment (ISO/SAE 21434).
+
+Risk combines the *impact* of a damage scenario with the *attack
+feasibility* of the threat scenario that realises it.  We use the standard
+5-level risk matrix (risk value 1..5) and derive the Cybersecurity
+Assurance Level (CAL) from impact x exposure-style considerations; the CAL
+then drives "the necessary level of testing" (paper §II-B item 3), which
+:mod:`repro.core.prioritization` uses for RQ2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.model.ratings import (
+    CalLevel,
+    FeasibilityRating,
+    ImpactRating,
+    RiskLevel,
+)
+from repro.tara.damage import DamageScenario
+from repro.tara.feasibility import AttackPotential
+
+#: Risk matrix: (impact, feasibility) -> risk value, per the ISO/SAE 21434
+#: annex-H style matrix.  Rows: impact; columns: feasibility.
+RISK_MATRIX: dict[tuple[ImpactRating, FeasibilityRating], RiskLevel] = {
+    # Negligible impact is always risk 1 regardless of feasibility.
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.VERY_LOW): RiskLevel.R1,
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.LOW): RiskLevel.R1,
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.MEDIUM): RiskLevel.R1,
+    (ImpactRating.NEGLIGIBLE, FeasibilityRating.HIGH): RiskLevel.R1,
+    (ImpactRating.MODERATE, FeasibilityRating.VERY_LOW): RiskLevel.R1,
+    (ImpactRating.MODERATE, FeasibilityRating.LOW): RiskLevel.R2,
+    (ImpactRating.MODERATE, FeasibilityRating.MEDIUM): RiskLevel.R2,
+    (ImpactRating.MODERATE, FeasibilityRating.HIGH): RiskLevel.R3,
+    (ImpactRating.MAJOR, FeasibilityRating.VERY_LOW): RiskLevel.R1,
+    (ImpactRating.MAJOR, FeasibilityRating.LOW): RiskLevel.R2,
+    (ImpactRating.MAJOR, FeasibilityRating.MEDIUM): RiskLevel.R3,
+    (ImpactRating.MAJOR, FeasibilityRating.HIGH): RiskLevel.R4,
+    (ImpactRating.SEVERE, FeasibilityRating.VERY_LOW): RiskLevel.R2,
+    (ImpactRating.SEVERE, FeasibilityRating.LOW): RiskLevel.R3,
+    (ImpactRating.SEVERE, FeasibilityRating.MEDIUM): RiskLevel.R4,
+    (ImpactRating.SEVERE, FeasibilityRating.HIGH): RiskLevel.R5,
+}
+
+
+def determine_risk(
+    impact: ImpactRating, feasibility: FeasibilityRating
+) -> RiskLevel:
+    """Risk value for an (impact, feasibility) pair.
+
+    >>> determine_risk(ImpactRating.SEVERE, FeasibilityRating.HIGH)
+    <RiskLevel.R5: 5>
+    """
+    return RISK_MATRIX[(impact, feasibility)]
+
+
+def determine_cal(
+    impact: ImpactRating, feasibility: FeasibilityRating
+) -> CalLevel:
+    """Cybersecurity Assurance Level for a threat (ISO/SAE 21434 annex E).
+
+    The CAL scales with impact and with how exposed the attack surface is;
+    we approximate exposure by feasibility.  Severe-impact, highly feasible
+    threats demand CAL4 (the deepest testing); negligible/VERY_LOW corners
+    demand CAL1.
+    """
+    score = int(impact) + int(feasibility)
+    if score >= 5:
+        return CalLevel.CAL4
+    if score >= 4:
+        return CalLevel.CAL3
+    if score >= 2:
+        return CalLevel.CAL2
+    return CalLevel.CAL1
+
+
+@dataclasses.dataclass(frozen=True)
+class RiskAssessment:
+    """The assessed risk of one (damage scenario, attack path) pairing.
+
+    Attributes:
+        damage: The damage scenario realised.
+        potential: The attack-potential vector of the enabling attack path.
+        treatment: Free-text risk-treatment decision (avoid / reduce /
+            share / retain), defaulting to reduction via security controls.
+    """
+
+    damage: DamageScenario
+    potential: AttackPotential
+    treatment: str = "reduce (security control)"
+
+    @property
+    def feasibility(self) -> FeasibilityRating:
+        """Aggregated feasibility of the attack path."""
+        return self.potential.feasibility
+
+    @property
+    def risk(self) -> RiskLevel:
+        """Risk value from the matrix, using the worst-case impact."""
+        return determine_risk(self.damage.overall_impact, self.feasibility)
+
+    @property
+    def safety_risk(self) -> RiskLevel:
+        """Risk value considering only the safety impact category.
+
+        This is the number SaSeVAL cares about: it ranks threats by their
+        potential to violate safety goals (RQ2).
+        """
+        return determine_risk(self.damage.safety_impact, self.feasibility)
+
+    @property
+    def cal(self) -> CalLevel:
+        """Required cybersecurity assurance level for testing depth."""
+        return determine_cal(self.damage.overall_impact, self.feasibility)
+
+    def requires_testing(self, risk_threshold: RiskLevel = RiskLevel.R2) -> bool:
+        """True when the risk is at or above the given treatment threshold."""
+        return self.risk >= risk_threshold

@@ -1,0 +1,19 @@
+"""Test execution layer: test cases, oracles, harness (Step 4).
+
+The :mod:`repro.dsl` compiler emits :class:`~repro.testing.testcase
+.TestCase` objects; the :class:`~repro.testing.harness.TestHarness`
+executes them against the simulator and derives attack verdicts.
+"""
+
+from repro.testing import oracles
+from repro.testing.harness import CampaignReport, TestHarness
+from repro.testing.testcase import TestCase, TestExecution, Verdict
+
+__all__ = [
+    "CampaignReport",
+    "TestCase",
+    "TestExecution",
+    "TestHarness",
+    "Verdict",
+    "oracles",
+]

@@ -1,0 +1,153 @@
+"""Test oracles: executable Attack-Success / Attack-Fails criteria.
+
+An oracle inspects a finished scenario (and its
+:class:`~repro.sim.scenarios.ScenarioResult`) and reports whether its
+criterion held.  Oracles are small composable objects so a test case's
+pass/fail criteria read like the attack description's prose:
+
+    success = goal_violated("SG01")
+    fails   = all_of(not_(goal_violated("SG01")),
+                     detection_logged("OBU", "flooding-detector"))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+#: An oracle predicate over (scenario, scenario_result).
+OracleFn = Callable[[Any, Any], bool]
+
+
+@dataclasses.dataclass(frozen=True)
+class Oracle:
+    """A named predicate over a finished scenario run."""
+
+    description: str
+    check: OracleFn
+
+    def evaluate(self, scenario: Any, result: Any) -> bool:
+        """Evaluate the criterion on a finished run."""
+        return bool(self.check(scenario, result))
+
+
+def predicate(description: str, check: OracleFn) -> Oracle:
+    """Wrap an arbitrary predicate as an oracle."""
+    return Oracle(description=description, check=check)
+
+
+def goal_violated(goal_id: str) -> Oracle:
+    """The named safety goal was violated during the run."""
+    return Oracle(
+        description=f"safety goal {goal_id} violated",
+        check=lambda scenario, result: result.violated(goal_id),
+    )
+
+
+def any_goal_violated(*goal_ids: str) -> Oracle:
+    """At least one of the named goals was violated."""
+    names = ", ".join(goal_ids)
+    return Oracle(
+        description=f"any of {names} violated",
+        check=lambda scenario, result: any(
+            result.violated(goal_id) for goal_id in goal_ids
+        ),
+    )
+
+
+def no_goal_violated(*goal_ids: str) -> Oracle:
+    """None of the named goals was violated (empty = no violation at all)."""
+    names = ", ".join(goal_ids) or "any goal"
+    return Oracle(
+        description=f"no violation of {names}",
+        check=lambda scenario, result: (
+            not result.violations
+            if not goal_ids
+            else not any(result.violated(goal_id) for goal_id in goal_ids)
+        ),
+    )
+
+
+def detection_logged(
+    ecu: str, control: str | None = None, min_count: int = 1
+) -> Oracle:
+    """The named ECU's intrusion log recorded at least ``min_count`` denials."""
+    what = f"{ecu}/{control}" if control else ecu
+    return Oracle(
+        description=f"detection log of {what} has >= {min_count} entries",
+        check=lambda scenario, result: (
+            result.detections_of(ecu, control) >= min_count
+        ),
+    )
+
+
+def event_occurred(topic: str, min_count: int = 1) -> Oracle:
+    """At least ``min_count`` events under ``topic`` were published."""
+    return Oracle(
+        description=f">= {min_count} events under {topic!r}",
+        check=lambda scenario, result: scenario.bus.count(topic) >= min_count,
+    )
+
+
+def no_event(topic: str) -> Oracle:
+    """No event under ``topic`` was published."""
+    return Oracle(
+        description=f"no event under {topic!r}",
+        check=lambda scenario, result: scenario.bus.count(topic) == 0,
+    )
+
+
+def service_shut_down(ecu_attr: str) -> Oracle:
+    """The named scenario ECU attribute reports a shutdown (AD20 success)."""
+    return Oracle(
+        description=f"{ecu_attr} shut down",
+        check=lambda scenario, result: getattr(scenario, ecu_attr).is_shut_down,
+    )
+
+
+def door_open() -> Oracle:
+    """The vehicle's door ended the run open (UC II)."""
+    return Oracle(
+        description="door is open",
+        check=lambda scenario, result: (
+            result.stats["door"]["state"] == "open"
+        ),
+    )
+
+
+def door_closed() -> Oracle:
+    """The vehicle's door ended the run closed (UC II)."""
+    return Oracle(
+        description="door is closed",
+        check=lambda scenario, result: (
+            result.stats["door"]["state"] == "closed"
+        ),
+    )
+
+
+def all_of(*oracles: Oracle) -> Oracle:
+    """Conjunction of oracles."""
+    return Oracle(
+        description=" AND ".join(oracle.description for oracle in oracles),
+        check=lambda scenario, result: all(
+            oracle.evaluate(scenario, result) for oracle in oracles
+        ),
+    )
+
+
+def any_of(*oracles: Oracle) -> Oracle:
+    """Disjunction of oracles."""
+    return Oracle(
+        description=" OR ".join(oracle.description for oracle in oracles),
+        check=lambda scenario, result: any(
+            oracle.evaluate(scenario, result) for oracle in oracles
+        ),
+    )
+
+
+def not_(oracle: Oracle) -> Oracle:
+    """Negation of an oracle."""
+    return Oracle(
+        description=f"NOT ({oracle.description})",
+        check=lambda scenario, result: not oracle.evaluate(scenario, result),
+    )

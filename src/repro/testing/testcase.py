@@ -1,0 +1,115 @@
+"""Executable test cases compiled from attack descriptions (Step 4).
+
+A :class:`TestCase` binds an attack description to the simulator: a
+scenario factory (establishing the *precondition*), an attack arming
+function (the *implementation comments* made executable), and two oracles
+evaluating the *Attack Success* and *Attack Fails* criteria after the run.
+
+Verdict semantics follow §III-C: "the success case usually indicates how
+the safety goal is violated, while the failing case indicates a
+non-vulnerable system".  From the validation perspective, an attack that
+*succeeds* means the SUT failed the test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable
+
+from repro.errors import ValidationError
+from repro.model.identifiers import require_attack_id
+from repro.testing.oracles import Oracle
+
+
+class Verdict(enum.Enum):
+    """Outcome of executing one attack test case."""
+
+    ATTACK_SUCCEEDED = "attack succeeded (SUT vulnerable)"
+    ATTACK_FAILED = "attack failed (SUT withstood)"
+    INCONCLUSIVE = "inconclusive"
+
+    @property
+    def sut_passed(self) -> bool:
+        """True when the SUT withstood the attack."""
+        return self is Verdict.ATTACK_FAILED
+
+
+#: Builds a fresh scenario satisfying the attack's precondition.
+ScenarioFactory = Callable[[], Any]
+
+#: Arms the attack on a built scenario; returns the injector (or None for
+#: passive setups baked into the scenario).
+AttackArmer = Callable[[Any], Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class TestCase:
+    """One executable security test.
+
+    (``__test__ = False`` keeps pytest from trying to collect this class
+    when it is imported into test modules.)
+
+    Attributes:
+        attack_id: The attack description this test implements (``ADnn``).
+        title: Human-readable name.
+        build_scenario: Factory establishing the precondition.
+        arm_attack: Hook attaching/scheduling the attack injector.
+        duration_ms: Simulated run length.
+        success_oracle: Evaluates the *Attack Success* criteria.
+        failure_oracle: Evaluates the *Attack Fails* criteria.
+        safety_goal_ids: Goals whose violation the attack targets
+            (propagated from the description for reporting).
+    """
+
+    __test__ = False
+
+    attack_id: str
+    title: str
+    build_scenario: ScenarioFactory
+    arm_attack: AttackArmer
+    duration_ms: float
+    success_oracle: Oracle
+    failure_oracle: Oracle
+    safety_goal_ids: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        require_attack_id(self.attack_id)
+        if self.duration_ms <= 0:
+            raise ValidationError(
+                f"test case {self.attack_id}: duration must be positive"
+            )
+        if not self.title:
+            raise ValidationError(
+                f"test case {self.attack_id}: title must not be empty"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class TestExecution:
+    """The record of one executed test case.
+
+    Attributes:
+        test: The executed test case.
+        verdict: The derived verdict.
+        success_observed: What the success oracle reported.
+        failure_observed: What the failure oracle reported.
+        scenario_result: The raw scenario result for deeper inspection.
+        notes: Explanation of the verdict derivation.
+    """
+
+    test: TestCase
+    verdict: Verdict
+    success_observed: bool
+    failure_observed: bool
+    scenario_result: Any
+    notes: str = ""
+
+    @property
+    def sut_passed(self) -> bool:
+        """True when the SUT withstood the attack."""
+        return self.verdict.sut_passed
+
+    def summary(self) -> str:
+        """One-line result summary."""
+        return f"{self.test.attack_id} [{self.test.title}]: {self.verdict.value}"

@@ -1,0 +1,49 @@
+"""Threat library creation and management (paper §III-A, Step 1).
+
+* :class:`~repro.threatlib.library.ThreatLibrary` -- the queryable store,
+* :class:`~repro.threatlib.builder.ThreatLibraryBuilder` -- the four-substep
+  construction process (Steps 1.1-1.4),
+* :mod:`repro.threatlib.catalog` -- the built-in automotive catalog
+  reproducing Tables I, II, III and V,
+* :mod:`repro.threatlib.persistence` -- JSON save/load.
+"""
+
+from repro.threatlib.builder import ThreatLibraryBuilder
+from repro.threatlib.catalog import (
+    SCENARIO_ADVANCED_ACCESS,
+    SCENARIO_KEEP_CAR_SECURE,
+    SCENARIO_ROAD_INTERSECTION,
+    TS_GATEWAY_DOS,
+    TS_V2X_SPOOFING,
+    build_catalog,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table5_rows,
+)
+from repro.threatlib.library import ThreatLibrary
+from repro.threatlib.persistence import (
+    library_from_dict,
+    library_to_dict,
+    load_library,
+    save_library,
+)
+
+__all__ = [
+    "SCENARIO_ADVANCED_ACCESS",
+    "SCENARIO_KEEP_CAR_SECURE",
+    "SCENARIO_ROAD_INTERSECTION",
+    "TS_GATEWAY_DOS",
+    "TS_V2X_SPOOFING",
+    "ThreatLibrary",
+    "ThreatLibraryBuilder",
+    "build_catalog",
+    "library_from_dict",
+    "library_to_dict",
+    "load_library",
+    "save_library",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table5_rows",
+]

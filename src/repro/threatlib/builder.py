@@ -1,0 +1,174 @@
+"""The four-substep threat-library builder (paper §III-A1..A4).
+
+The builder walks an analyst through the process exactly as the paper
+stages it:
+
+* **Step 1.1** -- identify useful scenarios (and their assets),
+* **Step 1.2** -- identify threat scenarios for the assets,
+* **Step 1.3** -- map each threat scenario to STRIDE threat types
+  (with the keyword classifier as a suggestion engine),
+* **Step 1.4** -- the STRIDE -> attack-type mapping is normative
+  (Table IV), so the builder validates rather than asks.
+
+The builder assigns the paper's dotted threat-scenario identifiers
+automatically: scenario index, asset index within the scenario, running
+threat index -- yielding ids like ``3.1.4`` as seen in Table VII.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ValidationError
+from repro.model.asset import Asset
+from repro.model.scenario import Scenario
+from repro.model.threat import StrideType, ThreatScenario
+from repro.stride.classify import classify
+from repro.threatlib.library import ThreatLibrary
+
+
+@dataclasses.dataclass
+class ThreatLibraryBuilder:
+    """Incremental, process-ordered construction of a threat library.
+
+    Typical use::
+
+        builder = ThreatLibraryBuilder("my library")
+        builder.identify_scenario(scenario)              # Step 1.1
+        builder.identify_asset(scenario.name, asset)     # Step 1.1
+        builder.identify_threat(                         # Steps 1.2 + 1.3
+            scenario.name, asset.name,
+            "Spoofing of messages by impersonation",
+            stride=(StrideType.SPOOFING,),
+        )
+        library = builder.build()
+    """
+
+    name: str = "threat library"
+    _library: ThreatLibrary = dataclasses.field(init=False)
+    _scenario_order: list[str] = dataclasses.field(default_factory=list)
+    _asset_order: dict[str, list[str]] = dataclasses.field(
+        default_factory=dict
+    )
+    _threat_counters: dict[tuple[str, str], int] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._library = ThreatLibrary(name=self.name)
+
+    # -- Step 1.1 ---------------------------------------------------------
+
+    def identify_scenario(self, scenario: Scenario) -> Scenario:
+        """Step 1.1: register a useful scenario."""
+        self._library.add_scenario(scenario)
+        self._scenario_order.append(scenario.name)
+        self._asset_order[scenario.name] = []
+        return scenario
+
+    def identify_asset(self, scenario_name: str, asset: Asset) -> Asset:
+        """Step 1.1: register an asset under a scenario.
+
+        The scenario must be identified first; the asset's position within
+        the scenario feeds the dotted threat identifiers.  *Generic* assets
+        are "relevant for multiple scenarios" (§III-A2), so identifying the
+        same asset under a second scenario is allowed -- provided the asset
+        definitions agree exactly.
+        """
+        if scenario_name not in self._asset_order:
+            raise ValidationError(
+                f"identify scenario {scenario_name!r} before its assets"
+            )
+        if asset.name in self._asset_order[scenario_name]:
+            raise ValidationError(
+                f"asset {asset.name!r} already identified under scenario "
+                f"{scenario_name!r}"
+            )
+        known_names = {existing.name for existing in self._library.assets}
+        if asset.name in known_names:
+            existing = self._library.asset(asset.name)
+            if existing != asset:
+                raise ValidationError(
+                    f"asset {asset.name!r} is already registered with a "
+                    "different definition; generic assets must be defined "
+                    "identically across scenarios"
+                )
+        else:
+            self._library.add_asset(asset)
+        self._asset_order[scenario_name].append(asset.name)
+        return asset
+
+    # -- Steps 1.2 + 1.3 --------------------------------------------------
+
+    def identify_threat(
+        self,
+        scenario_name: str,
+        asset_name: str,
+        text: str,
+        stride: tuple[StrideType, ...] | None = None,
+        attack_examples: tuple[str, ...] = (),
+    ) -> ThreatScenario:
+        """Steps 1.2/1.3: record a threat scenario with its STRIDE mapping.
+
+        When ``stride`` is omitted the keyword classifier supplies the
+        mapping; when its evidence is inconclusive a
+        :class:`ValidationError` asks the analyst to decide -- the paper's
+        Step 1.3 exists precisely because subjective mappings are risky,
+        so silent guessing is out.
+        """
+        if stride is None:
+            classification = classify(text)
+            suggested = classification.suggestions(min_score=3)
+            if not suggested:
+                raise ValidationError(
+                    f"cannot infer a STRIDE type for {text!r}; pass "
+                    "stride=... explicitly (Step 1.3)"
+                )
+            stride = (suggested[0],)
+        identifier = self._next_identifier(scenario_name, asset_name)
+        threat = ThreatScenario(
+            identifier=identifier,
+            text=text,
+            scenario=scenario_name,
+            asset=asset_name,
+            stride=stride,
+            attack_examples=attack_examples,
+        )
+        return self._library.add_threat(threat)
+
+    # -- Step 1.4 + build --------------------------------------------------
+
+    def build(self) -> ThreatLibrary:
+        """Finalise and return the library.
+
+        Step 1.4 (threat type -> attack types) is table-driven, so the
+        build step's job is validation: every threat must carry at least
+        one STRIDE type (guaranteed by the model) and the library must not
+        be empty.
+        """
+        if not self._library.threats:
+            raise ValidationError(
+                f"threat library {self.name!r} has no threat scenarios; "
+                "complete Steps 1.1-1.3 first"
+            )
+        return self._library
+
+    # -- identifiers -------------------------------------------------------
+
+    def _next_identifier(self, scenario_name: str, asset_name: str) -> str:
+        """Dotted id: <scenario#>.<asset# within scenario>.<running threat#>."""
+        if scenario_name not in self._scenario_order:
+            raise ValidationError(
+                f"unknown scenario {scenario_name!r}; identify it first"
+            )
+        assets = self._asset_order[scenario_name]
+        if asset_name not in assets:
+            raise ValidationError(
+                f"asset {asset_name!r} is not identified under scenario "
+                f"{scenario_name!r}"
+            )
+        scenario_index = self._scenario_order.index(scenario_name) + 1
+        asset_index = assets.index(asset_name) + 1
+        key = (scenario_name, asset_name)
+        self._threat_counters[key] = self._threat_counters.get(key, 0) + 1
+        return f"{scenario_index}.{asset_index}.{self._threat_counters[key]}"

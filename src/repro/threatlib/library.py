@@ -1,0 +1,232 @@
+"""The threat library container (paper §III, Step 1).
+
+"The threat library identifies threats that could be exploited in a
+certain scenario.  By classifying threat scenarios according to threat
+types and then mapping these to different types of attacks, the library
+provides valuable inputs to the attack description process."
+
+A :class:`ThreatLibrary` stores scenarios, assets and threat scenarios,
+keeps the referential integrity between them (every threat scenario must
+point at a registered scenario and asset), and answers the queries the
+attack-derivation and completeness steps need:
+
+* threats by scenario / asset / STRIDE type / attack type,
+* the attack types applicable to a threat (via the Table IV mapping),
+* asset prioritisation for RQ2 scoping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import CatalogError, ValidationError
+from repro.model.asset import Asset, AssetRelevance
+from repro.model.scenario import Scenario
+from repro.model.threat import AttackType, StrideType, ThreatScenario
+from repro.stride.mapping import attack_types_for
+
+
+@dataclasses.dataclass
+class ThreatLibrary:
+    """A queryable store of scenarios, assets and threat scenarios.
+
+    Attributes:
+        name: Library name (e.g. ``"SECREDAS automotive"``).
+    """
+
+    name: str = "threat library"
+    _scenarios: dict[str, Scenario] = dataclasses.field(default_factory=dict)
+    _assets: dict[str, Asset] = dataclasses.field(default_factory=dict)
+    _threats: dict[str, ThreatScenario] = dataclasses.field(
+        default_factory=dict
+    )
+
+    # -- registration ----------------------------------------------------
+
+    def add_scenario(self, scenario: Scenario) -> Scenario:
+        """Register a scenario (Step 1.1).
+
+        Raises:
+            ValidationError: on duplicate scenario names.
+        """
+        if scenario.name in self._scenarios:
+            raise ValidationError(
+                f"library {self.name!r}: scenario {scenario.name!r} exists"
+            )
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def add_asset(self, asset: Asset) -> Asset:
+        """Register an asset (Step 1.1).
+
+        Raises:
+            ValidationError: on duplicate asset names.
+        """
+        if asset.name in self._assets:
+            raise ValidationError(
+                f"library {self.name!r}: asset {asset.name!r} exists"
+            )
+        self._assets[asset.name] = asset
+        return asset
+
+    def add_threat(self, threat: ThreatScenario) -> ThreatScenario:
+        """Register a threat scenario (Steps 1.2/1.3).
+
+        Referential integrity is enforced: the threat's scenario and asset
+        must already be registered.
+
+        Raises:
+            ValidationError: on duplicates or dangling references.
+        """
+        if threat.identifier in self._threats:
+            raise ValidationError(
+                f"library {self.name!r}: threat {threat.identifier} exists"
+            )
+        if threat.scenario and threat.scenario not in self._scenarios:
+            raise ValidationError(
+                f"threat {threat.identifier} references unknown scenario "
+                f"{threat.scenario!r}"
+            )
+        if threat.asset and threat.asset not in self._assets:
+            raise ValidationError(
+                f"threat {threat.identifier} references unknown asset "
+                f"{threat.asset!r}"
+            )
+        self._threats[threat.identifier] = threat
+        return threat
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def scenarios(self) -> tuple[Scenario, ...]:
+        """All scenarios, in registration order."""
+        return tuple(self._scenarios.values())
+
+    @property
+    def assets(self) -> tuple[Asset, ...]:
+        """All assets, in registration order."""
+        return tuple(self._assets.values())
+
+    @property
+    def threats(self) -> tuple[ThreatScenario, ...]:
+        """All threat scenarios, in registration order."""
+        return tuple(self._threats.values())
+
+    def scenario(self, name: str) -> Scenario:
+        """Look up a scenario by name or raise :class:`CatalogError`."""
+        if name not in self._scenarios:
+            raise CatalogError(
+                f"library {self.name!r} has no scenario {name!r}", key=name
+            )
+        return self._scenarios[name]
+
+    def asset(self, name: str) -> Asset:
+        """Look up an asset by name or raise :class:`CatalogError`."""
+        if name not in self._assets:
+            raise CatalogError(
+                f"library {self.name!r} has no asset {name!r}", key=name
+            )
+        return self._assets[name]
+
+    def threat(self, identifier: str) -> ThreatScenario:
+        """Look up a threat scenario by id or raise :class:`CatalogError`."""
+        if identifier not in self._threats:
+            raise CatalogError(
+                f"library {self.name!r} has no threat {identifier!r}",
+                key=identifier,
+            )
+        return self._threats[identifier]
+
+    # -- queries ---------------------------------------------------------
+
+    def threats_for_scenario(self, scenario_name: str) -> tuple[ThreatScenario, ...]:
+        """Threat scenarios identified under one scenario."""
+        self.scenario(scenario_name)
+        return tuple(
+            threat
+            for threat in self._threats.values()
+            if threat.scenario == scenario_name
+        )
+
+    def threats_for_asset(self, asset_name: str) -> tuple[ThreatScenario, ...]:
+        """Threat scenarios targeting one asset."""
+        self.asset(asset_name)
+        return tuple(
+            threat
+            for threat in self._threats.values()
+            if threat.asset == asset_name
+        )
+
+    def threats_of_type(self, stride: StrideType) -> tuple[ThreatScenario, ...]:
+        """Threat scenarios mapped to a STRIDE threat type."""
+        return tuple(
+            threat
+            for threat in self._threats.values()
+            if threat.describes(stride)
+        )
+
+    def threats_for_attack_type(
+        self, attack_type: AttackType
+    ) -> tuple[ThreatScenario, ...]:
+        """Threat scenarios an attack type can realise.
+
+        An attack type applies to every threat scenario of its STRIDE type
+        (Step 1.4 mapping composed with Step 1.3).
+        """
+        return self.threats_of_type(attack_type.stride)
+
+    def attack_types_for_threat(
+        self, identifier: str
+    ) -> tuple[AttackType, ...]:
+        """The Table IV attack types applicable to one threat scenario."""
+        threat = self.threat(identifier)
+        results: list[AttackType] = []
+        for stride in threat.stride:
+            results.extend(attack_types_for(stride))
+        return tuple(results)
+
+    def assets_by_priority(self) -> tuple[Asset, ...]:
+        """Assets ordered for analysis (RQ2): highest priority first.
+
+        Ties keep registration order, so the ordering is deterministic.
+        """
+        return tuple(
+            sorted(
+                self._assets.values(),
+                key=lambda asset: -asset.priority,
+            )
+        )
+
+    def scoped(
+        self, relevance: set[AssetRelevance] | None = None
+    ) -> "ThreatLibrary":
+        """A reduced library keeping only assets of the given relevance.
+
+        This is the paper's Step 1.2 scoping: "depending on the type of
+        asset that is of interest, one could limit the list of threat
+        scenarios and therefore contribute to the fulfillment of RQ2".
+        Scenarios are kept; threats whose asset is dropped are dropped.
+        With ``relevance=None`` a full copy is returned.
+        """
+        reduced = ThreatLibrary(name=f"{self.name} (scoped)")
+        for scenario in self._scenarios.values():
+            reduced.add_scenario(scenario)
+        for asset in self._assets.values():
+            if relevance is None or asset.relevance in relevance:
+                reduced.add_asset(asset)
+        for threat in self._threats.values():
+            if not threat.asset or threat.asset in reduced._assets:
+                reduced.add_threat(threat)
+        return reduced
+
+    def stats(self) -> dict[str, int]:
+        """Size summary used by reports and benchmarks."""
+        return {
+            "scenarios": len(self._scenarios),
+            "sub_scenarios": sum(
+                len(scenario.sub_scenarios)
+                for scenario in self._scenarios.values()
+            ),
+            "assets": len(self._assets),
+            "threat_scenarios": len(self._threats),
+        }

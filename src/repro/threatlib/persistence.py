@@ -1,0 +1,83 @@
+"""JSON persistence for threat libraries.
+
+Threat libraries are long-lived, shared artifacts -- "the library could be
+useful especially in domains that share the same threat scenarios"
+(§III-A) -- so they must survive round trips through a reviewable text
+format.  The layout is a single JSON document::
+
+    {
+      "name": "...",
+      "scenarios": [...],
+      "assets": [...],
+      "threats": [...]
+    }
+
+using the per-type codecs of :mod:`repro.model.serialization`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.model.serialization import (
+    asset_from_dict,
+    asset_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+    threat_scenario_from_dict,
+    threat_scenario_to_dict,
+)
+from repro.threatlib.library import ThreatLibrary
+
+
+def library_to_dict(library: ThreatLibrary) -> dict[str, Any]:
+    """Encode a threat library as a JSON-compatible dict."""
+    return {
+        "name": library.name,
+        "scenarios": [
+            scenario_to_dict(scenario) for scenario in library.scenarios
+        ],
+        "assets": [asset_to_dict(asset) for asset in library.assets],
+        "threats": [
+            threat_scenario_to_dict(threat) for threat in library.threats
+        ],
+    }
+
+
+def library_from_dict(payload: dict[str, Any]) -> ThreatLibrary:
+    """Decode a threat library, re-validating referential integrity."""
+    if "name" not in payload:
+        raise SerializationError("threat library document: missing 'name'")
+    library = ThreatLibrary(name=payload["name"])
+    for scenario_payload in payload.get("scenarios", []):
+        library.add_scenario(scenario_from_dict(scenario_payload))
+    for asset_payload in payload.get("assets", []):
+        library.add_asset(asset_from_dict(asset_payload))
+    for threat_payload in payload.get("threats", []):
+        library.add_threat(threat_scenario_from_dict(threat_payload))
+    return library
+
+
+def save_library(library: ThreatLibrary, path: str | Path) -> None:
+    """Write a threat library to ``path`` as pretty-printed JSON."""
+    document = json.dumps(library_to_dict(library), indent=2)
+    Path(path).write_text(document + "\n", encoding="utf-8")
+
+
+def load_library(path: str | Path) -> ThreatLibrary:
+    """Read a threat library from a JSON file.
+
+    Raises:
+        SerializationError: when the file is not valid JSON or the
+            document is malformed.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError(f"{path}: expected a JSON object at top level")
+    return library_from_dict(payload)

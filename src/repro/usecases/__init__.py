@@ -1,0 +1,12 @@
+"""The paper's two evaluated use cases, fully encoded (§IV).
+
+Each module provides ``build_hara()``, ``build_attacks()``,
+``build_pipeline()`` (the complete Steps 1-3 run with passing RQ1 audits)
+and ``build_bindings()`` (the Step 4 executable bindings for the attacks
+the paper details).
+"""
+
+from repro.usecases import uc1_autonomous_driving as uc1
+from repro.usecases import uc2_keyless_entry as uc2
+
+__all__ = ["uc1", "uc2"]

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReport:
+    def test_uc1_report(self, capsys):
+        assert main(["report", "uc1"]) == 0
+        out = capsys.readouterr().out
+        assert "Use Case I" in out
+        assert "ratings   : 29" in out
+        assert "23 safety + 0 privacy" in out
+
+    def test_uc2_report(self, capsys):
+        assert main(["report", "uc2"]) == 0
+        out = capsys.readouterr().out
+        assert "27 safety + 2 privacy" in out
+
+    def test_unknown_usecase_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report", "uc9"])
+
+
+class TestAttack:
+    def test_render_ad20(self, capsys):
+        assert main(["attack", "AD20", "--usecase", "uc1"]) == 0
+        out = capsys.readouterr().out
+        assert "packet flooding" in out
+        assert "Shutdown of service" in out
+
+    def test_unknown_attack(self, capsys):
+        assert main(["attack", "AD99", "--usecase", "uc1"]) == 1
+        assert "no attack" in capsys.readouterr().err
+
+
+class TestExportValidate:
+    def test_export_then_validate_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "uc2.dsl"
+        assert main(["export", "uc2", str(target)]) == 0
+        assert target.exists()
+        assert main(["validate", str(target), "--usecase", "uc2"]) == 0
+        out = capsys.readouterr().out
+        assert "29 attack description(s) validated" in out
+
+    def test_validate_rejects_broken_document(self, tmp_path, capsys):
+        target = tmp_path / "broken.dsl"
+        target.write_text("attack AD01 { }", encoding="utf-8")
+        assert main(["validate", str(target), "--usecase", "uc1"]) == 2
+        assert "INVALID" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_matrix_printed(self, capsys):
+        assert main(["trace", "uc2"]) == 0
+        out = capsys.readouterr().out
+        assert "SG01" in out
+        assert "AD08" in out
+
+
+class TestRun:
+    @pytest.mark.slow
+    def test_run_bound_attack(self, capsys):
+        # AD02 (replay) is quick to simulate and the SUT withstands it.
+        assert main(["run", "AD02", "--usecase", "uc2"]) == 0
+        out = capsys.readouterr().out
+        assert "attack failed" in out
+
+    def test_run_unbound_attack(self, capsys):
+        assert main(["run", "AD01", "--usecase", "uc1"]) == 1
+        assert "no executable binding" in capsys.readouterr().err

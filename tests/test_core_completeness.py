@@ -1,0 +1,121 @@
+"""Tests for the RQ1 completeness audits (deductive + inductive)."""
+
+import pytest
+
+from repro.core.completeness import CompletenessAuditor
+from repro.core.derivation import AttackDeriver
+from repro.errors import CoverageError, ValidationError
+from repro.model.ratings import Asil
+from repro.model.safety import SafetyGoal
+from repro.threatlib.catalog import build_catalog
+
+
+@pytest.fixture()
+def setup():
+    library = build_catalog()
+    goals = [
+        SafetyGoal("SG01", "goal one", Asil.C),
+        SafetyGoal("SG02", "goal two", Asil.B),
+    ]
+    deriver = AttackDeriver.create(library, goals)
+    auditor = CompletenessAuditor(
+        library=library, goals=tuple(goals), attacks=deriver.results
+    )
+    return library, goals, deriver, auditor
+
+
+def derive(deriver, goal_ids=("SG01",), threat="2.1.4", attack_type="Disable"):
+    deriver.derive(
+        description="attack",
+        safety_goal_ids=goal_ids,
+        threat_id=threat,
+        attack_type_name=attack_type,
+        interface="X",
+        precondition="p",
+        expected_measures="m",
+        attack_success="s",
+        attack_fails="f",
+    )
+
+
+class TestDeductiveAudit:
+    def test_uncovered_goal_reported(self, setup):
+        __, __, deriver, auditor = setup
+        derive(deriver, goal_ids=("SG01",))
+        report = auditor.audit()
+        assert not report.deductively_complete
+        assert [e.goal.identifier for e in report.uncovered_goals] == ["SG02"]
+
+    def test_all_goals_covered(self, setup):
+        __, __, deriver, auditor = setup
+        derive(deriver, goal_ids=("SG01", "SG02"))
+        assert auditor.audit().deductively_complete
+
+
+class TestInductiveAudit:
+    def test_unattacked_threats_reported(self, setup):
+        library, __, deriver, auditor = setup
+        derive(deriver)
+        report = auditor.audit()
+        assert not report.inductively_complete
+        uncovered = {e.threat_id for e in report.uncovered_threats}
+        assert "2.1.4" not in uncovered
+        assert len(uncovered) == len(library.threats) - 1
+
+    def test_justification_covers_threat(self, setup):
+        __, __, deriver, auditor = setup
+        derive(deriver)
+        for threat in auditor.library.threats:
+            if threat.identifier != "2.1.4":
+                auditor.justify(threat.identifier, "out of scope here")
+        report = auditor.audit()
+        assert report.inductively_complete
+
+    def test_justification_requires_reason(self, setup):
+        __, __, __, auditor = setup
+        with pytest.raises(ValidationError):
+            auditor.justify("2.1.4", "")
+
+    def test_justifying_unknown_threat_rejected(self, setup):
+        from repro.errors import CatalogError
+
+        __, __, __, auditor = setup
+        with pytest.raises(CatalogError):
+            auditor.justify("9.9.9", "whatever")
+
+    def test_double_justification_rejected(self, setup):
+        __, __, __, auditor = setup
+        auditor.justify("2.1.4", "reason")
+        with pytest.raises(ValidationError, match="already"):
+            auditor.justify("2.1.4", "another reason")
+
+
+class TestAssertComplete:
+    def test_raises_with_actionable_message(self, setup):
+        __, __, deriver, auditor = setup
+        derive(deriver, goal_ids=("SG01",))
+        with pytest.raises(CoverageError) as excinfo:
+            auditor.assert_complete()
+        message = str(excinfo.value)
+        assert "SG02" in message
+        assert "neither attacked nor justified" in message
+
+    def test_passes_when_complete(self, setup):
+        library, __, deriver, auditor = setup
+        derive(deriver, goal_ids=("SG01", "SG02"))
+        for threat in library.threats:
+            if threat.identifier != "2.1.4":
+                auditor.justify(threat.identifier, "not applicable")
+        report = auditor.assert_complete()
+        assert report.complete
+
+    def test_summary_counts(self, setup):
+        library, __, deriver, auditor = setup
+        derive(deriver, goal_ids=("SG01", "SG02"))
+        auditor.justify("1.1.1", "n/a")
+        summary = auditor.audit().summary()
+        assert summary["goals"] == 2
+        assert summary["goals_covered"] == 2
+        assert summary["threats"] == len(library.threats)
+        assert summary["threats_attacked"] == 1
+        assert summary["threats_justified"] == 1

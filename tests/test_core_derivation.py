@@ -1,0 +1,143 @@
+"""Tests for Step 3: the attack-description derivation engine."""
+
+import pytest
+
+from repro.core.derivation import AttackDeriver, AttackDescriptionSet
+from repro.errors import ValidationError
+from repro.model.attack import AttackCategory
+from repro.model.ratings import Asil
+from repro.model.safety import SafetyGoal
+from repro.model.threat import StrideType
+from repro.threatlib.catalog import build_catalog
+
+
+@pytest.fixture()
+def goals():
+    return [
+        SafetyGoal("SG01", "Avoid ineffective notification", Asil.C),
+        SafetyGoal("SG02", "Avoid intermittent switches", Asil.C),
+    ]
+
+
+@pytest.fixture()
+def deriver(goals):
+    return AttackDeriver.create(build_catalog(), goals)
+
+
+def derive_flooding(deriver, **overrides):
+    kwargs = dict(
+        description="Flooding the OBU",
+        safety_goal_ids=("SG01",),
+        threat_id="2.1.4",
+        attack_type_name="Disable",
+        interface="OBU RSU",
+        precondition="approaching site",
+        expected_measures="message counter",
+        attack_success="shutdown",
+        attack_fails="sender identified",
+    )
+    kwargs.update(overrides)
+    return deriver.derive(**kwargs)
+
+
+class TestDerive:
+    def test_auto_assigns_sequential_ids(self, deriver):
+        first = derive_flooding(deriver)
+        second = derive_flooding(deriver, attack_type_name="Denial of service")
+        assert (first.identifier, second.identifier) == ("AD01", "AD02")
+
+    def test_explicit_identifier(self, deriver):
+        attack = derive_flooding(deriver, identifier="AD20")
+        assert attack.identifier == "AD20"
+
+    def test_threat_link_carries_text(self, deriver):
+        attack = derive_flooding(deriver)
+        assert "Vehicle Gateway" in attack.threat_link.text
+
+    def test_stride_inferred_from_threat(self, deriver):
+        attack = derive_flooding(deriver)
+        assert attack.stride is StrideType.DENIAL_OF_SERVICE
+
+    def test_unknown_goal_rejected(self, deriver):
+        with pytest.raises(ValidationError, match="SG09"):
+            derive_flooding(deriver, safety_goal_ids=("SG09",))
+
+    def test_unknown_threat_rejected(self, deriver):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            derive_flooding(deriver, threat_id="9.9.9")
+
+    def test_attack_type_must_manifest_threat_stride(self, deriver):
+        with pytest.raises(ValidationError, match="manifests none"):
+            derive_flooding(deriver, attack_type_name="Replay")
+
+    def test_ambiguous_type_resolved_via_threat(self, deriver):
+        # "Illegal acquisition" is both InfoDisclosure and EoP; threat
+        # 2.1.1 is EoP only, so the deriver picks EoP.
+        attack = derive_flooding(
+            deriver,
+            threat_id="2.1.1",
+            attack_type_name="Illegal acquisition",
+        )
+        assert attack.stride is StrideType.ELEVATION_OF_PRIVILEGE
+
+    def test_privacy_attack_without_goals(self, deriver):
+        attack = derive_flooding(
+            deriver,
+            safety_goal_ids=(),
+            threat_id="3.1.3",
+            attack_type_name="Eavesdropping",
+            category=AttackCategory.PRIVACY,
+        )
+        assert attack.is_privacy_attack
+
+    def test_applicable_attack_types(self, deriver):
+        names = deriver.applicable_attack_types("2.1.4")
+        assert names == ("Disable", "Denial of service", "Jamming")
+
+
+class TestAttackDescriptionSet:
+    def test_queries(self, deriver):
+        derive_flooding(deriver)
+        derive_flooding(
+            deriver,
+            safety_goal_ids=("SG01", "SG02"),
+            attack_type_name="Jamming",
+        )
+        results = deriver.results
+        assert len(results) == 2
+        assert len(results.by_goal("SG01")) == 2
+        assert len(results.by_goal("SG02")) == 1
+        assert len(results.by_threat("2.1.4")) == 2
+        assert results.by_threat("1.1.1") == ()
+
+    def test_duplicate_id_rejected(self):
+        result_set = AttackDescriptionSet()
+        deriver = AttackDeriver.create(
+            build_catalog(),
+            [SafetyGoal("SG01", "g", Asil.C)],
+        )
+        attack = derive_flooding(deriver, identifier="AD01")
+        result_set.add(attack)
+        with pytest.raises(ValidationError, match="already present"):
+            result_set.add(attack)
+
+    def test_get_unknown(self, deriver):
+        with pytest.raises(ValidationError):
+            deriver.results.get("AD99")
+
+    def test_contains_and_iter(self, deriver):
+        derive_flooding(deriver)
+        assert "AD01" in deriver.results
+        assert [a.identifier for a in deriver.results] == ["AD01"]
+
+    def test_duplicate_goal_in_step2_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate safety goal"):
+            AttackDeriver.create(
+                build_catalog(),
+                [
+                    SafetyGoal("SG01", "a", Asil.C),
+                    SafetyGoal("SG01", "b", Asil.D),
+                ],
+            )

@@ -1,0 +1,194 @@
+"""Tests for the attack-description DSL: lexer, parser, semantics, formatter."""
+
+import pytest
+
+from repro.dsl import analyze, format_attack, format_attacks, parse, tokenize
+from repro.dsl.tokens import TokenType
+from repro.errors import DslSemanticError, DslSyntaxError
+from repro.model.attack import AttackCategory
+from repro.model.ratings import Asil
+from repro.model.safety import SafetyGoal
+from repro.threatlib.catalog import build_catalog
+
+AD20_SOURCE = '''
+# The Table VI attack description.
+attack AD20 {
+  description: "Attacker tries to overload the ECU by packet flooding."
+  goals: SG01, SG02, SG03
+  interface: "OBU RSU"
+  threat: 2.1.4
+  threat_type: "Denial of service"
+  attack_type: "Disable"
+  precondition: "Vehicle is approaching the construction side"
+  expected_measures: "Message counter for broken messages"
+  success: "Shutdown of service"
+  fails: "Security control identifies unwanted sender"
+  impl: "Create an authenticated sender as attacker"
+}
+'''
+
+
+def goals():
+    return [
+        SafetyGoal("SG01", "goal 1", Asil.C),
+        SafetyGoal("SG02", "goal 2", Asil.C),
+        SafetyGoal("SG03", "goal 3", Asil.D),
+    ]
+
+
+class TestLexer:
+    def test_token_stream(self):
+        tokens = tokenize('attack AD20 { goals: SG01, SG02 }')
+        types = [t.type for t in tokens]
+        assert types == [
+            TokenType.ATTACK, TokenType.IDENT, TokenType.LBRACE,
+            TokenType.IDENT, TokenType.COLON, TokenType.IDENT,
+            TokenType.COMMA, TokenType.IDENT, TokenType.RBRACE,
+            TokenType.EOF,
+        ]
+
+    def test_string_escapes(self):
+        tokens = tokenize('"a \\"quoted\\" word\\nnext"')
+        assert tokens[0].value == 'a "quoted" word\nnext'
+
+    def test_dotted_numbers(self):
+        tokens = tokenize("2.1.4")
+        assert tokens[0].type is TokenType.DOTTED
+        assert tokens[0].value == "2.1.4"
+
+    def test_comments_ignored(self):
+        tokens = tokenize("# a comment\nattack")
+        assert tokens[0].type is TokenType.ATTACK
+        assert tokens[0].line == 2
+
+    def test_unterminated_string(self):
+        with pytest.raises(DslSyntaxError, match="unterminated"):
+            tokenize('"no closing quote')
+
+    def test_illegal_character(self):
+        with pytest.raises(DslSyntaxError, match="illegal"):
+            tokenize("attack @")
+
+    def test_malformed_dotted(self):
+        with pytest.raises(DslSyntaxError, match="malformed"):
+            tokenize("2.1.")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("attack\n  AD20")
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestParser:
+    def test_parses_ad20(self):
+        document = parse(AD20_SOURCE)
+        block = document.block("AD20")
+        assert block is not None
+        assert block.field("goals").values == ("SG01", "SG02", "SG03")
+        assert block.field("threat").single == "2.1.4"
+
+    def test_goals_none_marker(self):
+        source = AD20_SOURCE.replace("SG01, SG02, SG03", "none")
+        block = parse(source).block("AD20")
+        assert block.field("goals").values == ()
+
+    def test_missing_required_field(self):
+        source = AD20_SOURCE.replace(
+            '  precondition: "Vehicle is approaching the construction side"\n',
+            "",
+        )
+        with pytest.raises(DslSyntaxError, match="precondition"):
+            parse(source)
+
+    def test_duplicate_field(self):
+        source = AD20_SOURCE.replace(
+            'threat: 2.1.4', 'threat: 2.1.4\n  threat: 2.1.4'
+        )
+        with pytest.raises(DslSyntaxError, match="duplicate field"):
+            parse(source)
+
+    def test_unknown_field(self):
+        source = AD20_SOURCE.replace("impl:", "notes:")
+        with pytest.raises(DslSyntaxError, match="unknown field"):
+            parse(source)
+
+    def test_bad_attack_identifier(self):
+        with pytest.raises(DslSyntaxError, match="AD20"):
+            parse("attack Flood {}")
+
+    def test_duplicate_attack_ids(self):
+        with pytest.raises(DslSyntaxError, match="duplicate attack"):
+            parse(AD20_SOURCE + AD20_SOURCE)
+
+    def test_multiple_blocks(self):
+        second = AD20_SOURCE.replace("AD20", "AD21")
+        document = parse(AD20_SOURCE + second)
+        assert len(document.blocks) == 2
+
+
+class TestSemantics:
+    def test_produces_validated_attack(self):
+        attacks = analyze(parse(AD20_SOURCE), build_catalog(), goals())
+        attack = attacks.get("AD20")
+        assert attack.stride.value == "Denial of service"
+        assert attack.attack_type.name == "Disable"
+        assert attack.threat_link.text.startswith("An attacker alters")
+
+    def test_unknown_goal(self):
+        source = AD20_SOURCE.replace("SG01, SG02, SG03", "SG09")
+        with pytest.raises(DslSemanticError, match="SG09"):
+            analyze(parse(source), build_catalog(), goals())
+
+    def test_unknown_threat(self):
+        source = AD20_SOURCE.replace("threat: 2.1.4", "threat: 9.9.9")
+        with pytest.raises(DslSemanticError):
+            analyze(parse(source), build_catalog(), goals())
+
+    def test_mismatched_attack_type(self):
+        source = AD20_SOURCE.replace('attack_type: "Disable"',
+                                     'attack_type: "Replay"')
+        with pytest.raises(DslSemanticError):
+            analyze(parse(source), build_catalog(), goals())
+
+    def test_unknown_threat_type_label(self):
+        source = AD20_SOURCE.replace(
+            'threat_type: "Denial of service"', 'threat_type: "Chaos"'
+        )
+        with pytest.raises(DslSemanticError, match="Chaos"):
+            analyze(parse(source), build_catalog(), goals())
+
+    def test_privacy_category(self):
+        source = (
+            AD20_SOURCE
+            .replace("goals: SG01, SG02, SG03", "goals: none")
+            .replace("}", '  category: privacy\n}')
+            .replace("threat: 2.1.4", "threat: 3.1.3")
+            .replace('threat_type: "Denial of service"',
+                     'threat_type: "Information disclosure"')
+            .replace('attack_type: "Disable"',
+                     'attack_type: "Eavesdropping"')
+        )
+        attacks = analyze(parse(source), build_catalog(), goals())
+        assert attacks.get("AD20").category is AttackCategory.PRIVACY
+
+
+class TestFormatterRoundTrip:
+    def test_ad20_round_trip(self):
+        attacks = analyze(parse(AD20_SOURCE), build_catalog(), goals())
+        original = attacks.get("AD20")
+        text = format_attack(original)
+        reparsed = analyze(parse(text), build_catalog(), goals())
+        assert reparsed.get("AD20") == original
+
+    def test_full_usecase_round_trip(self):
+        """Every UC2 attack (incl. privacy ones) survives format->parse."""
+        from repro.usecases import uc2
+
+        library = build_catalog()
+        originals = uc2.build_attacks(library)
+        document = format_attacks(list(originals))
+        reparsed = analyze(
+            parse(document), library, list(uc2.build_hara().safety_goals)
+        )
+        assert len(reparsed) == len(originals)
+        for attack in originals:
+            assert reparsed.get(attack.identifier) == attack

@@ -1,0 +1,135 @@
+"""Failure injection: non-security faults the safety monitor must catch.
+
+SaSeVAL's monitor watches safety goals, not attackers -- a goal violated
+by a plain malfunction (unresponsive driver, silent RSU, dead OBU) must
+be caught exactly like one violated by an attack.  These tests inject
+such faults and check the monitor's verdicts, plus the SUT's graceful
+behaviours (safe stop, idempotency) under them.
+"""
+
+import pytest
+
+from repro.sim.ble import DoorState
+from repro.sim.scenarios import (
+    ConstructionSiteScenario,
+    KeylessEntryScenario,
+)
+from repro.sim.vehicle import DrivingMode
+
+
+class TestUnresponsiveDriver:
+    def test_driver_never_reacting_violates_sg01(self):
+        # A pathological reaction time: the driver "reacts" long after
+        # the vehicle has reached the zone.
+        scenario = ConstructionSiteScenario(driver_reaction_ms=500000.0)
+        result = scenario.run(80000.0)
+        assert result.violated("SG01")
+        # The warning chain itself worked; the failure is the human.
+        assert scenario.bus.count("obu.warning_accepted") >= 1
+        assert scenario.bus.count("vehicle.handover_requested") == 1
+
+    def test_safe_stop_is_a_valid_reaction(self):
+        """If the SUT escalates to a safe stop instead of waiting for the
+        driver, SG01 holds: the vehicle never enters the zone."""
+        scenario = ConstructionSiteScenario(driver_reaction_ms=500000.0)
+
+        def escalate(event):
+            # Minimal risk manoeuvre 5 s after an unanswered request.
+            scenario.clock.schedule(
+                5000.0,
+                lambda: (
+                    scenario.vehicle.safe_stop("driver unresponsive")
+                    if scenario.vehicle.mode is DrivingMode.HANDOVER_REQUESTED
+                    else None
+                ),
+            )
+
+        scenario.bus.subscribe("vehicle.handover_requested", escalate)
+        result = scenario.run(120000.0)
+        assert not result.violated("SG01")
+        assert scenario.vehicle.mode is DrivingMode.SAFE_STOP
+        assert scenario.vehicle.is_stopped
+
+
+class TestSilentInfrastructure:
+    def test_rsu_failure_mode_no_reproduces_the_hara_row(self):
+        """The HARA's 'NO' guideword for Rat01 in simulation: no RSU, no
+        warning, no handover -> crash into road works (SG01)."""
+        scenario = ConstructionSiteScenario()
+        scenario.v2x.jam(200000.0)  # physical-layer stand-in for a dead RSU
+        result = scenario.run(80000.0)
+        assert result.violated("SG01")
+        violation = next(v for v in result.violations if v.goal_id == "SG01")
+        assert "automated" in violation.detail
+
+
+class TestDegradedOBU:
+    def test_tiny_queue_still_survives_nominal_load(self):
+        scenario = ConstructionSiteScenario(obu_queue_capacity=2)
+        result = scenario.run(80000.0)
+        assert not result.any_violation
+
+    def test_overload_shutdown_is_published(self):
+        from repro.sim.attacks import FloodingAttack
+
+        scenario = ConstructionSiteScenario(
+            controls=set(), obu_queue_capacity=4
+        )
+        attack = FloodingAttack(
+            "attacker", scenario.clock, scenario.v2x, kind="cam_message",
+            interval_ms=0.2, duration_ms=20000.0,
+            keystore=scenario.keystore, authenticated=True,
+        )
+        attack.launch(100.0)
+        scenario.run(30000.0)
+        assert scenario.bus.count("ecu.OBU.shutdown") == 1
+        assert scenario.bus.count("ecu.OBU.overload") >= 500
+
+
+class TestKeylessFaults:
+    def test_double_close_is_idempotent(self):
+        scenario = KeylessEntryScenario()
+        scenario.owner_opens(1000.0)
+        scenario.owner_closes(3000.0)
+        scenario.owner_closes(3500.0)
+        result = scenario.run(8000.0)
+        assert result.stats["door"]["close_count"] == 1
+        assert not result.any_violation
+
+    def test_open_attempt_on_dead_can_violates_sg03(self):
+        """Filling the CAN transmit queue with junk (a stuck controller)
+        starves the door command -> non-availability of opening."""
+        from repro.sim.can import make_frame
+
+        scenario = KeylessEntryScenario()
+        sequence = {"next": 0}
+
+        def burst() -> None:
+            # A babbling-idiot controller: keeps the transmit queue full
+            # of top-priority junk for several seconds.
+            for __ in range(80):
+                scenario.can.send(
+                    make_frame("stuck-ecu", 0x050, seq=sequence["next"])
+                )
+                sequence["next"] += 1
+
+        scenario.clock.schedule_periodic(
+            50.0, burst, start=900.0, until=4000.0
+        )
+        scenario.owner_opens(1000.0)
+        result = scenario.run(8000.0)
+        assert result.violated("SG03")
+
+    def test_lock_state_survives_junk_frames(self):
+        from repro.sim.can import make_frame
+
+        scenario = KeylessEntryScenario()
+        scenario.clock.schedule_at(
+            500.0,
+            lambda: scenario.can.send(
+                make_frame("noise", 0x300, kind="door_command", command="fly")
+            ),
+        )
+        result = scenario.run(5000.0)
+        assert scenario.door_state is DoorState.CLOSED
+        assert not result.any_violation

@@ -1,0 +1,179 @@
+"""Tests for ASIL determination (ISO 26262-3 Table 4) and the HARA engine."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hara.analysis import Hara
+from repro.hara.asil import ASIL_TABLE, decompose, determine_asil, highest_asil
+from repro.model.ratings import (
+    Asil,
+    Controllability as C,
+    Exposure as E,
+    FailureMode as FM,
+    Severity as S,
+)
+
+
+class TestAsilDetermination:
+    """Spot values straight from ISO 26262-3:2018 Table 4."""
+
+    @pytest.mark.parametrize(
+        "s, e, c, expected",
+        [
+            (S.S1, E.E1, C.C1, Asil.QM),
+            (S.S1, E.E3, C.C3, Asil.A),
+            (S.S1, E.E4, C.C2, Asil.A),
+            (S.S1, E.E4, C.C3, Asil.B),
+            (S.S2, E.E2, C.C3, Asil.A),
+            (S.S2, E.E3, C.C3, Asil.B),
+            (S.S2, E.E4, C.C3, Asil.C),
+            (S.S3, E.E1, C.C3, Asil.A),
+            (S.S3, E.E2, C.C3, Asil.B),
+            (S.S3, E.E3, C.C2, Asil.B),
+            (S.S3, E.E3, C.C3, Asil.C),
+            (S.S3, E.E4, C.C1, Asil.B),
+            (S.S3, E.E4, C.C2, Asil.C),
+            (S.S3, E.E4, C.C3, Asil.D),
+        ],
+    )
+    def test_iso_spot_values(self, s, e, c, expected):
+        assert determine_asil(s, e, c) is expected
+
+    def test_zero_classes_yield_qm(self):
+        assert determine_asil(S.S0, E.E4, C.C3) is Asil.QM
+        assert determine_asil(S.S3, E.E0, C.C3) is Asil.QM
+        assert determine_asil(S.S3, E.E4, C.C0) is Asil.QM
+
+    def test_only_one_cell_is_asil_d(self):
+        d_cells = [key for key, value in ASIL_TABLE.items() if value is Asil.D]
+        assert d_cells == [(S.S3, E.E4, C.C3)]
+
+    def test_table_has_36_cells(self):
+        assert len(ASIL_TABLE) == 3 * 4 * 3
+
+    def test_monotone_in_each_dimension(self):
+        # Raising any single class never lowers the ASIL.
+        for (s, e, c), asil in ASIL_TABLE.items():
+            if s is not S.S3:
+                higher = determine_asil(S(int(s) + 1), e, c)
+                assert higher >= asil
+            if e is not E.E4:
+                higher = determine_asil(s, E(int(e) + 1), c)
+                assert higher >= asil
+            if c is not C.C3:
+                higher = determine_asil(s, e, C(int(c) + 1))
+                assert higher >= asil
+
+
+class TestAsilUtilities:
+    def test_highest_asil(self):
+        assert highest_asil([Asil.A, Asil.C, Asil.QM]) is Asil.C
+        assert highest_asil([]) is Asil.QM
+
+    def test_decompose_d(self):
+        pairs = decompose(Asil.D)
+        assert (Asil.B, Asil.B) in pairs
+        assert (Asil.C, Asil.A) in pairs
+
+    def test_decompose_qm_empty(self):
+        assert decompose(Asil.QM) == ()
+
+
+class TestHaraEngine:
+    def make_hara(self):
+        hara = Hara(name="test")
+        hara.add_function("Rat01", "Road works warning")
+        return hara
+
+    def test_rate_derives_asil(self):
+        hara = self.make_hara()
+        rating = hara.rate(
+            "Rat01", FM.NO, hazard="No warning",
+            severity=S.S3, exposure=E.E3, controllability=C.C3,
+        )
+        assert rating.asil is Asil.C
+
+    def test_duplicate_function_rejected(self):
+        hara = self.make_hara()
+        with pytest.raises(ValidationError):
+            hara.add_function("Rat01", "again")
+
+    def test_multiple_ratings_per_guideword_allowed(self):
+        hara = self.make_hara()
+        for __ in range(2):
+            hara.rate(
+                "Rat01", FM.NO, hazard="variant",
+                severity=S.S1, exposure=E.E1, controllability=C.C1,
+            )
+        assert len(hara.ratings_for("Rat01")) == 2
+
+    def test_distribution_includes_all_classes(self):
+        hara = self.make_hara()
+        hara.rate_not_applicable("Rat01", FM.INVERTED, "no inversion")
+        distribution = hara.asil_distribution()
+        assert set(distribution) == set(Asil)
+        assert distribution[Asil.NOT_APPLICABLE] == 1
+        assert distribution[Asil.D] == 0
+
+    def test_guideword_completeness_tracking(self):
+        hara = self.make_hara()
+        assert len(hara.uncovered_guidewords("Rat01")) == 8
+        hara.rate(
+            "Rat01", FM.NO, hazard="x",
+            severity=S.S1, exposure=E.E1, controllability=C.C1,
+        )
+        assert FM.NO not in hara.uncovered_guidewords("Rat01")
+        assert not hara.is_guideword_complete()
+
+    def test_derive_goal_takes_highest_asil(self):
+        hara = self.make_hara()
+        hara.rate(
+            "Rat01", FM.NO, hazard="x",
+            severity=S.S3, exposure=E.E3, controllability=C.C3,
+        )  # C
+        hara.rate(
+            "Rat01", FM.MORE, hazard="y",
+            severity=S.S1, exposure=E.E4, controllability=C.C2,
+        )  # A
+        goal = hara.derive_goal("Avoid X", from_functions=["Rat01"])
+        assert goal.asil is Asil.C
+        assert goal.identifier == "SG01"
+
+    def test_derive_goal_without_relevant_rating_fails(self):
+        hara = self.make_hara()
+        hara.rate(
+            "Rat01", FM.NO, hazard="x",
+            severity=S.S1, exposure=E.E1, controllability=C.C1,
+        )  # QM
+        with pytest.raises(ValidationError, match="safety-relevant"):
+            hara.derive_goal("Avoid X", from_functions=["Rat01"])
+
+    def test_goal_ids_are_sequential(self):
+        hara = self.make_hara()
+        hara.rate(
+            "Rat01", FM.NO, hazard="x",
+            severity=S.S3, exposure=E.E3, controllability=C.C3,
+        )
+        first = hara.derive_goal("g1", from_functions=["Rat01"])
+        second = hara.derive_goal("g2", from_functions=["Rat01"])
+        assert (first.identifier, second.identifier) == ("SG01", "SG02")
+
+    def test_unknown_function_rejected(self):
+        hara = self.make_hara()
+        with pytest.raises(ValidationError, match="unknown function"):
+            hara.rate(
+                "Rat99", FM.NO, hazard="x",
+                severity=S.S1, exposure=E.E1, controllability=C.C1,
+            )
+
+    def test_concerns_synthesised_per_goal(self):
+        hara = self.make_hara()
+        hara.rate(
+            "Rat01", FM.NO, hazard="Driver not warned",
+            hazardous_event="Crash into road works",
+            severity=S.S3, exposure=E.E3, controllability=C.C3,
+        )
+        hara.derive_goal("Avoid missing warning", from_functions=["Rat01"])
+        concerns = hara.concerns()
+        assert len(concerns) == 1
+        assert "Crash into road works" in concerns[0].accident

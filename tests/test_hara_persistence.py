@@ -1,0 +1,63 @@
+"""Tests for HARA JSON persistence with ASIL re-derivation."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.hara.persistence import (
+    hara_from_dict,
+    hara_to_dict,
+    load_hara,
+    save_hara,
+)
+from repro.model.ratings import Asil
+from repro.usecases import uc1, uc2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("module", [uc1, uc2])
+    def test_usecase_hara_round_trips(self, module):
+        original = module.build_hara()
+        restored = hara_from_dict(hara_to_dict(original))
+        assert restored.name == original.name
+        assert len(restored.ratings) == len(original.ratings)
+        assert restored.asil_distribution() == original.asil_distribution()
+        assert [g.identifier for g in restored.safety_goals] == [
+            g.identifier for g in original.safety_goals
+        ]
+        assert [g.asil for g in restored.safety_goals] == [
+            g.asil for g in original.safety_goals
+        ]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "uc1_hara.json"
+        save_hara(uc1.build_hara(), path)
+        restored = load_hara(path)
+        assert len(restored.ratings) == 29
+
+
+class TestTamperDetection:
+    def test_contradictory_asil_rejected(self):
+        payload = hara_to_dict(uc1.build_hara())
+        # Find a rated row and downgrade its stored ASIL.
+        for rating in payload["ratings"]:
+            if rating["asil"] == Asil.C.value:
+                rating["asil"] = Asil.A.value
+                break
+        with pytest.raises(SerializationError, match="contradicts"):
+            hara_from_dict(payload)
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(SerializationError, match="name"):
+            hara_from_dict({"functions": []})
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_hara(path)
+
+    def test_non_object_top_level(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            load_hara(path)

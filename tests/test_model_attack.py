@@ -1,0 +1,95 @@
+"""Tests for the AttackDescription model (the Table VI/VII structure)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.attack import AttackCategory, AttackDescription, ThreatLink
+from repro.model.threat import AttackType, StrideType
+
+
+def make_attack(**overrides):
+    defaults = dict(
+        identifier="AD20",
+        description="Attacker tries to overload the ECU by packet flooding.",
+        safety_goal_ids=("SG01", "SG02", "SG03"),
+        interface="OBU RSU",
+        threat_link=ThreatLink("2.1.4", "Gateway DoS threat"),
+        stride=StrideType.DENIAL_OF_SERVICE,
+        attack_type=AttackType("Disable", StrideType.DENIAL_OF_SERVICE),
+        precondition="Vehicle is approaching the construction side",
+        expected_measures="Message counter for broken messages",
+        attack_success="Shutdown of service",
+        attack_fails="Security control identifies unwanted sender",
+        implementation_comments="Create an authenticated sender",
+    )
+    defaults.update(overrides)
+    return AttackDescription(**defaults)
+
+
+class TestConstruction:
+    def test_ad20_shape(self):
+        attack = make_attack()
+        assert attack.targets_goal("SG01")
+        assert attack.targets_goal("SG03")
+        assert not attack.targets_goal("SG04")
+        assert not attack.is_privacy_attack
+
+    def test_summary_mentions_type_and_goals(self):
+        summary = make_attack().summary()
+        assert "AD20" in summary
+        assert "Disable" in summary
+        assert "SG01" in summary
+
+    def test_safety_attack_requires_goals(self):
+        with pytest.raises(ValidationError, match="safety goal"):
+            make_attack(safety_goal_ids=())
+
+    def test_privacy_attack_may_have_no_goals(self):
+        attack = make_attack(
+            safety_goal_ids=(), category=AttackCategory.PRIVACY
+        )
+        assert attack.is_privacy_attack
+        assert "privacy" in attack.summary()
+
+    def test_duplicate_goal_refs_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            make_attack(safety_goal_ids=("SG01", "SG01"))
+
+
+class TestTableIvConsistency:
+    def test_attack_type_must_match_declared_stride(self):
+        with pytest.raises(ValidationError, match="Step 1.4"):
+            make_attack(
+                stride=StrideType.SPOOFING,
+                attack_type=AttackType(
+                    "Disable", StrideType.DENIAL_OF_SERVICE
+                ),
+            )
+
+
+class TestReproducibilityFields:
+    @pytest.mark.parametrize(
+        "field",
+        ["precondition", "expected_measures", "attack_success", "attack_fails"],
+    )
+    def test_rq3_fields_are_mandatory(self, field):
+        with pytest.raises(ValidationError, match="RQ3"):
+            make_attack(**{field: ""})
+
+    def test_description_mandatory(self):
+        with pytest.raises(ValidationError):
+            make_attack(description="")
+
+    def test_impl_comments_optional(self):
+        attack = make_attack(implementation_comments="")
+        assert attack.implementation_comments == ""
+
+
+class TestThreatLink:
+    def test_validates_threat_id(self):
+        with pytest.raises(ValidationError):
+            ThreatLink("not-an-id")
+
+    def test_goal_ids_validated(self):
+        with pytest.raises(ValidationError):
+            make_attack(safety_goal_ids=("goal-one",))

@@ -1,0 +1,103 @@
+"""Tests for the Scenario/SubScenario and Asset model types."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.asset import Asset, AssetGroup, AssetRelevance
+from repro.model.scenario import Scenario, SubScenario
+
+
+class TestSubScenario:
+    def test_requires_name_and_description(self):
+        with pytest.raises(ValidationError):
+            SubScenario(name="", description="x")
+        with pytest.raises(ValidationError):
+            SubScenario(name="x", description="")
+
+
+class TestScenario:
+    def test_basic_construction(self):
+        scenario = Scenario(
+            name="Road intersection",
+            sub_scenarios=(SubScenario("a", "first"), SubScenario("b", "second")),
+        )
+        assert scenario.domain == "automotive"
+        assert scenario.sub_scenario("a").description == "first"
+
+    def test_duplicate_sub_scenarios_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            Scenario(
+                name="s",
+                sub_scenarios=(SubScenario("a", "x"), SubScenario("a", "y")),
+            )
+
+    def test_unknown_sub_scenario_lookup(self):
+        scenario = Scenario(name="s")
+        with pytest.raises(ValidationError):
+            scenario.sub_scenario("missing")
+
+    def test_with_sub_scenario_is_pure(self):
+        scenario = Scenario(name="s")
+        grown = scenario.with_sub_scenario(SubScenario("a", "x"))
+        assert len(scenario.sub_scenarios) == 0
+        assert len(grown.sub_scenarios) == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Scenario(name="")
+
+
+class TestAssetGroups:
+    def test_from_label_case_insensitive(self):
+        assert AssetGroup.from_label("hardware") is AssetGroup.HARDWARE
+        assert AssetGroup.from_label("Cloud service") is AssetGroup.CLOUD_SERVICE
+
+    def test_from_label_unknown(self):
+        with pytest.raises(ValueError):
+            AssetGroup.from_label("firmware")
+
+    def test_paper_lists_eight_groups(self):
+        assert len(list(AssetGroup)) == 8
+
+
+class TestAsset:
+    def test_multi_group_label_matches_table2_style(self):
+        ecu = Asset.of("ECU", AssetGroup.HARDWARE, AssetGroup.SOFTWARE)
+        assert ecu.group_label == "Hardware/ Software"
+
+    def test_single_group_label(self):
+        gateway = Asset.of("Gateway", AssetGroup.HARDWARE)
+        assert gateway.group_label == "Hardware"
+
+    def test_group_label_order_is_deterministic(self):
+        a = Asset.of("X", AssetGroup.SOFTWARE, AssetGroup.HARDWARE)
+        b = Asset.of("X", AssetGroup.HARDWARE, AssetGroup.SOFTWARE)
+        assert a.group_label == b.group_label
+
+    def test_requires_at_least_one_group(self):
+        with pytest.raises(ValidationError):
+            Asset(name="X", groups=frozenset())
+
+    def test_requires_name(self):
+        with pytest.raises(ValidationError):
+            Asset.of("", AssetGroup.HARDWARE)
+
+
+class TestAssetRelevance:
+    def test_current_vehicle_assets_have_highest_priority(self):
+        priorities = {r: r.priority for r in AssetRelevance}
+        assert max(priorities, key=priorities.get) is (
+            AssetRelevance.GENERIC_CURRENT_VEHICLE
+        )
+
+    def test_priority_shortcut_on_asset(self):
+        asset = Asset.of(
+            "Gateway",
+            AssetGroup.HARDWARE,
+            relevance=AssetRelevance.GENERIC_CURRENT_VEHICLE,
+        )
+        assert asset.priority == AssetRelevance.GENERIC_CURRENT_VEHICLE.priority
+
+    def test_all_priorities_distinct(self):
+        values = [r.priority for r in AssetRelevance]
+        assert len(set(values)) == len(values)

@@ -1,0 +1,164 @@
+"""Tests for ThreatScenario/AttackType and the safety-side model types."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.ratings import (
+    Asil,
+    Controllability,
+    Exposure,
+    FailureMode,
+    Severity,
+)
+from repro.model.safety import (
+    HazardRating,
+    SafetyConcern,
+    SafetyGoal,
+    VehicleFunction,
+)
+from repro.model.threat import AttackType, StrideType, ThreatScenario
+
+
+def make_threat(**overrides):
+    defaults = dict(
+        identifier="2.1.4",
+        text="An attacker alters the functioning of the Vehicle Gateway",
+        scenario="Keep car secure",
+        asset="Gateway",
+        stride=(StrideType.DENIAL_OF_SERVICE,),
+    )
+    defaults.update(overrides)
+    return ThreatScenario(**defaults)
+
+
+class TestStrideType:
+    def test_six_types(self):
+        assert len(list(StrideType)) == 6
+
+    def test_violated_properties(self):
+        assert StrideType.SPOOFING.violated_property == "Authenticity"
+        assert StrideType.DENIAL_OF_SERVICE.violated_property == "Availability"
+
+    @pytest.mark.parametrize(
+        "label, expected",
+        [
+            ("Spoofing", StrideType.SPOOFING),
+            ("dos", StrideType.DENIAL_OF_SERVICE),
+            ("EoP", StrideType.ELEVATION_OF_PRIVILEGE),
+            ("information disclosure", StrideType.INFORMATION_DISCLOSURE),
+        ],
+    )
+    def test_from_label(self, label, expected):
+        assert StrideType.from_label(label) is expected
+
+    def test_from_label_unknown(self):
+        with pytest.raises(ValueError):
+            StrideType.from_label("Phishing")
+
+
+class TestThreatScenario:
+    def test_valid_construction(self):
+        threat = make_threat()
+        assert threat.primary_stride is StrideType.DENIAL_OF_SERVICE
+        assert threat.describes(StrideType.DENIAL_OF_SERVICE)
+        assert not threat.describes(StrideType.SPOOFING)
+
+    def test_requires_stride_mapping(self):
+        with pytest.raises(ValidationError, match="STRIDE"):
+            make_threat(stride=())
+
+    def test_rejects_duplicate_stride(self):
+        with pytest.raises(ValidationError, match="twice"):
+            make_threat(
+                stride=(StrideType.SPOOFING, StrideType.SPOOFING)
+            )
+
+    def test_requires_dotted_identifier(self):
+        with pytest.raises(ValidationError):
+            make_threat(identifier="TS1")
+
+    def test_requires_text(self):
+        with pytest.raises(ValidationError):
+            make_threat(text="")
+
+
+class TestAttackType:
+    def test_str_mentions_stride(self):
+        attack_type = AttackType("Disable", StrideType.DENIAL_OF_SERVICE)
+        assert "Disable" in str(attack_type)
+        assert "Denial of service" in str(attack_type)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            AttackType("", StrideType.SPOOFING)
+
+
+class TestHazardRating:
+    def make_function(self):
+        return VehicleFunction("Rat01", "Road works warning")
+
+    def test_rated_row_needs_all_three_scales(self):
+        with pytest.raises(ValidationError, match="severity"):
+            HazardRating(
+                function=self.make_function(),
+                failure_mode=FailureMode.NO,
+                hazard="No warning",
+                severity=Severity.S3,
+                exposure=None,
+                controllability=Controllability.C3,
+                asil=Asil.C,
+            )
+
+    def test_na_row_must_not_carry_ratings(self):
+        with pytest.raises(ValidationError, match="N/A"):
+            HazardRating(
+                function=self.make_function(),
+                failure_mode=FailureMode.INVERTED,
+                hazard="n/a",
+                severity=Severity.S1,
+                exposure=None,
+                controllability=None,
+                asil=Asil.NOT_APPLICABLE,
+            )
+
+    def test_is_rated(self):
+        rating = HazardRating(
+            function=self.make_function(),
+            failure_mode=FailureMode.NO,
+            hazard="No warning",
+            severity=Severity.S3,
+            exposure=Exposure.E3,
+            controllability=Controllability.C3,
+            asil=Asil.C,
+        )
+        assert rating.is_rated
+
+
+class TestSafetyGoal:
+    def test_paper_rendering(self):
+        goal = SafetyGoal("SG01", "Keep vehicle closed", Asil.D)
+        assert str(goal) == "SG01. Keep vehicle closed (ASIL D)"
+
+    def test_rejects_qm_goal(self):
+        with pytest.raises(ValidationError, match="ASIL A-D"):
+            SafetyGoal("SG01", "x", Asil.QM)
+
+    def test_rejects_bad_ftti(self):
+        with pytest.raises(ValidationError, match="FTTI"):
+            SafetyGoal("SG01", "x", Asil.C, ftti_ms=0)
+
+    def test_rejects_bad_identifier(self):
+        with pytest.raises(ValidationError):
+            SafetyGoal("G1", "x", Asil.C)
+
+
+class TestSafetyConcern:
+    def test_inherits_asil(self):
+        goal = SafetyGoal("SG03", "Communicate speed limits safely", Asil.D)
+        concern = SafetyConcern(goal=goal, accident="Speeding in work zone")
+        assert concern.asil is Asil.D
+
+    def test_requires_accident(self):
+        goal = SafetyGoal("SG03", "x", Asil.D)
+        with pytest.raises(ValidationError):
+            SafetyConcern(goal=goal, accident="")

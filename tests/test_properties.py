@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covered invariants:
+
+* ASIL determination is monotone in each of S, E, C and matches the sum
+  rule (ISO 26262-3 Table 4 structure).
+* The risk matrix is monotone in impact and feasibility.
+* The DSL formatter/parser round-trips arbitrary well-formed attack
+  descriptions losslessly.
+* Serialization codecs round-trip arbitrary model values.
+* The discrete-event clock executes events in nondecreasing time order.
+* Test-budget allocation always spends the budget exactly.
+* The flooding detector never flags senders below its rate limit.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prioritization import Prioritizer
+from repro.dsl import analyze, format_attack, parse
+from repro.hara.asil import determine_asil
+from repro.model import serialization as codec
+from repro.model.attack import AttackCategory, AttackDescription, ThreatLink
+from repro.model.ratings import (
+    Asil,
+    Controllability,
+    Exposure,
+    FeasibilityRating,
+    ImpactRating,
+    Severity,
+)
+from repro.model.safety import SafetyGoal
+from repro.model.threat import StrideType
+from repro.stride.mapping import STRIDE_ATTACK_TABLE, resolve_attack_type
+from repro.tara.risk import determine_risk
+from repro.threatlib.catalog import build_catalog
+
+severities = st.sampled_from(list(Severity))
+exposures = st.sampled_from(list(Exposure))
+controllabilities = st.sampled_from(list(Controllability))
+
+#: Printable text without DSL-hostile control characters.
+safe_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;:!?()-_/'\"\\",
+    min_size=1,
+    max_size=120,
+).filter(lambda s: s.strip())
+
+
+class TestAsilProperties:
+    @given(severities, exposures, controllabilities)
+    def test_sum_rule(self, s, e, c):
+        asil = determine_asil(s, e, c)
+        if int(s) == 0 or int(e) == 0 or int(c) == 0:
+            assert asil is Asil.QM
+        else:
+            total = int(s) + int(e) + int(c)
+            expected = {7: Asil.A, 8: Asil.B, 9: Asil.C, 10: Asil.D}.get(
+                total, Asil.QM
+            )
+            assert asil is expected
+
+    @given(severities, exposures, controllabilities)
+    def test_monotone_in_severity(self, s, e, c):
+        if s is not Severity.S3:
+            higher = Severity(int(s) + 1)
+            assert determine_asil(higher, e, c) >= determine_asil(s, e, c)
+
+    @given(severities, exposures, controllabilities)
+    def test_monotone_in_exposure(self, s, e, c):
+        if e is not Exposure.E4:
+            higher = Exposure(int(e) + 1)
+            assert determine_asil(s, higher, c) >= determine_asil(s, e, c)
+
+    @given(severities, exposures, controllabilities)
+    def test_monotone_in_controllability(self, s, e, c):
+        if c is not Controllability.C3:
+            higher = Controllability(int(c) + 1)
+            assert determine_asil(s, e, higher) >= determine_asil(s, e, c)
+
+
+class TestRiskProperties:
+    @given(
+        st.sampled_from(list(ImpactRating)),
+        st.sampled_from(list(FeasibilityRating)),
+    )
+    def test_monotone(self, impact, feasibility):
+        risk = determine_risk(impact, feasibility)
+        if impact is not ImpactRating.SEVERE:
+            assert determine_risk(
+                ImpactRating(int(impact) + 1), feasibility
+            ) >= risk
+        if feasibility is not FeasibilityRating.HIGH:
+            assert determine_risk(
+                impact, FeasibilityRating(int(feasibility) + 1)
+            ) >= risk
+
+
+@st.composite
+def attack_descriptions(draw):
+    """Arbitrary valid attack descriptions over the built-in catalog."""
+    library = build_catalog()
+    threat = draw(st.sampled_from(list(library.threats)))
+    stride = draw(st.sampled_from(list(threat.stride)))
+    attack_type_name = draw(st.sampled_from(STRIDE_ATTACK_TABLE[stride]))
+    attack_type = resolve_attack_type(attack_type_name, stride)
+    category = draw(st.sampled_from(list(AttackCategory)))
+    if category is AttackCategory.SAFETY:
+        goal_ids = tuple(
+            sorted(
+                draw(
+                    st.sets(
+                        st.sampled_from(["SG01", "SG02", "SG03"]),
+                        min_size=1,
+                        max_size=3,
+                    )
+                )
+            )
+        )
+    else:
+        goal_ids = ()
+    number = draw(st.integers(min_value=1, max_value=99))
+    return AttackDescription(
+        identifier=f"AD{number:02d}",
+        description=draw(safe_text),
+        safety_goal_ids=goal_ids,
+        interface=draw(safe_text),
+        threat_link=ThreatLink(threat.identifier, threat.text),
+        stride=stride,
+        attack_type=attack_type,
+        precondition=draw(safe_text),
+        expected_measures=draw(safe_text),
+        attack_success=draw(safe_text),
+        attack_fails=draw(safe_text),
+        implementation_comments=draw(st.one_of(st.just(""), safe_text)),
+        category=category,
+    )
+
+
+class TestDslRoundTripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(attack_descriptions())
+    def test_format_parse_analyze_is_identity(self, attack):
+        library = build_catalog()
+        goals = [
+            SafetyGoal("SG01", "g1", Asil.C),
+            SafetyGoal("SG02", "g2", Asil.C),
+            SafetyGoal("SG03", "g3", Asil.D),
+        ]
+        text = format_attack(attack)
+        restored = analyze(parse(text), library, goals).get(attack.identifier)
+        assert restored == attack
+
+
+class TestSerializationRoundTripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(attack_descriptions())
+    def test_attack_codec_identity(self, attack):
+        payload = codec.attack_description_to_dict(attack)
+        assert codec.attack_description_from_dict(payload) == attack
+
+
+class TestClockProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        fired = []
+        for time in times:
+            clock.schedule_at(time, lambda t=time: fired.append(clock.now))
+        clock.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+
+class TestBudgetProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.lists(
+            st.sampled_from(["SG01", "SG02", "SG03"]),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_budget_spent_exactly(self, budget, goal_picks):
+        from repro.core.derivation import AttackDeriver
+
+        goals = [
+            SafetyGoal("SG01", "g1", Asil.A),
+            SafetyGoal("SG02", "g2", Asil.C),
+            SafetyGoal("SG03", "g3", Asil.D),
+        ]
+        deriver = AttackDeriver.create(build_catalog(), goals)
+        for pick in goal_picks:
+            deriver.derive(
+                description="d", safety_goal_ids=(pick,), threat_id="2.1.4",
+                attack_type_name="Disable", interface="X", precondition="p",
+                expected_measures="m", attack_success="s", attack_fails="f",
+            )
+        plan = Prioritizer(goals).plan(deriver.results, budget=budget)
+        assert plan.total_allocated == budget
+        assert all(entry.allocated_tests >= 0 for entry in plan.entries)
+
+
+class TestFloodingDetectorProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.floats(min_value=10.0, max_value=500.0),
+    )
+    def test_below_limit_never_flagged(self, max_messages, gap_ms):
+        from repro.sim.controls import FloodingDetector
+        from repro.sim.network import Message
+
+        window = 1000.0
+        # Choose a gap that keeps the rate strictly below the limit.
+        safe_gap = max(gap_ms, window / max_messages + 0.001)
+        detector = FloodingDetector(
+            window_ms=window, max_messages=max_messages
+        )
+        now = 0.0
+        for counter in range(50):
+            message = Message(
+                kind="k", sender="s", payload={}, counter=counter
+            )
+            decision = detector.inspect(message, now)
+            assert decision.allowed
+            now += safe_gap
+        assert not detector.is_flagged("s")

@@ -1,0 +1,98 @@
+"""Tests for the rating value types (ASIL, S/E/C, guidewords, CAL)."""
+
+import pytest
+
+from repro.model.ratings import (
+    Asil,
+    CalLevel,
+    Controllability,
+    Exposure,
+    FailureMode,
+    FeasibilityRating,
+    ImpactRating,
+    RiskLevel,
+    Severity,
+)
+
+
+class TestAsilOrdering:
+    def test_total_order(self):
+        assert Asil.QM < Asil.A < Asil.B < Asil.C < Asil.D
+        assert Asil.NOT_APPLICABLE < Asil.QM
+
+    def test_comparisons_both_directions(self):
+        assert Asil.D > Asil.A
+        assert Asil.A <= Asil.A
+        assert Asil.C >= Asil.B
+
+    def test_safety_relevance(self):
+        assert not Asil.NOT_APPLICABLE.is_safety_relevant
+        assert not Asil.QM.is_safety_relevant
+        for asil in (Asil.A, Asil.B, Asil.C, Asil.D):
+            assert asil.is_safety_relevant
+
+    def test_comparison_with_non_asil_is_type_error(self):
+        with pytest.raises(TypeError):
+            Asil.A < 3  # noqa: B015
+
+
+class TestAsilFromLabel:
+    @pytest.mark.parametrize(
+        "label, expected",
+        [
+            ("ASIL C", Asil.C),
+            ("C", Asil.C),
+            ("asil d", Asil.D),
+            ("QM", Asil.QM),
+            ("No ASIL", Asil.QM),
+            ("No-ASIL", Asil.QM),
+            ("N/A", Asil.NOT_APPLICABLE),
+            ("n/a", Asil.NOT_APPLICABLE),
+        ],
+    )
+    def test_accepted_labels(self, label, expected):
+        assert Asil.from_label(label) is expected
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError):
+            Asil.from_label("ASIL E")
+
+
+class TestScales:
+    def test_severity_values_and_meanings(self):
+        assert int(Severity.S3) == 3
+        assert "fatal" in Severity.S3.meaning.lower()
+        assert Severity.S0.meaning == "No injuries"
+
+    def test_exposure_range(self):
+        assert [int(e) for e in Exposure] == [0, 1, 2, 3, 4]
+        assert Exposure.E4.meaning == "High probability"
+
+    def test_controllability_meanings(self):
+        assert "uncontrollable" in Controllability.C3.meaning.lower()
+
+    def test_all_guidewords_present(self):
+        names = {mode.value for mode in FailureMode}
+        assert names == {
+            "No", "Unintended", "too Early", "too Late",
+            "Less", "More", "Inverted", "Intermittent",
+        }
+
+    def test_guide_questions_exist_for_all_modes(self):
+        for mode in FailureMode:
+            assert mode.guide_question.endswith("?")
+
+
+class TestSecurityRatings:
+    def test_impact_ordering(self):
+        assert ImpactRating.SEVERE > ImpactRating.MODERATE
+
+    def test_feasibility_ordering(self):
+        assert FeasibilityRating.HIGH > FeasibilityRating.VERY_LOW
+
+    def test_risk_levels(self):
+        assert int(RiskLevel.R5) == 5
+        assert RiskLevel.R5 > RiskLevel.R1
+
+    def test_cal_levels(self):
+        assert [int(level) for level in CalLevel] == [1, 2, 3, 4]

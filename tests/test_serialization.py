@@ -1,0 +1,191 @@
+"""Round-trip and robustness tests for the JSON codecs."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.model import serialization as codec
+from repro.model.asset import Asset, AssetGroup, AssetRelevance
+from repro.model.attack import AttackCategory, AttackDescription, ThreatLink
+from repro.model.ratings import (
+    Asil,
+    Controllability,
+    Exposure,
+    FailureMode,
+    Severity,
+)
+from repro.model.safety import (
+    HazardRating,
+    SafetyConcern,
+    SafetyGoal,
+    VehicleFunction,
+)
+from repro.model.scenario import Scenario, SubScenario
+from repro.model.threat import AttackType, StrideType, ThreatScenario
+
+
+class TestScenarioCodec:
+    def test_round_trip(self):
+        scenario = Scenario(
+            name="Road intersection",
+            description="desc",
+            sub_scenarios=(SubScenario("a", "text a"),),
+            domain="automotive",
+        )
+        assert codec.scenario_from_dict(
+            codec.scenario_to_dict(scenario)
+        ) == scenario
+
+    def test_missing_name(self):
+        with pytest.raises(SerializationError, match="name"):
+            codec.scenario_from_dict({})
+
+
+class TestAssetCodec:
+    def test_round_trip_multi_group(self):
+        asset = Asset.of(
+            "ECU", AssetGroup.HARDWARE, AssetGroup.SOFTWARE,
+            relevance=AssetRelevance.GENERIC_ADAS_AD,
+            interfaces=("CAN", "USB"),
+        )
+        assert codec.asset_from_dict(codec.asset_to_dict(asset)) == asset
+
+    def test_unknown_group(self):
+        with pytest.raises(SerializationError):
+            codec.asset_from_dict({"name": "X", "groups": ["Firmware"]})
+
+    def test_unknown_relevance(self):
+        with pytest.raises(SerializationError, match="relevance"):
+            codec.asset_from_dict(
+                {"name": "X", "groups": ["Hardware"], "relevance": "bogus"}
+            )
+
+
+class TestThreatCodec:
+    def test_round_trip(self):
+        threat = ThreatScenario(
+            identifier="3.1.4",
+            text="Spoofing of messages by impersonation",
+            scenario="Advanced access",
+            asset="Gateway",
+            stride=(StrideType.SPOOFING,),
+            attack_examples=("forge IDs",),
+        )
+        restored = codec.threat_scenario_from_dict(
+            codec.threat_scenario_to_dict(threat)
+        )
+        assert restored == threat
+
+    def test_bad_stride_label(self):
+        with pytest.raises(SerializationError):
+            codec.threat_scenario_from_dict(
+                {"id": "1.1", "text": "x", "stride": ["Phishing"]}
+            )
+
+    def test_attack_type_round_trip(self):
+        attack_type = AttackType("Disable", StrideType.DENIAL_OF_SERVICE)
+        assert codec.attack_type_from_dict(
+            codec.attack_type_to_dict(attack_type)
+        ) == attack_type
+
+
+class TestSafetyCodec:
+    def make_rating(self):
+        return HazardRating(
+            function=VehicleFunction("Rat01", "Road works warning"),
+            failure_mode=FailureMode.NO,
+            hazard="Driver not warned",
+            hazardous_event="Crash into road works",
+            severity=Severity.S3,
+            exposure=Exposure.E3,
+            controllability=Controllability.C3,
+            asil=Asil.C,
+            rationale="statistics",
+        )
+
+    def test_rating_round_trip(self):
+        rating = self.make_rating()
+        assert codec.hazard_rating_from_dict(
+            codec.hazard_rating_to_dict(rating)
+        ) == rating
+
+    def test_na_rating_round_trip(self):
+        rating = HazardRating(
+            function=VehicleFunction("Rat01", "f"),
+            failure_mode=FailureMode.INVERTED,
+            hazard="no inversion",
+            asil=Asil.NOT_APPLICABLE,
+        )
+        restored = codec.hazard_rating_from_dict(
+            codec.hazard_rating_to_dict(rating)
+        )
+        assert restored == rating
+        assert restored.severity is None
+
+    def test_unknown_guideword(self):
+        payload = codec.hazard_rating_to_dict(self.make_rating())
+        payload["failure_mode"] = "Maybe"
+        with pytest.raises(SerializationError, match="guideword"):
+            codec.hazard_rating_from_dict(payload)
+
+    def test_goal_round_trip(self):
+        goal = SafetyGoal(
+            "SG01", "Keep vehicle closed", Asil.D,
+            safe_state="locked", ftti_ms=500, hazard_refs=("Rat01",),
+        )
+        assert codec.safety_goal_from_dict(
+            codec.safety_goal_to_dict(goal)
+        ) == goal
+
+    def test_concern_round_trip(self):
+        concern = SafetyConcern(
+            goal=SafetyGoal("SG01", "x", Asil.C),
+            accident="crash",
+            critical_situation="approach",
+        )
+        assert codec.safety_concern_from_dict(
+            codec.safety_concern_to_dict(concern)
+        ) == concern
+
+
+class TestAttackCodec:
+    def make_attack(self, category=AttackCategory.SAFETY):
+        goals = () if category is AttackCategory.PRIVACY else ("SG01",)
+        return AttackDescription(
+            identifier="AD08",
+            description="Modified keys",
+            safety_goal_ids=goals,
+            interface="ECU_GW",
+            threat_link=ThreatLink("3.1.4", "Spoofing of messages"),
+            stride=StrideType.SPOOFING,
+            attack_type=AttackType("Spoofing", StrideType.SPOOFING),
+            precondition="Vehicle closed",
+            expected_measures="ID whitelist",
+            attack_success="Open the vehicle",
+            attack_fails="Opening is rejected",
+            category=category,
+        )
+
+    def test_round_trip_safety(self):
+        attack = self.make_attack()
+        assert codec.attack_description_from_dict(
+            codec.attack_description_to_dict(attack)
+        ) == attack
+
+    def test_round_trip_privacy(self):
+        attack = self.make_attack(AttackCategory.PRIVACY)
+        restored = codec.attack_description_from_dict(
+            codec.attack_description_to_dict(attack)
+        )
+        assert restored.is_privacy_attack
+
+    def test_unknown_category(self):
+        payload = codec.attack_description_to_dict(self.make_attack())
+        payload["category"] = "financial"
+        with pytest.raises(SerializationError, match="category"):
+            codec.attack_description_from_dict(payload)
+
+    def test_missing_threat_link(self):
+        payload = codec.attack_description_to_dict(self.make_attack())
+        del payload["threat_link"]
+        with pytest.raises(SerializationError):
+            codec.attack_description_from_dict(payload)

@@ -1,0 +1,330 @@
+"""Tests for the attack injectors."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.attacks import (
+    EavesdropAttack,
+    FloodingAttack,
+    JammingAttack,
+    KeyForgeryAttack,
+    ReplayAttack,
+    SpoofingAttack,
+    TamperingAttack,
+)
+from repro.sim.clock import SimClock
+from repro.sim.crypto import KeyStore, verify_mac
+from repro.sim.events import EventBus
+from repro.sim.network import Channel, Message
+
+
+class Collector:
+    name = "collector"
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, message):
+        self.received.append(message)
+
+
+@pytest.fixture()
+def rig():
+    clock = SimClock()
+    bus = EventBus()
+    keystore = KeyStore()
+    channel = Channel("c", clock, bus, latency_ms=1.0)
+    sink = Collector()
+    channel.attach(sink)
+    return clock, bus, keystore, channel, sink
+
+
+class TestFlooding:
+    def test_flood_rate(self, rig):
+        clock, __, keystore, channel, sink = rig
+        attack = FloodingAttack(
+            "atk", clock, channel, kind="spam", interval_ms=10.0,
+            duration_ms=100.0, keystore=keystore,
+        )
+        attack.launch(0.0)
+        clock.run()
+        assert attack.messages_sent == pytest.approx(11, abs=2)
+        assert len(sink.received) == attack.messages_sent
+
+    def test_authenticated_flood_carries_valid_macs(self, rig):
+        clock, __, keystore, channel, sink = rig
+        attack = FloodingAttack(
+            "atk", clock, channel, kind="spam", interval_ms=10.0,
+            duration_ms=30.0, keystore=keystore,
+        )
+        attack.launch(0.0)
+        clock.run()
+        for message in sink.received:
+            assert verify_mac(
+                keystore.key_of("atk"), message.signing_bytes(),
+                message.auth_tag,
+            )
+
+    def test_unauthenticated_flood(self, rig):
+        clock, __, __, channel, sink = rig
+        attack = FloodingAttack(
+            "atk", clock, channel, kind="spam", interval_ms=10.0,
+            duration_ms=30.0, authenticated=False,
+        )
+        attack.launch(0.0)
+        clock.run()
+        assert all(not m.auth_tag for m in sink.received)
+
+    def test_authenticated_needs_keystore(self, rig):
+        clock, __, __, channel, __ = rig
+        with pytest.raises(ValueError):
+            FloodingAttack(
+                "atk", clock, channel, kind="spam", authenticated=True
+            )
+
+    def test_chaotic_mode_varies_gaps(self, rig):
+        clock, __, keystore, channel, sink = rig
+        attack = FloodingAttack(
+            "atk", clock, channel, kind="spam", interval_ms=10.0,
+            duration_ms=200.0, keystore=keystore, chaotic=True,
+        )
+        attack.launch(0.0)
+        clock.run()
+        gaps = {
+            round(b.timestamp - a.timestamp, 3)
+            for a, b in zip(sink.received, sink.received[1:])
+        }
+        assert len(gaps) > 2  # not a constant rate
+
+    def test_counters_strictly_increase(self, rig):
+        clock, __, keystore, channel, sink = rig
+        attack = FloodingAttack(
+            "atk", clock, channel, kind="spam", interval_ms=5.0,
+            duration_ms=50.0, keystore=keystore,
+        )
+        attack.launch(0.0)
+        clock.run()
+        counters = [m.counter for m in sink.received]
+        assert counters == sorted(set(counters))
+
+
+class TestSpoofing:
+    def test_spoofed_sender_without_key_is_unauthenticated(self, rig):
+        clock, __, __, channel, sink = rig
+        attack = SpoofingAttack(
+            "atk", clock, channel, kind="warning",
+            claimed_sender="RSU-A", payload={"x": 1},
+        )
+        attack.launch(0.0, count=3, gap_ms=10.0)
+        clock.run()
+        assert len(sink.received) == 3
+        assert all(m.sender == "RSU-A" for m in sink.received)
+        assert all(not m.auth_tag for m in sink.received)
+
+    def test_sign_as_self_fails_verification_for_claimed_sender(self, rig):
+        clock, __, keystore, channel, sink = rig
+        keystore.provision("RSU-A")
+        attack = SpoofingAttack(
+            "atk", clock, channel, kind="warning",
+            claimed_sender="RSU-A", payload={"x": 1},
+            keystore=keystore, sign_as_self=True,
+        )
+        attack.launch(0.0)
+        clock.run()
+        message = sink.received[0]
+        assert message.auth_tag
+        assert not verify_mac(
+            keystore.key_of("RSU-A"), message.signing_bytes(),
+            message.auth_tag,
+        )
+
+    def test_count_validation(self, rig):
+        clock, __, __, channel, __ = rig
+        attack = SpoofingAttack(
+            "atk", clock, channel, kind="w", claimed_sender="x", payload={},
+        )
+        with pytest.raises(SimulationError):
+            attack.launch(0.0, count=0)
+
+
+class TestKeyForgery:
+    def test_incrementing_strategy(self, rig):
+        clock, __, keystore, channel, sink = rig
+        attack = KeyForgeryAttack(
+            "atk", clock, channel, keystore, strategy="incrementing",
+            attempts=3, gap_ms=10.0, known_valid_id="KEY-1000",
+        )
+        attack.launch(0.0)
+        clock.run()
+        ids = [m.payload["key_id"] for m in sink.received]
+        assert ids == ["KEY-1001", "KEY-1002", "KEY-1003"]
+
+    def test_random_strategy_is_seeded_deterministic(self, rig):
+        clock, __, keystore, channel, sink = rig
+        attack = KeyForgeryAttack(
+            "atk", clock, channel, keystore, strategy="random",
+            attempts=3, gap_ms=10.0, seed=7,
+        )
+        attack.launch(0.0)
+        clock.run()
+        first_run = [m.payload["key_id"] for m in sink.received]
+
+        clock2 = SimClock()
+        bus2 = EventBus()
+        channel2 = Channel("c", clock2, bus2, latency_ms=1.0)
+        sink2 = Collector()
+        channel2.attach(sink2)
+        attack2 = KeyForgeryAttack(
+            "atk", clock2, channel2, KeyStore(), strategy="random",
+            attempts=3, gap_ms=10.0, seed=7,
+        )
+        attack2.launch(0.0)
+        clock2.run()
+        assert [m.payload["key_id"] for m in sink2.received] == first_run
+
+    def test_forged_commands_are_authenticated(self, rig):
+        clock, __, keystore, channel, sink = rig
+        attack = KeyForgeryAttack("atk", clock, channel, keystore, attempts=1)
+        attack.launch(0.0)
+        clock.run()
+        message = sink.received[0]
+        assert verify_mac(
+            keystore.key_of("atk"), message.signing_bytes(), message.auth_tag
+        )
+
+    def test_unknown_strategy(self, rig):
+        clock, __, keystore, channel, __ = rig
+        with pytest.raises(SimulationError):
+            KeyForgeryAttack(
+                "atk", clock, channel, keystore, strategy="bruteforce"
+            )
+
+
+class TestReplay:
+    def test_verbatim_replay(self, rig):
+        clock, __, keystore, channel, sink = rig
+        keystore.provision("phone")
+        original = Message(
+            kind="open_command", sender="phone", payload={"key_id": "K"},
+            counter=1,
+        ).with_timestamp(0.0).signed(keystore)
+        attack = ReplayAttack("eve", clock, channel)
+        channel.send(original)
+        attack.replay(at_ms=100.0, count=1)
+        clock.run()
+        assert len(sink.received) == 2
+        replayed = sink.received[1]
+        assert replayed.auth_tag == original.auth_tag
+        assert replayed.counter == original.counter
+        assert replayed.timestamp == original.timestamp
+
+    def test_kind_filter(self, rig):
+        clock, __, __, channel, __ = rig
+        attack = ReplayAttack(
+            "eve", clock, channel, capture_kinds={"open_command"}
+        )
+        channel.send(Message(kind="noise", sender="s", payload={}))
+        channel.send(Message(kind="open_command", sender="s", payload={}))
+        assert [m.kind for m in attack.captured] == ["open_command"]
+
+    def test_replay_without_capture_fizzles(self, rig):
+        clock, __, __, channel, sink = rig
+        attack = ReplayAttack("eve", clock, channel)
+        attack.replay(at_ms=10.0)
+        clock.run()
+        assert sink.received == []
+        assert attack.messages_sent == 0
+
+    def test_own_replays_not_recaptured(self, rig):
+        clock, __, __, channel, __ = rig
+        attack = ReplayAttack("eve", clock, channel)
+        channel.send(Message(kind="k", sender="victim", payload={}))
+        attack.replay(at_ms=10.0, count=3, gap_ms=5.0)
+        clock.run()
+        assert len(attack.captured) == 1
+
+    def test_cross_channel_replay(self, rig):
+        clock, bus, __, channel, __ = rig
+        other = Channel("other", clock, bus, latency_ms=1.0)
+        other_sink = Collector()
+        other.attach(other_sink)
+        attack = ReplayAttack("eve", clock, channel)
+        channel.send(Message(kind="k", sender="victim", payload={}))
+        attack.replay(at_ms=10.0, via=other)
+        clock.run()
+        assert len(other_sink.received) == 1
+
+
+class TestTampering:
+    def test_tampered_copy_injected_with_stale_tag(self, rig):
+        clock, __, keystore, channel, sink = rig
+        keystore.provision("rsu")
+        attack = TamperingAttack(
+            "mitm", clock, channel, target_kinds={"speed_limit"},
+            mutator=lambda p: {**p, "speed_limit_mps": 99.0},
+        )
+        attack.launch(0.0)
+        original = Message(
+            kind="speed_limit", sender="rsu",
+            payload={"speed_limit_mps": 13.0}, counter=1,
+        ).with_timestamp(10.0).signed(keystore)
+        clock.schedule_at(10.0, lambda: channel.send(original))
+        clock.run()
+        assert len(sink.received) == 2
+        tampered = sink.received[1]
+        assert tampered.payload["speed_limit_mps"] == 99.0
+        assert not verify_mac(
+            keystore.key_of("rsu"), tampered.signing_bytes(),
+            tampered.auth_tag,
+        )
+
+    def test_unarmed_mitm_is_passive(self, rig):
+        clock, __, __, channel, sink = rig
+        TamperingAttack(
+            "mitm", clock, channel, target_kinds={"k"},
+            mutator=lambda p: p,
+        )  # never launched
+        channel.send(Message(kind="k", sender="s", payload={}))
+        clock.run()
+        assert len(sink.received) == 1
+
+    def test_does_not_tamper_own_injections(self, rig):
+        clock, __, __, channel, sink = rig
+        attack = TamperingAttack(
+            "mitm", clock, channel, target_kinds={"k"},
+            mutator=lambda p: p,
+        )
+        attack.launch(0.0)
+        clock.schedule_at(
+            10.0,
+            lambda: channel.send(Message(kind="k", sender="s", payload={})),
+        )
+        clock.run()
+        # One original + exactly one tampered copy (no recursion).
+        assert len(sink.received) == 2
+        assert attack.tampered_count == 1
+
+
+class TestJammingAndEavesdrop:
+    def test_jamming_window(self, rig):
+        clock, __, __, channel, sink = rig
+        attack = JammingAttack("jam", clock, channel, duration_ms=50.0)
+        attack.launch(10.0)
+        clock.schedule_at(30.0, lambda: channel.send(
+            Message(kind="k", sender="s", payload={})
+        ))
+        clock.schedule_at(100.0, lambda: channel.send(
+            Message(kind="k", sender="s", payload={})
+        ))
+        clock.run()
+        assert len(sink.received) == 1  # only the post-jam message
+
+    def test_eavesdrop_profile(self, rig):
+        clock, __, __, channel, __ = rig
+        attack = EavesdropAttack("spy", clock, channel)
+        for kind in ("open_command", "open_command", "close_command"):
+            channel.send(Message(kind=kind, sender="phone", payload={}))
+        profile = attack.profile()
+        assert profile["by_kind"] == {"open_command": 2, "close_command": 1}
+        assert profile["by_sender"] == {"phone": 3}
+        assert len(attack.observed_activity_times("open_command")) == 2

@@ -1,0 +1,291 @@
+"""Tests for every security control and the control pipeline."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.controls import (
+    ControlPipeline,
+    FloodingDetector,
+    IdWhitelist,
+    LocationConsistencyCheck,
+    MessageCounterCheck,
+    ReplayGuard,
+    SenderAuthentication,
+    ValueRangeCheck,
+)
+from repro.sim.crypto import KeyStore
+from repro.sim.events import EventBus
+from repro.sim.network import Message
+
+
+def signed_message(store, sender="rsu", counter=1, timestamp=0.0, **payload):
+    store.provision(sender)
+    return Message(
+        kind="warning", sender=sender, payload=payload, counter=counter,
+    ).with_timestamp(timestamp).signed(store)
+
+
+class TestSenderAuthentication:
+    def test_valid_message_passes(self):
+        store = KeyStore()
+        control = SenderAuthentication(store)
+        message = signed_message(store)
+        assert control.inspect(message, 0.0).allowed
+
+    def test_unknown_sender_denied(self):
+        store = KeyStore()
+        control = SenderAuthentication(store)
+        message = Message(kind="k", sender="ghost", payload={})
+        decision = control.inspect(message, 0.0)
+        assert not decision.allowed
+        assert "unknown sender" in decision.reason
+
+    def test_missing_tag_denied(self):
+        store = KeyStore()
+        store.provision("rsu")
+        control = SenderAuthentication(store)
+        message = Message(kind="k", sender="rsu", payload={})
+        assert not control.inspect(message, 0.0).allowed
+
+    def test_tampered_payload_denied(self):
+        import dataclasses
+
+        store = KeyStore()
+        control = SenderAuthentication(store)
+        message = signed_message(store, speed=10)
+        tampered = dataclasses.replace(message, payload={"speed": 99})
+        decision = control.inspect(tampered, 0.0)
+        assert not decision.allowed
+        assert "MAC" in decision.reason
+
+
+class TestMessageCounter:
+    def test_increasing_counters_pass(self):
+        control = MessageCounterCheck()
+        store = KeyStore()
+        for counter in (1, 2, 5):
+            message = signed_message(store, counter=counter)
+            assert control.inspect(message, 0.0).allowed
+
+    def test_repeated_counter_denied(self):
+        control = MessageCounterCheck()
+        store = KeyStore()
+        control.inspect(signed_message(store, counter=3), 0.0)
+        decision = control.inspect(signed_message(store, counter=3), 0.0)
+        assert not decision.allowed
+        assert "broken message counter" in decision.reason
+
+    def test_counters_tracked_per_sender(self):
+        control = MessageCounterCheck()
+        store = KeyStore()
+        control.inspect(signed_message(store, sender="a", counter=5), 0.0)
+        assert control.inspect(
+            signed_message(store, sender="b", counter=1), 0.0
+        ).allowed
+
+    def test_reset_clears_state(self):
+        control = MessageCounterCheck()
+        store = KeyStore()
+        control.inspect(signed_message(store, counter=5), 0.0)
+        control.reset()
+        assert control.inspect(signed_message(store, counter=1), 0.0).allowed
+
+
+class TestFloodingDetector:
+    def test_normal_rate_passes(self):
+        control = FloodingDetector(window_ms=1000, max_messages=5)
+        store = KeyStore()
+        for index in range(5):
+            message = signed_message(store, counter=index)
+            assert control.inspect(message, index * 250.0).allowed
+
+    def test_flood_flagged_and_blocked(self):
+        control = FloodingDetector(
+            window_ms=1000, max_messages=5, cooldown_ms=2000
+        )
+        store = KeyStore()
+        decisions = [
+            control.inspect(signed_message(store, counter=i), i * 10.0)
+            for i in range(7)
+        ]
+        assert not decisions[5].allowed  # 6th message in the window
+        assert control.is_flagged("rsu")
+        # Still blocked during cooldown.
+        late = control.inspect(signed_message(store, counter=99), 500.0)
+        assert not late.allowed
+        assert "blocked" in late.reason
+
+    def test_block_expires_after_cooldown(self):
+        control = FloodingDetector(
+            window_ms=100, max_messages=1, cooldown_ms=1000
+        )
+        store = KeyStore()
+        control.inspect(signed_message(store, counter=1), 0.0)
+        control.inspect(signed_message(store, counter=2), 10.0)  # flagged
+        assert control.inspect(
+            signed_message(store, counter=3), 2000.0
+        ).allowed
+
+    def test_senders_rate_limited_independently(self):
+        control = FloodingDetector(window_ms=1000, max_messages=1)
+        store = KeyStore()
+        control.inspect(signed_message(store, sender="a", counter=1), 0.0)
+        assert control.inspect(
+            signed_message(store, sender="b", counter=1), 1.0
+        ).allowed
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            FloodingDetector(window_ms=0)
+        with pytest.raises(SimulationError):
+            FloodingDetector(max_messages=0)
+
+
+class TestIdWhitelist:
+    def test_allowed_id_passes(self):
+        control = IdWhitelist({"KEY-1"})
+        message = Message(kind="open_command", sender="p", payload={"key_id": "KEY-1"})
+        assert control.inspect(message, 0.0).allowed
+
+    def test_unknown_id_denied(self):
+        control = IdWhitelist({"KEY-1"})
+        message = Message(kind="open_command", sender="p", payload={"key_id": "KEY-2"})
+        decision = control.inspect(message, 0.0)
+        assert not decision.allowed
+        assert "not in list of allowed IDs" in decision.reason
+
+    def test_missing_id_denied(self):
+        control = IdWhitelist({"KEY-1"})
+        message = Message(kind="open_command", sender="p", payload={})
+        assert not control.inspect(message, 0.0).allowed
+
+    def test_kind_scoping(self):
+        control = IdWhitelist({"KEY-1"}, kinds={"open_command"})
+        diag = Message(kind="diag_request", sender="p", payload={})
+        assert control.inspect(diag, 0.0).allowed
+
+    def test_allow_and_revoke(self):
+        control = IdWhitelist({"KEY-1"})
+        control.allow("KEY-2")
+        message = Message(kind="open_command", sender="p", payload={"key_id": "KEY-2"})
+        assert control.inspect(message, 0.0).allowed
+        control.revoke("KEY-2")
+        assert not control.inspect(message, 0.0).allowed
+
+    def test_empty_whitelist_rejected(self):
+        with pytest.raises(SimulationError):
+            IdWhitelist(set())
+
+
+class TestReplayGuard:
+    def test_fresh_message_passes(self):
+        control = ReplayGuard(max_age_ms=100)
+        message = Message(
+            kind="k", sender="s", payload={}, counter=1, timestamp=50.0
+        )
+        assert control.inspect(message, 60.0).allowed
+
+    def test_stale_message_denied(self):
+        control = ReplayGuard(max_age_ms=100)
+        message = Message(
+            kind="k", sender="s", payload={}, counter=1, timestamp=0.0
+        )
+        decision = control.inspect(message, 500.0)
+        assert not decision.allowed
+        assert "stale" in decision.reason
+
+    def test_duplicate_counter_denied(self):
+        control = ReplayGuard(max_age_ms=1000)
+        message = Message(
+            kind="k", sender="s", payload={}, counter=7, timestamp=0.0
+        )
+        assert control.inspect(message, 10.0).allowed
+        decision = control.inspect(message, 20.0)
+        assert not decision.allowed
+        assert "replayed" in decision.reason
+
+
+class TestPlausibility:
+    def test_value_range(self):
+        control = ValueRangeCheck("speed_limit_mps", 1.0, 40.0)
+        ok = Message(kind="k", sender="s", payload={"speed_limit_mps": 13.0})
+        too_fast = Message(kind="k", sender="s", payload={"speed_limit_mps": 60.0})
+        absent = Message(kind="k", sender="s", payload={})
+        assert control.inspect(ok, 0.0).allowed
+        assert not control.inspect(too_fast, 0.0).allowed
+        assert control.inspect(absent, 0.0).allowed
+
+    def test_non_numeric_value_denied(self):
+        control = ValueRangeCheck("speed_limit_mps", 1.0, 40.0)
+        message = Message(
+            kind="k", sender="s", payload={"speed_limit_mps": "fast"}
+        )
+        assert not control.inspect(message, 0.0).allowed
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(SimulationError):
+            ValueRangeCheck("x", 10.0, 1.0)
+
+    def test_location_consistency(self):
+        control = LocationConsistencyCheck({"site-A"})
+        good = Message(kind="k", sender="s", payload={}, location="site-A")
+        bad = Message(kind="k", sender="s", payload={}, location="site-B")
+        missing = Message(kind="k", sender="s", payload={})
+        assert control.inspect(good, 0.0).allowed
+        assert not control.inspect(bad, 0.0).allowed
+        assert not control.inspect(missing, 0.0).allowed
+
+    def test_location_optional_mode(self):
+        control = LocationConsistencyCheck({"site-A"}, require_location=False)
+        missing = Message(kind="k", sender="s", payload={})
+        assert control.inspect(missing, 0.0).allowed
+
+    def test_expect_extends_plausible_set(self):
+        control = LocationConsistencyCheck({"site-A"})
+        control.expect("site-B")
+        message = Message(kind="k", sender="s", payload={}, location="site-B")
+        assert control.inspect(message, 0.0).allowed
+
+
+class TestControlPipeline:
+    def test_first_denial_wins_and_is_logged(self):
+        clock, bus = SimClock(), EventBus()
+        store = KeyStore()
+        pipeline = ControlPipeline("ECU", clock, bus)
+        pipeline.add(SenderAuthentication(store))
+        pipeline.add(MessageCounterCheck())
+        message = Message(kind="k", sender="ghost", payload={})
+        decision = pipeline.admit(message)
+        assert not decision.allowed
+        assert decision.control == "sender-auth"
+        assert len(pipeline.detections) == 1
+        assert bus.count("control.detection.ECU") == 1
+
+    def test_pass_through_when_all_allow(self):
+        clock, bus = SimClock(), EventBus()
+        store = KeyStore()
+        pipeline = ControlPipeline("ECU", clock, bus)
+        pipeline.add(SenderAuthentication(store))
+        assert pipeline.admit(signed_message(store)).allowed
+        assert pipeline.detections == ()
+
+    def test_detections_by_control(self):
+        clock, bus = SimClock(), EventBus()
+        pipeline = ControlPipeline("ECU", clock, bus)
+        pipeline.add(IdWhitelist({"KEY-1"}))
+        pipeline.admit(
+            Message(kind="open_command", sender="p", payload={"key_id": "X"})
+        )
+        assert len(pipeline.detections_by("id-whitelist")) == 1
+        assert pipeline.detections_by("replay-guard") == ()
+
+    def test_reset(self):
+        clock, bus = SimClock(), EventBus()
+        pipeline = ControlPipeline("ECU", clock, bus)
+        pipeline.add(IdWhitelist({"KEY-1"}))
+        pipeline.admit(
+            Message(kind="open_command", sender="p", payload={"key_id": "X"})
+        )
+        pipeline.reset()
+        assert pipeline.detections == ()

@@ -1,0 +1,196 @@
+"""Tests for channels, messages and the crypto substrate."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.crypto import (
+    ChallengeResponse,
+    KeyStore,
+    canonical_payload,
+    compute_mac,
+    verify_mac,
+)
+from repro.sim.events import EventBus
+from repro.sim.network import Channel, Message
+
+
+class Collector:
+    """A minimal Receiver capturing delivered messages."""
+
+    def __init__(self, name="collector"):
+        self.name = name
+        self.received = []
+
+    def receive(self, message):
+        self.received.append(message)
+
+
+@pytest.fixture()
+def net():
+    clock = SimClock()
+    bus = EventBus()
+    channel = Channel("test", clock, bus, latency_ms=2.0)
+    return clock, bus, channel
+
+
+class TestCrypto:
+    def test_mac_round_trip(self):
+        key = b"k" * 32
+        tag = compute_mac(key, b"payload")
+        assert verify_mac(key, b"payload", tag)
+        assert not verify_mac(key, b"payload2", tag)
+        assert not verify_mac(b"x" * 32, b"payload", tag)
+
+    def test_canonical_payload_is_order_insensitive(self):
+        assert canonical_payload({"a": 1, "b": 2}) == canonical_payload(
+            {"b": 2, "a": 1}
+        )
+
+    def test_keystore_provision_is_deterministic(self):
+        store_a, store_b = KeyStore(), KeyStore()
+        assert store_a.provision("rsu") == store_b.provision("rsu")
+
+    def test_keystore_unknown_identity(self):
+        with pytest.raises(SimulationError):
+            KeyStore().key_of("ghost")
+
+    def test_challenge_response_happy_path(self):
+        store = KeyStore()
+        store.provision("phone")
+        session = ChallengeResponse(keystore=store)
+        challenge = session.issue_challenge("phone")
+        response = session.respond("phone", challenge)
+        assert session.verify("phone", challenge, response)
+
+    def test_challenge_is_single_use(self):
+        store = KeyStore()
+        store.provision("phone")
+        session = ChallengeResponse(keystore=store)
+        challenge = session.issue_challenge("phone")
+        response = session.respond("phone", challenge)
+        assert session.verify("phone", challenge, response)
+        # Replaying the same (challenge, response) pair fails.
+        assert not session.verify("phone", challenge, response)
+
+    def test_wrong_identity_fails(self):
+        store = KeyStore()
+        store.provision("phone")
+        store.provision("attacker")
+        session = ChallengeResponse(keystore=store)
+        challenge = session.issue_challenge("phone")
+        response = session.respond("attacker", challenge)
+        assert not session.verify("attacker", challenge, response)
+
+
+class TestMessageSigning:
+    def test_signed_message_verifies(self):
+        store = KeyStore()
+        store.provision("rsu")
+        message = Message(
+            kind="warning", sender="rsu", payload={"x": 1}, counter=1,
+        ).with_timestamp(5.0).signed(store)
+        assert verify_mac(
+            store.key_of("rsu"), message.signing_bytes(), message.auth_tag
+        )
+
+    def test_tampering_breaks_the_tag(self):
+        import dataclasses
+
+        store = KeyStore()
+        store.provision("rsu")
+        message = Message(
+            kind="warning", sender="rsu", payload={"x": 1}, counter=1,
+        ).with_timestamp(5.0).signed(store)
+        tampered = dataclasses.replace(message, payload={"x": 2})
+        assert not verify_mac(
+            store.key_of("rsu"), tampered.signing_bytes(), tampered.auth_tag
+        )
+
+    def test_unique_ids_assigned(self):
+        a = Message(kind="k", sender="s", payload={})
+        b = Message(kind="k", sender="s", payload={})
+        assert a.unique_id != b.unique_id
+
+
+class TestChannel:
+    def test_delivery_with_latency(self, net):
+        clock, __, channel = net
+        receiver = Collector()
+        channel.attach(receiver)
+        channel.send(Message(kind="k", sender="s", payload={}))
+        clock.run_until(1.0)
+        assert receiver.received == []
+        clock.run_until(3.0)
+        assert len(receiver.received) == 1
+
+    def test_timestamp_stamped_at_send(self, net):
+        clock, __, channel = net
+        clock.run_until(7.0)
+        message = channel.send(Message(kind="k", sender="s", payload={}))
+        assert message.timestamp == 7.0
+
+    def test_existing_timestamp_preserved(self, net):
+        __, __, channel = net
+        message = Message(
+            kind="k", sender="s", payload={}, timestamp=3.0
+        )
+        sent = channel.send(message)
+        assert sent.timestamp == 3.0
+
+    def test_taps_see_sends_immediately(self, net):
+        __, __, channel = net
+        seen = []
+        channel.tap(seen.append)
+        channel.send(Message(kind="k", sender="s", payload={}))
+        assert len(seen) == 1
+
+    def test_jamming_drops_but_taps_still_observe(self, net):
+        clock, bus, channel = net
+        receiver = Collector()
+        seen = []
+        channel.attach(receiver)
+        channel.tap(seen.append)
+        channel.jam(10.0)
+        channel.send(Message(kind="k", sender="s", payload={}))
+        clock.run()
+        assert receiver.received == []
+        assert len(seen) == 1
+        assert channel.stats["dropped"] == 1
+        assert bus.count("channel.test.dropped") == 1
+
+    def test_jam_expires(self, net):
+        clock, __, channel = net
+        receiver = Collector()
+        channel.attach(receiver)
+        channel.jam(10.0)
+        clock.run_until(11.0)
+        assert not channel.jammed
+        channel.send(Message(kind="k", sender="s", payload={}))
+        clock.run()
+        assert len(receiver.received) == 1
+
+    def test_bandwidth_congestion_delays_delivery(self):
+        clock = SimClock()
+        bus = EventBus()
+        channel = Channel(
+            "slow", clock, bus, latency_ms=1.0, bandwidth_per_ms=1.0
+        )
+        receiver = Collector()
+        channel.attach(receiver)
+        for __ in range(5):
+            channel.send(Message(kind="k", sender="s", payload={}))
+        clock.run()
+        # 5 messages, 1/ms: deliveries at ~1, 2, 3, 4, 5 ms.
+        assert clock.now >= 4.0
+        assert len(receiver.received) == 5
+
+    def test_invalid_parameters(self):
+        clock, bus = SimClock(), EventBus()
+        with pytest.raises(SimulationError):
+            Channel("c", clock, bus, latency_ms=-1)
+        with pytest.raises(SimulationError):
+            Channel("c", clock, bus, bandwidth_per_ms=0)
+        channel = Channel("c", clock, bus)
+        with pytest.raises(SimulationError):
+            channel.jam(0)

@@ -1,0 +1,163 @@
+"""Tests for the road world, vehicle kinematics and the driver model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventBus
+from repro.sim.vehicle import Driver, DrivingMode, Vehicle
+from repro.sim.world import World, Zone
+
+
+class TestWorld:
+    def test_zone_containment(self):
+        zone = Zone("z", 100.0, 200.0)
+        assert zone.contains(100.0)
+        assert zone.contains(199.9)
+        assert not zone.contains(200.0)
+        assert zone.length == 100.0
+
+    def test_zone_validation(self):
+        with pytest.raises(SimulationError):
+            Zone("z", 200.0, 100.0)
+
+    def test_world_zone_management(self):
+        world = World(road_length_m=1000.0)
+        world.add_zone("construction", 500.0, 600.0)
+        assert world.in_zone(550.0, "construction")
+        assert not world.in_zone(450.0, "construction")
+        assert world.distance_to(400.0, "construction") == 100.0
+
+    def test_duplicate_zone_rejected(self):
+        world = World()
+        world.add_zone("z", 0.0, 10.0)
+        with pytest.raises(SimulationError):
+            world.add_zone("z", 20.0, 30.0)
+
+    def test_zone_outside_road_rejected(self):
+        world = World(road_length_m=100.0)
+        with pytest.raises(SimulationError):
+            world.add_zone("z", 50.0, 150.0)
+
+    def test_clamp(self):
+        world = World(road_length_m=100.0)
+        assert world.clamp(-5.0) == 0.0
+        assert world.clamp(105.0) == 100.0
+
+    def test_zones_at(self):
+        world = World()
+        world.add_zone("a", 0.0, 100.0)
+        world.add_zone("b", 50.0, 150.0)
+        assert {z.name for z in world.zones_at(75.0)} == {"a", "b"}
+
+
+@pytest.fixture()
+def rig():
+    clock = SimClock()
+    bus = EventBus()
+    world = World(road_length_m=3000.0)
+    world.add_zone("construction", 1500.0, 1600.0)
+    vehicle = Vehicle("ego", clock, bus, world, speed_mps=25.0)
+    return clock, bus, world, vehicle
+
+
+class TestVehicle:
+    def test_constant_speed_motion(self, rig):
+        clock, __, __, vehicle = rig
+        clock.run_until(10000.0)  # 10 s at 25 m/s
+        assert vehicle.position_m == pytest.approx(250.0, abs=3.0)
+
+    def test_deceleration_is_bounded(self, rig):
+        clock, __, __, vehicle = rig
+        vehicle.set_target_speed(5.0)
+        clock.run_until(1000.0)
+        # Max 4 m/s^2: after 1 s the speed can have dropped by at most ~4.
+        assert vehicle.speed_mps >= 20.0
+        clock.run_until(10000.0)
+        assert vehicle.speed_mps == pytest.approx(5.0)
+
+    def test_acceleration_is_bounded(self, rig):
+        clock, __, __, vehicle = rig
+        vehicle.set_target_speed(35.0)
+        clock.run_until(1000.0)
+        assert vehicle.speed_mps <= 27.5
+
+    def test_handover_state_machine(self, rig):
+        clock, bus, __, vehicle = rig
+        vehicle.request_handover("test")
+        assert vehicle.mode is DrivingMode.HANDOVER_REQUESTED
+        assert bus.count("vehicle.handover_requested") == 1
+        # Idempotent while pending.
+        vehicle.request_handover("again")
+        assert bus.count("vehicle.handover_requested") == 1
+        vehicle.driver_takes_over()
+        assert vehicle.mode is DrivingMode.MANUAL
+        # No handover request once manual.
+        vehicle.request_handover("later")
+        assert bus.count("vehicle.handover_requested") == 1
+
+    def test_manual_latency_published(self, rig):
+        clock, bus, __, vehicle = rig
+        clock.run_until(1000.0)
+        vehicle.request_handover("x")
+        clock.run_until(3000.0)
+        vehicle.driver_takes_over()
+        event = bus.last("vehicle.manual_control")
+        assert event.data["latency_ms"] == pytest.approx(2000.0)
+
+    def test_safe_stop(self, rig):
+        clock, bus, __, vehicle = rig
+        vehicle.safe_stop("test")
+        assert vehicle.mode is DrivingMode.SAFE_STOP
+        clock.run_until(10000.0)
+        assert vehicle.is_stopped
+        assert bus.count("vehicle.safe_stop") == 1
+
+    def test_zone_entry_event_carries_mode(self, rig):
+        clock, bus, __, vehicle = rig
+        clock.run_until(70000.0)  # well past the zone at 25 m/s
+        entries = bus.events("vehicle.entered_zone")
+        assert len(entries) == 1
+        assert entries[0].data["zone"] == "construction"
+        assert entries[0].data["mode"] == "automated"
+
+    def test_position_saturates_at_road_end(self, rig):
+        clock, __, world, vehicle = rig
+        clock.run_until(300000.0)
+        assert vehicle.position_m == world.road_length_m
+
+    def test_invalid_speeds_rejected(self, rig):
+        __, __, __, vehicle = rig
+        with pytest.raises(SimulationError):
+            vehicle.set_target_speed(-1.0)
+
+
+class TestDriver:
+    def test_reaction_time(self, rig):
+        clock, bus, __, vehicle = rig
+        Driver(vehicle, clock, bus, reaction_time_ms=2000.0)
+        clock.run_until(1000.0)
+        vehicle.request_handover("road works")
+        clock.run_until(2500.0)
+        assert vehicle.mode is DrivingMode.HANDOVER_REQUESTED
+        clock.run_until(3100.0)
+        assert vehicle.mode is DrivingMode.MANUAL
+        assert vehicle.manual_since == pytest.approx(3000.0)
+
+    def test_driver_slows_down_after_takeover(self, rig):
+        clock, bus, __, vehicle = rig
+        Driver(
+            vehicle, clock, bus, reaction_time_ms=500.0,
+            comfort_speed_mps=8.0,
+        )
+        vehicle.request_handover("road works")
+        clock.run_until(20000.0)
+        assert vehicle.speed_mps == pytest.approx(8.0)
+
+    def test_driver_ignores_other_vehicles(self, rig):
+        clock, bus, world, vehicle = rig
+        other = Vehicle("other", clock, bus, world)
+        Driver(vehicle, clock, bus, reaction_time_ms=100.0)
+        other.request_handover("other's problem")
+        clock.run_until(1000.0)
+        assert vehicle.mode is DrivingMode.AUTOMATED

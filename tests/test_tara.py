@@ -1,0 +1,298 @@
+"""Tests for the TARA package: damage, feasibility, risk, trees, cross-check."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hara.analysis import Hara
+from repro.model.ratings import (
+    CalLevel,
+    Controllability as C,
+    Exposure as E,
+    FailureMode as FM,
+    FeasibilityRating,
+    ImpactRating,
+    RiskLevel,
+    Severity as S,
+)
+from repro.tara.attack_tree import AttackStep, AttackTree, and_node, or_node
+from repro.tara.crosscheck import CrossCheckOutcome, cross_check
+from repro.tara.damage import DamageScenario, ImpactCategory, safety_relevant
+from repro.tara.feasibility import (
+    AttackPotential,
+    ElapsedTime,
+    Equipment,
+    Expertise,
+    Knowledge,
+    WindowOfOpportunity,
+    rate_feasibility,
+)
+from repro.tara.risk import (
+    RISK_MATRIX,
+    RiskAssessment,
+    determine_cal,
+    determine_risk,
+)
+
+
+def damage(identifier="DS-01", safety=ImpactRating.SEVERE, **kwargs):
+    return DamageScenario(
+        identifier=identifier,
+        description=kwargs.pop(
+            "description", "Vehicle crashes into road works"
+        ),
+        asset=kwargs.pop("asset", "V2X communications"),
+        impacts=((ImpactCategory.SAFETY, safety),) + tuple(
+            kwargs.pop("extra_impacts", ())
+        ),
+    )
+
+
+class TestDamageScenario:
+    def test_safety_relevance(self):
+        assert damage().is_safety_relevant
+        assert not damage(safety=ImpactRating.NEGLIGIBLE).is_safety_relevant
+
+    def test_unrated_category_defaults_to_negligible(self):
+        assert damage().impact(ImpactCategory.PRIVACY) is ImpactRating.NEGLIGIBLE
+
+    def test_overall_impact_is_worst_case(self):
+        scenario = damage(
+            safety=ImpactRating.MODERATE,
+            extra_impacts=((ImpactCategory.FINANCIAL, ImpactRating.SEVERE),),
+        )
+        assert scenario.overall_impact is ImpactRating.SEVERE
+
+    def test_duplicate_category_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            DamageScenario(
+                identifier="DS-02",
+                description="x",
+                asset="a",
+                impacts=(
+                    (ImpactCategory.SAFETY, ImpactRating.MAJOR),
+                    (ImpactCategory.SAFETY, ImpactRating.SEVERE),
+                ),
+            )
+
+    def test_filter_helper(self):
+        scenarios = [damage(), damage("DS-02", ImpactRating.NEGLIGIBLE)]
+        assert [s.identifier for s in safety_relevant(scenarios)] == ["DS-01"]
+
+
+class TestFeasibility:
+    def test_trivial_attack_is_high_feasibility(self):
+        assert rate_feasibility() is FeasibilityRating.HIGH
+
+    def test_hardened_target_is_very_low(self):
+        rating = rate_feasibility(
+            elapsed_time=ElapsedTime.SIX_MONTHS,
+            expertise=Expertise.MULTIPLE_EXPERTS,
+            knowledge=Knowledge.STRICTLY_CONFIDENTIAL,
+            window=WindowOfOpportunity.DIFFICULT,
+            equipment=Equipment.MULTIPLE_BESPOKE,
+        )
+        assert rating is FeasibilityRating.VERY_LOW
+
+    def test_thresholds(self):
+        assert AttackPotential(
+            expertise=Expertise.EXPERT, knowledge=Knowledge.CONFIDENTIAL,
+            equipment=Equipment.SPECIALIZED,
+        ).feasibility is FeasibilityRating.MEDIUM  # 6+7+4 = 17
+
+    def test_value_is_sum_of_factors(self):
+        potential = AttackPotential(
+            elapsed_time=ElapsedTime.ONE_WEEK,
+            expertise=Expertise.PROFICIENT,
+        )
+        assert potential.value == 1 + 3
+
+
+class TestRiskMatrix:
+    def test_extreme_corners(self):
+        assert determine_risk(
+            ImpactRating.SEVERE, FeasibilityRating.HIGH
+        ) is RiskLevel.R5
+        assert determine_risk(
+            ImpactRating.NEGLIGIBLE, FeasibilityRating.HIGH
+        ) is RiskLevel.R1
+
+    def test_matrix_is_complete(self):
+        assert len(RISK_MATRIX) == 4 * 4
+
+    def test_matrix_monotone(self):
+        for impact in ImpactRating:
+            for feasibility in FeasibilityRating:
+                risk = determine_risk(impact, feasibility)
+                if feasibility is not FeasibilityRating.HIGH:
+                    higher = determine_risk(
+                        impact, FeasibilityRating(int(feasibility) + 1)
+                    )
+                    assert higher >= risk
+
+    def test_cal_scaling(self):
+        assert determine_cal(
+            ImpactRating.SEVERE, FeasibilityRating.HIGH
+        ) is CalLevel.CAL4
+        assert determine_cal(
+            ImpactRating.NEGLIGIBLE, FeasibilityRating.VERY_LOW
+        ) is CalLevel.CAL1
+
+    def test_risk_assessment_uses_safety_impact(self):
+        assessment = RiskAssessment(
+            damage=damage(
+                safety=ImpactRating.MODERATE,
+                extra_impacts=(
+                    (ImpactCategory.FINANCIAL, ImpactRating.SEVERE),
+                ),
+            ),
+            potential=AttackPotential(),
+        )
+        assert assessment.risk is RiskLevel.R5  # overall (financial severe)
+        assert assessment.safety_risk is RiskLevel.R3  # safety moderate
+        assert assessment.requires_testing()
+
+
+class TestAttackTree:
+    def make_tree(self):
+        return AttackTree(
+            goal="open vehicle",
+            root=or_node(
+                "gain access",
+                AttackStep("steal key", interface="physical"),
+                and_node(
+                    "relay attack",
+                    AttackStep("capture signal", interface="BLE"),
+                    AttackStep("relay to vehicle", interface="BLE"),
+                ),
+            ),
+        )
+
+    def test_path_enumeration(self):
+        paths = self.make_tree().paths()
+        chains = [tuple(s.action for s in p.steps) for p in paths]
+        assert ("steal key",) in chains
+        assert ("capture signal", "relay to vehicle") in chains
+        assert len(paths) == 2
+
+    def test_path_interfaces_deduplicated(self):
+        paths = self.make_tree().paths()
+        relay = next(p for p in paths if len(p.steps) == 2)
+        assert relay.interfaces == ("BLE",)
+
+    def test_coverage_accounting(self):
+        tree = self.make_tree()
+        assert tree.coverage == 0.0
+        tree.mark_tested(tree.paths()[0])
+        assert tree.coverage == pytest.approx(0.5)
+        assert len(tree.untested_paths()) == 1
+
+    def test_marking_foreign_path_rejected(self):
+        tree = self.make_tree()
+        from repro.tara.attack_tree import AttackPath
+
+        foreign = AttackPath(goal="x", steps=(AttackStep("fly in"),))
+        with pytest.raises(ValidationError):
+            tree.mark_tested(foreign)
+
+    def test_and_of_ors_is_cartesian(self):
+        tree = AttackTree(
+            goal="g",
+            root=and_node(
+                "both",
+                or_node("a", AttackStep("a1"), AttackStep("a2")),
+                or_node("b", AttackStep("b1"), AttackStep("b2")),
+            ),
+        )
+        assert len(tree.paths()) == 4
+
+    def test_potential_aggregates_max_and_time_sum(self):
+        tree = AttackTree(
+            goal="g",
+            root=and_node(
+                "steps",
+                AttackStep(
+                    "recon",
+                    potential=AttackPotential(expertise=Expertise.EXPERT),
+                ),
+                AttackStep(
+                    "exploit",
+                    potential=AttackPotential(
+                        equipment=Equipment.BESPOKE,
+                        elapsed_time=ElapsedTime.ONE_WEEK,
+                    ),
+                ),
+            ),
+        )
+        potential = tree.paths()[0].potential
+        assert potential.expertise is Expertise.EXPERT
+        assert potential.equipment is Equipment.BESPOKE
+
+    def test_tree_interfaces(self):
+        assert set(self.make_tree().interfaces()) == {"physical", "BLE"}
+
+    def test_operator_validation(self):
+        from repro.tara.attack_tree import AttackNode
+
+        with pytest.raises(ValidationError):
+            AttackNode(label="x", operator="XOR", children=(AttackStep("a"),))
+        with pytest.raises(ValidationError):
+            AttackNode(label="x", operator="OR", children=())
+
+
+class TestCrossCheck:
+    def make_hara(self):
+        hara = Hara(name="cc")
+        hara.add_function("Rat01", "Road works warning")
+        hara.rate(
+            "Rat01", FM.NO,
+            hazard="Driver not warned, crash into road works",
+            hazardous_event="Crash into road works",
+            severity=S.S3, exposure=E.E3, controllability=C.C3,
+        )
+        return hara
+
+    def test_aligned_by_text_overlap(self):
+        report = cross_check(
+            [damage(description="Vehicle crashes into road works zone")],
+            list(self.make_hara().ratings),
+        )
+        assert report.entries[0].outcome is CrossCheckOutcome.ALIGNED
+        assert report.entries[0].evidence
+
+    def test_aligned_by_asset_reference(self):
+        report = cross_check(
+            [
+                damage(
+                    description="completely different wording",
+                    asset="road works warning",
+                )
+            ],
+            list(self.make_hara().ratings),
+        )
+        assert report.entries[0].outcome is CrossCheckOutcome.ALIGNED
+
+    def test_security_only_when_no_match(self):
+        report = cross_check(
+            [
+                damage(
+                    description="Attacker exfiltrates the owner's address "
+                    "book from the head unit",
+                    asset="Infotainment",
+                )
+            ],
+            list(self.make_hara().ratings),
+        )
+        assert report.entries[0].outcome is CrossCheckOutcome.SECURITY_ONLY
+        assert report.security_only
+
+    def test_non_safety_damage_is_security_only(self):
+        report = cross_check(
+            [damage(safety=ImpactRating.NEGLIGIBLE)],
+            list(self.make_hara().ratings),
+        )
+        assert report.entries[0].outcome is CrossCheckOutcome.SECURITY_ONLY
+
+    def test_uncovered_ratings(self):
+        hara = self.make_hara()
+        report = cross_check([], list(hara.ratings))
+        assert len(report.uncovered_ratings(list(hara.ratings))) == 1

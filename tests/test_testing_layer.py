@@ -1,0 +1,226 @@
+"""Tests for test cases, oracles, the harness and campaign reports."""
+
+import pytest
+
+from repro.errors import HarnessError, ValidationError
+from repro.testing import TestHarness, Verdict, oracles
+from repro.testing.testcase import TestCase
+
+
+class FakeResult:
+    def __init__(self, violated_goals=(), detections=0):
+        self._violated = set(violated_goals)
+        self.violations = tuple(violated_goals)
+        self._detections = detections
+        self.stats = {"door": {"state": "closed"}}
+
+    def violated(self, goal_id):
+        return goal_id in self._violated
+
+    def detections_of(self, ecu, control=None):
+        return self._detections
+
+
+class FakeScenario:
+    """Scenario double: run() returns a pre-baked result."""
+
+    def __init__(self, result):
+        self._result = result
+        self.armed = False
+
+        class Bus:
+            def count(self, topic):
+                return 0
+
+        self.bus = Bus()
+
+    def run(self, duration_ms):
+        return self._result
+
+
+def make_test(result, success, failure):
+    return TestCase(
+        attack_id="AD01",
+        title="fake attack",
+        build_scenario=lambda: FakeScenario(result),
+        arm_attack=lambda scenario: setattr(scenario, "armed", True),
+        duration_ms=100.0,
+        success_oracle=success,
+        failure_oracle=failure,
+        safety_goal_ids=("SG01",),
+    )
+
+
+class TestOracles:
+    def test_goal_violated(self):
+        result = FakeResult(violated_goals=("SG01",))
+        assert oracles.goal_violated("SG01").evaluate(None, result)
+        assert not oracles.goal_violated("SG02").evaluate(None, result)
+
+    def test_any_and_no_goal(self):
+        result = FakeResult(violated_goals=("SG02",))
+        assert oracles.any_goal_violated("SG01", "SG02").evaluate(None, result)
+        assert not oracles.no_goal_violated("SG02").evaluate(None, result)
+        assert oracles.no_goal_violated("SG01").evaluate(None, result)
+
+    def test_no_goal_violated_empty_means_no_violations(self):
+        assert oracles.no_goal_violated().evaluate(None, FakeResult())
+        assert not oracles.no_goal_violated().evaluate(
+            None, FakeResult(violated_goals=("SG01",))
+        )
+
+    def test_detection_logged(self):
+        result = FakeResult(detections=2)
+        assert oracles.detection_logged("ECU", min_count=2).evaluate(None, result)
+        assert not oracles.detection_logged("ECU", min_count=3).evaluate(None, result)
+
+    def test_door_oracles(self):
+        result = FakeResult()
+        assert oracles.door_closed().evaluate(None, result)
+        assert not oracles.door_open().evaluate(None, result)
+
+    def test_combinators(self):
+        result = FakeResult(violated_goals=("SG01",))
+        both = oracles.all_of(
+            oracles.goal_violated("SG01"),
+            oracles.not_(oracles.goal_violated("SG02")),
+        )
+        assert both.evaluate(None, result)
+        either = oracles.any_of(
+            oracles.goal_violated("SG02"), oracles.goal_violated("SG01")
+        )
+        assert either.evaluate(None, result)
+        assert "AND" in both.description
+        assert "OR" in either.description
+
+
+class TestVerdictDerivation:
+    def test_attack_succeeded(self):
+        result = FakeResult(violated_goals=("SG01",))
+        test = make_test(
+            result,
+            success=oracles.goal_violated("SG01"),
+            failure=oracles.no_goal_violated("SG01"),
+        )
+        execution = TestHarness().execute(test)
+        assert execution.verdict is Verdict.ATTACK_SUCCEEDED
+        assert not execution.sut_passed
+
+    def test_attack_failed(self):
+        result = FakeResult(detections=1)
+        test = make_test(
+            result,
+            success=oracles.goal_violated("SG01"),
+            failure=oracles.detection_logged("ECU"),
+        )
+        execution = TestHarness().execute(test)
+        assert execution.verdict is Verdict.ATTACK_FAILED
+        assert execution.sut_passed
+
+    def test_inconclusive_when_neither_holds(self):
+        result = FakeResult()
+        test = make_test(
+            result,
+            success=oracles.goal_violated("SG01"),
+            failure=oracles.detection_logged("ECU"),
+        )
+        execution = TestHarness().execute(test)
+        assert execution.verdict is Verdict.INCONCLUSIVE
+        assert "underspecified" in execution.notes
+
+    def test_inconclusive_when_both_hold(self):
+        result = FakeResult(violated_goals=("SG01",), detections=1)
+        test = make_test(
+            result,
+            success=oracles.goal_violated("SG01"),
+            failure=oracles.detection_logged("ECU"),
+        )
+        execution = TestHarness().execute(test)
+        assert execution.verdict is Verdict.INCONCLUSIVE
+        assert "contradictory" in execution.notes
+
+    def test_arm_attack_runs(self):
+        scenario_holder = {}
+
+        def build():
+            scenario = FakeScenario(FakeResult(detections=1))
+            scenario_holder["scenario"] = scenario
+            return scenario
+
+        test = TestCase(
+            attack_id="AD01", title="t", build_scenario=build,
+            arm_attack=lambda s: setattr(s, "armed", True),
+            duration_ms=1.0,
+            success_oracle=oracles.goal_violated("SG01"),
+            failure_oracle=oracles.detection_logged("ECU"),
+        )
+        TestHarness().execute(test)
+        assert scenario_holder["scenario"].armed
+
+    def test_none_scenario_rejected(self):
+        test = TestCase(
+            attack_id="AD01", title="t",
+            build_scenario=lambda: None,
+            arm_attack=lambda s: None, duration_ms=1.0,
+            success_oracle=oracles.goal_violated("SG01"),
+            failure_oracle=oracles.detection_logged("ECU"),
+        )
+        with pytest.raises(HarnessError):
+            TestHarness().execute(test)
+
+
+class TestTestCaseValidation:
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            TestCase(
+                attack_id="AD01", title="t",
+                build_scenario=lambda: None, arm_attack=lambda s: None,
+                duration_ms=0.0,
+                success_oracle=oracles.door_open(),
+                failure_oracle=oracles.door_closed(),
+            )
+
+    def test_attack_id_validated(self):
+        with pytest.raises(ValidationError):
+            TestCase(
+                attack_id="X", title="t",
+                build_scenario=lambda: None, arm_attack=lambda s: None,
+                duration_ms=1.0,
+                success_oracle=oracles.door_open(),
+                failure_oracle=oracles.door_closed(),
+            )
+
+
+class TestCampaignReport:
+    def make_campaign(self):
+        tests = [
+            make_test(
+                FakeResult(violated_goals=("SG01",)),
+                success=oracles.goal_violated("SG01"),
+                failure=oracles.no_goal_violated("SG01"),
+            ),
+            make_test(
+                FakeResult(detections=1),
+                success=oracles.goal_violated("SG01"),
+                failure=oracles.detection_logged("ECU"),
+            ),
+        ]
+        return TestHarness().execute_all(tests)
+
+    def test_summary_counts(self):
+        report = self.make_campaign()
+        assert report.summary() == {
+            "total": 2, "sut_passed": 1, "attack_succeeded": 1,
+            "inconclusive": 0,
+        }
+
+    def test_by_goal(self):
+        report = self.make_campaign()
+        assert len(report.by_goal("SG01")) == 2
+        assert report.by_goal("SG99") == ()
+
+    def test_text_report(self):
+        text = self.make_campaign().to_text()
+        assert "PASS" in text
+        assert "FAIL" in text
+        assert "2 tests" in text
