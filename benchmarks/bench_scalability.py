@@ -1,4 +1,4 @@
-"""Scalability / design-space sweeps of the simulated SUT.
+"""Scalability / design-space sweeps, driven by the campaign runner.
 
 Not a paper table -- these sweeps characterise the substrate so the
 ablation results can be trusted:
@@ -6,75 +6,153 @@ ablation results can be trusted:
 * **flood-rate sweep**: the unprotected OBU survives light extra traffic
   and dies under heavy flooding, with a monotone shutdown boundary --
   AD20's outcome is a property of load, not of a tuned constant;
-* **detector-threshold sweep**: the flooding detector's admission rate
-  for the *legitimate* RSU stays 100% across thresholds (no false
-  positives on 2 Hz beacons) while the attacker is flagged whenever its
-  rate exceeds the limit;
+* **beacon sweep has no false positives**: across the registry's RSU
+  beacon-period sweep the stock control stack never flags the legitimate
+  RSU;
+* **campaign fan-out**: the parallel campaign path produces outcomes
+  bit-identical to the serial path, and (on hardware with enough cores)
+  completes the same variant list at least twice as fast with four
+  workers;
 * **library-scaling**: threat-library queries and the RQ1 audit stay
   near-linear as the library grows 50x.
+
+Every SUT execution here goes through :mod:`repro.engine.campaign` --
+the scenarios are addressed as registry variants, not as hard-coded
+classes.
 """
 
+import os
+
+from repro.engine.campaign import run_campaign
+from repro.engine.registry import default_registry
+from repro.engine.spec import VariantSpec, freeze_params
 from repro.model.asset import Asset, AssetGroup
 from repro.model.scenario import Scenario
 from repro.model.threat import StrideType, ThreatScenario
-from repro.sim.attacks import FloodingAttack
-from repro.sim.scenarios import ConstructionSiteScenario
 from repro.threatlib.library import ThreatLibrary
 
+#: Geometry shared by the flood-rate sweep: a close-in zone keeps each
+#: run short while preserving the overload-before-first-beacon dynamics.
+_FLOOD_PARAMS = freeze_params(
+    {
+        "controls": ("sender-auth",),
+        "zone_start_m": 400.0,
+        "zone_end_m": 500.0,
+    }
+)
 
-def flood_run(interval_ms: float):
-    scenario = ConstructionSiteScenario(controls={"sender-auth"})
-    attack = FloodingAttack(
-        "attacker", scenario.clock, scenario.v2x, kind="cam_message",
-        interval_ms=interval_ms, duration_ms=70000.0,
-        keystore=scenario.keystore, authenticated=True,
-        location=scenario.RSU_LOCATION,
+
+def flood_variant(interval_ms: float) -> VariantSpec:
+    """One flood-rate point: sender-auth only, no flooding detector."""
+    return VariantSpec(
+        variant_id=f"bench/flood-rate/i{interval_ms}",
+        scenario="uc1-construction-site",
+        family="bench-flood-rate",
+        params=_FLOOD_PARAMS,
+        attack="flood",
+        attack_params=freeze_params(
+            {"interval_ms": interval_ms, "duration_ms": 3000.0, "launch_ms": 100.0}
+        ),
+        duration_ms=22000.0,
+        description=f"unprotected flood at 1 msg / {interval_ms} ms",
     )
-    attack.launch(100.0)
-    result = scenario.run(80000.0)
-    return scenario.obu.is_shut_down, result.violated("SG01")
 
 
 def test_flood_rate_sweep(benchmark):
-    """The shutdown boundary is monotone in the flood rate."""
+    """The violation (= shutdown) boundary is monotone in the flood rate."""
 
     def sweep():
-        outcomes = {}
-        # 0.2 ms gap = 5 msg/ms (far over the 2 msg/ms service rate);
-        # 2 ms gap = 0.5 msg/ms (comfortably under it).
-        for interval in (0.2, 0.4, 2.0):
-            outcomes[interval] = flood_run(interval)
-        return outcomes
+        # 0.25 ms gap saturates the channel (4 msg/ms, far over the OBU's
+        # 2 msg/ms service rate); 2 ms gap is comfortably under it.
+        variants = [flood_variant(i) for i in (0.25, 0.5, 2.0)]
+        return run_campaign(variants, workers=1)
 
-    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    shut_down = {interval: dead for interval, (dead, __) in outcomes.items()}
-    assert shut_down[0.2] is True
-    assert shut_down[2.0] is False  # under the service rate: no shutdown
-    # Survival is monotone: if a faster flood spares the ECU, slower ones do.
-    ordered = [shut_down[i] for i in sorted(shut_down)]
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    violated = {
+        outcome.variant_id: "SG01" in outcome.violated_goals
+        for outcome in result.outcomes
+    }
+    assert violated["bench/flood-rate/i0.25"] is True
+    assert violated["bench/flood-rate/i2.0"] is False
+    # Survival is monotone: if a faster flood spares the SUT, slower do too.
+    ordered = [violated[f"bench/flood-rate/i{i}"] for i in (0.25, 0.5, 2.0)]
     assert ordered == sorted(ordered, reverse=True)
-    benchmark.extra_info["shutdown_by_interval_ms"] = {
-        str(k): v for k, v in shut_down.items()
+    benchmark.extra_info["violated_by_interval_ms"] = {
+        key.rsplit("/i", 1)[1]: value for key, value in violated.items()
     }
 
 
-def test_detector_has_no_false_positives_on_rsu(benchmark):
-    """Across detector thresholds, the legitimate RSU is never flagged."""
+def test_beacon_sweep_has_no_false_positives(benchmark):
+    """Across the RSU beacon-period sweep, the RSU is never flagged."""
+    registry = default_registry()
+    variants = [
+        variant
+        for variant in registry.variants(
+            scenario="uc1-construction-site", family="traffic-density"
+        )
+        if "rsu-p" in variant.variant_id
+    ]
+    assert len(variants) >= 10
 
-    def sweep():
-        flagged = {}
-        for max_messages in (5, 10, 20):
-            scenario = ConstructionSiteScenario()
-            # Replace the detector threshold by rebuilding the pipeline:
-            # the stock scenario uses 20; emulate stricter ones by
-            # checking the RSU rate directly against the window.
-            result = scenario.run(30000.0)
-            detector_hits = result.detections_of("OBU", "flooding-detector")
-            flagged[max_messages] = detector_hits
-        return flagged
+    result = benchmark.pedantic(
+        lambda: run_campaign(variants, workers=1), rounds=1, iterations=1
+    )
+    detections = {
+        outcome.variant_id: dict(outcome.detections).get("OBU", 0)
+        for outcome in result.outcomes
+    }
+    assert all(count == 0 for count in detections.values())
+    assert all(outcome.sut_passed for outcome in result.outcomes)
 
-    flagged = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    assert all(count == 0 for count in flagged.values())
+
+def _usable_cpus() -> int:
+    """CPUs this process may use (sched_getaffinity is Linux-only)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _fanout_variants():
+    registry = default_registry()
+    return registry.variants(
+        scenario="uc1-construction-site", family="control-ablation"
+    ) + registry.variants(scenario="uc2-keyless-entry", family="attacker-timing")
+
+
+def test_campaign_parallel_fanout(benchmark):
+    """4-worker fan-out: outcomes identical to serial; faster on >=4 cores."""
+    variants = _fanout_variants()
+    assert len(variants) >= 20
+
+    serial = run_campaign(variants, workers=1)
+    parallel = benchmark.pedantic(
+        lambda: run_campaign(variants, workers=4), rounds=1, iterations=1
+    )
+    assert parallel.workers == 4
+    assert [o.variant_id for o in serial.outcomes] == [
+        o.variant_id for o in parallel.outcomes
+    ]
+    for mine, theirs in zip(serial.outcomes, parallel.outcomes):
+        assert mine.verdict == theirs.verdict, mine.variant_id
+        assert mine.violated_goals == theirs.violated_goals, mine.variant_id
+        assert mine.detections == theirs.detections, mine.variant_id
+
+    speedup = serial.wall_time_s / max(parallel.wall_time_s, 1e-9)
+    cpus = _usable_cpus()
+    benchmark.extra_info["serial_s"] = round(serial.wall_time_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel.wall_time_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cpus"] = cpus
+    # The >= 2x contract needs real headroom: on a runner with exactly 4
+    # shared vCPUs the pool competes with the OS and the gate would be
+    # flaky, so the strict assertion waits for >= 6 CPUs and smaller
+    # hosts get progressively lenient floors (never a free pass).
+    if cpus >= 6:
+        assert speedup >= 2.0, f"4-worker speedup only {speedup:.2f}x"
+    elif cpus >= 4:
+        assert speedup >= 1.3, f"4-worker speedup only {speedup:.2f}x"
+    else:
+        assert speedup >= 0.5, f"fan-out overhead pathological: {speedup:.2f}x"
 
 
 def build_scaled_library(scale: int) -> ThreatLibrary:
@@ -108,3 +186,24 @@ def test_library_query_scaling(benchmark):
 
     total = benchmark(query)
     assert total == 250
+
+
+def _smoke() -> int:
+    """CI smoke: a small serial + parallel campaign must agree."""
+    variants = [flood_variant(i) for i in (0.25, 2.0)]
+    registry = default_registry()
+    variants += list(
+        registry.variants(scenario="uc2-keyless-entry", family="baseline")
+    )
+    serial = run_campaign(variants, workers=1)
+    parallel = run_campaign(variants, workers=2)
+    same = [o.verdict for o in serial.outcomes] == [
+        o.verdict for o in parallel.outcomes
+    ]
+    print(serial.to_text(verbose=True))
+    print(f"parallel agreement: {same}")
+    return 0 if same and serial.total == len(variants) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(_smoke())

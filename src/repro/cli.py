@@ -9,6 +9,9 @@ Usage (also via ``python -m repro``)::
     repro validate attacks.dsl --usecase uc2   # parse + semantic check
     repro run AD08 --usecase uc2      # execute a bound attack, print verdict
     repro trace uc1                   # goal/attack/threat matrix (Markdown)
+    repro campaign --workers 4        # run every registry variant in parallel
+    repro campaign --family control-ablation --verbose
+    repro campaign --list             # enumerate variants without running
 
 The CLI is a thin shell over the library; every command returns a proper
 exit code (0 ok, 1 user error, 2 validation/semantic failure) so it can
@@ -18,6 +21,7 @@ gate CI pipelines on completeness or verdicts.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -123,6 +127,76 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if execution.sut_passed else 2
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run (or list) the scenario registry's variant families."""
+    # Imported here so the light report/export commands keep their fast
+    # startup; the engine pulls in the whole simulator stack.
+    from repro.engine.campaign import CampaignRunner
+
+    runner = CampaignRunner(workers=args.workers)
+    try:
+        variants = runner.select(
+            scenario=args.scenario,
+            family=args.family,
+            attack=args.attack,
+            limit=args.limit,
+        )
+    except ReproError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    if not variants:
+        print("no variants match the given filters", file=sys.stderr)
+        return 1
+    if args.list:
+        if args.json:
+            print(json.dumps(
+                [
+                    {
+                        "variant_id": variant.variant_id,
+                        "scenario": variant.scenario,
+                        "family": variant.family,
+                        "attack": variant.attack,
+                        "description": variant.description,
+                    }
+                    for variant in variants
+                ],
+                indent=2,
+            ))
+            return 0
+        for variant in variants:
+            attack = variant.attack or "-"
+            print(f"{variant.variant_id:50s} {attack:10s} {variant.description}")
+        print(f"{len(variants)} variant(s)")
+        return 0
+    try:
+        result = runner.run(variants)
+    except ReproError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(
+            {
+                "summary": result.summary(),
+                "outcomes": [
+                    {
+                        "variant_id": outcome.variant_id,
+                        "family": outcome.family,
+                        "attack": outcome.attack,
+                        "verdict": outcome.verdict,
+                        "violated_goals": list(outcome.violated_goals),
+                        "wall_time_s": round(outcome.wall_time_s, 4),
+                    }
+                    for outcome in result.outcomes
+                ],
+            },
+            indent=2,
+        ))
+    else:
+        print(result.to_text(verbose=args.verbose))
+    inconclusive = result.counts().get("INCONCLUSIVE", 0)
+    return 2 if inconclusive else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Print the goal/attack/threat traceability matrix."""
     module = _module_for(args.usecase)
@@ -168,6 +242,43 @@ def build_parser() -> argparse.ArgumentParser:
     trace = commands.add_parser("trace", help="traceability matrix")
     trace.add_argument("usecase", choices=sorted(_USE_CASES))
     trace.set_defaults(handler=cmd_trace)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="run the scenario registry's variant families",
+    )
+    campaign.add_argument(
+        "--scenario",
+        help="only this scenario (e.g. uc1-construction-site)",
+    )
+    campaign.add_argument(
+        "--family",
+        help="only this variant family (e.g. control-ablation, parity)",
+    )
+    campaign.add_argument(
+        "--attack",
+        help="only variants of this attack (AD id or catalog key)",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default 1 = serial)",
+    )
+    campaign.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the number of variants run",
+    )
+    campaign.add_argument(
+        "--list", action="store_true",
+        help="enumerate matching variants without running them",
+    )
+    campaign.add_argument(
+        "--verbose", action="store_true",
+        help="per-variant outcome lines in the report",
+    )
+    campaign.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    campaign.set_defaults(handler=cmd_campaign)
 
     return parser
 

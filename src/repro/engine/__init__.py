@@ -1,0 +1,63 @@
+"""The scenario engine: one kernel, a declarative registry, a campaign runner.
+
+The seed reproduction hard-coded exactly two SUT configurations and ran
+every benchmark serially.  This package is the architectural seam that
+replaces that:
+
+* :mod:`repro.engine.kernel` -- a single discrete-event kernel
+  (:class:`SimKernel`) bundling the clock, event bus, keystore, world and
+  all communication media behind the :class:`~repro.sim.network.Medium`
+  interface, plus :class:`KernelScenario`, the base class every SUT
+  assembly builds on;
+* :mod:`repro.engine.spec` -- declarative :class:`ScenarioSpec` /
+  :class:`VariantSpec` data objects: a scenario is a dotted factory path
+  plus parameters, a variant is a pure-data parameter override (and is
+  therefore trivially picklable for worker processes);
+* :mod:`repro.engine.registry` -- the :class:`ScenarioRegistry` holding
+  the stock UC1/UC2 specs and the parametric variant families (control
+  ablations, attacker timing, traffic density, zone geometry);
+* :mod:`repro.engine.attacks` -- the parametric attack catalog variant
+  families arm injectors from;
+* :mod:`repro.engine.campaign` -- the batch runner fanning
+  scenario x attack x control combinations across worker processes and
+  aggregating verdicts.
+
+Submodules are imported lazily (PEP 562) so that
+``repro.sim.scenarios`` can import :mod:`repro.engine.kernel` without
+pulling the registry (which needs the scenarios) back in.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+_EXPORTS = {
+    "SimKernel": "repro.engine.kernel",
+    "KernelScenario": "repro.engine.kernel",
+    "ScenarioResult": "repro.engine.kernel",
+    "ScenarioSpec": "repro.engine.spec",
+    "VariantSpec": "repro.engine.spec",
+    "ScenarioRegistry": "repro.engine.registry",
+    "default_registry": "repro.engine.registry",
+    "CampaignRunner": "repro.engine.campaign",
+    "CampaignResult": "repro.engine.campaign",
+    "VariantOutcome": "repro.engine.campaign",
+    "execute_variant": "repro.engine.campaign",
+    "run_campaign": "repro.engine.campaign",
+    "ATTACK_CATALOG": "repro.engine.attacks",
+    "arm_catalog_attack": "repro.engine.attacks",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,189 @@
+"""The parametric attack catalog variant families arm injectors from.
+
+Bound attack descriptions (``AD20``, ``AD08``, ...) execute through the
+use cases' Step-4 bindings with their published oracles.  The sweeps the
+registry generates (attacker timing, density, ablations) instead need
+*parameterisable* attacks: the catalog maps a stable key to an armer
+function ``(scenario, **params) -> injector | None`` so a
+:class:`~repro.engine.spec.VariantSpec` can carry the attack as pure data
+(key + parameter tuples) and any worker process can re-arm it.
+
+Catalog keys:
+
+===================  =====================================================
+``flood``            :class:`FloodingAttack` on a named medium
+``jam``              :class:`JammingAttack` window on a named medium
+``spoof-speed-limit``  UC1 fake signage from an unprovisioned sender
+``replay-open``      UC2 capture + replay of the owner's open command
+``forge-keys``       UC2 electronic-key id sweep (AD08 family)
+``owner-cycle``      UC2 legitimate open/close cycles (no attacker)
+===================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.attacks import (
+    FloodingAttack,
+    JammingAttack,
+    KeyForgeryAttack,
+    ReplayAttack,
+    SpoofingAttack,
+)
+
+#: An armer: builds, schedules and returns the injector (or None when the
+#: "attack" is pure legitimate traffic, e.g. owner cycles).
+Armer = Callable[..., Any]
+
+
+def _medium_of(scenario: Any, attribute: str) -> Any:
+    medium = getattr(scenario, attribute, None)
+    if medium is None:
+        raise SimulationError(
+            f"scenario {type(scenario).__name__} has no medium {attribute!r}"
+        )
+    return medium
+
+
+def arm_flood(
+    scenario: Any,
+    medium: str = "v2x",
+    kind: str = "cam_message",
+    interval_ms: float = 1.0,
+    launch_ms: float = 100.0,
+    duration_ms: float = 5000.0,
+    authenticated: bool = True,
+    chaotic: bool = False,
+) -> FloodingAttack:
+    """Packet flooding from an (optionally provisioned) attacker sender."""
+    attack = FloodingAttack(
+        "attacker",
+        scenario.clock,
+        _medium_of(scenario, medium),
+        kind=kind,
+        interval_ms=interval_ms,
+        duration_ms=duration_ms,
+        keystore=scenario.keystore if authenticated else None,
+        authenticated=authenticated,
+        chaotic=chaotic,
+        location=getattr(scenario, "RSU_LOCATION", ""),
+    )
+    attack.launch(launch_ms)
+    return attack
+
+
+def arm_jam(
+    scenario: Any,
+    medium: str = "v2x",
+    launch_ms: float = 100.0,
+    duration_ms: float = 5000.0,
+) -> JammingAttack:
+    """RF jamming window on a named medium."""
+    attack = JammingAttack(
+        "jammer", scenario.clock, _medium_of(scenario, medium),
+        duration_ms=duration_ms,
+    )
+    attack.launch(launch_ms)
+    return attack
+
+
+def arm_spoof_speed_limit(
+    scenario: Any,
+    launch_ms: float = 3000.0,
+    count: int = 5,
+    gap_ms: float = 200.0,
+    speed_limit_mps: float = 60.0,
+) -> SpoofingAttack:
+    """UC1: fake 'limit lifted' signage from an unprovisioned sender."""
+    from repro.sim.v2x import KIND_SPEED_LIMIT
+
+    attack = SpoofingAttack(
+        "ghost-rsu",
+        scenario.clock,
+        scenario.v2x,
+        kind=KIND_SPEED_LIMIT,
+        claimed_sender="ghost-rsu",
+        payload={"speed_limit_mps": speed_limit_mps},
+        location=scenario.RSU_LOCATION,
+    )
+    attack.launch(launch_ms, count=count, gap_ms=gap_ms)
+    return attack
+
+
+def arm_replay_open(
+    scenario: Any,
+    open_at_ms: float = 1000.0,
+    close_at_ms: float = 2500.0,
+    replay_at_ms: float = 8000.0,
+    count: int = 1,
+) -> ReplayAttack:
+    """UC2: record the owner's open command and replay it later."""
+    from repro.sim.ble import KIND_OPEN
+
+    attack = ReplayAttack(
+        "eve", scenario.clock, scenario.ble, capture_kinds={KIND_OPEN}
+    )
+    scenario.owner_opens(open_at_ms)
+    scenario.owner_closes(close_at_ms)
+    attack.replay(at_ms=replay_at_ms, count=count)
+    return attack
+
+
+def arm_forge_keys(
+    scenario: Any,
+    strategy: str = "random",
+    attempts: int = 20,
+    gap_ms: float = 150.0,
+    seed: int = 42,
+    launch_ms: float = 500.0,
+) -> KeyForgeryAttack:
+    """UC2: sweep forged electronic-key ids over an authenticated link."""
+    attack = KeyForgeryAttack(
+        "attacker-phone",
+        scenario.clock,
+        scenario.ble,
+        scenario.keystore,
+        strategy=strategy,
+        attempts=attempts,
+        gap_ms=gap_ms,
+        seed=seed,
+    )
+    attack.launch(launch_ms)
+    return attack
+
+
+def arm_owner_cycle(
+    scenario: Any,
+    cycles: int = 1,
+    first_open_ms: float = 1000.0,
+    cycle_gap_ms: float = 3000.0,
+    close_after_ms: float = 1500.0,
+) -> None:
+    """UC2: legitimate open/close cycles (exercises SG03 deadlines)."""
+    for index in range(cycles):
+        start = first_open_ms + index * cycle_gap_ms
+        scenario.owner_opens(start)
+        scenario.owner_closes(start + close_after_ms)
+    return None
+
+
+ATTACK_CATALOG: dict[str, Armer] = {
+    "flood": arm_flood,
+    "jam": arm_jam,
+    "spoof-speed-limit": arm_spoof_speed_limit,
+    "replay-open": arm_replay_open,
+    "forge-keys": arm_forge_keys,
+    "owner-cycle": arm_owner_cycle,
+}
+
+
+def arm_catalog_attack(scenario: Any, key: str, params: dict[str, Any]) -> Any:
+    """Arm the catalog attack ``key`` on a built scenario."""
+    if key not in ATTACK_CATALOG:
+        raise SimulationError(
+            f"unknown catalog attack {key!r} "
+            f"(known: {sorted(ATTACK_CATALOG)})"
+        )
+    return ATTACK_CATALOG[key](scenario, **params)

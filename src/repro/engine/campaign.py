@@ -1,0 +1,371 @@
+"""The campaign runner: fan scenario x attack x control combos across workers.
+
+``execute_variant`` runs one :class:`~repro.engine.spec.VariantSpec` end
+to end: bound attack descriptions (``AD20``, ``AD08``, ...) go through the
+use case's Step-4 binding and the published oracles -- with the scenario
+rebuilt from the registry spec instead of the hard-coded class -- while
+catalog attacks and unattacked sweeps derive their verdict directly from
+the safety monitor (any violated goal counts as a successful attack).
+
+``run_campaign`` executes a variant list either serially or across a
+process pool.  Variants are pure data and outcomes are plain dataclasses
+of primitives, so the fan-out works under both ``fork`` and ``spawn``
+start methods; each worker resets the identifier allocator on startup so
+parallel workers cannot mint colliding ``AD``/``SG`` identifiers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import multiprocessing
+import time
+from typing import Any, Iterable, Mapping
+
+from repro.engine.attacks import arm_catalog_attack
+from repro.engine.registry import ScenarioRegistry, default_registry
+from repro.engine.spec import VariantSpec
+from repro.errors import ValidationError
+from repro.testing.harness import TestHarness
+from repro.testing.testcase import TestCase, Verdict
+
+
+@dataclasses.dataclass(frozen=True)
+class VariantOutcome:
+    """The plain-data record of one executed variant.
+
+    Every field is a primitive (or tuple/dict of primitives) so outcomes
+    cross process boundaries and serialise without ceremony.
+    """
+
+    variant_id: str
+    scenario: str
+    family: str
+    attack: str | None
+    verdict: str
+    violated_goals: tuple[str, ...]
+    violations: tuple[tuple[float, str, str], ...]
+    detections: tuple[tuple[str, int], ...]
+    detections_by_control: tuple[tuple[str, tuple[tuple[str, int], ...]], ...]
+    stats: dict[str, Any]
+    duration_ms: float
+    wall_time_s: float
+    notes: str = ""
+
+    @property
+    def sut_passed(self) -> bool:
+        """True when the SUT withstood (or nothing was violated)."""
+        return self.verdict == Verdict.ATTACK_FAILED.name
+
+    def detections_of(self, ecu: str, control: str | None = None) -> int:
+        """Detection count of one ECU (optionally one control)."""
+        if control is None:
+            return dict(self.detections).get(ecu, 0)
+        per_ecu = dict(self.detections_by_control).get(ecu, ())
+        return dict(per_ecu).get(control, 0)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "VariantOutcome":
+        """Rebuild an outcome from its ``dataclasses.asdict`` form."""
+        data = dict(payload)
+        data["violated_goals"] = tuple(data["violated_goals"])
+        data["violations"] = tuple(tuple(v) for v in data["violations"])
+        data["detections"] = tuple(tuple(d) for d in data["detections"])
+        data["detections_by_control"] = tuple(
+            (ecu, tuple(tuple(item) for item in counts))
+            for ecu, counts in data["detections_by_control"]
+        )
+        return cls(**data)
+
+
+@functools.lru_cache(maxsize=None)
+def _bound_test(use_case: str, attack_id: str) -> TestCase:
+    """The Step-4 test case for a bound attack (cached per process)."""
+    from repro.usecases import uc1, uc2
+
+    module = {"uc1": uc1, "uc2": uc2}[use_case]
+    attacks = module.build_attacks()
+    if attack_id not in attacks:
+        raise ValidationError(f"no attack {attack_id} in {use_case}")
+    registry = module.build_bindings()
+    attack = attacks.get(attack_id)
+    if not registry.can_compile(attack):
+        raise ValidationError(
+            f"{attack_id} has no executable binding in {use_case}"
+        )
+    return registry.compile(attack)
+
+
+def _result_violations(result) -> tuple[tuple[float, str, str], ...]:
+    return tuple(
+        (violation.time, violation.goal_id, violation.detail)
+        for violation in result.violations
+    )
+
+
+def _result_detections(
+    result,
+) -> tuple[tuple[tuple[str, int], ...], tuple]:
+    """(total per ECU, per-ECU per-control counts), both as sorted tuples."""
+    totals = tuple(sorted(result.detection_counts().items()))
+    by_control = []
+    for ecu, records in sorted(result.detection_records.items()):
+        counts: dict[str, int] = {}
+        for record in records:
+            counts[record.control] = counts.get(record.control, 0) + 1
+        by_control.append((ecu, tuple(sorted(counts.items()))))
+    return totals, tuple(by_control)
+
+
+def execute_variant(
+    variant: VariantSpec, registry: ScenarioRegistry | None = None
+) -> VariantOutcome:
+    """Execute one variant end to end and derive its verdict."""
+    registry = registry or default_registry()
+    spec = registry.get(variant.scenario)
+    started = time.perf_counter()
+
+    if variant.uses_bound_attack:
+        template = _bound_test(spec.use_case, variant.attack)
+        test = dataclasses.replace(
+            template,
+            build_scenario=lambda: spec.build(variant.params),
+            duration_ms=variant.duration_ms or template.duration_ms,
+        )
+        execution = TestHarness().execute(test)
+        result = execution.scenario_result
+        detections, by_control = _result_detections(result)
+        return VariantOutcome(
+            variant_id=variant.variant_id,
+            scenario=variant.scenario,
+            family=variant.family,
+            attack=variant.attack,
+            verdict=execution.verdict.name,
+            violated_goals=result.violated_goals(),
+            violations=_result_violations(result),
+            detections=detections,
+            detections_by_control=by_control,
+            stats=result.stats,
+            duration_ms=test.duration_ms,
+            wall_time_s=time.perf_counter() - started,
+            notes=execution.notes,
+        )
+
+    scenario = spec.build(variant.params)
+    if variant.attack is not None:
+        arm_catalog_attack(scenario, variant.attack, variant.attack_params_dict())
+    duration_ms = (
+        variant.duration_ms
+        if variant.duration_ms is not None
+        else type(scenario).DEFAULT_DURATION_MS
+    )
+    result = scenario.run(duration_ms)
+    violated = result.violated_goals()
+    verdict = Verdict.ATTACK_SUCCEEDED if violated else Verdict.ATTACK_FAILED
+    notes = (
+        f"violated {', '.join(violated)}"
+        if violated
+        else "no safety goal violated"
+    )
+    if variant.attack is None or variant.attack == "owner-cycle":
+        notes += " (no attacker; verdict reflects violation presence)"
+    detections, by_control = _result_detections(result)
+    return VariantOutcome(
+        variant_id=variant.variant_id,
+        scenario=variant.scenario,
+        family=variant.family,
+        attack=variant.attack,
+        verdict=verdict.name,
+        violated_goals=violated,
+        violations=_result_violations(result),
+        detections=detections,
+        detections_by_control=by_control,
+        stats=result.stats,
+        duration_ms=duration_ms,
+        wall_time_s=time.perf_counter() - started,
+        notes=notes,
+    )
+
+
+# -- worker-process entry points ---------------------------------------------
+
+#: Identifier numbers each worker may mint before colliding with the next
+#: worker's block -- far beyond any realistic per-run minting volume.
+_WORKER_ID_BLOCK = 1000
+
+
+def _worker_initializer(worker_sequence=None) -> None:
+    from repro.model.identifiers import reset_default_allocator
+
+    index = 0
+    if worker_sequence is not None:
+        with worker_sequence.get_lock():
+            index = worker_sequence.value
+            worker_sequence.value += 1
+    # Disjoint numbering blocks: worker k mints AD/SG numbers strictly
+    # above k * _WORKER_ID_BLOCK, so merged results never collide.
+    reset_default_allocator(floor=index * _WORKER_ID_BLOCK)
+
+
+def _run_payload(payload: dict) -> dict:
+    outcome = execute_variant(VariantSpec.from_payload(payload))
+    return dataclasses.asdict(outcome)
+
+
+# -- the runner ---------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class CampaignResult:
+    """Aggregated outcomes of one campaign run."""
+
+    outcomes: tuple[VariantOutcome, ...]
+    workers: int
+    wall_time_s: float
+
+    @property
+    def total(self) -> int:
+        """Number of executed variants."""
+        return len(self.outcomes)
+
+    def counts(self) -> dict[str, int]:
+        """Outcome counts by verdict name."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.verdict] = counts.get(outcome.verdict, 0) + 1
+        return counts
+
+    def by_family(self) -> dict[str, tuple[VariantOutcome, ...]]:
+        """Outcomes grouped by variant family (insertion-ordered)."""
+        grouped: dict[str, list[VariantOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.family, []).append(outcome)
+        return {family: tuple(items) for family, items in grouped.items()}
+
+    def outcome(self, variant_id: str) -> VariantOutcome:
+        """Look up one outcome by variant id."""
+        for outcome in self.outcomes:
+            if outcome.variant_id == variant_id:
+                return outcome
+        raise ValidationError(f"no outcome for variant {variant_id!r}")
+
+    def summary(self) -> dict[str, Any]:
+        """Plain-data campaign summary for reporting and CI gates."""
+        return {
+            "total": self.total,
+            "workers": self.workers,
+            "wall_time_s": round(self.wall_time_s, 3),
+            "verdicts": self.counts(),
+            "families": {
+                family: len(items) for family, items in self.by_family().items()
+            },
+        }
+
+    def to_text(self, verbose: bool = False) -> str:
+        """Render the campaign as a plain-text report."""
+        counts = self.counts()
+        lines = [
+            (
+                f"Campaign: {self.total} variants, {self.workers} worker(s), "
+                f"{self.wall_time_s:.1f} s"
+            ),
+            (
+                "  verdicts: "
+                f"{counts.get(Verdict.ATTACK_FAILED.name, 0)} withstood, "
+                f"{counts.get(Verdict.ATTACK_SUCCEEDED.name, 0)} violated, "
+                f"{counts.get(Verdict.INCONCLUSIVE.name, 0)} inconclusive"
+            ),
+        ]
+        for family, items in self.by_family().items():
+            withstood = sum(1 for o in items if o.sut_passed)
+            lines.append(
+                f"  {family}: {len(items)} variants, {withstood} withstood"
+            )
+            if verbose:
+                for outcome in items:
+                    marker = "PASS" if outcome.sut_passed else "FAIL"
+                    goals = (
+                        f" [{', '.join(outcome.violated_goals)}]"
+                        if outcome.violated_goals
+                        else ""
+                    )
+                    lines.append(
+                        f"    [{marker}] {outcome.variant_id}{goals}"
+                    )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    variants: Iterable[VariantSpec],
+    workers: int = 1,
+    registry: ScenarioRegistry | None = None,
+) -> CampaignResult:
+    """Execute ``variants`` serially or across ``workers`` processes."""
+    variant_list = list(variants)
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    started = time.perf_counter()
+    if workers == 1 or len(variant_list) <= 1:
+        outcomes = tuple(
+            execute_variant(variant, registry) for variant in variant_list
+        )
+        return CampaignResult(
+            outcomes=outcomes,
+            workers=1,
+            wall_time_s=time.perf_counter() - started,
+        )
+
+    if registry is not None and registry is not default_registry():
+        # Worker processes rebuild variants against the default registry;
+        # silently running a custom registry's variants against it would
+        # resolve wrong (or missing) specs.
+        raise ValidationError(
+            "custom registries only run serially (workers=1): worker "
+            "processes resolve variants against the default registry"
+        )
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    payloads = [variant.to_payload() for variant in variant_list]
+    worker_sequence = context.Value("i", 0)
+    with context.Pool(
+        processes=workers,
+        initializer=_worker_initializer,
+        initargs=(worker_sequence,),
+    ) as pool:
+        raw = pool.map(_run_payload, payloads, chunksize=1)
+    outcomes = tuple(VariantOutcome.from_payload(item) for item in raw)
+    return CampaignResult(
+        outcomes=outcomes,
+        workers=workers,
+        wall_time_s=time.perf_counter() - started,
+    )
+
+
+class CampaignRunner:
+    """Object-style façade over :func:`run_campaign` (convenient for CLI)."""
+
+    def __init__(
+        self,
+        registry: ScenarioRegistry | None = None,
+        workers: int = 1,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.workers = workers
+
+    def select(
+        self,
+        scenario: str | None = None,
+        family: str | None = None,
+        attack: str | None = None,
+        limit: int | None = None,
+    ) -> tuple[VariantSpec, ...]:
+        """The registry's (filtered) variant list."""
+        return self.registry.variants(
+            scenario=scenario, family=family, attack=attack, limit=limit
+        )
+
+    def run(self, variants: Iterable[VariantSpec] | None = None) -> CampaignResult:
+        """Run the given (or all) variants with the configured workers."""
+        selected = tuple(variants) if variants is not None else self.select()
+        return run_campaign(selected, workers=self.workers, registry=self.registry)

@@ -1,0 +1,14 @@
+"""The engine's kernel surface: one substrate for every scenario.
+
+The implementation lives in :mod:`repro.sim.kernel` -- the kernel *is*
+simulation substrate and must load inside the ``repro.sim`` package's
+own import order (``repro.sim.scenarios`` builds on it).  This module is
+the engine-facing name for it: registry, campaign and downstream code
+import :class:`SimKernel` / :class:`KernelScenario` /
+:class:`ScenarioResult` from here, keeping the engine package the single
+architectural seam future scaling work plugs into.
+"""
+
+from repro.sim.kernel import KernelScenario, ScenarioResult, SimKernel
+
+__all__ = ["KernelScenario", "ScenarioResult", "SimKernel"]

@@ -1,0 +1,185 @@
+"""Declarative scenario and variant specifications.
+
+A :class:`ScenarioSpec` expresses a SUT configuration as *data*: a dotted
+factory path (``"repro.sim.scenarios:ConstructionSiteScenario"``) plus
+default parameters.  A :class:`VariantSpec` is one point in a spec's
+design space: parameter overrides, an optional attack (either a bound
+attack description id like ``AD20`` or a key into the parametric
+:mod:`repro.engine.attacks` catalog) and an optional run horizon.
+
+Both are frozen dataclasses holding only plain values (parameter maps are
+stored as sorted key/value tuples), so variants pickle cleanly across
+campaign worker processes and hash/compare deterministically -- a variant
+*is* its description, there is no hidden state to drift.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Any, Callable, Mapping
+
+from repro.errors import ValidationError
+from repro.model.identifiers import is_attack_id
+
+#: Parameter maps are stored as sorted ``(key, value)`` tuples.
+ParamItems = tuple[tuple[str, Any], ...]
+
+
+def freeze_params(params: Mapping[str, Any] | None) -> ParamItems:
+    """Normalise a parameter mapping into sorted key/value tuples.
+
+    Set-valued parameters (the ``controls`` set) are normalised to sorted
+    tuples so the result is hashable and order-independent.
+    """
+    if not params:
+        return ()
+    items = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, (set, frozenset)):
+            value = tuple(sorted(value))
+        items.append((key, value))
+    return tuple(items)
+
+
+def thaw_params(items: ParamItems) -> dict[str, Any]:
+    """Rebuild a keyword-argument dict from frozen parameter items.
+
+    ``controls`` tuples are rebuilt as frozensets (the type the scenario
+    constructors validate against).
+    """
+    params: dict[str, Any] = {}
+    for key, value in items:
+        if key == "controls" and isinstance(value, (list, tuple)):
+            value = frozenset(value)
+        params[key] = value
+    return params
+
+
+def resolve_factory(path: str) -> Callable[..., Any]:
+    """Resolve a ``"package.module:attribute"`` dotted factory path."""
+    module_name, sep, attribute = path.partition(":")
+    if not sep or not module_name or not attribute:
+        raise ValidationError(
+            f"factory path must look like 'pkg.module:attr', got {path!r}"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attribute)
+    except AttributeError as exc:
+        raise ValidationError(
+            f"module {module_name!r} has no attribute {attribute!r}"
+        ) from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered SUT configuration, expressed as data.
+
+    Attributes:
+        name: Registry key, e.g. ``"uc1-construction-site"``.
+        use_case: Which use-case module owns the bound attacks
+            (``"uc1"`` or ``"uc2"``).
+        factory: Dotted path to the scenario class/factory.
+        description: One-line human summary.
+        defaults: Spec-level parameter overrides applied under every
+            variant's own parameters.
+    """
+
+    name: str
+    use_case: str
+    factory: str
+    description: str = ""
+    defaults: ParamItems = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("scenario spec needs a name")
+        if self.use_case not in ("uc1", "uc2"):
+            raise ValidationError(
+                f"spec {self.name!r}: unknown use case {self.use_case!r}"
+            )
+
+    def build(self, params: Mapping[str, Any] | ParamItems | None = None) -> Any:
+        """Instantiate the scenario with defaults + ``params`` applied."""
+        merged = thaw_params(self.defaults)
+        if params:
+            if isinstance(params, tuple):
+                merged.update(thaw_params(params))
+            else:
+                merged.update(thaw_params(freeze_params(params)))
+        return resolve_factory(self.factory)(**merged)
+
+
+@dataclasses.dataclass(frozen=True)
+class VariantSpec:
+    """One executable point in a scenario's design space (pure data).
+
+    Attributes:
+        variant_id: Unique id within the registry,
+            e.g. ``"uc1/ablation/ad20-no-flooding-detector"``.
+        scenario: Name of the owning :class:`ScenarioSpec`.
+        family: Variant family ("baseline", "control-ablation", ...).
+        params: Scenario constructor overrides.
+        attack: ``None`` (unattacked sweep), a bound attack description
+            id (``"AD20"``) executed through the use case's Step-4
+            binding, or a key into the parametric attack catalog.
+        attack_params: Parameters for a catalog attack.
+        duration_ms: Run horizon override (``None``: the binding's or
+            scenario's default).
+        description: One-line human summary.
+    """
+
+    variant_id: str
+    scenario: str
+    family: str
+    params: ParamItems = ()
+    attack: str | None = None
+    attack_params: ParamItems = ()
+    duration_ms: float | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.variant_id:
+            raise ValidationError("variant needs an id")
+        if self.duration_ms is not None and self.duration_ms <= 0:
+            raise ValidationError(
+                f"variant {self.variant_id}: duration must be positive"
+            )
+        if self.uses_bound_attack and self.attack_params:
+            # Bound attacks run their Step-4 binding verbatim; silently
+            # dropping sweep parameters would mislabel identical runs.
+            raise ValidationError(
+                f"variant {self.variant_id}: bound attack "
+                f"{self.attack} takes no attack_params (use scenario "
+                "params, or a catalog attack for parameter sweeps)"
+            )
+
+    @property
+    def uses_bound_attack(self) -> bool:
+        """True when ``attack`` names a bound attack description (ADnn)."""
+        return self.attack is not None and is_attack_id(self.attack)
+
+    def params_dict(self) -> dict[str, Any]:
+        """The scenario constructor overrides as keyword arguments."""
+        return thaw_params(self.params)
+
+    def attack_params_dict(self) -> dict[str, Any]:
+        """The catalog-attack parameters as keyword arguments."""
+        return thaw_params(self.attack_params)
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict form for transport to worker processes."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "VariantSpec":
+        """Rebuild a variant from :meth:`to_payload` output."""
+        data = dict(payload)
+        for key in ("params", "attack_params"):
+            data[key] = tuple(
+                (item[0], tuple(item[1]) if isinstance(item[1], list) else item[1])
+                for item in data.get(key, ())
+            )
+        return cls(**data)

@@ -26,8 +26,9 @@ from repro.sim.clock import EventHandle, SimClock
 from repro.sim.crypto import ChallengeResponse, KeyStore
 from repro.sim.ecu import Ecu, Gateway
 from repro.sim.events import EventBus, SimEvent
+from repro.sim.kernel import KernelScenario, SimKernel
 from repro.sim.monitor import SafetyMonitor, Violation
-from repro.sim.network import Channel, Message
+from repro.sim.network import Channel, Medium, Message
 from repro.sim.scenarios import (
     CONTROL_AUTH,
     CONTROL_COUNTER,
@@ -68,8 +69,10 @@ __all__ = [
     "EventBus",
     "EventHandle",
     "Gateway",
+    "KernelScenario",
     "KeyStore",
     "KeylessEntryScenario",
+    "Medium",
     "Message",
     "OnBoardUnit",
     "RoadsideUnit",
@@ -77,6 +80,7 @@ __all__ = [
     "ScenarioResult",
     "SimClock",
     "SimEvent",
+    "SimKernel",
     "Smartphone",
     "UC1_ALL_CONTROLS",
     "UC2_ALL_CONTROLS",

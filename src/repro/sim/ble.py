@@ -23,7 +23,7 @@ from repro.sim.clock import SimClock
 from repro.sim.crypto import KeyStore
 from repro.sim.ecu import Gateway
 from repro.sim.events import EventBus
-from repro.sim.network import Channel, Message
+from repro.sim.network import Medium, Message
 
 KIND_OPEN = "open_command"
 KIND_CLOSE = "close_command"
@@ -86,7 +86,7 @@ class Smartphone:
         name: str,
         key_id: str,
         clock: SimClock,
-        channel: Channel,
+        channel: Medium,
         keystore: KeyStore,
     ) -> None:
         self.name = name

@@ -57,6 +57,7 @@ class CanBus:
         self._clock = clock
         self._bus = bus
         self._receivers: list[Receiver] = []
+        self._taps: list = []
         self._pending: list[tuple[int, int, Message]] = []
         self._tiebreak = itertools.count()
         self._transmitting = False
@@ -67,6 +68,16 @@ class CanBus:
     def attach(self, receiver: Receiver) -> None:
         """Attach a receiver; CAN is a broadcast bus."""
         self._receivers.append(receiver)
+
+    def tap(self, listener) -> None:
+        """Attach a passive tap; sees every frame at send time.
+
+        A physical attacker clipped onto the bus observes arbitration
+        losers and overflow-lost frames too, so taps fire before the
+        queue-capacity check -- the same semantics as
+        :meth:`repro.sim.network.Channel.tap`.
+        """
+        self._taps.append(listener)
 
     def send(self, frame: Message) -> None:
         """Queue a frame for arbitration.
@@ -82,6 +93,8 @@ class CanBus:
         if frame.timestamp < 0:
             frame = frame.with_timestamp(self._clock.now)
         self._sent += 1
+        for listener in self._taps:
+            listener(frame)
         if len(self._pending) >= self.queue_capacity:
             self._lost += 1
             self._bus.publish(

@@ -1,0 +1,235 @@
+"""The unified discrete-event kernel every scenario builds on.
+
+The seed scenarios (`ConstructionSiteScenario`, `KeylessEntryScenario`)
+each wired up their own :class:`~repro.sim.clock.SimClock`,
+:class:`~repro.sim.events.EventBus`, :class:`~repro.sim.crypto.KeyStore`
+and channels by hand.  :class:`SimKernel` bundles that substrate once:
+one clock, one bus, one keystore, an optional road world, and a named
+registry of communication media (V2X radio, BLE link, CAN bus -- anything
+satisfying :class:`~repro.sim.network.Medium`).
+
+:class:`KernelScenario` is the base class for SUT assemblies: it owns the
+kernel, validates the deployed-control set, and provides the single
+``run()`` implementation that advances the kernel and collects a
+:class:`ScenarioResult`.  Subclasses only declare *what* to assemble
+(components, controls, safety-goal checks) -- the event-loop mechanics
+live here, which is what lets the campaign runner treat every scenario
+uniformly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.can import CanBus
+from repro.sim.clock import SimClock
+from repro.sim.crypto import KeyStore
+from repro.sim.events import EventBus
+from repro.sim.monitor import SafetyMonitor, Violation
+from repro.sim.network import Channel, Medium
+from repro.sim.world import World
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario run.
+
+    Attributes:
+        violations: Safety-goal violations recorded by the monitor.
+        detections: Per-ECU detection-log sizes (control name -> count is
+            available via ``detection_records``).
+        detection_records: The full intrusion logs per ECU.
+        stats: Component statistics (channels, ECUs, locks).
+    """
+
+    violations: tuple[Violation, ...]
+    detection_records: dict[str, tuple]
+    stats: dict[str, Any]
+
+    def violated(self, goal_id: str) -> bool:
+        """True when the named safety goal was violated."""
+        return any(violation.goal_id == goal_id for violation in self.violations)
+
+    @property
+    def any_violation(self) -> bool:
+        """True when any safety goal was violated."""
+        return bool(self.violations)
+
+    def violated_goals(self) -> tuple[str, ...]:
+        """Identifiers of all violated goals, sorted and de-duplicated."""
+        return tuple(sorted({v.goal_id for v in self.violations}))
+
+    def detections_of(self, ecu: str, control: str | None = None) -> int:
+        """Detection count of one ECU (optionally one control)."""
+        records = self.detection_records.get(ecu, ())
+        if control is None:
+            return len(records)
+        return sum(1 for record in records if record.control == control)
+
+    def detection_counts(self) -> dict[str, int]:
+        """Total detection-log size per ECU (plain data, picklable)."""
+        return {ecu: len(records) for ecu, records in self.detection_records.items()}
+
+
+class SimKernel:
+    """One discrete-event substrate: clock, bus, keystore, world, media.
+
+    Attributes:
+        clock: The shared discrete-event scheduler.
+        bus: The shared topic/trace event bus.
+        keystore: The shared key material for message authentication.
+        world: The 1-D road world, or ``None`` for scenarios without
+            geometry (e.g. the keyless opener).
+        media: All registered communication media by name.
+    """
+
+    def __init__(self, road_length_m: float | None = None) -> None:
+        self.clock = SimClock()
+        self.bus = EventBus()
+        self.keystore = KeyStore()
+        self.world: World | None = (
+            World(road_length_m) if road_length_m is not None else None
+        )
+        self.media: dict[str, Medium] = {}
+
+    # -- media --------------------------------------------------------------
+
+    def add_medium(self, medium: Medium) -> Medium:
+        """Register an externally constructed medium under its name."""
+        if medium.name in self.media:
+            raise SimulationError(f"medium {medium.name!r} already registered")
+        self.media[medium.name] = medium
+        return medium
+
+    def channel(
+        self,
+        name: str,
+        latency_ms: float = 1.0,
+        bandwidth_per_ms: float | None = None,
+    ) -> Channel:
+        """Create and register a broadcast :class:`Channel` (V2X, BLE)."""
+        return self.add_medium(
+            Channel(
+                name,
+                self.clock,
+                self.bus,
+                latency_ms=latency_ms,
+                bandwidth_per_ms=bandwidth_per_ms,
+            )
+        )
+
+    def can_bus(
+        self,
+        name: str,
+        frame_time_ms: float = 0.5,
+        queue_capacity: int = 256,
+    ) -> CanBus:
+        """Create and register a :class:`CanBus` segment."""
+        return self.add_medium(
+            CanBus(
+                name,
+                self.clock,
+                self.bus,
+                frame_time_ms=frame_time_ms,
+                queue_capacity=queue_capacity,
+            )
+        )
+
+    def medium(self, name: str) -> Medium:
+        """Look up a registered medium by name."""
+        if name not in self.media:
+            raise SimulationError(f"unknown medium {name!r}")
+        return self.media[name]
+
+    def medium_stats(self) -> dict[str, dict[str, float]]:
+        """Traffic statistics of every registered medium."""
+        return {name: medium.stats for name, medium in self.media.items()}
+
+    # -- monitoring ----------------------------------------------------------
+
+    def monitor(self, check_period_ms: float = 50.0) -> SafetyMonitor:
+        """Create a safety monitor on this kernel's clock and bus."""
+        return SafetyMonitor(self.clock, self.bus, check_period_ms=check_period_ms)
+
+    # -- execution -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self.clock.now
+
+    def run_until(self, time_ms: float) -> int:
+        """Advance the kernel to ``time_ms``; returns executed event count."""
+        return self.clock.run_until(time_ms)
+
+    def run(self) -> int:
+        """Drain the event queue completely."""
+        return self.clock.run()
+
+
+class KernelScenario:
+    """Base class for SUT assemblies driven by the :class:`SimKernel`.
+
+    Subclasses set :attr:`ALL_CONTROLS` (the control names their
+    ``controls`` parameter accepts), :attr:`CONTROL_SCOPE` (used in the
+    rejection message) and :attr:`DEFAULT_DURATION_MS`, assemble their
+    components in ``__init__``, and implement the two collection hooks.
+
+    Attributes:
+        kernel: The owning :class:`SimKernel`.
+        controls: The deployed security-control names.
+        clock / bus / keystore / world: Aliases into the kernel (the
+            attribute names every existing test and binding relies on).
+    """
+
+    #: Control names the scenario's ``controls`` parameter accepts.
+    ALL_CONTROLS: frozenset[str] = frozenset()
+    #: Scope label used in the unknown-control error ("UC1", "UC2").
+    CONTROL_SCOPE: str = "scenario"
+    #: Default ``run()`` horizon.
+    DEFAULT_DURATION_MS: float = 10000.0
+
+    def __init__(
+        self, kernel: SimKernel, controls: frozenset[str] | set[str]
+    ) -> None:
+        unknown = set(controls) - self.ALL_CONTROLS
+        if unknown:
+            raise SimulationError(
+                f"unknown {self.CONTROL_SCOPE} controls: {sorted(unknown)}"
+            )
+        self.kernel = kernel
+        self.controls = frozenset(controls)
+        self.clock = kernel.clock
+        self.bus = kernel.bus
+        self.keystore = kernel.keystore
+        self.world = kernel.world
+        self.monitor: SafetyMonitor | None = None
+
+    # -- collection hooks ----------------------------------------------------
+
+    def detection_records(self) -> dict[str, tuple]:
+        """The intrusion logs per protected ECU (subclass hook)."""
+        return {}
+
+    def collect_stats(self) -> dict[str, Any]:
+        """Component statistics for the result (subclass hook)."""
+        return self.kernel.medium_stats()
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, duration_ms: float | None = None) -> ScenarioResult:
+        """Run the scenario and collect the result."""
+        if self.monitor is None:
+            raise SimulationError(
+                f"{type(self).__name__} never created its safety monitor"
+            )
+        self.kernel.run_until(
+            self.DEFAULT_DURATION_MS if duration_ms is None else duration_ms
+        )
+        return ScenarioResult(
+            violations=self.monitor.violations,
+            detection_records=self.detection_records(),
+            stats=self.collect_stats(),
+        )

@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from collections import deque
-from typing import Any, Callable, Protocol
+from typing import Any, Callable, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
@@ -93,6 +93,35 @@ class Receiver(Protocol):
 
     def receive(self, message: Message) -> None:
         """Handle a delivered message."""
+
+
+@runtime_checkable
+class Medium(Protocol):
+    """One communication medium of the simulated vehicle.
+
+    Every concrete transport -- the broadcast :class:`Channel` (V2X radio,
+    BLE link) and the :class:`~repro.sim.can.CanBus` -- satisfies this
+    protocol, which is what lets the scenario engine's
+    :class:`~repro.engine.kernel.SimKernel` manage CAN, BLE and V2X
+    uniformly and lets attack injectors and endpoints be written against
+    the interface instead of a specific transport.
+
+    Beyond the core surface below, media may offer optional capabilities
+    (``tap()`` for eavesdroppers, ``jam()`` for RF denial); callers probe
+    for them with ``hasattr``.
+    """
+
+    name: str
+
+    def attach(self, receiver: Receiver) -> None:
+        """Attach a receiver; it sees every delivered message."""
+
+    def send(self, message: Message) -> Message | None:
+        """Submit a message for delivery (after latency/arbitration)."""
+
+    @property
+    def stats(self) -> dict[str, float]:
+        """Traffic statistics of the medium."""
 
 
 class Channel:

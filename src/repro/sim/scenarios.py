@@ -9,6 +9,14 @@
   forwarding gateway ("ECU_GW").  Safety goals SG01..SG04 of §IV-B are
   monitored.
 
+Both scenarios are :class:`~repro.engine.kernel.KernelScenario` assemblies
+on the unified :class:`~repro.engine.kernel.SimKernel`: the kernel owns
+the clock, event bus, keystore, world and every communication medium; the
+classes here only declare the components, deployed controls and
+safety-goal checks.  The declarative counterparts (what the campaign
+runner executes) live in :mod:`repro.engine.registry` -- these classes
+remain the single source of truth the registry's specs point at.
+
 Both scenarios take a ``controls`` set naming the security controls to
 deploy, so ablation benchmarks can flip each expected measure on and off
 and observe the attack verdict change exactly as the attack description
@@ -17,10 +25,9 @@ predicts.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any
 
-from repro.errors import SimulationError
+from repro.sim.kernel import KernelScenario, ScenarioResult, SimKernel
 from repro.sim.ble import (
     AccessEcu,
     DoorLock,
@@ -28,8 +35,6 @@ from repro.sim.ble import (
     DoorState,
     Smartphone,
 )
-from repro.sim.can import CanBus
-from repro.sim.clock import SimClock
 from repro.sim.controls import (
     FloodingDetector,
     IdWhitelist,
@@ -39,13 +44,23 @@ from repro.sim.controls import (
     SenderAuthentication,
     ValueRangeCheck,
 )
-from repro.sim.crypto import KeyStore
-from repro.sim.events import EventBus
-from repro.sim.monitor import SafetyMonitor, Violation
-from repro.sim.network import Channel
 from repro.sim.v2x import OnBoardUnit, RoadsideUnit
 from repro.sim.vehicle import Driver, DrivingMode, Vehicle
-from repro.sim.world import World
+
+__all__ = [
+    "CONTROL_AUTH",
+    "CONTROL_COUNTER",
+    "CONTROL_FLOOD",
+    "CONTROL_LOCATION",
+    "CONTROL_RANGE",
+    "CONTROL_REPLAY",
+    "CONTROL_WHITELIST",
+    "UC1_ALL_CONTROLS",
+    "UC2_ALL_CONTROLS",
+    "ConstructionSiteScenario",
+    "KeylessEntryScenario",
+    "ScenarioResult",
+]
 
 #: Control names accepted by both scenarios' ``controls`` parameter.
 CONTROL_AUTH = "sender-auth"
@@ -70,40 +85,7 @@ UC2_ALL_CONTROLS = frozenset(
 )
 
 
-@dataclasses.dataclass(frozen=True)
-class ScenarioResult:
-    """Outcome of one scenario run.
-
-    Attributes:
-        violations: Safety-goal violations recorded by the monitor.
-        detections: Per-ECU detection-log sizes (control name -> count is
-            available via ``detection_records``).
-        detection_records: The full intrusion logs per ECU.
-        stats: Component statistics (channels, ECUs, locks).
-    """
-
-    violations: tuple[Violation, ...]
-    detection_records: dict[str, tuple]
-    stats: dict[str, Any]
-
-    def violated(self, goal_id: str) -> bool:
-        """True when the named safety goal was violated."""
-        return any(violation.goal_id == goal_id for violation in self.violations)
-
-    @property
-    def any_violation(self) -> bool:
-        """True when any safety goal was violated."""
-        return bool(self.violations)
-
-    def detections_of(self, ecu: str, control: str | None = None) -> int:
-        """Detection count of one ECU (optionally one control)."""
-        records = self.detection_records.get(ecu, ())
-        if control is None:
-            return len(records)
-        return sum(1 for record in records if record.control == control)
-
-
-class ConstructionSiteScenario:
+class ConstructionSiteScenario(KernelScenario):
     """Use Case I: AV approaching a construction site (Fig. 2).
 
     Geometry and timing defaults: the vehicle starts at position 0 at
@@ -125,6 +107,10 @@ class ConstructionSiteScenario:
       more than ``max_warnings`` are shown).
     """
 
+    ALL_CONTROLS = UC1_ALL_CONTROLS
+    CONTROL_SCOPE = "UC1"
+    DEFAULT_DURATION_MS = 80000.0
+
     ZONE_NAME = "construction"
     RSU_LOCATION = "site-A"
     REMOTE_LOCATION = "site-B"
@@ -142,19 +128,13 @@ class ConstructionSiteScenario:
         handover_ftti_ms: float = 500.0,
         max_warnings: int = 5,
         obu_queue_capacity: int = 64,
+        road_length_m: float = 3000.0,
     ) -> None:
-        unknown = set(controls) - UC1_ALL_CONTROLS
-        if unknown:
-            raise SimulationError(f"unknown UC1 controls: {sorted(unknown)}")
-        self.controls = frozenset(controls)
+        super().__init__(SimKernel(road_length_m=road_length_m), controls)
         self.zone_speed_limit_mps = zone_speed_limit_mps
         self.handover_ftti_ms = handover_ftti_ms
         self.max_warnings = max_warnings
 
-        self.clock = SimClock()
-        self.bus = EventBus()
-        self.keystore = KeyStore()
-        self.world = World(road_length_m=3000.0)
         self.world.add_zone(self.ZONE_NAME, zone_start_m, zone_end_m)
 
         self.vehicle = Vehicle(
@@ -167,12 +147,10 @@ class ConstructionSiteScenario:
             comfort_speed_mps=zone_speed_limit_mps,
         )
 
-        self.v2x = Channel(
-            "v2x", self.clock, self.bus, latency_ms=2.0, bandwidth_per_ms=4.0
+        self.v2x = self.kernel.channel(
+            "v2x", latency_ms=2.0, bandwidth_per_ms=4.0
         )
-        self.remote_channel = Channel(
-            "v2x-remote", self.clock, self.bus, latency_ms=2.0
-        )
+        self.remote_channel = self.kernel.channel("v2x-remote", latency_ms=2.0)
         self.rsu = RoadsideUnit(
             "RSU-A", self.clock, self.v2x, self.keystore, self.RSU_LOCATION
         )
@@ -194,7 +172,7 @@ class ConstructionSiteScenario:
             rsu_period_ms, zone_start_m, zone_speed_limit_mps, until=None
         )
 
-        self.monitor = SafetyMonitor(self.clock, self.bus)
+        self.monitor = self.kernel.monitor()
         self._install_goal_checks()
 
     def _deploy_obu_controls(self) -> None:
@@ -274,12 +252,13 @@ class ConstructionSiteScenario:
         self._sg04_armed = False
         self.bus.subscribe("obu.warning_accepted", arm_sg04)
 
-    # -- execution -----------------------------------------------------------
+    # -- result collection ---------------------------------------------------
 
-    def run(self, duration_ms: float = 80000.0) -> ScenarioResult:
-        """Run the scenario and collect the result."""
-        self.clock.run_until(duration_ms)
-        stats: dict[str, Any] = {
+    def detection_records(self) -> dict[str, tuple]:
+        return {"OBU": self.obu.pipeline.detections}
+
+    def collect_stats(self) -> dict[str, Any]:
+        return {
             "v2x": self.v2x.stats,
             "obu": self.obu.stats,
             "vehicle": {
@@ -291,14 +270,9 @@ class ConstructionSiteScenario:
             },
             "warnings_shown": self.obu.warnings_shown,
         }
-        return ScenarioResult(
-            violations=self.monitor.violations,
-            detection_records={"OBU": self.obu.pipeline.detections},
-            stats=stats,
-        )
 
 
-class KeylessEntryScenario:
+class KeylessEntryScenario(KernelScenario):
     """Use Case II: keyless car opener over Bluetooth low energy.
 
     The owner's smartphone (electronic key ``KEY-1000``) opens and closes
@@ -317,6 +291,10 @@ class KeylessEntryScenario:
       unless the owner asked.
     """
 
+    ALL_CONTROLS = UC2_ALL_CONTROLS
+    CONTROL_SCOPE = "UC2"
+    DEFAULT_DURATION_MS = 20000.0
+
     OWNER = "phone-owner"
     OWNER_KEY_ID = "KEY-1000"
 
@@ -328,23 +306,15 @@ class KeylessEntryScenario:
         open_deadline_ms: float = 500.0,
         max_transitions: int = 6,
     ) -> None:
-        unknown = set(controls) - UC2_ALL_CONTROLS
-        if unknown:
-            raise SimulationError(f"unknown UC2 controls: {sorted(unknown)}")
-        self.controls = frozenset(controls)
+        super().__init__(SimKernel(), controls)
         self.open_deadline_ms = open_deadline_ms
         self.max_transitions = max_transitions
 
-        self.clock = SimClock()
-        self.bus = EventBus()
-        self.keystore = KeyStore()
-        self.ble = Channel(
-            "ble", self.clock, self.bus, latency_ms=ble_latency_ms,
-            bandwidth_per_ms=5.0,
+        self.ble = self.kernel.channel(
+            "ble", latency_ms=ble_latency_ms, bandwidth_per_ms=5.0
         )
-        self.can = CanBus(
-            "body-can", self.clock, self.bus,
-            frame_time_ms=can_frame_time_ms, queue_capacity=64,
+        self.can = self.kernel.can_bus(
+            "body-can", frame_time_ms=can_frame_time_ms, queue_capacity=64
         )
         self.lock = DoorLock(self.clock, self.bus)
         self.access_ecu = AccessEcu(
@@ -359,7 +329,7 @@ class KeylessEntryScenario:
         self.phone = Smartphone(
             self.OWNER, self.OWNER_KEY_ID, self.clock, self.ble, self.keystore
         )
-        self.monitor = SafetyMonitor(self.clock, self.bus)
+        self.monitor = self.kernel.monitor()
         self._owner_open_times: list[float] = []
         self._install_goal_checks()
 
@@ -448,12 +418,13 @@ class KeylessEntryScenario:
         """Schedule a legitimate close command."""
         self.clock.schedule_at(at_ms, self.phone.send_close)
 
-    # -- execution -----------------------------------------------------------
+    # -- result collection ---------------------------------------------------
 
-    def run(self, duration_ms: float = 20000.0) -> ScenarioResult:
-        """Run the scenario and collect the result."""
-        self.clock.run_until(duration_ms)
-        stats: dict[str, Any] = {
+    def detection_records(self) -> dict[str, tuple]:
+        return {"ECU_GW": self.access_ecu.pipeline.detections}
+
+    def collect_stats(self) -> dict[str, Any]:
+        return {
             "ble": self.ble.stats,
             "can": self.can.stats,
             "access_ecu": self.access_ecu.stats,
@@ -463,13 +434,6 @@ class KeylessEntryScenario:
                 "close_count": self.lock.close_count,
             },
         }
-        return ScenarioResult(
-            violations=self.monitor.violations,
-            detection_records={
-                "ECU_GW": self.access_ecu.pipeline.detections
-            },
-            stats=stats,
-        )
 
     @property
     def door_state(self) -> DoorState:

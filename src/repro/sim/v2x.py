@@ -24,7 +24,7 @@ from repro.sim.clock import SimClock
 from repro.sim.crypto import KeyStore
 from repro.sim.ecu import Ecu
 from repro.sim.events import EventBus
-from repro.sim.network import Channel, Message
+from repro.sim.network import Medium, Message
 from repro.sim.vehicle import Vehicle
 
 KIND_ROAD_WORKS = "road_works_warning"
@@ -45,7 +45,7 @@ class RoadsideUnit:
         self,
         name: str,
         clock: SimClock,
-        channel: Channel,
+        channel: Medium,
         keystore: KeyStore,
         location: str,
     ) -> None:

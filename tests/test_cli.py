@@ -70,3 +70,44 @@ class TestRun:
     def test_run_unbound_attack(self, capsys):
         assert main(["run", "AD01", "--usecase", "uc1"]) == 1
         assert "no executable binding" in capsys.readouterr().err
+
+
+class TestCampaign:
+    def test_list_enumerates_variants(self, capsys):
+        assert main(["campaign", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "uc1/baseline/stock" in out
+        assert "uc2/parity/ad08" in out
+        # The registry must offer a three-digit design space.
+        total = int(out.strip().splitlines()[-1].split()[0])
+        assert total >= 100
+
+    def test_family_filter_runs_serially(self, capsys):
+        assert main(["campaign", "--family", "baseline", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign: 2 variants" in out
+        assert "[PASS] uc1/baseline/stock" in out
+
+    def test_parallel_workers_and_json(self, capsys):
+        import json
+
+        assert main([
+            "campaign", "--family", "zone-geometry",
+            "--scenario", "uc2-keyless-entry",
+            "--workers", "2", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["workers"] == 2
+        assert payload["summary"]["total"] == 3
+        assert all(
+            outcome["verdict"] == "ATTACK_FAILED"
+            for outcome in payload["outcomes"]
+        )
+
+    def test_no_matching_variants_errors(self, capsys):
+        assert main(["campaign", "--family", "no-such-family"]) == 1
+        assert "no variants" in capsys.readouterr().err
+
+    def test_unknown_scenario_errors(self, capsys):
+        assert main(["campaign", "--scenario", "uc9-imaginary"]) == 1
+        assert "ERROR" in capsys.readouterr().err

@@ -1,0 +1,62 @@
+"""Property tests: the DSL is a lossless store for *every* published attack.
+
+``format_attacks`` -> ``parse`` -> ``analyze`` must be the identity on
+each of the 23 UC1 and 29 UC2 attack descriptions -- exhaustively, and
+under arbitrary sub-selections and orderings of the document (the
+formatter/parser must not depend on document context or block order).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import analyze, format_attacks, parse
+from repro.threatlib.catalog import build_catalog
+from repro.usecases import uc1, uc2
+
+_MODULES = {"uc1": uc1, "uc2": uc2}
+
+
+def _fixture(use_case):
+    module = _MODULES[use_case]
+    library = build_catalog()
+    attacks = list(module.build_attacks(library))
+    goals = list(module.build_hara().safety_goals)
+    return library, attacks, goals
+
+
+_FIXTURES = {use_case: _fixture(use_case) for use_case in _MODULES}
+
+
+class TestExhaustiveRoundTrip:
+    @pytest.mark.parametrize("use_case", sorted(_MODULES))
+    def test_every_attack_survives_format_parse_analyze(self, use_case):
+        library, attacks, goals = _FIXTURES[use_case]
+        document = format_attacks(attacks)
+        restored = analyze(parse(document), library, goals)
+        assert len(restored) == len(attacks)
+        for attack in attacks:
+            assert restored.get(attack.identifier) == attack, attack.identifier
+
+
+class TestSubsetRoundTripProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        use_case=st.sampled_from(sorted(_MODULES)),
+        selector=st.data(),
+    )
+    def test_any_subset_in_any_order_is_lossless(self, use_case, selector):
+        library, attacks, goals = _FIXTURES[use_case]
+        subset = selector.draw(
+            st.lists(
+                st.sampled_from(attacks),
+                min_size=1,
+                max_size=len(attacks),
+                unique_by=lambda attack: attack.identifier,
+            )
+        )
+        document = format_attacks(subset)
+        restored = analyze(parse(document), library, goals)
+        assert len(restored) == len(subset)
+        for attack in subset:
+            assert restored.get(attack.identifier) == attack

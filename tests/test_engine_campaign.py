@@ -1,0 +1,220 @@
+"""Tests for the campaign runner: verdicts, parity with the seed classes,
+and the parallel fan-out."""
+
+import pytest
+
+from repro.engine.campaign import (
+    CampaignRunner,
+    VariantOutcome,
+    execute_variant,
+    run_campaign,
+)
+from repro.engine.registry import default_registry
+from repro.engine.spec import VariantSpec, freeze_params
+from repro.errors import ValidationError
+from repro.sim.attacks import JammingAttack
+from repro.sim.scenarios import ConstructionSiteScenario, KeylessEntryScenario
+from repro.testing import TestHarness, Verdict
+from repro.usecases import uc2
+
+
+class TestExecuteVariant:
+    def test_unattacked_baseline_withstands(self):
+        outcome = execute_variant(default_registry().variant("uc1/baseline/stock"))
+        assert outcome.verdict == Verdict.ATTACK_FAILED.name
+        assert outcome.sut_passed
+        assert outcome.violated_goals == ()
+        assert outcome.duration_ms == 80000.0
+
+    def test_catalog_attack_drives_verdict(self):
+        # A jam covering the whole approach suppresses the handover: SG01.
+        outcome = execute_variant(
+            default_registry().variant("uc1/attacker-timing/jam-s100-d60000")
+        )
+        assert outcome.verdict == Verdict.ATTACK_SUCCEEDED.name
+        assert "SG01" in outcome.violated_goals
+
+    def test_bound_attack_with_param_override(self):
+        outcome = execute_variant(
+            default_registry().variant(
+                "uc2/control-ablation/ad08-no-id-whitelist"
+            )
+        )
+        assert outcome.attack == "AD08"
+        assert not outcome.sut_passed
+        assert "SG01" in outcome.violated_goals
+
+    def test_unknown_catalog_attack_rejected(self):
+        variant = VariantSpec(
+            variant_id="x",
+            scenario="uc2-keyless-entry",
+            family="f",
+            attack="not-a-real-attack-key",
+        )
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="unknown catalog attack"):
+            execute_variant(variant)
+
+    def test_outcome_payload_round_trip(self):
+        import dataclasses
+
+        outcome = execute_variant(default_registry().variant("uc2/baseline/stock"))
+        assert (
+            VariantOutcome.from_payload(dataclasses.asdict(outcome)) == outcome
+        )
+
+
+class TestSeedParity:
+    """The registry path must reproduce the seed scenario classes exactly."""
+
+    def test_uc1_violation_set_matches_seed_class(self):
+        # Direct (seed-style) construction...
+        seed = ConstructionSiteScenario()
+        attack = JammingAttack("jammer", seed.clock, seed.v2x, duration_ms=60000.0)
+        attack.launch(100.0)
+        seed_result = seed.run(80000.0)
+        # ...versus the registry-generated variant with identical attack.
+        outcome = execute_variant(
+            default_registry().variant("uc1/attacker-timing/jam-s100-d60000")
+        )
+        assert outcome.violated_goals == seed_result.violated_goals()
+        assert outcome.violations == tuple(
+            (v.time, v.goal_id, v.detail) for v in seed_result.violations
+        )
+
+    def test_uc2_violation_set_matches_seed_class(self):
+        seed = KeylessEntryScenario()
+        seed.owner_opens(1000.0)
+        seed.owner_closes(2500.0)
+        seed_result = seed.run(20000.0)
+        outcome = execute_variant(default_registry().variant("uc2/baseline/stock"))
+        assert outcome.violated_goals == seed_result.violated_goals()
+        assert outcome.violations == tuple(
+            (v.time, v.goal_id, v.detail) for v in seed_result.violations
+        )
+
+    def test_ad08_verdict_matches_seed_binding(self):
+        attacks = uc2.build_attacks()
+        execution = TestHarness().execute(
+            uc2.build_bindings().compile(attacks.get("AD08"))
+        )
+        outcome = execute_variant(default_registry().variant("uc2/parity/ad08"))
+        assert outcome.verdict == execution.verdict.name
+        assert execution.verdict is Verdict.ATTACK_FAILED
+        assert (
+            outcome.violated_goals
+            == execution.scenario_result.violated_goals()
+        )
+        assert outcome.detections == tuple(
+            sorted(execution.scenario_result.detection_counts().items())
+        )
+
+    @pytest.mark.slow
+    def test_ad20_verdict_matches_seed_expectation(self):
+        # The direct-path AD20 verdict (ATTACK_FAILED, nothing violated,
+        # flood detected) is pinned by tests/test_usecases.py; the
+        # registry path must land on exactly the same outcome.
+        outcome = execute_variant(default_registry().variant("uc1/parity/ad20"))
+        assert outcome.verdict == Verdict.ATTACK_FAILED.name
+        assert outcome.violated_goals == ()
+        assert dict(outcome.detections)["OBU"] > 0
+
+
+class TestRunCampaign:
+    def test_serial_campaign_aggregates(self):
+        registry = default_registry()
+        variants = registry.variants(family="zone-geometry")
+        result = run_campaign(variants, workers=1)
+        assert result.total == len(variants)
+        assert result.workers == 1
+        assert set(result.by_family()) == {"zone-geometry"}
+        assert result.counts()[Verdict.ATTACK_FAILED.name] == result.total
+        assert "zone-geometry" in result.to_text(verbose=True)
+
+    def test_parallel_campaign_matches_serial(self):
+        variants = default_registry().variants(family="traffic-density")
+        serial = run_campaign(variants, workers=1)
+        parallel = run_campaign(variants, workers=2)
+        assert parallel.workers == 2
+        assert [o.variant_id for o in serial.outcomes] == [
+            o.variant_id for o in parallel.outcomes
+        ]
+        for mine, theirs in zip(serial.outcomes, parallel.outcomes):
+            assert mine.verdict == theirs.verdict, mine.variant_id
+            assert mine.violated_goals == theirs.violated_goals
+            assert mine.violations == theirs.violations
+            assert mine.detections == theirs.detections
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValidationError, match="workers"):
+            run_campaign([], workers=0)
+
+    def test_custom_registry_is_serial_only(self):
+        from repro.engine.registry import ScenarioRegistry
+        from repro.engine.spec import ScenarioSpec
+
+        custom = ScenarioRegistry()
+        custom.register(
+            ScenarioSpec(
+                name="uc2-keyless-entry",
+                use_case="uc2",
+                factory="repro.sim.scenarios:KeylessEntryScenario",
+            )
+        )
+        variants = [
+            VariantSpec(
+                variant_id="x", scenario="uc2-keyless-entry", family="f"
+            )
+        ] * 2
+        # Serial: honoured.  Parallel: refused loudly instead of silently
+        # resolving against the default registry inside the workers.
+        assert run_campaign(variants[:1], workers=1, registry=custom).total == 1
+        with pytest.raises(ValidationError, match="serial"):
+            run_campaign(variants, workers=2, registry=custom)
+
+    def test_worker_initializer_assigns_disjoint_id_blocks(self):
+        import multiprocessing
+
+        from repro.engine.campaign import _worker_initializer
+        from repro.model.identifiers import (
+            claim_id,
+            reset_default_allocator,
+        )
+
+        sequence = multiprocessing.get_context().Value("i", 0)
+        try:
+            _worker_initializer(sequence)  # simulates worker 0 in-process
+            first = claim_id("AD")
+            _worker_initializer(sequence)  # simulates worker 1
+            second = claim_id("AD")
+            assert first == "AD01"
+            assert second == "AD1001"  # disjoint block: no collision
+        finally:
+            reset_default_allocator()
+
+    def test_outcome_lookup(self):
+        result = run_campaign(
+            [default_registry().variant("uc2/baseline/stock")], workers=1
+        )
+        assert result.outcome("uc2/baseline/stock").sut_passed
+        with pytest.raises(ValidationError, match="no outcome"):
+            result.outcome("missing")
+
+    def test_runner_facade_filters_and_runs(self):
+        runner = CampaignRunner(workers=1)
+        variants = runner.select(family="baseline")
+        assert len(variants) == 2
+        result = runner.run(variants)
+        assert result.total == 2
+        summary = result.summary()
+        assert summary["total"] == 2
+        assert summary["families"] == {"baseline": 2}
+
+
+class TestHarnessIntegration:
+    def test_harness_executes_registry_variants(self):
+        outcome = TestHarness().execute_variant(
+            default_registry().variant("uc2/baseline/stock")
+        )
+        assert outcome.sut_passed

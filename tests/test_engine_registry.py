@@ -1,0 +1,178 @@
+"""Tests for the declarative scenario registry and variant families."""
+
+import pytest
+
+from repro.engine.registry import (
+    BOUND_ATTACKS,
+    ScenarioRegistry,
+    UC1_SCENARIO,
+    UC2_SCENARIO,
+    default_registry,
+)
+from repro.engine.spec import (
+    ScenarioSpec,
+    VariantSpec,
+    freeze_params,
+    resolve_factory,
+    thaw_params,
+)
+from repro.errors import ValidationError
+from repro.sim.scenarios import ConstructionSiteScenario
+
+
+class TestSpecDataModel:
+    def test_freeze_thaw_round_trip(self):
+        params = {"b": 2, "a": 1.5, "controls": {"x", "y"}}
+        frozen = freeze_params(params)
+        assert frozen == (("a", 1.5), ("b", 2), ("controls", ("x", "y")))
+        thawed = thaw_params(frozen)
+        assert thawed["controls"] == frozenset({"x", "y"})
+        assert thawed["a"] == 1.5
+
+    def test_resolve_factory(self):
+        factory = resolve_factory(
+            "repro.sim.scenarios:ConstructionSiteScenario"
+        )
+        assert factory is ConstructionSiteScenario
+
+    def test_resolve_factory_rejects_bad_paths(self):
+        with pytest.raises(ValidationError, match="pkg.module:attr"):
+            resolve_factory("no-colon-here")
+        with pytest.raises(ValidationError, match="no attribute"):
+            resolve_factory("repro.sim.scenarios:Missing")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValidationError, match="unknown use case"):
+            ScenarioSpec(name="x", use_case="uc9", factory="a:b")
+
+    def test_spec_build_applies_defaults_then_params(self):
+        spec = ScenarioSpec(
+            name="uc1-custom",
+            use_case="uc1",
+            factory="repro.sim.scenarios:ConstructionSiteScenario",
+            defaults=freeze_params({"zone_start_m": 900.0, "zone_end_m": 950.0}),
+        )
+        scenario = spec.build({"zone_end_m": 1000.0})
+        zone = scenario.world.zone("construction")
+        assert zone.start == 900.0  # from the spec default
+        assert zone.end == 1000.0  # variant override wins
+
+    def test_variant_payload_round_trip(self):
+        variant = VariantSpec(
+            variant_id="v1",
+            scenario=UC1_SCENARIO,
+            family="f",
+            params=freeze_params({"controls": ("a", "b"), "x": 1.0}),
+            attack="flood",
+            attack_params=freeze_params({"interval_ms": 0.5}),
+            duration_ms=1000.0,
+        )
+        assert VariantSpec.from_payload(variant.to_payload()) == variant
+
+    def test_bound_attack_detection(self):
+        bound = VariantSpec(variant_id="a", scenario="s", family="f", attack="AD20")
+        catalog = VariantSpec(variant_id="b", scenario="s", family="f", attack="flood")
+        nothing = VariantSpec(variant_id="c", scenario="s", family="f")
+        assert bound.uses_bound_attack
+        assert not catalog.uses_bound_attack
+        assert not nothing.uses_bound_attack
+
+
+class TestRegistryMechanics:
+    def test_duplicate_spec_rejected(self):
+        registry = ScenarioRegistry()
+        spec = ScenarioSpec(name="s", use_case="uc1", factory="a:b")
+        registry.register(spec)
+        with pytest.raises(ValidationError, match="already registered"):
+            registry.register(spec)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            ScenarioRegistry().get("nope")
+
+    def test_duplicate_family_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register(ScenarioSpec(name="s", use_case="uc1", factory="a:b"))
+        registry.register_family("s", "f", lambda spec: [])
+        with pytest.raises(ValidationError, match="already registered"):
+            registry.register_family("s", "f", lambda spec: [])
+
+    def test_duplicate_variant_ids_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register(ScenarioSpec(name="s", use_case="uc1", factory="a:b"))
+        dupe = VariantSpec(variant_id="same", scenario="s", family="f")
+        registry.register_family("s", "f", lambda spec: [dupe, dupe])
+        with pytest.raises(ValidationError, match="duplicate variant id"):
+            registry.variants()
+
+
+class TestDefaultRegistry:
+    def test_registers_both_use_cases(self):
+        registry = default_registry()
+        assert registry.names() == (UC1_SCENARIO, UC2_SCENARIO)
+        assert registry.get(UC1_SCENARIO).use_case == "uc1"
+        assert registry.get(UC2_SCENARIO).use_case == "uc2"
+
+    def test_generates_at_least_100_variants(self):
+        variants = default_registry().variants()
+        assert len(variants) >= 100
+        assert len({v.variant_id for v in variants}) == len(variants)
+
+    def test_variant_generation_is_deterministic(self):
+        registry = default_registry()
+        assert registry.variants() == registry.variants()
+
+    def test_all_stock_families_present(self):
+        families = set(default_registry().families())
+        assert families == {
+            "baseline",
+            "parity",
+            "control-ablation",
+            "attacker-timing",
+            "traffic-density",
+            "zone-geometry",
+        }
+
+    def test_parity_family_covers_every_bound_attack(self):
+        registry = default_registry()
+        parity_attacks = {
+            variant.attack for variant in registry.variants(family="parity")
+        }
+        assert parity_attacks == set(BOUND_ATTACKS["uc1"]) | set(
+            BOUND_ATTACKS["uc2"]
+        )
+
+    def test_filters_compose(self):
+        registry = default_registry()
+        uc2_only = registry.variants(scenario=UC2_SCENARIO)
+        assert uc2_only
+        assert all(v.scenario == UC2_SCENARIO for v in uc2_only)
+        ad08_only = registry.variants(attack="AD08")
+        assert ad08_only
+        assert all(v.attack == "AD08" for v in ad08_only)
+        limited = registry.variants(limit=7)
+        assert len(limited) == 7
+
+    def test_variant_lookup(self):
+        registry = default_registry()
+        variant = registry.variant("uc1/baseline/stock")
+        assert variant.scenario == UC1_SCENARIO
+        with pytest.raises(ValidationError, match="unknown variant"):
+            registry.variant("uc1/none/missing")
+
+    def test_build_applies_variant_geometry(self):
+        registry = default_registry()
+        variant = registry.variant("uc1/zone-geometry/z800-l50")
+        scenario = registry.build(variant)
+        zone = scenario.world.zone("construction")
+        assert (zone.start, zone.end) == (800.0, 850.0)
+
+    def test_ablation_variants_carry_control_subsets(self):
+        registry = default_registry()
+        exposed = registry.variant(
+            "uc1/control-ablation/flood-no-flooding-detector"
+        )
+        controls = exposed.params_dict()["controls"]
+        assert isinstance(controls, frozenset)
+        assert "flooding-detector" not in controls
+        assert "sender-auth" in controls
