@@ -1,0 +1,76 @@
+"""Shared standalone harness for the ``bench_*.py`` scripts.
+
+Every benchmark script in this directory is a pytest-benchmark module;
+importing this harness first bootstraps ``sys.path`` so ``repro`` is
+importable from a plain checkout, and its :func:`main` gives each script
+one uniform ``__main__``::
+
+    if __name__ == "__main__":
+        raise SystemExit(_harness.main(__file__))
+
+``main`` runs the script under pytest (with pytest-benchmark's JSON
+output), converts the result into the schema-stable ``repro.bench``
+record shape, and writes ``BENCH_<name>.json`` next to the current
+working directory (or ``--out DIR``) -- so every invocation feeds the
+perf trajectory instead of printing and discarding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401  (already installed)
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+from repro.bench import (  # noqa: E402
+    records_from_pytest_benchmark,
+    write_bench_file,
+)
+
+
+def main(script_path: str, argv: list[str] | None = None) -> int:
+    """Run one bench script under pytest and emit its BENCH json."""
+    import pytest
+
+    parser = argparse.ArgumentParser(
+        prog=pathlib.Path(script_path).name,
+        description="run this benchmark and write BENCH_<name>.json",
+    )
+    parser.add_argument(
+        "--out", default=".", help="directory for BENCH_<name>.json"
+    )
+    parser.add_argument(
+        "pytest_args", nargs="*", help="extra arguments passed to pytest"
+    )
+    options = parser.parse_args(argv)
+
+    script = pathlib.Path(script_path).resolve()
+    suite = script.stem.removeprefix("bench_")
+    with tempfile.TemporaryDirectory() as scratch:
+        report = pathlib.Path(scratch) / "pytest-benchmark.json"
+        code = pytest.main(
+            [str(script), "-q", f"--benchmark-json={report}"]
+            + list(options.pytest_args)
+        )
+        if not report.exists():
+            print(
+                f"{script.name}: pytest produced no benchmark report "
+                f"(exit {code})",
+                file=sys.stderr,
+            )
+            return code or 1
+        payload = json.loads(report.read_text(encoding="utf-8"))
+    records = records_from_pytest_benchmark(
+        suite, payload, status="ok" if code == 0 else "failed"
+    )
+    path = write_bench_file(suite, records, options.out)
+    print(f"wrote {len(records)} record(s) to {path}")
+    return int(code)

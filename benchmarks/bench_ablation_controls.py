@@ -15,6 +15,8 @@ AD03 CAN flood via BT  flooding detector              available -> SG03
 =====================  =============================  ====================
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.engine.campaign import run_campaign
 from repro.engine.registry import default_registry
 
@@ -117,3 +119,5 @@ def test_ablation_ad03_can_flooding(benchmark):
     # The flood measurably loads the CAN: frames were lost to overflow.
     assert exposed.stats["can"]["lost"] > 0
     benchmark.extra_info["exposed_can_stats"] = exposed.stats["can"]
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

@@ -6,6 +6,8 @@ ordering.  Also times a complete pipeline run (Steps 1-3 with audits) for
 Use Case I, i.e. the whole boxed part of the figure.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 import networkx
 
 from repro.core.pipeline import (
@@ -48,3 +50,5 @@ def test_fig1_full_pipeline_run(benchmark):
     """Time the complete Steps 1-3 walk of the figure for UC I."""
     pipeline = benchmark(uc1.build_pipeline)
     assert len(pipeline.completed_steps()) == 3
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

@@ -8,6 +8,8 @@ construction site -> the vehicle traverses the site under manual control
 at reduced speed.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.sim.scenarios import ConstructionSiteScenario
 
 
@@ -58,3 +60,5 @@ def test_fig2_handover_latency_budget(benchmark):
 
     latency = benchmark.pedantic(measure, rounds=1, iterations=1)
     assert abs(latency - 1500.0) < 100.0
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

@@ -12,6 +12,8 @@ abuse mutants, and coverage rises from 0% to 100% as interfaces are
 fuzzed.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.sim.clock import SimClock
 from repro.sim.controls import (
     ControlPipeline,
@@ -106,3 +108,5 @@ def test_fuzz_coverage_percent_tracks_interfaces(benchmark):
 
     report = benchmark(partial_campaign)
     assert report.interface_coverage == 0.5
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

@@ -8,6 +8,8 @@ bench regenerates the ablation: the eavesdropper's linkability score is
 rotation, while honest receivers keep authenticating every message.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.sim.attacks import EavesdropAttack
 from repro.sim.clock import SimClock
 from repro.sim.controls import PseudonymProvider, linkability
@@ -97,3 +99,5 @@ def test_privacy_rotation_period_tradeoff(benchmark):
     ordered = [scores[p] for p in sorted(scores)]
     assert ordered == sorted(ordered)  # monotone in the period
     benchmark.extra_info["linkability_by_period"] = scores
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

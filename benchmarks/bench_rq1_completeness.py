@@ -5,12 +5,14 @@ they certify completeness: every safety goal attacked, every threat in
 the shared library either attacked or justified.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.core.completeness import CompletenessAuditor
 from repro.usecases import uc1, uc2
 
 
 def audit(module):
-    pipeline = module.build_pipeline()
+    pipeline = module.pipeline_builder().build()
     auditor = CompletenessAuditor(
         library=pipeline.library,
         goals=pipeline.goals,
@@ -43,7 +45,7 @@ def test_rq1_uc2_complete(benchmark):
 
 def test_rq1_audit_scales_with_library(benchmark):
     """The audit itself is cheap: goals x attacks + threats x attacks."""
-    pipeline = uc1.build_pipeline()
+    pipeline = uc1.pipeline_builder().build()
     auditor = CompletenessAuditor(
         library=pipeline.library,
         goals=pipeline.goals,
@@ -53,3 +55,5 @@ def test_rq1_audit_scales_with_library(benchmark):
         auditor.justify(threat_id, reason)
     report = benchmark(auditor.audit)
     assert report.complete
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

@@ -11,6 +11,8 @@ Shape expectations: the reduced spaces shrink monotonically as the floor
 rises, and higher-ASIL attacks receive strictly more executions.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.core.prioritization import Prioritizer
 from repro.model.asset import AssetRelevance
 from repro.model.ratings import Asil
@@ -32,7 +34,7 @@ def test_rq2_asset_scoping(benchmark):
 
 
 def test_rq2_asil_filtering_monotone(benchmark):
-    pipeline = uc1.build_pipeline()
+    pipeline = uc1.pipeline_builder().build()
     prioritizer = Prioritizer(list(pipeline.goals))
 
     def survivors_per_floor():
@@ -51,7 +53,7 @@ def test_rq2_asil_filtering_monotone(benchmark):
 
 
 def test_rq2_budget_follows_asil(benchmark):
-    pipeline = uc1.build_pipeline()
+    pipeline = uc1.pipeline_builder().build()
     prioritizer = Prioritizer(list(pipeline.goals))
 
     def plan():
@@ -72,3 +74,5 @@ def test_rq2_budget_follows_asil(benchmark):
 
     assert mean("ASIL D") > mean("ASIL C") > mean("ASIL B") > mean("ASIL A")
     benchmark.extra_info["allocation_by_asil"] = by_asil
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

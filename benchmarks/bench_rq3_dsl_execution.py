@@ -7,6 +7,8 @@ produce identical verdicts and identical event counts (determinism is
 what makes the attacks *reproducible*).
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.dsl import analyze, format_attacks, parse
 from repro.testing import TestHarness
 from repro.threatlib.catalog import build_catalog
@@ -73,3 +75,5 @@ def test_rq3_compile_and_execute_bound_campaign(benchmark):
     assert report.total == 5
     assert not report.inconclusive
     benchmark.extra_info["summary"] = report.summary()
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

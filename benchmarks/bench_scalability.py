@@ -21,6 +21,8 @@ the scenarios are addressed as registry variants, not as hard-coded
 classes.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 import os
 
 from repro.engine.campaign import run_campaign
@@ -188,22 +190,5 @@ def test_library_query_scaling(benchmark):
     assert total == 250
 
 
-def _smoke() -> int:
-    """CI smoke: a small serial + parallel campaign must agree."""
-    variants = [flood_variant(i) for i in (0.25, 2.0)]
-    registry = default_registry()
-    variants += list(
-        registry.variants(scenario="uc2-keyless-entry", family="baseline")
-    )
-    serial = run_campaign(variants, workers=1)
-    parallel = run_campaign(variants, workers=2)
-    same = [o.verdict for o in serial.outcomes] == [
-        o.verdict for o in parallel.outcomes
-    ]
-    print(serial.to_text(verbose=True))
-    print(f"parallel agreement: {same}")
-    return 0 if same and serial.total == len(variants) else 1
-
-
 if __name__ == "__main__":
-    raise SystemExit(_smoke())
+    raise SystemExit(_harness.main(__file__))

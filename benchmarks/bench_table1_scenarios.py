@@ -5,6 +5,8 @@ catalog and checks them against the paper's content.  The benchmark times
 full catalog construction (Step 1 of the process).
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.threatlib.catalog import build_catalog, table1_rows
 
 #: The (scenario, sub-scenario excerpt) pairs Table I prints.
@@ -39,3 +41,5 @@ def test_table1_catalog_contains_scenarios(benchmark):
         "Advanced access to vehicle",
     }
     assert library.stats()["sub_scenarios"] == 5
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

@@ -4,6 +4,8 @@ Regenerates the asset/asset-group rows of Table II ("Advanced access to
 vehicle") and verifies them verbatim against the paper.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.threatlib.catalog import (
     SCENARIO_ADVANCED_ACCESS,
     build_catalog,
@@ -41,3 +43,5 @@ def test_table2_assets_registered_in_catalog(benchmark):
         assert threats or asset.name == "V2X communications" or (
             SCENARIO_ADVANCED_ACCESS not in scenario_refs
         )
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

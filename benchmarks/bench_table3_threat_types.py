@@ -6,6 +6,8 @@ keyword classifier (the Step 1.3 aid) reproduces the same mappings from
 the raw threat statements.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.stride import suggest_stride
 from repro.threatlib.catalog import table3_rows
 
@@ -39,3 +41,5 @@ def test_table3_classifier_agrees(benchmark):
 
     suggested = benchmark(classify_all)
     assert suggested == tuple(stride for __, stride in EXPECTED)
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

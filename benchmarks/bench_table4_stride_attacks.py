@@ -4,6 +4,8 @@ Regenerates the full threat-type -> attack-type mapping and verifies it
 verbatim; also times the reverse lookups the derivation step performs.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.model.threat import StrideType
 from repro.stride.mapping import (
     STRIDE_ATTACK_TABLE,
@@ -62,3 +64,5 @@ def test_table4_reverse_lookup(benchmark):
     assert len(reverse["Config. change"]) == 2
     assert len(reverse["Illegal acquisition"]) == 2
     assert len(reverse["Disable"]) == 1
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

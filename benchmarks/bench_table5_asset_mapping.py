@@ -6,6 +6,8 @@ that asset, the STRIDE mapping matches, and the attack type is a valid
 Table IV manifestation.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.stride.mapping import stride_types_for
 from repro.threatlib.catalog import (
     SCENARIO_KEEP_CAR_SECURE,
@@ -51,3 +53,5 @@ def test_table5_consistent_with_catalog(benchmark):
         return verified
 
     assert benchmark(crosscheck) == 4
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

@@ -5,6 +5,8 @@ verifies every row verbatim against the paper.  The benchmark times the
 full Step 3 derivation of all 23 UC I attack descriptions.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.core.reporting import render_attack_description
 from repro.usecases import uc1
 
@@ -50,3 +52,5 @@ def test_table6_rendering(benchmark):
         "Attack impl. comments",
     ):
         assert row_label in text
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

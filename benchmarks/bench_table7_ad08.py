@@ -4,6 +4,8 @@ Regenerates the complete Table VII block from the UC II derivation and
 verifies every row verbatim against the paper.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.core.reporting import render_attack_description
 from repro.usecases import uc2
 
@@ -46,3 +48,5 @@ def test_table7_goal_is_keep_vehicle_closed(benchmark):
     sg01 = benchmark(lookup)
     assert sg01.name == "Keep vehicle closed"
     assert sg01.asil.value == "ASIL D"
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

@@ -10,6 +10,8 @@ the ASILs are *derived* by the ISO 26262 determination table, so the
 distribution reproducing exactly is a real check, not an echo.
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.core.reporting import render_asil_distribution
 from repro.model.ratings import Asil
 from repro.usecases import uc1
@@ -62,3 +64,5 @@ def test_uc1_guideword_completeness(benchmark):
     function examined against every failure mode."""
     hara = benchmark(uc1.build_hara)
     assert hara.is_guideword_complete()
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

@@ -6,6 +6,8 @@ goals SG01..SG04, and "in total 27 possible attacks with safety critical
 impact and additionally two attacks, which deal with privacy issues".
 """
 
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
 from repro.core.reporting import render_asil_distribution
 from repro.model.ratings import Asil
 from repro.usecases import uc2
@@ -69,3 +71,5 @@ def test_uc2_explicit_paper_attacks_present(benchmark):
     assert named["can_flood"].targets_goal("SG03")
     assert "replays it" in named["replay"].description
     assert "modified keys" in named["modified_keys"].description
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

@@ -18,18 +18,9 @@ from repro.usecases import uc1, uc2
 def audit(module):
     print("=" * 72)
     print(module.USE_CASE_NAME)
-    pipeline = module.build_pipeline()
-    # build_pipeline already ran the audit; re-run it here for display.
-    from repro.core.completeness import CompletenessAuditor
-
-    auditor = CompletenessAuditor(
-        library=pipeline.library,
-        goals=pipeline.goals,
-        attacks=pipeline.attacks,
-    )
-    for threat_id, reason in module.JUSTIFICATIONS.items():
-        auditor.justify(threat_id, reason)
-    print(render_completeness(auditor.audit()))
+    # build() runs the RQ1 audits; the report is right on the pipeline.
+    pipeline = module.pipeline_builder().build()
+    print(render_completeness(pipeline.report))
     return pipeline
 
 

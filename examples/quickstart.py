@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
-"""Quickstart: the four SaSeVAL steps on a miniature example.
+"""Quickstart: the four SaSeVAL steps on the unified repro.api facade.
 
-Builds a tiny threat library (Step 1), runs a one-function HARA (Step 2),
-derives an attack description (Step 3), runs the RQ1 completeness audits,
-and prints everything in the paper's table formats.
+Part 1 drives the stock :class:`~repro.api.Workspace`: build the paper's
+use-case pipelines, execute a bound attack, run a small campaign family,
+and query/export everything from the single typed result set.
+
+Part 2 builds a miniature pipeline from scratch with the immutable
+:class:`~repro.api.Pipeline` builder -- the replacement for the old
+stateful provide/begin/finish ``SaSeValPipeline`` protocol.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import SaSeValPipeline
+from repro import Pipeline, Workspace
 from repro.core.reporting import (
     render_attack_description,
     render_completeness,
@@ -19,6 +23,38 @@ from repro.model.asset import Asset, AssetGroup
 from repro.model.scenario import Scenario, SubScenario
 from repro.model.threat import StrideType
 from repro.threatlib import ThreatLibraryBuilder
+
+
+def tour_the_workspace() -> None:
+    """Part 1: the facade over the paper's two published use cases."""
+    ws = Workspace()
+    print("=" * 72)
+    print(f"Use cases: {', '.join(ws.use_cases())}")
+
+    for key in ws.use_cases():
+        pipeline = ws.pipeline(key)  # Steps 1-3 + RQ1 audits, cached
+        print(
+            f"  {key}: {len(pipeline.goals)} goals, "
+            f"{len(pipeline.attacks)} attacks, "
+            f"complete={pipeline.report.complete}, "
+            f"bound={', '.join(pipeline.bound_attack_ids())}"
+        )
+
+    # Step 4: execute a bound attack; the verdict joins the result set.
+    print("=" * 72)
+    execution = ws.run("AD08", "uc2")
+    print(execution.summary())
+    print(f"  {execution.notes}")
+
+    # Campaign execution feeds the same result set.
+    result = ws.campaign(scenario="uc2-keyless-entry", family="zone-geometry")
+    print(result.to_text())
+
+    # One typed ResultSet across pipeline verdicts and campaign variants:
+    results = ws.results()
+    print("=" * 72)
+    print(f"Accumulated records: {results.summary()}")
+    print(results.to_markdown(columns=("source", "subject", "verdict")))
 
 
 def build_threat_library():
@@ -88,16 +124,8 @@ def run_hara():
     return hara
 
 
-def main():
-    pipeline = SaSeValPipeline(name="quickstart")
-    pipeline.provide_threat_library(build_threat_library())
-    pipeline.provide_safety_analysis(run_hara())
-
-    print("=" * 72)
-    print(render_hara_summary(pipeline.hara))
-
-    # Step 3: derive an attack for (safety goal x attack type).
-    deriver = pipeline.begin_attack_description()
+def derive_flooding_attack(deriver) -> None:
+    """Step 3 stage: one attack per (safety goal x attack type)."""
     deriver.derive(
         description="Attacker tries to overload the on-board unit by "
                     "packet flooding.",
@@ -112,21 +140,39 @@ def main():
         implementation_comments="Create an authenticated sender and send "
                                 "extra messages at high frequency",
     )
-    # The spoofing threat is justified rather than attacked here:
-    pipeline.justify(
-        "1.1.2", "spoofing is covered by the project's message "
-        "authentication concept; validated elsewhere",
-    )
-    report = pipeline.finish_attack_description()
 
+
+def build_a_pipeline() -> None:
+    """Part 2: the immutable builder on a miniature example."""
+    pipeline = (
+        Pipeline.builder("quickstart")
+        .with_threat_library(build_threat_library())     # Step 1
+        .with_hara(run_hara())                           # Step 2
+        .derive_attacks(derive_flooding_attack)          # Step 3
+        # The spoofing threat is justified rather than attacked here:
+        .justify(
+            "1.1.2",
+            "spoofing is covered by the project's message authentication "
+            "concept; validated elsewhere",
+        )
+        .build()                                         # RQ1 audits run now
+    )
+
+    print("=" * 72)
+    print(render_hara_summary(pipeline.hara))
     print("=" * 72)
     for attack in pipeline.attacks:
         print(render_attack_description(attack))
     print("=" * 72)
-    print(render_completeness(report))
+    print(render_completeness(pipeline.report))
     print("=" * 72)
     print("Traceability matrix:")
     print(pipeline.trace_matrix().to_markdown())
+
+
+def main():
+    tour_the_workspace()
+    build_a_pipeline()
 
 
 if __name__ == "__main__":

@@ -9,29 +9,43 @@ discrete-event automotive simulator (vehicle, CAN, V2X, Bluetooth keyless
 entry, security controls, attack injectors) serving as the system under
 test.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade)::
 
-    from repro import build_catalog, Hara, SaSeValPipeline
-    from repro.model import FailureMode, Severity, Exposure, Controllability
+    from repro import Workspace
 
-    pipeline = SaSeValPipeline(name="demo")
-    pipeline.provide_threat_library(build_catalog())
+    ws = Workspace()                       # the paper's two use cases
+    pipeline = ws.pipeline("uc1")          # Steps 1-3 + RQ1 audits
+    print(len(pipeline.attacks), pipeline.report.complete)
 
-    hara = Hara(name="demo")
-    fn = hara.add_function("Rat01", "Road works warning")
-    hara.rate(fn, FailureMode.NO, hazard="Driver not warned",
-              severity=Severity.S3, exposure=Exposure.E3,
-              controllability=Controllability.C3)
-    hara.derive_goal("Avoid ineffective warning", from_functions=["Rat01"])
-    pipeline.provide_safety_analysis(hara)
+    ws.run("AD08", "uc2")                  # execute a bound attack
+    ws.campaign(family="parity")           # fan a variant family out
+    print(ws.results().summary())          # one queryable ResultSet
+    print(ws.results().to_markdown())      # ... with uniform exporters
 
-    deriver = pipeline.begin_attack_description()
-    # ... deriver.derive(...) per safety goal x attack type ...
+Custom analyses use the immutable builder directly::
+
+    from repro import Pipeline
+
+    pipeline = (
+        Pipeline.builder("demo")
+        .with_threat_library(library)
+        .with_hara(hara)
+        .derive_attacks(lambda deriver: deriver.derive(...))
+        .build()
+    )
 
 See ``examples/`` for complete end-to-end runs of the paper's two use
-cases.
+cases, and the README migration note for moving off the legacy
+:class:`SaSeValPipeline` step protocol.
 """
 
+from repro.api import (
+    Pipeline,
+    PipelineBuilder,
+    UseCaseDefinition,
+    Workspace,
+    default_workspace,
+)
 from repro.core.completeness import CompletenessAuditor, CompletenessReport
 from repro.core.derivation import AttackDeriver, AttackDescriptionSet
 from repro.core.pipeline import SaSeValPipeline, Step, stage_graph
@@ -43,11 +57,12 @@ from repro.model.attack import AttackCategory, AttackDescription
 from repro.model.ratings import Asil
 from repro.model.safety import SafetyConcern, SafetyGoal
 from repro.model.threat import AttackType, StrideType, ThreatScenario
+from repro.results import ResultSet, RunRecord
 from repro.threatlib.builder import ThreatLibraryBuilder
 from repro.threatlib.catalog import build_catalog
 from repro.threatlib.library import ThreatLibrary
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Asil",
@@ -59,7 +74,11 @@ __all__ = [
     "CompletenessAuditor",
     "CompletenessReport",
     "Hara",
+    "Pipeline",
+    "PipelineBuilder",
     "Prioritizer",
+    "ResultSet",
+    "RunRecord",
     "SaSeValPipeline",
     "SafetyConcern",
     "SafetyGoal",
@@ -70,8 +89,11 @@ __all__ = [
     "ThreatLibraryBuilder",
     "ThreatScenario",
     "TraceMatrix",
+    "UseCaseDefinition",
+    "Workspace",
     "__version__",
     "build_catalog",
+    "default_workspace",
     "determine_asil",
     "stage_graph",
 ]

@@ -1,0 +1,463 @@
+"""Machine-readable benchmark records and the built-in bench suites.
+
+The perf trajectory of this repository is tracked through
+``BENCH_<suite>.json`` files: schema-stable documents a CI job (or a
+human) can diff across commits.  Historically the 18 ``benchmarks/``
+scripts printed free-form text and the trajectory stayed empty; this
+module gives every producer one record shape:
+
+* :class:`BenchRecord` -- one named measurement of one suite, with
+  numeric ``metrics`` and string ``meta``;
+* :func:`validate_record` / :func:`validate_bench_payload` -- the schema
+  contract, enforced in tests and importable by CI gates;
+* :func:`write_bench_file` -- the canonical ``BENCH_<suite>.json``
+  writer;
+* :func:`records_from_pytest_benchmark` -- adapter used by
+  ``benchmarks/_harness.py`` so the pytest-benchmark scripts emit the
+  same records;
+* the built-in suites behind ``repro bench`` (:data:`BENCH_SUITES`):
+  RQ1 completeness, RQ2 reduction and campaign scalability, implemented
+  on the :class:`~repro.api.Workspace` facade.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import ValidationError
+from repro.results import Items, freeze_items
+
+#: Schema tag embedded in every record and bench file; bump on breaking
+#: change so the trajectory tooling can detect format drift.
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: Valid record statuses.
+STATUSES = ("ok", "failed")
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchRecord:
+    """One named measurement of one bench suite.
+
+    Attributes:
+        suite: The suite the record belongs to (``"rq1"``,
+            ``"scalability"``, a script stem, ...).
+        name: Measurement name, unique within the suite.
+        status: ``"ok"`` or ``"failed"`` (shape expectation violated).
+        metrics: Numeric measures (seconds, counts, ratios) as frozen
+            sorted key/value tuples.
+        meta: Non-numeric context as frozen sorted key/value tuples.
+    """
+
+    suite: str
+    name: str
+    status: str = "ok"
+    metrics: Items = ()
+    meta: Items = ()
+
+    def __post_init__(self) -> None:
+        if not self.suite or not self.name:
+            raise ValidationError("bench record needs a suite and a name")
+        if self.status not in STATUSES:
+            raise ValidationError(
+                f"bench record {self.suite}/{self.name}: status must be one "
+                f"of {STATUSES}, got {self.status!r}"
+            )
+        for key, value in self.metrics:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValidationError(
+                    f"bench record {self.suite}/{self.name}: metric "
+                    f"{key!r} must be numeric, got {value!r}"
+                )
+
+    @property
+    def ok(self) -> bool:
+        """True when the measurement met its shape expectations."""
+        return self.status == "ok"
+
+    def metrics_dict(self) -> dict[str, float]:
+        """The numeric measures as a plain dict."""
+        return {key: value for key, value in self.metrics}
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict (JSON-ready, schema-tagged) form."""
+        return {
+            "schema": BENCH_SCHEMA,
+            "suite": self.suite,
+            "name": self.name,
+            "status": self.status,
+            "metrics": {key: value for key, value in self.metrics},
+            "meta": {key: str(value) for key, value in self.meta},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "BenchRecord":
+        """Rebuild a record from :meth:`to_payload` output."""
+        validate_record(payload)
+        return cls(
+            suite=payload["suite"],
+            name=payload["name"],
+            status=payload["status"],
+            metrics=freeze_items(payload.get("metrics")),
+            meta=freeze_items(payload.get("meta")),
+        )
+
+
+def validate_record(payload: Mapping[str, Any]) -> None:
+    """Assert one record payload obeys the ``repro.bench/v1`` schema.
+
+    Raises:
+        ValidationError: naming the first violated constraint.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValidationError(f"bench record must be a mapping: {payload!r}")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValidationError(
+            f"bench record schema mismatch: got {payload.get('schema')!r}, "
+            f"expected {BENCH_SCHEMA!r}"
+        )
+    for key in ("suite", "name", "status"):
+        if not isinstance(payload.get(key), str) or not payload[key]:
+            raise ValidationError(
+                f"bench record needs a non-empty string {key!r}"
+            )
+    if payload["status"] not in STATUSES:
+        raise ValidationError(
+            f"bench record status must be one of {STATUSES}, "
+            f"got {payload['status']!r}"
+        )
+    metrics = payload.get("metrics", {})
+    if not isinstance(metrics, Mapping):
+        raise ValidationError("bench record metrics must be a mapping")
+    for key, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValidationError(
+                f"bench metric {key!r} must be numeric, got {value!r}"
+            )
+    meta = payload.get("meta", {})
+    if not isinstance(meta, Mapping):
+        raise ValidationError("bench record meta must be a mapping")
+    for key, value in meta.items():
+        if not isinstance(value, str):
+            raise ValidationError(
+                f"bench meta {key!r} must be a string, got {value!r}"
+            )
+
+
+def validate_bench_payload(payload: Mapping[str, Any]) -> None:
+    """Assert a whole ``BENCH_<suite>.json`` document is schema-valid."""
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValidationError(
+            f"bench file schema mismatch: got {payload.get('schema')!r}, "
+            f"expected {BENCH_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("suite"), str) or not payload["suite"]:
+        raise ValidationError("bench file needs a non-empty suite name")
+    records = payload.get("records")
+    if not isinstance(records, list):
+        raise ValidationError("bench file needs a list of records")
+    for record in records:
+        validate_record(record)
+        if record["suite"] != payload["suite"]:
+            raise ValidationError(
+                f"bench file for suite {payload['suite']!r} contains a "
+                f"record of suite {record['suite']!r}"
+            )
+
+
+def bench_file_payload(
+    suite: str, records: Iterable[BenchRecord]
+) -> dict[str, Any]:
+    """The canonical ``BENCH_<suite>.json`` document for a record list."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "records": [record.to_payload() for record in records],
+    }
+
+
+def write_bench_file(
+    suite: str, records: Iterable[BenchRecord], out_dir: str | Path = "."
+) -> Path:
+    """Write (validated) ``BENCH_<suite>.json`` and return its path."""
+    payload = bench_file_payload(suite, records)
+    validate_bench_payload(payload)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{suite}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def records_from_pytest_benchmark(
+    suite: str, payload: Mapping[str, Any], status: str = "ok"
+) -> tuple[BenchRecord, ...]:
+    """Convert a ``pytest-benchmark`` JSON document into bench records.
+
+    Keeps the stable subset of the stats (mean/min/max/stddev/rounds)
+    and flattens each benchmark's ``extra_info`` into string meta.  The
+    pytest-benchmark report does not carry per-test outcomes, so the
+    caller passes ``status="failed"`` when the pytest run itself failed
+    -- a failed shape assertion must not enter the trajectory as ok.
+    """
+    records = []
+    for entry in payload.get("benchmarks", ()):
+        stats = entry.get("stats", {})
+        metrics = {
+            f"{key}_s" if key != "rounds" else key: float(stats[key])
+            for key in ("mean", "min", "max", "stddev", "rounds")
+            if isinstance(stats.get(key), (int, float))
+        }
+        meta = {
+            key: value if isinstance(value, str) else json.dumps(value)
+            for key, value in entry.get("extra_info", {}).items()
+        }
+        records.append(
+            BenchRecord(
+                suite=suite,
+                name=entry.get("name", "unnamed"),
+                status=status,
+                metrics=freeze_items(metrics),
+                meta=freeze_items(meta),
+            )
+        )
+    return tuple(records)
+
+
+# -- built-in suites (the `repro bench` command) ------------------------------
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def bench_rq1() -> list[BenchRecord]:
+    """RQ1: Steps 1-3 + completeness audits per use case, timed."""
+    from repro.api import Workspace
+
+    workspace = Workspace()
+    records = []
+    for use_case in workspace.use_cases():
+        pipeline, build_s = _timed(lambda: workspace.builder(use_case).build())
+        summary = pipeline.report.summary()
+        records.append(
+            BenchRecord(
+                suite="rq1",
+                name=f"{use_case}_pipeline_complete",
+                status="ok" if pipeline.report.complete else "failed",
+                metrics=freeze_items(
+                    {
+                        "build_s": build_s,
+                        "goals": summary["goals"],
+                        "goals_covered": summary["goals_covered"],
+                        "threats": summary["threats"],
+                        "threats_uncovered": summary["threats_uncovered"],
+                        "attacks": len(pipeline.attacks),
+                    }
+                ),
+                meta=freeze_items({"title": pipeline.name}),
+            )
+        )
+    return records
+
+
+def bench_rq2() -> list[BenchRecord]:
+    """RQ2: asset scoping + ASIL filtering/budgeting reduction, timed."""
+    from repro.api import Workspace
+    from repro.core.prioritization import Prioritizer
+    from repro.model.asset import AssetRelevance
+    from repro.model.ratings import Asil
+
+    workspace = Workspace()
+    pipeline = workspace.pipeline("uc1")
+    records = []
+
+    def scope():
+        scoped = pipeline.library.scoped(
+            {AssetRelevance.GENERIC_CURRENT_VEHICLE}
+        )
+        return pipeline.library.stats(), scoped.stats()
+
+    (full, scoped), scope_s = _timed(scope)
+    records.append(
+        BenchRecord(
+            suite="rq2",
+            name="asset_scoping",
+            status=(
+                "ok"
+                if scoped["threat_scenarios"] < full["threat_scenarios"]
+                else "failed"
+            ),
+            metrics=freeze_items(
+                {
+                    "scope_s": scope_s,
+                    "full_assets": full["assets"],
+                    "scoped_assets": scoped["assets"],
+                    "full_threats": full["threat_scenarios"],
+                    "scoped_threats": scoped["threat_scenarios"],
+                }
+            ),
+        )
+    )
+
+    prioritizer = Prioritizer(list(pipeline.goals))
+    floors = (Asil.QM, Asil.A, Asil.B, Asil.C, Asil.D)
+    survivors, filter_s = _timed(
+        lambda: [
+            len(prioritizer.filter(pipeline.attacks, floor))
+            for floor in floors
+        ]
+    )
+    records.append(
+        BenchRecord(
+            suite="rq2",
+            name="asil_filtering",
+            status=(
+                "ok"
+                if survivors == sorted(survivors, reverse=True)
+                else "failed"
+            ),
+            metrics=freeze_items(
+                {
+                    "filter_s": filter_s,
+                    **{
+                        f"survivors_{floor.name.lower()}": count
+                        for floor, count in zip(floors, survivors)
+                    },
+                }
+            ),
+        )
+    )
+
+    plan, plan_s = _timed(
+        lambda: prioritizer.plan(pipeline.attacks, budget=1000)
+    )
+    records.append(
+        BenchRecord(
+            suite="rq2",
+            name="asil_budget",
+            status="ok" if plan.total_allocated == 1000 else "failed",
+            metrics=freeze_items(
+                {
+                    "plan_s": plan_s,
+                    "budget": 1000,
+                    "allocated": plan.total_allocated,
+                    "entries": len(plan.entries),
+                }
+            ),
+        )
+    )
+    return records
+
+
+def bench_scalability(workers: int = 2) -> list[BenchRecord]:
+    """Campaign fan-out: serial vs parallel verdict-identical runs."""
+    from repro.api import Workspace
+    from repro.engine.campaign import run_campaign
+    from repro.engine.registry import default_registry
+
+    variants = default_registry().variants(
+        scenario="uc2-keyless-entry", family="zone-geometry"
+    ) + default_registry().variants(
+        scenario="uc2-keyless-entry", family="attacker-timing", limit=6
+    )
+    serial = run_campaign(variants, workers=1)
+    parallel = run_campaign(variants, workers=workers)
+    agree = [o.verdict for o in serial.outcomes] == [
+        o.verdict for o in parallel.outcomes
+    ]
+    workspace = Workspace()
+    facade = workspace.campaign(
+        scenario="uc2-keyless-entry", family="zone-geometry", workers=1
+    )
+    facade_agree = [o.verdict for o in facade.outcomes] == [
+        o.verdict for o in serial.outcomes[: facade.total]
+    ]
+    return [
+        BenchRecord(
+            suite="scalability",
+            name="campaign_fanout",
+            status="ok" if agree else "failed",
+            metrics=freeze_items(
+                {
+                    "variants": serial.total,
+                    "workers": workers,
+                    "serial_s": serial.wall_time_s,
+                    "parallel_s": parallel.wall_time_s,
+                    "speedup": serial.wall_time_s
+                    / max(parallel.wall_time_s, 1e-9),
+                }
+            ),
+        ),
+        BenchRecord(
+            suite="scalability",
+            name="workspace_facade_parity",
+            status="ok" if facade_agree else "failed",
+            metrics=freeze_items(
+                {
+                    "variants": facade.total,
+                    "records": len(workspace.results()),
+                }
+            ),
+        ),
+    ]
+
+
+#: The built-in suites ``repro bench`` runs, in execution order.
+BENCH_SUITES: dict[str, Callable[[], list[BenchRecord]]] = {
+    "rq1": bench_rq1,
+    "rq2": bench_rq2,
+    "scalability": bench_scalability,
+}
+
+
+def run_suites(
+    names: Iterable[str] | None = None,
+    out_dir: str | Path | None = ".",
+) -> tuple[dict[str, list[BenchRecord]], list[Path]]:
+    """Run built-in suites; write one ``BENCH_<suite>.json`` per suite.
+
+    Args:
+        names: Suites to run (default: all of :data:`BENCH_SUITES`).
+        out_dir: Where the bench files go; ``None`` skips writing.
+
+    Returns:
+        ``(records_by_suite, written_paths)``.
+    """
+    selected = tuple(names) if names is not None else tuple(BENCH_SUITES)
+    for name in selected:
+        if name not in BENCH_SUITES:
+            raise ValidationError(
+                f"unknown bench suite {name!r} "
+                f"(known: {sorted(BENCH_SUITES)})"
+            )
+    results: dict[str, list[BenchRecord]] = {}
+    paths: list[Path] = []
+    for name in selected:
+        results[name] = BENCH_SUITES[name]()
+        if out_dir is not None:
+            paths.append(write_bench_file(name, results[name], out_dir))
+    return results, paths
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_SUITES",
+    "BenchRecord",
+    "STATUSES",
+    "bench_file_payload",
+    "bench_rq1",
+    "bench_rq2",
+    "bench_scalability",
+    "records_from_pytest_benchmark",
+    "run_suites",
+    "validate_bench_payload",
+    "validate_record",
+    "write_bench_file",
+]

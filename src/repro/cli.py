@@ -12,10 +12,13 @@ Usage (also via ``python -m repro``)::
     repro campaign --workers 4        # run every registry variant in parallel
     repro campaign --family control-ablation --verbose
     repro campaign --list             # enumerate variants without running
+    repro campaign --export out.csv   # export outcomes (json/csv/md)
+    repro bench --json                # machine-readable benchmark records
+    repro bench --suite rq1 --out .   # write BENCH_rq1.json
 
-The CLI is a thin shell over the library; every command returns a proper
-exit code (0 ok, 1 user error, 2 validation/semantic failure) so it can
-gate CI pipelines on completeness or verdicts.
+The CLI is a thin shell over the :mod:`repro.api` facade; every command
+returns a proper exit code (0 ok, 1 user error, 2 validation/semantic
+failure) so it can gate CI pipelines on completeness or verdicts.
 """
 
 from __future__ import annotations
@@ -31,7 +34,7 @@ from repro.core.reporting import (
 )
 from repro.dsl import analyze, format_attacks, parse
 from repro.errors import ReproError
-from repro.testing import TestHarness
+from repro.results import SCHEMA as RESULTS_SCHEMA, ResultSet
 from repro.threatlib.catalog import build_catalog
 from repro.usecases import uc1, uc2
 
@@ -107,30 +110,41 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Execute one bound attack against the simulator."""
-    module = _module_for(args.usecase)
-    attacks = module.build_attacks()
-    if args.attack_id not in attacks:
-        print(f"no attack {args.attack_id}", file=sys.stderr)
+    from repro.api import Workspace
+
+    try:
+        execution = Workspace().run(args.attack_id, args.usecase)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
         return 1
-    registry = module.build_bindings()
-    attack = attacks.get(args.attack_id)
-    if not registry.can_compile(attack):
-        print(
-            f"{args.attack_id} has no executable binding (concept-level "
-            "only; see Step 4 of the process)",
-            file=sys.stderr,
-        )
-        return 1
-    execution = TestHarness().execute(registry.compile(attack))
     print(execution.summary())
     print(f"  {execution.notes}")
     return 0 if execution.sut_passed else 2
+
+
+def _export_records(records: ResultSet, target: str) -> None:
+    """Write a result set to ``target`` (format from the extension)."""
+    path = Path(target)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        document = records.to_json()
+    elif suffix == ".csv":
+        document = records.to_csv()
+    elif suffix in (".md", ".markdown"):
+        document = records.to_markdown()
+    else:
+        raise ReproError(
+            f"cannot infer export format from {target!r} "
+            "(use .json, .csv or .md)"
+        )
+    path.write_text(document, encoding="utf-8")
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run (or list) the scenario registry's variant families."""
     # Imported here so the light report/export commands keep their fast
     # startup; the engine pulls in the whole simulator stack.
+    from repro.api import Workspace
     from repro.engine.campaign import CampaignRunner
 
     runner = CampaignRunner(workers=args.workers)
@@ -168,39 +182,83 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(f"{variant.variant_id:50s} {attack:10s} {variant.description}")
         print(f"{len(variants)} variant(s)")
         return 0
+    workspace = Workspace()
     try:
-        result = runner.run(variants)
+        result = workspace.campaign(variants=variants, workers=args.workers)
     except ReproError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
         return 1
+    records = workspace.results()
+    if args.export:
+        try:
+            _export_records(records, args.export)
+        except (ReproError, OSError) as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            return 1
+        print(f"exported {len(records)} record(s) to {args.export}")
     if args.json:
         print(json.dumps(
             {
+                "schema": RESULTS_SCHEMA,
                 "summary": result.summary(),
-                "outcomes": [
-                    {
-                        "variant_id": outcome.variant_id,
-                        "family": outcome.family,
-                        "attack": outcome.attack,
-                        "verdict": outcome.verdict,
-                        "violated_goals": list(outcome.violated_goals),
-                        "wall_time_s": round(outcome.wall_time_s, 4),
-                    }
-                    for outcome in result.outcomes
-                ],
+                "outcomes": [record.to_payload() for record in records],
             },
             indent=2,
         ))
-    else:
+    elif not args.export:
         print(result.to_text(verbose=args.verbose))
     inconclusive = result.counts().get("INCONCLUSIVE", 0)
     return 2 if inconclusive else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the built-in bench suites; write BENCH_<suite>.json records."""
+    from repro.bench import BENCH_SCHEMA, BENCH_SUITES, run_suites
+
+    if args.list:
+        for name in BENCH_SUITES:
+            print(name)
+        return 0
+    try:
+        results, paths = run_suites(
+            args.suite or None, out_dir=args.out
+        )
+    except (ReproError, OSError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(
+            {
+                "schema": BENCH_SCHEMA,
+                "suites": {
+                    name: [record.to_payload() for record in records]
+                    for name, records in results.items()
+                },
+            },
+            indent=2,
+        ))
+    else:
+        for name, records in results.items():
+            for record in records:
+                metrics = ", ".join(
+                    f"{key}={value:.4g}" if isinstance(value, float)
+                    else f"{key}={value}"
+                    for key, value in record.metrics
+                )
+                print(f"[{record.status:6s}] {name}/{record.name}  {metrics}")
+        for path in paths:
+            print(f"wrote {path}")
+    failed = any(
+        not record.ok for records in results.values() for record in records
+    )
+    return 2 if failed else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Print the goal/attack/threat traceability matrix."""
-    module = _module_for(args.usecase)
-    pipeline = module.build_pipeline()
+    from repro.api import Workspace
+
+    pipeline = Workspace().pipeline(args.usecase)
     print(pipeline.trace_matrix().to_markdown())
     return 0
 
@@ -278,7 +336,32 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    campaign.add_argument(
+        "--export", metavar="PATH",
+        help="write outcome records to PATH (.json, .csv or .md)",
+    )
     campaign.set_defaults(handler=cmd_campaign)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run the built-in bench suites (BENCH_<suite>.json records)",
+    )
+    bench.add_argument(
+        "--suite", action="append", metavar="NAME",
+        help="suite to run (repeatable; default: all; see --list)",
+    )
+    bench.add_argument(
+        "--out", default=".",
+        help="directory for BENCH_<suite>.json files (default: cwd)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print all records as one JSON document",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="enumerate the known suites"
+    )
+    bench.set_defaults(handler=cmd_bench)
 
     return parser
 

@@ -36,9 +36,17 @@ _EXPORTS = {
     "SimKernel": "repro.engine.kernel",
     "KernelScenario": "repro.engine.kernel",
     "ScenarioResult": "repro.engine.kernel",
+    "ParamItems": "repro.engine.spec",
     "ScenarioSpec": "repro.engine.spec",
     "VariantSpec": "repro.engine.spec",
+    "freeze_params": "repro.engine.spec",
+    "resolve_factory": "repro.engine.spec",
+    "thaw_params": "repro.engine.spec",
+    "BOUND_ATTACKS": "repro.engine.registry",
+    "FamilyGenerator": "repro.engine.registry",
     "ScenarioRegistry": "repro.engine.registry",
+    "UC1_SCENARIO": "repro.engine.registry",
+    "UC2_SCENARIO": "repro.engine.registry",
     "default_registry": "repro.engine.registry",
     "CampaignRunner": "repro.engine.campaign",
     "CampaignResult": "repro.engine.campaign",
@@ -47,6 +55,12 @@ _EXPORTS = {
     "run_campaign": "repro.engine.campaign",
     "ATTACK_CATALOG": "repro.engine.attacks",
     "arm_catalog_attack": "repro.engine.attacks",
+    "arm_flood": "repro.engine.attacks",
+    "arm_forge_keys": "repro.engine.attacks",
+    "arm_jam": "repro.engine.attacks",
+    "arm_owner_cycle": "repro.engine.attacks",
+    "arm_replay_open": "repro.engine.attacks",
+    "arm_spoof_speed_limit": "repro.engine.attacks",
 }
 
 __all__ = sorted(_EXPORTS)

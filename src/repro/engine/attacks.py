@@ -187,3 +187,15 @@ def arm_catalog_attack(scenario: Any, key: str, params: dict[str, Any]) -> Any:
             f"(known: {sorted(ATTACK_CATALOG)})"
         )
     return ATTACK_CATALOG[key](scenario, **params)
+
+
+__all__ = [
+    "ATTACK_CATALOG",
+    "arm_catalog_attack",
+    "arm_flood",
+    "arm_forge_keys",
+    "arm_jam",
+    "arm_owner_cycle",
+    "arm_replay_open",
+    "arm_spoof_speed_limit",
+]

@@ -26,6 +26,7 @@ from repro.engine.attacks import arm_catalog_attack
 from repro.engine.registry import ScenarioRegistry, default_registry
 from repro.engine.spec import VariantSpec
 from repro.errors import ValidationError
+from repro.results import SOURCE_CAMPAIGN, ResultSet, RunRecord, freeze_items
 from repro.testing.harness import TestHarness
 from repro.testing.testcase import TestCase, Verdict
 
@@ -76,6 +77,36 @@ class VariantOutcome:
             for ecu, counts in data["detections_by_control"]
         )
         return cls(**data)
+
+    def to_record(self) -> RunRecord:
+        """This outcome as a uniform :class:`~repro.results.RunRecord`."""
+        use_case = self.scenario.split("-", 1)[0]
+        if use_case not in ("uc1", "uc2"):
+            use_case = ""
+        attrs = {"scenario": self.scenario}
+        if self.attack:
+            attrs["attack"] = self.attack
+        return RunRecord(
+            source=SOURCE_CAMPAIGN,
+            subject=self.variant_id,
+            verdict=self.verdict,
+            passed=self.sut_passed,
+            use_case=use_case,
+            family=self.family,
+            goals=self.violated_goals,
+            metrics=freeze_items(
+                {
+                    "duration_ms": self.duration_ms,
+                    "wall_time_s": self.wall_time_s,
+                    "violations": len(self.violations),
+                    "detections": sum(
+                        count for _, count in self.detections
+                    ),
+                }
+            ),
+            attrs=freeze_items(attrs),
+            notes=self.notes,
+        )
 
 
 @functools.lru_cache(maxsize=None)
@@ -260,6 +291,10 @@ class CampaignResult:
             },
         }
 
+    def to_result_set(self) -> ResultSet:
+        """Every outcome as a :class:`~repro.results.RunRecord` set."""
+        return ResultSet.of(outcome.to_record() for outcome in self.outcomes)
+
     def to_text(self, verbose: bool = False) -> str:
         """Render the campaign as a plain-text report."""
         counts = self.counts()
@@ -369,3 +404,12 @@ class CampaignRunner:
         """Run the given (or all) variants with the configured workers."""
         selected = tuple(variants) if variants is not None else self.select()
         return run_campaign(selected, workers=self.workers, registry=self.registry)
+
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "VariantOutcome",
+    "execute_variant",
+    "run_campaign",
+]

@@ -469,3 +469,13 @@ def default_registry() -> ScenarioRegistry:
     )
     registry.register_family(UC2_SCENARIO, "zone-geometry", _uc2_zone_geometry)
     return registry
+
+
+__all__ = [
+    "BOUND_ATTACKS",
+    "FamilyGenerator",
+    "ScenarioRegistry",
+    "UC1_SCENARIO",
+    "UC2_SCENARIO",
+    "default_registry",
+]

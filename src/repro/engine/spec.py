@@ -16,6 +16,7 @@ campaign worker processes and hash/compare deterministically -- a variant
 from __future__ import annotations
 
 import dataclasses
+import functools
 import importlib
 from typing import Any, Callable, Mapping
 
@@ -57,8 +58,18 @@ def thaw_params(items: ParamItems) -> dict[str, Any]:
     return params
 
 
+@functools.lru_cache(maxsize=None)
 def resolve_factory(path: str) -> Callable[..., Any]:
-    """Resolve a ``"package.module:attribute"`` dotted factory path."""
+    """Resolve a ``"package.module:attribute"`` dotted factory path.
+
+    Resolutions are cached per process: campaign workers build one
+    scenario per variant, and re-walking ``importlib`` plus ``getattr``
+    for every variant is pure overhead.  The cache is fork/spawn-safe by
+    construction -- it holds only module attributes, each worker process
+    re-resolves (and re-caches) from its own interpreter state, and
+    failed resolutions are never cached (``lru_cache`` does not memoise
+    exceptions).
+    """
     module_name, sep, attribute = path.partition(":")
     if not sep or not module_name or not attribute:
         raise ValidationError(
@@ -183,3 +194,13 @@ class VariantSpec:
                 for item in data.get(key, ())
             )
         return cls(**data)
+
+
+__all__ = [
+    "ParamItems",
+    "ScenarioSpec",
+    "VariantSpec",
+    "freeze_params",
+    "resolve_factory",
+    "thaw_params",
+]

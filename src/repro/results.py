@@ -1,0 +1,494 @@
+"""One typed result model for every subsystem (the ``repro.results`` layer).
+
+Before this module existed the reproduction had four disjoint result
+shapes -- :class:`~repro.testing.testcase.TestExecution` verdicts,
+campaign :class:`~repro.engine.campaign.VariantOutcome` rows, fuzz
+:class:`~repro.tara.fuzzing.FuzzReport` outcomes and TARA-HARA
+:class:`~repro.tara.crosscheck.CrossCheckReport` entries -- none of which
+composed: every consumer (CLI, benchmarks, campaign analysis) re-invented
+its own aggregation and its own print-only output.
+
+This module is the common denominator they all adapt into:
+
+* :class:`RunRecord` -- one uniform, frozen, pure-data record, tagged with
+  its source (:data:`SOURCE_PIPELINE`, :data:`SOURCE_CAMPAIGN`,
+  :data:`SOURCE_FUZZ`, :data:`SOURCE_CROSSCHECK`);
+* :class:`ResultSet` -- an immutable collection of records with a query
+  API (:meth:`~ResultSet.filter`, :meth:`~ResultSet.group_by`,
+  :meth:`~ResultSet.pivot`, :meth:`~ResultSet.summary`) and exporters
+  (JSON, CSV, Markdown) that round-trip losslessly.
+
+The module depends only on the standard library and :mod:`repro.errors`,
+so every producer (engine, tara, testing) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.errors import ValidationError
+
+#: Schema tag embedded in every serialised payload; bump on breaking change.
+SCHEMA = "repro.results/v1"
+
+#: A test-case verdict from a Step-4 pipeline execution.
+SOURCE_PIPELINE = "pipeline-verdict"
+#: One executed variant of a scenario campaign.
+SOURCE_CAMPAIGN = "campaign-variant"
+#: One fuzz mutant's outcome from a protocol-guided fuzz campaign.
+SOURCE_FUZZ = "fuzz-outcome"
+#: One damage scenario's classification from the TARA-HARA cross-check.
+SOURCE_CROSSCHECK = "crosscheck-entry"
+
+#: All valid record source tags.
+SOURCES = (
+    SOURCE_PIPELINE,
+    SOURCE_CAMPAIGN,
+    SOURCE_FUZZ,
+    SOURCE_CROSSCHECK,
+)
+
+#: Frozen key/value storage (sorted by key) for metrics and attributes.
+Items = tuple[tuple[str, Any], ...]
+
+
+def freeze_items(mapping: Mapping[str, Any] | Items | None) -> Items:
+    """Normalise a mapping into sorted ``(key, value)`` tuples."""
+    if not mapping:
+        return ()
+    if isinstance(mapping, tuple):
+        mapping = dict(mapping)
+    return tuple((key, mapping[key]) for key in sorted(mapping))
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One uniform result record, tagged with its producing subsystem.
+
+    Every field is a primitive (or a tuple of primitives), so records
+    hash, compare, pickle across process boundaries and serialise without
+    ceremony -- the same plain-data discipline
+    :class:`~repro.engine.spec.VariantSpec` established for inputs.
+
+    Attributes:
+        source: One of :data:`SOURCES`.
+        subject: What was exercised -- an attack id (``AD20``), a variant
+            id (``uc1/parity/ad20``), a mutant name
+            (``open_command/strip_mac``) or a damage-scenario id.
+        verdict: The source-native verdict label (``ATTACK_FAILED``,
+            ``rejected``, ``ALIGNED``, ...).
+        passed: Normalised outcome: ``True`` when the SUT/process held up
+            (attack withstood, mutant rejected), ``False`` when it did
+            not, ``None`` where pass/fail does not apply (cross-check).
+        use_case: ``"uc1"`` / ``"uc2"`` when attributable, else ``""``.
+        family: Source-specific grouping (variant family, fuzz operator,
+            cross-check outcome class).
+        goals: Safety goals involved (targeted or violated).
+        metrics: Numeric measures, frozen as sorted key/value tuples.
+        attrs: String-valued context, frozen as sorted key/value tuples.
+        notes: Free-form explanation.
+    """
+
+    source: str
+    subject: str
+    verdict: str
+    passed: bool | None = None
+    use_case: str = ""
+    family: str = ""
+    goals: tuple[str, ...] = ()
+    metrics: Items = ()
+    attrs: Items = ()
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ValidationError(
+                f"unknown record source {self.source!r} "
+                f"(expected one of {', '.join(SOURCES)})"
+            )
+        if not self.subject:
+            raise ValidationError("run record needs a subject")
+        if not self.verdict:
+            raise ValidationError(
+                f"record for {self.subject!r} needs a verdict"
+            )
+
+    # -- typed accessors ---------------------------------------------------
+
+    def metrics_dict(self) -> dict[str, float]:
+        """The numeric measures as a plain dict."""
+        return {key: value for key, value in self.metrics}
+
+    def attrs_dict(self) -> dict[str, str]:
+        """The string attributes as a plain dict."""
+        return {key: value for key, value in self.attrs}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Uniform field access: dataclass fields, then metrics, attrs.
+
+        This is what the :class:`ResultSet` query API keys on, so
+        ``filter(family=...)`` and ``group_by("operator")`` work the same
+        whether the key is a first-class field or a frozen attribute.
+        """
+        if key in _FIELDS:
+            return getattr(self, key)
+        for items in (self.metrics, self.attrs):
+            for item_key, value in items:
+                if item_key == key:
+                    return value
+        return default
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-ready, schema-tagged)."""
+        return {
+            "schema": SCHEMA,
+            "source": self.source,
+            "subject": self.subject,
+            "verdict": self.verdict,
+            "passed": self.passed,
+            "use_case": self.use_case,
+            "family": self.family,
+            "goals": list(self.goals),
+            "metrics": self.metrics_dict(),
+            "attrs": self.attrs_dict(),
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a record from :meth:`to_payload` output."""
+        schema = payload.get("schema", SCHEMA)
+        if schema != SCHEMA:
+            raise ValidationError(
+                f"record schema mismatch: got {schema!r}, expected {SCHEMA!r}"
+            )
+        return cls(
+            source=payload["source"],
+            subject=payload["subject"],
+            verdict=payload["verdict"],
+            passed=payload.get("passed"),
+            use_case=payload.get("use_case", ""),
+            family=payload.get("family", ""),
+            goals=tuple(payload.get("goals", ())),
+            metrics=freeze_items(payload.get("metrics")),
+            attrs=freeze_items(payload.get("attrs")),
+            notes=payload.get("notes", ""),
+        )
+
+
+_FIELDS = tuple(field.name for field in dataclasses.fields(RunRecord))
+
+#: Fixed CSV column order (metrics/attrs columns are appended per export).
+_CSV_CORE = (
+    "source",
+    "subject",
+    "verdict",
+    "passed",
+    "use_case",
+    "family",
+    "goals",
+    "notes",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ResultSet:
+    """An immutable, queryable collection of :class:`RunRecord` rows.
+
+    Query methods return new :class:`ResultSet` instances; exporters
+    return strings.  Concatenate sets with ``+``.
+    """
+
+    records: tuple[RunRecord, ...] = ()
+
+    @classmethod
+    def of(cls, *sources: "RunRecord | Iterable[RunRecord]") -> "ResultSet":
+        """Build a set from records and/or iterables of records."""
+        collected: list[RunRecord] = []
+        for source in sources:
+            if isinstance(source, RunRecord):
+                collected.append(source)
+            else:
+                collected.extend(source)
+        return cls(records=tuple(collected))
+
+    # -- collection protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.records)
+
+    def __add__(self, other: "ResultSet") -> "ResultSet":
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return ResultSet(records=self.records + other.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    # -- query API ---------------------------------------------------------
+
+    def filter(
+        self,
+        predicate: Callable[[RunRecord], bool] | None = None,
+        **fields: Any,
+    ) -> "ResultSet":
+        """Records matching a predicate and/or field equalities.
+
+        ``fields`` keys are resolved through :meth:`RunRecord.get`, so
+        both dataclass fields and frozen metric/attr keys work::
+
+            results.filter(source=SOURCE_CAMPAIGN, family="parity")
+            results.filter(lambda r: r.passed is False)
+        """
+        selected = []
+        for record in self.records:
+            if predicate is not None and not predicate(record):
+                continue
+            if any(record.get(key) != value for key, value in fields.items()):
+                continue
+            selected.append(record)
+        return ResultSet(records=tuple(selected))
+
+    def group_by(self, key: str) -> dict[Any, "ResultSet"]:
+        """Records grouped by a field/metric/attr value (insertion order)."""
+        grouped: dict[Any, list[RunRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.get(key), []).append(record)
+        return {
+            value: ResultSet(records=tuple(records))
+            for value, records in grouped.items()
+        }
+
+    def pivot(
+        self, rows: str, cols: str, value: str | None = None
+    ) -> dict[Any, dict[Any, float]]:
+        """A two-way table over two keys.
+
+        Without ``value`` the cells are record counts; with ``value``
+        (a metric key) the cells are the metric's mean over the cell's
+        records (cells without the metric are omitted).
+        """
+        table: dict[Any, dict[Any, float]] = {}
+        sums: dict[tuple[Any, Any], tuple[float, int]] = {}
+        for record in self.records:
+            row_key, col_key = record.get(rows), record.get(cols)
+            if value is None:
+                row = table.setdefault(row_key, {})
+                row[col_key] = row.get(col_key, 0) + 1
+                continue
+            metric = record.get(value)
+            if not isinstance(metric, (int, float)) or isinstance(metric, bool):
+                continue
+            total, count = sums.get((row_key, col_key), (0.0, 0))
+            sums[(row_key, col_key)] = (total + float(metric), count + 1)
+        if value is not None:
+            for (row_key, col_key), (total, count) in sums.items():
+                table.setdefault(row_key, {})[col_key] = total / count
+        return table
+
+    def subjects(self) -> tuple[str, ...]:
+        """The distinct subjects, in first-appearance order."""
+        return tuple(dict.fromkeys(record.subject for record in self.records))
+
+    def summary(self) -> dict[str, Any]:
+        """Plain-data roll-up for reporting and CI gates."""
+        by_source: dict[str, int] = {}
+        verdicts: dict[str, int] = {}
+        passed = failed = not_applicable = 0
+        for record in self.records:
+            by_source[record.source] = by_source.get(record.source, 0) + 1
+            verdicts[record.verdict] = verdicts.get(record.verdict, 0) + 1
+            if record.passed is True:
+                passed += 1
+            elif record.passed is False:
+                failed += 1
+            else:
+                not_applicable += 1
+        return {
+            "total": len(self.records),
+            "sources": by_source,
+            "verdicts": verdicts,
+            "passed": passed,
+            "failed": failed,
+            "not_applicable": not_applicable,
+        }
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        """Schema-tagged plain-dict form of the whole set."""
+        return {
+            "schema": SCHEMA,
+            "summary": self.summary(),
+            "records": [record.to_payload() for record in self.records],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The set as a JSON document (schema + summary + records)."""
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=False)
+
+    def to_csv(self) -> str:
+        """The set as CSV: core columns plus one column per metric/attr.
+
+        Metric columns are prefixed ``metric:``, attribute columns
+        ``attr:``, so heterogeneous sources share one header without key
+        collisions and :meth:`from_csv` can reverse the encoding.
+        """
+        metric_keys = sorted(
+            {key for record in self.records for key, _ in record.metrics}
+        )
+        attr_keys = sorted(
+            {key for record in self.records for key, _ in record.attrs}
+        )
+        header = (
+            list(_CSV_CORE)
+            + [f"metric:{key}" for key in metric_keys]
+            + [f"attr:{key}" for key in attr_keys]
+        )
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(header)
+        for record in self.records:
+            metrics = record.metrics_dict()
+            attrs = record.attrs_dict()
+            row = [
+                record.source,
+                record.subject,
+                record.verdict,
+                "" if record.passed is None else str(record.passed).lower(),
+                record.use_case,
+                record.family,
+                ";".join(record.goals),
+                record.notes,
+            ]
+            row += [
+                "" if key not in metrics else repr(metrics[key])
+                for key in metric_keys
+            ]
+            row += [attrs.get(key, "") for key in attr_keys]
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def to_markdown(self, columns: tuple[str, ...] | None = None) -> str:
+        """The set as a GitHub-flavoured Markdown table."""
+        columns = columns or ("source", "subject", "verdict", "passed", "goals")
+        lines = [
+            "| " + " | ".join(columns) + " |",
+            "| " + " | ".join("---" for _ in columns) + " |",
+        ]
+        for record in self.records:
+            cells = []
+            for column in columns:
+                value = record.get(column, "")
+                if isinstance(value, tuple):
+                    value = ", ".join(str(item) for item in value)
+                elif value is None:
+                    value = "-"
+                cells.append(str(value).replace("|", "\\|"))
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    # -- importers ---------------------------------------------------------
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "ResultSet":
+        """Rebuild a set from :meth:`to_payload` output."""
+        schema = payload.get("schema")
+        if schema != SCHEMA:
+            raise ValidationError(
+                f"result-set schema mismatch: got {schema!r}, "
+                f"expected {SCHEMA!r}"
+            )
+        return cls(
+            records=tuple(
+                RunRecord.from_payload(item)
+                for item in payload.get("records", ())
+            )
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "ResultSet":
+        """Parse a :meth:`to_json` document back into a set."""
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"not a result-set document: {exc}") from exc
+        return cls.from_payload(payload)
+
+    @classmethod
+    def from_csv(cls, document: str) -> "ResultSet":
+        """Parse a :meth:`to_csv` document back into a set.
+
+        Metric values round-trip through ``repr``/``literal_eval`` so ints
+        stay ints and floats stay floats.
+        """
+        import ast
+
+        reader = csv.reader(io.StringIO(document))
+        try:
+            header = next(reader)
+        except StopIteration:
+            return cls()
+        missing = [column for column in _CSV_CORE if column not in header]
+        if missing:
+            raise ValidationError(
+                f"CSV document is missing core columns: {missing}"
+            )
+        index = {column: header.index(column) for column in header}
+        records = []
+        for row in reader:
+            if not row:
+                continue
+            passed_text = row[index["passed"]]
+            metrics: dict[str, float] = {}
+            attrs: dict[str, str] = {}
+            for column, position in index.items():
+                cell = row[position]
+                if column.startswith("metric:") and cell != "":
+                    metrics[column[len("metric:"):]] = ast.literal_eval(cell)
+                elif column.startswith("attr:") and cell != "":
+                    attrs[column[len("attr:"):]] = cell
+            records.append(
+                RunRecord(
+                    source=row[index["source"]],
+                    subject=row[index["subject"]],
+                    verdict=row[index["verdict"]],
+                    passed=(
+                        None if passed_text == "" else passed_text == "true"
+                    ),
+                    use_case=row[index["use_case"]],
+                    family=row[index["family"]],
+                    goals=tuple(
+                        goal
+                        for goal in row[index["goals"]].split(";")
+                        if goal
+                    ),
+                    metrics=freeze_items(metrics),
+                    attrs=freeze_items(attrs),
+                    notes=row[index["notes"]],
+                )
+            )
+        return cls(records=tuple(records))
+
+
+__all__ = [
+    "SCHEMA",
+    "SOURCES",
+    "SOURCE_CAMPAIGN",
+    "SOURCE_CROSSCHECK",
+    "SOURCE_FUZZ",
+    "SOURCE_PIPELINE",
+    "Items",
+    "ResultSet",
+    "RunRecord",
+    "freeze_items",
+]

@@ -31,6 +31,7 @@ from repro.tara.damage import (
     safety_relevant,
 )
 from repro.tara.fuzzing import (
+    MUTATION_OPERATORS,
     FuzzCampaign,
     FuzzCase,
     FuzzOutcome,
@@ -75,6 +76,7 @@ __all__ = [
     "MessageFuzzer",
     "ImpactCategory",
     "Knowledge",
+    "MUTATION_OPERATORS",
     "RISK_MATRIX",
     "RiskAssessment",
     "WindowOfOpportunity",

@@ -231,3 +231,13 @@ def _enumerate(
             flattened = flattened + part
         combined.append(flattened)
     return tuple(combined)
+
+
+__all__ = [
+    "AttackNode",
+    "AttackPath",
+    "AttackStep",
+    "AttackTree",
+    "and_node",
+    "or_node",
+]

@@ -25,6 +25,7 @@ import enum
 import re
 
 from repro.model.safety import HazardRating
+from repro.results import SOURCE_CROSSCHECK, ResultSet, RunRecord, freeze_items
 from repro.tara.damage import DamageScenario
 
 _STOPWORDS = frozenset(
@@ -57,6 +58,35 @@ class CrossCheckEntry:
     matched_ratings: tuple[HazardRating, ...] = ()
     evidence: tuple[str, ...] = ()
 
+    def to_record(self) -> RunRecord:
+        """This entry as a uniform :class:`~repro.results.RunRecord`.
+
+        Cross-check entries carry no pass/fail semantics (both outcomes
+        are legitimate §II-B classifications), so ``passed`` is ``None``.
+        """
+        functions = tuple(
+            dict.fromkeys(
+                rating.function.identifier for rating in self.matched_ratings
+            )
+        )
+        attrs = {}
+        if self.damage.asset:
+            attrs["asset"] = self.damage.asset
+        if functions:
+            attrs["functions"] = ";".join(functions)
+        return RunRecord(
+            source=SOURCE_CROSSCHECK,
+            subject=self.damage.identifier,
+            verdict=self.outcome.name,
+            passed=None,
+            family=self.outcome.name.lower().replace("_", "-"),
+            metrics=freeze_items(
+                {"matched_ratings": len(self.matched_ratings)}
+            ),
+            attrs=freeze_items(attrs),
+            notes="; ".join(self.evidence),
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class CrossCheckReport:
@@ -81,6 +111,10 @@ class CrossCheckReport:
             for entry in self.entries
             if entry.outcome is CrossCheckOutcome.SECURITY_ONLY
         )
+
+    def to_result_set(self) -> ResultSet:
+        """Every entry as a :class:`~repro.results.RunRecord` set."""
+        return ResultSet.of(entry.to_record() for entry in self.entries)
 
     def uncovered_ratings(
         self, ratings: list[HazardRating]
@@ -176,3 +210,11 @@ def _significant_words(text: str) -> set[str]:
     return {
         word for word in words if len(word) > 2 and word not in _STOPWORDS
     }
+
+
+__all__ = [
+    "CrossCheckEntry",
+    "CrossCheckOutcome",
+    "CrossCheckReport",
+    "cross_check",
+]

@@ -97,3 +97,10 @@ def safety_relevant(
     return tuple(
         scenario for scenario in scenarios if scenario.is_safety_relevant
     )
+
+
+__all__ = [
+    "DamageScenario",
+    "ImpactCategory",
+    "safety_relevant",
+]

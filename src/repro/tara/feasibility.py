@@ -120,3 +120,14 @@ def rate_feasibility(
         equipment=equipment,
     )
     return potential.feasibility
+
+
+__all__ = [
+    "AttackPotential",
+    "ElapsedTime",
+    "Equipment",
+    "Expertise",
+    "Knowledge",
+    "WindowOfOpportunity",
+    "rate_feasibility",
+]

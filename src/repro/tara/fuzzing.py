@@ -27,6 +27,7 @@ import random
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.results import SOURCE_FUZZ, ResultSet, RunRecord, freeze_items
 from repro.sim.clock import SimClock
 from repro.sim.controls.base import ControlPipeline
 from repro.sim.network import Message
@@ -68,6 +69,21 @@ class FuzzOutcome:
     rejecting_control: str = ""
     reason: str = ""
 
+    def to_record(self) -> RunRecord:
+        """This outcome as a uniform :class:`~repro.results.RunRecord`."""
+        attrs = {"kind": self.case.message.kind}
+        if self.rejecting_control:
+            attrs["control"] = self.rejecting_control
+        return RunRecord(
+            source=SOURCE_FUZZ,
+            subject=self.case.name,
+            verdict="rejected" if self.rejected else "accepted",
+            passed=self.rejected,
+            family=self.case.operator,
+            attrs=freeze_items(attrs),
+            notes=self.reason,
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class FuzzReport:
@@ -103,6 +119,10 @@ class FuzzReport:
         return len(
             [i for i in self.interfaces_planned if i in fuzzed]
         ) / len(self.interfaces_planned)
+
+    def to_result_set(self) -> ResultSet:
+        """Every mutant outcome as a :class:`~repro.results.RunRecord` set."""
+        return ResultSet.of(outcome.to_record() for outcome in self.outcomes)
 
     def by_operator(self) -> dict[str, tuple[int, int]]:
         """Operator -> (rejected, accepted) counts."""
@@ -273,3 +293,14 @@ class FuzzCampaign:
             interfaces_planned=self._plan.interfaces,
             interfaces_fuzzed=tuple(dict.fromkeys(self._fuzzed_interfaces)),
         )
+
+
+__all__ = [
+    "FuzzCampaign",
+    "FuzzCase",
+    "FuzzOutcome",
+    "FuzzPlan",
+    "FuzzReport",
+    "MUTATION_OPERATORS",
+    "MessageFuzzer",
+]

@@ -117,3 +117,11 @@ class RiskAssessment:
     def requires_testing(self, risk_threshold: RiskLevel = RiskLevel.R2) -> bool:
         """True when the risk is at or above the given treatment threshold."""
         return self.risk >= risk_threshold
+
+
+__all__ = [
+    "RISK_MATRIX",
+    "RiskAssessment",
+    "determine_cal",
+    "determine_risk",
+]

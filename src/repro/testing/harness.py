@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import HarnessError
+from repro.results import ResultSet
 from repro.testing.testcase import TestCase, TestExecution, Verdict
 
 
@@ -146,6 +147,13 @@ class CampaignReport:
             "attack_succeeded": len(self.sut_failed),
             "inconclusive": len(self.inconclusive),
         }
+
+    def to_result_set(self, use_case: str = "") -> ResultSet:
+        """Every execution as a :class:`~repro.results.RunRecord` set."""
+        return ResultSet.of(
+            execution.to_record(use_case=use_case)
+            for execution in self.executions
+        )
 
     def to_text(self) -> str:
         """Render the campaign as a plain-text report."""

@@ -19,6 +19,7 @@ from typing import Any, Callable
 
 from repro.errors import ValidationError
 from repro.model.identifiers import require_attack_id
+from repro.results import SOURCE_PIPELINE, RunRecord, freeze_items
 from repro.testing.oracles import Oracle
 
 
@@ -113,3 +114,28 @@ class TestExecution:
     def summary(self) -> str:
         """One-line result summary."""
         return f"{self.test.attack_id} [{self.test.title}]: {self.verdict.value}"
+
+    def to_record(self, use_case: str = "") -> RunRecord:
+        """This execution as a uniform :class:`~repro.results.RunRecord`."""
+        attrs = {
+            "title": self.test.title,
+            "success_observed": str(self.success_observed).lower(),
+            "failure_observed": str(self.failure_observed).lower(),
+        }
+        violated = getattr(self.scenario_result, "violated_goals", None)
+        if callable(violated):
+            violated_goals = tuple(violated())
+            if violated_goals:
+                attrs["violated"] = ";".join(violated_goals)
+        return RunRecord(
+            source=SOURCE_PIPELINE,
+            subject=self.test.attack_id,
+            verdict=self.verdict.name,
+            passed=self.sut_passed,
+            use_case=use_case,
+            family="bound-attack",
+            goals=self.test.safety_goal_ids,
+            metrics=freeze_items({"duration_ms": self.test.duration_ms}),
+            attrs=freeze_items(attrs),
+            notes=self.notes,
+        )

@@ -1,9 +1,12 @@
 """The paper's two evaluated use cases, fully encoded (§IV).
 
-Each module provides ``build_hara()``, ``build_attacks()``,
-``build_pipeline()`` (the complete Steps 1-3 run with passing RQ1 audits)
-and ``build_bindings()`` (the Step 4 executable bindings for the attacks
-the paper details).
+Each module provides the per-step factories (``build_hara()``,
+``build_attacks()``, ``build_bindings()``) plus its declarative
+registration for the :mod:`repro.api` facade: ``DEFINITION`` (a
+:class:`~repro.api.UseCaseDefinition`) and ``pipeline_builder()`` (an
+immutable, pre-staged :class:`~repro.api.PipelineBuilder`).  The old
+monolithic ``build_pipeline()`` entry points remain as deprecation shims
+routed through the same builder.
 """
 
 from repro.usecases import uc1_autonomous_driving as uc1

@@ -18,6 +18,9 @@ the complete published analysis:
 
 from __future__ import annotations
 
+import warnings
+
+from repro.api import PipelineBuilder, UseCaseDefinition
 from repro.core.derivation import AttackDeriver, AttackDescriptionSet
 from repro.core.pipeline import SaSeValPipeline
 from repro.dsl.compiler import BindingRegistry
@@ -528,19 +531,37 @@ def build_attacks(library: ThreatLibrary | None = None) -> AttackDescriptionSet:
     return attacks
 
 
+def pipeline_builder() -> PipelineBuilder:
+    """An immutable builder staged with the complete UC II analysis.
+
+    ``pipeline_builder().build()`` is the supported way to obtain the
+    UC II pipeline; fork the builder (e.g. ``.require_complete(False)``)
+    for experiments.
+    """
+    return DEFINITION.builder()
+
+
 def build_pipeline(require_complete: bool = True) -> SaSeValPipeline:
-    """Assemble the full UC II SaSeVAL pipeline (Steps 1-3 + audits)."""
-    pipeline = SaSeValPipeline(name=USE_CASE_NAME)
-    library = build_catalog()
-    pipeline.provide_threat_library(library)
-    pipeline.provide_safety_analysis(build_hara())
-    deriver = pipeline.begin_attack_description()
-    for attack in build_attacks(library):
-        deriver.results.add(attack)
-    for threat_id, reason in JUSTIFICATIONS.items():
-        pipeline.justify(threat_id, reason, author="UC2 analysis")
-    pipeline.finish_attack_description(require_complete=require_complete)
-    return pipeline
+    """Deprecated shim: the UC II pipeline via the legacy step protocol.
+
+    Use :func:`pipeline_builder` (or
+    ``repro.api.Workspace().pipeline("uc2")``) instead.  The shim routes
+    through the same builder, so every artifact is identical to the
+    pre-redesign path.
+    """
+    warnings.warn(
+        "uc2.build_pipeline() is deprecated; use "
+        "uc2.pipeline_builder().build() or "
+        "repro.api.Workspace().pipeline('uc2')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return (
+        pipeline_builder()
+        .require_complete(require_complete)
+        .build()
+        .to_legacy()
+    )
 
 
 # -- executable bindings (Step 4) ------------------------------------------
@@ -706,3 +727,17 @@ def build_bindings() -> BindingRegistry:
     registry.bind_id("AD04", _bind_ad04)
     registry.bind_id("AD28", _bind_ad28)
     return registry
+
+
+#: UC II as declarative stage registrations: the factories for each
+#: process step, consumed by the :mod:`repro.api` builder/Workspace.
+DEFINITION = UseCaseDefinition(
+    key="uc2",
+    title=USE_CASE_NAME,
+    threat_library=build_catalog,
+    hara=build_hara,
+    attacks=build_attacks,
+    justifications=tuple(JUSTIFICATIONS.items()),
+    bindings=build_bindings,
+    author="UC2 analysis",
+)

@@ -1,0 +1,141 @@
+"""Tests for the machine-readable bench harness (repro.bench + CLI)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    BENCH_SUITES,
+    BenchRecord,
+    bench_file_payload,
+    records_from_pytest_benchmark,
+    validate_bench_payload,
+    validate_record,
+    write_bench_file,
+)
+from repro.cli import main
+from repro.errors import ValidationError
+from repro.results import freeze_items
+
+
+def make_record(**overrides) -> BenchRecord:
+    base = dict(
+        suite="rq1",
+        name="uc1_pipeline_complete",
+        status="ok",
+        metrics=freeze_items({"build_s": 0.01, "attacks": 23}),
+        meta=freeze_items({"title": "Use Case I"}),
+    )
+    base.update(overrides)
+    return BenchRecord(**base)
+
+
+class TestBenchRecord:
+    def test_payload_round_trip(self):
+        record = make_record()
+        payload = record.to_payload()
+        assert payload["schema"] == BENCH_SCHEMA
+        assert BenchRecord.from_payload(payload) == record
+
+    def test_non_numeric_metric_rejected(self):
+        with pytest.raises(ValidationError, match="must be numeric"):
+            make_record(metrics=freeze_items({"label": "fast"}))
+        with pytest.raises(ValidationError, match="must be numeric"):
+            make_record(metrics=freeze_items({"flag": True}))
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(ValidationError, match="status"):
+            make_record(status="crashed")
+
+    def test_validate_record_schema_contract(self):
+        good = make_record().to_payload()
+        validate_record(good)
+
+        for mutate, match in (
+            (lambda p: p.update(schema="repro.bench/v0"), "schema mismatch"),
+            (lambda p: p.update(suite=""), "non-empty string"),
+            (lambda p: p.update(status="maybe"), "status"),
+            (lambda p: p["metrics"].update(x="nan-ish"), "numeric"),
+            (lambda p: p["meta"].update(extra=42), "string"),
+        ):
+            payload = json.loads(json.dumps(good))
+            mutate(payload)
+            with pytest.raises(ValidationError, match=match):
+                validate_record(payload)
+
+
+class TestBenchFiles:
+    def test_write_and_validate_bench_file(self, tmp_path):
+        records = [make_record(), make_record(name="uc2_pipeline_complete")]
+        path = write_bench_file("rq1", records, tmp_path)
+        assert path.name == "BENCH_rq1.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        validate_bench_payload(payload)
+        assert [r["name"] for r in payload["records"]] == [
+            "uc1_pipeline_complete",
+            "uc2_pipeline_complete",
+        ]
+
+    def test_foreign_suite_record_rejected(self):
+        payload = bench_file_payload("rq1", [make_record(suite="rq2")])
+        with pytest.raises(ValidationError, match="suite"):
+            validate_bench_payload(payload)
+
+    def test_pytest_benchmark_conversion(self):
+        report = {
+            "benchmarks": [
+                {
+                    "name": "test_table1_scenarios",
+                    "stats": {
+                        "mean": 0.5,
+                        "min": 0.4,
+                        "max": 0.7,
+                        "stddev": 0.01,
+                        "rounds": 5,
+                    },
+                    "extra_info": {"rows": 5, "label": "Table I"},
+                }
+            ]
+        }
+        records = records_from_pytest_benchmark("table1_scenarios", report)
+        assert len(records) == 1
+        record = records[0]
+        assert record.suite == "table1_scenarios"
+        assert record.metrics_dict()["mean_s"] == 0.5
+        assert record.metrics_dict()["rounds"] == 5
+        assert record.meta == freeze_items({"rows": "5", "label": "Table I"})
+        validate_record(record.to_payload())
+
+
+class TestBenchCli:
+    def test_bench_list_enumerates_suites(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == list(BENCH_SUITES)
+        assert {"rq1", "rq2", "scalability"} <= set(out)
+
+    def test_unknown_suite_errors(self, tmp_path, capsys):
+        assert main(
+            ["bench", "--suite", "rq9", "--out", str(tmp_path)]
+        ) == 1
+        assert "unknown bench suite" in capsys.readouterr().err
+
+    def test_bench_json_smoke_runs_all_suites(self, tmp_path, capsys):
+        """`repro bench --json` runs RQ1/RQ2/scalability and writes
+        schema-valid BENCH_*.json records (acceptance gate)."""
+        assert main(["bench", "--json", "--out", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert set(payload["suites"]) == set(BENCH_SUITES)
+        for suite, records in payload["suites"].items():
+            assert records, f"suite {suite} produced no records"
+            for record in records:
+                validate_record(record)
+                assert record["status"] == "ok"
+        for suite in BENCH_SUITES:
+            written = tmp_path / f"BENCH_{suite}.json"
+            assert written.exists()
+            validate_bench_payload(
+                json.loads(written.read_text(encoding="utf-8"))
+            )

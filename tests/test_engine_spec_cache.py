@@ -1,0 +1,64 @@
+"""Tests for the cached dotted-path factory resolution (engine.spec)."""
+
+import multiprocessing
+
+import pytest
+
+from repro.engine.spec import resolve_factory
+from repro.errors import ValidationError
+
+_PATH = "repro.sim.scenarios:KeylessEntryScenario"
+
+
+def _child_probe(path: str) -> tuple[str, int, bool]:
+    """Worker-side probe: resolve, then resolve again (must hit the
+    child's own cache) and build a scenario from the factory."""
+    resolve_factory.cache_clear()
+    factory = resolve_factory(path)
+    again = resolve_factory(path)
+    scenario = factory()
+    return (
+        factory.__name__,
+        resolve_factory.cache_info().hits,
+        again is factory and scenario is not None,
+    )
+
+
+class TestResolveFactoryCache:
+    def test_resolution_is_cached(self):
+        resolve_factory.cache_clear()
+        first = resolve_factory(_PATH)
+        second = resolve_factory(_PATH)
+        assert first is second
+        info = resolve_factory.cache_info()
+        assert info.hits >= 1
+        assert info.misses == 1
+
+    def test_invalid_paths_raise_every_time(self):
+        """lru_cache never memoises exceptions -- bad paths keep failing
+        loudly instead of being served from the cache."""
+        resolve_factory.cache_clear()
+        for _ in range(2):
+            with pytest.raises(ValidationError, match="factory path"):
+                resolve_factory("not-a-path")
+        for _ in range(2):
+            with pytest.raises(ValidationError, match="no attribute"):
+                resolve_factory("repro.sim.scenarios:Missing")
+        assert resolve_factory.cache_info().currsize == 0
+
+    @pytest.mark.parametrize(
+        "method", multiprocessing.get_all_start_methods()
+    )
+    def test_cache_is_fork_and_spawn_safe(self, method):
+        """Each worker process resolves from its own interpreter state:
+        parent cache entries never leak stale callables into children,
+        and children rebuild a working cache under fork AND spawn."""
+        resolve_factory(_PATH)  # prime the parent cache
+        context = multiprocessing.get_context(method)
+        with context.Pool(processes=1) as pool:
+            name, child_hits, child_ok = pool.apply(_child_probe, (_PATH,))
+        assert name == "KeylessEntryScenario"
+        assert child_hits >= 1
+        assert child_ok
+        # the parent cache is untouched by the child's cache_clear
+        assert resolve_factory(_PATH).__name__ == "KeylessEntryScenario"
