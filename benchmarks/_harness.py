@@ -13,12 +13,21 @@ output), converts the result into the schema-stable ``repro.bench``
 record shape, and writes ``BENCH_<name>.json`` next to the current
 working directory (or ``--out DIR``) -- so every invocation feeds the
 perf trajectory instead of printing and discarding.
+
+Campaign-driving scripts execute through the :mod:`repro.runtime`
+layer: :func:`campaign_backend` resolves the backend each repetition
+runs on from the ``REPRO_BACKEND``/``REPRO_JOBS`` environment (serial by
+default), and ``main`` accepts ``--backend``/``--jobs`` to set those
+variables for the pytest child -- one flag pair parallelises any bench
+script without touching it.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
+import os
 import pathlib
 import sys
 import tempfile
@@ -34,6 +43,25 @@ from repro.bench import (  # noqa: E402
     records_from_pytest_benchmark,
     write_bench_file,
 )
+from repro.runtime import (  # noqa: E402
+    BACKEND_ENV,
+    JOBS_ENV,
+    backend_from_env,
+)
+
+
+@functools.lru_cache(maxsize=None)
+def campaign_backend():
+    """The execution backend bench repetitions run on (env-resolved).
+
+    Scripts pass this to ``run_campaign(backend=...)`` so a harness (or
+    a user exporting ``REPRO_BACKEND=process REPRO_JOBS=4``) can
+    parallelise every campaign-driving benchmark uniformly.  Unset
+    environment means the serial default -- identical behaviour to the
+    pre-runtime scripts.  Cached per process so repetitions reuse one
+    warm worker pool instead of paying startup every round.
+    """
+    return backend_from_env()
 
 
 def main(script_path: str, argv: list[str] | None = None) -> int:
@@ -48,9 +76,22 @@ def main(script_path: str, argv: list[str] | None = None) -> int:
         "--out", default=".", help="directory for BENCH_<name>.json"
     )
     parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None,
+        help="execution backend for campaign repetitions "
+        f"(sets {BACKEND_ENV})",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help=f"concurrent jobs on the chosen backend (sets {JOBS_ENV})",
+    )
+    parser.add_argument(
         "pytest_args", nargs="*", help="extra arguments passed to pytest"
     )
     options = parser.parse_args(argv)
+    if options.backend is not None:
+        os.environ[BACKEND_ENV] = options.backend
+    if options.jobs is not None:
+        os.environ[JOBS_ENV] = str(options.jobs)
 
     script = pathlib.Path(script_path).resolve()
     suite = script.stem.removeprefix("bench_")

@@ -23,7 +23,10 @@ from repro.engine.registry import default_registry
 
 def _outcomes(variant_ids):
     by_id = {v.variant_id: v for v in default_registry().variants()}
-    result = run_campaign([by_id[vid] for vid in variant_ids], workers=1)
+    result = run_campaign(
+        [by_id[vid] for vid in variant_ids],
+        backend=_harness.campaign_backend(),
+    )
     return {outcome.variant_id: outcome for outcome in result.outcomes}
 
 

@@ -9,21 +9,20 @@ ablation results can be trusted:
 * **beacon sweep has no false positives**: across the registry's RSU
   beacon-period sweep the stock control stack never flags the legitimate
   RSU;
-* **campaign fan-out**: the parallel campaign path produces outcomes
-  bit-identical to the serial path, and (on hardware with enough cores)
-  completes the same variant list at least twice as fast with four
-  workers;
+* **campaign fan-out**: the process-backend campaign path produces
+  outcomes bit-identical to the serial path, and (on hardware with
+  enough cores) completes the same variant list at least twice as fast
+  with four workers;
 * **library-scaling**: threat-library queries and the RQ1 audit stay
   near-linear as the library grows 50x.
 
-Every SUT execution here goes through :mod:`repro.engine.campaign` --
-the scenarios are addressed as registry variants, not as hard-coded
-classes.
+Every SUT execution here goes through :mod:`repro.engine.campaign` on a
+:mod:`repro.runtime` execution backend -- the scenarios are addressed as
+registry variants, not as hard-coded classes, and the single-run sweeps
+honour ``--backend``/``--jobs`` (via :func:`_harness.campaign_backend`).
 """
 
 import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
-
-import os
 
 from repro.engine.campaign import run_campaign
 from repro.engine.registry import default_registry
@@ -31,6 +30,7 @@ from repro.engine.spec import VariantSpec, freeze_params
 from repro.model.asset import Asset, AssetGroup
 from repro.model.scenario import Scenario
 from repro.model.threat import StrideType, ThreatScenario
+from repro.runtime import ProcessBackend, usable_cpus
 from repro.threatlib.library import ThreatLibrary
 
 #: Geometry shared by the flood-rate sweep: a close-in zone keeps each
@@ -67,7 +67,7 @@ def test_flood_rate_sweep(benchmark):
         # 0.25 ms gap saturates the channel (4 msg/ms, far over the OBU's
         # 2 msg/ms service rate); 2 ms gap is comfortably under it.
         variants = [flood_variant(i) for i in (0.25, 0.5, 2.0)]
-        return run_campaign(variants, workers=1)
+        return run_campaign(variants, backend=_harness.campaign_backend())
 
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)
     violated = {
@@ -97,7 +97,9 @@ def test_beacon_sweep_has_no_false_positives(benchmark):
     assert len(variants) >= 10
 
     result = benchmark.pedantic(
-        lambda: run_campaign(variants, workers=1), rounds=1, iterations=1
+        lambda: run_campaign(variants, backend=_harness.campaign_backend()),
+        rounds=1,
+        iterations=1,
     )
     detections = {
         outcome.variant_id: dict(outcome.detections).get("OBU", 0)
@@ -105,13 +107,6 @@ def test_beacon_sweep_has_no_false_positives(benchmark):
     }
     assert all(count == 0 for count in detections.values())
     assert all(outcome.sut_passed for outcome in result.outcomes)
-
-
-def _usable_cpus() -> int:
-    """CPUs this process may use (sched_getaffinity is Linux-only)."""
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
 
 
 def _fanout_variants():
@@ -126,11 +121,18 @@ def test_campaign_parallel_fanout(benchmark):
     variants = _fanout_variants()
     assert len(variants) >= 20
 
-    serial = run_campaign(variants, workers=1)
-    parallel = benchmark.pedantic(
-        lambda: run_campaign(variants, workers=4), rounds=1, iterations=1
-    )
+    serial = run_campaign(variants, backend="serial")
+    backend = ProcessBackend(jobs=4)
+    try:
+        parallel = benchmark.pedantic(
+            lambda: run_campaign(variants, backend=backend),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        backend.shutdown()
     assert parallel.workers == 4
+    assert parallel.backend == "process"
     assert [o.variant_id for o in serial.outcomes] == [
         o.variant_id for o in parallel.outcomes
     ]
@@ -140,7 +142,7 @@ def test_campaign_parallel_fanout(benchmark):
         assert mine.detections == theirs.detections, mine.variant_id
 
     speedup = serial.wall_time_s / max(parallel.wall_time_s, 1e-9)
-    cpus = _usable_cpus()
+    cpus = usable_cpus()
     benchmark.extra_info["serial_s"] = round(serial.wall_time_s, 3)
     benchmark.extra_info["parallel_s"] = round(parallel.wall_time_s, 3)
     benchmark.extra_info["speedup"] = round(speedup, 2)

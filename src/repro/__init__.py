@@ -57,12 +57,20 @@ from repro.model.attack import AttackCategory, AttackDescription
 from repro.model.ratings import Asil
 from repro.model.safety import SafetyConcern, SafetyGoal
 from repro.model.threat import AttackType, StrideType, ThreatScenario
-from repro.results import ResultSet, RunRecord
+from repro.results import ResultSet, ResultSink, RunRecord
+from repro.runtime import (
+    CancelToken,
+    ProcessBackend,
+    Runtime,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.threatlib.builder import ThreatLibraryBuilder
 from repro.threatlib.catalog import build_catalog
 from repro.threatlib.library import ThreatLibrary
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Asil",
@@ -71,20 +79,26 @@ __all__ = [
     "AttackDescription",
     "AttackDescriptionSet",
     "AttackType",
+    "CancelToken",
     "CompletenessAuditor",
     "CompletenessReport",
     "Hara",
     "Pipeline",
     "PipelineBuilder",
     "Prioritizer",
+    "ProcessBackend",
     "ResultSet",
+    "ResultSink",
     "RunRecord",
+    "Runtime",
     "SaSeValPipeline",
     "SafetyConcern",
     "SafetyGoal",
+    "SerialBackend",
     "Step",
     "StrideType",
     "TestPlan",
+    "ThreadBackend",
     "ThreatLibrary",
     "ThreatLibraryBuilder",
     "ThreatScenario",
@@ -95,5 +109,6 @@ __all__ = [
     "build_catalog",
     "default_workspace",
     "determine_asil",
+    "make_backend",
     "stage_graph",
 ]

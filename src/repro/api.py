@@ -389,6 +389,8 @@ class Workspace:
         self,
         definitions: Iterable[UseCaseDefinition] | None = None,
         registry: Any | None = None,
+        backend: Any | None = None,
+        jobs: int | None = None,
     ) -> None:
         if definitions is None:
             definitions = _default_definitions()
@@ -396,6 +398,11 @@ class Workspace:
         for definition in definitions:
             self.register(definition)
         self._registry = registry
+        # The workspace-wide execution default; campaign() can override
+        # per call.  Stored as the (name, jobs) spec, resolved lazily so
+        # constructing a Workspace never spins up worker pools.
+        self._backend_spec = backend
+        self._jobs = jobs
         self._pipelines: dict[str, Pipeline] = {}
         self._records: list[RunRecord] = []
 
@@ -456,27 +463,57 @@ class Workspace:
         family: str | None = None,
         attack: str | None = None,
         limit: int | None = None,
-        workers: int = 1,
+        workers: int | None = None,
         variants: Iterable[Any] | None = None,
+        *,
+        backend: Any | None = None,
+        jobs: int | None = None,
+        on_error: str = "raise",
+        on_event: Any | None = None,
+        cancel: Any | None = None,
     ):
-        """Run a scenario campaign; outcomes join the result set.
+        """Run a scenario campaign; outcomes **stream** into the result set.
 
         Filters mirror :meth:`repro.engine.registry.ScenarioRegistry
         .variants`; pass ``variants`` to run an explicit list instead.
-        Returns the :class:`~repro.engine.campaign.CampaignResult`.
+        Execution goes through the :mod:`repro.runtime` layer:
+        ``backend``/``jobs`` (per call, falling back to the workspace
+        defaults) pick where variants run -- ``workers=N`` remains as the
+        legacy process-pool shorthand.  Each outcome's record joins the
+        workspace result set the moment its job completes, so
+        :meth:`results` reflects a still-running campaign when called
+        from an ``on_event`` callback.  Returns the
+        :class:`~repro.engine.campaign.CampaignResult`.
         """
         # Imported lazily: the engine pulls in the whole simulator stack,
         # which pipeline-only workspace uses should not pay for.
         from repro.engine.campaign import CampaignRunner
+        from repro.results import ResultSink
 
-        runner = CampaignRunner(registry=self._registry, workers=workers)
+        if backend is None and jobs is None and workers is None:
+            backend, jobs = self._backend_spec, self._jobs
+        if backend is None and jobs is None:
+            runner = CampaignRunner(registry=self._registry, workers=workers)
+        else:
+            if workers is not None:
+                raise ValidationError(
+                    "pass either workers= or backend=/jobs=, not both"
+                )
+            runner = CampaignRunner(
+                registry=self._registry, backend=backend, jobs=jobs
+            )
         if variants is None:
             variants = runner.select(
                 scenario=scenario, family=family, attack=attack, limit=limit
             )
-        result = runner.run(variants)
-        self._records.extend(result.to_result_set())
-        return result
+        sink = ResultSink(on_record=self._records.append)
+        return runner.run(
+            variants,
+            sink=sink,
+            on_error=on_error,
+            on_event=on_event,
+            cancel=cancel,
+        )
 
     def crosscheck(
         self,

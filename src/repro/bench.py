@@ -16,8 +16,11 @@ module gives every producer one record shape:
   ``benchmarks/_harness.py`` so the pytest-benchmark scripts emit the
   same records;
 * the built-in suites behind ``repro bench`` (:data:`BENCH_SUITES`):
-  RQ1 completeness, RQ2 reduction and campaign scalability, implemented
-  on the :class:`~repro.api.Workspace` facade.
+  RQ1 completeness, RQ2 reduction, campaign scalability, and the
+  execution-backend comparison (``backends``: serial vs thread vs
+  process on the scalability campaign), implemented on the
+  :class:`~repro.api.Workspace` facade and the :mod:`repro.runtime`
+  layer.
 """
 
 from __future__ import annotations
@@ -356,25 +359,46 @@ def bench_rq2() -> list[BenchRecord]:
     return records
 
 
-def bench_scalability(workers: int = 2) -> list[BenchRecord]:
-    """Campaign fan-out: serial vs parallel verdict-identical runs."""
-    from repro.api import Workspace
-    from repro.engine.campaign import run_campaign
+def _scalability_variants():
+    """The quick scalability campaign (small, latency-dominated runs)."""
     from repro.engine.registry import default_registry
 
-    variants = default_registry().variants(
+    return default_registry().variants(
         scenario="uc2-keyless-entry", family="zone-geometry"
     ) + default_registry().variants(
         scenario="uc2-keyless-entry", family="attacker-timing", limit=6
     )
-    serial = run_campaign(variants, workers=1)
-    parallel = run_campaign(variants, workers=workers)
+
+
+def _backend_bench_variants():
+    """The backend-comparison campaign: heavy enough that per-variant
+    compute (hundreds of ms each) dominates pool startup, so backend
+    differences measure execution, not process-spawn latency."""
+    from repro.engine.registry import default_registry
+
+    return default_registry().variants(
+        scenario="uc1-construction-site", family="control-ablation"
+    ) + default_registry().variants(
+        scenario="uc1-construction-site", family="traffic-density"
+    )
+
+
+def bench_scalability(workers: int = 2) -> list[BenchRecord]:
+    """Campaign fan-out: serial vs process verdict-identical runs."""
+    from repro.api import Workspace
+    from repro.engine.campaign import run_campaign
+    from repro.runtime import ProcessBackend
+
+    variants = _scalability_variants()
+    serial = run_campaign(variants, backend="serial")
+    with ProcessBackend(jobs=workers) as pool:
+        parallel = run_campaign(variants, backend=pool)
     agree = [o.verdict for o in serial.outcomes] == [
         o.verdict for o in parallel.outcomes
     ]
     workspace = Workspace()
     facade = workspace.campaign(
-        scenario="uc2-keyless-entry", family="zone-geometry", workers=1
+        scenario="uc2-keyless-entry", family="zone-geometry"
     )
     facade_agree = [o.verdict for o in facade.outcomes] == [
         o.verdict for o in serial.outcomes[: facade.total]
@@ -409,11 +433,97 @@ def bench_scalability(workers: int = 2) -> list[BenchRecord]:
     ]
 
 
+def bench_backends(jobs: int | None = None) -> list[BenchRecord]:
+    """Serial vs thread vs process wall-clock on the scalability campaign.
+
+    One record per backend plus a ``speedup`` record capturing the
+    serial/process and serial/thread ratios and the verdict-parity bit.
+    The process-speedup gate is CPU-aware: multi-core hosts must show a
+    real win, a single-CPU host (where a CPU-bound pool cannot beat
+    serial) only has to keep the overhead bounded -- the same graded
+    contract ``benchmarks/bench_scalability.py`` applies.
+    """
+    from repro.engine.campaign import run_campaign
+    from repro.runtime import (
+        ProcessBackend,
+        SerialBackend,
+        ThreadBackend,
+        usable_cpus,
+    )
+
+    cpus = usable_cpus()
+    jobs = jobs if jobs is not None else max(2, min(4, cpus))
+    variants = _backend_bench_variants()
+    records: list[BenchRecord] = []
+    runs = {}
+    for backend in (
+        SerialBackend(),
+        ThreadBackend(jobs=jobs),
+        ProcessBackend(jobs=jobs),
+    ):
+        with backend:  # each comparison leg releases its workers
+            result = run_campaign(variants, backend=backend)
+        runs[backend.name] = result
+        records.append(
+            BenchRecord(
+                suite="backends",
+                name=f"campaign_{backend.name}",
+                metrics=freeze_items(
+                    {
+                        "variants": result.total,
+                        "jobs": result.workers,
+                        "wall_s": result.wall_time_s,
+                    }
+                ),
+                meta=freeze_items({"backend": backend.name}),
+            )
+        )
+    serial_s = runs["serial"].wall_time_s
+    process_s = max(runs["process"].wall_time_s, 1e-9)
+    thread_s = max(runs["thread"].wall_time_s, 1e-9)
+    parity = all(
+        [o.verdict for o in runs[name].outcomes]
+        == [o.verdict for o in runs["serial"].outcomes]
+        for name in ("thread", "process")
+    )
+    process_speedup = serial_s / process_s
+    # Multi-core: the process pool must genuinely beat serial.  A lone
+    # CPU cannot parallelise CPU-bound work, so the gate degrades to an
+    # overhead bound instead of silently passing or always failing.
+    if cpus >= 4:
+        fast_enough = process_speedup >= 1.2
+    elif cpus >= 2:
+        fast_enough = process_speedup > 1.0
+    else:
+        fast_enough = process_speedup >= 0.3
+    records.append(
+        BenchRecord(
+            suite="backends",
+            name="speedup",
+            status="ok" if (parity and fast_enough) else "failed",
+            metrics=freeze_items(
+                {
+                    "cpus": cpus,
+                    "jobs": jobs,
+                    "serial_s": serial_s,
+                    "thread_s": thread_s,
+                    "process_s": process_s,
+                    "thread_speedup": serial_s / thread_s,
+                    "process_speedup": process_speedup,
+                    "verdict_parity": 1 if parity else 0,
+                }
+            ),
+        )
+    )
+    return records
+
+
 #: The built-in suites ``repro bench`` runs, in execution order.
 BENCH_SUITES: dict[str, Callable[[], list[BenchRecord]]] = {
     "rq1": bench_rq1,
     "rq2": bench_rq2,
     "scalability": bench_scalability,
+    "backends": bench_backends,
 }
 
 
@@ -451,6 +561,7 @@ __all__ = [
     "BENCH_SUITES",
     "BenchRecord",
     "STATUSES",
+    "bench_backends",
     "bench_file_payload",
     "bench_rq1",
     "bench_rq2",

@@ -9,11 +9,12 @@ Usage (also via ``python -m repro``)::
     repro validate attacks.dsl --usecase uc2   # parse + semantic check
     repro run AD08 --usecase uc2      # execute a bound attack, print verdict
     repro trace uc1                   # goal/attack/threat matrix (Markdown)
-    repro campaign --workers 4        # run every registry variant in parallel
+    repro campaign --backend process --jobs 4   # parallel fan-out
     repro campaign --family control-ablation --verbose
     repro campaign --list             # enumerate variants without running
     repro campaign --export out.csv   # export outcomes (json/csv/md)
     repro bench --json                # machine-readable benchmark records
+    repro bench backends --json       # serial vs thread vs process speedup
     repro bench --suite rq1 --out .   # write BENCH_rq1.json
 
 The CLI is a thin shell over the :mod:`repro.api` facade; every command
@@ -140,6 +141,21 @@ def _export_records(records: ResultSet, target: str) -> None:
     path.write_text(document, encoding="utf-8")
 
 
+def _campaign_execution(args: argparse.Namespace) -> tuple[str, int]:
+    """Resolve the ``--backend``/``--jobs``/legacy ``--workers`` options."""
+    from repro.errors import ValidationError
+
+    jobs = args.jobs if args.jobs is not None else args.workers
+    if jobs is not None and jobs < 1:
+        raise ValidationError(f"jobs/workers must be >= 1, got {jobs}")
+    backend = args.backend
+    if backend is None:
+        backend = "process" if jobs is not None and jobs > 1 else "serial"
+    if jobs is None:
+        jobs = 1
+    return backend, jobs
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run (or list) the scenario registry's variant families."""
     # Imported here so the light report/export commands keep their fast
@@ -147,8 +163,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.api import Workspace
     from repro.engine.campaign import CampaignRunner
 
-    runner = CampaignRunner(workers=args.workers)
     try:
+        backend, jobs = _campaign_execution(args)
+        # Selection needs only the registry; the execution backend is
+        # resolved once, inside Workspace.campaign below.
+        runner = CampaignRunner()
         variants = runner.select(
             scenario=args.scenario,
             family=args.family,
@@ -184,7 +203,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 0
     workspace = Workspace()
     try:
-        result = workspace.campaign(variants=variants, workers=args.workers)
+        result = workspace.campaign(
+            variants=variants, backend=backend, jobs=jobs
+        )
     except ReproError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
         return 1
@@ -219,9 +240,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for name in BENCH_SUITES:
             print(name)
         return 0
+    selected = list(
+        dict.fromkeys(list(args.suites) + list(args.suite or ()))
+    )
     try:
         results, paths = run_suites(
-            args.suite or None, out_dir=args.out
+            selected or None, out_dir=args.out
         )
     except (ReproError, OSError) as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
@@ -318,8 +342,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="only variants of this attack (AD id or catalog key)",
     )
     campaign.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes (default 1 = serial)",
+        "--backend", choices=("serial", "thread", "process"), default=None,
+        help="execution backend (default: serial, or process when "
+        "--jobs > 1)",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=None,
+        help="concurrent jobs on the chosen backend (default 1)",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=None,
+        help="legacy alias for --jobs with the process backend",
     )
     campaign.add_argument(
         "--limit", type=int, default=None,
@@ -345,6 +378,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench",
         help="run the built-in bench suites (BENCH_<suite>.json records)",
+    )
+    bench.add_argument(
+        "suites", nargs="*", metavar="SUITE",
+        help="suites to run positionally (e.g. `repro bench backends`)",
     )
     bench.add_argument(
         "--suite", action="append", metavar="NAME",

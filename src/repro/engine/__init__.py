@@ -19,8 +19,9 @@ replaces that:
 * :mod:`repro.engine.attacks` -- the parametric attack catalog variant
   families arm injectors from;
 * :mod:`repro.engine.campaign` -- the batch runner fanning
-  scenario x attack x control combinations across worker processes and
-  aggregating verdicts.
+  scenario x attack x control combinations across any
+  :mod:`repro.runtime` execution backend (serial, thread, process),
+  streaming outcomes and aggregating verdicts.
 
 Submodules are imported lazily (PEP 562) so that
 ``repro.sim.scenarios`` can import :mod:`repro.engine.kernel` without
@@ -50,8 +51,10 @@ _EXPORTS = {
     "default_registry": "repro.engine.registry",
     "CampaignRunner": "repro.engine.campaign",
     "CampaignResult": "repro.engine.campaign",
+    "ERROR_VERDICT": "repro.engine.campaign",
     "VariantOutcome": "repro.engine.campaign",
     "execute_variant": "repro.engine.campaign",
+    "iter_campaign": "repro.engine.campaign",
     "run_campaign": "repro.engine.campaign",
     "ATTACK_CATALOG": "repro.engine.attacks",
     "arm_catalog_attack": "repro.engine.attacks",

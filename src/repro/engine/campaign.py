@@ -7,28 +7,58 @@ rebuilt from the registry spec instead of the hard-coded class -- while
 catalog attacks and unattacked sweeps derive their verdict directly from
 the safety monitor (any violated goal counts as a successful attack).
 
-``run_campaign`` executes a variant list either serially or across a
-process pool.  Variants are pure data and outcomes are plain dataclasses
-of primitives, so the fan-out works under both ``fork`` and ``spawn``
-start methods; each worker resets the identifier allocator on startup so
-parallel workers cannot mint colliding ``AD``/``SG`` identifiers.
+``run_campaign``/``iter_campaign`` execute a variant list on any
+:mod:`repro.runtime` execution backend -- serial, thread pool or process
+pool -- instead of the hand-rolled ``multiprocessing.Pool`` this module
+used to own.  Variants are pure data and outcomes are plain dataclasses
+of primitives, so process fan-out works under both ``fork`` and ``spawn``
+start methods; each worker process claims a disjoint identifier block on
+first use so parallel workers cannot mint colliding ``AD``/``SG``
+identifiers.  Outcomes stream: ``iter_campaign`` yields each
+:class:`VariantOutcome` as its job completes (and pushes its record into
+an optional :class:`~repro.results.ResultSink`), so long campaigns can
+export partial results, report progress and honour cooperative
+cancellation.  A failed job never crashes the campaign machinery: with
+``on_error="record"`` it becomes a tagged ``ERROR`` outcome, and with the
+default ``on_error="raise"`` it surfaces as a
+:class:`~repro.errors.VariantExecutionError` naming the variant.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import functools
-import multiprocessing
 import time
-from typing import Any, Iterable, Mapping
+import warnings
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.engine.attacks import arm_catalog_attack
 from repro.engine.registry import ScenarioRegistry, default_registry
 from repro.engine.spec import VariantSpec
-from repro.errors import ValidationError
-from repro.results import SOURCE_CAMPAIGN, ResultSet, RunRecord, freeze_items
+from repro.errors import ValidationError, VariantExecutionError
+from repro.results import (
+    SOURCE_CAMPAIGN,
+    ResultSet,
+    ResultSink,
+    RunRecord,
+    freeze_items,
+)
+from repro.runtime import (
+    CancelToken,
+    ExecutionBackend,
+    JobError,
+    ProcessBackend,
+    ProgressEvent,
+    Runtime,
+    SerialBackend,
+    in_worker_process,
+    worker_index,
+)
 from repro.testing.harness import TestHarness
 from repro.testing.testcase import TestCase, Verdict
+
+#: Verdict label of an outcome whose worker-side execution raised.
+ERROR_VERDICT = "ERROR"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,6 +88,11 @@ class VariantOutcome:
         """True when the SUT withstood (or nothing was violated)."""
         return self.verdict == Verdict.ATTACK_FAILED.name
 
+    @property
+    def is_error(self) -> bool:
+        """True when this outcome records a worker-side failure."""
+        return self.verdict == ERROR_VERDICT
+
     def detections_of(self, ecu: str, control: str | None = None) -> int:
         """Detection count of one ECU (optionally one control)."""
         if control is None:
@@ -86,11 +121,13 @@ class VariantOutcome:
         attrs = {"scenario": self.scenario}
         if self.attack:
             attrs["attack"] = self.attack
+        if self.is_error and "error_type" in self.stats:
+            attrs["error_type"] = str(self.stats["error_type"])
         return RunRecord(
             source=SOURCE_CAMPAIGN,
             subject=self.variant_id,
             verdict=self.verdict,
-            passed=self.sut_passed,
+            passed=False if self.is_error else self.sut_passed,
             use_case=use_case,
             family=self.family,
             goals=self.violated_goals,
@@ -224,21 +261,32 @@ def execute_variant(
 #: worker's block -- far beyond any realistic per-run minting volume.
 _WORKER_ID_BLOCK = 1000
 
+#: Per-process latch: has this pool worker claimed its identifier block?
+_worker_identity_claimed = False
 
-def _worker_initializer(worker_sequence=None) -> None:
+
+def _ensure_worker_identity() -> None:
+    """Give a pool worker process its disjoint identifier block, once.
+
+    Runs in the job path (not a pool initializer) so it works with *any*
+    :class:`~repro.runtime.ProcessBackend` -- including ones the caller
+    constructed -- and is a no-op in the main process and in thread
+    workers, where the (thread-safe) allocator must keep its state.
+    """
+    global _worker_identity_claimed
+    if _worker_identity_claimed or not in_worker_process():
+        return
     from repro.model.identifiers import reset_default_allocator
 
-    index = 0
-    if worker_sequence is not None:
-        with worker_sequence.get_lock():
-            index = worker_sequence.value
-            worker_sequence.value += 1
     # Disjoint numbering blocks: worker k mints AD/SG numbers strictly
     # above k * _WORKER_ID_BLOCK, so merged results never collide.
-    reset_default_allocator(floor=index * _WORKER_ID_BLOCK)
+    reset_default_allocator(floor=worker_index() * _WORKER_ID_BLOCK)
+    _worker_identity_claimed = True
 
 
 def _run_payload(payload: dict) -> dict:
+    """Process-backend job: rebuild the variant, execute, return plain data."""
+    _ensure_worker_identity()
     outcome = execute_variant(VariantSpec.from_payload(payload))
     return dataclasses.asdict(outcome)
 
@@ -252,6 +300,8 @@ class CampaignResult:
     outcomes: tuple[VariantOutcome, ...]
     workers: int
     wall_time_s: float
+    backend: str = "serial"
+    cancelled: bool = False
 
     @property
     def total(self) -> int:
@@ -272,18 +322,34 @@ class CampaignResult:
             grouped.setdefault(outcome.family, []).append(outcome)
         return {family: tuple(items) for family, items in grouped.items()}
 
+    def errors(self) -> tuple[VariantOutcome, ...]:
+        """Outcomes recording a worker-side failure (``ERROR`` verdict)."""
+        return tuple(o for o in self.outcomes if o.is_error)
+
     def outcome(self, variant_id: str) -> VariantOutcome:
-        """Look up one outcome by variant id."""
+        """Look up one outcome by variant id.
+
+        Raises:
+            KeyError: for an unknown id, listing the known variant ids so
+                a typo is immediately diagnosable.
+        """
         for outcome in self.outcomes:
             if outcome.variant_id == variant_id:
                 return outcome
-        raise ValidationError(f"no outcome for variant {variant_id!r}")
+        known = ", ".join(o.variant_id for o in self.outcomes) or "<none>"
+        raise KeyError(
+            f"no outcome for variant {variant_id!r}; known variant ids: "
+            f"{known}"
+        )
 
     def summary(self) -> dict[str, Any]:
         """Plain-data campaign summary for reporting and CI gates."""
         return {
             "total": self.total,
             "workers": self.workers,
+            "backend": self.backend,
+            "cancelled": self.cancelled,
+            "errors": len(self.errors()),
             "wall_time_s": round(self.wall_time_s, 3),
             "verdicts": self.counts(),
             "families": {
@@ -301,13 +367,19 @@ class CampaignResult:
         lines = [
             (
                 f"Campaign: {self.total} variants, {self.workers} worker(s), "
-                f"{self.wall_time_s:.1f} s"
+                f"{self.backend} backend, {self.wall_time_s:.1f} s"
+                + (" [cancelled]" if self.cancelled else "")
             ),
             (
                 "  verdicts: "
                 f"{counts.get(Verdict.ATTACK_FAILED.name, 0)} withstood, "
                 f"{counts.get(Verdict.ATTACK_SUCCEEDED.name, 0)} violated, "
                 f"{counts.get(Verdict.INCONCLUSIVE.name, 0)} inconclusive"
+                + (
+                    f", {counts[ERROR_VERDICT]} errored"
+                    if counts.get(ERROR_VERDICT)
+                    else ""
+                )
             ),
         ]
         for family, items in self.by_family().items():
@@ -317,7 +389,11 @@ class CampaignResult:
             )
             if verbose:
                 for outcome in items:
-                    marker = "PASS" if outcome.sut_passed else "FAIL"
+                    marker = (
+                        "ERR!" if outcome.is_error
+                        else "PASS" if outcome.sut_passed
+                        else "FAIL"
+                    )
                     goals = (
                         f" [{', '.join(outcome.violated_goals)}]"
                         if outcome.violated_goals
@@ -329,64 +405,295 @@ class CampaignResult:
         return "\n".join(lines)
 
 
-def run_campaign(
-    variants: Iterable[VariantSpec],
-    workers: int = 1,
-    registry: ScenarioRegistry | None = None,
-) -> CampaignResult:
-    """Execute ``variants`` serially or across ``workers`` processes."""
-    variant_list = list(variants)
+def _error_outcome(
+    variant: VariantSpec, error: JobError, wall_time_s: float
+) -> VariantOutcome:
+    """A tagged ``ERROR`` outcome for a variant whose execution raised."""
+    return VariantOutcome(
+        variant_id=variant.variant_id,
+        scenario=variant.scenario,
+        family=variant.family,
+        attack=variant.attack,
+        verdict=ERROR_VERDICT,
+        violated_goals=(),
+        violations=(),
+        detections=(),
+        detections_by_control=(),
+        stats={"error_type": error.type, "error_traceback": error.traceback},
+        duration_ms=0.0,
+        wall_time_s=wall_time_s,
+        notes=f"{error.type}: {error.message}",
+    )
+
+
+def _resolve_backend(
+    workers: int | None,
+    parallel: int | None,
+    backend: "ExecutionBackend | str | None",
+    n_variants: int,
+) -> ExecutionBackend:
+    """Normalise the legacy ``workers=``/``parallel=`` and new ``backend=``."""
+    if parallel is not None:
+        warnings.warn(
+            "run_campaign(parallel=...) is deprecated; pass "
+            "backend=ProcessBackend(jobs=N) (or the workers=N shorthand)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if workers is not None and workers != parallel:
+            raise ValidationError(
+                f"conflicting worker counts: workers={workers}, "
+                f"parallel={parallel}"
+            )
+        workers = parallel
+    if backend is not None:
+        if workers is not None:
+            raise ValidationError(
+                "pass either backend= or workers=/parallel=, not both"
+            )
+        if isinstance(backend, str):
+            from repro.runtime import make_backend
+
+            return make_backend(backend)
+        return backend
+    workers = 1 if workers is None else workers
     if workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
-    started = time.perf_counter()
-    if workers == 1 or len(variant_list) <= 1:
-        outcomes = tuple(
-            execute_variant(variant, registry) for variant in variant_list
-        )
-        return CampaignResult(
-            outcomes=outcomes,
-            workers=1,
-            wall_time_s=time.perf_counter() - started,
-        )
+    if workers == 1 or n_variants <= 1:
+        return SerialBackend()
+    return ProcessBackend(jobs=workers)
 
-    if registry is not None and registry is not default_registry():
-        # Worker processes rebuild variants against the default registry;
-        # silently running a custom registry's variants against it would
-        # resolve wrong (or missing) specs.
+
+def iter_campaign(
+    variants: Iterable[VariantSpec],
+    *,
+    backend: "ExecutionBackend | str | None" = None,
+    registry: ScenarioRegistry | None = None,
+    on_error: str = "raise",
+    on_event: Callable[[ProgressEvent], None] | None = None,
+    cancel: CancelToken | None = None,
+    sink: ResultSink | None = None,
+    chunksize: int = 1,
+) -> Iterator[VariantOutcome]:
+    """Execute ``variants`` on ``backend``; yield outcomes as they finish.
+
+    This is the streaming core every campaign entry point shares.
+    Outcomes arrive in **completion** order (use :func:`run_campaign` for
+    input-ordered aggregation); each one's record is pushed into ``sink``
+    the moment it exists, so partial results are exportable mid-run.
+
+    Args:
+        backend: Any :mod:`repro.runtime` backend or its name (default
+            serial; a backend built from a name is shut down when the
+            iterator finishes or is closed).
+        registry: Custom scenario registry.  Memory-sharing backends
+            (serial, thread) honour it directly; process backends refuse
+            it loudly -- their workers rebuild variants against the
+            default registry and would silently resolve wrong specs.
+        on_error: ``"raise"`` (default) surfaces a worker failure as
+            :class:`~repro.errors.VariantExecutionError` naming the
+            variant; ``"record"`` converts it into a tagged ``ERROR``
+            outcome and keeps going.
+        on_event: Progress callback (see :class:`~repro.runtime.ProgressEvent`).
+        cancel: Cooperative cancellation token; jobs already running
+            finish, nothing new starts.
+        sink: Streaming record accumulator
+            (:class:`~repro.results.ResultSink`).
+        chunksize: Jobs per backend task (1 streams at finest grain).
+    """
+    for _index, outcome in _iter_campaign_indexed(
+        variants,
+        backend=backend,
+        registry=registry,
+        on_error=on_error,
+        on_event=on_event,
+        cancel=cancel,
+        sink=sink,
+        chunksize=chunksize,
+    ):
+        yield outcome
+
+
+def _iter_campaign_indexed(
+    variants: Iterable[VariantSpec],
+    *,
+    backend: "ExecutionBackend | str | None" = None,
+    registry: ScenarioRegistry | None = None,
+    on_error: str = "raise",
+    on_event: Callable[[ProgressEvent], None] | None = None,
+    cancel: CancelToken | None = None,
+    sink: ResultSink | None = None,
+    chunksize: int = 1,
+) -> Iterator[tuple[int, VariantOutcome]]:
+    """:func:`iter_campaign` plus each outcome's input position, so
+    aggregators can restore exact submission order even when variant ids
+    repeat in an explicit list."""
+    if on_error not in ("raise", "record"):
         raise ValidationError(
-            "custom registries only run serially (workers=1): worker "
-            "processes resolve variants against the default registry"
+            f"on_error must be 'raise' or 'record', got {on_error!r}"
         )
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
-    payloads = [variant.to_payload() for variant in variant_list]
-    worker_sequence = context.Value("i", 0)
-    with context.Pool(
-        processes=workers,
-        initializer=_worker_initializer,
-        initargs=(worker_sequence,),
-    ) as pool:
-        raw = pool.map(_run_payload, payloads, chunksize=1)
-    outcomes = tuple(VariantOutcome.from_payload(item) for item in raw)
+    owns_backend = isinstance(backend, str)
+    if isinstance(backend, str):
+        from repro.runtime import make_backend
+
+        backend = make_backend(backend)
+    elif backend is None:
+        backend = SerialBackend()
+    variant_list = list(variants)
+    if (
+        registry is not None
+        and registry is not default_registry()
+        and not backend.shares_memory
+    ):
+        raise ValidationError(
+            "custom registries only run on in-process backends (serial or "
+            "thread): process workers resolve variants against the default "
+            "registry"
+        )
+    runtime = Runtime(backend, on_event=on_event, cancel=cancel)
+    if backend.shares_memory:
+        fn: Callable[[Any], Any] = functools.partial(
+            _execute_in_process, registry=registry
+        )
+        items: list[Any] = variant_list
+    else:
+        fn = _run_payload
+        items = [variant.to_payload() for variant in variant_list]
+    try:
+        for result in runtime.map(fn, items, chunksize=chunksize):
+            if result.ok:
+                value = result.value
+                outcome = (
+                    value
+                    if isinstance(value, VariantOutcome)
+                    else VariantOutcome.from_payload(value)
+                )
+            elif on_error == "record":
+                outcome = _error_outcome(
+                    variant_list[result.index],
+                    result.error,
+                    result.wall_time_s,
+                )
+            else:
+                variant = variant_list[result.index]
+                raise VariantExecutionError(
+                    f"variant {variant.variant_id!r} failed in a "
+                    f"{backend.name} worker: {result.error.type}: "
+                    f"{result.error.message}",
+                    variant_id=variant.variant_id,
+                    error_type=result.error.type,
+                    error_traceback=result.error.traceback,
+                )
+            if sink is not None:
+                sink.add(outcome.to_record())
+            yield result.index, outcome
+    finally:
+        if owns_backend:
+            backend.shutdown()
+
+
+def _execute_in_process(variant: VariantSpec, registry=None) -> VariantOutcome:
+    """Serial/thread-backend job: no payload round-trip needed."""
+    return execute_variant(variant, registry)
+
+
+def run_campaign(
+    variants: Iterable[VariantSpec],
+    workers: int | None = None,
+    registry: ScenarioRegistry | None = None,
+    *,
+    backend: "ExecutionBackend | str | None" = None,
+    parallel: int | None = None,
+    on_error: str = "raise",
+    on_event: Callable[[ProgressEvent], None] | None = None,
+    cancel: CancelToken | None = None,
+    sink: ResultSink | None = None,
+    chunksize: int = 1,
+) -> CampaignResult:
+    """Execute ``variants`` on an execution backend; aggregate outcomes.
+
+    The preferred calling convention is ``backend=`` with any
+    :mod:`repro.runtime` backend (or its name)::
+
+        run_campaign(variants, backend=ProcessBackend(jobs=4))
+        run_campaign(variants, backend="thread")
+
+    ``workers=N`` remains as a shorthand for
+    ``backend=ProcessBackend(jobs=N)`` (``N == 1`` means serial), and the
+    historical ``parallel=N`` spelling still works as a deprecation shim.
+    Outcomes are returned in input order regardless of completion order;
+    verdicts are backend-independent by construction (pure-data variants,
+    deterministic simulator).
+    """
+    variant_list = list(variants)
+    resolved = _resolve_backend(workers, parallel, backend, len(variant_list))
+    owns_backend = backend is None or isinstance(backend, str)
+    started = time.perf_counter()
+    token = cancel if cancel is not None else CancelToken()
+    try:
+        indexed = sorted(
+            _iter_campaign_indexed(
+                variant_list,
+                backend=resolved,
+                registry=registry,
+                on_error=on_error,
+                on_event=on_event,
+                cancel=token,
+                sink=sink,
+                chunksize=chunksize,
+            ),
+            key=lambda pair: pair[0],
+        )
+    finally:
+        if owns_backend:
+            resolved.shutdown()
     return CampaignResult(
-        outcomes=outcomes,
-        workers=workers,
+        outcomes=tuple(outcome for _index, outcome in indexed),
+        workers=resolved.jobs,
         wall_time_s=time.perf_counter() - started,
+        backend=resolved.name,
+        cancelled=token.cancelled,
     )
 
 
 class CampaignRunner:
-    """Object-style façade over :func:`run_campaign` (convenient for CLI)."""
+    """Object-style façade over :func:`run_campaign` (convenient for CLI).
+
+    A runner that *constructed* its backend (from a name or ``jobs=``)
+    also owns it: each :meth:`run` shuts the worker pool down afterwards
+    (pooled backends restart lazily on the next run).  A caller-provided
+    backend instance is left running -- its lifecycle stays with the
+    caller, as everywhere else in the runtime layer.
+    """
 
     def __init__(
         self,
         registry: ScenarioRegistry | None = None,
-        workers: int = 1,
+        workers: int | None = None,
+        backend: "ExecutionBackend | str | None" = None,
+        jobs: int | None = None,
     ) -> None:
+        from repro.runtime import backend_from_spec
+
         self.registry = registry or default_registry()
-        self.workers = workers
+        if backend is None and jobs is None:
+            # Legacy convention: workers=N means an N-process pool.
+            self.workers = 1 if workers is None else workers
+            self.backend = None  # resolved per run (serial fast path)
+            self._owns_backend = False
+        else:
+            if workers is not None:
+                raise ValidationError(
+                    "pass either workers= or backend=/jobs=, not both"
+                )
+            self._owns_backend = backend is None or isinstance(backend, str)
+            self.backend = backend_from_spec(backend, jobs)
+            self.workers = self.backend.jobs
+
+    def close(self) -> None:
+        """Shut down an owned backend's workers (idempotent)."""
+        if self._owns_backend and self.backend is not None:
+            self.backend.shutdown()
 
     def select(
         self,
@@ -400,16 +707,38 @@ class CampaignRunner:
             scenario=scenario, family=family, attack=attack, limit=limit
         )
 
-    def run(self, variants: Iterable[VariantSpec] | None = None) -> CampaignResult:
-        """Run the given (or all) variants with the configured workers."""
+    def run(
+        self,
+        variants: Iterable[VariantSpec] | None = None,
+        *,
+        on_error: str = "raise",
+        on_event: Callable[[ProgressEvent], None] | None = None,
+        cancel: CancelToken | None = None,
+        sink: ResultSink | None = None,
+    ) -> CampaignResult:
+        """Run the given (or all) variants on the configured backend."""
         selected = tuple(variants) if variants is not None else self.select()
-        return run_campaign(selected, workers=self.workers, registry=self.registry)
+        try:
+            return run_campaign(
+                selected,
+                workers=None if self.backend is not None else self.workers,
+                registry=self.registry,
+                backend=self.backend,
+                on_error=on_error,
+                on_event=on_event,
+                cancel=cancel,
+                sink=sink,
+            )
+        finally:
+            self.close()
 
 
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "ERROR_VERDICT",
     "VariantOutcome",
     "execute_variant",
+    "iter_campaign",
     "run_campaign",
 ]

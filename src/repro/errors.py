@@ -16,6 +16,9 @@ specific subclass that applies:
   the past, attaching an injector to a missing channel, ...).
 * :class:`HarnessError` -- test-harness misuse (running an unbound test
   case, asking for a verdict before execution, ...).
+* :class:`ExecutionError` -- a job failed inside an execution backend;
+  :class:`VariantExecutionError` additionally names the campaign variant
+  whose worker-side execution raised.
 """
 
 from __future__ import annotations
@@ -80,3 +83,43 @@ class SimulationError(ReproError):
 
 class HarnessError(ReproError):
     """The test harness was driven incorrectly by the caller."""
+
+
+class ExecutionError(ReproError):
+    """A job raised inside an execution backend (worker side).
+
+    The original exception may have been raised in another process, so it
+    is carried as structured text rather than a live object:
+    ``error_type`` is the original exception's qualified class name and
+    ``error_traceback`` its formatted worker-side traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        error_type: str = "",
+        error_traceback: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+        self.error_traceback = error_traceback
+
+
+class VariantExecutionError(ExecutionError):
+    """A campaign variant's worker-side execution raised.
+
+    ``variant_id`` names the originating variant so campaign drivers can
+    report (or retry) exactly the run that failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        variant_id: str,
+        error_type: str = "",
+        error_traceback: str = "",
+    ) -> None:
+        super().__init__(
+            message, error_type=error_type, error_traceback=error_traceback
+        )
+        self.variant_id = variant_id

@@ -28,6 +28,7 @@ import csv
 import dataclasses
 import io
 import json
+import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import ValidationError
@@ -480,6 +481,51 @@ class ResultSet:
         return cls(records=tuple(records))
 
 
+class ResultSink:
+    """A mutable, thread-safe accumulator records **stream** into.
+
+    :class:`ResultSet` is immutable by design; long-running producers
+    (campaigns fanning out over an execution backend) need somewhere to
+    put records *as jobs complete*, so partial results can be inspected
+    or exported while the run is still going.  A sink is that somewhere:
+
+    * producers call :meth:`add` per finished record (any thread);
+    * consumers call :meth:`snapshot` at any time for an immutable
+      :class:`ResultSet` of everything received so far;
+    * an optional ``on_record`` callback observes each arrival (the
+      :class:`~repro.api.Workspace` uses it to keep its own accumulated
+      set current without polling).
+    """
+
+    def __init__(
+        self, on_record: Callable[[RunRecord], None] | None = None
+    ) -> None:
+        self._records: list[RunRecord] = []
+        self._on_record = on_record
+        self._lock = threading.Lock()
+
+    def add(self, record: RunRecord) -> None:
+        """Receive one streamed record."""
+        with self._lock:
+            self._records.append(record)
+        if self._on_record is not None:
+            self._on_record(record)
+
+    def extend(self, records: Iterable[RunRecord]) -> None:
+        """Receive a batch of records (one callback per record)."""
+        for record in records:
+            self.add(record)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def snapshot(self) -> ResultSet:
+        """Everything received so far, as an immutable set."""
+        with self._lock:
+            return ResultSet(records=tuple(self._records))
+
+
 __all__ = [
     "SCHEMA",
     "SOURCES",
@@ -489,6 +535,7 @@ __all__ = [
     "SOURCE_PIPELINE",
     "Items",
     "ResultSet",
+    "ResultSink",
     "RunRecord",
     "freeze_items",
 ]

@@ -1,0 +1,83 @@
+"""``repro.runtime`` -- the pluggable execution layer.
+
+Every fan-out in the reproduction (scenario campaigns, fuzz campaigns,
+benchmark repetitions, the CLI's ``--backend``/``--jobs`` options) runs
+through this package:
+
+* :mod:`repro.runtime.backends` -- the :class:`ExecutionBackend`
+  protocol and the ``serial`` / ``thread`` / ``process`` implementations
+  (the only module in the repository importing :mod:`multiprocessing`);
+* :mod:`repro.runtime.runtime` -- the :class:`Runtime` facade adding
+  chunking, deterministic per-job seeds, progress events, structured
+  error capture and cooperative cancellation on top of any backend.
+
+Quick use::
+
+    from repro.runtime import ProcessBackend, Runtime
+
+    with Runtime(ProcessBackend(jobs=4), seed=7) as runtime:
+        for result in runtime.map(execute, items):   # streams
+            if not result.ok:
+                print("failed:", result.error.message)
+
+Environment knobs: ``REPRO_BACKEND`` (``serial``/``thread``/``process``)
+and ``REPRO_JOBS`` feed :func:`backend_from_env` (used by the bench
+harness); ``MULTIPROCESSING_START_METHOD`` selects the process start
+method (the CI spawn matrix leg).
+"""
+
+from repro.runtime.backends import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    JOBS_ENV,
+    START_METHOD_ENV,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_start_methods,
+    backend_from_env,
+    backend_from_spec,
+    default_start_method,
+    in_worker_process,
+    make_backend,
+    mp_context,
+    usable_cpus,
+    worker_index,
+)
+from repro.runtime.runtime import (
+    MAX_SEED,
+    CancelToken,
+    JobError,
+    JobResult,
+    ProgressEvent,
+    Runtime,
+    derive_seed,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "CancelToken",
+    "ExecutionBackend",
+    "JOBS_ENV",
+    "JobError",
+    "JobResult",
+    "MAX_SEED",
+    "ProcessBackend",
+    "ProgressEvent",
+    "Runtime",
+    "START_METHOD_ENV",
+    "SerialBackend",
+    "ThreadBackend",
+    "available_start_methods",
+    "backend_from_env",
+    "backend_from_spec",
+    "default_start_method",
+    "derive_seed",
+    "in_worker_process",
+    "make_backend",
+    "mp_context",
+    "usable_cpus",
+    "worker_index",
+]

@@ -1,0 +1,451 @@
+"""Execution backends: where runtime jobs physically run.
+
+This is the **only** module in the repository that imports
+:mod:`multiprocessing`.  Everything that fans work out -- the campaign
+runner, fuzz campaigns, benchmarks, the CLI -- goes through the
+:class:`ExecutionBackend` protocol, so swapping how jobs execute
+(in-process, threads, processes, and in the future async or distributed
+runners) never touches the call sites again.
+
+Three implementations ship today:
+
+* :class:`SerialBackend` -- runs jobs inline, lazily, in submission
+  order.  Zero overhead, fully deterministic, the default everywhere.
+* :class:`ThreadBackend` -- a thread pool sharing the caller's memory.
+  Right for jobs that wait (I/O, locks) or that must see in-process
+  state such as a custom scenario registry.
+* :class:`ProcessBackend` -- a process pool for CPU-bound fan-out.  Jobs
+  and results must pickle; each worker process receives a stable
+  0-based :func:`worker_index` so callers can partition global resources
+  (identifier blocks, caches) without collisions.
+
+The process start method resolves, in order: the explicit
+``start_method=`` argument, the ``MULTIPROCESSING_START_METHOD``
+environment variable (the CI matrix leg), then ``fork`` where available
+with ``spawn`` as the portable fallback.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+from concurrent import futures as _futures
+from typing import Any, Callable, Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.errors import ValidationError
+
+#: Environment variable selecting the process start method (CI matrix).
+START_METHOD_ENV = "MULTIPROCESSING_START_METHOD"
+
+#: Environment variables the bench harness uses to thread backend choice
+#: down into scripts it cannot pass arguments to.
+BACKEND_ENV = "REPRO_BACKEND"
+JOBS_ENV = "REPRO_JOBS"
+
+#: The backend names :func:`make_backend` (and every ``--backend`` CLI
+#: option) accepts, in increasing isolation order.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware on Linux)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def available_start_methods() -> tuple[str, ...]:
+    """The start methods this platform supports (``fork``, ``spawn``, ...)."""
+    return tuple(multiprocessing.get_all_start_methods())
+
+
+def default_start_method() -> str:
+    """Resolve the start method: env override, else fork, else spawn."""
+    configured = os.environ.get(START_METHOD_ENV, "").strip()
+    methods = available_start_methods()
+    if configured:
+        if configured not in methods:
+            raise ValidationError(
+                f"{START_METHOD_ENV}={configured!r} is not supported here "
+                f"(available: {', '.join(methods)})"
+            )
+        return configured
+    return "fork" if "fork" in methods else "spawn"
+
+
+def mp_context(start_method: str | None = None):
+    """A :mod:`multiprocessing` context for ``start_method``.
+
+    Exposed so tests and tools that need a raw context (e.g. probing
+    fork/spawn semantics) do not import :mod:`multiprocessing` directly
+    -- this module is the single chokepoint for process machinery.
+    """
+    return multiprocessing.get_context(start_method or default_start_method())
+
+
+# -- worker identity ----------------------------------------------------------
+
+#: Set by :func:`_process_worker_init` inside pool worker processes.
+_WORKER_INDEX = 0
+_IN_WORKER_PROCESS = False
+
+_thread_state = threading.local()
+
+
+def worker_index() -> int:
+    """The current worker's stable 0-based index.
+
+    Inside a :class:`ProcessBackend` worker process this is the index the
+    pool assigned at startup; inside a :class:`ThreadBackend` worker
+    thread it is the thread's pool slot; in the main process/thread it is
+    ``0``.  Callers use it to carve out disjoint resource blocks (e.g.
+    identifier numbering) without coordination.
+    """
+    index = getattr(_thread_state, "index", None)
+    if index is not None:
+        return index
+    return _WORKER_INDEX
+
+
+def in_worker_process() -> bool:
+    """True only inside a :class:`ProcessBackend` worker process.
+
+    The flag lets job functions distinguish "I run in a short-lived pool
+    worker and may reset process-global state" from "I run in the
+    caller's own process and must not clobber it".
+    """
+    return _IN_WORKER_PROCESS
+
+
+def _process_worker_init(sequence, initializer, initargs) -> None:
+    """Pool-process startup: claim a worker index, then the user hook."""
+    global _WORKER_INDEX, _IN_WORKER_PROCESS
+    with sequence.get_lock():
+        _WORKER_INDEX = sequence.value
+        sequence.value += 1
+    _IN_WORKER_PROCESS = True
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _thread_worker_init(counter, initializer, initargs) -> None:
+    """Pool-thread startup: claim a slot index, then the user hook."""
+    _thread_state.index = next(counter)
+    if initializer is not None:
+        initializer(*initargs)
+
+
+# -- the protocol -------------------------------------------------------------
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Where jobs run.  All backends speak this four-method protocol.
+
+    Attributes:
+        name: Stable backend tag (``"serial"``, ``"thread"``,
+            ``"process"``) recorded in campaign results and bench files.
+        jobs: Maximum concurrently executing jobs.
+        shares_memory: True when jobs see the caller's objects directly
+            (serial, thread); False when jobs cross a pickle boundary
+            (process, and any future distributed backend).
+    """
+
+    name: str
+    jobs: int
+    shares_memory: bool
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> _futures.Future:
+        """Schedule one call; return its future."""
+        ...
+
+    def map_unordered(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[tuple[int, Any]]:
+        """Yield ``(index, fn(item))`` pairs in completion order.
+
+        The iterator is lazy where the backend allows it; closing it
+        early cancels whatever has not started.
+        """
+        ...
+
+    def as_completed(
+        self, fs: Iterable[_futures.Future], timeout: float | None = None
+    ) -> Iterator[_futures.Future]:
+        """Yield futures as they finish."""
+        ...
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Release the backend's workers (idempotent)."""
+        ...
+
+
+# -- implementations ----------------------------------------------------------
+
+
+class _BackendBase:
+    """Shared future bookkeeping for all built-in backends."""
+
+    name = "base"
+    jobs = 1
+    shares_memory = True
+
+    def as_completed(
+        self, fs: Iterable[_futures.Future], timeout: float | None = None
+    ) -> Iterator[_futures.Future]:
+        return _futures.as_completed(fs, timeout=timeout)
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self  # type: ignore[return-value]
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialBackend(_BackendBase):
+    """Run every job inline, lazily, in submission order.
+
+    ``map_unordered`` executes one job per ``next()`` call, so streaming
+    consumers (and cooperative cancellation) work exactly as they do on
+    the pooled backends -- just one at a time.
+    """
+
+    name = "serial"
+    jobs = 1
+    shares_memory = True
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> _futures.Future:
+        future: _futures.Future = _futures.Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            future.set_exception(exc)
+        return future
+
+    def map_unordered(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[tuple[int, Any]]:
+        for index, item in enumerate(items):
+            yield index, fn(item)
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Nothing to release: serial jobs run in the caller."""
+
+
+class _PoolBackend(_BackendBase):
+    """Common executor-backed implementation (threads and processes)."""
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValidationError(f"backend jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._executor: _futures.Executor | None = None
+        self._lock = threading.Lock()
+
+    def _make_executor(self) -> _futures.Executor:
+        raise NotImplementedError
+
+    @property
+    def started(self) -> bool:
+        """True once the worker pool exists (first submit starts it)."""
+        return self._executor is not None
+
+    def _ensure(self) -> _futures.Executor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = self._make_executor()
+            return self._executor
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> _futures.Future:
+        return self._ensure().submit(fn, *args, **kwargs)
+
+    def map_unordered(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[tuple[int, Any]]:
+        pending = {self.submit(fn, item): index for index, item in enumerate(items)}
+        try:
+            for future in _futures.as_completed(list(pending)):
+                # Drop the future as it completes so result payloads are
+                # released to the consumer instead of accumulating here.
+                index = pending.pop(future)
+                yield index, future.result()
+        finally:
+            for future in pending:
+                future.cancel()
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+
+
+class ThreadBackend(_PoolBackend):
+    """A thread pool sharing the caller's memory (GIL applies).
+
+    Best for jobs that block (I/O, admission locks) or that must touch
+    in-process objects a process boundary would copy or reject.
+    """
+
+    name = "thread"
+    shares_memory = True
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        super().__init__(jobs if jobs is not None else usable_cpus())
+        self._initializer = initializer
+        self._initargs = initargs
+
+    def _make_executor(self) -> _futures.Executor:
+        return _futures.ThreadPoolExecutor(
+            max_workers=self.jobs,
+            thread_name_prefix="repro-runtime",
+            initializer=_thread_worker_init,
+            initargs=(itertools.count(), self._initializer, self._initargs),
+        )
+
+
+class ProcessBackend(_PoolBackend):
+    """A process pool for CPU-bound fan-out (jobs must pickle).
+
+    Every worker process runs :func:`_process_worker_init` first: it
+    claims a stable :func:`worker_index` from a shared counter and sets
+    the :func:`in_worker_process` flag, then calls the optional user
+    ``initializer``.  Works under both ``fork`` and ``spawn`` -- the
+    shared counter travels through the executor's process-creation
+    arguments, never through a task pickle.
+    """
+
+    name = "process"
+    shares_memory = False
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        start_method: str | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        super().__init__(jobs if jobs is not None else usable_cpus())
+        self._start_method = start_method
+        self._initializer = initializer
+        self._initargs = initargs
+
+    @property
+    def start_method(self) -> str:
+        """The start method this backend will use (resolved lazily)."""
+        return self._start_method or default_start_method()
+
+    def _make_executor(self) -> _futures.Executor:
+        context = mp_context(self.start_method)
+        sequence = context.Value("i", 0)
+        return _futures.ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=context,
+            initializer=_process_worker_init,
+            initargs=(sequence, self._initializer, self._initargs),
+        )
+
+
+# -- factories ----------------------------------------------------------------
+
+
+def make_backend(
+    name: str, jobs: int | None = None, **kwargs: Any
+) -> ExecutionBackend:
+    """Build a backend from its CLI name (``serial``/``thread``/``process``).
+
+    ``serial`` is definitionally single-job, so asking it for
+    parallelism is rejected rather than silently ignored; extra keyword
+    arguments go to the backend constructor (e.g. ``start_method=`` for
+    ``process``).
+    """
+    if name == "serial":
+        if jobs is not None and jobs != 1:
+            raise ValidationError(
+                f"the serial backend runs exactly one job (got jobs={jobs}); "
+                "choose thread or process for parallelism"
+            )
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(jobs=jobs, **kwargs)
+    if name == "process":
+        return ProcessBackend(jobs=jobs, **kwargs)
+    raise ValidationError(
+        f"unknown backend {name!r} (choose one of {', '.join(BACKEND_NAMES)})"
+    )
+
+
+def backend_from_spec(
+    spec: "str | ExecutionBackend | None", jobs: int | None = None
+) -> ExecutionBackend:
+    """Normalise the ``backend=``/``jobs=`` calling convention.
+
+    ``None`` means: ``serial`` unless ``jobs`` asks for parallelism, in
+    which case ``process`` (the CPU-bound default).  A string goes
+    through :func:`make_backend`; a ready backend is returned unchanged
+    (``jobs`` must then be unset -- the backend already knows its size).
+    """
+    if spec is None:
+        if jobs is None or jobs <= 1:
+            return SerialBackend()
+        return ProcessBackend(jobs=jobs)
+    if isinstance(spec, str):
+        return make_backend(spec, jobs=jobs)
+    if jobs is not None and jobs != spec.jobs:
+        raise ValidationError(
+            f"jobs={jobs} conflicts with the provided backend "
+            f"({spec.name}, jobs={spec.jobs}); size the backend directly"
+        )
+    return spec
+
+
+def backend_from_env(environ=None) -> ExecutionBackend:
+    """Build a backend from ``REPRO_BACKEND`` / ``REPRO_JOBS``.
+
+    Unset variables mean the serial default, so scripts wired through
+    this helper behave exactly as before unless a harness (or a user)
+    opts into parallelism.
+    """
+    environ = os.environ if environ is None else environ
+    name = environ.get(BACKEND_ENV, "").strip() or None
+    jobs_text = environ.get(JOBS_ENV, "").strip()
+    jobs = None
+    if jobs_text:
+        try:
+            jobs = int(jobs_text)
+        except ValueError:
+            raise ValidationError(
+                f"{JOBS_ENV} must be an integer, got {jobs_text!r}"
+            ) from None
+    return backend_from_spec(name, jobs)
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "JOBS_ENV",
+    "ProcessBackend",
+    "START_METHOD_ENV",
+    "SerialBackend",
+    "ThreadBackend",
+    "available_start_methods",
+    "backend_from_env",
+    "backend_from_spec",
+    "default_start_method",
+    "in_worker_process",
+    "make_backend",
+    "mp_context",
+    "usable_cpus",
+    "worker_index",
+]

@@ -1,0 +1,333 @@
+"""The :class:`Runtime` facade: batched, seeded, observable job execution.
+
+Backends (:mod:`repro.runtime.backends`) answer *where* a call runs; this
+module answers *how a workload runs well*:
+
+* **chunking** -- items are grouped into chunks so fine-grained jobs
+  amortise per-task dispatch overhead (``chunksize=1`` streams at single
+  -job granularity, the default);
+* **deterministic seeds** -- every job receives a seed derived from the
+  runtime's root seed and the job's index via :func:`derive_seed`, so a
+  campaign re-run with the same root seed is bit-identical on any
+  backend, under any start method, at any parallelism;
+* **structured error capture** -- a job that raises yields a
+  :class:`JobResult` carrying a :class:`JobError` (type, message,
+  worker-side traceback) instead of crashing the whole fan-out;
+* **progress events** -- each completion emits a :class:`ProgressEvent`
+  to the ``on_event`` callback, so CLIs and campaign drivers can report
+  long runs without polling;
+* **cooperative cancellation** -- a shared :class:`CancelToken` stops
+  dispatch between jobs and cancels whatever has not started, yielding
+  the results already produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import threading
+import time
+import traceback
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import ExecutionError, ValidationError
+from repro.runtime.backends import ExecutionBackend, SerialBackend
+
+#: Largest derived seed (63 bits: always a positive Python/NumPy-safe int).
+MAX_SEED = (1 << 63) - 1
+
+
+def derive_seed(root: int, *parts: Any) -> int:
+    """Derive a stable per-job seed from a root seed and identifying parts.
+
+    The derivation hashes ``root`` and the parts' string forms, so it is
+    identical across processes, start methods and platforms -- unlike
+    ``hash()``, which is salted per interpreter.
+
+    >>> derive_seed(1, 0) == derive_seed(1, 0)
+    True
+    >>> derive_seed(1, 0) != derive_seed(1, 1)
+    True
+    """
+    text = ":".join([str(root), *(str(part) for part in parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & MAX_SEED
+
+
+class CancelToken:
+    """A shared, thread-safe cooperative cancellation flag.
+
+    Hand one token to a runtime (or several) and call :meth:`cancel`
+    from any thread -- an event callback, a signal handler, a watchdog.
+    Jobs already running finish; nothing new starts.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+
+@dataclasses.dataclass(frozen=True)
+class JobError:
+    """A worker-side exception, captured as plain data.
+
+    The live exception object may not survive a process boundary, so
+    jobs carry their failures home as (type name, message, formatted
+    traceback) -- enough to report, triage, and re-raise.
+    """
+
+    type: str
+    message: str
+    traceback: str = ""
+
+    def to_exception(self) -> ExecutionError:
+        """This error as a raisable :class:`~repro.errors.ExecutionError`."""
+        return ExecutionError(
+            f"{self.type}: {self.message}",
+            error_type=self.type,
+            error_traceback=self.traceback,
+        )
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "JobError":
+        """Capture a live exception into its plain-data form."""
+        return cls(
+            type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class JobResult:
+    """One job's outcome: a value or a captured error, never an exception.
+
+    Attributes:
+        index: The job's position in the submitted item sequence.
+        value: The job function's return value (``None`` on error).
+        error: The captured worker-side failure (``None`` on success).
+        seed: The deterministic seed the job was derived (always set).
+        wall_time_s: Worker-side execution time of this job alone.
+    """
+
+    index: int
+    value: Any = None
+    error: JobError | None = None
+    seed: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the job returned normally."""
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The value, or raise the captured error as an ExecutionError."""
+        if self.error is not None:
+            raise self.error.to_exception()
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgressEvent:
+    """One observable step of a runtime map.
+
+    ``kind`` is ``"completed"`` (job finished, see ``result.ok`` for
+    success), ``"cancelled"`` (the token tripped; no further jobs will
+    run) or ``"finished"`` (the map is exhausted).
+    """
+
+    kind: str
+    done: int
+    total: int
+    result: JobResult | None = None
+
+
+# -- worker-side chunk execution ----------------------------------------------
+#
+# Top-level (hence picklable) so ProcessBackend can ship chunks to
+# workers under both fork and spawn.
+
+
+def _run_chunk(
+    fn: Callable[..., Any],
+    seeded: bool,
+    chunk: Sequence[tuple[int, int, Any]],
+) -> list[dict[str, Any]]:
+    """Execute one chunk of ``(index, seed, item)`` jobs; capture errors."""
+    results: list[dict[str, Any]] = []
+    for index, seed, item in chunk:
+        started = time.perf_counter()
+        try:
+            value = fn(item, seed) if seeded else fn(item)
+        except Exception as exc:  # noqa: BLE001 - captured, reported upstream
+            results.append(
+                {
+                    "index": index,
+                    "seed": seed,
+                    "error": dataclasses.asdict(JobError.from_exception(exc)),
+                    "wall_time_s": time.perf_counter() - started,
+                }
+            )
+        else:
+            results.append(
+                {
+                    "index": index,
+                    "seed": seed,
+                    "value": value,
+                    "wall_time_s": time.perf_counter() - started,
+                }
+            )
+    return results
+
+
+def _chunked(
+    jobs: Sequence[tuple[int, int, Any]], chunksize: int
+) -> list[tuple[tuple[int, int, Any], ...]]:
+    return [
+        tuple(jobs[start : start + chunksize])
+        for start in range(0, len(jobs), chunksize)
+    ]
+
+
+class Runtime:
+    """Batched, seeded, observable execution over one backend.
+
+    A runtime is cheap: it owns no workers itself (the backend does) and
+    can be used as a context manager to shut the backend down::
+
+        with Runtime(ProcessBackend(jobs=4), seed=7) as runtime:
+            for result in runtime.map(execute, items):
+                ...  # streams in completion order
+
+    Args:
+        backend: Where jobs run (default: a fresh :class:`SerialBackend`).
+        seed: Root seed all per-job seeds derive from.
+        on_event: Progress callback receiving :class:`ProgressEvent`.
+        cancel: Shared cancellation token (one is created if omitted).
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend | None = None,
+        *,
+        seed: int = 1,
+        on_event: Callable[[ProgressEvent], None] | None = None,
+        cancel: CancelToken | None = None,
+    ) -> None:
+        self.backend = backend if backend is not None else SerialBackend()
+        self.seed = seed
+        self.cancel = cancel if cancel is not None else CancelToken()
+        self._on_event = on_event
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(self, kind: str, done: int, total: int, result: JobResult | None = None) -> None:
+        if self._on_event is not None:
+            self._on_event(
+                ProgressEvent(kind=kind, done=done, total=total, result=result)
+            )
+
+    # -- execution ---------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        items: Iterable[Any],
+        *,
+        seeded: bool = False,
+        chunksize: int = 1,
+    ) -> Iterator[JobResult]:
+        """Run ``fn`` over ``items``; yield :class:`JobResult` as completed.
+
+        ``fn`` is called as ``fn(item)`` -- or ``fn(item, seed)`` with
+        the job's derived seed when ``seeded=True``.  On a process
+        backend both ``fn`` and the items must pickle.  Failures arrive
+        as error-carrying results; this iterator itself only raises for
+        infrastructure faults (e.g. a broken worker pool).
+        """
+        if chunksize < 1:
+            raise ValidationError(f"chunksize must be >= 1, got {chunksize}")
+        jobs = [
+            (index, derive_seed(self.seed, index), item)
+            for index, item in enumerate(items)
+        ]
+        total = len(jobs)
+        done = 0
+        if self.cancel.cancelled:
+            self._emit("cancelled", done, total)
+            return
+        chunks = _chunked(jobs, chunksize)
+        # partial over the module-level _run_chunk pickles, so one shape
+        # serves the in-process and the process backends alike.
+        stream = self.backend.map_unordered(
+            functools.partial(_run_chunk, fn, seeded), chunks
+        )
+        try:
+            for _chunk_index, payloads in stream:
+                for payload in payloads:
+                    error = payload.get("error")
+                    result = JobResult(
+                        index=payload["index"],
+                        value=payload.get("value"),
+                        error=JobError(**error) if error else None,
+                        seed=payload["seed"],
+                        wall_time_s=payload["wall_time_s"],
+                    )
+                    done += 1
+                    self._emit("completed", done, total, result)
+                    yield result
+                if self.cancel.cancelled:
+                    self._emit("cancelled", done, total)
+                    return
+        finally:
+            stream.close()
+        self._emit("finished", done, total)
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        items: Iterable[Any],
+        *,
+        seeded: bool = False,
+        chunksize: int = 1,
+    ) -> list[JobResult]:
+        """Like :meth:`map` but collected and ordered by job index."""
+        return sorted(
+            self.map(fn, items, seeded=seeded, chunksize=chunksize),
+            key=lambda result: result.index,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut the backend down (idempotent)."""
+        self.backend.shutdown(wait=wait, cancel_pending=not wait)
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+
+__all__ = [
+    "CancelToken",
+    "JobError",
+    "JobResult",
+    "MAX_SEED",
+    "ProgressEvent",
+    "Runtime",
+    "derive_seed",
+]

@@ -121,9 +121,38 @@ class TestBenchCli:
         ) == 1
         assert "unknown bench suite" in capsys.readouterr().err
 
+    def test_bench_backends_positional_json(self, tmp_path, capsys):
+        """`repro bench backends --json` (acceptance): one record per
+        backend plus the speedup record, with verdict parity across
+        serial/thread/process, written as BENCH_backends.json."""
+        assert main(
+            ["bench", "backends", "--json", "--out", str(tmp_path)]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["suites"]) == {"backends"}
+        records = {
+            record["name"]: record
+            for record in payload["suites"]["backends"]
+        }
+        assert {
+            "campaign_serial",
+            "campaign_thread",
+            "campaign_process",
+            "speedup",
+        } <= set(records)
+        speedup = records["speedup"]["metrics"]
+        assert speedup["verdict_parity"] == 1
+        assert speedup["serial_s"] > 0
+        assert speedup["process_speedup"] > 0
+        written = tmp_path / "BENCH_backends.json"
+        assert written.exists()
+        validate_bench_payload(
+            json.loads(written.read_text(encoding="utf-8"))
+        )
+
     def test_bench_json_smoke_runs_all_suites(self, tmp_path, capsys):
-        """`repro bench --json` runs RQ1/RQ2/scalability and writes
-        schema-valid BENCH_*.json records (acceptance gate)."""
+        """`repro bench --json` runs RQ1/RQ2/scalability/backends and
+        writes schema-valid BENCH_*.json records (acceptance gate)."""
         assert main(["bench", "--json", "--out", str(tmp_path)]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema"] == BENCH_SCHEMA

@@ -108,6 +108,22 @@ class TestCampaign:
         assert main(["campaign", "--family", "no-such-family"]) == 1
         assert "no variants" in capsys.readouterr().err
 
+    def test_backend_and_jobs_options(self, capsys):
+        assert main([
+            "campaign", "--family", "baseline",
+            "--backend", "thread", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "thread backend" in out
+
+    def test_zero_workers_rejected(self, capsys):
+        assert main(["campaign", "--family", "baseline", "--workers", "0"]) == 1
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_negative_jobs_rejected(self, capsys):
+        assert main(["campaign", "--family", "baseline", "--jobs", "-4"]) == 1
+        assert ">= 1" in capsys.readouterr().err
+
     def test_unknown_scenario_errors(self, capsys):
         assert main(["campaign", "--scenario", "uc9-imaginary"]) == 1
         assert "ERROR" in capsys.readouterr().err

@@ -167,30 +167,49 @@ class TestRunCampaign:
                 variant_id="x", scenario="uc2-keyless-entry", family="f"
             )
         ] * 2
-        # Serial: honoured.  Parallel: refused loudly instead of silently
-        # resolving against the default registry inside the workers.
+        # In-process backends honour it; process fan-out is refused
+        # loudly instead of silently resolving against the default
+        # registry inside the workers.
         assert run_campaign(variants[:1], workers=1, registry=custom).total == 1
+        from repro.runtime import ThreadBackend
+
+        threaded = run_campaign(
+            variants, registry=custom, backend=ThreadBackend(jobs=2)
+        )
+        assert threaded.total == 2
         with pytest.raises(ValidationError, match="serial"):
             run_campaign(variants, workers=2, registry=custom)
 
-    def test_worker_initializer_assigns_disjoint_id_blocks(self):
-        import multiprocessing
-
-        from repro.engine.campaign import _worker_initializer
+    def test_worker_identity_claims_disjoint_id_blocks(self, monkeypatch):
+        """A pool worker's first job claims a block based on its index;
+        the main process (and thread workers) never reset the allocator."""
+        import repro.engine.campaign as campaign_module
         from repro.model.identifiers import (
             claim_id,
             reset_default_allocator,
         )
+        from repro.runtime import backends as backends_module
 
-        sequence = multiprocessing.get_context().Value("i", 0)
         try:
-            _worker_initializer(sequence)  # simulates worker 0 in-process
-            first = claim_id("AD")
-            _worker_initializer(sequence)  # simulates worker 1
-            second = claim_id("AD")
-            assert first == "AD01"
-            assert second == "AD1001"  # disjoint block: no collision
+            # Outside a worker process: a no-op, allocator untouched.
+            monkeypatch.setattr(
+                campaign_module, "_worker_identity_claimed", False
+            )
+            campaign_module._ensure_worker_identity()
+            assert claim_id("AD") == "AD01"
+            # Simulate being worker 1 of a process pool.
+            monkeypatch.setattr(
+                backends_module, "_IN_WORKER_PROCESS", True
+            )
+            monkeypatch.setattr(backends_module, "_WORKER_INDEX", 1)
+            campaign_module._ensure_worker_identity()
+            assert claim_id("AD") == "AD1001"  # disjoint block
+            # Claimed once per process: a second job does not re-floor.
+            monkeypatch.setattr(backends_module, "_WORKER_INDEX", 2)
+            campaign_module._ensure_worker_identity()
+            assert claim_id("AD") == "AD1002"
         finally:
+            campaign_module._worker_identity_claimed = False
             reset_default_allocator()
 
     def test_outcome_lookup(self):
@@ -198,7 +217,7 @@ class TestRunCampaign:
             [default_registry().variant("uc2/baseline/stock")], workers=1
         )
         assert result.outcome("uc2/baseline/stock").sut_passed
-        with pytest.raises(ValidationError, match="no outcome"):
+        with pytest.raises(KeyError, match="known variant ids"):
             result.outcome("missing")
 
     def test_runner_facade_filters_and_runs(self):

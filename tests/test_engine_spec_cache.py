@@ -1,11 +1,10 @@
 """Tests for the cached dotted-path factory resolution (engine.spec)."""
 
-import multiprocessing
-
 import pytest
 
 from repro.engine.spec import resolve_factory
 from repro.errors import ValidationError
+from repro.runtime import available_start_methods, mp_context
 
 _PATH = "repro.sim.scenarios:KeylessEntryScenario"
 
@@ -46,15 +45,13 @@ class TestResolveFactoryCache:
                 resolve_factory("repro.sim.scenarios:Missing")
         assert resolve_factory.cache_info().currsize == 0
 
-    @pytest.mark.parametrize(
-        "method", multiprocessing.get_all_start_methods()
-    )
+    @pytest.mark.parametrize("method", available_start_methods())
     def test_cache_is_fork_and_spawn_safe(self, method):
         """Each worker process resolves from its own interpreter state:
         parent cache entries never leak stale callables into children,
         and children rebuild a working cache under fork AND spawn."""
         resolve_factory(_PATH)  # prime the parent cache
-        context = multiprocessing.get_context(method)
+        context = mp_context(method)
         with context.Pool(processes=1) as pool:
             name, child_hits, child_ok = pool.apply(_child_probe, (_PATH,))
         assert name == "KeylessEntryScenario"

@@ -1,4 +1,5 @@
-"""Export-completeness contracts for repro.tara and repro.engine.
+"""Export-completeness contracts for repro.tara, repro.engine and
+repro.runtime.
 
 Every submodule declares ``__all__``; the package re-exports exactly the
 union of its submodules' ``__all__`` lists; and every public top-level
@@ -14,6 +15,7 @@ import pytest
 PACKAGES = {
     "repro.tara": None,  # eager package: names live in vars(package)
     "repro.engine": None,  # lazy package: names resolve via __getattr__
+    "repro.runtime": None,  # eager package: the execution layer
 }
 
 

@@ -148,16 +148,16 @@ class TestIdAllocator:
         # would believe they extend one sequence while actually minting
         # the same "next" identifier.  The allocator detects the PID
         # change and starts clean.
-        import multiprocessing
+        from repro.runtime import available_start_methods, mp_context
 
-        if "fork" not in multiprocessing.get_all_start_methods():
+        if "fork" not in available_start_methods():
             pytest.skip("fork start method unavailable")
         parent = ids.default_allocator
         ids.reset_default_allocator()
         parent.claim("AD")
         parent.claim("AD")  # parent is at AD02
 
-        context = multiprocessing.get_context("fork")
+        context = mp_context("fork")
         child_ids = []
         for _ in range(2):  # one single-process pool per forked child
             with context.Pool(1) as pool:

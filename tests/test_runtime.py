@@ -1,0 +1,260 @@
+"""Tests for the pluggable execution layer (repro.runtime)."""
+
+import pytest
+
+from repro.errors import ExecutionError, ValidationError
+from repro.runtime import (
+    BACKEND_ENV,
+    CancelToken,
+    JOBS_ENV,
+    ProcessBackend,
+    Runtime,
+    SerialBackend,
+    START_METHOD_ENV,
+    ThreadBackend,
+    available_start_methods,
+    backend_from_env,
+    backend_from_spec,
+    derive_seed,
+    make_backend,
+    usable_cpus,
+)
+
+
+# Module-level so they pickle into process workers under fork AND spawn.
+def _square(value):
+    return value * value
+
+
+def _echo_seed(value, seed):
+    return (value, seed)
+
+
+def _fail_on_two(value):
+    if value == 2:
+        raise ValueError("two is poisoned")
+    return value
+
+
+def _report_worker(value):
+    from repro.runtime import in_worker_process, worker_index
+
+    return (in_worker_process(), worker_index())
+
+
+ALL_BACKENDS = ("serial", "thread", "process")
+
+
+def _backend(name):
+    return make_backend(name, jobs=None if name == "serial" else 2)
+
+
+class TestSeedDerivation:
+    def test_deterministic_and_spread(self):
+        assert derive_seed(7, 3) == derive_seed(7, 3)
+        seeds = {derive_seed(7, index) for index in range(100)}
+        assert len(seeds) == 100  # no collisions over a realistic fan-out
+        assert all(seed >= 0 for seed in seeds)
+
+    def test_root_seed_matters(self):
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+    def test_string_parts_supported(self):
+        assert derive_seed(1, "BLE") != derive_seed(1, "CAN")
+
+
+class TestBackendFactories:
+    def test_make_backend_names(self):
+        assert make_backend("serial").name == "serial"
+        assert make_backend("serial", jobs=1).name == "serial"
+        assert make_backend("thread", jobs=3).jobs == 3
+        assert make_backend("process", jobs=3).jobs == 3
+        with pytest.raises(ValidationError, match="unknown backend"):
+            make_backend("quantum")
+
+    def test_serial_backend_rejects_parallel_jobs(self):
+        # Silently ignoring --jobs on the serial backend would hide a
+        # misconfiguration; it errors like the instance path does.
+        with pytest.raises(ValidationError, match="exactly one job"):
+            make_backend("serial", jobs=4)
+
+    def test_backend_from_spec_defaults(self):
+        assert backend_from_spec(None).name == "serial"
+        assert backend_from_spec(None, jobs=1).name == "serial"
+        parallel = backend_from_spec(None, jobs=3)
+        assert parallel.name == "process"
+        assert parallel.jobs == 3
+
+    def test_backend_from_spec_conflicting_jobs_rejected(self):
+        backend = ThreadBackend(jobs=2)
+        with pytest.raises(ValidationError, match="conflicts"):
+            backend_from_spec(backend, jobs=4)
+        assert backend_from_spec(backend, jobs=2) is backend
+
+    def test_backend_from_env(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert backend_from_env().name == "serial"
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        monkeypatch.setenv(JOBS_ENV, "3")
+        backend = backend_from_env()
+        assert backend.name == "thread"
+        assert backend.jobs == 3
+        monkeypatch.setenv(JOBS_ENV, "not-a-number")
+        with pytest.raises(ValidationError, match="integer"):
+            backend_from_env()
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValidationError, match=">= 1"):
+            ThreadBackend(jobs=0)
+        with pytest.raises(ValidationError, match=">= 1"):
+            ProcessBackend(jobs=-1)
+
+    def test_usable_cpus_positive(self):
+        assert usable_cpus() >= 1
+
+
+class TestBackendExecution:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_map_unordered_covers_all_items(self, name):
+        backend = _backend(name)
+        try:
+            got = dict(backend.map_unordered(_square, range(8)))
+        finally:
+            backend.shutdown()
+        assert got == {index: index * index for index in range(8)}
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_submit_and_as_completed(self, name):
+        backend = _backend(name)
+        try:
+            futures = [backend.submit(_square, value) for value in (2, 3)]
+            results = sorted(f.result() for f in backend.as_completed(futures))
+        finally:
+            backend.shutdown()
+        assert results == [4, 9]
+
+    def test_serial_is_lazy(self):
+        executed = []
+
+        def probe(value):
+            executed.append(value)
+            return value
+
+        stream = SerialBackend().map_unordered(probe, range(5))
+        assert executed == []  # nothing ran yet
+        next(stream)
+        assert executed == [0]  # exactly one job per pull
+        stream.close()
+        assert executed == [0]
+
+    def test_shutdown_is_idempotent(self):
+        backend = ThreadBackend(jobs=1)
+        backend.submit(_square, 2).result()
+        backend.shutdown()
+        backend.shutdown()
+
+
+class TestRuntimeSemantics:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_results_ordered_and_seeded(self, name):
+        with Runtime(_backend(name), seed=11) as runtime:
+            results = runtime.run(_echo_seed, ["a", "b", "c"], seeded=True)
+        assert [r.value[0] for r in results] == ["a", "b", "c"]
+        assert [r.seed for r in results] == [
+            derive_seed(11, index) for index in range(3)
+        ]
+        assert all(r.ok and r.wall_time_s >= 0 for r in results)
+
+    @pytest.mark.parametrize("chunksize", (1, 2, 5))
+    def test_chunking_preserves_results(self, chunksize):
+        with Runtime(ThreadBackend(jobs=2)) as runtime:
+            results = runtime.run(_square, range(9), chunksize=chunksize)
+        assert [r.value for r in results] == [v * v for v in range(9)]
+
+    def test_bad_chunksize_rejected(self):
+        with pytest.raises(ValidationError, match="chunksize"):
+            list(Runtime().map(_square, [1], chunksize=0))
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_errors_are_captured_not_raised(self, name):
+        with Runtime(_backend(name)) as runtime:
+            results = runtime.run(_fail_on_two, range(4))
+        assert [r.ok for r in results] == [True, True, False, True]
+        failed = results[2]
+        assert failed.error.type == "ValueError"
+        assert "poisoned" in failed.error.message
+        assert "ValueError" in failed.error.traceback
+        with pytest.raises(ExecutionError, match="poisoned"):
+            failed.unwrap()
+
+    def test_progress_events_sequence(self):
+        events = []
+        runtime = Runtime(on_event=events.append)
+        list(runtime.map(_square, range(3)))
+        kinds = [event.kind for event in events]
+        assert kinds == ["completed", "completed", "completed", "finished"]
+        assert [event.done for event in events] == [1, 2, 3, 3]
+        assert all(event.total == 3 for event in events)
+        assert events[0].result.value == 0
+
+    def test_cancellation_stops_dispatch(self):
+        token = CancelToken()
+        events = []
+
+        def on_event(event):
+            events.append(event.kind)
+            if event.kind == "completed" and event.done == 2:
+                token.cancel()
+
+        runtime = Runtime(on_event=on_event, cancel=token)
+        results = list(runtime.map(_square, range(50)))
+        assert len(results) == 2
+        assert events[-1] == "cancelled"
+        assert token.cancelled
+
+    def test_pre_cancelled_runs_nothing(self):
+        token = CancelToken()
+        token.cancel()
+        assert list(Runtime(cancel=token).map(_square, range(5))) == []
+
+
+class TestProcessBackendSemantics:
+    @pytest.mark.parametrize("method", available_start_methods())
+    def test_seeds_identical_under_every_start_method(self, method):
+        """Seed derivation is parent-side and content-addressed, so the
+        seed a worker sees is identical under fork and spawn."""
+        with Runtime(
+            ProcessBackend(jobs=2, start_method=method), seed=5
+        ) as runtime:
+            results = runtime.run(_echo_seed, ["x", "y", "z"], seeded=True)
+        assert [r.value for r in results] == [
+            ("x", derive_seed(5, 0)),
+            ("y", derive_seed(5, 1)),
+            ("z", derive_seed(5, 2)),
+        ]
+
+    def test_workers_know_their_identity(self):
+        with Runtime(ProcessBackend(jobs=2)) as runtime:
+            results = runtime.run(_report_worker, range(6))
+        assert all(r.value[0] is True for r in results)
+        assert {r.value[1] for r in results} <= {0, 1}
+
+    def test_main_process_is_not_a_worker(self):
+        from repro.runtime import in_worker_process, worker_index
+
+        assert in_worker_process() is False
+        assert worker_index() == 0
+
+    def test_env_start_method_honoured(self, monkeypatch):
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        assert ProcessBackend().start_method == "spawn"
+        monkeypatch.setenv(START_METHOD_ENV, "not-a-method")
+        with pytest.raises(ValidationError, match="not supported"):
+            ProcessBackend().start_method
+
+    def test_explicit_start_method_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        if "fork" not in available_start_methods():
+            pytest.skip("fork start method unavailable")
+        assert ProcessBackend(start_method="fork").start_method == "fork"

@@ -1,0 +1,353 @@
+"""Campaign + fuzzing semantics on the pluggable runtime.
+
+Covers the contracts the execution-backend redesign introduced: verdict
+parity across backends (including the AD08/AD20 bound-attack family),
+the ``parallel=``/``workers=`` deprecation shims, streaming result
+sinks, poisoned jobs surfacing as tagged error records (or as
+:class:`~repro.errors.VariantExecutionError`), and cooperative
+mid-campaign cancellation.
+"""
+
+import warnings
+
+import pytest
+
+from repro.engine.campaign import (
+    ERROR_VERDICT,
+    iter_campaign,
+    run_campaign,
+)
+from repro.engine.registry import default_registry
+from repro.engine.spec import VariantSpec
+from repro.errors import ValidationError, VariantExecutionError
+from repro.results import ResultSink
+from repro.runtime import (
+    CancelToken,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_start_methods,
+)
+
+
+def _quick_variants():
+    # Both use cases' zone-geometry sweeps: 20+ cheap, deterministic runs.
+    return default_registry().variants(family="zone-geometry")
+
+
+def _poisoned_variant():
+    """A variant whose worker-side execution raises (unknown attack)."""
+    return VariantSpec(
+        variant_id="test/poison/bad-attack",
+        scenario="uc2-keyless-entry",
+        family="poison",
+        attack="no-such-catalog-attack",
+    )
+
+
+def _fingerprint(result):
+    return [
+        (o.variant_id, o.verdict, o.violated_goals, o.detections)
+        for o in result.outcomes
+    ]
+
+
+class TestBackendParity:
+    def test_thread_and_process_match_serial(self):
+        variants = _quick_variants()
+        serial = run_campaign(variants, backend=SerialBackend())
+        for backend in (ThreadBackend(jobs=2), ProcessBackend(jobs=2)):
+            parallel = run_campaign(variants, backend=backend)
+            assert _fingerprint(parallel) == _fingerprint(serial), backend.name
+            assert parallel.backend == backend.name
+
+    @pytest.mark.slow
+    def test_ad08_ad20_family_parity_serial_vs_process(self):
+        """The bound-attack parity family (AD08, AD20) lands on identical
+        verdicts when fanned out over a process pool."""
+        registry = default_registry()
+        variants = registry.variants(family="parity", attack="AD08")
+        variants += registry.variants(family="parity", attack="AD20")
+        assert len(variants) == 2
+        serial = run_campaign(variants, backend=SerialBackend())
+        parallel = run_campaign(variants, backend=ProcessBackend(jobs=2))
+        assert _fingerprint(parallel) == _fingerprint(serial)
+        assert serial.outcome("uc2/parity/ad08").sut_passed
+        assert serial.outcome("uc1/parity/ad20").sut_passed
+
+    @pytest.mark.parametrize("method", available_start_methods())
+    def test_process_parity_under_every_start_method(self, method):
+        variants = _quick_variants()[:3]
+        serial = run_campaign(variants, backend=SerialBackend())
+        parallel = run_campaign(
+            variants, backend=ProcessBackend(jobs=2, start_method=method)
+        )
+        assert _fingerprint(parallel) == _fingerprint(serial)
+
+
+class TestOrderingAndOwnership:
+    def test_iter_campaign_accepts_backend_names(self):
+        from repro.engine.campaign import iter_campaign
+
+        variants = _quick_variants()[:3]
+        outcomes = list(iter_campaign(variants, backend="thread"))
+        assert {o.variant_id for o in outcomes} == {
+            v.variant_id for v in variants
+        }
+
+    def test_duplicate_variant_ids_keep_positional_order(self):
+        """Explicit lists may repeat a spec; outcomes must come back in
+        exact submission order, not collapsed by variant id."""
+        first, second = _quick_variants()[:2]
+        submitted = [first, second, first]
+        result = run_campaign(submitted, backend=ThreadBackend(jobs=2))
+        assert [o.variant_id for o in result.outcomes] == [
+            v.variant_id for v in submitted
+        ]
+
+    def test_runner_shuts_down_owned_backend_after_run(self):
+        from repro.engine.campaign import CampaignRunner
+
+        runner = CampaignRunner(backend="process", jobs=2)
+        runner.run(_quick_variants()[:3])
+        assert runner.backend.started is False  # pool released, not leaked
+
+    def test_runner_leaves_caller_backend_running(self):
+        from repro.engine.campaign import CampaignRunner
+
+        backend = ThreadBackend(jobs=2)
+        try:
+            runner = CampaignRunner(backend=backend)
+            runner.run(_quick_variants()[:3])
+            assert backend.started is True  # caller owns the lifecycle
+        finally:
+            backend.shutdown()
+
+
+class TestDeprecationShims:
+    def test_parallel_keyword_warns_and_matches_backend_path(self):
+        variants = _quick_variants()[:4]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = run_campaign(variants, parallel=2)
+        assert any(
+            issubclass(item.category, DeprecationWarning) for item in caught
+        )
+        explicit = run_campaign(variants, backend=ProcessBackend(jobs=2))
+        assert _fingerprint(shim) == _fingerprint(explicit)
+        assert shim.backend == explicit.backend == "process"
+        assert shim.workers == explicit.workers == 2
+
+    def test_conflicting_worker_specs_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValidationError, match="conflicting"):
+                run_campaign([], workers=2, parallel=3)
+        with pytest.raises(ValidationError, match="not both"):
+            run_campaign([], workers=2, backend=SerialBackend())
+
+
+class TestStreaming:
+    def test_sink_receives_records_as_outcomes_complete(self):
+        variants = _quick_variants()[:4]
+        sink = ResultSink()
+        sizes = []
+        for outcome in iter_campaign(variants, sink=sink):
+            sizes.append(len(sink))  # record present the moment we see it
+        assert sizes == [1, 2, 3, 4]
+        snapshot = sink.snapshot()
+        assert snapshot.subjects() == tuple(v.variant_id for v in variants)
+
+    def test_partial_snapshot_mid_campaign(self):
+        variants = _quick_variants()[:4]
+        sink = ResultSink()
+        stream = iter_campaign(variants, sink=sink)
+        next(stream)
+        next(stream)
+        partial = sink.snapshot()
+        assert len(partial) == 2
+        assert partial.to_json()  # exportable before the campaign ends
+        stream.close()
+
+    def test_run_campaign_fills_sink_completely(self):
+        variants = _quick_variants()[:3]
+        sink = ResultSink()
+        result = run_campaign(
+            variants, backend=ProcessBackend(jobs=2), sink=sink
+        )
+        assert len(sink) == result.total
+        assert set(sink.snapshot().subjects()) == {
+            o.variant_id for o in result.outcomes
+        }
+
+
+class TestErrorHandling:
+    def test_poisoned_job_surfaces_as_error_record(self):
+        variants = list(_quick_variants()[:2]) + [_poisoned_variant()]
+        result = run_campaign(variants, on_error="record")
+        assert result.total == 3
+        errors = result.errors()
+        assert len(errors) == 1
+        error = errors[0]
+        assert error.verdict == ERROR_VERDICT
+        assert error.is_error and not error.sut_passed
+        assert error.variant_id == "test/poison/bad-attack"
+        assert "SimulationError" in error.notes
+        record = error.to_record()
+        assert record.passed is False
+        assert record.get("error_type") == "SimulationError"
+        assert result.summary()["errors"] == 1
+
+    def test_poisoned_job_raises_typed_error_with_variant_id(self):
+        variants = list(_quick_variants()[:1]) + [_poisoned_variant()]
+        with pytest.raises(VariantExecutionError) as excinfo:
+            run_campaign(variants)
+        assert excinfo.value.variant_id == "test/poison/bad-attack"
+        assert excinfo.value.error_type == "SimulationError"
+
+    def test_poisoned_job_raises_across_process_boundary(self):
+        variants = list(_quick_variants()[:1]) + [_poisoned_variant()]
+        with pytest.raises(VariantExecutionError) as excinfo:
+            run_campaign(variants, backend=ProcessBackend(jobs=2))
+        assert excinfo.value.variant_id == "test/poison/bad-attack"
+        assert "SimulationError" in excinfo.value.error_traceback
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValidationError, match="on_error"):
+            run_campaign([], on_error="ignore")
+
+
+class TestCancellation:
+    def test_cancel_mid_campaign_keeps_partial_outcomes(self):
+        variants = _quick_variants()
+        assert len(variants) >= 4
+        token = CancelToken()
+
+        def on_event(event):
+            if event.kind == "completed" and event.done == 2:
+                token.cancel()
+
+        result = run_campaign(variants, cancel=token, on_event=on_event)
+        assert result.cancelled
+        assert result.total == 2
+        assert result.summary()["cancelled"] is True
+        assert "[cancelled]" in result.to_text()
+
+    def test_cancel_streams_into_sink_consistently(self):
+        variants = _quick_variants()
+        token = CancelToken()
+        sink = ResultSink()
+
+        def on_event(event):
+            if event.kind == "completed":
+                token.cancel()
+
+        result = run_campaign(
+            variants, cancel=token, on_event=on_event, sink=sink
+        )
+        assert len(sink) == result.total
+
+
+class TestWorkspaceIntegration:
+    def test_workspace_campaign_streams_and_respects_backend(self):
+        from repro.api import Workspace
+
+        workspace = Workspace()
+        result = workspace.campaign(
+            scenario="uc2-keyless-entry",
+            family="zone-geometry",
+            backend="thread",
+            jobs=2,
+        )
+        assert result.backend == "thread"
+        records = workspace.results()
+        assert len(records) == result.total
+
+    def test_workspace_default_backend(self):
+        from repro.api import Workspace
+
+        workspace = Workspace(backend="thread", jobs=2)
+        result = workspace.campaign(
+            scenario="uc2-keyless-entry", family="zone-geometry", limit=2
+        )
+        assert result.backend == "thread"
+        assert result.workers == 2
+
+    def test_workspace_rejects_conflicting_specs(self):
+        from repro.api import Workspace
+
+        with pytest.raises(ValidationError, match="not both"):
+            Workspace().campaign(
+                family="zone-geometry", workers=2, backend="thread"
+            )
+
+
+class TestParallelFuzzing:
+    def _campaign(self):
+        from repro.sim.clock import SimClock
+        from repro.sim.controls import (
+            ControlPipeline,
+            IdWhitelist,
+            SenderAuthentication,
+        )
+        from repro.sim.crypto import KeyStore
+        from repro.sim.events import EventBus
+        from repro.sim.network import Message
+        from repro.tara.attack_tree import AttackStep, AttackTree, or_node
+        from repro.tara.fuzzing import FuzzCampaign, FuzzPlan
+
+        keystore = KeyStore()
+        keystore.provision("phone")
+        seed_message = (
+            Message(
+                kind="open_command",
+                sender="phone",
+                payload={"key_id": "KEY-1", "strength": 5},
+                counter=3,
+            )
+            .with_timestamp(100.0)
+            .signed(keystore)
+        )
+        clock, bus = SimClock(), EventBus()
+        clock.run_until(150.0)
+        pipeline = ControlPipeline("ECU_GW", clock, bus)
+        pipeline.add(SenderAuthentication(keystore))
+        pipeline.add(IdWhitelist({"KEY-1"}, kinds={"open_command"}))
+        tree = AttackTree(
+            goal="open vehicle",
+            root=or_node(
+                "paths",
+                AttackStep("forge key", interface="BLE"),
+                AttackStep("inject frame", interface="CAN"),
+            ),
+        )
+        campaign = FuzzCampaign(clock, pipeline, FuzzPlan.from_tree(tree))
+        return campaign, seed_message
+
+    def test_serial_and_thread_fuzzing_agree(self):
+        campaign_a, seed_a = self._campaign()
+        campaign_b, seed_b = self._campaign()
+        serial = campaign_a.fuzz_interfaces({"BLE": seed_a, "CAN": seed_a})
+        # jobs alone selects the in-process thread backend here.
+        threaded = campaign_b.fuzz_interfaces(
+            {"BLE": seed_b, "CAN": seed_b}, jobs=2
+        )
+        assert [
+            (o.case.name, o.rejected, o.rejecting_control) for o in serial
+        ] == [
+            (o.case.name, o.rejected, o.rejecting_control) for o in threaded
+        ]
+        assert campaign_b.report().interface_coverage == 1.0
+
+    def test_fuzzing_refuses_process_backends(self):
+        campaign, seed_message = self._campaign()
+        with pytest.raises(ValidationError, match="in-process"):
+            campaign.fuzz_interfaces(
+                {"BLE": seed_message}, backend="process"
+            )
+
+    def test_fuzzing_outside_plan_still_rejected(self):
+        from repro.errors import SimulationError
+
+        campaign, seed_message = self._campaign()
+        with pytest.raises(SimulationError, match="not designated"):
+            campaign.fuzz_interfaces({"USB": seed_message})
