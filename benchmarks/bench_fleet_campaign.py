@@ -1,0 +1,127 @@
+"""Fleet campaign characterisation on the spatial traffic world.
+
+The topology layer (PR 4) turned the single-vehicle substrate into a
+multi-actor world; these benchmarks pin down its scaling and semantics
+so the fleet variant families can be trusted:
+
+* **convoy scaling**: campaign wall time grows (sub-linearly in event
+  count) with fleet size -- the per-size throughput feeds the
+  ``BENCH_fleet`` trajectory next to the built-in suite;
+* **V2V relay coverage**: with the RSU range cut below the convoy
+  spread, warning coverage with V2V relaying strictly dominates the
+  relay-less convoy -- forwarding is load-bearing, not decorative;
+* **range gating**: the out-of-range counter on the v2x channel is
+  monotone non-increasing in the RSU transmit range across the
+  ``coverage`` family (the field-testing range/reception curve).
+
+Campaigns run through :mod:`repro.engine.campaign` on the
+:func:`_harness.campaign_backend` execution backend, so
+``--backend``/``--jobs`` parallelise this script like every other.
+"""
+
+import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
+
+from repro.bench import fleet_variants_of_size
+from repro.engine.campaign import run_campaign
+from repro.engine.registry import default_registry
+from repro.sim.scenarios import FleetConstructionSiteScenario
+
+
+def test_convoy_scaling(benchmark):
+    """Fleet-family campaigns complete at every convoy size, verdicts
+    consistent: exposed floods and jams violate, protected runs hold."""
+
+    def sweep():
+        return {
+            size: run_campaign(
+                fleet_variants_of_size(size),
+                backend=_harness.campaign_backend(),
+            )
+            for size in (2, 4, 8)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    walls = {}
+    for size, result in results.items():
+        assert result.total == 4
+        by_id = {o.variant_id.rsplit("-", 1)[-1]: o for o in result.outcomes}
+        assert not by_id["baseline"].violated_goals
+        assert "SG01" in by_id["exposed"].violated_goals
+        assert not by_id["protected"].violated_goals
+        assert "SG01" in by_id["jam"].violated_goals
+        # Per-vehicle verdicts cover the whole convoy.
+        per_vehicle = by_id["jam"].stats["per_vehicle_verdicts"]
+        assert len(per_vehicle) == size
+        assert all(v == "violated" for v in per_vehicle.values())
+        walls[size] = result.wall_time_s
+    benchmark.extra_info["wall_s_by_fleet_size"] = {
+        str(size): round(wall, 3) for size, wall in walls.items()
+    }
+
+
+def test_v2v_relay_extends_coverage(benchmark):
+    """V2V relaying saves the followers the RSU alone warns too late.
+
+    The RSU sits at the far zone edge with a 130 m range, so every
+    vehicle enters coverage a mere 30 m before the zone -- too late to
+    hand over.  Relay-less, the whole convoy violates SG01; with V2V the
+    lead vehicle's too-late warning cascades backwards in time for every
+    follower.
+    """
+
+    def violated_count(v2v_enabled: bool) -> int:
+        scenario = FleetConstructionSiteScenario(
+            fleet_size=6,
+            headway_m=120.0,
+            zone_start_m=900.0,
+            zone_end_m=1000.0,
+            rsu_position_m=1000.0,
+            rsu_range_m=130.0,
+            v2v_range_m=130.0,
+            v2v_enabled=v2v_enabled,
+            v2v_max_hops=5,
+        )
+        verdicts = scenario.run(60000.0).stats["per_vehicle_verdicts"]
+        return sum(1 for verdict in verdicts.values() if verdict == "violated")
+
+    counts = benchmark.pedantic(
+        lambda: {v2v: violated_count(v2v) for v2v in (False, True)},
+        rounds=1,
+        iterations=1,
+    )
+    assert counts[False] == 6  # relay-less: the whole convoy falls
+    assert counts[True] == 1  # with V2V: only the lead is warned too late
+    benchmark.extra_info["violated_v2v_off"] = counts[False]
+    benchmark.extra_info["violated_v2v_on"] = counts[True]
+
+
+def test_rsu_range_reception_curve(benchmark):
+    """Across the coverage family, reception grows with transmit range."""
+    variants = [
+        variant
+        for variant in default_registry().variants(family="coverage")
+        if variant.variant_id.endswith("-n4")
+    ]
+    assert len(variants) >= 5
+
+    result = benchmark.pedantic(
+        lambda: run_campaign(variants, backend=_harness.campaign_backend()),
+        rounds=1,
+        iterations=1,
+    )
+
+    def radius(outcome) -> float:
+        return float(outcome.variant_id.split("range", 1)[1].split("-", 1)[0])
+
+    by_range = sorted(result.outcomes, key=radius)
+    out_of_range = [o.stats["v2x"]["out_of_range"] for o in by_range]
+    assert out_of_range == sorted(out_of_range, reverse=True)
+    handovers = [o.stats["handovers"] for o in by_range]
+    assert handovers == sorted(handovers)
+    benchmark.extra_info["out_of_range_by_radius"] = {
+        str(radius(o)): o.stats["v2x"]["out_of_range"] for o in by_range
+    }
+
+
+if __name__ == "__main__":
+    raise SystemExit(_harness.main(__file__))

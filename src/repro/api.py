@@ -466,6 +466,9 @@ class Workspace:
         workers: int | None = None,
         variants: Iterable[Any] | None = None,
         *,
+        use_case: str | None = None,
+        fleet_size: int | None = None,
+        rsu_range_m: float | None = None,
         backend: Any | None = None,
         jobs: int | None = None,
         on_error: str = "raise",
@@ -475,7 +478,11 @@ class Workspace:
         """Run a scenario campaign; outcomes **stream** into the result set.
 
         Filters mirror :meth:`repro.engine.registry.ScenarioRegistry
-        .variants`; pass ``variants`` to run an explicit list instead.
+        .variants` (``use_case`` narrows to one use case's scenarios);
+        pass ``variants`` to run an explicit list instead.
+        ``fleet_size``/``rsu_range_m`` reshape the selection's
+        topology-capable variants (convoy size, RSU transmit range)
+        through :func:`~repro.engine.registry.apply_topology_overrides`.
         Execution goes through the :mod:`repro.runtime` layer:
         ``backend``/``jobs`` (per call, falling back to the workspace
         defaults) pick where variants run -- ``workers=N`` remains as the
@@ -488,6 +495,7 @@ class Workspace:
         # Imported lazily: the engine pulls in the whole simulator stack,
         # which pipeline-only workspace uses should not pay for.
         from repro.engine.campaign import CampaignRunner
+        from repro.engine.registry import apply_topology_overrides
         from repro.results import ResultSink
 
         if backend is None and jobs is None and workers is None:
@@ -504,7 +512,18 @@ class Workspace:
             )
         if variants is None:
             variants = runner.select(
-                scenario=scenario, family=family, attack=attack, limit=limit
+                scenario=scenario,
+                family=family,
+                attack=attack,
+                limit=limit,
+                use_case=use_case,
+            )
+        if fleet_size is not None or rsu_range_m is not None:
+            variants = apply_topology_overrides(
+                variants,
+                runner.registry,
+                fleet_size=fleet_size,
+                rsu_range_m=rsu_range_m,
             )
         sink = ResultSink(on_record=self._records.append)
         return runner.run(

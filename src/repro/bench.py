@@ -16,11 +16,12 @@ module gives every producer one record shape:
   ``benchmarks/_harness.py`` so the pytest-benchmark scripts emit the
   same records;
 * the built-in suites behind ``repro bench`` (:data:`BENCH_SUITES`):
-  RQ1 completeness, RQ2 reduction, campaign scalability, and the
+  RQ1 completeness, RQ2 reduction, campaign scalability, the
   execution-backend comparison (``backends``: serial vs thread vs
-  process on the scalability campaign), implemented on the
-  :class:`~repro.api.Workspace` facade and the :mod:`repro.runtime`
-  layer.
+  process on the scalability campaign) and the fleet campaign
+  throughput suite (``fleet``: variants/sec vs convoy size per
+  backend), implemented on the :class:`~repro.api.Workspace` facade and
+  the :mod:`repro.runtime` layer.
 """
 
 from __future__ import annotations
@@ -518,12 +519,117 @@ def bench_backends(jobs: int | None = None) -> list[BenchRecord]:
     return records
 
 
+def fleet_variants_of_size(size: int):
+    """The ``fleet`` family's variants of one convoy size.
+
+    Selected on the variant's actual ``fleet_size`` parameter (not on
+    id substrings), so renamed variant ids cannot silently empty a
+    bench sweep.  Shared by the built-in ``fleet`` suite and
+    ``benchmarks/bench_fleet_campaign.py``.
+    """
+    from repro.engine.registry import default_registry
+
+    return tuple(
+        variant
+        for variant in default_registry().variants(family="fleet")
+        if variant.params_dict().get("fleet_size") == size
+    )
+
+
+def bench_fleet(jobs: int | None = None) -> list[BenchRecord]:
+    """Fleet campaign throughput: variants/sec vs convoy size per backend.
+
+    Each backend (serial, thread, process) runs the ``fleet`` family's
+    variants at convoy sizes 2/4/8; one record per ``(backend, size)``
+    cell carries the wall time and throughput, and a final ``parity``
+    record asserts that all backends produced identical verdict
+    sequences (including the per-vehicle verdicts inside each outcome's
+    stats) -- the fleet layer must not cost determinism.
+    """
+    from repro.engine.campaign import run_campaign
+    from repro.runtime import (
+        ProcessBackend,
+        SerialBackend,
+        ThreadBackend,
+        usable_cpus,
+    )
+
+    cpus = usable_cpus()
+    jobs = jobs if jobs is not None else max(2, min(4, cpus))
+    sizes = (2, 4, 8)
+    records: list[BenchRecord] = []
+    verdicts: dict[str, list[tuple]] = {}
+    for backend in (
+        SerialBackend(),
+        ThreadBackend(jobs=jobs),
+        ProcessBackend(jobs=jobs),
+    ):
+        backend_verdicts: list[tuple] = []
+        with backend:
+            for size in sizes:
+                variants = fleet_variants_of_size(size)
+                result = run_campaign(variants, backend=backend)
+                backend_verdicts.extend(
+                    (
+                        outcome.variant_id,
+                        outcome.verdict,
+                        tuple(
+                            sorted(
+                                outcome.stats.get(
+                                    "per_vehicle_verdicts", {}
+                                ).items()
+                            )
+                        ),
+                    )
+                    for outcome in result.outcomes
+                )
+                records.append(
+                    BenchRecord(
+                        suite="fleet",
+                        name=f"campaign_{backend.name}_n{size}",
+                        metrics=freeze_items(
+                            {
+                                "fleet_size": size,
+                                "variants": result.total,
+                                "jobs": result.workers,
+                                "wall_s": result.wall_time_s,
+                                "variants_per_s": result.total
+                                / max(result.wall_time_s, 1e-9),
+                            }
+                        ),
+                        meta=freeze_items({"backend": backend.name}),
+                    )
+                )
+        verdicts[backend.name] = backend_verdicts
+    parity = all(
+        verdicts[name] == verdicts["serial"]
+        for name in ("thread", "process")
+    )
+    records.append(
+        BenchRecord(
+            suite="fleet",
+            name="parity",
+            status="ok" if parity else "failed",
+            metrics=freeze_items(
+                {
+                    "cpus": cpus,
+                    "jobs": jobs,
+                    "outcomes_per_backend": len(verdicts["serial"]),
+                    "verdict_parity": 1 if parity else 0,
+                }
+            ),
+        )
+    )
+    return records
+
+
 #: The built-in suites ``repro bench`` runs, in execution order.
 BENCH_SUITES: dict[str, Callable[[], list[BenchRecord]]] = {
     "rq1": bench_rq1,
     "rq2": bench_rq2,
     "scalability": bench_scalability,
     "backends": bench_backends,
+    "fleet": bench_fleet,
 }
 
 
@@ -563,9 +669,11 @@ __all__ = [
     "STATUSES",
     "bench_backends",
     "bench_file_payload",
+    "bench_fleet",
     "bench_rq1",
     "bench_rq2",
     "bench_scalability",
+    "fleet_variants_of_size",
     "records_from_pytest_benchmark",
     "run_suites",
     "validate_bench_payload",

@@ -11,7 +11,10 @@ Usage (also via ``python -m repro``)::
     repro trace uc1                   # goal/attack/threat matrix (Markdown)
     repro campaign --backend process --jobs 4   # parallel fan-out
     repro campaign --family control-ablation --verbose
+    repro campaign --usecase uc1 --family fleet --fleet 4   # convoy runs
+    repro campaign --family coverage --rsu-range 200        # range sweep
     repro campaign --list             # enumerate variants without running
+    repro campaign --list-families    # enumerate the variant families
     repro campaign --export out.csv   # export outcomes (json/csv/md)
     repro bench --json                # machine-readable benchmark records
     repro bench backends --json       # serial vs thread vs process speedup
@@ -156,24 +159,73 @@ def _campaign_execution(args: argparse.Namespace) -> tuple[str, int]:
     return backend, jobs
 
 
+def _print_families(registry, args: argparse.Namespace) -> int:
+    """Enumerate the variant families, honouring the selection filters."""
+    rows = []
+    for scenario in registry.names():
+        if args.scenario is not None and scenario != args.scenario:
+            continue
+        if (
+            args.usecase is not None
+            and registry.get(scenario).use_case != args.usecase
+        ):
+            continue
+        for family in registry.families(scenario):
+            if args.family is not None and family != args.family:
+                continue
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "family": family,
+                    "variants": len(
+                        registry.variants(scenario=scenario, family=family)
+                    ),
+                }
+            )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        print("no families match the given filters", file=sys.stderr)
+        return 1
+    for row in rows:
+        print(
+            f"{row['scenario']:25s} {row['family']:20s} "
+            f"{row['variants']:4d} variant(s)"
+        )
+    print(f"{len(rows)} famil{'y' if len(rows) == 1 else 'ies'}")
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run (or list) the scenario registry's variant families."""
     # Imported here so the light report/export commands keep their fast
     # startup; the engine pulls in the whole simulator stack.
     from repro.api import Workspace
     from repro.engine.campaign import CampaignRunner
+    from repro.engine.registry import apply_topology_overrides
 
     try:
         backend, jobs = _campaign_execution(args)
         # Selection needs only the registry; the execution backend is
         # resolved once, inside Workspace.campaign below.
         runner = CampaignRunner()
+        if args.list_families:
+            return _print_families(runner.registry, args)
         variants = runner.select(
             scenario=args.scenario,
             family=args.family,
             attack=args.attack,
             limit=args.limit,
+            use_case=args.usecase,
         )
+        if args.fleet is not None or args.rsu_range is not None:
+            variants = apply_topology_overrides(
+                variants,
+                runner.registry,
+                fleet_size=args.fleet,
+                rsu_range_m=args.rsu_range,
+            )
     except ReproError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
         return 1
@@ -334,12 +386,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="only this scenario (e.g. uc1-construction-site)",
     )
     campaign.add_argument(
+        "--usecase", choices=("uc1", "uc2"), default=None,
+        help="only scenarios of this use case",
+    )
+    campaign.add_argument(
         "--family",
-        help="only this variant family (e.g. control-ablation, parity)",
+        help="only this variant family (e.g. control-ablation, fleet)",
     )
     campaign.add_argument(
         "--attack",
         help="only variants of this attack (AD id or catalog key)",
+    )
+    campaign.add_argument(
+        "--fleet", type=int, default=None, metavar="N",
+        help="convoy size override for fleet-capable variants",
+    )
+    campaign.add_argument(
+        "--rsu-range", type=float, default=None, metavar="METERS",
+        help="RSU transmit-range override for topology-capable variants",
     )
     campaign.add_argument(
         "--backend", choices=("serial", "thread", "process"), default=None,
@@ -361,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--list", action="store_true",
         help="enumerate matching variants without running them",
+    )
+    campaign.add_argument(
+        "--list-families", action="store_true",
+        help="enumerate the registered variant families and exit",
     )
     campaign.add_argument(
         "--verbose", action="store_true",

@@ -46,8 +46,10 @@ _EXPORTS = {
     "BOUND_ATTACKS": "repro.engine.registry",
     "FamilyGenerator": "repro.engine.registry",
     "ScenarioRegistry": "repro.engine.registry",
+    "UC1_FLEET_SCENARIO": "repro.engine.registry",
     "UC1_SCENARIO": "repro.engine.registry",
     "UC2_SCENARIO": "repro.engine.registry",
+    "apply_topology_overrides": "repro.engine.registry",
     "default_registry": "repro.engine.registry",
     "CampaignRunner": "repro.engine.campaign",
     "CampaignResult": "repro.engine.campaign",

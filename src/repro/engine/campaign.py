@@ -701,10 +701,15 @@ class CampaignRunner:
         family: str | None = None,
         attack: str | None = None,
         limit: int | None = None,
+        use_case: str | None = None,
     ) -> tuple[VariantSpec, ...]:
         """The registry's (filtered) variant list."""
         return self.registry.variants(
-            scenario=scenario, family=family, attack=attack, limit=limit
+            scenario=scenario,
+            family=family,
+            attack=attack,
+            limit=limit,
+            use_case=use_case,
         )
 
     def run(

@@ -17,7 +17,15 @@ expand each spec into a deterministic design-space sweep:
 * ``traffic-density``   -- legitimate-load sweeps (RSU beacon period,
   BLE/CAN service parameters, ECU queue depths);
 * ``zone-geometry``     -- construction-zone position/length sweeps (UC1)
-  and opening-deadline sweeps (UC2).
+  and opening-deadline sweeps (UC2);
+* ``fleet``             -- AD20-style floods and AD14-style jams replayed
+  against 2-8-vehicle convoys on the spatial fleet scenario, with
+  verdict-per-vehicle in every outcome;
+* ``coverage``          -- RSU transmit-range sweeps reproducing the
+  field-testing range/reception curve;
+* ``attacker-position`` -- attacker-timing sweeps crossed with attacker
+  *placement*: the same flood succeeds in radio range and dies outside
+  it.
 
 Families are generator functions so new ones can be registered by future
 workloads; the stock registry (``default_registry()``) yields well over a
@@ -27,6 +35,7 @@ rebuild from scratch.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import itertools
 from typing import Callable, Iterable, Iterator
@@ -40,6 +49,7 @@ FamilyGenerator = Callable[[ScenarioSpec], Iterable[VariantSpec]]
 
 UC1_SCENARIO = "uc1-construction-site"
 UC2_SCENARIO = "uc2-keyless-entry"
+UC1_FLEET_SCENARIO = "uc1-fleet-convoy"
 
 #: Control universes, in deterministic order.  Imported from the scenario
 #: module so a control added there automatically joins the ablation sweep.
@@ -111,16 +121,29 @@ class ScenarioRegistry:
         family: str | None = None,
         attack: str | None = None,
         limit: int | None = None,
+        use_case: str | None = None,
     ) -> tuple[VariantSpec, ...]:
         """Generate the (filtered) variant list, deterministically ordered."""
         if scenario is not None:
             self.get(scenario)  # unknown names fail loudly, not emptily
+        if use_case is not None and use_case not in {
+            spec.use_case for spec in self._specs.values()
+        }:
+            raise ValidationError(
+                f"unknown use case {use_case!r} (known: "
+                f"{sorted({s.use_case for s in self._specs.values()})})"
+            )
         if limit is not None and limit < 1:
             raise ValidationError(f"limit must be >= 1, got {limit}")
         selected: list[VariantSpec] = []
         seen: set[str] = set()
         for spec_name, families in self._families.items():
             if scenario is not None and spec_name != scenario:
+                continue
+            if (
+                use_case is not None
+                and self._specs[spec_name].use_case != use_case
+            ):
                 continue
             for family_name, generator in families.items():
                 if family is not None and family_name != family:
@@ -403,6 +426,153 @@ def _uc1_zone_geometry(spec: ScenarioSpec) -> Iterator[VariantSpec]:
         )
 
 
+# -- spatial families (fleet / coverage / attacker placement) -----------------
+
+#: Close-in geometry shared by the spatial families: the zone sits at
+#: 600 m so every convoy member reaches it inside a 30 s horizon, and
+#: the RSU's default 500 m range covers the launch area.  The RSU sits
+#: *off* the 2.5 m kinematics grid (399, not 400) so a zero-range sweep
+#: point cannot connect through an exact-position coincidence.
+_FLEET_GEOMETRY = {
+    "zone_start_m": 600.0,
+    "zone_end_m": 700.0,
+    "rsu_position_m": 399.0,
+    "rsu_range_m": 500.0,
+    "headway_m": 40.0,
+}
+_FLEET_DURATION_MS = 30000.0
+
+#: The AD20-style authenticated flood the fleet/attacker families replay
+#: (interval saturates the channel's 4 msg/ms budget, as in AD20).
+_FLEET_FLOOD = {"interval_ms": 0.25, "duration_ms": 3000.0, "launch_ms": 100.0}
+
+_UC1_NO_FLOOD_DETECTOR = tuple(
+    c for c in _UC1_CONTROLS if c != "flooding-detector"
+)
+
+
+def _fleet(spec: ScenarioSpec) -> Iterator[VariantSpec]:
+    """AD20/AD14-style attacks replayed against 2-8-vehicle convoys."""
+    for size in range(2, 9):
+        yield VariantSpec(
+            variant_id=f"uc1/fleet/convoy-n{size}-baseline",
+            scenario=spec.name,
+            family="fleet",
+            params=freeze_params({"fleet_size": size, **_FLEET_GEOMETRY}),
+            duration_ms=_FLEET_DURATION_MS,
+            description=f"{size}-vehicle convoy, no attacker",
+        )
+        yield VariantSpec(
+            variant_id=f"uc1/fleet/convoy-n{size}-ad20-flood-exposed",
+            scenario=spec.name,
+            family="fleet",
+            params=freeze_params(
+                {
+                    "fleet_size": size,
+                    "controls": _UC1_NO_FLOOD_DETECTOR,
+                    **_FLEET_GEOMETRY,
+                }
+            ),
+            attack="flood",
+            attack_params=freeze_params(_FLEET_FLOOD),
+            duration_ms=_FLEET_DURATION_MS,
+            description=(
+                f"AD20-style flood vs {size}-vehicle convoy, flooding "
+                "detector removed"
+            ),
+        )
+        yield VariantSpec(
+            variant_id=f"uc1/fleet/convoy-n{size}-ad20-flood-protected",
+            scenario=spec.name,
+            family="fleet",
+            params=freeze_params({"fleet_size": size, **_FLEET_GEOMETRY}),
+            attack="flood",
+            attack_params=freeze_params(_FLEET_FLOOD),
+            duration_ms=_FLEET_DURATION_MS,
+            description=(
+                f"AD20-style flood vs {size}-vehicle convoy, full control "
+                "stack"
+            ),
+        )
+        yield VariantSpec(
+            variant_id=f"uc1/fleet/convoy-n{size}-ad14-jam",
+            scenario=spec.name,
+            family="fleet",
+            params=freeze_params({"fleet_size": size, **_FLEET_GEOMETRY}),
+            attack="jam",
+            attack_params=freeze_params(
+                {"launch_ms": 100.0, "duration_ms": 29800.0}
+            ),
+            duration_ms=_FLEET_DURATION_MS,
+            description=(
+                f"AD14-style whole-approach jam vs {size}-vehicle convoy"
+            ),
+        )
+
+
+def _coverage(spec: ScenarioSpec) -> Iterator[VariantSpec]:
+    """RSU range sweep: the field-testing range/reception curve."""
+    for range_m in (0.0, 50.0, 100.0, 200.0, 400.0, 800.0):
+        for size in (1, 4):
+            yield VariantSpec(
+                variant_id=(
+                    f"uc1/coverage/range{range_m:.0f}-n{size}"
+                ),
+                scenario=spec.name,
+                family="coverage",
+                params=freeze_params(
+                    {
+                        "fleet_size": size,
+                        "v2v_enabled": False,  # raw RSU reception only
+                        **_FLEET_GEOMETRY,
+                        "rsu_range_m": range_m,
+                    }
+                ),
+                duration_ms=_FLEET_DURATION_MS,
+                description=(
+                    f"RSU transmit range {range_m:.0f} m, "
+                    f"{size}-vehicle convoy, V2V off"
+                ),
+            )
+
+
+def _attacker_position(spec: ScenarioSpec) -> Iterator[VariantSpec]:
+    """Attacker-timing sweeps crossed with attacker placement."""
+    placements = (
+        ("near", 150.0),   # covers the convoy from launch onwards
+        ("far", 2900.0),   # beyond the zone: never reached in-horizon
+    )
+    for (label, position), range_m, launch_ms in itertools.product(
+        placements, (250.0, 600.0), (100.0, 2000.0, 6000.0)
+    ):
+        yield VariantSpec(
+            variant_id=(
+                "uc1/attacker-position/"
+                f"flood-{label}-r{range_m:.0f}-s{launch_ms:.0f}"
+            ),
+            scenario=spec.name,
+            family="attacker-position",
+            params=freeze_params(
+                {
+                    "fleet_size": 2,
+                    "controls": _UC1_NO_FLOOD_DETECTOR,
+                    **_FLEET_GEOMETRY,
+                    "attacker_position_m": position,
+                    "attacker_range_m": range_m,
+                }
+            ),
+            attack="flood",
+            attack_params=freeze_params(
+                {**_FLEET_FLOOD, "launch_ms": launch_ms}
+            ),
+            duration_ms=_FLEET_DURATION_MS,
+            description=(
+                f"flood from {position:.0f} m (range {range_m:.0f} m) "
+                f"at t={launch_ms:.0f} ms, 2-vehicle convoy"
+            ),
+        )
+
+
 def _uc2_zone_geometry(spec: ScenarioSpec) -> Iterator[VariantSpec]:
     # UC2 has no road geometry; its "geometry" is the reaction envelope.
     for deadline_ms in (300.0, 500.0, 800.0):
@@ -442,6 +612,24 @@ def default_registry() -> ScenarioRegistry:
             ),
         )
     )
+    registry.register(
+        ScenarioSpec(
+            name=UC1_FLEET_SCENARIO,
+            use_case="uc1",
+            factory="repro.sim.scenarios:FleetConstructionSiteScenario",
+            description=(
+                "Use Case I over a convoy: placed RSU with transmit range, "
+                "V2V hazard relaying, per-vehicle verdicts"
+            ),
+            topology=freeze_params(
+                {
+                    "fleet_size": 4,
+                    "rsu_range_m": 600.0,
+                    "v2v_range_m": 150.0,
+                }
+            ),
+        )
+    )
 
     registry.register_family(UC1_SCENARIO, "baseline", _uc1_baseline)
     registry.register_family(UC1_SCENARIO, "parity", _parity("uc1"))
@@ -468,14 +656,78 @@ def default_registry() -> ScenarioRegistry:
         UC2_SCENARIO, "traffic-density", _uc2_traffic_density
     )
     registry.register_family(UC2_SCENARIO, "zone-geometry", _uc2_zone_geometry)
+
+    registry.register_family(UC1_FLEET_SCENARIO, "fleet", _fleet)
+    registry.register_family(UC1_FLEET_SCENARIO, "coverage", _coverage)
+    registry.register_family(
+        UC1_FLEET_SCENARIO, "attacker-position", _attacker_position
+    )
     return registry
+
+
+def apply_topology_overrides(
+    variants: Iterable[VariantSpec],
+    registry: ScenarioRegistry,
+    fleet_size: int | None = None,
+    rsu_range_m: float | None = None,
+) -> tuple[VariantSpec, ...]:
+    """Apply campaign-level fleet/range knobs to a variant selection.
+
+    Each override lands only on variants whose scenario spec declares
+    the matching topology key (see
+    :attr:`~repro.engine.spec.ScenarioSpec.topology_keys`); everything
+    else passes through untouched, so ``--fleet 4`` over a mixed
+    selection reshapes the convoys without corrupting UC2 runs.
+
+    Raises:
+        ValidationError: on non-positive overrides, or when *no*
+            selected variant understands an override (a silent no-op
+            would mislabel the campaign).
+    """
+    if fleet_size is not None and fleet_size < 1:
+        raise ValidationError(f"fleet size must be >= 1, got {fleet_size}")
+    if rsu_range_m is not None and rsu_range_m < 0:
+        raise ValidationError(f"RSU range must be >= 0, got {rsu_range_m}")
+    overrides = {}
+    if fleet_size is not None:
+        overrides["fleet_size"] = fleet_size
+    if rsu_range_m is not None:
+        overrides["rsu_range_m"] = rsu_range_m
+    variant_list = tuple(variants)
+    if not overrides:
+        return variant_list
+    applied: list[VariantSpec] = []
+    touched = 0
+    for variant in variant_list:
+        keys = registry.get(variant.scenario).topology_keys
+        effective = {
+            key: value for key, value in overrides.items() if key in keys
+        }
+        if not effective:
+            applied.append(variant)
+            continue
+        touched += 1
+        params = variant.params_dict()
+        params.update(effective)
+        applied.append(
+            dataclasses.replace(variant, params=freeze_params(params))
+        )
+    if not touched:
+        raise ValidationError(
+            f"no selected variant accepts the overrides {sorted(overrides)}; "
+            "fleet/range knobs only apply to topology-capable scenarios "
+            f"(e.g. {UC1_FLEET_SCENARIO!r})"
+        )
+    return tuple(applied)
 
 
 __all__ = [
     "BOUND_ATTACKS",
     "FamilyGenerator",
     "ScenarioRegistry",
+    "UC1_FLEET_SCENARIO",
     "UC1_SCENARIO",
     "UC2_SCENARIO",
+    "apply_topology_overrides",
     "default_registry",
 ]

@@ -103,6 +103,7 @@ class ScenarioSpec:
     factory: str
     description: str = ""
     defaults: ParamItems = ()
+    topology: ParamItems = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -111,10 +112,38 @@ class ScenarioSpec:
             raise ValidationError(
                 f"spec {self.name!r}: unknown use case {self.use_case!r}"
             )
+        for key, value in self.topology:
+            if key == "fleet_size" and (
+                not isinstance(value, int) or value < 1
+            ):
+                raise ValidationError(
+                    f"spec {self.name!r}: fleet_size must be a positive "
+                    f"int, got {value!r}"
+                )
+
+    @property
+    def topology_keys(self) -> frozenset[str]:
+        """The topology/fleet parameter names this spec understands.
+
+        Campaign-level knobs (``--fleet``, ``--rsu-range``) only apply
+        to variants whose spec declares the matching key here -- a UC2
+        keyless-entry run has no fleet to size.
+        """
+        return frozenset(key for key, _value in self.topology)
+
+    @property
+    def fleet_capable(self) -> bool:
+        """True when the spec models a sizeable fleet."""
+        return "fleet_size" in self.topology_keys
 
     def build(self, params: Mapping[str, Any] | ParamItems | None = None) -> Any:
-        """Instantiate the scenario with defaults + ``params`` applied."""
+        """Instantiate the scenario with defaults + topology + ``params``.
+
+        Precedence (low to high): spec ``defaults``, spec ``topology``
+        parameters, then the variant's own ``params``.
+        """
         merged = thaw_params(self.defaults)
+        merged.update(thaw_params(self.topology))
         if params:
             if isinstance(params, tuple):
                 merged.update(thaw_params(params))

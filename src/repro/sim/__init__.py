@@ -5,30 +5,79 @@ stands; this package provides the simulated equivalent so the derived
 attacks can actually run: a deterministic discrete-event kernel
 (:mod:`~repro.sim.clock`), channels and messages with honest
 authentication (:mod:`~repro.sim.network`, :mod:`~repro.sim.crypto`),
-ECUs with admission control and finite capacity (:mod:`~repro.sim.ecu`),
+a spatial traffic topology with mobile actors and range-gated radio
+(:mod:`~repro.sim.topology`, :mod:`~repro.sim.world`), ECUs with
+admission control and finite capacity (:mod:`~repro.sim.ecu`),
 a CAN bus with arbitration and limited bandwidth (:mod:`~repro.sim.can`),
-V2X and BLE endpoints (:mod:`~repro.sim.v2x`, :mod:`~repro.sim.ble`),
-deployable security controls (:mod:`~repro.sim.controls`), attack
-injectors (:mod:`~repro.sim.attacks`), a safety monitor with FTTI
-deadlines (:mod:`~repro.sim.monitor`), and the two use-case scenario
-assemblies (:mod:`~repro.sim.scenarios`).
+V2X (RSU<->OBU and V2V relaying) and BLE endpoints
+(:mod:`~repro.sim.v2x`, :mod:`~repro.sim.ble`), deployable security
+controls (:mod:`~repro.sim.controls`), attack injectors
+(:mod:`~repro.sim.attacks`), a safety monitor with FTTI deadlines
+(:mod:`~repro.sim.monitor`), and the use-case scenario assemblies --
+single-vehicle and fleet (:mod:`~repro.sim.scenarios`).
+
+The package re-exports the union of its submodules' ``__all__`` lists;
+the export-contract tests hold this surface complete.
 """
 
+from repro.sim.attacks import (
+    AttackInjector,
+    EavesdropAttack,
+    FloodingAttack,
+    JammingAttack,
+    KeyForgeryAttack,
+    ReplayAttack,
+    SpoofingAttack,
+    TamperingAttack,
+)
 from repro.sim.ble import (
     AccessEcu,
+    CAN_ID_DIAG,
+    CAN_ID_DOOR_COMMAND,
     DoorLock,
     DoorLockEcu,
     DoorState,
+    KIND_CLOSE,
+    KIND_DIAG,
+    KIND_OPEN,
     Smartphone,
 )
 from repro.sim.can import CanBus, make_frame
 from repro.sim.clock import EventHandle, SimClock
-from repro.sim.crypto import ChallengeResponse, KeyStore
+from repro.sim.controls import (
+    ControlPipeline,
+    Decision,
+    DetectionRecord,
+    FloodingDetector,
+    IdWhitelist,
+    LocationConsistencyCheck,
+    MessageCounterCheck,
+    PseudonymProvider,
+    ReplayGuard,
+    SecurityControl,
+    SenderAuthentication,
+    ValueRangeCheck,
+    linkability,
+)
+from repro.sim.crypto import (
+    ChallengeResponse,
+    KeyStore,
+    canonical_payload,
+    compute_mac,
+    verify_mac,
+)
 from repro.sim.ecu import Ecu, Gateway
 from repro.sim.events import EventBus, SimEvent
-from repro.sim.kernel import KernelScenario, SimKernel
-from repro.sim.monitor import SafetyMonitor, Violation
-from repro.sim.network import Channel, Medium, Message
+from repro.sim.kernel import KernelScenario, ScenarioResult, SimKernel
+from repro.sim.monitor import InvariantCheck, SafetyMonitor, Violation
+from repro.sim.network import (
+    Channel,
+    InfiniteRange,
+    Medium,
+    Message,
+    PropagationModel,
+    Receiver,
+)
 from repro.sim.scenarios import (
     CONTROL_AUTH,
     CONTROL_COUNTER,
@@ -37,18 +86,40 @@ from repro.sim.scenarios import (
     CONTROL_RANGE,
     CONTROL_REPLAY,
     CONTROL_WHITELIST,
+    ConstructionSiteScenario,
+    FleetConstructionSiteScenario,
+    KeylessEntryScenario,
     UC1_ALL_CONTROLS,
     UC2_ALL_CONTROLS,
-    ConstructionSiteScenario,
-    KeylessEntryScenario,
-    ScenarioResult,
 )
-from repro.sim.v2x import OnBoardUnit, RoadsideUnit
+from repro.sim.topology import (
+    Actor,
+    ConstantSpeedMobility,
+    FollowLeaderMobility,
+    MobilityModel,
+    RangePropagation,
+    SpatialIndex,
+    StationaryMobility,
+    Topology,
+)
+from repro.sim.v2x import (
+    KIND_HAZARD_WARNING,
+    KIND_ROAD_WORKS,
+    KIND_SPEED_LIMIT,
+    KIND_V2V_RELAY,
+    OnBoardUnit,
+    RoadsideUnit,
+    V2VRelay,
+)
 from repro.sim.vehicle import Driver, DrivingMode, Vehicle
-from repro.sim.world import World, Zone
+from repro.sim.world import ClampedPosition, World, Zone
 
 __all__ = [
     "AccessEcu",
+    "Actor",
+    "AttackInjector",
+    "CAN_ID_DIAG",
+    "CAN_ID_DOOR_COMMAND",
     "CONTROL_AUTH",
     "CONTROL_COUNTER",
     "CONTROL_FLOOD",
@@ -57,36 +128,80 @@ __all__ = [
     "CONTROL_REPLAY",
     "CONTROL_WHITELIST",
     "CanBus",
-    "Channel",
     "ChallengeResponse",
+    "Channel",
+    "ClampedPosition",
+    "ConstantSpeedMobility",
     "ConstructionSiteScenario",
+    "ControlPipeline",
+    "Decision",
+    "DetectionRecord",
     "DoorLock",
     "DoorLockEcu",
     "DoorState",
     "Driver",
     "DrivingMode",
+    "EavesdropAttack",
     "Ecu",
     "EventBus",
     "EventHandle",
+    "FleetConstructionSiteScenario",
+    "FloodingAttack",
+    "FloodingDetector",
+    "FollowLeaderMobility",
     "Gateway",
+    "IdWhitelist",
+    "InfiniteRange",
+    "InvariantCheck",
+    "JammingAttack",
+    "KIND_CLOSE",
+    "KIND_DIAG",
+    "KIND_HAZARD_WARNING",
+    "KIND_OPEN",
+    "KIND_ROAD_WORKS",
+    "KIND_SPEED_LIMIT",
+    "KIND_V2V_RELAY",
     "KernelScenario",
+    "KeyForgeryAttack",
     "KeyStore",
     "KeylessEntryScenario",
+    "LocationConsistencyCheck",
     "Medium",
     "Message",
+    "MessageCounterCheck",
+    "MobilityModel",
     "OnBoardUnit",
+    "PropagationModel",
+    "PseudonymProvider",
+    "RangePropagation",
+    "Receiver",
+    "ReplayAttack",
+    "ReplayGuard",
     "RoadsideUnit",
     "SafetyMonitor",
     "ScenarioResult",
+    "SecurityControl",
+    "SenderAuthentication",
     "SimClock",
     "SimEvent",
     "SimKernel",
     "Smartphone",
+    "SpatialIndex",
+    "SpoofingAttack",
+    "StationaryMobility",
+    "TamperingAttack",
+    "Topology",
     "UC1_ALL_CONTROLS",
     "UC2_ALL_CONTROLS",
+    "V2VRelay",
+    "ValueRangeCheck",
     "Vehicle",
     "Violation",
     "World",
     "Zone",
+    "canonical_payload",
+    "compute_mac",
+    "linkability",
     "make_frame",
+    "verify_mac",
 ]

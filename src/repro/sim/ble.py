@@ -189,3 +189,17 @@ class DoorLockEcu:
             self._lock.open(actor)
         elif command == "close":
             self._lock.close(actor)
+
+
+__all__ = [
+    "AccessEcu",
+    "CAN_ID_DIAG",
+    "CAN_ID_DOOR_COMMAND",
+    "DoorLock",
+    "DoorLockEcu",
+    "DoorState",
+    "KIND_CLOSE",
+    "KIND_DIAG",
+    "KIND_OPEN",
+    "Smartphone",
+]

@@ -173,3 +173,9 @@ def make_frame(
         sender=sender,
         payload={"can_id": can_id, **payload},
     )
+
+
+__all__ = [
+    "CanBus",
+    "make_frame",
+]

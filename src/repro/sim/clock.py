@@ -160,3 +160,9 @@ class SimClock:
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
         return sum(1 for event in self._queue if not event.cancelled)
+
+
+__all__ = [
+    "EventHandle",
+    "SimClock",
+]

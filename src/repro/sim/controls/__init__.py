@@ -32,8 +32,6 @@ from repro.sim.controls.plausibility import (
 from repro.sim.controls.pseudonym import PseudonymProvider, linkability
 
 __all__ = [
-    "PseudonymProvider",
-    "linkability",
     "ControlPipeline",
     "Decision",
     "DetectionRecord",
@@ -41,8 +39,10 @@ __all__ = [
     "IdWhitelist",
     "LocationConsistencyCheck",
     "MessageCounterCheck",
+    "PseudonymProvider",
     "ReplayGuard",
     "SecurityControl",
     "SenderAuthentication",
     "ValueRangeCheck",
+    "linkability",
 ]

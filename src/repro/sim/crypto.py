@@ -123,3 +123,12 @@ class ChallengeResponse:
             return False
         key = self.keystore.key_of(identity)
         return verify_mac(key, challenge.encode("utf-8"), response)
+
+
+__all__ = [
+    "ChallengeResponse",
+    "KeyStore",
+    "canonical_payload",
+    "compute_mac",
+    "verify_mac",
+]

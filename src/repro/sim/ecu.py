@@ -222,3 +222,9 @@ class Gateway(Ecu):
     def forwarded(self) -> int:
         """Number of messages routed onward."""
         return self._forwarded
+
+
+__all__ = [
+    "Ecu",
+    "Gateway",
+]

@@ -97,3 +97,9 @@ def _matches(prefix: str, topic: str) -> bool:
     if not prefix:
         return True
     return topic == prefix or topic.startswith(prefix + ".")
+
+
+__all__ = [
+    "EventBus",
+    "SimEvent",
+]

@@ -28,7 +28,8 @@ from repro.sim.clock import SimClock
 from repro.sim.crypto import KeyStore
 from repro.sim.events import EventBus
 from repro.sim.monitor import SafetyMonitor, Violation
-from repro.sim.network import Channel, Medium
+from repro.sim.network import Channel, Medium, PropagationModel
+from repro.sim.topology import Topology
 from repro.sim.world import World
 
 
@@ -92,7 +93,26 @@ class SimKernel:
         self.world: World | None = (
             World(road_length_m) if road_length_m is not None else None
         )
+        self.topology: Topology | None = None
         self.media: dict[str, Medium] = {}
+
+    # -- topology ------------------------------------------------------------
+
+    def create_topology(self, tick_ms: float = 100.0) -> Topology:
+        """Create (once) the spatial actor topology over this world.
+
+        Raises:
+            SimulationError: without a world (no geometry to place
+                actors on) or when a topology already exists.
+        """
+        if self.world is None:
+            raise SimulationError(
+                "kernel has no world; pass road_length_m to place actors"
+            )
+        if self.topology is not None:
+            raise SimulationError("kernel topology already created")
+        self.topology = Topology(self.world, clock=self.clock, tick_ms=tick_ms)
+        return self.topology
 
     # -- media --------------------------------------------------------------
 
@@ -108,8 +128,14 @@ class SimKernel:
         name: str,
         latency_ms: float = 1.0,
         bandwidth_per_ms: float | None = None,
+        propagation: PropagationModel | None = None,
     ) -> Channel:
-        """Create and register a broadcast :class:`Channel` (V2X, BLE)."""
+        """Create and register a broadcast :class:`Channel` (V2X, BLE).
+
+        ``propagation`` gates delivery (default: global broadcast); pass
+        a :class:`~repro.sim.topology.RangePropagation` over
+        :attr:`topology` for range-limited radio.
+        """
         return self.add_medium(
             Channel(
                 name,
@@ -117,6 +143,7 @@ class SimKernel:
                 self.bus,
                 latency_ms=latency_ms,
                 bandwidth_per_ms=bandwidth_per_ms,
+                propagation=propagation,
             )
         )
 
@@ -233,3 +260,10 @@ class KernelScenario:
             detection_records=self.detection_records(),
             stats=self.collect_stats(),
         )
+
+
+__all__ = [
+    "KernelScenario",
+    "ScenarioResult",
+    "SimKernel",
+]

@@ -140,3 +140,10 @@ class SafetyMonitor:
     def all_goals_held(self) -> bool:
         """True when no violation was recorded."""
         return not self._violations
+
+
+__all__ = [
+    "InvariantCheck",
+    "SafetyMonitor",
+    "Violation",
+]

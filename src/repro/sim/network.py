@@ -124,6 +124,36 @@ class Medium(Protocol):
         """Traffic statistics of the medium."""
 
 
+@runtime_checkable
+class PropagationModel(Protocol):
+    """Which attached receivers a delivered message actually reaches.
+
+    The model is consulted once per delivery, *after* latency and
+    congestion, so range membership reflects positions at delivery time.
+    :class:`InfiniteRange` (the default) reproduces the legacy global
+    broadcast; :class:`~repro.sim.topology.RangePropagation` gates
+    delivery on the sender's transmit range over a
+    :class:`~repro.sim.topology.Topology`.
+    """
+
+    def receivers(
+        self, message: Message, receivers: list[Receiver]
+    ) -> list[Receiver]:
+        """The subset of ``receivers`` that hears ``message``."""
+
+
+class InfiniteRange:
+    """The legacy propagation: every attached receiver hears every
+    message, regardless of geometry.  This is the explicit spelling of
+    the global-broadcast behaviour all pre-topology scenarios rely on --
+    a channel without a propagation model behaves identically."""
+
+    def receivers(
+        self, message: Message, receivers: list[Receiver]
+    ) -> list[Receiver]:
+        return list(receivers)
+
+
 class Channel:
     """A broadcast medium delivering messages with latency.
 
@@ -133,6 +163,14 @@ class Channel:
         bandwidth_per_ms: Max deliveries per millisecond; ``None`` means
             unlimited.  Excess messages queue behind earlier traffic, so a
             flood inflates delivery times for everyone (availability loss).
+            The budget is *airtime on the shared band*: every send
+            occupies it, including sends no attached receiver is in
+            range to decode -- co-channel interference congests the
+            channel regardless of who can hear the payload.
+        propagation: The :class:`PropagationModel` gating which
+            receivers *decode* each delivery; defaults to
+            :class:`InfiniteRange` (global broadcast).  Propagation
+            never gates *transmission*: see ``bandwidth_per_ms``.
     """
 
     def __init__(
@@ -142,6 +180,7 @@ class Channel:
         bus: EventBus,
         latency_ms: float = 1.0,
         bandwidth_per_ms: float | None = None,
+        propagation: PropagationModel | None = None,
     ) -> None:
         if latency_ms < 0:
             raise SimulationError("channel latency must be >= 0")
@@ -150,6 +189,9 @@ class Channel:
         self.name = name
         self.latency_ms = latency_ms
         self.bandwidth_per_ms = bandwidth_per_ms
+        self.propagation: PropagationModel = (
+            propagation if propagation is not None else InfiniteRange()
+        )
         self._clock = clock
         self._bus = bus
         self._receivers: list[Receiver] = []
@@ -159,6 +201,7 @@ class Channel:
         self._sent = 0
         self._delivered = 0
         self._dropped = 0
+        self._out_of_range = 0
         self._delays: deque[float] = deque(maxlen=1000)
 
     # -- wiring -----------------------------------------------------------
@@ -232,7 +275,13 @@ class Channel:
             kind=message.kind,
             sender=message.sender,
         )
-        for receiver in list(self._receivers):
+        # Range membership is evaluated now, at delivery time; receiver
+        # order is the deterministic attach order, so range-edge cases
+        # resolve through the clock's scheduling sequence alone.
+        attached = list(self._receivers)
+        reached = self.propagation.receivers(message, attached)
+        self._out_of_range += len(attached) - len(reached)
+        for receiver in reached:
             receiver.receive(message)
 
     # -- metrics ----------------------------------------------------------
@@ -247,5 +296,16 @@ class Channel:
             "sent": self._sent,
             "delivered": self._delivered,
             "dropped": self._dropped,
+            "out_of_range": self._out_of_range,
             "mean_delay_ms": mean_delay,
         }
+
+
+__all__ = [
+    "Channel",
+    "InfiniteRange",
+    "Medium",
+    "Message",
+    "PropagationModel",
+    "Receiver",
+]

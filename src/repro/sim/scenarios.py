@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.errors import SimulationError
 from repro.sim.kernel import KernelScenario, ScenarioResult, SimKernel
 from repro.sim.ble import (
     AccessEcu,
@@ -44,7 +45,8 @@ from repro.sim.controls import (
     SenderAuthentication,
     ValueRangeCheck,
 )
-from repro.sim.v2x import OnBoardUnit, RoadsideUnit
+from repro.sim.topology import RangePropagation
+from repro.sim.v2x import OnBoardUnit, RoadsideUnit, V2VRelay
 from repro.sim.vehicle import Driver, DrivingMode, Vehicle
 
 __all__ = [
@@ -55,11 +57,12 @@ __all__ = [
     "CONTROL_RANGE",
     "CONTROL_REPLAY",
     "CONTROL_WHITELIST",
-    "UC1_ALL_CONTROLS",
-    "UC2_ALL_CONTROLS",
     "ConstructionSiteScenario",
+    "FleetConstructionSiteScenario",
     "KeylessEntryScenario",
     "ScenarioResult",
+    "UC1_ALL_CONTROLS",
+    "UC2_ALL_CONTROLS",
 ]
 
 #: Control names accepted by both scenarios' ``controls`` parameter.
@@ -269,6 +272,264 @@ class ConstructionSiteScenario(KernelScenario):
                 "manual_since": self.vehicle.manual_since,
             },
             "warnings_shown": self.obu.warnings_shown,
+        }
+
+
+class FleetConstructionSiteScenario(KernelScenario):
+    """Use Case I over a *fleet*: an N-vehicle convoy under ranged radio.
+
+    The spatial generalisation of :class:`ConstructionSiteScenario`:
+    ``fleet_size`` vehicles drive in convoy toward the construction
+    zone, the RSU is a **placed** actor whose road-works warnings only
+    reach on-board units inside ``rsu_range_m`` (the
+    :class:`~repro.sim.topology.RangePropagation` model over the
+    kernel's :class:`~repro.sim.topology.Topology`), and -- when
+    ``v2v_enabled`` -- each vehicle carries a
+    :class:`~repro.sim.v2x.V2VRelay` forwarding warnings to convoy
+    members the RSU cannot reach.  An attacker can be *placed* too
+    (``attacker_position_m``/``attacker_range_m``): its traffic is
+    range-gated exactly like everyone else's, which is what lets the
+    ``attacker-position`` variant family flip verdicts on placement
+    alone.
+
+    Safety goals are monitored per vehicle: the aggregate ids
+    (``SG01``, ``SG03``, ``SG05``) keep the published oracles working,
+    and per-vehicle ids (``SG01:ego-2``) carry the verdict-per-vehicle
+    story through the standard result path.
+    """
+
+    ALL_CONTROLS = UC1_ALL_CONTROLS
+    CONTROL_SCOPE = "UC1"
+    DEFAULT_DURATION_MS = 80000.0
+
+    ZONE_NAME = "construction"
+    RSU_LOCATION = "site-A"
+    LEGAL_MAX_SPEED_MPS = 40.0
+
+    def __init__(
+        self,
+        controls: frozenset[str] | set[str] = UC1_ALL_CONTROLS,
+        fleet_size: int = 4,
+        headway_m: float = 40.0,
+        vehicle_speed_mps: float = 25.0,
+        driver_reaction_ms: float = 1500.0,
+        rsu_period_ms: float = 500.0,
+        zone_start_m: float = 1500.0,
+        zone_end_m: float = 1600.0,
+        zone_speed_limit_mps: float = 8.0,
+        rsu_position_m: float = 1200.0,
+        rsu_range_m: float | None = 600.0,
+        v2v_enabled: bool = True,
+        v2v_range_m: float = 150.0,
+        v2v_max_hops: int = 2,
+        max_warnings: int = 5,
+        obu_queue_capacity: int = 64,
+        road_length_m: float = 3000.0,
+        attacker_position_m: float | None = None,
+        attacker_range_m: float = 250.0,
+    ) -> None:
+        if fleet_size < 1:
+            raise SimulationError("fleet size must be >= 1")
+        if headway_m <= 0:
+            raise SimulationError("headway must be positive")
+        super().__init__(SimKernel(road_length_m=road_length_m), controls)
+        self.fleet_size = fleet_size
+        self.zone_speed_limit_mps = zone_speed_limit_mps
+        self.max_warnings = max_warnings
+
+        self.world.add_zone(self.ZONE_NAME, zone_start_m, zone_end_m)
+        self.topology = self.kernel.create_topology()
+
+        self.v2x = self.kernel.channel(
+            "v2x",
+            latency_ms=2.0,
+            bandwidth_per_ms=4.0,
+            propagation=RangePropagation(self.topology),
+        )
+
+        # The convoy: ego-1 leads (closest to the zone), followers trail
+        # at headway_m intervals.  Each vehicle owns its kinematics; the
+        # topology tracks it and carries its V2V transmit range.
+        self.vehicles: list[Vehicle] = []
+        self.drivers: list[Driver] = []
+        self.obus: list[OnBoardUnit] = []
+        self.relays: list[V2VRelay] = []
+        for index in range(1, fleet_size + 1):
+            vehicle = Vehicle(
+                f"ego-{index}",
+                self.clock,
+                self.bus,
+                self.world,
+                position_m=(fleet_size - index) * headway_m,
+                speed_mps=vehicle_speed_mps,
+            )
+            driver = Driver(
+                vehicle,
+                self.clock,
+                self.bus,
+                reaction_time_ms=driver_reaction_ms,
+                comfort_speed_mps=zone_speed_limit_mps,
+            )
+            self.topology.track(vehicle, transmit_range_m=v2v_range_m)
+            obu = OnBoardUnit(
+                f"OBU-{index}",
+                self.clock,
+                self.bus,
+                vehicle,
+                queue_capacity=obu_queue_capacity,
+            )
+            self._deploy_obu_controls(obu)
+            self.topology.bind(obu.name, vehicle.name)
+            self.v2x.attach(obu)
+            self.vehicles.append(vehicle)
+            self.drivers.append(driver)
+            self.obus.append(obu)
+            if v2v_enabled:
+                relay = V2VRelay(
+                    f"V2V-{index}",
+                    self.clock,
+                    self.v2x,
+                    self.keystore,
+                    self.bus,
+                    max_hops=v2v_max_hops,
+                )
+                self.topology.bind(relay.name, vehicle.name)
+                self.v2x.attach(relay)
+                self.relays.append(relay)
+
+        self.topology.add_stationary(
+            "RSU-A", rsu_position_m, transmit_range_m=rsu_range_m
+        )
+        self.rsu = RoadsideUnit(
+            "RSU-A", self.clock, self.v2x, self.keystore, self.RSU_LOCATION
+        )
+        if attacker_position_m is not None:
+            self.topology.add_stationary(
+                "attacker",
+                attacker_position_m,
+                transmit_range_m=attacker_range_m,
+            )
+
+        self.rsu.broadcast_periodically(
+            rsu_period_ms, zone_start_m, zone_speed_limit_mps, until=None
+        )
+
+        self.monitor = self.kernel.monitor()
+        self._install_goal_checks()
+
+    def _deploy_obu_controls(self, obu: OnBoardUnit) -> None:
+        # Same stack and order as the single-vehicle scenario: rate
+        # analysis first, then authenticity, freshness, plausibility.
+        pipeline = obu.pipeline
+        if CONTROL_FLOOD in self.controls:
+            pipeline.add(
+                FloodingDetector(
+                    window_ms=1000.0, max_messages=20, cooldown_ms=5000.0
+                )
+            )
+        if CONTROL_AUTH in self.controls:
+            pipeline.add(SenderAuthentication(self.keystore))
+        if CONTROL_COUNTER in self.controls:
+            pipeline.add(MessageCounterCheck())
+        if CONTROL_RANGE in self.controls:
+            pipeline.add(
+                ValueRangeCheck(
+                    "speed_limit_mps", 1.0, self.LEGAL_MAX_SPEED_MPS
+                )
+            )
+        if CONTROL_LOCATION in self.controls:
+            pipeline.add(
+                LocationConsistencyCheck(
+                    {self.RSU_LOCATION}, require_location=False
+                )
+            )
+
+    def _install_goal_checks(self) -> None:
+        for vehicle in self.vehicles:
+            self._install_vehicle_goals(vehicle)
+
+        def sg03_implausible_speed_target() -> str | None:
+            for vehicle in self.vehicles:
+                if vehicle.target_speed_mps > self.LEGAL_MAX_SPEED_MPS:
+                    return (
+                        f"{vehicle.name} automation targets implausible "
+                        f"speed {vehicle.target_speed_mps:.1f} m/s"
+                    )
+            return None
+
+        def sg05_warning_flood() -> str | None:
+            for obu in self.obus:
+                if obu.warnings_shown > self.max_warnings:
+                    return (
+                        f"{obu.name}: {obu.warnings_shown} hazard warnings "
+                        f"shown (limit {self.max_warnings})"
+                    )
+            return None
+
+        self.monitor.add_invariant("SG03", sg03_implausible_speed_target)
+        self.monitor.add_invariant("SG05", sg05_warning_flood)
+
+    def _install_vehicle_goals(self, vehicle: Vehicle) -> None:
+        def sg01_zone_without_driver() -> str | None:
+            in_zone = vehicle.in_zone(self.ZONE_NAME)
+            automated = vehicle.mode in (
+                DrivingMode.AUTOMATED,
+                DrivingMode.HANDOVER_REQUESTED,
+            )
+            if in_zone and automated:
+                return (
+                    f"{vehicle.name} inside the construction zone in "
+                    f"{vehicle.mode.value} mode at "
+                    f"{vehicle.speed_mps:.1f} m/s"
+                )
+            return None
+
+        # Registered twice: once under the aggregate id the published
+        # oracles check, once per vehicle for the per-vehicle verdicts.
+        self.monitor.add_invariant("SG01", sg01_zone_without_driver)
+        self.monitor.add_invariant(
+            f"SG01:{vehicle.name}", sg01_zone_without_driver
+        )
+
+    # -- result collection ---------------------------------------------------
+
+    def per_vehicle_verdicts(self) -> dict[str, str]:
+        """``vehicle name -> "withstood" | "violated"`` per convoy member."""
+        return {
+            vehicle.name: (
+                "violated"
+                if self.monitor.is_violated(f"SG01:{vehicle.name}")
+                else "withstood"
+            )
+            for vehicle in self.vehicles
+        }
+
+    def detection_records(self) -> dict[str, tuple]:
+        return {obu.name: obu.pipeline.detections for obu in self.obus}
+
+    def collect_stats(self) -> dict[str, Any]:
+        handovers = sum(
+            1 for v in self.vehicles if v.manual_since is not None
+        )
+        return {
+            "v2x": self.v2x.stats,
+            "fleet": {
+                vehicle.name: {
+                    "position_m": vehicle.position_m,
+                    "speed_mps": vehicle.speed_mps,
+                    "mode": vehicle.mode.value,
+                    "handover_requested_at": vehicle.handover_requested_at,
+                    "manual_since": vehicle.manual_since,
+                    "saturated": vehicle.position_saturated,
+                }
+                for vehicle in self.vehicles
+            },
+            "per_vehicle_verdicts": self.per_vehicle_verdicts(),
+            "fleet_size": self.fleet_size,
+            "handovers": handovers,
+            "handover_ratio": handovers / self.fleet_size,
+            "warnings_shown": sum(obu.warnings_shown for obu in self.obus),
+            "relayed": sum(relay.forwarded for relay in self.relays),
         }
 
 

@@ -1,0 +1,466 @@
+"""The spatial traffic world: actors, mobility and range-gated radio.
+
+:mod:`repro.sim.world` gives scenarios a 1-D road with named zones; this
+module promotes it into a full *topology* layer -- the substrate Use
+Case I's radio-coverage story actually needs:
+
+* :class:`Actor` -- anything occupying a road position: a tracked
+  vehicle, a stationary RSU, a placed attacker.  Every actor optionally
+  carries a ``transmit_range_m`` used by range-gated propagation.
+* pluggable :class:`MobilityModel` implementations --
+  :class:`StationaryMobility` (infrastructure),
+  :class:`ConstantSpeedMobility` and :class:`FollowLeaderMobility`
+  (convoy followers) -- stepped deterministically by the topology's
+  periodic tick in actor-insertion order.
+* :class:`SpatialIndex` -- an immutable sorted-position snapshot
+  answering range queries in ``O(log n + k)``, with results ordered
+  deterministically by ``(distance, name)``.
+* :class:`RangePropagation` -- the range-aware
+  :class:`~repro.sim.network.PropagationModel`: a message reaches
+  exactly the receivers whose actors sit within the *sender's* transmit
+  range at delivery time.  The boundary is inclusive (``distance <=
+  range``) and delivery order is the channel's deterministic attach
+  order, so range-edge outcomes never depend on iteration accidents --
+  the clock's scheduling sequence is the only tie-breaker in play.
+
+Placement is validated: negative positions are rejected with
+:class:`~repro.errors.SimulationError` (the silent ``clamp``-to-zero of
+the seed hid mis-specified scenarios), and mobility saturation at the
+road ends is surfaced through :class:`~repro.sim.world.ClampedPosition`'s
+``saturated`` flag plus the topology's ``saturated_actors`` record.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterable, Protocol, runtime_checkable
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.network import Message, Receiver
+from repro.sim.world import World
+
+__all__ = [
+    "Actor",
+    "ConstantSpeedMobility",
+    "FollowLeaderMobility",
+    "MobilityModel",
+    "RangePropagation",
+    "SpatialIndex",
+    "StationaryMobility",
+    "Topology",
+]
+
+
+@runtime_checkable
+class MobilityModel(Protocol):
+    """How an actor's position evolves over one tick."""
+
+    def next_position(
+        self, actor: "Actor", topology: "Topology", dt_s: float
+    ) -> float:
+        """The actor's next (unclamped) position after ``dt_s`` seconds."""
+
+
+class StationaryMobility:
+    """Infrastructure mobility: the actor never moves (RSUs, attackers)."""
+
+    def next_position(
+        self, actor: "Actor", topology: "Topology", dt_s: float
+    ) -> float:
+        return actor.position_m
+
+
+class ConstantSpeedMobility:
+    """Longitudinal motion at a fixed speed (m/s; negative drives back)."""
+
+    def __init__(self, speed_mps: float) -> None:
+        self.speed_mps = speed_mps
+
+    def next_position(
+        self, actor: "Actor", topology: "Topology", dt_s: float
+    ) -> float:
+        return actor.position_m + self.speed_mps * dt_s
+
+
+class FollowLeaderMobility:
+    """Close on a leading actor, holding ``gap_m`` behind it.
+
+    The follower drives toward ``leader.position - gap_m``, capped at
+    ``max_speed_mps`` and never reversing (a convoy follower brakes, it
+    does not back up).
+    """
+
+    def __init__(
+        self, leader: str, gap_m: float = 50.0, max_speed_mps: float = 35.0
+    ) -> None:
+        if gap_m < 0:
+            raise SimulationError("follow gap must be >= 0")
+        if max_speed_mps <= 0:
+            raise SimulationError("follower max speed must be positive")
+        self.leader = leader
+        self.gap_m = gap_m
+        self.max_speed_mps = max_speed_mps
+
+    def next_position(
+        self, actor: "Actor", topology: "Topology", dt_s: float
+    ) -> float:
+        target = topology.position_of(self.leader) - self.gap_m
+        headroom = target - actor.position_m
+        if headroom <= 0:
+            return actor.position_m
+        return actor.position_m + min(headroom, self.max_speed_mps * dt_s)
+
+
+class Actor:
+    """One positioned participant of the traffic world.
+
+    Attributes:
+        name: Unique actor name within the topology.
+        transmit_range_m: Radio range of this actor's transmissions;
+            ``None`` means unlimited (legacy global broadcast).
+        mobility: The model stepping this actor, or ``None`` when the
+            position is driven externally through ``tracker`` (e.g. a
+            :class:`~repro.sim.vehicle.Vehicle` owns its kinematics).
+        tracker: Callable returning the externally owned position.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        position_m: float = 0.0,
+        transmit_range_m: float | None = None,
+        mobility: MobilityModel | None = None,
+        tracker: Callable[[], float] | None = None,
+    ) -> None:
+        if not name:
+            raise SimulationError("actor needs a name")
+        if position_m < 0:
+            raise SimulationError(
+                f"actor {name!r}: negative placement ({position_m} m) "
+                "rejected; actors start on the road"
+            )
+        if transmit_range_m is not None and transmit_range_m < 0:
+            raise SimulationError(
+                f"actor {name!r}: transmit range must be >= 0"
+            )
+        if mobility is not None and tracker is not None:
+            raise SimulationError(
+                f"actor {name!r}: pass either mobility or tracker, not both"
+            )
+        self.name = name
+        self.transmit_range_m = transmit_range_m
+        self.mobility = mobility
+        self.tracker = tracker
+        self._position_m = position_m
+
+    @property
+    def position_m(self) -> float:
+        """Current road position (reads the tracker when present)."""
+        if self.tracker is not None:
+            return self.tracker()
+        return self._position_m
+
+    @position_m.setter
+    def position_m(self, value: float) -> None:
+        if self.tracker is not None:
+            raise SimulationError(
+                f"actor {self.name!r} is tracked; move the tracked "
+                "component instead"
+            )
+        self._position_m = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Actor({self.name!r}, position_m={self.position_m:.1f}, "
+            f"transmit_range_m={self.transmit_range_m})"
+        )
+
+
+class SpatialIndex:
+    """Immutable sorted snapshot of actor positions for range queries."""
+
+    def __init__(self, positions: Iterable[tuple[float, str]]) -> None:
+        self._entries = sorted(positions)
+        self._positions = [position for position, _name in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def within(self, center_m: float, radius_m: float) -> tuple[str, ...]:
+        """Actor names within ``radius_m`` of ``center_m`` (inclusive).
+
+        Results are ordered by ``(distance, name)`` so range queries are
+        deterministic even for coincident actors.
+        """
+        if radius_m < 0:
+            raise SimulationError("query radius must be >= 0")
+        lo = bisect.bisect_left(self._positions, center_m - radius_m)
+        hi = bisect.bisect_right(self._positions, center_m + radius_m)
+        hits = self._entries[lo:hi]
+        return tuple(
+            name
+            for _distance, name in sorted(
+                (abs(position - center_m), name) for position, name in hits
+            )
+        )
+
+    def nearest(self, center_m: float, count: int = 1) -> tuple[str, ...]:
+        """The ``count`` nearest actor names, by ``(distance, name)``."""
+        ranked = sorted(
+            (abs(position - center_m), name)
+            for position, name in self._entries
+        )
+        return tuple(name for _distance, name in ranked[:count])
+
+
+class Topology:
+    """The actor registry of one simulated traffic world.
+
+    A topology owns placement validation, deterministic mobility
+    stepping (insertion order, one shared tick) and name resolution for
+    range-gated propagation: components attached to a channel (an OBU
+    named ``"OBU-2"``) are bound to their carrying actor (``"ego-2"``)
+    with :meth:`bind`, so the propagation model can locate both senders
+    and receivers.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        clock: SimClock | None = None,
+        tick_ms: float = 100.0,
+    ) -> None:
+        if tick_ms <= 0:
+            raise SimulationError("topology tick must be positive")
+        self.world = world
+        self.tick_ms = tick_ms
+        self._clock = clock
+        self._actors: dict[str, Actor] = {}
+        self._aliases: dict[str, str] = {}
+        self._saturated: set[str] = set()
+        self._ticking = False
+
+    # -- registration -------------------------------------------------------
+
+    def add(self, actor: Actor) -> Actor:
+        """Register an actor; duplicate names fail loudly."""
+        if self._resolve(actor.name) is not None:
+            raise SimulationError(f"actor {actor.name!r} already registered")
+        try:
+            self.world.place(actor.position_m)
+        except SimulationError as exc:
+            raise SimulationError(f"actor {actor.name!r}: {exc}") from None
+        self._actors[actor.name] = actor
+        if actor.mobility is not None:
+            self._ensure_ticking()
+        return actor
+
+    def add_stationary(
+        self,
+        name: str,
+        position_m: float,
+        transmit_range_m: float | None = None,
+    ) -> Actor:
+        """Place fixed infrastructure (an RSU, a positioned attacker).
+
+        Stationary actors carry no mobility model at all, so placing
+        them never starts the topology tick -- a world of pure
+        infrastructure leaves the event queue drainable.
+        """
+        return self.add(
+            Actor(
+                name,
+                position_m=position_m,
+                transmit_range_m=transmit_range_m,
+            )
+        )
+
+    def add_mobile(
+        self,
+        name: str,
+        position_m: float,
+        mobility: MobilityModel,
+        transmit_range_m: float | None = None,
+    ) -> Actor:
+        """Place a topology-stepped mobile actor."""
+        return self.add(
+            Actor(
+                name,
+                position_m=position_m,
+                transmit_range_m=transmit_range_m,
+                mobility=mobility,
+            )
+        )
+
+    def track(
+        self, component, transmit_range_m: float | None = None
+    ) -> Actor:
+        """Track a component owning its own kinematics (a Vehicle).
+
+        The component provides ``name`` and ``position_m``; the actor's
+        position always reads through to it.
+        """
+        return self.add(
+            Actor(
+                component.name,
+                position_m=component.position_m,
+                transmit_range_m=transmit_range_m,
+                tracker=lambda: component.position_m,
+            )
+        )
+
+    def bind(self, alias: str, actor_name: str) -> None:
+        """Bind a channel-endpoint name to its carrying actor.
+
+        E.g. ``bind("OBU-2", "ego-2")``: messages to/from ``OBU-2``
+        resolve to ``ego-2``'s position and transmit range.
+        """
+        if self._resolve(actor_name) is None:
+            raise SimulationError(
+                f"cannot bind {alias!r}: unknown actor {actor_name!r}"
+            )
+        if self._resolve(alias) is not None:
+            raise SimulationError(f"name {alias!r} already registered")
+        self._aliases[alias] = actor_name
+
+    # -- lookup -------------------------------------------------------------
+
+    def _resolve(self, name: str) -> Actor | None:
+        if name in self._actors:
+            return self._actors[name]
+        if name in self._aliases:
+            return self._actors[self._aliases[name]]
+        return None
+
+    def actor(self, name: str) -> Actor:
+        """Look up an actor by name or bound alias."""
+        actor = self._resolve(name)
+        if actor is None:
+            raise SimulationError(f"unknown actor {name!r}")
+        return actor
+
+    def knows(self, name: str) -> bool:
+        """True when ``name`` is a registered actor or bound alias."""
+        return self._resolve(name) is not None
+
+    @property
+    def actors(self) -> tuple[Actor, ...]:
+        """All actors, in registration order."""
+        return tuple(self._actors.values())
+
+    @property
+    def saturated_actors(self) -> tuple[str, ...]:
+        """Names of actors whose mobility ever saturated at a road end."""
+        return tuple(sorted(self._saturated))
+
+    def position_of(self, name: str) -> float:
+        """Current position of an actor (or bound alias)."""
+        return self.actor(name).position_m
+
+    def distance_m(self, a: str, b: str) -> float:
+        """Absolute distance between two actors."""
+        return abs(self.position_of(a) - self.position_of(b))
+
+    def in_range(self, sender: str, receiver: str) -> bool:
+        """True when ``receiver`` sits within ``sender``'s transmit range.
+
+        The boundary is inclusive: at ``distance == range`` the receiver
+        still hears the sender.  A ``None`` range means unlimited.
+        """
+        range_m = self.actor(sender).transmit_range_m
+        if range_m is None:
+            return True
+        return self.distance_m(sender, receiver) <= range_m
+
+    def neighbors(
+        self, name: str, range_m: float | None = None
+    ) -> tuple[str, ...]:
+        """Other actors within ``range_m`` (default: the actor's own
+        transmit range), ordered by ``(distance, name)``."""
+        actor = self.actor(name)
+        radius = range_m if range_m is not None else actor.transmit_range_m
+        if radius is None:
+            names = self.index().within(actor.position_m, float("inf"))
+        else:
+            names = self.index().within(actor.position_m, radius)
+        return tuple(n for n in names if n != actor.name)
+
+    def index(self) -> SpatialIndex:
+        """A :class:`SpatialIndex` snapshot of the current positions."""
+        return SpatialIndex(
+            (actor.position_m, actor.name) for actor in self._actors.values()
+        )
+
+    # -- mobility -----------------------------------------------------------
+
+    def _ensure_ticking(self) -> None:
+        if self._ticking:
+            return
+        if self._clock is None:
+            raise SimulationError(
+                "topology has mobile actors but no clock to step them"
+            )
+        self._clock.schedule_periodic(
+            self.tick_ms, self.step, start=self.tick_ms
+        )
+        self._ticking = True
+
+    def step(self, dt_s: float | None = None) -> None:
+        """Advance every mobile actor one tick, in insertion order."""
+        dt = self.tick_ms / 1000.0 if dt_s is None else dt_s
+        for actor in self._actors.values():
+            if actor.mobility is None:
+                continue
+            proposed = actor.mobility.next_position(actor, self, dt)
+            clamped = self.world.clamp(proposed)
+            if clamped.saturated:
+                self._saturated.add(actor.name)
+            actor.position_m = float(clamped)
+
+
+class RangePropagation:
+    """Range-gated delivery: a message reaches in-range receivers only.
+
+    Membership is evaluated at **delivery** time (after channel latency
+    and congestion), against the *sender's* transmit range -- matching
+    the physical story where the RSU's transmitter, not the OBU's
+    antenna, bounds the coverage zone.  Consistent with
+    :meth:`Topology.in_range`, an actor whose ``transmit_range_m`` is
+    ``None`` transmits without limit; senders unknown to the topology
+    have no position to gate from and broadcast globally, and receivers
+    unknown to the topology (passive observers without a road position)
+    hear everything unless explicitly placed.
+
+    Note the model's shared-band semantics: range gating filters who
+    *decodes* a transmission, never who *transmits* -- every send still
+    occupies the channel's bandwidth budget (airtime), so an
+    out-of-decode-range transmitter can congest the band for everyone,
+    as co-channel interference does.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    def receivers(
+        self, message: Message, receivers: list[Receiver]
+    ) -> list[Receiver]:
+        """The attached receivers the message actually reaches."""
+        if not self.topology.knows(message.sender):
+            # No position to gate from: the sender transmits globally.
+            return list(receivers)
+        range_m = self.topology.actor(message.sender).transmit_range_m
+        if range_m is None:
+            return list(receivers)
+        sender_pos = self.topology.position_of(message.sender)
+        selected = []
+        for receiver in receivers:
+            if not self.topology.knows(receiver.name):
+                selected.append(receiver)  # unplaced observers hear all
+                continue
+            distance = abs(
+                self.topology.position_of(receiver.name) - sender_pos
+            )
+            if distance <= range_m:
+                selected.append(receiver)
+        return selected

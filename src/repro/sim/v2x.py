@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
-from repro.sim.crypto import KeyStore
+from repro.sim.crypto import KeyStore, verify_mac
 from repro.sim.ecu import Ecu
 from repro.sim.events import EventBus
 from repro.sim.network import Medium, Message
@@ -30,6 +30,8 @@ from repro.sim.vehicle import Vehicle
 KIND_ROAD_WORKS = "road_works_warning"
 KIND_SPEED_LIMIT = "speed_limit"
 KIND_HAZARD_WARNING = "hazard_warning"
+#: A road-works warning relayed vehicle-to-vehicle (hop-limited).
+KIND_V2V_RELAY = "v2v_road_works_relay"
 
 
 class RoadsideUnit:
@@ -106,6 +108,110 @@ class RoadsideUnit:
         )
 
 
+class V2VRelay:
+    """Vehicle-to-vehicle hazard forwarding (the V2V leg of V2X).
+
+    A relay rides on a vehicle: it listens on the shared radio channel
+    and re-broadcasts road-works warnings so convoy members *outside*
+    the RSU's coverage still learn about the hazard ahead.  A warning is
+    only forwarded when its HMAC verifies against the claimed sender's
+    provisioned key -- re-signing an unverified message would launder a
+    spoof past the receivers' own authentication.  Forwarded messages
+    are signed with the relay's own provisioned identity (a vehicle
+    cannot speak for the RSU), carry the originating ``(sender,
+    counter)`` pair for de-duplication, and a ``hops`` counter bounds
+    flooding: each warning is relayed at most once per relay and never
+    beyond ``max_hops``.
+
+    Attributes:
+        name: Sender identity of the relay (provisioned in the keystore).
+        forwarded: Number of warnings this relay re-broadcast.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        channel: Medium,
+        keystore: KeyStore,
+        bus: EventBus,
+        max_hops: int = 2,
+        forward_delay_ms: float = 5.0,
+    ) -> None:
+        if max_hops < 1:
+            raise SimulationError("relay max_hops must be >= 1")
+        if forward_delay_ms < 0:
+            raise SimulationError("relay forward delay must be >= 0")
+        self.name = name
+        self.max_hops = max_hops
+        self.forward_delay_ms = forward_delay_ms
+        self.forwarded = 0
+        self._clock = clock
+        self._channel = channel
+        self._keystore = keystore
+        self._bus = bus
+        self._counter = 0
+        self._seen_origins: set[str] = set()
+        keystore.provision(name)
+
+    def _authentic(self, message: Message) -> bool:
+        """True when the message's tag verifies for its claimed sender."""
+        if not message.auth_tag or not self._keystore.is_provisioned(
+            message.sender
+        ):
+            return False
+        return verify_mac(
+            self._keystore.key_of(message.sender),
+            message.signing_bytes(),
+            message.auth_tag,
+        )
+
+    def receive(self, message: Message) -> None:
+        """Forward fresh, *authenticated* road-works warnings, hop-limited."""
+        if message.sender == self.name:
+            return
+        if message.kind == KIND_ROAD_WORKS:
+            origin = f"{message.sender}:{message.counter}"
+            hops = 0
+        elif message.kind == KIND_V2V_RELAY:
+            origin = str(message.payload.get("origin", ""))
+            hops = int(message.payload.get("hops", self.max_hops))
+        else:
+            return
+        if not origin or origin in self._seen_origins or hops >= self.max_hops:
+            return
+        if not self._authentic(message):
+            return
+        self._seen_origins.add(origin)
+        payload = {
+            "zone_start_m": message.payload.get("zone_start_m"),
+            "speed_limit_mps": message.payload.get("speed_limit_mps"),
+            "origin": origin,
+            "hops": hops + 1,
+        }
+        self._clock.schedule(
+            self.forward_delay_ms, lambda: self._forward(payload)
+        )
+
+    def _forward(self, payload: dict) -> None:
+        self._counter += 1
+        self.forwarded += 1
+        message = Message(
+            kind=KIND_V2V_RELAY,
+            sender=self.name,
+            payload=payload,
+            counter=self._counter,
+        ).with_timestamp(self._clock.now)
+        self._channel.send(message.signed(self._keystore))
+        self._bus.publish(
+            self._clock.now,
+            "v2v.relayed",
+            self.name,
+            origin=payload["origin"],
+            hops=payload["hops"],
+        )
+
+
 class OnBoardUnit(Ecu):
     """The OBU: receives V2X messages and drives the vehicle's reactions.
 
@@ -146,6 +252,19 @@ class OnBoardUnit(Ecu):
                 sender=message.sender,
             )
             self._vehicle.request_handover(reason="road works ahead")
+        elif message.kind == KIND_V2V_RELAY:
+            self._bus.publish(
+                self._clock.now,
+                "obu.relay_accepted",
+                self.name,
+                zone_start_m=message.payload.get("zone_start_m"),
+                origin=message.payload.get("origin"),
+                hops=message.payload.get("hops"),
+                sender=message.sender,
+            )
+            self._vehicle.request_handover(
+                reason="road works ahead (relayed)"
+            )
         elif message.kind == KIND_SPEED_LIMIT:
             limit = message.payload.get("speed_limit_mps")
             if isinstance(limit, (int, float)) and not isinstance(limit, bool):
@@ -165,3 +284,14 @@ class OnBoardUnit(Ecu):
                 text=message.payload.get("text", ""),
                 total_shown=self.warnings_shown,
             )
+
+
+__all__ = [
+    "KIND_HAZARD_WARNING",
+    "KIND_ROAD_WORKS",
+    "KIND_SPEED_LIMIT",
+    "KIND_V2V_RELAY",
+    "OnBoardUnit",
+    "RoadsideUnit",
+    "V2VRelay",
+]

@@ -63,7 +63,10 @@ class Vehicle:
         if speed_mps < 0:
             raise SimulationError("initial speed must be >= 0")
         self.name = name
-        self.position_m = position_m
+        # Placement is validated, not silently clamped: a scenario that
+        # puts a vehicle off-road is mis-specified, not "at the end".
+        self.position_m = world.place(position_m)
+        self.position_saturated = False
         self.speed_mps = speed_mps
         self.mode = DrivingMode.AUTOMATED
         self.tick_ms = tick_ms
@@ -178,9 +181,10 @@ class Vehicle:
                 self.target_speed_mps,
                 self.speed_mps + self.MAX_ACCEL_MPS2 * dt,
             )
-        self.position_m = self._world.clamp(
-            self.position_m + self.speed_mps * dt
-        )
+        clamped = self._world.clamp(self.position_m + self.speed_mps * dt)
+        if clamped.saturated:
+            self.position_saturated = True
+        self.position_m = float(clamped)
         current_zones = {
             zone.name for zone in self._world.zones_at(self.position_m)
         }
@@ -231,3 +235,10 @@ class Driver:
         self._vehicle.driver_takes_over()
         self._vehicle.set_target_speed(self.comfort_speed_mps)
         self._reacting = False
+
+
+__all__ = [
+    "Driver",
+    "DrivingMode",
+    "Vehicle",
+]

@@ -16,6 +16,29 @@ import dataclasses
 from repro.errors import SimulationError
 
 
+class ClampedPosition(float):
+    """A road position produced by :meth:`World.clamp`.
+
+    Behaves exactly like the underlying ``float`` (so every existing
+    arithmetic call site is untouched) but additionally carries
+    ``saturated``: whether clamping actually moved the position onto the
+    road.  Scenarios assert actors stayed on-road by checking the flag
+    instead of comparing floats against the road ends.
+    """
+
+    saturated: bool
+
+    def __new__(cls, value: float, saturated: bool) -> "ClampedPosition":
+        self = super().__new__(cls, value)
+        self.saturated = saturated
+        return self
+
+    def __getnewargs__(self) -> tuple[float, bool]:
+        # float.__getnewargs__ supplies only the value; without the flag
+        # pickle/deepcopy would crash crossing a worker-process boundary.
+        return (float(self), self.saturated)
+
+
 @dataclasses.dataclass(frozen=True)
 class Zone:
     """A named interval of the road, ``[start, end)`` in metres."""
@@ -99,6 +122,38 @@ class World:
         """
         return self.zone(name).start - position
 
-    def clamp(self, position: float) -> float:
-        """Clamp a position onto the road."""
-        return min(max(position, 0.0), self.road_length_m)
+    def clamp(self, position: float) -> ClampedPosition:
+        """Clamp a position onto the road.
+
+        Returns a :class:`ClampedPosition` -- a ``float`` whose
+        ``saturated`` flag reports whether the input lay off-road.
+        """
+        clamped = min(max(position, 0.0), self.road_length_m)
+        return ClampedPosition(clamped, saturated=clamped != position)
+
+    def place(self, position: float) -> float:
+        """Validate an *initial* placement; saturation is not allowed.
+
+        Raises:
+            SimulationError: when the position is negative or beyond the
+                road end -- placements must start on the road, only
+                *motion* may saturate at the ends.
+        """
+        if position < 0:
+            raise SimulationError(
+                f"negative placement ({position} m) rejected; the road "
+                "starts at 0 m"
+            )
+        if position > self.road_length_m:
+            raise SimulationError(
+                f"placement {position} m is beyond the road end "
+                f"({self.road_length_m} m)"
+            )
+        return position
+
+
+__all__ = [
+    "ClampedPosition",
+    "World",
+    "Zone",
+]

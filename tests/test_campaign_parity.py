@@ -1,0 +1,78 @@
+"""Refactor-parity contract: the spatial topology layer must not move a
+single pre-existing verdict.
+
+``tests/data/golden_verdicts.json`` holds the verdict and violated-goal
+set of every variant the registry generated *before* the topology
+refactor (captured from the pre-refactor tree, all 110 of them).  The
+legacy scenarios now run on a :class:`~repro.sim.network.Channel` whose
+default propagation is the explicit
+:class:`~repro.sim.network.InfiniteRange` model -- this test asserts
+that spelling is behaviour-preserving across the entire baseline /
+parity / control-ablation / attacker-timing / traffic-density /
+zone-geometry design space.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.engine.campaign import run_campaign
+from repro.engine.registry import (
+    UC1_SCENARIO,
+    UC2_SCENARIO,
+    default_registry,
+)
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_verdicts.json"
+
+#: The scenarios that existed before the topology refactor.
+LEGACY_SCENARIOS = (UC1_SCENARIO, UC2_SCENARIO)
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def legacy_variants():
+    return tuple(
+        variant
+        for variant in default_registry().variants()
+        if variant.scenario in LEGACY_SCENARIOS
+    )
+
+
+class TestGoldenParity:
+    def test_every_golden_variant_still_exists(self, golden):
+        ids = {variant.variant_id for variant in legacy_variants()}
+        missing = set(golden) - ids
+        assert not missing, (
+            "variants present in the pre-refactor golden set disappeared: "
+            f"{sorted(missing)}"
+        )
+
+    def test_no_new_variants_under_the_legacy_scenarios(self, golden):
+        # New families belong on the fleet scenario; the legacy design
+        # space is frozen by the golden capture.
+        extra = {v.variant_id for v in legacy_variants()} - set(golden)
+        assert not extra, f"unexpected new legacy variants: {sorted(extra)}"
+
+    @pytest.mark.slow
+    def test_all_legacy_verdicts_identical(self, golden):
+        """Every pre-existing variant reproduces its pre-refactor verdict
+        and violated-goal set exactly (the refactor's hard gate)."""
+        result = run_campaign(legacy_variants(), backend="serial")
+        mismatches = {}
+        for outcome in result.outcomes:
+            expected_verdict, expected_goals = golden[outcome.variant_id]
+            actual = (outcome.verdict, list(outcome.violated_goals))
+            if actual != (expected_verdict, expected_goals):
+                mismatches[outcome.variant_id] = {
+                    "expected": (expected_verdict, expected_goals),
+                    "actual": actual,
+                }
+        assert not mismatches, (
+            f"{len(mismatches)} variant(s) changed behaviour: {mismatches}"
+        )
+        assert result.total == len(golden)

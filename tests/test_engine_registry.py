@@ -5,6 +5,7 @@ import pytest
 from repro.engine.registry import (
     BOUND_ATTACKS,
     ScenarioRegistry,
+    UC1_FLEET_SCENARIO,
     UC1_SCENARIO,
     UC2_SCENARIO,
     default_registry,
@@ -56,6 +57,27 @@ class TestSpecDataModel:
         zone = scenario.world.zone("construction")
         assert zone.start == 900.0  # from the spec default
         assert zone.end == 1000.0  # variant override wins
+
+    def test_topology_params_merge_under_variant_params(self):
+        spec = ScenarioSpec(
+            name="uc1-fleet-test",
+            use_case="uc1",
+            factory="repro.sim.scenarios:FleetConstructionSiteScenario",
+            topology=freeze_params({"fleet_size": 2, "rsu_range_m": 300.0}),
+        )
+        scenario = spec.build({"fleet_size": 3})
+        assert scenario.fleet_size == 3  # variant override wins
+        assert spec.fleet_capable
+        assert spec.topology_keys == {"fleet_size", "rsu_range_m"}
+
+    def test_topology_fleet_size_validated(self):
+        with pytest.raises(ValidationError, match="fleet_size"):
+            ScenarioSpec(
+                name="x",
+                use_case="uc1",
+                factory="a:b",
+                topology=freeze_params({"fleet_size": 0}),
+            )
 
     def test_variant_payload_round_trip(self):
         variant = VariantSpec(
@@ -109,9 +131,22 @@ class TestRegistryMechanics:
 class TestDefaultRegistry:
     def test_registers_both_use_cases(self):
         registry = default_registry()
-        assert registry.names() == (UC1_SCENARIO, UC2_SCENARIO)
+        assert registry.names() == (
+            UC1_SCENARIO,
+            UC2_SCENARIO,
+            UC1_FLEET_SCENARIO,
+        )
         assert registry.get(UC1_SCENARIO).use_case == "uc1"
         assert registry.get(UC2_SCENARIO).use_case == "uc2"
+        assert registry.get(UC1_FLEET_SCENARIO).use_case == "uc1"
+
+    def test_fleet_spec_declares_topology(self):
+        spec = default_registry().get(UC1_FLEET_SCENARIO)
+        assert spec.fleet_capable
+        assert {"fleet_size", "rsu_range_m", "v2v_range_m"} <= (
+            spec.topology_keys
+        )
+        assert not default_registry().get(UC1_SCENARIO).fleet_capable
 
     def test_generates_at_least_100_variants(self):
         variants = default_registry().variants()
@@ -131,6 +166,9 @@ class TestDefaultRegistry:
             "attacker-timing",
             "traffic-density",
             "zone-geometry",
+            "fleet",
+            "coverage",
+            "attacker-position",
         }
 
     def test_parity_family_covers_every_bound_attack(self):

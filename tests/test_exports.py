@@ -1,5 +1,5 @@
-"""Export-completeness contracts for repro.tara, repro.engine and
-repro.runtime.
+"""Export-completeness contracts for repro.tara, repro.engine,
+repro.runtime and repro.sim.
 
 Every submodule declares ``__all__``; the package re-exports exactly the
 union of its submodules' ``__all__`` lists; and every public top-level
@@ -16,6 +16,7 @@ PACKAGES = {
     "repro.tara": None,  # eager package: names live in vars(package)
     "repro.engine": None,  # lazy package: names resolve via __getattr__
     "repro.runtime": None,  # eager package: the execution layer
+    "repro.sim": None,  # eager package: the simulation substrate
 }
 
 

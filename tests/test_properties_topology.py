@@ -1,0 +1,168 @@
+"""Property-based tests on the spatial topology layer.
+
+Three contracts the fleet scenario families lean on:
+
+* **mobility determinism** -- identically configured topologies stepped
+  under identical clocks produce bit-identical trajectories (seeded
+  campaign reproducibility needs nothing less);
+* **range symmetry** -- with equal transmit ranges, A hears B exactly
+  when B hears A (the inclusive boundary cannot break symmetry);
+* **InfiniteRange == legacy broadcast** -- a channel carrying the
+  explicit :class:`~repro.sim.network.InfiniteRange` model delivers the
+  same messages, at the same times, to the same receivers as a channel
+  constructed the pre-topology way; and on the AD08/AD20 parity
+  variants the two spellings produce identical verdicts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.campaign import execute_variant
+from repro.engine.registry import default_registry
+from repro.sim.clock import SimClock
+from repro.sim.events import EventBus
+from repro.sim.network import Channel, InfiniteRange, Message
+from repro.sim.topology import (
+    ConstantSpeedMobility,
+    FollowLeaderMobility,
+    RangePropagation,
+    Topology,
+)
+from repro.sim.world import World
+
+positions = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+ranges = st.floats(min_value=0.0, max_value=1500.0, allow_nan=False)
+speeds = st.floats(min_value=-40.0, max_value=40.0, allow_nan=False)
+
+
+class TestMobilityDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(positions, speeds), min_size=1, max_size=6
+        ),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_identical_configs_produce_identical_trajectories(
+        self, placements, ticks
+    ):
+        def run() -> list[float]:
+            clock = SimClock()
+            world = World(2000.0)
+            topology = Topology(world, clock=clock, tick_ms=100.0)
+            for index, (position, speed) in enumerate(placements):
+                topology.add_mobile(
+                    f"car-{index}", position, ConstantSpeedMobility(speed)
+                )
+            clock.run_until(ticks * 100.0)
+            return [actor.position_m for actor in topology.actors]
+
+        assert run() == run()
+
+    @settings(max_examples=25, deadline=None)
+    @given(positions, positions, st.integers(min_value=1, max_value=30))
+    def test_follow_leader_is_deterministic(self, lead, tail, ticks):
+        def run() -> tuple[float, float]:
+            clock = SimClock()
+            topology = Topology(World(2000.0), clock=clock, tick_ms=100.0)
+            topology.add_mobile("lead", lead, ConstantSpeedMobility(15.0))
+            topology.add_mobile(
+                "tail", tail, FollowLeaderMobility("lead", gap_m=30.0)
+            )
+            clock.run_until(ticks * 100.0)
+            return (topology.position_of("lead"), topology.position_of("tail"))
+
+        assert run() == run()
+
+
+class TestRangeSymmetry:
+    @settings(max_examples=60, deadline=None)
+    @given(positions, positions, ranges)
+    def test_equal_ranges_hear_symmetrically(self, pos_a, pos_b, range_m):
+        topology = Topology(World(1000.0))
+        topology.add_stationary("a", pos_a, transmit_range_m=range_m)
+        topology.add_stationary("b", pos_b, transmit_range_m=range_m)
+        assert topology.in_range("a", "b") == topology.in_range("b", "a")
+
+    @settings(max_examples=40, deadline=None)
+    @given(positions, positions, ranges)
+    def test_propagation_delivery_is_symmetric(self, pos_a, pos_b, range_m):
+        clock = SimClock()
+        topology = Topology(World(1000.0), clock=clock)
+        topology.add_stationary("a", pos_a, transmit_range_m=range_m)
+        topology.add_stationary("b", pos_b, transmit_range_m=range_m)
+        channel = Channel(
+            "radio", clock, EventBus(), propagation=RangePropagation(topology)
+        )
+        heard: dict[str, list] = {"a": [], "b": []}
+
+        class Ear:
+            def __init__(self, name):
+                self.name = name
+
+            def receive(self, message):
+                if message.sender != self.name:
+                    heard[self.name].append(message)
+
+        channel.attach(Ear("a"))
+        channel.attach(Ear("b"))
+        channel.send(Message(kind="k", sender="a", payload={}))
+        channel.send(Message(kind="k", sender="b", payload={}))
+        clock.run()
+        assert len(heard["a"]) == len(heard["b"])
+
+
+class TestInfiniteRangeEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["s1", "s2", "s3"]),
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_explicit_infinite_range_matches_default_channel(self, sends):
+        """Same burst through a default channel and an explicit
+        InfiniteRange channel: identical delivery sequences."""
+
+        def run(propagation) -> list[tuple[float, str, int]]:
+            clock, bus = SimClock(), EventBus()
+            kwargs = {"latency_ms": 1.0, "bandwidth_per_ms": 2.0}
+            if propagation is not None:
+                kwargs["propagation"] = propagation
+            channel = Channel("c", clock, bus, **kwargs)
+            log = []
+
+            class Sink:
+                name = "sink"
+
+                def receive(self, message):
+                    log.append((clock.now, message.sender, message.counter))
+
+            channel.attach(Sink())
+            for counter, (sender, delay) in enumerate(sends):
+                clock.schedule(
+                    delay,
+                    lambda s=sender, c=counter: channel.send(
+                        Message(kind="k", sender=s, payload={}, counter=c)
+                    ),
+                )
+            clock.run()
+            return log
+
+        assert run(None) == run(InfiniteRange())
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "variant_id", ["uc1/parity/ad20", "uc2/parity/ad08"]
+    )
+    def test_parity_anchors_reproduce_seed_verdicts(self, variant_id):
+        """AD20/AD08 through the (now explicitly InfiniteRange) legacy
+        channels still produce the published seed verdicts."""
+        outcome = execute_variant(default_registry().variant(variant_id))
+        assert outcome.verdict == "ATTACK_FAILED"
+        assert outcome.violated_goals == ()
