@@ -474,6 +474,7 @@ class Workspace:
         on_error: str = "raise",
         on_event: Any | None = None,
         cancel: Any | None = None,
+        trace_mode: str | None = None,
     ):
         """Run a scenario campaign; outcomes **stream** into the result set.
 
@@ -489,7 +490,10 @@ class Workspace:
         legacy process-pool shorthand.  Each outcome's record joins the
         workspace result set the moment its job completes, so
         :meth:`results` reflects a still-running campaign when called
-        from an ``on_event`` callback.  Returns the
+        from an ``on_event`` callback.  ``trace_mode`` picks the
+        scenarios' event-trace retention (lean ``"counts"`` by default;
+        ``"full"`` keeps complete traces -- verdicts are identical
+        either way).  Returns the
         :class:`~repro.engine.campaign.CampaignResult`.
         """
         # Imported lazily: the engine pulls in the whole simulator stack,
@@ -526,12 +530,18 @@ class Workspace:
                 rsu_range_m=rsu_range_m,
             )
         sink = ResultSink(on_record=self._records.append)
+        if trace_mode is None:
+            # One source of truth for the campaign default (lean mode).
+            from repro.engine.campaign import CAMPAIGN_TRACE_MODE
+
+            trace_mode = CAMPAIGN_TRACE_MODE
         return runner.run(
             variants,
             sink=sink,
             on_error=on_error,
             on_event=on_event,
             cancel=cancel,
+            trace_mode=trace_mode,
         )
 
     def crosscheck(

@@ -623,6 +623,153 @@ def bench_fleet(jobs: int | None = None) -> list[BenchRecord]:
     return records
 
 
+def bench_kernel() -> list[BenchRecord]:
+    """Substrate hot-path throughput: the perf trajectory of the core.
+
+    Four records, each a kernel-level rate the campaign machinery sits
+    on top of:
+
+    * ``clock_events`` -- discrete events executed per second through
+      :class:`~repro.sim.clock.SimClock` (tuple heap + periodic path);
+    * ``bus_publish`` -- :class:`~repro.sim.events.EventBus` publishes
+      per second, measured in both trace modes (``full`` retains the
+      trace, ``counts`` is the lean campaign mode);
+    * ``mac_verify`` -- per-receiver HMAC verification rate over
+      broadcast messages (the instance memo makes one broadcast verify
+      once, not once per receiver);
+    * ``fleet_serial`` -- end-to-end fleet-campaign throughput
+      (``fleet`` family, convoy size 8, serial backend): the
+      acceptance-criterion number of the hot-path overhaul, and the
+      figure to watch across commits in ``BENCH_kernel.json``.
+    """
+    from repro.engine.campaign import run_campaign
+    from repro.sim.clock import SimClock
+    from repro.sim.crypto import KeyStore
+    from repro.sim.events import EventBus
+    from repro.sim.network import Message
+
+    records: list[BenchRecord] = []
+
+    # -- clock: periodic-heavy event execution ---------------------------
+    clock = SimClock()
+    ticks = 0
+
+    def tick() -> None:
+        nonlocal ticks
+        ticks += 1
+
+    for _ in range(32):
+        clock.schedule_periodic(1.0, tick, until=2000.0)
+    executed, clock_s = _timed(clock.run)
+    records.append(
+        BenchRecord(
+            suite="kernel",
+            name="clock_events",
+            status="ok" if executed == ticks and executed > 0 else "failed",
+            metrics=freeze_items(
+                {
+                    "events": executed,
+                    "wall_s": clock_s,
+                    "events_per_s": executed / max(clock_s, 1e-9),
+                }
+            ),
+        )
+    )
+
+    # -- bus: publish throughput per trace mode --------------------------
+    def publish_storm(bus: EventBus, publishes: int) -> None:
+        seen = []
+        bus.subscribe("hot.topic", seen.append)
+        bus.retain("hot.topic")
+        topics = ("hot.topic", "cold.one", "cold.two", "cold.three")
+        for index in range(publishes):
+            bus.publish(float(index), topics[index & 3], "bench", n=index)
+
+    publishes = 40000
+    mode_rates = {}
+    for mode in ("full", "counts"):
+        bus = EventBus(mode=mode)
+        _, publish_s = _timed(lambda b=bus: publish_storm(b, publishes))
+        mode_rates[mode] = publishes / max(publish_s, 1e-9)
+    records.append(
+        BenchRecord(
+            suite="kernel",
+            name="bus_publish",
+            metrics=freeze_items(
+                {
+                    "publishes": publishes,
+                    "publishes_per_s_full": mode_rates["full"],
+                    "publishes_per_s_counts": mode_rates["counts"],
+                }
+            ),
+        )
+    )
+
+    # -- crypto: broadcast MAC verification ------------------------------
+    keystore = KeyStore()
+    key = keystore.provision("RSU-bench")
+    messages = [
+        Message(
+            kind="road_works_warning",
+            sender="RSU-bench",
+            payload={"zone_start_m": 1500.0, "n": n},
+            counter=n,
+            timestamp=float(n),
+        ).signed(keystore)
+        for n in range(500)
+    ]
+    receivers = 8
+
+    def verify_all() -> int:
+        verified = 0
+        for message in messages:
+            for _ in range(receivers):  # each convoy member re-checks
+                if message.mac_verified(key):
+                    verified += 1
+        return verified
+
+    verified, verify_s = _timed(verify_all)
+    records.append(
+        BenchRecord(
+            suite="kernel",
+            name="mac_verify",
+            status=(
+                "ok" if verified == len(messages) * receivers else "failed"
+            ),
+            metrics=freeze_items(
+                {
+                    "verifies": verified,
+                    "wall_s": verify_s,
+                    "mac_verifies_per_s": verified / max(verify_s, 1e-9),
+                }
+            ),
+        )
+    )
+
+    # -- end to end: the fleet campaign, serially ------------------------
+    variants = fleet_variants_of_size(8)
+    result, campaign_s = _timed(
+        lambda: run_campaign(variants, backend="serial")
+    )
+    records.append(
+        BenchRecord(
+            suite="kernel",
+            name="fleet_serial",
+            status="ok" if result.total and not result.errors() else "failed",
+            metrics=freeze_items(
+                {
+                    "fleet_size": 8,
+                    "variants": result.total,
+                    "wall_s": campaign_s,
+                    "variants_per_s": result.total / max(campaign_s, 1e-9),
+                }
+            ),
+            meta=freeze_items({"backend": "serial", "family": "fleet"}),
+        )
+    )
+    return records
+
+
 #: The built-in suites ``repro bench`` runs, in execution order.
 BENCH_SUITES: dict[str, Callable[[], list[BenchRecord]]] = {
     "rq1": bench_rq1,
@@ -630,6 +777,7 @@ BENCH_SUITES: dict[str, Callable[[], list[BenchRecord]]] = {
     "scalability": bench_scalability,
     "backends": bench_backends,
     "fleet": bench_fleet,
+    "kernel": bench_kernel,
 }
 
 
@@ -670,6 +818,7 @@ __all__ = [
     "bench_backends",
     "bench_file_payload",
     "bench_fleet",
+    "bench_kernel",
     "bench_rq1",
     "bench_rq2",
     "bench_scalability",

@@ -40,6 +40,7 @@ _EXPORTS = {
     "ParamItems": "repro.engine.spec",
     "ScenarioSpec": "repro.engine.spec",
     "VariantSpec": "repro.engine.spec",
+    "factory_accepts": "repro.engine.spec",
     "freeze_params": "repro.engine.spec",
     "resolve_factory": "repro.engine.spec",
     "thaw_params": "repro.engine.spec",
@@ -51,6 +52,7 @@ _EXPORTS = {
     "UC2_SCENARIO": "repro.engine.registry",
     "apply_topology_overrides": "repro.engine.registry",
     "default_registry": "repro.engine.registry",
+    "CAMPAIGN_TRACE_MODE": "repro.engine.campaign",
     "CampaignRunner": "repro.engine.campaign",
     "CampaignResult": "repro.engine.campaign",
     "ERROR_VERDICT": "repro.engine.campaign",

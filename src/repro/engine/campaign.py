@@ -60,6 +60,14 @@ from repro.testing.testcase import TestCase, Verdict
 #: Verdict label of an outcome whose worker-side execution raised.
 ERROR_VERDICT = "ERROR"
 
+#: The trace mode campaign workers run scenarios under.  Campaigns only
+#: read verdicts, violations, detections and stats, so they default to
+#: the lean ``"counts"`` bus mode (per-prefix counters + the scenario's
+#: ``RETAINED_TOPICS``); verdicts are mode-independent by construction
+#: and asserted so by the golden-parity harness and the trace-mode
+#: property tests.  Pass ``trace_mode="full"`` to keep complete traces.
+CAMPAIGN_TRACE_MODE = "counts"
+
 
 @dataclasses.dataclass(frozen=True)
 class VariantOutcome:
@@ -186,9 +194,15 @@ def _result_detections(
 
 
 def execute_variant(
-    variant: VariantSpec, registry: ScenarioRegistry | None = None
+    variant: VariantSpec,
+    registry: ScenarioRegistry | None = None,
+    trace_mode: str = CAMPAIGN_TRACE_MODE,
 ) -> VariantOutcome:
-    """Execute one variant end to end and derive its verdict."""
+    """Execute one variant end to end and derive its verdict.
+
+    ``trace_mode`` selects the scenario's event-bus retention mode
+    (lean ``"counts"`` by default -- see :data:`CAMPAIGN_TRACE_MODE`).
+    """
     registry = registry or default_registry()
     spec = registry.get(variant.scenario)
     started = time.perf_counter()
@@ -197,7 +211,9 @@ def execute_variant(
         template = _bound_test(spec.use_case, variant.attack)
         test = dataclasses.replace(
             template,
-            build_scenario=lambda: spec.build(variant.params),
+            build_scenario=lambda: spec.build(
+                variant.params, trace_mode=trace_mode
+            ),
             duration_ms=variant.duration_ms or template.duration_ms,
         )
         execution = TestHarness().execute(test)
@@ -219,7 +235,7 @@ def execute_variant(
             notes=execution.notes,
         )
 
-    scenario = spec.build(variant.params)
+    scenario = spec.build(variant.params, trace_mode=trace_mode)
     if variant.attack is not None:
         arm_catalog_attack(scenario, variant.attack, variant.attack_params_dict())
     duration_ms = (
@@ -284,10 +300,14 @@ def _ensure_worker_identity() -> None:
     _worker_identity_claimed = True
 
 
-def _run_payload(payload: dict) -> dict:
+def _run_payload(
+    payload: dict, trace_mode: str = CAMPAIGN_TRACE_MODE
+) -> dict:
     """Process-backend job: rebuild the variant, execute, return plain data."""
     _ensure_worker_identity()
-    outcome = execute_variant(VariantSpec.from_payload(payload))
+    outcome = execute_variant(
+        VariantSpec.from_payload(payload), trace_mode=trace_mode
+    )
     return dataclasses.asdict(outcome)
 
 
@@ -474,6 +494,7 @@ def iter_campaign(
     cancel: CancelToken | None = None,
     sink: ResultSink | None = None,
     chunksize: int = 1,
+    trace_mode: str = CAMPAIGN_TRACE_MODE,
 ) -> Iterator[VariantOutcome]:
     """Execute ``variants`` on ``backend``; yield outcomes as they finish.
 
@@ -500,6 +521,8 @@ def iter_campaign(
         sink: Streaming record accumulator
             (:class:`~repro.results.ResultSink`).
         chunksize: Jobs per backend task (1 streams at finest grain).
+        trace_mode: Scenario event-trace mode (lean ``"counts"`` by
+            default; ``"full"`` retains complete traces).
     """
     for _index, outcome in _iter_campaign_indexed(
         variants,
@@ -510,6 +533,7 @@ def iter_campaign(
         cancel=cancel,
         sink=sink,
         chunksize=chunksize,
+        trace_mode=trace_mode,
     ):
         yield outcome
 
@@ -524,6 +548,7 @@ def _iter_campaign_indexed(
     cancel: CancelToken | None = None,
     sink: ResultSink | None = None,
     chunksize: int = 1,
+    trace_mode: str = CAMPAIGN_TRACE_MODE,
 ) -> Iterator[tuple[int, VariantOutcome]]:
     """:func:`iter_campaign` plus each outcome's input position, so
     aggregators can restore exact submission order even when variant ids
@@ -553,11 +578,11 @@ def _iter_campaign_indexed(
     runtime = Runtime(backend, on_event=on_event, cancel=cancel)
     if backend.shares_memory:
         fn: Callable[[Any], Any] = functools.partial(
-            _execute_in_process, registry=registry
+            _execute_in_process, registry=registry, trace_mode=trace_mode
         )
         items: list[Any] = variant_list
     else:
-        fn = _run_payload
+        fn = functools.partial(_run_payload, trace_mode=trace_mode)
         items = [variant.to_payload() for variant in variant_list]
     try:
         for result in runtime.map(fn, items, chunksize=chunksize):
@@ -592,9 +617,13 @@ def _iter_campaign_indexed(
             backend.shutdown()
 
 
-def _execute_in_process(variant: VariantSpec, registry=None) -> VariantOutcome:
+def _execute_in_process(
+    variant: VariantSpec,
+    registry=None,
+    trace_mode: str = CAMPAIGN_TRACE_MODE,
+) -> VariantOutcome:
     """Serial/thread-backend job: no payload round-trip needed."""
-    return execute_variant(variant, registry)
+    return execute_variant(variant, registry, trace_mode=trace_mode)
 
 
 def run_campaign(
@@ -609,6 +638,7 @@ def run_campaign(
     cancel: CancelToken | None = None,
     sink: ResultSink | None = None,
     chunksize: int = 1,
+    trace_mode: str = CAMPAIGN_TRACE_MODE,
 ) -> CampaignResult:
     """Execute ``variants`` on an execution backend; aggregate outcomes.
 
@@ -641,6 +671,7 @@ def run_campaign(
                 cancel=token,
                 sink=sink,
                 chunksize=chunksize,
+                trace_mode=trace_mode,
             ),
             key=lambda pair: pair[0],
         )
@@ -720,6 +751,7 @@ class CampaignRunner:
         on_event: Callable[[ProgressEvent], None] | None = None,
         cancel: CancelToken | None = None,
         sink: ResultSink | None = None,
+        trace_mode: str = CAMPAIGN_TRACE_MODE,
     ) -> CampaignResult:
         """Run the given (or all) variants on the configured backend."""
         selected = tuple(variants) if variants is not None else self.select()
@@ -733,12 +765,14 @@ class CampaignRunner:
                 on_event=on_event,
                 cancel=cancel,
                 sink=sink,
+                trace_mode=trace_mode,
             )
         finally:
             self.close()
 
 
 __all__ = [
+    "CAMPAIGN_TRACE_MODE",
     "CampaignResult",
     "CampaignRunner",
     "ERROR_VERDICT",

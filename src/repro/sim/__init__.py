@@ -67,7 +67,13 @@ from repro.sim.crypto import (
     verify_mac,
 )
 from repro.sim.ecu import Ecu, Gateway
-from repro.sim.events import EventBus, SimEvent
+from repro.sim.events import (
+    TRACE_COUNTS,
+    TRACE_FULL,
+    TRACE_MODES,
+    EventBus,
+    SimEvent,
+)
 from repro.sim.kernel import KernelScenario, ScenarioResult, SimKernel
 from repro.sim.monitor import InvariantCheck, SafetyMonitor, Violation
 from repro.sim.network import (
@@ -184,6 +190,9 @@ __all__ = [
     "SenderAuthentication",
     "SimClock",
     "SimEvent",
+    "TRACE_COUNTS",
+    "TRACE_FULL",
+    "TRACE_MODES",
     "SimKernel",
     "Smartphone",
     "SpatialIndex",

@@ -91,13 +91,16 @@ class FloodingAttack(AttackInjector):
 
     def _send_one(self) -> None:
         self._counter += 1
+        # Timestamp at construction: one Message build per flood packet
+        # instead of a construct + replace pair on the hottest send path.
         message = Message(
             kind=self.kind,
             sender=self.name,
             payload=self._payload_factory(self._counter),
             counter=self._counter,
+            timestamp=self._clock.now,
             location=self.location,
-        ).with_timestamp(self._clock.now)
+        )
         if self.authenticated:
             assert self._keystore is not None
             message = message.signed(self._keystore)

@@ -5,46 +5,107 @@ scheduled at absolute times (milliseconds, float) and executed in time
 order; ties execute in scheduling order (a monotone sequence number breaks
 them), which keeps every run fully deterministic -- a hard requirement for
 reproducible attack testing (RQ3).
+
+This module is the hottest path of every campaign run, so the internals
+are built for throughput while keeping the execution order bit-identical
+to the original dataclass-heap implementation:
+
+* heap entries are plain ``(time, sequence, handle, callback)`` tuples --
+  the heap compares them at C speed on the ``(time, sequence)`` prefix
+  (``sequence`` is unique, so the trailing elements are never compared),
+  with no per-event ``__lt__`` dispatch and no dataclass allocation;
+* :class:`EventHandle` objects (``__slots__``-based) are only allocated
+  for externally scheduled events; internal reschedules (the periodic
+  path) push bare tuples with a ``None`` handle;
+* the :attr:`SimClock.pending` counter is maintained live -- incremented
+  on schedule, decremented on cancel and on execution -- instead of
+  re-scanning the whole queue per access;
+* :meth:`SimClock.schedule_periodic` drives each repetition through one
+  reusable ``__slots__`` object rather than allocating a fresh closure
+  pair per firing.
+
+Sequence numbers are consumed one per scheduled occurrence in the same
+program order as before, so tie-breaking (and therefore every verdict of
+the golden-parity harness) is preserved exactly.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import heapq
+from heapq import heappop, heappush
 from typing import Callable
 
 from repro.errors import SimulationError
 
-
-@dataclasses.dataclass(order=True)
-class _ScheduledEvent:
-    """Internal heap entry; ordering by (time, sequence)."""
-
-    time: float
-    sequence: int
-    callback: Callable[[], None] = dataclasses.field(compare=False)
-    cancelled: bool = dataclasses.field(compare=False, default=False)
+#: EventHandle lifecycle states (plain ints: compared in the pop loop).
+_PENDING = 0
+_DONE = 1
+_CANCELLED = 2
 
 
 class EventHandle:
     """Handle returned by scheduling calls; allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
-        self._event = event
+    __slots__ = ("_clock", "_time", "_state")
+
+    def __init__(self, clock: "SimClock", time: float) -> None:
+        self._clock = clock
+        self._time = time
+        self._state = _PENDING
 
     def cancel(self) -> None:
-        """Cancel the event; a no-op if it already ran."""
-        self._event.cancelled = True
+        """Cancel the event; a no-op if it already ran (or was cancelled).
+
+        Cancellation updates the owning clock's live ``pending`` counter;
+        the dead heap entry itself is discarded lazily when popped.
+        """
+        if self._state == _PENDING:
+            self._state = _CANCELLED
+            self._clock._pending -= 1
 
     @property
     def time(self) -> float:
         """The scheduled execution time."""
-        return self._event.time
+        return self._time
 
     @property
     def cancelled(self) -> bool:
-        """True when the event was cancelled."""
-        return self._event.cancelled
+        """True when the event was cancelled (not when it already ran)."""
+        return self._state == _CANCELLED
+
+
+class _PeriodicSchedule:
+    """One repeating schedule: fires, then re-pushes itself.
+
+    A single instance per :meth:`SimClock.schedule_periodic` call
+    replaces the closure pair the old implementation allocated on every
+    firing.  Invariant preserved from that implementation: the user
+    callback runs *before* the next occurrence is pushed, so anything the
+    callback schedules at the same timestamp receives an earlier
+    tie-breaking sequence number than the repetition itself.
+    """
+
+    __slots__ = ("_clock", "_period", "_callback", "_until", "_next_time")
+
+    def __init__(
+        self,
+        clock: "SimClock",
+        period: float,
+        callback: Callable[[], None],
+        first: float,
+        until: float | None,
+    ) -> None:
+        self._clock = clock
+        self._period = period
+        self._callback = callback
+        self._until = until
+        self._next_time = first
+
+    def __call__(self) -> None:
+        self._callback()
+        next_time = self._next_time + self._period
+        if self._until is None or next_time <= self._until:
+            self._next_time = next_time
+            self._clock._push(next_time, None, self)
 
 
 class SimClock:
@@ -54,15 +115,30 @@ class SimClock:
     :meth:`run_until` / :meth:`run`.
     """
 
+    __slots__ = ("_now", "_sequence", "_queue", "_pending")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._sequence = 0
-        self._queue: list[_ScheduledEvent] = []
+        # Heap of (time, sequence, EventHandle | None, callback).
+        self._queue: list[tuple] = []
+        self._pending = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in milliseconds."""
         return self._now
+
+    def _push(
+        self,
+        time: float,
+        handle: EventHandle | None,
+        callback: Callable[[], None],
+    ) -> None:
+        """Push one occurrence (no past-check; callers validate)."""
+        heappush(self._queue, (time, self._sequence, handle, callback))
+        self._sequence += 1
+        self._pending += 1
 
     def schedule_at(
         self, time: float, callback: Callable[[], None]
@@ -76,12 +152,9 @@ class SimClock:
             raise SimulationError(
                 f"cannot schedule at {time} ms; clock is at {self._now} ms"
             )
-        event = _ScheduledEvent(
-            time=time, sequence=self._sequence, callback=callback
-        )
-        self._sequence += 1
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        handle = EventHandle(self, time)
+        self._push(time, handle, callback)
+        return handle
 
     def schedule(
         self, delay: float, callback: Callable[[], None]
@@ -95,6 +168,22 @@ class SimClock:
             raise SimulationError(f"negative delay: {delay}")
         return self.schedule_at(self._now + delay, callback)
 
+    def post(self, time: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no :class:`EventHandle`.
+
+        The non-allocating path for hot callers (message delivery, ECU
+        service queues) that never cancel: ordering semantics are
+        identical, only the handle -- and its allocation -- is skipped.
+
+        Raises:
+            SimulationError: when scheduling in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} ms; clock is at {self._now} ms"
+            )
+        self._push(time, None, callback)
+
     def schedule_periodic(
         self,
         period: float,
@@ -106,19 +195,19 @@ class SimClock:
 
         The first execution happens at ``start`` (default: one period from
         now); repetition stops once the next occurrence would exceed
-        ``until``.
+        ``until``.  The whole repetition chain shares one internal
+        schedule object -- no per-firing closure allocation.
         """
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period}")
         first = start if start is not None else self._now + period
-
-        def fire_and_reschedule(at: float) -> None:
-            callback()
-            next_time = at + period
-            if until is None or next_time <= until:
-                self.schedule_at(next_time, lambda: fire_and_reschedule(next_time))
-
-        self.schedule_at(first, lambda: fire_and_reschedule(first))
+        if first < self._now:
+            raise SimulationError(
+                f"cannot schedule at {first} ms; clock is at {self._now} ms"
+            )
+        self._push(
+            first, None, _PeriodicSchedule(self, period, callback, first, until)
+        )
 
     def run_until(self, time: float) -> int:
         """Execute events up to and including ``time``; advance the clock.
@@ -130,13 +219,17 @@ class SimClock:
             raise SimulationError(
                 f"cannot run backwards to {time} ms from {self._now} ms"
             )
+        queue = self._queue
         executed = 0
-        while self._queue and self._queue[0].time <= time:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.callback()
+        while queue and queue[0][0] <= time:
+            event_time, _sequence, handle, callback = heappop(queue)
+            if handle is not None:
+                if handle._state == _CANCELLED:
+                    continue  # counter already adjusted at cancel time
+                handle._state = _DONE
+            self._pending -= 1
+            self._now = event_time
+            callback()
             executed += 1
         self._now = time
         return executed
@@ -146,20 +239,25 @@ class SimClock:
 
         Returns the number of events executed.
         """
+        queue = self._queue
         executed = 0
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.callback()
+        while queue:
+            event_time, _sequence, handle, callback = heappop(queue)
+            if handle is not None:
+                if handle._state == _CANCELLED:
+                    continue
+                handle._state = _DONE
+            self._pending -= 1
+            self._now = event_time
+            callback()
             executed += 1
         return executed
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1) --
+        maintained live instead of scanning the queue)."""
+        return self._pending
 
 
 __all__ = [

@@ -43,7 +43,7 @@ class IdWhitelist(SecurityControl):
 
     def inspect(self, message: Message, now: float) -> Decision:
         if self.kinds is not None and message.kind not in self.kinds:
-            return Decision.passed(self.name)
+            return self.pass_decision
         value = message.payload.get(self.field)
         if value is None:
             return Decision.denied(
@@ -53,7 +53,7 @@ class IdWhitelist(SecurityControl):
             return Decision.denied(
                 self.name, f"electronic ID {value!r} not in list of allowed IDs"
             )
-        return Decision.passed(self.name)
+        return self.pass_decision
 
     def allow(self, identifier: str) -> None:
         """Provision an additional allowed ID."""
@@ -97,7 +97,7 @@ class ReplayGuard(SecurityControl):
                 f"{message.sender!r} already consumed",
             )
         self._seen.add(key)
-        return Decision.passed(self.name)
+        return self.pass_decision
 
     def reset(self) -> None:
         self._seen.clear()

@@ -13,7 +13,7 @@ Two of the classical controls the paper's attacks must contend with:
 from __future__ import annotations
 
 from repro.sim.controls.base import Decision, SecurityControl
-from repro.sim.crypto import KeyStore, verify_mac
+from repro.sim.crypto import KeyStore
 from repro.sim.network import Message
 
 
@@ -38,13 +38,16 @@ class SenderAuthentication(SecurityControl):
                 self.name, f"unauthenticated message from {message.sender!r}"
             )
         key = self._keystore.key_of(message.sender)
-        if not verify_mac(key, message.signing_bytes(), message.auth_tag):
+        # Memoised on the message instance: a broadcast delivers one
+        # frozen message to N receivers, and each would otherwise redo
+        # the identical HMAC.
+        if not message.mac_verified(key):
             return Decision.denied(
                 self.name,
                 f"MAC verification failed for {message.sender!r} "
                 "(spoofed sender or tampered payload)",
             )
-        return Decision.passed(self.name)
+        return self.pass_decision
 
 
 class MessageCounterCheck(SecurityControl):
@@ -68,7 +71,7 @@ class MessageCounterCheck(SecurityControl):
                 f"{message.counter} after {last}",
             )
         self._last[message.sender] = message.counter
-        return Decision.passed(self.name)
+        return self.pass_decision
 
     def reset(self) -> None:
         self._last.clear()

@@ -38,7 +38,13 @@ class Decision:
 
     @classmethod
     def passed(cls, control: str = "", reason: str = "") -> "Decision":
-        """An allow decision."""
+        """An allow decision.
+
+        Controls on the message hot path should prefer their pre-built
+        :attr:`SecurityControl.pass_decision` -- a ``Decision`` is
+        immutable, so one allow verdict per control serves every message
+        instead of allocating one per inspection.
+        """
         return cls(allowed=True, control=control, reason=reason)
 
     @classmethod
@@ -68,6 +74,8 @@ class SecurityControl(abc.ABC):
 
     def __init__(self, name: str) -> None:
         self.name = name
+        #: Reusable allow verdict (immutable; one instance per control).
+        self.pass_decision = Decision.passed(name)
 
     @abc.abstractmethod
     def inspect(self, message: Message, now: float) -> Decision:
@@ -75,6 +83,10 @@ class SecurityControl(abc.ABC):
 
     def reset(self) -> None:
         """Clear any per-sender state (between test executions)."""
+
+
+#: The implicit "no control objected" verdict (immutable, shared).
+_PIPELINE_PASS = Decision.passed()
 
 
 class ControlPipeline:
@@ -97,6 +109,8 @@ class ControlPipeline:
         self._bus = bus
         self._controls: list[SecurityControl] = list(controls or [])
         self._detections: list[DetectionRecord] = []
+        # Built once: a per-denial f-string means a fresh hash per publish.
+        self._detection_topic = f"control.detection.{ecu_name}"
 
     def add(self, control: SecurityControl) -> "ControlPipeline":
         """Append a control; returns self for chaining."""
@@ -124,7 +138,7 @@ class ControlPipeline:
                 self._detections.append(record)
                 self._bus.publish(
                     now,
-                    f"control.detection.{self.ecu_name}",
+                    self._detection_topic,
                     self.ecu_name,
                     control=record.control,
                     reason=record.reason,
@@ -132,7 +146,7 @@ class ControlPipeline:
                     sender=record.sender,
                 )
                 return decision
-        return Decision.passed()
+        return _PIPELINE_PASS
 
     @property
     def detections(self) -> tuple[DetectionRecord, ...]:

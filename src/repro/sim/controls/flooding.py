@@ -44,17 +44,27 @@ class FloodingDetector(SecurityControl):
         self._history: dict[str, deque[float]] = {}
         self._blocked_until: dict[str, float] = {}
         self._flagged: set[str] = set()
+        # (sender, blocked_until) -> the deny Decision for that block
+        # window: a sustained flood denies thousands of messages with
+        # the identical (immutable) verdict -- format it once.
+        self._block_decisions: dict[tuple[str, float], Decision] = {}
 
     def inspect(self, message: Message, now: float) -> Decision:
         sender = message.sender
         blocked_until = self._blocked_until.get(sender, -1.0)
         if now < blocked_until:
-            return Decision.denied(
-                self.name,
-                f"sender {sender!r} blocked until {blocked_until:.0f} ms "
-                "(enforced frequency change)",
-            )
-        window = self._history.setdefault(sender, deque())
+            block = (sender, blocked_until)
+            decision = self._block_decisions.get(block)
+            if decision is None:
+                decision = self._block_decisions[block] = Decision.denied(
+                    self.name,
+                    f"sender {sender!r} blocked until {blocked_until:.0f} ms "
+                    "(enforced frequency change)",
+                )
+            return decision
+        window = self._history.get(sender)
+        if window is None:  # setdefault would build a deque per message
+            window = self._history[sender] = deque()
         window.append(now)
         while window and window[0] < now - self.window_ms:
             window.popleft()
@@ -68,7 +78,7 @@ class FloodingDetector(SecurityControl):
                 f"{self.max_messages} msgs / {self.window_ms:.0f} ms; "
                 "identified as unwanted sender",
             )
-        return Decision.passed(self.name)
+        return self.pass_decision
 
     def is_flagged(self, sender: str) -> bool:
         """True when the sender was ever identified as unwanted."""

@@ -46,7 +46,7 @@ class ValueRangeCheck(SecurityControl):
 
     def inspect(self, message: Message, now: float) -> Decision:
         if self.field not in message.payload:
-            return Decision.passed(self.name)
+            return self.pass_decision
         value = message.payload[self.field]
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             return Decision.denied(
@@ -59,7 +59,7 @@ class ValueRangeCheck(SecurityControl):
                 f"implausible {self.field!r}={value} outside "
                 f"[{self.minimum}, {self.maximum}]",
             )
-        return Decision.passed(self.name)
+        return self.pass_decision
 
 
 class LocationConsistencyCheck(SecurityControl):
@@ -92,14 +92,14 @@ class LocationConsistencyCheck(SecurityControl):
                 return Decision.denied(
                     self.name, "message carries no origin location"
                 )
-            return Decision.passed(self.name)
+            return self.pass_decision
         if message.location not in self.plausible_locations:
             return Decision.denied(
                 self.name,
                 f"origin location {message.location!r} inconsistent with "
                 f"expected {sorted(self.plausible_locations)}",
             )
-        return Decision.passed(self.name)
+        return self.pass_decision
 
     def expect(self, location: str) -> None:
         """Add a plausible origin location (vehicle moved on)."""

@@ -26,7 +26,14 @@ def compute_mac(key: bytes, payload: bytes) -> str:
 
 
 def verify_mac(key: bytes, payload: bytes, tag: str) -> bool:
-    """Constant-time verification of a :func:`compute_mac` tag."""
+    """Constant-time verification of a :func:`compute_mac` tag.
+
+    This is the uncached primitive.  Hot paths that re-verify the same
+    broadcast message per receiver go through
+    :meth:`repro.sim.network.Message.mac_verified`, which memoises the
+    verdict per ``(message instance, key)`` -- safe because messages are
+    frozen, and a tampered replica is a fresh instance with cold caches.
+    """
     expected = compute_mac(key, payload)
     return hmac.compare_digest(expected, tag)
 

@@ -16,6 +16,7 @@ request" reduces availability.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -69,6 +70,10 @@ class Ecu:
         self._rejected = 0
         self._overloaded = 0
         self._shut_down = False
+        # Topic strings built once; per-message f-strings rehash per publish.
+        self._topic_processed = f"ecu.{name}.processed"
+        self._topic_overload = f"ecu.{name}.overload"
+        self._topic_shutdown = f"ecu.{name}.shutdown"
 
     # -- Receiver protocol -------------------------------------------------
 
@@ -87,7 +92,7 @@ class Ecu:
             self._overloaded += 1
             self._bus.publish(
                 self._clock.now,
-                f"ecu.{self.name}.overload",
+                self._topic_overload,
                 self.name,
                 kind=message.kind,
                 sender=message.sender,
@@ -100,7 +105,7 @@ class Ecu:
                 self._shut_down = True
                 self._bus.publish(
                     self._clock.now,
-                    f"ecu.{self.name}.shutdown",
+                    self._topic_shutdown,
                     self.name,
                     overloads=self._overloaded,
                 )
@@ -109,14 +114,14 @@ class Ecu:
         finish = start + self.service_time_ms
         self._busy_until = finish
         self._queued += 1
-        self._clock.schedule_at(finish, lambda m=message: self._process(m))
+        self._clock.post(finish, functools.partial(self._process, message))
 
     def _process(self, message: Message) -> None:
         self._queued -= 1
         self._processed += 1
         self._bus.publish(
             self._clock.now,
-            f"ecu.{self.name}.processed",
+            self._topic_processed,
             self.name,
             kind=message.kind,
             sender=message.sender,

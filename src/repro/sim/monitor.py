@@ -48,6 +48,9 @@ class SafetyMonitor:
         self.check_period_ms = check_period_ms
         self._violations: list[Violation] = []
         self._violated_goals: set[str] = set()
+        # Invariants registered at the same clock time share one periodic
+        # sweep: registration time -> [(goal_id, check), ...].
+        self._sweeps: dict[float, list[tuple[str, InvariantCheck]]] = {}
 
     # -- invariants ---------------------------------------------------------
 
@@ -62,18 +65,50 @@ class SafetyMonitor:
         The first violation per goal is recorded (with its detail); later
         periods do not re-record it -- a violated goal stays violated for
         the rest of the run, matching the test-verdict semantics.
-        """
 
-        def run_check() -> None:
-            if goal_id in self._violated_goals:
-                return
+        Unbounded invariants registered at the same clock time (the
+        common case: a scenario installs all its goal checks during
+        construction) share **one** periodic sweep that runs them in
+        registration order -- a fleet scenario's 2N+2 goal checks cost
+        one scheduled event per period instead of 2N+2.  Checks are
+        read-only predicates over live SUT state, so batching them into
+        a single event at the identical firing times cannot change what
+        any check observes.  Bounded invariants (``until``) keep their
+        own schedule, which stops exactly at ``until``.
+        """
+        if until is not None:
+            def run_check() -> None:
+                self._run_one(goal_id, check)
+
+            self._clock.schedule_periodic(
+                self.check_period_ms, run_check, until=until
+            )
+            return
+        entries = self._sweeps.get(self._clock.now)
+        if entries is None:
+            entries = []
+            self._sweeps[self._clock.now] = entries
+            self._clock.schedule_periodic(
+                self.check_period_ms,
+                lambda entries=entries: self._sweep(entries),
+            )
+        entries.append((goal_id, check))
+
+    def _run_one(self, goal_id: str, check: InvariantCheck) -> None:
+        if goal_id in self._violated_goals:
+            return
+        detail = check()
+        if detail is not None:
+            self._record(goal_id, detail)
+
+    def _sweep(self, entries: list[tuple[str, InvariantCheck]]) -> None:
+        violated = self._violated_goals
+        for goal_id, check in entries:
+            if goal_id in violated:
+                continue
             detail = check()
             if detail is not None:
                 self._record(goal_id, detail)
-
-        self._clock.schedule_periodic(
-            self.check_period_ms, run_check, until=until
-        )
 
     # -- FTTI deadlines -------------------------------------------------------
 
@@ -88,9 +123,17 @@ class SafetyMonitor:
 
         If no matching event is published before the deadline, the goal is
         violated ("reaction not within the FTTI").
+
+        The deadline check reads the event trace, so ``topic`` is
+        registered for retention -- under the lean ``"counts"`` trace
+        mode the scenario should additionally list it in its
+        ``RETAINED_TOPICS`` (retention starts at registration; events
+        published earlier in the same millisecond are only covered by a
+        construction-time registration).
         """
         if deadline_ms <= 0:
             raise SimulationError("deadline must be positive")
+        self._bus.retain(topic)
         registered_at = self._clock.now
 
         def check_deadline() -> None:

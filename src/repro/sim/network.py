@@ -19,13 +19,19 @@ verification and freshness checks.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import itertools
 from collections import deque
-from typing import Any, Callable, Protocol, runtime_checkable
+from typing import Any, Callable, ClassVar, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
-from repro.sim.crypto import KeyStore, canonical_payload, compute_mac
+from repro.sim.crypto import (
+    KeyStore,
+    canonical_payload,
+    compute_mac,
+    verify_mac,
+)
 from repro.sim.events import EventBus
 
 
@@ -58,16 +64,57 @@ class Message:
         default_factory=itertools.count(1).__next__
     )
 
+    # Per-instance caches (class-attribute fallbacks; instances override
+    # via object.__setattr__).  Safe because a Message is frozen and its
+    # payload is treated as immutable everywhere (attacks copy before
+    # mutating): the signing bytes and any MAC verdict over them can
+    # never change for a given instance.  ``dataclasses.replace`` builds
+    # a *new* instance from fields only, so tampered/re-signed copies --
+    # which share ``unique_id`` and possibly ``auth_tag`` with their
+    # original -- start with cold caches and re-verify honestly.  (That
+    # is also why the memo is per-instance rather than keyed on
+    # ``(key, unique_id, tag)`` globally: a tampered replica would hit a
+    # stale global entry.)
+    _signing_cache: ClassVar[bytes | None] = None
+    _mac_cache: ClassVar[dict | None] = None
+
     def signing_bytes(self) -> bytes:
-        """The byte string the auth tag covers."""
-        fields = {
-            "kind": self.kind,
-            "sender": self.sender,
-            "counter": self.counter,
-            "timestamp": self.timestamp,
-            **{f"payload.{key}": value for key, value in self.payload.items()},
-        }
-        return canonical_payload(fields)
+        """The byte string the auth tag covers (computed once per
+        instance -- broadcasts hand the same frozen message to every
+        receiver's authentication check)."""
+        cached = self._signing_cache
+        if cached is None:
+            fields = {
+                "kind": self.kind,
+                "sender": self.sender,
+                "counter": self.counter,
+                "timestamp": self.timestamp,
+                **{
+                    f"payload.{key}": value
+                    for key, value in self.payload.items()
+                },
+            }
+            cached = canonical_payload(fields)
+            object.__setattr__(self, "_signing_cache", cached)
+        return cached
+
+    def mac_verified(self, key: bytes) -> bool:
+        """Whether :attr:`auth_tag` verifies under ``key`` (memoised).
+
+        One fleet broadcast reaches N on-board units, each running the
+        same HMAC verification over the same bytes; the verdict is
+        cached per ``key`` on the message instance so the work happens
+        once per broadcast instead of once per receiver.
+        """
+        cache = self._mac_cache
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_mac_cache", cache)
+        verdict = cache.get(key)
+        if verdict is None:
+            verdict = verify_mac(key, self.signing_bytes(), self.auth_tag)
+            cache[key] = verdict
+        return verdict
 
     def signed(self, keystore: KeyStore) -> "Message":
         """Return a copy carrying a valid auth tag for ``sender``.
@@ -75,11 +122,32 @@ class Message:
         The sender must be provisioned in ``keystore``; honest components
         sign everything they send, attackers can only sign with identities
         they actually control.
+
+        The copy's caches are pre-seeded: its signing bytes are the ones
+        just signed (``auth_tag`` is not part of them), and the fresh tag
+        verifies under ``key`` by construction (HMAC is deterministic),
+        so receivers of an honestly signed message never redo the
+        signer's work.  Any *other* key -- and any tampered replica,
+        which is a new instance -- still verifies from scratch.
         """
         key = keystore.key_of(self.sender)
-        return dataclasses.replace(
-            self, auth_tag=compute_mac(key, self.signing_bytes())
+        signing = self.signing_bytes()
+        # Direct construction (not dataclasses.replace): replace() walks
+        # every field through getattr, and signing sits on the per-send
+        # hot path.  unique_id is carried over, exactly as replace does.
+        copy = Message(
+            kind=self.kind,
+            sender=self.sender,
+            payload=self.payload,
+            counter=self.counter,
+            timestamp=self.timestamp,
+            auth_tag=compute_mac(key, signing),
+            location=self.location,
+            unique_id=self.unique_id,
         )
+        object.__setattr__(copy, "_signing_cache", signing)
+        object.__setattr__(copy, "_mac_cache", {key: True})
+        return copy
 
     def with_timestamp(self, time: float) -> "Message":
         """Copy with ``timestamp`` set (tag untouched -- stamp first, then sign)."""
@@ -139,7 +207,14 @@ class PropagationModel(Protocol):
     def receivers(
         self, message: Message, receivers: list[Receiver]
     ) -> list[Receiver]:
-        """The subset of ``receivers`` that hears ``message``."""
+        """The subset of ``receivers`` that hears ``message``.
+
+        ``receivers`` is the channel's **live** attach list (no
+        defensive copy on the delivery hot path): implementations must
+        treat it as read-only and return either the list unchanged
+        (global broadcast) or a **new** list with the selected subset --
+        never filter it in place.
+        """
 
 
 class InfiniteRange:
@@ -151,7 +226,10 @@ class InfiniteRange:
     def receivers(
         self, message: Message, receivers: list[Receiver]
     ) -> list[Receiver]:
-        return list(receivers)
+        # Returned as-is (no defensive copy): the channel's delivery loop
+        # treats the result as read-only, and copying the attach list on
+        # every delivery was measurable fleet-campaign overhead.
+        return receivers
 
 
 class Channel:
@@ -203,6 +281,9 @@ class Channel:
         self._dropped = 0
         self._out_of_range = 0
         self._delays: deque[float] = deque(maxlen=1000)
+        # Topic strings built once; per-message f-strings rehash per publish.
+        self._topic_delivered = f"channel.{name}.delivered"
+        self._topic_dropped = f"channel.{name}.dropped"
 
     # -- wiring -----------------------------------------------------------
 
@@ -245,7 +326,7 @@ class Channel:
             self._dropped += 1
             self._bus.publish(
                 self._clock.now,
-                f"channel.{self.name}.dropped",
+                self._topic_dropped,
                 self.name,
                 kind=message.kind,
                 sender=message.sender,
@@ -254,7 +335,9 @@ class Channel:
             return message
         delay = self.latency_ms + self._congestion_delay()
         self._delays.append(delay)
-        self._clock.schedule(delay, lambda m=message: self._deliver(m))
+        self._clock.post(
+            self._clock.now + delay, functools.partial(self._deliver, message)
+        )
         return message
 
     def _congestion_delay(self) -> float:
@@ -270,17 +353,20 @@ class Channel:
         self._delivered += 1
         self._bus.publish(
             self._clock.now,
-            f"channel.{self.name}.delivered",
+            self._topic_delivered,
             self.name,
             kind=message.kind,
             sender=message.sender,
         )
         # Range membership is evaluated now, at delivery time; receiver
         # order is the deterministic attach order, so range-edge cases
-        # resolve through the clock's scheduling sequence alone.
-        attached = list(self._receivers)
+        # resolve through the clock's scheduling sequence alone.  The
+        # attach list is handed to the propagation model directly --
+        # models must not mutate it (InfiniteRange returns it unchanged).
+        attached = self._receivers
         reached = self.propagation.receivers(message, attached)
-        self._out_of_range += len(attached) - len(reached)
+        if reached is not attached:
+            self._out_of_range += len(attached) - len(reached)
         for receiver in reached:
             receiver.receive(message)
 

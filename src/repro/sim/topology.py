@@ -413,10 +413,10 @@ class Topology:
             if actor.mobility is None:
                 continue
             proposed = actor.mobility.next_position(actor, self, dt)
-            clamped = self.world.clamp(proposed)
-            if clamped.saturated:
+            position, saturated = self.world.clamp_value(proposed)
+            if saturated:
                 self._saturated.add(actor.name)
-            actor.position_m = float(clamped)
+            actor.position_m = position
 
 
 class RangePropagation:
@@ -445,22 +445,25 @@ class RangePropagation:
     def receivers(
         self, message: Message, receivers: list[Receiver]
     ) -> list[Receiver]:
-        """The attached receivers the message actually reaches."""
-        if not self.topology.knows(message.sender):
+        """The attached receivers the message actually reaches.
+
+        Runs once per delivered message, so each name is resolved to its
+        actor exactly once (not once per knows/position lookup).
+        """
+        resolve = self.topology._resolve
+        sender = resolve(message.sender)
+        if sender is None:
             # No position to gate from: the sender transmits globally.
             return list(receivers)
-        range_m = self.topology.actor(message.sender).transmit_range_m
+        range_m = sender.transmit_range_m
         if range_m is None:
             return list(receivers)
-        sender_pos = self.topology.position_of(message.sender)
+        sender_pos = sender.position_m
         selected = []
         for receiver in receivers:
-            if not self.topology.knows(receiver.name):
+            actor = resolve(receiver.name)
+            if actor is None:
                 selected.append(receiver)  # unplaced observers hear all
-                continue
-            distance = abs(
-                self.topology.position_of(receiver.name) - sender_pos
-            )
-            if distance <= range_m:
+            elif abs(actor.position_m - sender_pos) <= range_m:
                 selected.append(receiver)
         return selected

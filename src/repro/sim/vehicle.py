@@ -167,9 +167,7 @@ class Vehicle:
 
     def _tick(self) -> None:
         dt = self.tick_ms / 1000.0
-        previous_zones = {
-            zone.name for zone in self._world.zones_at(self.position_m)
-        }
+        previous_position = self.position_m
         delta = self.target_speed_mps - self.speed_mps
         if delta < 0:
             self.speed_mps = max(
@@ -181,14 +179,20 @@ class Vehicle:
                 self.target_speed_mps,
                 self.speed_mps + self.MAX_ACCEL_MPS2 * dt,
             )
-        clamped = self._world.clamp(self.position_m + self.speed_mps * dt)
-        if clamped.saturated:
+        position, saturated = self._world.clamp_value(
+            previous_position + self.speed_mps * dt
+        )
+        if saturated:
             self.position_saturated = True
-        self.position_m = float(clamped)
-        current_zones = {
-            zone.name for zone in self._world.zones_at(self.position_m)
-        }
-        for zone_name in sorted(current_zones - previous_zones):
+        self.position_m = position
+        # Zone-entry detection without per-tick set materialisation:
+        # compare containment at the previous and new position directly.
+        entered = [
+            zone.name
+            for zone in self._world.zones
+            if zone.contains(position) and not zone.contains(previous_position)
+        ]
+        for zone_name in sorted(entered):
             self._bus.publish(
                 self._clock.now,
                 "vehicle.entered_zone",

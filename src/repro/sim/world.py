@@ -76,6 +76,7 @@ class World:
             raise SimulationError("road length must be positive")
         self.road_length_m = road_length_m
         self._zones: dict[str, Zone] = {}
+        self._zones_view: tuple[Zone, ...] = ()
 
     def add_zone(self, name: str, start: float, end: float) -> Zone:
         """Define a named zone.
@@ -92,6 +93,7 @@ class World:
             )
         zone = Zone(name=name, start=start, end=end)
         self._zones[name] = zone
+        self._zones_view = tuple(self._zones.values())
         return zone
 
     def zone(self, name: str) -> Zone:
@@ -102,13 +104,13 @@ class World:
 
     @property
     def zones(self) -> tuple[Zone, ...]:
-        """All zones in definition order."""
-        return tuple(self._zones.values())
+        """All zones in definition order (cached; rebuilt on add_zone)."""
+        return self._zones_view
 
     def zones_at(self, position: float) -> tuple[Zone, ...]:
         """The zones containing ``position``."""
         return tuple(
-            zone for zone in self._zones.values() if zone.contains(position)
+            zone for zone in self._zones_view if zone.contains(position)
         )
 
     def in_zone(self, position: float, name: str) -> bool:
@@ -122,14 +124,26 @@ class World:
         """
         return self.zone(name).start - position
 
+    def clamp_value(self, position: float) -> tuple[float, bool]:
+        """:meth:`clamp` as a plain ``(position, saturated)`` pair.
+
+        The allocation-free variant for per-tick kinematics callers;
+        :meth:`clamp` stays the public carrier-object API.
+        """
+        if position < 0.0:
+            return 0.0, True
+        if position > self.road_length_m:
+            return self.road_length_m, True
+        return position, False
+
     def clamp(self, position: float) -> ClampedPosition:
         """Clamp a position onto the road.
 
         Returns a :class:`ClampedPosition` -- a ``float`` whose
         ``saturated`` flag reports whether the input lay off-road.
         """
-        clamped = min(max(position, 0.0), self.road_length_m)
-        return ClampedPosition(clamped, saturated=clamped != position)
+        value, saturated = self.clamp_value(position)
+        return ClampedPosition(value, saturated=saturated)
 
     def place(self, position: float) -> float:
         """Validate an *initial* placement; saturation is not allowed.
