@@ -45,6 +45,7 @@ from repro.bench import (  # noqa: E402
 )
 from repro.runtime import (  # noqa: E402
     BACKEND_ENV,
+    BATCH_SIZE_ENV,
     JOBS_ENV,
     backend_from_env,
 )
@@ -85,6 +86,11 @@ def main(script_path: str, argv: list[str] | None = None) -> int:
         help=f"concurrent jobs on the chosen backend (sets {JOBS_ENV})",
     )
     parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="ship same-family variants as shared-setup batches "
+        f"(sets {BATCH_SIZE_ENV})",
+    )
+    parser.add_argument(
         "pytest_args", nargs="*", help="extra arguments passed to pytest"
     )
     options = parser.parse_args(argv)
@@ -92,6 +98,8 @@ def main(script_path: str, argv: list[str] | None = None) -> int:
         os.environ[BACKEND_ENV] = options.backend
     if options.jobs is not None:
         os.environ[JOBS_ENV] = str(options.jobs)
+    if options.batch_size is not None:
+        os.environ[BATCH_SIZE_ENV] = str(options.batch_size)
 
     script = pathlib.Path(script_path).resolve()
     suite = script.stem.removeprefix("bench_")

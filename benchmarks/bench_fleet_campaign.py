@@ -24,6 +24,7 @@ import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
 from repro.bench import fleet_variants_of_size
 from repro.engine.campaign import run_campaign
 from repro.engine.registry import default_registry
+from repro.runtime import BatchedBackend, SerialBackend
 from repro.sim.scenarios import FleetConstructionSiteScenario
 
 
@@ -57,6 +58,50 @@ def test_convoy_scaling(benchmark):
     benchmark.extra_info["wall_s_by_fleet_size"] = {
         str(size): round(wall, 3) for size, wall in walls.items()
     }
+
+
+def test_convoy_batched_parity(benchmark):
+    """Family batching (PR 6) over the convoy sweep: identical verdicts.
+
+    Shipping all four same-family variants of each size as one batch
+    amortises scenario-factory resolution and HMAC key derivation; the
+    assertion here is that the amortisation is invisible in the results
+    -- verdict, violated goals and per-vehicle verdicts all match the
+    plain serial run."""
+
+    def sweep():
+        backend = BatchedBackend(SerialBackend(), batch_size=4)
+        return {
+            size: run_campaign(fleet_variants_of_size(size), backend=backend)
+            for size in (2, 4, 8)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for size, result in results.items():
+        assert result.total == 4
+        assert not result.errors()
+        serial = run_campaign(
+            fleet_variants_of_size(size), backend="serial"
+        )
+        batched_view = {
+            o.variant_id: (
+                o.verdict,
+                tuple(o.violated_goals),
+                o.stats.get("per_vehicle_verdicts"),
+            )
+            for o in result.outcomes
+        }
+        serial_view = {
+            o.variant_id: (
+                o.verdict,
+                tuple(o.violated_goals),
+                o.stats.get("per_vehicle_verdicts"),
+            )
+            for o in serial.outcomes
+        }
+        assert batched_view == serial_view
+    benchmark.extra_info["batch_size"] = 4
+    benchmark.extra_info["fleet_sizes"] = [2, 4, 8]
 
 
 def test_v2v_relay_extends_coverage(benchmark):

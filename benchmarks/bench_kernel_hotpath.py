@@ -15,7 +15,13 @@ up in the ``BENCH_kernel_hotpath`` trajectory next to the built-in
   through the instance memo -- verify-once semantics with honest
   verdicts (a tampered replica still fails);
 * **fleet end to end**: the ``fleet`` family at convoy size 8 on the
-  serial backend -- the acceptance metric of the hot-path overhaul.
+  serial backend -- the acceptance metric of the hot-path overhaul;
+* **fleet batched**: the same family through :class:`BatchedBackend`
+  family batching (PR 6) -- shared-setup amortisation must never cost
+  correctness, so verdicts are asserted identical to the serial run;
+* **spatial queries**: ``SpatialIndex.within``/``nearest`` on the
+  numpy structure-of-arrays kernel vs the pure-Python fallback, with
+  hit-for-hit parity between the two engines.
 """
 
 import dataclasses
@@ -24,10 +30,12 @@ import _harness  # noqa: F401  (sys.path bootstrap + BENCH json writer)
 
 from repro.bench import fleet_variants_of_size
 from repro.engine.campaign import run_campaign
+from repro.runtime import BatchedBackend, SerialBackend
 from repro.sim.clock import SimClock
 from repro.sim.crypto import KeyStore
 from repro.sim.events import EventBus
 from repro.sim.network import Message
+from repro.sim.topology import SpatialIndex, numpy_enabled
 
 
 def test_clock_periodic_churn(benchmark):
@@ -125,6 +133,59 @@ def test_fleet_campaign_serial_throughput(benchmark):
     benchmark.extra_info["variants_per_s"] = round(
         result.total / max(result.wall_time_s, 1e-9), 3
     )
+
+
+def test_fleet_campaign_batched_throughput(benchmark):
+    """Family batching on the fleet family: same verdicts, shared setup."""
+    variants = fleet_variants_of_size(8)
+    serial = run_campaign(variants, backend="serial")
+
+    result = benchmark.pedantic(
+        lambda: run_campaign(
+            variants, backend=BatchedBackend(SerialBackend(), batch_size=4)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.total == 4
+    assert not result.errors()
+    batched_verdicts = {
+        o.variant_id: (o.verdict, tuple(o.violated_goals))
+        for o in result.outcomes
+    }
+    serial_verdicts = {
+        o.variant_id: (o.verdict, tuple(o.violated_goals))
+        for o in serial.outcomes
+    }
+    assert batched_verdicts == serial_verdicts
+    benchmark.extra_info["batch_size"] = 4
+    benchmark.extra_info["variants_per_s"] = round(
+        result.total / max(result.wall_time_s, 1e-9), 3
+    )
+
+
+def test_spatial_query_throughput(benchmark):
+    """within/nearest sweeps; numpy and pure-Python agree hit for hit."""
+    positions = [
+        (float((n * 37) % 3000), f"V{n:03d}") for n in range(512)
+    ]
+    centers = [float(c) for c in range(0, 3000, 60)]
+
+    def sweep(use_numpy: bool) -> list:
+        index = SpatialIndex(positions, use_numpy=use_numpy)
+        hits = []
+        for center in centers:
+            hits.append(index.within(center, 250.0))
+            hits.append(index.nearest(center, 8))
+        return hits
+
+    engines = [False, True] if numpy_enabled() else [False]
+    results = benchmark(lambda: {flag: sweep(flag) for flag in engines})
+    if numpy_enabled():
+        assert results[True] == results[False]
+    benchmark.extra_info["actors"] = len(positions)
+    benchmark.extra_info["queries"] = 2 * len(centers)
+    benchmark.extra_info["numpy_enabled"] = numpy_enabled()
 
 
 if __name__ == "__main__":

@@ -471,6 +471,7 @@ class Workspace:
         rsu_range_m: float | None = None,
         backend: Any | None = None,
         jobs: int | None = None,
+        batch_size: int | None = None,
         on_error: str = "raise",
         on_event: Any | None = None,
         cancel: Any | None = None,
@@ -487,7 +488,10 @@ class Workspace:
         Execution goes through the :mod:`repro.runtime` layer:
         ``backend``/``jobs`` (per call, falling back to the workspace
         defaults) pick where variants run -- ``workers=N`` remains as the
-        legacy process-pool shorthand.  Each outcome's record joins the
+        legacy process-pool shorthand -- and ``batch_size=N`` ships
+        same-family variants as shared-setup batches
+        (:class:`~repro.runtime.BatchedBackend`); verdicts are
+        batching-independent by construction.  Each outcome's record joins the
         workspace result set the moment its job completes, so
         :meth:`results` reflects a still-running campaign when called
         from an ``on_event`` callback.  ``trace_mode`` picks the
@@ -504,15 +508,19 @@ class Workspace:
 
         if backend is None and jobs is None and workers is None:
             backend, jobs = self._backend_spec, self._jobs
-        if backend is None and jobs is None:
+        if backend is None and jobs is None and batch_size is None:
             runner = CampaignRunner(registry=self._registry, workers=workers)
         else:
             if workers is not None:
                 raise ValidationError(
-                    "pass either workers= or backend=/jobs=, not both"
+                    "pass either workers= or backend=/jobs=/batch_size=, "
+                    "not both"
                 )
             runner = CampaignRunner(
-                registry=self._registry, backend=backend, jobs=jobs
+                registry=self._registry,
+                backend=backend,
+                jobs=jobs,
+                batch_size=batch_size,
             )
         if variants is None:
             variants = runner.select(

@@ -16,9 +16,11 @@ Usage (also via ``python -m repro``)::
     repro campaign --list             # enumerate variants without running
     repro campaign --list-families    # enumerate the variant families
     repro campaign --export out.csv   # export outcomes (json/csv/md)
+    repro campaign --batch-size 8 --backend process --jobs 4  # batched tier
     repro bench --json                # machine-readable benchmark records
     repro bench backends --json       # serial vs thread vs process speedup
     repro bench --suite rq1 --out .   # write BENCH_rq1.json
+    repro bench --compare BENCH_rq1.json --threshold 15   # perf gate
 
 The CLI is a thin shell over the :mod:`repro.api` facade; every command
 returns a proper exit code (0 ok, 1 user error, 2 validation/semantic
@@ -144,19 +146,24 @@ def _export_records(records: ResultSet, target: str) -> None:
     path.write_text(document, encoding="utf-8")
 
 
-def _campaign_execution(args: argparse.Namespace) -> tuple[str, int]:
-    """Resolve the ``--backend``/``--jobs``/legacy ``--workers`` options."""
+def _campaign_execution(
+    args: argparse.Namespace,
+) -> tuple[str, int, int | None]:
+    """Resolve ``--backend``/``--jobs``/``--batch-size``/legacy ``--workers``."""
     from repro.errors import ValidationError
 
     jobs = args.jobs if args.jobs is not None else args.workers
     if jobs is not None and jobs < 1:
         raise ValidationError(f"jobs/workers must be >= 1, got {jobs}")
+    batch_size = getattr(args, "batch_size", None)
+    if batch_size is not None and batch_size < 1:
+        raise ValidationError(f"batch size must be >= 1, got {batch_size}")
     backend = args.backend
     if backend is None:
         backend = "process" if jobs is not None and jobs > 1 else "serial"
     if jobs is None:
         jobs = 1
-    return backend, jobs
+    return backend, jobs, batch_size
 
 
 def _print_families(registry, args: argparse.Namespace) -> int:
@@ -206,7 +213,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.engine.registry import apply_topology_overrides
 
     try:
-        backend, jobs = _campaign_execution(args)
+        backend, jobs, batch_size = _campaign_execution(args)
         # Selection needs only the registry; the execution backend is
         # resolved once, inside Workspace.campaign below.
         runner = CampaignRunner()
@@ -256,7 +263,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     workspace = Workspace()
     try:
         result = workspace.campaign(
-            variants=variants, backend=backend, jobs=jobs
+            variants=variants,
+            backend=backend,
+            jobs=jobs,
+            batch_size=batch_size,
         )
     except ReproError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
@@ -284,6 +294,34 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 2 if inconclusive else 0
 
 
+def _bench_compare(args: argparse.Namespace) -> int:
+    """``repro bench --compare``: gate a fresh run against a baseline."""
+    from repro.bench import compare_against_baseline
+
+    try:
+        deltas, _fresh = compare_against_baseline(
+            args.compare, threshold_pct=args.threshold, out_dir=None
+        )
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    for delta in deltas:
+        print(delta.render())
+    regressed = [delta for delta in deltas if delta.regressed]
+    if regressed:
+        print(
+            f"{len(regressed)} throughput metric(s) regressed more than "
+            f"{args.threshold:g}% below {args.compare}",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        f"{len(deltas)} throughput metric(s) within {args.threshold:g}% "
+        f"of {args.compare}"
+    )
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the built-in bench suites; write BENCH_<suite>.json records."""
     from repro.bench import BENCH_SCHEMA, BENCH_SUITES, run_suites
@@ -292,6 +330,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for name in BENCH_SUITES:
             print(name)
         return 0
+    if args.compare is not None:
+        return _bench_compare(args)
     selected = list(
         dict.fromkeys(list(args.suites) + list(args.suite or ()))
     )
@@ -419,6 +459,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="legacy alias for --jobs with the process backend",
     )
     campaign.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="ship same-family variants as shared-setup batches of up "
+        "to N (amortises topology/key/factory setup; verdicts are "
+        "batching-independent)",
+    )
+    campaign.add_argument(
         "--limit", type=int, default=None,
         help="cap the number of variants run",
     )
@@ -465,6 +511,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--list", action="store_true", help="enumerate the known suites"
+    )
+    bench.add_argument(
+        "--compare", metavar="BASELINE.json", default=None,
+        help="re-run the baseline file's suite and exit non-zero when "
+        "any throughput metric regresses past --threshold",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=20.0, metavar="PCT",
+        help="allowed throughput regression in percent (default 20)",
     )
     bench.set_defaults(handler=cmd_bench)
 

@@ -21,7 +21,11 @@ replaces that:
 * :mod:`repro.engine.campaign` -- the batch runner fanning
   scenario x attack x control combinations across any
   :mod:`repro.runtime` execution backend (serial, thread, process),
-  streaming outcomes and aggregating verdicts.
+  streaming outcomes and aggregating verdicts;
+* :mod:`repro.engine.batch` -- family batching: :class:`BatchPlan`
+  groups same-``(scenario, family)`` variants so
+  :class:`~repro.runtime.BatchedBackend` workers build shared setup
+  (factory resolution, bound attacks, key material) once per batch.
 
 Submodules are imported lazily (PEP 562) so that
 ``repro.sim.scenarios`` can import :mod:`repro.engine.kernel` without
@@ -52,6 +56,12 @@ _EXPORTS = {
     "UC2_SCENARIO": "repro.engine.registry",
     "apply_topology_overrides": "repro.engine.registry",
     "default_registry": "repro.engine.registry",
+    "BatchContext": "repro.engine.batch",
+    "BatchPlan": "repro.engine.batch",
+    "VariantBatch": "repro.engine.batch",
+    "execute_batch": "repro.engine.batch",
+    "execute_batch_in_process": "repro.engine.batch",
+    "run_batch_payload": "repro.engine.batch",
     "CAMPAIGN_TRACE_MODE": "repro.engine.campaign",
     "CampaignRunner": "repro.engine.campaign",
     "CampaignResult": "repro.engine.campaign",

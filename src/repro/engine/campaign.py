@@ -576,16 +576,48 @@ def _iter_campaign_indexed(
             "registry"
         )
     runtime = Runtime(backend, on_event=on_event, cancel=cancel)
-    if backend.shares_memory:
+    batch_size = getattr(backend, "batch_size", None)
+    if batch_size is not None:
+        # A BatchedBackend: group same-family variants and ship whole
+        # batches, amortising shared setup per batch.  Seeds still derive
+        # from each variant's original index, so verdicts do not move.
+        from repro.engine.batch import (
+            BatchPlan,
+            execute_batch_in_process,
+            run_batch_payload,
+        )
+
+        plan = BatchPlan.plan(variant_list, batch_size)
+        if backend.shares_memory:
+            batch_fn = functools.partial(
+                execute_batch_in_process,
+                registry=registry,
+                trace_mode=trace_mode,
+            )
+            batches = [(batch.context(), batch.jobs()) for batch in plan]
+        else:
+            batch_fn = functools.partial(
+                run_batch_payload, trace_mode=trace_mode
+            )
+            batches = [
+                (batch.context(), batch.jobs(as_payload=True))
+                for batch in plan
+            ]
+        stream = runtime.map_batches(batch_fn, batches)
+    elif backend.shares_memory:
         fn: Callable[[Any], Any] = functools.partial(
             _execute_in_process, registry=registry, trace_mode=trace_mode
         )
-        items: list[Any] = variant_list
+        stream = runtime.map(fn, variant_list, chunksize=chunksize)
     else:
         fn = functools.partial(_run_payload, trace_mode=trace_mode)
-        items = [variant.to_payload() for variant in variant_list]
+        stream = runtime.map(
+            fn,
+            [variant.to_payload() for variant in variant_list],
+            chunksize=chunksize,
+        )
     try:
-        for result in runtime.map(fn, items, chunksize=chunksize):
+        for result in stream:
             if result.ok:
                 value = result.value
                 outcome = (
@@ -703,11 +735,12 @@ class CampaignRunner:
         workers: int | None = None,
         backend: "ExecutionBackend | str | None" = None,
         jobs: int | None = None,
+        batch_size: int | None = None,
     ) -> None:
         from repro.runtime import backend_from_spec
 
         self.registry = registry or default_registry()
-        if backend is None and jobs is None:
+        if backend is None and jobs is None and batch_size is None:
             # Legacy convention: workers=N means an N-process pool.
             self.workers = 1 if workers is None else workers
             self.backend = None  # resolved per run (serial fast path)
@@ -715,10 +748,13 @@ class CampaignRunner:
         else:
             if workers is not None:
                 raise ValidationError(
-                    "pass either workers= or backend=/jobs=, not both"
+                    "pass either workers= or backend=/jobs=/batch_size=, "
+                    "not both"
                 )
             self._owns_backend = backend is None or isinstance(backend, str)
-            self.backend = backend_from_spec(backend, jobs)
+            self.backend = backend_from_spec(
+                backend, jobs, batch_size=batch_size
+            )
             self.workers = self.backend.jobs
 
     def close(self) -> None:

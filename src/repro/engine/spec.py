@@ -108,6 +108,19 @@ def factory_accepts(path: str, keyword: str) -> bool:
     )
 
 
+@functools.lru_cache(maxsize=None)
+def _merged_base(defaults: ParamItems, topology: ParamItems) -> dict[str, Any]:
+    """The defaults+topology layer of :meth:`ScenarioSpec.build`, cached.
+
+    A campaign batch builds hundreds of scenarios from the same spec;
+    thawing the identical two base layers each time is pure overhead.
+    Callers must **copy** the returned dict before mutating it.
+    """
+    merged = thaw_params(defaults)
+    merged.update(thaw_params(topology))
+    return merged
+
+
 @dataclasses.dataclass(frozen=True)
 class ScenarioSpec:
     """One registered SUT configuration, expressed as data.
@@ -176,8 +189,11 @@ class ScenarioSpec:
         parameter layers did not already pin one -- factories that
         predate trace modes keep working unchanged.
         """
-        merged = thaw_params(self.defaults)
-        merged.update(thaw_params(self.topology))
+        try:
+            merged = dict(_merged_base(self.defaults, self.topology))
+        except TypeError:  # unhashable custom parameter values
+            merged = thaw_params(self.defaults)
+            merged.update(thaw_params(self.topology))
         if params:
             if isinstance(params, tuple):
                 merged.update(thaw_params(params))

@@ -20,17 +20,22 @@ Quick use::
             if not result.ok:
                 print("failed:", result.error.message)
 
-Environment knobs: ``REPRO_BACKEND`` (``serial``/``thread``/``process``)
-and ``REPRO_JOBS`` feed :func:`backend_from_env` (used by the bench
-harness); ``MULTIPROCESSING_START_METHOD`` selects the process start
-method (the CI spawn matrix leg).
+Environment knobs: ``REPRO_BACKEND`` (``serial``/``thread``/``process``),
+``REPRO_JOBS`` and ``REPRO_BATCH_SIZE`` feed :func:`backend_from_env`
+(used by the bench harness); ``MULTIPROCESSING_START_METHOD`` selects
+the process start method (the CI spawn matrix leg).  Wrapping any
+backend in :class:`BatchedBackend` declares a batch size batch-aware
+callers (:meth:`Runtime.map_batches`, the campaign runner) use to group
+jobs with shared setup.
 """
 
 from repro.runtime.backends import (
     BACKEND_ENV,
     BACKEND_NAMES,
+    BATCH_SIZE_ENV,
     JOBS_ENV,
     START_METHOD_ENV,
+    BatchedBackend,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
@@ -58,6 +63,8 @@ from repro.runtime.runtime import (
 __all__ = [
     "BACKEND_ENV",
     "BACKEND_NAMES",
+    "BATCH_SIZE_ENV",
+    "BatchedBackend",
     "CancelToken",
     "ExecutionBackend",
     "JOBS_ENV",

@@ -201,6 +201,15 @@ def _chunked(
     ]
 
 
+def _run_batch(
+    fn: Callable[[Any, Sequence[tuple[int, int, Any]]], list[dict[str, Any]]],
+    batch: tuple[Any, Sequence[tuple[int, int, Any]]],
+) -> list[dict[str, Any]]:
+    """Worker-side unpacking shim for :meth:`Runtime.map_batches`."""
+    context, jobs = batch
+    return fn(context, jobs)
+
+
 class Runtime:
     """Batched, seeded, observable execution over one backend.
 
@@ -274,8 +283,15 @@ class Runtime:
         stream = self.backend.map_unordered(
             functools.partial(_run_chunk, fn, seeded), chunks
         )
+        yield from self._stream_payloads(stream, total)
+
+    def _stream_payloads(
+        self, stream: Iterator[tuple[int, list[dict[str, Any]]]], total: int
+    ) -> Iterator[JobResult]:
+        """Consume a payload-list stream into per-job results + events."""
+        done = 0
         try:
-            for _chunk_index, payloads in stream:
+            for _group_index, payloads in stream:
                 for payload in payloads:
                     error = payload.get("error")
                     result = JobResult(
@@ -294,6 +310,42 @@ class Runtime:
         finally:
             stream.close()
         self._emit("finished", done, total)
+
+    def map_batches(
+        self,
+        fn: Callable[[Any, Sequence[tuple[int, int, Any]]], list[dict[str, Any]]],
+        batches: Iterable[tuple[Any, Sequence[tuple[int, Any]]]],
+    ) -> Iterator[JobResult]:
+        """Run a batch-level function; stream *per-item* :class:`JobResult`.
+
+        Each element of ``batches`` is ``(context, jobs)``: an opaque
+        shared-setup context the batch function builds once per batch,
+        plus ``(index, item)`` pairs carrying every item's position in
+        the original *unbatched* sequence.  ``fn`` is called once per
+        batch as ``fn(context, triples)`` where the triples are the
+        ``(index, seed, item)`` shape of :func:`_run_chunk` -- the seed
+        is derived from the original index exactly as :meth:`map`
+        derives it, so grouping jobs into batches never moves a seed.
+        ``fn`` returns a list of payload dicts (``index``, ``seed``,
+        ``value``/``error``, ``wall_time_s``); reuse :func:`_run_chunk`
+        for the per-item loop.  On a process backend ``fn``, contexts
+        and items must pickle.
+        """
+        work = []
+        for context, jobs in batches:
+            triples = tuple(
+                (index, derive_seed(self.seed, index), item)
+                for index, item in jobs
+            )
+            work.append((context, triples))
+        total = sum(len(triples) for _context, triples in work)
+        if self.cancel.cancelled:
+            self._emit("cancelled", 0, total)
+            return
+        stream = self.backend.map_unordered(
+            functools.partial(_run_batch, fn), work
+        )
+        yield from self._stream_payloads(stream, total)
 
     def run(
         self,

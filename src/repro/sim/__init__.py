@@ -64,6 +64,8 @@ from repro.sim.crypto import (
     KeyStore,
     canonical_payload,
     compute_mac,
+    derive_key,
+    shared_mac_memo,
     verify_mac,
 )
 from repro.sim.ecu import Ecu, Gateway
@@ -99,6 +101,7 @@ from repro.sim.scenarios import (
     UC2_ALL_CONTROLS,
 )
 from repro.sim.topology import (
+    NO_NUMPY_ENV,
     Actor,
     ConstantSpeedMobility,
     FollowLeaderMobility,
@@ -107,6 +110,7 @@ from repro.sim.topology import (
     SpatialIndex,
     StationaryMobility,
     Topology,
+    numpy_enabled,
 )
 from repro.sim.v2x import (
     KIND_HAZARD_WARNING,
@@ -176,6 +180,7 @@ __all__ = [
     "Message",
     "MessageCounterCheck",
     "MobilityModel",
+    "NO_NUMPY_ENV",
     "OnBoardUnit",
     "PropagationModel",
     "PseudonymProvider",
@@ -210,7 +215,10 @@ __all__ = [
     "Zone",
     "canonical_payload",
     "compute_mac",
+    "derive_key",
     "linkability",
     "make_frame",
+    "numpy_enabled",
+    "shared_mac_memo",
     "verify_mac",
 ]

@@ -13,16 +13,62 @@ Nothing here is security advice; it is a simulation substrate.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import functools
 import hashlib
 import hmac
+import threading
 
 from repro.errors import SimulationError
 
+# Batch-scoped HMAC memo (see shared_mac_memo).  Thread-local so batches
+# running on a thread backend never share mutable state across workers.
+_MEMO_STATE = threading.local()
+_MEMO_LIMIT = 4096
+
+
+@contextlib.contextmanager
+def shared_mac_memo():
+    """Activate a shared ``(key, payload) -> tag`` memo for this thread.
+
+    HMAC-SHA256 is a pure function, so memoising it is semantically
+    transparent; what the context manager adds over the per-``Message``
+    caches in :mod:`repro.sim.network` is *cross-variant* reuse: a batch
+    of variants from one scenario family re-signs and re-verifies the
+    same canonical payloads with the same provisioned keys, and the memo
+    lets the whole batch pay for each distinct digest once.
+
+    Scoped (rather than a module global) so that unbatched runs keep the
+    exact PR-5 cost profile and serial-vs-batched benchmarks stay honest.
+    Nesting reuses the outer memo.
+    """
+    previous = getattr(_MEMO_STATE, "memo", None)
+    memo = {} if previous is None else previous
+    _MEMO_STATE.memo = memo
+    try:
+        yield memo
+    finally:
+        _MEMO_STATE.memo = previous
+
 
 def compute_mac(key: bytes, payload: bytes) -> str:
-    """HMAC-SHA256 tag (hex) over ``payload`` with ``key``."""
-    return hmac.new(key, payload, hashlib.sha256).hexdigest()
+    """HMAC-SHA256 tag (hex) over ``payload`` with ``key``.
+
+    Inside a :func:`shared_mac_memo` scope, distinct ``(key, payload)``
+    pairs are digested once and replayed from the memo thereafter.
+    """
+    memo = getattr(_MEMO_STATE, "memo", None)
+    if memo is None:
+        return hmac.new(key, payload, hashlib.sha256).hexdigest()
+    token = (key, payload)
+    tag = memo.get(token)
+    if tag is None:
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        tag = hmac.new(key, payload, hashlib.sha256).hexdigest()
+        memo[token] = tag
+    return tag
 
 
 def verify_mac(key: bytes, payload: bytes, tag: str) -> bool:
@@ -36,6 +82,19 @@ def verify_mac(key: bytes, payload: bytes, tag: str) -> bool:
     """
     expected = compute_mac(key, payload)
     return hmac.compare_digest(expected, tag)
+
+
+@functools.lru_cache(maxsize=1024)
+def derive_key(identity: str) -> bytes:
+    """Deterministic shared-key derivation for ``identity``.
+
+    Pure sha256 over the identity string, so the cache is safe to share
+    process-wide: every :class:`KeyStore` derives the same bytes for the
+    same identity.  Campaign batches re-provision the same handful of
+    identities ("rsu", "av", fleet vehicle names) per variant; caching
+    the digest makes provisioning a dict lookup after the first variant.
+    """
+    return hashlib.sha256(f"key:{identity}".encode("utf-8")).digest()
 
 
 def canonical_payload(fields: dict[str, object]) -> bytes:
@@ -68,8 +127,7 @@ class KeyStore:
         runs are reproducible; this is a simulation, not key management.
         """
         if identity not in self._keys:
-            digest = hashlib.sha256(f"key:{identity}".encode("utf-8")).digest()
-            self._keys[identity] = digest
+            self._keys[identity] = derive_key(identity)
         return self._keys[identity]
 
     def key_of(self, identity: str) -> bytes:
@@ -137,5 +195,7 @@ __all__ = [
     "KeyStore",
     "canonical_payload",
     "compute_mac",
+    "derive_key",
+    "shared_mac_memo",
     "verify_mac",
 ]

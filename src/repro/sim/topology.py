@@ -14,7 +14,14 @@ Case I's radio-coverage story actually needs:
   periodic tick in actor-insertion order.
 * :class:`SpatialIndex` -- an immutable sorted-position snapshot
   answering range queries in ``O(log n + k)``, with results ordered
-  deterministically by ``(distance, name)``.
+  deterministically by ``(distance, name)``.  With :mod:`numpy`
+  installed (the ``repro[perf]`` extra) the index keeps its positions
+  as a float64 structure-of-arrays and answers ``within()`` /
+  ``nearest()`` with vectorised ``searchsorted`` + ``lexsort``; the
+  pure-Python path merges the two distance-sorted halves of the hit
+  slice lazily (no re-sort of the slice), so both paths return exactly
+  the same ``(distance, name)`` ordering.  Set ``REPRO_NO_NUMPY=1`` to
+  force the fallback without uninstalling numpy.
 * :class:`RangePropagation` -- the range-aware
   :class:`~repro.sim.network.PropagationModel`: a message reaches
   exactly the receivers whose actors sit within the *sender's* transmit
@@ -33,6 +40,9 @@ road ends is surfaced through :class:`~repro.sim.world.ClampedPosition`'s
 from __future__ import annotations
 
 import bisect
+import heapq
+import itertools
+import os
 from typing import Callable, Iterable, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
@@ -40,15 +50,41 @@ from repro.sim.clock import SimClock
 from repro.sim.network import Message, Receiver
 from repro.sim.world import World
 
+try:  # numpy is the optional ``repro[perf]`` extra, never a hard dep
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+#: Environment variable forcing the pure-Python spatial path even when
+#: numpy is importable (the CI fallback leg, A/B benchmarking).
+NO_NUMPY_ENV = "REPRO_NO_NUMPY"
+
+#: Below this many vectorisable actors the numpy round-trip costs more
+#: than the Python loop it replaces; the tick falls back transparently.
+_MIN_VECTOR_RUN = 4
+
+
+def numpy_enabled() -> bool:
+    """True when the vectorised spatial kernel is active.
+
+    Requires numpy to be importable *and* :data:`NO_NUMPY_ENV` to be
+    unset -- the environment switch lets CI and benchmarks exercise the
+    pure-Python fallback without uninstalling the ``[perf]`` extra.
+    """
+    return _np is not None and not os.environ.get(NO_NUMPY_ENV)
+
+
 __all__ = [
     "Actor",
     "ConstantSpeedMobility",
     "FollowLeaderMobility",
     "MobilityModel",
+    "NO_NUMPY_ENV",
     "RangePropagation",
     "SpatialIndex",
     "StationaryMobility",
     "Topology",
+    "numpy_enabled",
 ]
 
 
@@ -178,14 +214,85 @@ class Actor:
 
 
 class SpatialIndex:
-    """Immutable sorted snapshot of actor positions for range queries."""
+    """Immutable sorted snapshot of actor positions for range queries.
 
-    def __init__(self, positions: Iterable[tuple[float, str]]) -> None:
+    Two equivalent engines answer the queries:
+
+    * **numpy structure-of-arrays** (default when the ``[perf]`` extra
+      is installed): positions live in one sorted float64 array, names
+      in a parallel array; ``within()`` is ``searchsorted`` over the
+      position array plus one ``lexsort`` of the hit slice, and
+      ``nearest()`` partitions distances before ordering only the
+      candidate set.
+    * **pure Python** (fallback, or ``REPRO_NO_NUMPY=1``): the
+      position-sorted entries left and right of the query centre are
+      two already-distance-sorted runs, so both queries *merge* them
+      lazily (``heapq.merge`` semantics) instead of re-sorting the hit
+      slice; ``nearest()`` draws only ``count`` items from the merge.
+
+    Both paths return identically ``(distance, name)``-ordered names --
+    asserted exactly by the property tests -- so range queries are
+    deterministic even for coincident actors.
+    """
+
+    def __init__(
+        self,
+        positions: Iterable[tuple[float, str]],
+        use_numpy: bool | None = None,
+    ) -> None:
         self._entries = sorted(positions)
         self._positions = [position for position, _name in self._entries]
+        self.use_numpy = (
+            numpy_enabled() if use_numpy is None else (use_numpy and _np is not None)
+        )
+        if self.use_numpy:
+            # Structure of arrays: float64 positions + parallel names,
+            # both already in (position, name) order from the sort above.
+            self._pos_array = _np.array(self._positions, dtype=_np.float64)
+            self._name_array = _np.array(
+                [name for _position, name in self._entries]
+            )
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # -- pure-Python engine: lazy merge of the two distance runs ------------
+
+    def _ranked(self, center_m: float, lo: int, hi: int):
+        """Yield ``(distance, name)`` over entries[lo:hi] in sorted order.
+
+        Entries left of the centre have strictly non-increasing distance
+        as position grows, entries right of it non-decreasing -- two
+        sorted runs merged lazily in ``O(k)`` with no slice re-sort.
+        Coincident positions inside the left run are emitted per
+        equal-position group in name order, keeping the merge input
+        properly ``(distance, name)``-sorted.
+        """
+        entries = self._entries
+        split = bisect.bisect_left(self._positions, center_m, lo, hi)
+
+        def left_run():
+            i = split - 1
+            while i >= lo:
+                j = i
+                position = entries[j][0]
+                while j > lo and entries[j - 1][0] == position:
+                    j -= 1
+                for index in range(j, i + 1):
+                    pos, name = entries[index]
+                    yield (center_m - pos, name)
+                i = j - 1
+
+        def right_run():
+            for pos, name in itertools.islice(entries, split, hi):
+                yield (pos - center_m, name)
+
+        return heapq.merge(left_run(), right_run())
+
+    def _bounds(self, center_m: float, radius_m: float) -> tuple[int, int]:
+        lo = bisect.bisect_left(self._positions, center_m - radius_m)
+        hi = bisect.bisect_right(self._positions, center_m + radius_m)
+        return lo, hi
 
     def within(self, center_m: float, radius_m: float) -> tuple[str, ...]:
         """Actor names within ``radius_m`` of ``center_m`` (inclusive).
@@ -195,23 +302,40 @@ class SpatialIndex:
         """
         if radius_m < 0:
             raise SimulationError("query radius must be >= 0")
-        lo = bisect.bisect_left(self._positions, center_m - radius_m)
-        hi = bisect.bisect_right(self._positions, center_m + radius_m)
-        hits = self._entries[lo:hi]
-        return tuple(
-            name
-            for _distance, name in sorted(
-                (abs(position - center_m), name) for position, name in hits
-            )
-        )
+        lo, hi = self._bounds(center_m, radius_m)
+        if self.use_numpy:
+            distances = _np.abs(self._pos_array[lo:hi] - center_m)
+            order = _np.lexsort((self._name_array[lo:hi], distances))
+            return tuple(self._name_array[lo:hi][order].tolist())
+        return tuple(name for _distance, name in self._ranked(center_m, lo, hi))
 
     def nearest(self, center_m: float, count: int = 1) -> tuple[str, ...]:
         """The ``count`` nearest actor names, by ``(distance, name)``."""
-        ranked = sorted(
-            (abs(position - center_m), name)
-            for position, name in self._entries
+        size = len(self._entries)
+        if count <= 0:
+            return ()
+        if self.use_numpy:
+            distances = _np.abs(self._pos_array - center_m)
+            if count < size:
+                # Partial ordering: partition by distance, then fully
+                # order only the candidate set (all entries at most as
+                # far as the count-th distance, so name ties at the
+                # boundary resolve exactly as a full sort would).
+                kth = _np.partition(distances, count - 1)[count - 1]
+                candidates = _np.flatnonzero(distances <= kth)
+                order = _np.lexsort(
+                    (self._name_array[candidates], distances[candidates])
+                )
+                chosen = candidates[order[:count]]
+            else:
+                chosen = _np.lexsort((self._name_array, distances))[:count]
+            return tuple(self._name_array[chosen].tolist())
+        return tuple(
+            name
+            for _distance, name in itertools.islice(
+                self._ranked(center_m, 0, size), count
+            )
         )
-        return tuple(name for _distance, name in ranked[:count])
 
 
 class Topology:
@@ -240,6 +364,7 @@ class Topology:
         self._aliases: dict[str, str] = {}
         self._saturated: set[str] = set()
         self._ticking = False
+        self._tick_plan: list | None = None
 
     # -- registration -------------------------------------------------------
 
@@ -252,6 +377,7 @@ class Topology:
         except SimulationError as exc:
             raise SimulationError(f"actor {actor.name!r}: {exc}") from None
         self._actors[actor.name] = actor
+        self._tick_plan = None  # registration changes the step plan
         if actor.mobility is not None:
             self._ensure_ticking()
         return actor
@@ -406,17 +532,87 @@ class Topology:
         )
         self._ticking = True
 
-    def step(self, dt_s: float | None = None) -> None:
-        """Advance every mobile actor one tick, in insertion order."""
-        dt = self.tick_ms / 1000.0 if dt_s is None else dt_s
+    def _build_tick_plan(self) -> list:
+        """Partition mobile actors into sequential-vs-vectorisable segments.
+
+        The plan preserves the step's exact insertion-order semantics: a
+        *run* of consecutive constant-speed actors reads nothing but its
+        own positions, so it advances as one array op; any other mobility
+        model (a convoy follower reading its leader mid-tick) stays a
+        sequential segment at its original position in the order.  The
+        plan is structural only -- speeds and positions are re-read every
+        tick, so mutating a model's ``speed_mps`` mid-run behaves exactly
+        like the scalar path.
+        """
+        plan: list = []
+        run: list[Actor] = []
         for actor in self._actors.values():
             if actor.mobility is None:
                 continue
-            proposed = actor.mobility.next_position(actor, self, dt)
-            position, saturated = self.world.clamp_value(proposed)
-            if saturated:
-                self._saturated.add(actor.name)
-            actor.position_m = position
+            if type(actor.mobility) is ConstantSpeedMobility:
+                run.append(actor)
+                continue
+            if run:
+                plan.append(("vector", tuple(run)))
+                run = []
+            plan.append(("scalar", actor))
+        if run:
+            plan.append(("vector", tuple(run)))
+        return plan
+
+    def _step_vector_run(self, run: tuple[Actor, ...], dt: float) -> None:
+        """Advance one constant-speed run as a single array op."""
+        count = len(run)
+        positions = _np.fromiter(
+            (actor._position_m for actor in run),
+            dtype=_np.float64,
+            count=count,
+        )
+        speeds = _np.fromiter(
+            (actor.mobility.speed_mps for actor in run),
+            dtype=_np.float64,
+            count=count,
+        )
+        proposed = positions + speeds * dt
+        clamped, saturated = self.world.clamp_array(proposed)
+        if saturated.any():
+            for index in _np.flatnonzero(saturated).tolist():
+                self._saturated.add(run[index].name)
+        for actor, position in zip(run, clamped.tolist()):
+            actor._position_m = position
+
+    def _step_scalar(self, actor: Actor, dt: float) -> None:
+        proposed = actor.mobility.next_position(actor, self, dt)
+        position, saturated = self.world.clamp_value(proposed)
+        if saturated:
+            self._saturated.add(actor.name)
+        actor.position_m = position
+
+    def step(self, dt_s: float | None = None) -> None:
+        """Advance every mobile actor one tick, in insertion order.
+
+        With numpy active, maximal runs of constant-speed actors advance
+        as single vectorised array ops (add, clamp, saturation mask) --
+        bit-identical to the scalar fallback, which the property tests
+        assert across random fleets.
+        """
+        dt = self.tick_ms / 1000.0 if dt_s is None else dt_s
+        if not numpy_enabled():
+            for actor in self._actors.values():
+                if actor.mobility is None:
+                    continue
+                self._step_scalar(actor, dt)
+            return
+        if self._tick_plan is None:
+            self._tick_plan = self._build_tick_plan()
+        for kind, payload in self._tick_plan:
+            if kind == "vector" and len(payload) >= _MIN_VECTOR_RUN:
+                self._step_vector_run(payload, dt)
+            elif kind == "vector":
+                for actor in payload:
+                    self._step_scalar(actor, dt)
+            else:
+                self._step_scalar(payload, dt)
 
 
 class RangePropagation:

@@ -124,6 +124,18 @@ class World:
         """
         return self.zone(name).start - position
 
+    def clamp_array(self, positions):
+        """Vectorised :meth:`clamp_value` over a numpy position array.
+
+        Returns ``(clamped, saturated)`` arrays; used by the topology's
+        structure-of-arrays mobility tick.  Requires numpy (the caller
+        gates on :func:`repro.sim.topology.numpy_enabled`).
+        """
+        import numpy
+
+        clamped = numpy.clip(positions, 0.0, self.road_length_m)
+        return clamped, clamped != positions
+
     def clamp_value(self, position: float) -> tuple[float, bool]:
         """:meth:`clamp` as a plain ``(position, saturated)`` pair.
 

@@ -9,6 +9,9 @@ from repro.bench import (
     BENCH_SUITES,
     BenchRecord,
     bench_file_payload,
+    compare_records,
+    is_throughput_metric,
+    load_bench_file,
     records_from_pytest_benchmark,
     validate_bench_payload,
     validate_record,
@@ -168,3 +171,140 @@ class TestBenchCli:
             validate_bench_payload(
                 json.loads(written.read_text(encoding="utf-8"))
             )
+
+
+def make_rate_record(name="campaign", **metrics) -> BenchRecord:
+    base = {"variants_per_s": 10.0, "wall_s": 1.5, "process_speedup": 2.0}
+    base.update(metrics)
+    return BenchRecord(
+        suite="backends",
+        name=name,
+        status="ok",
+        metrics=freeze_items(base),
+        meta=freeze_items({}),
+    )
+
+
+class TestCompareMachinery:
+    def test_throughput_metric_classifier(self):
+        assert is_throughput_metric("variants_per_s")
+        assert is_throughput_metric("publishes_per_s_full")
+        assert is_throughput_metric("process_speedup")
+        assert not is_throughput_metric("wall_s")
+        assert not is_throughput_metric("fleet_size")
+
+    def test_identical_runs_never_regress(self):
+        baseline = [make_rate_record()]
+        deltas = compare_records(baseline, baseline)
+        # wall_s is absolute time, not throughput: excluded from gating.
+        assert {d.metric for d in deltas} == {
+            "variants_per_s",
+            "process_speedup",
+        }
+        assert not any(d.regressed for d in deltas)
+        assert all(d.ratio == 1.0 for d in deltas)
+
+    def test_regression_detected_beyond_threshold(self):
+        baseline = [make_rate_record(variants_per_s=100.0)]
+        fresh = [make_rate_record(variants_per_s=75.0)]
+        deltas = compare_records(baseline, fresh, threshold_pct=20.0)
+        slowed = {d.metric: d for d in deltas}["variants_per_s"]
+        assert slowed.regressed
+        assert "REGRESSION" in slowed.render()
+        # The same drop passes a looser gate.
+        loose = compare_records(baseline, fresh, threshold_pct=30.0)
+        assert not {d.metric: d for d in loose}["variants_per_s"].regressed
+
+    def test_boundary_is_strict(self):
+        """Exactly threshold%% below baseline is NOT a regression --
+        the gate trips only strictly beyond it."""
+        baseline = [make_rate_record(variants_per_s=100.0)]
+        at_floor = [make_rate_record(variants_per_s=80.0)]
+        deltas = compare_records(baseline, at_floor, threshold_pct=20.0)
+        assert not any(d.regressed for d in deltas)
+
+    def test_missing_record_fails_loudly(self):
+        baseline = [make_rate_record(name="gone")]
+        with pytest.raises(ValidationError, match="missing from"):
+            compare_records(baseline, [make_rate_record(name="other")])
+
+    def test_missing_metric_fails_loudly(self):
+        baseline = [make_rate_record()]
+        fresh = [
+            BenchRecord(
+                suite="backends",
+                name="campaign",
+                status="ok",
+                metrics=freeze_items({"wall_s": 1.0}),
+                meta=freeze_items({}),
+            )
+        ]
+        with pytest.raises(ValidationError, match="missing from"):
+            compare_records(baseline, fresh)
+
+    def test_invalid_threshold_rejected(self):
+        records = [make_rate_record()]
+        for threshold in (0.0, -5.0):
+            with pytest.raises(ValidationError, match="threshold"):
+                compare_records(records, records, threshold_pct=threshold)
+
+    def test_load_bench_file_round_trip(self, tmp_path):
+        records = [make_rate_record()]
+        path = write_bench_file("backends", records, tmp_path)
+        suite, loaded = load_bench_file(path)
+        assert suite == "backends"
+        assert loaded == records
+
+
+class TestCompareCli:
+    def _baseline(self, tmp_path, suite, name, **metrics):
+        """A stored baseline the CLI re-runs the suite against."""
+        record = BenchRecord(
+            suite=suite,
+            name=name,
+            status="ok",
+            metrics=freeze_items(metrics),
+            meta=freeze_items({}),
+        )
+        return write_bench_file(suite, [record], tmp_path)
+
+    def test_compare_passes_for_non_throughput_suite(self, tmp_path, capsys):
+        """rq1 carries no rate metrics, so a stored baseline always
+        passes -- the acceptance smoke for non-batched suites."""
+        path = self._baseline(
+            tmp_path, "rq1", "uc1_pipeline_complete", build_s=0.5, attacks=23
+        )
+        assert main(["bench", "--compare", str(path)]) == 0
+        assert "within 20%" in capsys.readouterr().out
+
+    def test_compare_flags_doctored_regression(self, tmp_path, capsys):
+        """A baseline doctored to claim an impossible speedup makes the
+        fresh run look regressed: exit code 2 and a REGRESSION line."""
+        path = self._baseline(
+            tmp_path, "scalability", "campaign_fanout", speedup=1e12
+        )
+        assert main(["bench", "--compare", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regressed" in captured.err
+
+    def test_compare_honours_custom_threshold(self, tmp_path, capsys):
+        """The --threshold flag reaches the comparison end to end."""
+        path = self._baseline(
+            tmp_path, "rq1", "uc1_pipeline_complete", build_s=0.5
+        )
+        assert main(
+            ["bench", "--compare", str(path), "--threshold", "99.9"]
+        ) == 0
+        assert "99.9%" in capsys.readouterr().out
+
+    def test_compare_missing_baseline_errors(self, tmp_path, capsys):
+        missing = tmp_path / "BENCH_nope.json"
+        assert main(["bench", "--compare", str(missing)]) == 1
+        assert "ERROR" in capsys.readouterr().err
+
+    def test_compare_corrupt_baseline_errors(self, tmp_path, capsys):
+        corrupt = tmp_path / "BENCH_rq1.json"
+        corrupt.write_text("{not json", encoding="utf-8")
+        assert main(["bench", "--compare", str(corrupt)]) == 1
+        assert "ERROR" in capsys.readouterr().err

@@ -20,6 +20,7 @@ import pytest
 
 from repro.engine.campaign import run_campaign
 from repro.engine.registry import default_registry
+from repro.runtime import BatchedBackend, SerialBackend
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_verdicts.json"
 
@@ -64,5 +65,33 @@ class TestGoldenParity:
                 }
         assert not mismatches, (
             f"{len(mismatches)} variant(s) changed behaviour: {mismatches}"
+        )
+        assert result.total == len(golden)
+
+    @pytest.mark.slow
+    def test_all_verdicts_identical_batched(self, golden):
+        """The family-batching tier (PR 6) reproduces every golden
+        verdict over the full registry: shared-setup amortisation and
+        the batch-scoped MAC memo are verdict-neutral.
+
+        The full sweep runs once at a mid-size batch; exhaustive
+        batch-size coverage (1 through oversize, thread and process
+        inners, fork and spawn) runs on cheaper variant subsets in
+        ``tests/test_engine_batch.py``."""
+        backend = BatchedBackend(SerialBackend(), batch_size=8)
+        result = run_campaign(all_variants(), backend=backend)
+        assert result.backend == "batched-serial"
+        mismatches = {}
+        for outcome in result.outcomes:
+            expected_verdict, expected_goals = golden[outcome.variant_id]
+            actual = (outcome.verdict, list(outcome.violated_goals))
+            if actual != (expected_verdict, expected_goals):
+                mismatches[outcome.variant_id] = {
+                    "expected": (expected_verdict, expected_goals),
+                    "actual": actual,
+                }
+        assert not mismatches, (
+            f"{len(mismatches)} variant(s) changed under batching: "
+            f"{mismatches}"
         )
         assert result.total == len(golden)

@@ -12,7 +12,15 @@ Three contracts the fleet scenario families lean on:
   same messages, at the same times, to the same receivers as a channel
   constructed the pre-topology way; and on the AD08/AD20 parity
   variants the two spellings produce identical verdicts.
+* **spatial engine parity** -- the numpy structure-of-arrays kernel
+  and the pure-Python bisect/heap-merge fallback answer
+  ``SpatialIndex.within``/``nearest`` identically (both pinned against
+  a brute-force ``(distance, name)`` oracle, so the tie order for
+  coincident actors is part of the contract), and the vectorised
+  mobility tick traces the same trajectories as the scalar loop.
 """
+
+import os
 
 import pytest
 from hypothesis import given, settings
@@ -24,10 +32,13 @@ from repro.sim.clock import SimClock
 from repro.sim.events import EventBus
 from repro.sim.network import Channel, InfiniteRange, Message
 from repro.sim.topology import (
+    NO_NUMPY_ENV,
     ConstantSpeedMobility,
     FollowLeaderMobility,
     RangePropagation,
+    SpatialIndex,
     Topology,
+    numpy_enabled,
 )
 from repro.sim.world import World
 
@@ -111,6 +122,99 @@ class TestRangeSymmetry:
         channel.send(Message(kind="k", sender="b", payload={}))
         clock.run()
         assert len(heard["a"]) == len(heard["b"])
+
+
+# Quantised positions make coincident actors (and therefore name
+# tie-breaks) common instead of measure-zero.
+_quantised = st.integers(min_value=0, max_value=120).map(lambda n: n * 7.5)
+_fleets = st.lists(_quantised, min_size=1, max_size=40).map(
+    lambda ps: [(p, f"v{i:02d}") for i, p in enumerate(ps)]
+)
+
+
+class TestSpatialEngineParity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        _fleets,
+        st.floats(min_value=-50.0, max_value=950.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    )
+    def test_within_matches_brute_force_on_both_engines(
+        self, entries, center, radius
+    ):
+        ranked = sorted((abs(p - center), n) for p, n in entries)
+        expected = tuple(
+            name for distance, name in ranked if distance <= radius
+        )
+        python = SpatialIndex(entries, use_numpy=False)
+        assert python.within(center, radius) == expected
+        if numpy_enabled():
+            vectorised = SpatialIndex(entries, use_numpy=True)
+            assert vectorised.use_numpy
+            assert vectorised.within(center, radius) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        _fleets,
+        st.floats(min_value=-50.0, max_value=950.0, allow_nan=False),
+        st.integers(min_value=0, max_value=45),
+    )
+    def test_nearest_matches_brute_force_on_both_engines(
+        self, entries, center, count
+    ):
+        ranked = sorted((abs(p - center), n) for p, n in entries)
+        expected = tuple(name for _d, name in ranked[:count])
+        python = SpatialIndex(entries, use_numpy=False)
+        assert python.nearest(center, count) == expected
+        if numpy_enabled():
+            vectorised = SpatialIndex(entries, use_numpy=True)
+            assert vectorised.nearest(center, count) == expected
+
+    def test_coincident_tie_order_pinned_on_both_engines(self):
+        """(distance, name) order for coincident actors is contract,
+        not accident -- identical on numpy and the heap-merge path."""
+        entries = [(5.0, "z"), (5.0, "a"), (5.0, "m"), (7.0, "b")]
+        for use_numpy in (False, True):
+            index = SpatialIndex(entries, use_numpy=use_numpy)
+            assert index.within(5.0, 0.0) == ("a", "m", "z")
+            assert index.within(5.0, 2.0) == ("a", "m", "z", "b")
+            assert index.nearest(5.0, 3) == ("a", "m", "z")
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(positions, speeds), min_size=4, max_size=12
+        ),
+        st.integers(min_value=1, max_value=30),
+        st.booleans(),
+    )
+    def test_vector_tick_matches_scalar_tick(
+        self, placements, ticks, with_follower
+    ):
+        if not numpy_enabled():
+            pytest.skip("numpy kernel inactive; nothing to compare")
+
+        def run(force_scalar: bool) -> list[float]:
+            if force_scalar:
+                os.environ[NO_NUMPY_ENV] = "1"
+            try:
+                clock = SimClock()
+                topology = Topology(World(2000.0), clock=clock, tick_ms=100.0)
+                for index, (position, speed) in enumerate(placements):
+                    topology.add_mobile(
+                        f"car-{index}", position, ConstantSpeedMobility(speed)
+                    )
+                if with_follower:
+                    topology.add_mobile(
+                        "tail", 0.0, FollowLeaderMobility("car-0", gap_m=25.0)
+                    )
+                clock.run_until(ticks * 100.0)
+                return [actor.position_m for actor in topology.actors]
+            finally:
+                if force_scalar:
+                    os.environ.pop(NO_NUMPY_ENV, None)
+
+        assert run(False) == run(True)
 
 
 class TestInfiniteRangeEquivalence:
