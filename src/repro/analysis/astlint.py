@@ -1,0 +1,336 @@
+"""The AST invariant linter: engine, module model and suppression.
+
+The engine walks Python sources, parses each into an AST once, hands the
+parsed :class:`ModuleUnderLint` to every registered rule (see
+:mod:`repro.analysis.rules`) and filters the collected findings through
+per-line ``noqa`` suppressions.
+
+Suppression syntax
+------------------
+
+A finding is suppressed by a comment on its line::
+
+    frobnicate()  # repro: noqa[REP008] -- CLI helper, prints by design
+    frobnicate()  # repro: noqa -- blanket suppression (all rules)
+
+The justification after ``--`` is **mandatory policy**: a suppression
+without one still suppresses the target finding but emits a
+:data:`NOQA_CODE` finding of its own, so unexplained debt cannot hide.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, Sequence
+
+from repro.analysis.report import Finding, sort_findings
+from repro.errors import ValidationError
+
+#: The suppression-hygiene pseudo-rule (reasonless/unknown-code noqa).
+NOQA_CODE = "REP000"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\[(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\])?"
+    r"(?:\s*--\s*(?P<reason>\S.*))?",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: noqa`` comment.
+
+    Attributes:
+        line: 1-based line the comment sits on (and suppresses).
+        codes: Rule codes it targets; empty means *all* rules.
+        reason: The justification after ``--`` (empty when missing).
+    """
+
+    line: int
+    codes: tuple[str, ...] = ()
+    reason: str = ""
+
+    def covers(self, code: str) -> bool:
+        """Whether this suppression silences findings of ``code``."""
+        return not self.codes or code in self.codes
+
+
+def parse_suppressions(source: str) -> tuple[Suppression, ...]:
+    """Extract every ``# repro: noqa`` comment from a source text.
+
+    Real comment tokens only: the text appearing inside a string or
+    docstring (as in this very module) is not a suppression.
+    """
+    suppressions = []
+    for number, text in _comment_tokens(source):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        suppressions.append(
+            Suppression(
+                line=number,
+                codes=tuple(
+                    code.strip() for code in codes.split(",")
+                ) if codes else (),
+                reason=(match.group("reason") or "").strip(),
+            )
+        )
+    return tuple(suppressions)
+
+
+def _comment_tokens(source: str) -> Iterator[tuple[int, str]]:
+    """``(line, text)`` for every comment token in ``source``."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):
+        return  # a syntactically broken tail cannot carry suppressions
+
+
+@dataclasses.dataclass(frozen=True)
+class ModuleUnderLint:
+    """One parsed source module, as the rules see it.
+
+    Attributes:
+        path: Filesystem path (or a display name for string sources).
+        rel: Repo-relative posix path used in findings.
+        module: Dotted module name (``repro.sim.events``); rules use it
+            to scope themselves (hot-path rules only fire under
+            ``repro.sim`` / ``repro.engine``).
+        source: The raw text.
+        tree: The parsed ``ast.Module``.
+        suppressions: Parsed ``noqa`` comments.
+    """
+
+    path: Path
+    rel: str
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: tuple[Suppression, ...]
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether the module lives under any of the dotted packages."""
+        return any(
+            self.module == package or self.module.startswith(package + ".")
+            for package in packages
+        )
+
+    def finding(
+        self,
+        code: str,
+        message: str,
+        node: ast.AST | None = None,
+        symbol: str = "",
+        severity: str = "error",
+    ) -> Finding:
+        """Build a finding anchored at ``node`` in this module."""
+        return Finding(
+            code=code,
+            message=message,
+            path=self.rel,
+            line=getattr(node, "lineno", 0) if node is not None else 0,
+            symbol=symbol,
+            severity=severity,
+        )
+
+
+class Rule(Protocol):
+    """One codified invariant: a stable code plus an AST check."""
+
+    code: str
+    name: str
+    summary: str
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        """Yield findings for every violation in ``module``."""
+        ...  # pragma: no cover - protocol declaration
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name of a source file.
+
+    Resolved from the directory layout: climbs from the file through
+    every parent that carries an ``__init__.py`` (so ``src/repro/sim/
+    events.py`` maps to ``repro.sim.events`` without importing it).
+    """
+    resolved = path.resolve()
+    parts = [resolved.stem]
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or [resolved.parent.name]
+    return ".".join(reversed(parts))
+
+
+def parse_module(
+    path: Path,
+    *,
+    root: Path | None = None,
+    module: str | None = None,
+    source: str | None = None,
+) -> ModuleUnderLint:
+    """Load + parse one source file into a :class:`ModuleUnderLint`.
+
+    Raises:
+        ValidationError: on syntax errors (a file the linter cannot
+            parse is itself a hard finding at the call site).
+    """
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ValidationError(
+            f"{path}: cannot lint, invalid syntax at line {exc.lineno}"
+        ) from exc
+    if root is not None:
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+    else:
+        rel = path.as_posix()
+    return ModuleUnderLint(
+        path=path,
+        rel=rel,
+        module=module if module is not None else module_name_for(path),
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = (path,)
+        elif not path.exists():
+            raise ValidationError(f"no such file or directory: {path}")
+        else:
+            candidates = ()
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], modules: Iterable[ModuleUnderLint]
+) -> tuple[Finding, ...]:
+    """Filter findings through their module's ``noqa`` comments.
+
+    Suppressions silence same-line findings of a covered code; every
+    suppression without a ``-- reason`` justification surfaces as a
+    :data:`NOQA_CODE` finding of its own (policy: no unexplained debt).
+    """
+    by_path = {module.rel: module for module in modules}
+    kept: list[Finding] = []
+    for finding in findings:
+        module = by_path.get(finding.path)
+        suppressed = module is not None and any(
+            suppression.line == finding.line
+            and suppression.covers(finding.code)
+            for suppression in module.suppressions
+        )
+        if not suppressed:
+            kept.append(finding)
+    for module in by_path.values():
+        for suppression in module.suppressions:
+            if not suppression.reason:
+                kept.append(
+                    Finding(
+                        code=NOQA_CODE,
+                        message=(
+                            "suppression without justification: write "
+                            "'# repro: noqa[CODE] -- reason'"
+                        ),
+                        path=module.rel,
+                        line=suppression.line,
+                    )
+                )
+    return sort_findings(kept)
+
+
+def run_rules(
+    modules: Sequence[ModuleUnderLint],
+    rules: Sequence[Rule],
+) -> tuple[Finding, ...]:
+    """Apply every rule to every module; suppressions already filtered."""
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in rules:
+            findings.extend(rule.check(module))
+    return apply_suppressions(findings, modules)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    root: Path | None = None,
+) -> tuple[tuple[Finding, ...], int]:
+    """Lint files/directories; returns (findings, checked-file count)."""
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    modules = [
+        parse_module(path, root=root) for path in iter_python_files(paths)
+    ]
+    return run_rules(modules, rules), len(modules)
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str = "fixture",
+    path: str = "fixture.py",
+    rules: Sequence[Rule] | None = None,
+) -> tuple[Finding, ...]:
+    """Lint one in-memory source under a declared module name.
+
+    The fixture entry point: scope-sensitive rules (hot-path
+    determinism, runtime isolation) activate by passing the module name
+    they guard, e.g. ``module="repro.sim.fake"``.
+    """
+    if rules is None:
+        from repro.analysis.rules import default_rules
+
+        rules = default_rules()
+    parsed = parse_module(Path(path), module=module, source=source)
+    return run_rules([parsed], rules)
+
+
+__all__ = [
+    "ModuleUnderLint",
+    "NOQA_CODE",
+    "Rule",
+    "Suppression",
+    "apply_suppressions",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+    "parse_module",
+    "parse_suppressions",
+    "run_rules",
+]

@@ -1,0 +1,148 @@
+"""Hot-path determinism invariants: REP002, REP003.
+
+Scoped to :mod:`repro.sim` and :mod:`repro.engine` -- the modules whose
+behaviour must be a pure function of (spec, seed) for the golden-verdict
+parity gate to mean anything.  Unseeded randomness makes two runs of the
+same variant diverge; wall-clock reads leak host time into simulated
+time.  (``time.perf_counter()`` stays legal: it only feeds wall-time
+*metrics*, never simulation behaviour.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astlint import ModuleUnderLint
+from repro.analysis.report import Finding
+
+#: The deterministic core the two rules guard.
+_HOT_PACKAGES = ("repro.sim", "repro.engine")
+
+#: Fully-qualified wall-clock reads that leak host time.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted path they were imported as.
+
+    ``import random as rnd`` maps ``rnd -> random``; ``from random
+    import Random`` maps ``Random -> random.Random``.  Conditional
+    imports count too (the map is an over-approximation: this is a
+    linter, not an interpreter).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    top = alias.name.partition(".")[0]
+                    aliases[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """The dotted name of a Name/Attribute chain, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _resolved_calls(
+    module: ModuleUnderLint,
+) -> Iterator[tuple[ast.Call, str]]:
+    """Every call whose target resolves to a dotted import path."""
+    aliases = _import_aliases(module.tree)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        head, sep, rest = dotted.partition(".")
+        resolved = aliases.get(head)
+        if resolved is not None:
+            dotted = resolved + sep + rest if sep else resolved
+        yield node, dotted
+
+
+class UnseededRandomnessRule:
+    """REP002: no unseeded randomness in the simulation/engine core."""
+
+    code = "REP002"
+    name = "unseeded-randomness"
+    summary = (
+        "repro.sim / repro.engine must derive all randomness from an "
+        "explicit seed (random.Random(seed)); module-level random() "
+        "makes variant verdicts irreproducible"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        if not module.in_package(*_HOT_PACKAGES):
+            return
+        for call, dotted in _resolved_calls(module):
+            if dotted == "random.random":
+                yield module.finding(
+                    self.code,
+                    "random.random() uses the shared unseeded module "
+                    "RNG (thread a seeded random.Random through)",
+                    node=call,
+                )
+            elif dotted == "random.Random" and not call.args and not any(
+                keyword.arg == "seed" for keyword in call.keywords
+            ):
+                yield module.finding(
+                    self.code,
+                    "random.Random() without an explicit seed argument",
+                    node=call,
+                )
+
+
+class WallClockRule:
+    """REP003: no wall-clock reads in the simulation/engine core."""
+
+    code = "REP003"
+    name = "wall-clock-in-hot-path"
+    summary = (
+        "repro.sim / repro.engine must not read the wall clock "
+        "(time.time, datetime.now); simulated time comes from the "
+        "Clock, wall-time metrics use time.perf_counter"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        if not module.in_package(*_HOT_PACKAGES):
+            return
+        for call, dotted in _resolved_calls(module):
+            if dotted in _WALL_CLOCK:
+                yield module.finding(
+                    self.code,
+                    f"wall-clock call {dotted}() in the deterministic "
+                    "core (use the simulation Clock, or "
+                    "time.perf_counter for wall-time metrics)",
+                    node=call,
+                )
+
+
+__all__ = ["UnseededRandomnessRule", "WallClockRule"]

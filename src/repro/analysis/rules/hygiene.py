@@ -1,0 +1,125 @@
+"""General code-hygiene invariants: REP004, REP005, REP008.
+
+These fire on every linted module: mutable default arguments and bare
+``except:`` clauses corrupt reproducibility silently (shared state
+drifting between variants, swallowed ``KeyboardInterrupt`` in campaign
+workers), and ``print()`` in library code bypasses the structured
+result/report plane the CLI and CI gates read.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astlint import ModuleUnderLint
+from repro.analysis.report import Finding
+
+#: Builtin constructors whose call as a default shares one instance
+#: across every call of the function.
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+#: Modules allowed to print: the user-facing shells.
+_PRINT_EXEMPT = ("repro.cli", "repro.__main__")
+
+
+def _function_nodes(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class MutableDefaultRule:
+    """REP004: no mutable default arguments."""
+
+    code = "REP004"
+    name = "mutable-default-argument"
+    summary = (
+        "default argument values must be immutable; a list/dict/set "
+        "default is shared across calls and drifts between variants"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        for function in _function_nodes(module.tree):
+            defaults = list(function.args.defaults) + [
+                default
+                for default in function.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if self._mutable(default):
+                    yield module.finding(
+                        self.code,
+                        f"mutable default argument in {function.name}()",
+                        node=default,
+                        symbol=function.name,
+                    )
+
+    @staticmethod
+    def _mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+        )
+
+
+class BareExceptRule:
+    """REP005: no bare ``except:`` clauses."""
+
+    code = "REP005"
+    name = "bare-except"
+    summary = (
+        "except clauses must name an exception type; bare except "
+        "swallows KeyboardInterrupt/SystemExit and hides worker faults"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield module.finding(
+                    self.code,
+                    "bare 'except:' clause (name the exception type, "
+                    "or use 'except Exception:')",
+                    node=node,
+                )
+
+
+class PrintInLibraryRule:
+    """REP008: no ``print()`` in library code."""
+
+    code = "REP008"
+    name = "print-in-library"
+    summary = (
+        "library modules must not print(); results flow through the "
+        "typed results/report plane, only the CLI shell prints"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        if module.module in _PRINT_EXEMPT:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield module.finding(
+                    self.code,
+                    "print() call in library code (return data or raise; "
+                    "only repro.cli prints)",
+                    node=node,
+                )
+
+
+__all__ = [
+    "BareExceptRule",
+    "MutableDefaultRule",
+    "PrintInLibraryRule",
+]

@@ -1,0 +1,61 @@
+"""Runtime-isolation invariant: REP001.
+
+:mod:`repro.runtime` is, by architectural contract (PR 3), the **only**
+module allowed to touch :mod:`multiprocessing`: it owns start-method
+selection, worker seeding and pickling discipline.  A second
+multiprocessing import site would fork its own undisciplined workers and
+break the deterministic per-job seed derivation the golden-verdict
+parity gate relies on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astlint import ModuleUnderLint
+from repro.analysis.report import Finding
+
+#: The one package allowed to import multiprocessing.
+_ALLOWED_PACKAGE = "repro.runtime"
+
+
+class MultiprocessingIsolationRule:
+    """REP001: ``multiprocessing`` only inside ``repro.runtime``."""
+
+    code = "REP001"
+    name = "multiprocessing-outside-runtime"
+    summary = (
+        "only repro.runtime may import multiprocessing; every other "
+        "module goes through the ExecutionBackend protocol"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        if module.in_package(_ALLOWED_PACKAGE):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._is_multiprocessing(alias.name):
+                        yield self._finding(module, node)
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and self._is_multiprocessing(node.module):
+                    yield self._finding(module, node)
+
+    @staticmethod
+    def _is_multiprocessing(dotted: str) -> bool:
+        return dotted == "multiprocessing" or dotted.startswith(
+            "multiprocessing."
+        )
+
+    def _finding(self, module: ModuleUnderLint, node: ast.AST) -> Finding:
+        return module.finding(
+            self.code,
+            "multiprocessing import outside repro.runtime (use the "
+            "ExecutionBackend protocol instead)",
+            node=node,
+        )
+
+
+__all__ = ["MultiprocessingIsolationRule"]

@@ -21,6 +21,10 @@ Usage (also via ``python -m repro``)::
     repro bench backends --json       # serial vs thread vs process speedup
     repro bench --suite rq1 --out .   # write BENCH_rq1.json
     repro bench --compare BENCH_rq1.json --threshold 15   # perf gate
+    repro lint                        # static verification plane (src + registry + DSL)
+    repro lint --json --out lint-out  # schema-stable LINT.json for CI
+    repro lint --list-rules           # the codified invariant catalog
+    repro lint --diff LINT.json       # gate on *new* findings only
 
 The CLI is a thin shell over the :mod:`repro.api` facade; every command
 returns a proper exit code (0 ok, 1 user error, 2 validation/semantic
@@ -370,6 +374,71 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 2 if failed else 0
 
 
+def _lint_findings(args: argparse.Namespace):
+    """Collect lint + spec findings; returns (findings, checked_files)."""
+    from repro.analysis import check_all, lint_paths, rules_by_code
+
+    codes = (
+        [code.strip() for code in args.rules.split(",") if code.strip()]
+        if args.rules
+        else None
+    )
+    if args.paths:
+        paths = list(args.paths)
+    else:
+        import repro
+
+        paths = [Path(repro.__file__).parent]
+    findings, checked = lint_paths(
+        paths, rules=rules_by_code(codes), root=Path.cwd()
+    )
+    if not args.no_spec:
+        findings = findings + check_all()
+    return findings, checked
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static verification plane (AST rules + registry/DSL)."""
+    from repro.analysis import (
+        build_report,
+        diff_findings,
+        load_report,
+        render_report,
+        rule_catalog,
+        sort_findings,
+        write_report,
+    )
+
+    if args.list_rules:
+        for rule in rule_catalog():
+            print(f"{rule['code']}  {rule['name']:28s} {rule['summary']}")
+        return 0
+    try:
+        findings, checked = _lint_findings(args)
+        if args.diff is not None:
+            findings = diff_findings(findings, load_report(args.diff))
+        payload = build_report(
+            sort_findings(findings),
+            checked_files=checked,
+            rules=rule_catalog(),
+        )
+        if args.out is not None:
+            path = write_report(payload, args.out)
+    except (ReproError, OSError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        if args.diff is not None and not findings:
+            print(f"no new findings relative to {args.diff}")
+        else:
+            print(render_report(payload))
+        if args.out is not None:
+            print(f"wrote {path}")
+    return 2 if findings else 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Print the goal/attack/threat traceability matrix."""
     from repro.api import Workspace
@@ -523,6 +592,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(handler=cmd_bench)
 
+    lint = commands.add_parser(
+        "lint",
+        help="static verification plane: AST invariant rules + "
+        "registry/DSL spec checks (LINT.json records)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to lint (default: the installed repro "
+        "package)",
+    )
+    lint.add_argument(
+        "--rules", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all; see "
+        "--list-rules)",
+    )
+    lint.add_argument(
+        "--no-spec", action="store_true",
+        help="skip the registry/DSL spec checks (AST rules only)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="enumerate the codified invariant rules and exit",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="print the schema-stable lint document",
+    )
+    lint.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write LINT.json under DIR (the CI artifact)",
+    )
+    lint.add_argument(
+        "--diff", metavar="BASELINE.json", default=None,
+        help="report only findings absent from the baseline document "
+        "(gate on new debt, like `repro bench --compare`)",
+    )
+    lint.set_defaults(handler=cmd_lint)
+
     return parser
 
 
@@ -530,6 +637,21 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     return args.handler(args)
+
+
+__all__ = [
+    "build_parser",
+    "cmd_attack",
+    "cmd_bench",
+    "cmd_campaign",
+    "cmd_export",
+    "cmd_lint",
+    "cmd_report",
+    "cmd_run",
+    "cmd_trace",
+    "cmd_validate",
+    "main",
+]
 
 
 if __name__ == "__main__":

@@ -213,3 +213,12 @@ class CompletenessAuditor:
         raise CoverageError(
             "completeness audit failed:\n  " + "\n  ".join(lines)
         )
+
+
+__all__ = [
+    "CompletenessAuditor",
+    "CompletenessReport",
+    "GoalCoverage",
+    "Justification",
+    "ThreatCoverage",
+]

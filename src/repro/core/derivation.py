@@ -256,3 +256,9 @@ class AttackDeriver:
             attack_type.name
             for attack_type in self.library.attack_types_for_threat(threat_id)
         )
+
+
+__all__ = [
+    "AttackDeriver",
+    "AttackDescriptionSet",
+]

@@ -244,3 +244,14 @@ class SaSeValPipeline:
                 f"pipeline {self.name!r}: step {step.value!r} must complete "
                 "first"
             )
+
+
+__all__ = [
+    "INPUT_SAFETY_ANALYSIS",
+    "INPUT_SCENARIO_DESCRIPTION",
+    "INPUT_SECURITY_ANALYSIS",
+    "INPUT_SUT_IMPLEMENTATION",
+    "SaSeValPipeline",
+    "Step",
+    "stage_graph",
+]

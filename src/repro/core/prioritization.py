@@ -190,3 +190,12 @@ class Prioritizer:
         if cal is not None:
             weight *= int(cal)
         return weight
+
+
+__all__ = [
+    "ASIL_WEIGHTS",
+    "PrioritizedAttack",
+    "Prioritizer",
+    "TestPlan",
+    "attack_asil",
+]

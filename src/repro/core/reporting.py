@@ -128,3 +128,12 @@ def render_completeness(report: CompletenessReport) -> str:
     for entry in report.uncovered_threats:
         lines.append(f"  ! threat {entry.threat_id} uncovered")
     return "\n".join(lines)
+
+
+__all__ = [
+    "render_asil_distribution",
+    "render_attack_description",
+    "render_completeness",
+    "render_hara_rating",
+    "render_hara_summary",
+]

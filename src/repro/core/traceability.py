@@ -131,3 +131,10 @@ class TraceMatrix:
                 + f" | {threats} |"
             )
         return "\n".join(lines)
+
+
+__all__ = [
+    "GoalTrace",
+    "ThreatTrace",
+    "TraceMatrix",
+]

@@ -61,3 +61,10 @@ class DocumentNode:
             if block.identifier == identifier:
                 return block
         return None
+
+
+__all__ = [
+    "AttackBlockNode",
+    "DocumentNode",
+    "FieldNode",
+]

@@ -107,3 +107,9 @@ class BindingRegistry:
         except DslSemanticError:
             return False
         return True
+
+
+__all__ = [
+    "Binder",
+    "BindingRegistry",
+]

@@ -45,3 +45,9 @@ def format_attack(attack: AttackDescription) -> str:
 def format_attacks(attacks: list[AttackDescription]) -> str:
     """Render a list of attack descriptions as one DSL document."""
     return "\n\n".join(format_attack(attack) for attack in attacks) + "\n"
+
+
+__all__ = [
+    "format_attack",
+    "format_attacks",
+]

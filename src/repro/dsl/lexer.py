@@ -131,3 +131,8 @@ def _scan_ident(source, start, line, column, advance) -> Token:
     advance(index - start)
     token_type = TokenType.ATTACK if text == "attack" else TokenType.IDENT
     return Token(token_type, text, line, column)
+
+
+__all__ = [
+    "tokenize",
+]

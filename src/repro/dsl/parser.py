@@ -172,3 +172,8 @@ def parse(source: str) -> DocumentNode:
         DslSyntaxError: on any lexical or structural problem.
     """
     return _Parser(tokenize(source)).parse_document()
+
+
+__all__ = [
+    "parse",
+]

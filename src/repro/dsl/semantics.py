@@ -86,3 +86,8 @@ def _stride(block: AttackBlockNode) -> StrideType:
         return StrideType.from_label(field.single)
     except ValueError as exc:
         raise DslSemanticError(f"{block.identifier}: {exc}") from exc
+
+
+__all__ = [
+    "analyze",
+]

@@ -72,3 +72,10 @@ FIELD_SPECS: dict[str, bool] = {
     "impl": False,
     "category": False,
 }
+
+
+__all__ = [
+    "FIELD_SPECS",
+    "Token",
+    "TokenType",
+]

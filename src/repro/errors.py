@@ -123,3 +123,19 @@ class VariantExecutionError(ExecutionError):
             message, error_type=error_type, error_traceback=error_traceback
         )
         self.variant_id = variant_id
+
+
+__all__ = [
+    "CatalogError",
+    "CoverageError",
+    "DslError",
+    "DslSemanticError",
+    "DslSyntaxError",
+    "ExecutionError",
+    "HarnessError",
+    "ReproError",
+    "SerializationError",
+    "SimulationError",
+    "ValidationError",
+    "VariantExecutionError",
+]

@@ -296,3 +296,8 @@ class Hara:
         if isinstance(function, VehicleFunction):
             return self.function(function.identifier)
         return self.function(function)
+
+
+__all__ = [
+    "Hara",
+]

@@ -89,3 +89,11 @@ def decompose(asil: Asil) -> tuple[tuple[Asil, Asil], ...]:
         Asil.A: ((Asil.A, Asil.QM),),
     }
     return table.get(asil, ())
+
+
+__all__ = [
+    "ASIL_TABLE",
+    "decompose",
+    "determine_asil",
+    "highest_asil",
+]

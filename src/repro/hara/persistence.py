@@ -118,3 +118,11 @@ def load_hara(path: str | Path) -> Hara:
     if not isinstance(payload, dict):
         raise SerializationError(f"{path}: expected a JSON object")
     return hara_from_dict(payload)
+
+
+__all__ = [
+    "hara_from_dict",
+    "hara_to_dict",
+    "load_hara",
+    "save_hara",
+]

@@ -136,3 +136,10 @@ class Asset:
     def priority(self) -> int:
         """Shortcut to the relevance priority (RQ2 ordering key)."""
         return self.relevance.priority
+
+
+__all__ = [
+    "Asset",
+    "AssetGroup",
+    "AssetRelevance",
+]

@@ -167,3 +167,10 @@ class AttackDescription:
             f"{self.identifier} [{self.attack_type.name} / "
             f"{self.stride.value}] -> {goals}"
         )
+
+
+__all__ = [
+    "AttackCategory",
+    "AttackDescription",
+    "ThreatLink",
+]

@@ -248,3 +248,24 @@ def reset_default_allocator(floor: int = 0) -> None:
     :meth:`IdAllocator.reset`.
     """
     default_allocator.reset(floor=floor)
+
+
+__all__ = [
+    "IdAllocator",
+    "attack_id",
+    "claim_id",
+    "default_allocator",
+    "function_id",
+    "is_attack_id",
+    "is_function_id",
+    "is_safety_goal_id",
+    "is_threat_scenario_id",
+    "next_id",
+    "require_attack_id",
+    "require_function_id",
+    "require_safety_goal_id",
+    "require_threat_scenario_id",
+    "reset_default_allocator",
+    "safety_goal_id",
+    "threat_scenario_id",
+]

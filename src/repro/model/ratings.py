@@ -232,3 +232,16 @@ class CalLevel(enum.IntEnum):
     CAL2 = 2
     CAL3 = 3
     CAL4 = 4
+
+
+__all__ = [
+    "Asil",
+    "CalLevel",
+    "Controllability",
+    "Exposure",
+    "FailureMode",
+    "FeasibilityRating",
+    "ImpactRating",
+    "RiskLevel",
+    "Severity",
+]

@@ -187,3 +187,11 @@ class SafetyConcern:
     def asil(self) -> Asil:
         """The ASIL inherited from the underlying safety goal."""
         return self.goal.asil
+
+
+__all__ = [
+    "HazardRating",
+    "SafetyConcern",
+    "SafetyGoal",
+    "VehicleFunction",
+]

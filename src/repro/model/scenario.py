@@ -86,3 +86,9 @@ class Scenario:
         return dataclasses.replace(
             self, sub_scenarios=self.sub_scenarios + (sub,)
         )
+
+
+__all__ = [
+    "Scenario",
+    "SubScenario",
+]

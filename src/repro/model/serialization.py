@@ -355,3 +355,25 @@ def attack_description_from_dict(payload: dict[str, Any]) -> AttackDescription:
         implementation_comments=payload.get("implementation_comments", ""),
         category=category,
     )
+
+
+__all__ = [
+    "asset_from_dict",
+    "asset_to_dict",
+    "attack_description_from_dict",
+    "attack_description_to_dict",
+    "attack_type_from_dict",
+    "attack_type_to_dict",
+    "hazard_rating_from_dict",
+    "hazard_rating_to_dict",
+    "safety_concern_from_dict",
+    "safety_concern_to_dict",
+    "safety_goal_from_dict",
+    "safety_goal_to_dict",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "threat_scenario_from_dict",
+    "threat_scenario_to_dict",
+    "vehicle_function_from_dict",
+    "vehicle_function_to_dict",
+]

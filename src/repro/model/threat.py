@@ -142,3 +142,10 @@ class ThreatScenario:
     def describes(self, stride: StrideType) -> bool:
         """True when this threat scenario maps to ``stride``."""
         return stride in self.stride
+
+
+__all__ = [
+    "AttackType",
+    "StrideType",
+    "ThreatScenario",
+]

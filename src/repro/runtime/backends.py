@@ -32,7 +32,15 @@ import multiprocessing
 import os
 import threading
 from concurrent import futures as _futures
-from typing import Any, Callable, Iterable, Iterator, Protocol, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.errors import ValidationError
 
@@ -76,7 +84,9 @@ def default_start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
-def mp_context(start_method: str | None = None):
+def mp_context(
+    start_method: str | None = None,
+) -> multiprocessing.context.BaseContext:
     """A :mod:`multiprocessing` context for ``start_method``.
 
     Exposed so tests and tools that need a raw context (e.g. probing
@@ -120,7 +130,11 @@ def in_worker_process() -> bool:
     return _IN_WORKER_PROCESS
 
 
-def _process_worker_init(sequence, initializer, initargs) -> None:
+def _process_worker_init(
+    sequence: Any,
+    initializer: Callable[..., None] | None,
+    initargs: tuple[Any, ...],
+) -> None:
     """Pool-process startup: claim a worker index, then the user hook."""
     global _WORKER_INDEX, _IN_WORKER_PROCESS
     with sequence.get_lock():
@@ -131,7 +145,11 @@ def _process_worker_init(sequence, initializer, initargs) -> None:
         initializer(*initargs)
 
 
-def _thread_worker_init(counter, initializer, initargs) -> None:
+def _thread_worker_init(
+    counter: Iterator[int],
+    initializer: Callable[..., None] | None,
+    initargs: tuple[Any, ...],
+) -> None:
     """Pool-thread startup: claim a slot index, then the user hook."""
     _thread_state.index = next(counter)
     if initializer is not None:
@@ -493,7 +511,7 @@ def backend_from_spec(
     return backend
 
 
-def _int_env(environ, variable: str) -> int | None:
+def _int_env(environ: Mapping[str, str], variable: str) -> int | None:
     text = environ.get(variable, "").strip()
     if not text:
         return None
@@ -505,7 +523,9 @@ def _int_env(environ, variable: str) -> int | None:
         ) from None
 
 
-def backend_from_env(environ=None) -> ExecutionBackend:
+def backend_from_env(
+    environ: Mapping[str, str] | None = None,
+) -> ExecutionBackend:
     """Build a backend from ``REPRO_BACKEND`` / ``REPRO_JOBS`` /
     ``REPRO_BATCH_SIZE``.
 

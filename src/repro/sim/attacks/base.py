@@ -58,3 +58,8 @@ class AttackInjector(abc.ABC):
             raise SimulationError(
                 f"attack {self.name!r}: duration must be positive"
             )
+
+
+__all__ = [
+    "AttackInjector",
+]

@@ -105,3 +105,8 @@ class FloodingAttack(AttackInjector):
             assert self._keystore is not None
             message = message.signed(self._keystore)
         self._emit(message)
+
+
+__all__ = [
+    "FloodingAttack",
+]

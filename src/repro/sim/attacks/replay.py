@@ -145,3 +145,9 @@ class EavesdropAttack(AttackInjector):
         return tuple(
             time for time, observed, __ in self.observations if observed == kind
         )
+
+
+__all__ = [
+    "EavesdropAttack",
+    "ReplayAttack",
+]

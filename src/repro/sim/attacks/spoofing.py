@@ -164,3 +164,9 @@ class KeyForgeryAttack(AttackInjector):
             return f"KEY-{self._rng.randint(0, 99999):05d}"
         base = int(self.known_valid_id.rsplit("-", 1)[1])
         return f"KEY-{base + index + 1}"
+
+
+__all__ = [
+    "KeyForgeryAttack",
+    "SpoofingAttack",
+]

@@ -113,3 +113,10 @@ class JammingAttack(AttackInjector):
         self._mark_start()
         self.channel.jam(self.duration_ms)
         self._clock.schedule(self.duration_ms, self._mark_end)
+
+
+__all__ = [
+    "JammingAttack",
+    "PayloadMutator",
+    "TamperingAttack",
+]

@@ -101,3 +101,9 @@ class ReplayGuard(SecurityControl):
 
     def reset(self) -> None:
         self._seen.clear()
+
+
+__all__ = [
+    "IdWhitelist",
+    "ReplayGuard",
+]

@@ -75,3 +75,9 @@ class MessageCounterCheck(SecurityControl):
 
     def reset(self) -> None:
         self._last.clear()
+
+
+__all__ = [
+    "MessageCounterCheck",
+    "SenderAuthentication",
+]

@@ -166,3 +166,11 @@ class ControlPipeline:
         for control in self._controls:
             control.reset()
         self._detections.clear()
+
+
+__all__ = [
+    "ControlPipeline",
+    "Decision",
+    "DetectionRecord",
+    "SecurityControl",
+]

@@ -93,3 +93,8 @@ class FloodingDetector(SecurityControl):
         self._history.clear()
         self._blocked_until.clear()
         self._flagged.clear()
+
+
+__all__ = [
+    "FloodingDetector",
+]

@@ -104,3 +104,9 @@ class LocationConsistencyCheck(SecurityControl):
     def expect(self, location: str) -> None:
         """Add a plausible origin location (vehicle moved on)."""
         self.plausible_locations.add(location)
+
+
+__all__ = [
+    "LocationConsistencyCheck",
+    "ValueRangeCheck",
+]

@@ -86,3 +86,9 @@ def linkability(observed_senders: list[str]) -> float:
     for sender in observed_senders:
         counts[sender] = counts.get(sender, 0) + 1
     return max(counts.values()) / len(observed_senders)
+
+
+__all__ = [
+    "PseudonymProvider",
+    "linkability",
+]

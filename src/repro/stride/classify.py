@@ -159,3 +159,10 @@ def _phrase_in(phrase: str, lowered_text: str) -> bool:
     "emanipulat..." does not.
     """
     return re.search(r"\b" + re.escape(phrase), lowered_text) is not None
+
+
+__all__ = [
+    "Classification",
+    "classify",
+    "suggest_stride",
+]

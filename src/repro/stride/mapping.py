@@ -158,3 +158,13 @@ def validate_pair(attack_type: AttackType) -> None:
             "Table IV mapping",
             key=attack_type.name,
         )
+
+
+__all__ = [
+    "STRIDE_ATTACK_TABLE",
+    "all_attack_types",
+    "attack_types_for",
+    "resolve_attack_type",
+    "stride_types_for",
+    "validate_pair",
+]

@@ -175,3 +175,9 @@ class CampaignReport:
             if execution.notes:
                 lines.append(f"         {execution.notes}")
         return "\n".join(lines)
+
+
+__all__ = [
+    "CampaignReport",
+    "TestHarness",
+]

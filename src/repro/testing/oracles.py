@@ -151,3 +151,22 @@ def not_(oracle: Oracle) -> Oracle:
         description=f"NOT ({oracle.description})",
         check=lambda scenario, result: not oracle.evaluate(scenario, result),
     )
+
+
+__all__ = [
+    "Oracle",
+    "OracleFn",
+    "all_of",
+    "any_goal_violated",
+    "any_of",
+    "detection_logged",
+    "door_closed",
+    "door_open",
+    "event_occurred",
+    "goal_violated",
+    "no_event",
+    "no_goal_violated",
+    "not_",
+    "predicate",
+    "service_shut_down",
+]

@@ -139,3 +139,12 @@ class TestExecution:
             attrs=freeze_items(attrs),
             notes=self.notes,
         )
+
+
+__all__ = [
+    "AttackArmer",
+    "ScenarioFactory",
+    "TestCase",
+    "TestExecution",
+    "Verdict",
+]

@@ -172,3 +172,8 @@ class ThreatLibraryBuilder:
         key = (scenario_name, asset_name)
         self._threat_counters[key] = self._threat_counters.get(key, 0) + 1
         return f"{scenario_index}.{asset_index}.{self._threat_counters[key]}"
+
+
+__all__ = [
+    "ThreatLibraryBuilder",
+]

@@ -483,3 +483,17 @@ def table5_rows() -> tuple[tuple[str, str, str, str, str], ...]:
             "on the vehicle.",
         ),
     )
+
+
+__all__ = [
+    "SCENARIO_ADVANCED_ACCESS",
+    "SCENARIO_KEEP_CAR_SECURE",
+    "SCENARIO_ROAD_INTERSECTION",
+    "TS_GATEWAY_DOS",
+    "TS_V2X_SPOOFING",
+    "build_catalog",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table5_rows",
+]

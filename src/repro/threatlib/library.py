@@ -230,3 +230,8 @@ class ThreatLibrary:
             "assets": len(self._assets),
             "threat_scenarios": len(self._threats),
         }
+
+
+__all__ = [
+    "ThreatLibrary",
+]

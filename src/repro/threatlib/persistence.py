@@ -81,3 +81,11 @@ def load_library(path: str | Path) -> ThreatLibrary:
     if not isinstance(payload, dict):
         raise SerializationError(f"{path}: expected a JSON object at top level")
     return library_from_dict(payload)
+
+
+__all__ = [
+    "library_from_dict",
+    "library_to_dict",
+    "load_library",
+    "save_library",
+]

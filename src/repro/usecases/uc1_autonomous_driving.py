@@ -30,7 +30,6 @@ from repro.core.derivation import AttackDeriver, AttackDescriptionSet
 from repro.core.pipeline import SaSeValPipeline
 from repro.dsl.compiler import BindingRegistry
 from repro.hara.analysis import Hara
-from repro.model.attack import AttackCategory
 from repro.model.ratings import (
     Asil,
     Controllability as C,
@@ -796,3 +795,15 @@ DEFINITION = UseCaseDefinition(
     bindings=build_bindings,
     author="UC1 analysis",
 )
+
+
+__all__ = [
+    "DEFINITION",
+    "JUSTIFICATIONS",
+    "USE_CASE_NAME",
+    "build_attacks",
+    "build_bindings",
+    "build_hara",
+    "build_pipeline",
+    "pipeline_builder",
+]

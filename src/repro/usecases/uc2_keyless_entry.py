@@ -741,3 +741,15 @@ DEFINITION = UseCaseDefinition(
     bindings=build_bindings,
     author="UC2 analysis",
 )
+
+
+__all__ = [
+    "DEFINITION",
+    "JUSTIFICATIONS",
+    "USE_CASE_NAME",
+    "build_attacks",
+    "build_bindings",
+    "build_hara",
+    "build_pipeline",
+    "pipeline_builder",
+]

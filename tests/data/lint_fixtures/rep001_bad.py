@@ -1,0 +1,10 @@
+"""REP001 fixture: multiprocessing imported outside repro.runtime."""
+
+import multiprocessing
+from multiprocessing.pool import Pool
+
+
+def spawn_workers(count):
+    context = multiprocessing.get_context("spawn")
+    with Pool(processes=count) as pool:
+        return context, pool

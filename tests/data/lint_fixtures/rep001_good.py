@@ -1,0 +1,5 @@
+"""REP001 fixture: parallelism goes through the backend protocol."""
+
+
+def run_jobs(backend, jobs):
+    return backend.map(jobs)

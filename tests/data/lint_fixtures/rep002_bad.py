@@ -1,0 +1,12 @@
+"""REP002 fixture: unseeded randomness in the deterministic core."""
+
+import random
+from random import Random
+
+
+def jitter():
+    return random.random()
+
+
+def make_rng():
+    return Random()

@@ -1,0 +1,11 @@
+"""REP002 fixture: all randomness derives from an explicit seed."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def jitter(seed):
+    return random.Random(seed=seed).random()

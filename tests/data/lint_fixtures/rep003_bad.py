@@ -1,0 +1,8 @@
+"""REP003 fixture: wall-clock reads in the deterministic core."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time(), datetime.now()

@@ -1,0 +1,9 @@
+"""REP003 fixture: simulated time from the clock, metrics via perf_counter."""
+
+import time
+
+
+def measure(clock, work):
+    started = time.perf_counter()
+    work(clock.now_ms())
+    return time.perf_counter() - started

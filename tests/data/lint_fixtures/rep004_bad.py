@@ -1,0 +1,14 @@
+"""REP004 fixture: mutable default arguments."""
+
+
+def collect(value, bucket=[]):
+    bucket.append(value)
+    return bucket
+
+
+def tally(*, table={}, labels=set()):
+    return table, labels
+
+
+def build(rows=list()):
+    return rows

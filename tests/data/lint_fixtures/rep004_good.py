@@ -1,0 +1,11 @@
+"""REP004 fixture: sentinel defaults, containers built per call."""
+
+
+def collect(value, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(value)
+    return bucket
+
+
+def tally(*, table=None, labels=()):
+    return dict(table or {}), tuple(labels)

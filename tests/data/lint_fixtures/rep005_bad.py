@@ -1,0 +1,8 @@
+"""REP005 fixture: bare except clauses."""
+
+
+def swallow(work):
+    try:
+        return work()
+    except:
+        return None

@@ -1,0 +1,8 @@
+"""REP006 fixture: ``__all__`` lists a name the module never binds."""
+
+
+def exported():
+    return 1
+
+
+__all__ = ["exported", "ghost"]

@@ -1,0 +1,19 @@
+"""REP006 fixture: ``__all__`` present, every entry resolvable.
+
+``maybe_fast`` is bound inside a try/except import gate -- the contract
+counts it, exactly as the import system would.
+"""
+
+try:
+    from json import dumps as maybe_fast
+except ImportError:
+    maybe_fast = None
+
+LIMIT = 3
+
+
+def exported():
+    return LIMIT
+
+
+__all__ = ["LIMIT", "exported", "maybe_fast"]

@@ -1,0 +1,14 @@
+"""REP007 fixture: a lean-mode class reading a topic it never retains."""
+
+
+class RelayScenario:
+    RETAINED_TOPICS = ("radio", "door.state")
+
+    def __init__(self, bus):
+        self.bus = bus
+
+    def verdict(self):
+        # "telemetry.speed" is outside every retained prefix: this read
+        # raises under the campaign's lean counts trace mode.
+        speed = self.bus.events("telemetry.speed")
+        return speed and self.bus.last("door.state")

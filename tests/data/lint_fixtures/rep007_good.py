@@ -1,0 +1,14 @@
+"""REP007 fixture: every literal read is covered by a retained prefix."""
+
+
+class RelayScenario:
+    RETAINED_TOPICS = ("radio", "door.state")
+
+    def __init__(self, bus):
+        self.bus = bus
+        bus.retain("telemetry.speed")
+
+    def verdict(self):
+        frames = self.bus.events("radio.v2x")
+        speed = self.bus.events("telemetry.speed")
+        return frames, speed, self.bus.last("door.state")

@@ -1,0 +1,6 @@
+"""REP008 fixture: print() in library code."""
+
+
+def report(result):
+    print("verdict:", result.verdict)
+    return result

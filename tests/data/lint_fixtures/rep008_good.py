@@ -1,0 +1,5 @@
+"""REP008 fixture: library code returns data instead of printing."""
+
+
+def report(result):
+    return f"verdict: {result.verdict}"

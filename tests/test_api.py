@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.api import Pipeline, PipelineBuilder, UseCaseDefinition, Workspace
+from repro.api import Pipeline, UseCaseDefinition, Workspace
 from repro.errors import CoverageError, ValidationError
 from repro.results import SOURCE_CAMPAIGN, SOURCE_PIPELINE
 from repro.usecases import uc1, uc2

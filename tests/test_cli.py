@@ -127,3 +127,77 @@ class TestCampaign:
     def test_unknown_scenario_errors(self, capsys):
         assert main(["campaign", "--scenario", "uc9-imaginary"]) == 1
         assert "ERROR" in capsys.readouterr().err
+
+
+class TestLint:
+    BAD = "def collect(value, bucket=[]):\n    return bucket\n"
+    GOOD = "def collect(value, bucket=None):\n    return bucket\n"
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(self.GOOD, encoding="utf-8")
+        code = main(["lint", str(target), "--no-spec", "--rules", "REP004"])
+        assert code == 0
+        assert "clean: 0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_two(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(self.BAD, encoding="utf-8")
+        code = main(["lint", str(target), "--no-spec", "--rules", "REP004"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "REP004" in out
+        assert "1 finding(s)" in out
+
+    def test_list_rules_prints_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP004", "REP008"):
+            assert code in out
+
+    def test_json_document_is_schema_stable(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis import validate_lint_payload
+
+        target = tmp_path / "mod.py"
+        target.write_text(self.BAD, encoding="utf-8")
+        code = main([
+            "lint", str(target), "--no-spec", "--rules", "REP004", "--json",
+        ])
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        validate_lint_payload(payload)
+        assert payload["schema"] == "repro.lint/v1"
+        assert payload["counts"] == {"REP004": 1}
+
+    def test_diff_gates_on_new_findings_only(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(self.BAD, encoding="utf-8")
+        base = ["lint", str(target), "--no-spec", "--rules", "REP004"]
+        assert main(base + ["--out", str(tmp_path / "out")]) == 2
+        baseline = tmp_path / "out" / "LINT.json"
+        assert baseline.exists()
+        capsys.readouterr()
+        # Known debt passes the delta gate ...
+        assert main(base + ["--diff", str(baseline)]) == 0
+        assert "no new findings" in capsys.readouterr().out
+        # ... a fresh violation fails it.
+        target.write_text(
+            self.BAD + "\n\ndef fresh(extra={}):\n    return extra\n",
+            encoding="utf-8",
+        )
+        assert main(base + ["--diff", str(baseline)]) == 2
+
+    def test_unknown_rule_code_errors(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(self.GOOD, encoding="utf-8")
+        code = main(["lint", str(target), "--no-spec", "--rules", "REP999"])
+        assert code == 1
+        assert "REP999" in capsys.readouterr().err
+
+    def test_default_surface_is_clean(self, capsys):
+        # The release gate itself: the installed repro package plus the
+        # live registry/DSL spec checks, exactly as CI runs them.
+        assert main(["lint"]) == 0
+        assert "clean: 0 findings" in capsys.readouterr().out

@@ -15,7 +15,6 @@ from repro.core.reporting import (
     render_hara_rating,
     render_hara_summary,
 )
-from repro.core.traceability import TraceMatrix
 from repro.errors import CoverageError, ValidationError
 from repro.hara.analysis import Hara
 from repro.model.ratings import (

@@ -10,7 +10,7 @@ from repro.engine.campaign import (
     run_campaign,
 )
 from repro.engine.registry import default_registry
-from repro.engine.spec import VariantSpec, freeze_params
+from repro.engine.spec import VariantSpec
 from repro.errors import ValidationError
 from repro.sim.attacks import JammingAttack
 from repro.sim.scenarios import ConstructionSiteScenario, KeylessEntryScenario

@@ -4,8 +4,8 @@ import pytest
 
 from repro.engine.kernel import KernelScenario, SimKernel
 from repro.errors import SimulationError
-from repro.sim.can import CanBus, make_frame
-from repro.sim.network import Channel, Medium, Message
+from repro.sim.can import make_frame
+from repro.sim.network import Medium
 from repro.sim.scenarios import ConstructionSiteScenario, KeylessEntryScenario
 
 

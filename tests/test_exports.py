@@ -1,5 +1,5 @@
-"""Export-completeness contracts for repro.tara, repro.engine,
-repro.runtime and repro.sim.
+"""Export-completeness contracts for repro.analysis, repro.tara,
+repro.engine, repro.runtime and repro.sim.
 
 Every submodule declares ``__all__``; the package re-exports exactly the
 union of its submodules' ``__all__`` lists; and every public top-level
@@ -13,6 +13,7 @@ import pkgutil
 import pytest
 
 PACKAGES = {
+    "repro.analysis": None,  # eager package: the static-verification plane
     "repro.tara": None,  # eager package: names live in vars(package)
     "repro.engine": None,  # lazy package: names resolve via __getattr__
     "repro.runtime": None,  # eager package: the execution layer

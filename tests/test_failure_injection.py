@@ -7,8 +7,6 @@ such faults and check the monitor's verdicts, plus the SUT's graceful
 behaviours (safe stop, idempotency) under them.
 """
 
-import pytest
-
 from repro.sim.ble import DoorState
 from repro.sim.scenarios import (
     ConstructionSiteScenario,

@@ -12,7 +12,7 @@ from repro.core.prioritization import Prioritizer
 from repro.dsl import analyze, format_attacks, parse
 from repro.model.ratings import Asil
 from repro.sim.scenarios import ConstructionSiteScenario, KeylessEntryScenario
-from repro.testing import TestHarness, Verdict
+from repro.testing import TestHarness
 from repro.threatlib.catalog import build_catalog
 from repro.usecases import uc1, uc2
 

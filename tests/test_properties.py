@@ -32,7 +32,6 @@ from repro.model.ratings import (
     Severity,
 )
 from repro.model.safety import SafetyGoal
-from repro.model.threat import StrideType
 from repro.stride.mapping import STRIDE_ATTACK_TABLE, resolve_attack_type
 from repro.tara.risk import determine_risk
 from repro.threatlib.catalog import build_catalog
