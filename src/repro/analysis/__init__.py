@@ -54,6 +54,7 @@ from repro.analysis.rules import (
     PrintInLibraryRule,
     RULE_TYPES,
     RetainedTopicRule,
+    ServiceIsolationRule,
     UnseededRandomnessRule,
     WallClockRule,
     default_rules,
@@ -86,6 +87,7 @@ __all__ = [
     "RetainedTopicRule",
     "Rule",
     "SEVERITIES",
+    "ServiceIsolationRule",
     "Suppression",
     "UnseededRandomnessRule",
     "WallClockRule",

@@ -23,7 +23,10 @@ from repro.analysis.rules.hygiene import (
     MutableDefaultRule,
     PrintInLibraryRule,
 )
-from repro.analysis.rules.isolation import MultiprocessingIsolationRule
+from repro.analysis.rules.isolation import (
+    MultiprocessingIsolationRule,
+    ServiceIsolationRule,
+)
 from repro.analysis.rules.topics import RetainedTopicRule
 
 from repro.errors import ValidationError
@@ -38,6 +41,7 @@ RULE_TYPES: tuple[type, ...] = (
     ExportContractRule,            # REP006
     RetainedTopicRule,             # REP007
     PrintInLibraryRule,            # REP008
+    ServiceIsolationRule,          # REP009
 )
 
 
@@ -80,6 +84,7 @@ __all__ = [
     "PrintInLibraryRule",
     "RULE_TYPES",
     "RetainedTopicRule",
+    "ServiceIsolationRule",
     "UnseededRandomnessRule",
     "WallClockRule",
     "default_rules",

@@ -1,4 +1,4 @@
-"""Runtime-isolation invariant: REP001.
+"""Subsystem-isolation invariants: REP001 and REP009.
 
 :mod:`repro.runtime` is, by architectural contract (PR 3), the **only**
 module allowed to touch :mod:`multiprocessing`: it owns start-method
@@ -6,6 +6,14 @@ selection, worker seeding and pickling discipline.  A second
 multiprocessing import site would fork its own undisciplined workers and
 break the deterministic per-job seed derivation the golden-verdict
 parity gate relies on.
+
+The same shape of contract scopes the campaign service plane (PR 8):
+:mod:`repro.service` is the only package allowed to import socket and
+server machinery (``socket``, ``socketserver``, ``asyncio``,
+``selectors``, ``http``).  Everything else talks to a daemon through
+:class:`~repro.service.ServiceClient`, so the engine stays a pure
+library -- importable, testable and picklable without ever owning a
+port.
 """
 
 from __future__ import annotations
@@ -58,4 +66,51 @@ class MultiprocessingIsolationRule:
         )
 
 
-__all__ = ["MultiprocessingIsolationRule"]
+#: The one package allowed to import socket/server machinery.
+_SERVICE_PACKAGE = "repro.service"
+
+#: Top-level modules that constitute "socket/server machinery".
+_SERVER_MODULES = frozenset(
+    {"socket", "socketserver", "asyncio", "selectors", "http"}
+)
+
+
+class ServiceIsolationRule:
+    """REP009: socket/server imports only inside ``repro.service``."""
+
+    code = "REP009"
+    name = "server-machinery-outside-service"
+    summary = (
+        "only repro.service may import socket/asyncio/server modules; "
+        "every other module talks to a daemon through ServiceClient"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        if module.in_package(_SERVICE_PACKAGE):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._is_server_module(alias.name):
+                        yield self._finding(module, node, alias.name)
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and self._is_server_module(node.module):
+                    yield self._finding(module, node, node.module)
+
+    @staticmethod
+    def _is_server_module(dotted: str) -> bool:
+        return dotted.split(".", 1)[0] in _SERVER_MODULES
+
+    def _finding(
+        self, module: ModuleUnderLint, node: ast.AST, name: str
+    ) -> Finding:
+        return module.finding(
+            self.code,
+            f"{name.split('.', 1)[0]} import outside repro.service (talk "
+            "to the campaign daemon through ServiceClient instead)",
+            node=node,
+        )
+
+
+__all__ = ["MultiprocessingIsolationRule", "ServiceIsolationRule"]

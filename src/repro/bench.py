@@ -232,6 +232,102 @@ def records_from_pytest_benchmark(
     return tuple(records)
 
 
+# -- append-only bench history (`repro bench --history`) ----------------------
+
+#: Schema tag of every ``BENCH_HISTORY.jsonl`` line.
+HISTORY_SCHEMA = "repro.bench-history/v1"
+
+
+def history_entry_payload(
+    results: Mapping[str, Iterable[BenchRecord]],
+    meta: Mapping[str, str] | None = None,
+) -> dict[str, Any]:
+    """One (validated) history line for a multi-suite bench run."""
+    payload = {
+        "schema": HISTORY_SCHEMA,
+        "suites": {
+            name: [record.to_payload() for record in records]
+            for name, records in results.items()
+        },
+        "meta": {key: str(value) for key, value in (meta or {}).items()},
+    }
+    for records in payload["suites"].values():
+        for record in records:
+            validate_record(record)
+    return payload
+
+
+def append_history(
+    path: str | Path,
+    results: Mapping[str, Iterable[BenchRecord]],
+    meta: Mapping[str, str] | None = None,
+) -> Path:
+    """Append one run's records to an append-only JSONL history file.
+
+    One line per bench run (all suites of that run together), flushed on
+    write -- the file only ever grows, so the perf trajectory is visible
+    commit over commit with plain ``git log -p`` or a one-line reader.
+    """
+    path = Path(path)
+    entry = history_entry_payload(results, meta)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=False) + "\n")
+        handle.flush()
+    return path
+
+
+def load_history(path: str | Path) -> list[dict[str, Any]]:
+    """Every entry of a history file, oldest first.
+
+    A torn final line (writer killed mid-append) is tolerated; any other
+    malformed line raises.
+
+    Raises:
+        ValidationError: for malformed or schema-mismatched entries.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: list[dict[str, Any]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                continue
+            raise ValidationError(
+                f"{path}:{lineno}: undecodable history line: {exc}"
+            ) from exc
+        if entry.get("schema") != HISTORY_SCHEMA:
+            raise ValidationError(
+                f"{path}:{lineno}: history schema mismatch: got "
+                f"{entry.get('schema')!r}, expected {HISTORY_SCHEMA!r}"
+            )
+        entries.append(entry)
+    return entries
+
+
+def latest_history_records(
+    path: str | Path,
+) -> dict[str, list[BenchRecord]]:
+    """The most recent history entry's records, by suite.
+
+    Raises:
+        ValidationError: for an empty or missing history file.
+    """
+    entries = load_history(path)
+    if not entries:
+        raise ValidationError(f"bench history {path} has no entries yet")
+    return {
+        name: [BenchRecord.from_payload(record) for record in records]
+        for name, records in entries[-1].get("suites", {}).items()
+    }
+
+
 # -- baseline comparison (`repro bench --compare`) ----------------------------
 
 #: Throughput regressions below ``1 - threshold/100`` of baseline fail.
@@ -339,24 +435,41 @@ def compare_records(
     return deltas
 
 
+def load_baseline(path: str | Path) -> dict[str, list[BenchRecord]]:
+    """Baseline records by suite, from either baseline format.
+
+    A ``.jsonl`` path is read as an append-only history file
+    (:func:`load_history`) and yields the **latest** entry's suites; any
+    other path is a single-suite ``BENCH_<suite>.json`` document.
+    """
+    if str(path).endswith(".jsonl"):
+        return latest_history_records(path)
+    suite, records = load_bench_file(path)
+    return {suite: records}
+
+
 def compare_against_baseline(
     baseline_path: str | Path,
     threshold_pct: float = DEFAULT_REGRESSION_THRESHOLD_PCT,
     out_dir: str | Path | None = None,
 ) -> tuple[list[MetricDelta], list[BenchRecord]]:
-    """Run a baseline file's suite fresh and diff the throughputs.
+    """Run a baseline's suite(s) fresh and diff the throughputs.
 
-    Returns ``(deltas, fresh_records)``; the caller decides how to
-    report (the CLI prints each delta and exits non-zero when any
-    ``regressed``).
+    The baseline is a ``BENCH_<suite>.json`` file or a
+    ``BENCH_HISTORY.jsonl`` history (whose latest entry -- possibly
+    spanning several suites -- is the baseline).  Returns ``(deltas,
+    fresh_records)``; the caller decides how to report (the CLI prints
+    each delta and exits non-zero when any ``regressed``).
     """
-    suite, baseline_records = load_bench_file(baseline_path)
-    results, _paths = run_suites([suite], out_dir=out_dir)
-    fresh = results[suite]
-    return (
-        compare_records(baseline_records, fresh, threshold_pct),
-        fresh,
-    )
+    baseline = load_baseline(baseline_path)
+    results, _paths = run_suites(sorted(baseline), out_dir=out_dir)
+    deltas: list[MetricDelta] = []
+    fresh_all: list[BenchRecord] = []
+    for suite in sorted(baseline):
+        fresh = results[suite]
+        deltas.extend(compare_records(baseline[suite], fresh, threshold_pct))
+        fresh_all.extend(fresh)
+    return deltas, fresh_all
 
 
 # -- built-in suites (the `repro bench` command) ------------------------------
@@ -1025,6 +1138,142 @@ def bench_kernel() -> list[BenchRecord]:
     return records
 
 
+def bench_service() -> list[BenchRecord]:
+    """The campaign service plane: wire latency, cold vs warm campaigns.
+
+    Spins up a real :class:`~repro.service.CampaignDaemon` (loopback
+    socket, journal-backed memo store in a temp dir) and measures:
+
+    * ``wire_roundtrip`` -- ping requests per second (connection +
+      JSON-line round trip, no campaign work);
+    * ``campaign_cold`` -- a heavyweight uc1 control-ablation campaign
+      submitted to an empty memo store, verdict-checked against an
+      in-process serial run of the same variants;
+    * ``campaign_warm`` -- the identical resubmission: every variant
+      must be a memo hit, verdicts must not move, and the acceptance
+      gate requires ``warm_speedup >= 10`` (resubmission at least 10x
+      faster than the cold run);
+    * ``submissions_per_s`` -- small warm submissions accepted and
+      completed per second (scheduler + memo, no execution).
+    """
+    import tempfile
+
+    from repro.engine.campaign import run_campaign
+    from repro.engine.registry import default_registry
+    from repro.service import CampaignDaemon, ServiceClient
+
+    records: list[BenchRecord] = []
+    variants = default_registry().variants(
+        scenario="uc1-construction-site", family="control-ablation"
+    )
+    reference = run_campaign(variants, backend="serial")
+    ref_verdicts = [outcome.verdict for outcome in reference.outcomes]
+    with tempfile.TemporaryDirectory() as tmp:
+        with CampaignDaemon(memo_dir=tmp, shards=2, workers=2).start() as daemon:
+            client = ServiceClient(daemon.port)
+
+            pings = 50
+            _, ping_s = _timed(
+                lambda: [client.ping() for _ in range(pings)]
+            )
+            records.append(
+                BenchRecord(
+                    suite="service",
+                    name="wire_roundtrip",
+                    metrics=freeze_items(
+                        {
+                            "requests": pings,
+                            "wall_s": ping_s,
+                            "requests_per_s": pings / max(ping_s, 1e-9),
+                        }
+                    ),
+                )
+            )
+
+            (cold_outcomes, cold_summary), cold_s = _timed(
+                lambda: client.submit(variants)
+            )
+            cold_parity = [
+                outcome.verdict for outcome in cold_outcomes
+            ] == ref_verdicts
+            records.append(
+                BenchRecord(
+                    suite="service",
+                    name="campaign_cold",
+                    status=(
+                        "ok"
+                        if cold_parity and cold_summary["cached"] == 0
+                        else "failed"
+                    ),
+                    metrics=freeze_items(
+                        {
+                            "variants": len(variants),
+                            "wall_s": cold_s,
+                            "memo_hits": cold_summary["cached"],
+                            "verdict_parity": 1 if cold_parity else 0,
+                        }
+                    ),
+                )
+            )
+
+            (warm_outcomes, warm_summary), warm_s = _timed(
+                lambda: client.submit(variants)
+            )
+            warm_parity = [
+                outcome.verdict for outcome in warm_outcomes
+            ] == ref_verdicts
+            hits = warm_summary["cached"]
+            warm_speedup = cold_s / max(warm_s, 1e-9)
+            hit_rate = hits / max(len(variants), 1)
+            all_hit = hits == len(variants)
+            records.append(
+                BenchRecord(
+                    suite="service",
+                    name="campaign_warm",
+                    # The acceptance gate: a warm resubmission must be
+                    # >= 10x faster than cold, fully memo-served, and
+                    # verdict-identical.
+                    status=(
+                        "ok"
+                        if warm_parity and all_hit and warm_speedup >= 10.0
+                        else "failed"
+                    ),
+                    metrics=freeze_items(
+                        {
+                            "variants": len(variants),
+                            "wall_s": warm_s,
+                            "memo_hits": hits,
+                            "memo_hit_rate": hit_rate,
+                            "warm_speedup": warm_speedup,
+                            "verdict_parity": 1 if warm_parity else 0,
+                        }
+                    ),
+                )
+            )
+
+            small = variants[:2]
+            submissions = 20
+            _, subs_s = _timed(
+                lambda: [client.submit(small) for _ in range(submissions)]
+            )
+            records.append(
+                BenchRecord(
+                    suite="service",
+                    name="submission_throughput",
+                    metrics=freeze_items(
+                        {
+                            "submissions": submissions,
+                            "variants_each": len(small),
+                            "wall_s": subs_s,
+                            "submissions_per_s": submissions
+                            / max(subs_s, 1e-9),
+                        }
+                    ),
+                )
+            )
+    return records
+
+
 #: The built-in suites ``repro bench`` runs, in execution order.
 BENCH_SUITES: dict[str, Callable[[], list[BenchRecord]]] = {
     "rq1": bench_rq1,
@@ -1033,6 +1282,7 @@ BENCH_SUITES: dict[str, Callable[[], list[BenchRecord]]] = {
     "backends": bench_backends,
     "fleet": bench_fleet,
     "kernel": bench_kernel,
+    "service": bench_service,
 }
 
 
@@ -1070,8 +1320,10 @@ __all__ = [
     "BENCH_SUITES",
     "BenchRecord",
     "DEFAULT_REGRESSION_THRESHOLD_PCT",
+    "HISTORY_SCHEMA",
     "MetricDelta",
     "STATUSES",
+    "append_history",
     "bench_backends",
     "bench_file_payload",
     "bench_fleet",
@@ -1079,11 +1331,16 @@ __all__ = [
     "bench_rq1",
     "bench_rq2",
     "bench_scalability",
+    "bench_service",
     "compare_against_baseline",
     "compare_records",
     "fleet_variants_of_size",
+    "history_entry_payload",
     "is_throughput_metric",
+    "latest_history_records",
+    "load_baseline",
     "load_bench_file",
+    "load_history",
     "records_from_pytest_benchmark",
     "run_suites",
     "validate_bench_payload",

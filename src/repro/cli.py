@@ -21,6 +21,11 @@ Usage (also via ``python -m repro``)::
     repro bench backends --json       # serial vs thread vs process speedup
     repro bench --suite rq1 --out .   # write BENCH_rq1.json
     repro bench --compare BENCH_rq1.json --threshold 15   # perf gate
+    repro bench --history BENCH_HISTORY.jsonl   # append-only perf trajectory
+    repro bench --compare BENCH_HISTORY.jsonl   # gate vs the latest entry
+    repro serve --port-file daemon.port --memo-dir .memo  # campaign daemon
+    repro submit --port-file daemon.port --family coverage  # stream verdicts
+    repro status --port-file daemon.port        # scheduler + memo health
     repro lint                        # static verification plane (src + registry + DSL)
     repro lint --json --out lint-out  # schema-stable LINT.json for CI
     repro lint --list-rules           # the codified invariant catalog
@@ -343,6 +348,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         results, paths = run_suites(
             selected or None, out_dir=args.out
         )
+        if args.history is not None:
+            from repro.bench import append_history
+
+            history_path = append_history(args.history, results)
     except (ReproError, OSError) as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
         return 1
@@ -368,6 +377,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(f"[{record.status:6s}] {name}/{record.name}  {metrics}")
         for path in paths:
             print(f"wrote {path}")
+        if args.history is not None:
+            print(f"appended history entry to {history_path}")
     failed = any(
         not record.ok for records in results.values() for record in records
     )
@@ -437,6 +448,138 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if args.out is not None:
             print(f"wrote {path}")
     return 2 if findings else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent campaign daemon (blocks until stopped)."""
+    import logging
+
+    from repro.service import CampaignDaemon
+
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+    try:
+        daemon = CampaignDaemon(
+            host=args.host,
+            port=args.port,
+            memo_dir=args.memo_dir,
+            shards=args.shards,
+            workers=args.workers,
+            port_file=args.port_file,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    print(f"serving on {daemon.host}:{daemon.port} (ctrl-c to stop)")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.stop()
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    """A ``ServiceClient`` from ``--port``/``--port-file`` arguments."""
+    from repro.service import ServiceClient
+
+    if args.port_file is not None:
+        return ServiceClient.from_port_file(args.port_file, args.host)
+    if args.port is not None:
+        return ServiceClient(args.port, args.host)
+    raise SystemExit("pass --port or --port-file to find the daemon")
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a variant selection to a running daemon; stream verdicts."""
+    from repro.service import ServiceError
+
+    select = {
+        key: value
+        for key, value in {
+            "scenario": args.scenario,
+            "family": args.family,
+            "attack": args.attack,
+            "limit": args.limit,
+            "use_case": args.usecase,
+        }.items()
+        if value is not None
+    }
+    outcomes = []
+    summary = {}
+    try:
+        client = _service_client(args)
+        for kind, key, payload in client.submit_stream(select=select):
+            if kind == "accepted":
+                print(f"accepted {key}: {payload} variant(s)")
+            elif kind == "outcome":
+                outcomes.append(payload)
+                marker = (
+                    "ERR!" if payload.is_error
+                    else "PASS" if payload.sut_passed
+                    else "FAIL"
+                )
+                cached = " (cached)" if payload.from_cache else ""
+                print(f"  [{marker}] {payload.variant_id}{cached}")
+            else:
+                summary = payload
+    except ServiceError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        import dataclasses
+
+        print(json.dumps(
+            {
+                "summary": summary,
+                "outcomes": [dataclasses.asdict(o) for o in outcomes],
+            },
+            indent=2,
+        ))
+    else:
+        print(
+            f"done: {summary.get('completed', 0)}/{summary.get('total', 0)} "
+            f"completed, {summary.get('cached', 0)} cached, "
+            f"{summary.get('errors', 0)} error(s)"
+        )
+    return 2 if summary.get("errors") else 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Query a running daemon's scheduler + memo store health."""
+    from repro.service import ServiceError
+
+    try:
+        status = _service_client(args).status()
+    except ServiceError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2))
+        return 0
+    scheduler = status.get("scheduler", {})
+    memo = status.get("memo", {})
+    print(
+        f"daemon pid {status.get('pid')}, up {status.get('uptime_s', 0):.0f}s"
+    )
+    print(
+        f"  scheduler: {scheduler.get('workers')} worker(s) over "
+        f"{scheduler.get('shards')} shard(s), "
+        f"{scheduler.get('queued_units')} unit(s) queued, "
+        f"{scheduler.get('executed')} executed, "
+        f"{scheduler.get('stolen_units')} stolen"
+    )
+    print(
+        f"  submissions: {scheduler.get('active_submissions')} active / "
+        f"{scheduler.get('total_submissions')} total"
+    )
+    print(
+        f"  memo: {memo.get('entries')} entries, {memo.get('hits')} hits / "
+        f"{memo.get('misses')} misses ({memo.get('path') or 'in-memory'})"
+    )
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -582,15 +725,111 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="enumerate the known suites"
     )
     bench.add_argument(
-        "--compare", metavar="BASELINE.json", default=None,
-        help="re-run the baseline file's suite and exit non-zero when "
-        "any throughput metric regresses past --threshold",
+        "--compare", metavar="BASELINE", default=None,
+        help="re-run the baseline's suite(s) and exit non-zero when any "
+        "throughput metric regresses past --threshold; BASELINE is a "
+        "BENCH_<suite>.json file or a .jsonl history (latest entry)",
     )
     bench.add_argument(
         "--threshold", type=float, default=20.0, metavar="PCT",
         help="allowed throughput regression in percent (default 20)",
     )
+    bench.add_argument(
+        "--history", metavar="HISTORY.jsonl", default=None,
+        help="append this run's records to an append-only JSONL history "
+        "(the commit-over-commit perf trajectory)",
+    )
     bench.set_defaults(handler=cmd_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the persistent campaign daemon (memoised, sharded)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (loopback only by design; default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick an ephemeral port; publish it "
+        "with --port-file)",
+    )
+    serve.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="write the bound port here so clients can find the daemon",
+    )
+    serve.add_argument(
+        "--memo-dir", metavar="DIR", default=None,
+        help="journal directory for the content-addressed memo store "
+        "(enables crash recovery; default: in-memory only)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2,
+        help="scheduler work shards (default 2)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker threads (default: one per shard)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="debug-level daemon logs"
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit a variant selection to a running daemon",
+    )
+    submit.add_argument(
+        "--port", type=int, default=None, help="the daemon's TCP port"
+    )
+    submit.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="read the daemon's port from this file (see serve)",
+    )
+    submit.add_argument(
+        "--host", default="127.0.0.1", help="the daemon's host"
+    )
+    submit.add_argument(
+        "--scenario", help="only this scenario (e.g. uc1-construction-site)"
+    )
+    submit.add_argument(
+        "--usecase", choices=("uc1", "uc2"), default=None,
+        help="only scenarios of this use case",
+    )
+    submit.add_argument(
+        "--family", help="only this variant family (e.g. coverage)"
+    )
+    submit.add_argument(
+        "--attack", help="only variants of this attack"
+    )
+    submit.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the number of variants submitted",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    submit.set_defaults(handler=cmd_submit)
+
+    status = commands.add_parser(
+        "status",
+        help="query a running daemon's scheduler + memo health",
+    )
+    status.add_argument(
+        "--port", type=int, default=None, help="the daemon's TCP port"
+    )
+    status.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="read the daemon's port from this file (see serve)",
+    )
+    status.add_argument(
+        "--host", default="127.0.0.1", help="the daemon's host"
+    )
+    status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    status.set_defaults(handler=cmd_status)
 
     lint = commands.add_parser(
         "lint",
@@ -648,6 +887,9 @@ __all__ = [
     "cmd_lint",
     "cmd_report",
     "cmd_run",
+    "cmd_serve",
+    "cmd_status",
+    "cmd_submit",
     "cmd_trace",
     "cmd_validate",
     "main",

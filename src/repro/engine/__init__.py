@@ -63,10 +63,12 @@ _EXPORTS = {
     "execute_batch_in_process": "repro.engine.batch",
     "run_batch_payload": "repro.engine.batch",
     "CAMPAIGN_TRACE_MODE": "repro.engine.campaign",
+    "CampaignMemo": "repro.engine.campaign",
     "CampaignRunner": "repro.engine.campaign",
     "CampaignResult": "repro.engine.campaign",
     "ERROR_VERDICT": "repro.engine.campaign",
     "VariantOutcome": "repro.engine.campaign",
+    "error_outcome": "repro.engine.campaign",
     "execute_variant": "repro.engine.campaign",
     "iter_campaign": "repro.engine.campaign",
     "run_campaign": "repro.engine.campaign",

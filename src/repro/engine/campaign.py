@@ -30,7 +30,15 @@ import dataclasses
 import functools
 import time
 import warnings
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.engine.attacks import arm_catalog_attack
 from repro.engine.registry import ScenarioRegistry, default_registry
@@ -90,6 +98,9 @@ class VariantOutcome:
     duration_ms: float
     wall_time_s: float
     notes: str = ""
+    #: True when this outcome was served from a content-addressed memo
+    #: store (:mod:`repro.service.memo`) instead of being re-executed.
+    from_cache: bool = False
 
     @property
     def sut_passed(self) -> bool:
@@ -131,6 +142,8 @@ class VariantOutcome:
             attrs["attack"] = self.attack
         if self.is_error and "error_type" in self.stats:
             attrs["error_type"] = str(self.stats["error_type"])
+        if self.from_cache:
+            attrs["cached"] = "true"
         return RunRecord(
             source=SOURCE_CAMPAIGN,
             subject=self.variant_id,
@@ -328,6 +341,11 @@ class CampaignResult:
         """Number of executed variants."""
         return len(self.outcomes)
 
+    @property
+    def memo_hits(self) -> int:
+        """Outcomes served from a memo store instead of re-executed."""
+        return sum(1 for outcome in self.outcomes if outcome.from_cache)
+
     def counts(self) -> dict[str, int]:
         """Outcome counts by verdict name."""
         counts: dict[str, int] = {}
@@ -370,6 +388,7 @@ class CampaignResult:
             "backend": self.backend,
             "cancelled": self.cancelled,
             "errors": len(self.errors()),
+            "memo_hits": self.memo_hits,
             "wall_time_s": round(self.wall_time_s, 3),
             "verdicts": self.counts(),
             "families": {
@@ -425,10 +444,13 @@ class CampaignResult:
         return "\n".join(lines)
 
 
-def _error_outcome(
-    variant: VariantSpec, error: JobError, wall_time_s: float
+def error_outcome(
+    variant: VariantSpec, error: JobError, wall_time_s: float = 0.0
 ) -> VariantOutcome:
-    """A tagged ``ERROR`` outcome for a variant whose execution raised."""
+    """A tagged ``ERROR`` outcome for a variant whose execution raised.
+
+    Public so out-of-band executors (the service scheduler) report
+    failures in exactly the shape ``on_error="record"`` produces."""
     return VariantOutcome(
         variant_id=variant.variant_id,
         scenario=variant.scenario,
@@ -444,6 +466,33 @@ def _error_outcome(
         wall_time_s=wall_time_s,
         notes=f"{error.type}: {error.message}",
     )
+
+
+#: Backwards-compatible private alias (pre-service-plane name).
+_error_outcome = error_outcome
+
+
+@runtime_checkable
+class CampaignMemo(Protocol):
+    """The duck type ``iter_campaign``'s ``memo=`` parameter accepts.
+
+    :class:`repro.service.MemoStore` is the production implementation;
+    the engine deliberately depends only on this two-method shape so it
+    never imports the service plane (layering: service -> engine, not
+    back).  ``lookup`` returns a cached outcome (marked ``from_cache``)
+    or ``None``; ``record`` observes each freshly-executed outcome.
+    """
+
+    def lookup(
+        self, variant: VariantSpec, trace_mode: str | None = None
+    ) -> VariantOutcome | None: ...
+
+    def record(
+        self,
+        variant: VariantSpec,
+        outcome: VariantOutcome,
+        trace_mode: str | None = None,
+    ) -> None: ...
 
 
 def _resolve_backend(
@@ -495,6 +544,7 @@ def iter_campaign(
     sink: ResultSink | None = None,
     chunksize: int = 1,
     trace_mode: str = CAMPAIGN_TRACE_MODE,
+    memo: CampaignMemo | None = None,
 ) -> Iterator[VariantOutcome]:
     """Execute ``variants`` on ``backend``; yield outcomes as they finish.
 
@@ -523,6 +573,10 @@ def iter_campaign(
         chunksize: Jobs per backend task (1 streams at finest grain).
         trace_mode: Scenario event-trace mode (lean ``"counts"`` by
             default; ``"full"`` retains complete traces).
+        memo: Optional :class:`CampaignMemo` (e.g.
+            :class:`repro.service.MemoStore`): variants it already knows
+            are yielded instantly as ``from_cache`` outcomes and never
+            re-executed; fresh outcomes are recorded back into it.
     """
     for _index, outcome in _iter_campaign_indexed(
         variants,
@@ -534,6 +588,7 @@ def iter_campaign(
         sink=sink,
         chunksize=chunksize,
         trace_mode=trace_mode,
+        memo=memo,
     ):
         yield outcome
 
@@ -549,6 +604,7 @@ def _iter_campaign_indexed(
     sink: ResultSink | None = None,
     chunksize: int = 1,
     trace_mode: str = CAMPAIGN_TRACE_MODE,
+    memo: CampaignMemo | None = None,
 ) -> Iterator[tuple[int, VariantOutcome]]:
     """:func:`iter_campaign` plus each outcome's input position, so
     aggregators can restore exact submission order even when variant ids
@@ -575,49 +631,72 @@ def _iter_campaign_indexed(
             "thread): process workers resolve variants against the default "
             "registry"
         )
-    runtime = Runtime(backend, on_event=on_event, cancel=cancel)
-    batch_size = getattr(backend, "batch_size", None)
-    if batch_size is not None:
-        # A BatchedBackend: group same-family variants and ship whole
-        # batches, amortising shared setup per batch.  Seeds still derive
-        # from each variant's original index, so verdicts do not move.
-        from repro.engine.batch import (
-            BatchPlan,
-            execute_batch_in_process,
-            run_batch_payload,
-        )
-
-        plan = BatchPlan.plan(variant_list, batch_size)
-        if backend.shares_memory:
-            batch_fn = functools.partial(
-                execute_batch_in_process,
-                registry=registry,
-                trace_mode=trace_mode,
-            )
-            batches = [(batch.context(), batch.jobs()) for batch in plan]
-        else:
-            batch_fn = functools.partial(
-                run_batch_payload, trace_mode=trace_mode
-            )
-            batches = [
-                (batch.context(), batch.jobs(as_payload=True))
-                for batch in plan
-            ]
-        stream = runtime.map_batches(batch_fn, batches)
-    elif backend.shares_memory:
-        fn: Callable[[Any], Any] = functools.partial(
-            _execute_in_process, registry=registry, trace_mode=trace_mode
-        )
-        stream = runtime.map(fn, variant_list, chunksize=chunksize)
-    else:
-        fn = functools.partial(_run_payload, trace_mode=trace_mode)
-        stream = runtime.map(
-            fn,
-            [variant.to_payload() for variant in variant_list],
-            chunksize=chunksize,
-        )
+    # Memo filtering: serve cache hits immediately, submit only misses.
+    # Verdicts cannot move under this split -- variant execution never
+    # consumes the runtime's per-index seed (``seeded=False`` throughout),
+    # so re-indexing the submitted subset changes nothing observable; the
+    # ``positions`` remap restores every outcome's original input index.
+    submit_variants = variant_list
+    positions = range(len(variant_list))
+    cached: list[tuple[int, VariantOutcome]] = []
+    if memo is not None:
+        submit_variants, remap = [], []
+        for index, variant in enumerate(variant_list):
+            hit = memo.lookup(variant, trace_mode)
+            if hit is not None:
+                cached.append((index, hit))
+            else:
+                submit_variants.append(variant)
+                remap.append(index)
+        positions = remap
     try:
+        for index, outcome in cached:
+            if sink is not None:
+                sink.add(outcome.to_record())
+            yield index, outcome
+        runtime = Runtime(backend, on_event=on_event, cancel=cancel)
+        batch_size = getattr(backend, "batch_size", None)
+        if batch_size is not None:
+            # A BatchedBackend: group same-family variants and ship whole
+            # batches, amortising shared setup per batch.  Seeds still derive
+            # from each variant's original index, so verdicts do not move.
+            from repro.engine.batch import (
+                BatchPlan,
+                execute_batch_in_process,
+                run_batch_payload,
+            )
+
+            plan = BatchPlan.plan(submit_variants, batch_size)
+            if backend.shares_memory:
+                batch_fn = functools.partial(
+                    execute_batch_in_process,
+                    registry=registry,
+                    trace_mode=trace_mode,
+                )
+                batches = [(batch.context(), batch.jobs()) for batch in plan]
+            else:
+                batch_fn = functools.partial(
+                    run_batch_payload, trace_mode=trace_mode
+                )
+                batches = [
+                    (batch.context(), batch.jobs(as_payload=True))
+                    for batch in plan
+                ]
+            stream = runtime.map_batches(batch_fn, batches)
+        elif backend.shares_memory:
+            fn: Callable[[Any], Any] = functools.partial(
+                _execute_in_process, registry=registry, trace_mode=trace_mode
+            )
+            stream = runtime.map(fn, submit_variants, chunksize=chunksize)
+        else:
+            fn = functools.partial(_run_payload, trace_mode=trace_mode)
+            stream = runtime.map(
+                fn,
+                [variant.to_payload() for variant in submit_variants],
+                chunksize=chunksize,
+            )
         for result in stream:
+            variant = submit_variants[result.index]
             if result.ok:
                 value = result.value
                 outcome = (
@@ -625,14 +704,13 @@ def _iter_campaign_indexed(
                     if isinstance(value, VariantOutcome)
                     else VariantOutcome.from_payload(value)
                 )
+                if memo is not None:
+                    memo.record(variant, outcome, trace_mode)
             elif on_error == "record":
-                outcome = _error_outcome(
-                    variant_list[result.index],
-                    result.error,
-                    result.wall_time_s,
+                outcome = error_outcome(
+                    variant, result.error, result.wall_time_s
                 )
             else:
-                variant = variant_list[result.index]
                 raise VariantExecutionError(
                     f"variant {variant.variant_id!r} failed in a "
                     f"{backend.name} worker: {result.error.type}: "
@@ -643,7 +721,7 @@ def _iter_campaign_indexed(
                 )
             if sink is not None:
                 sink.add(outcome.to_record())
-            yield result.index, outcome
+            yield positions[result.index], outcome
     finally:
         if owns_backend:
             backend.shutdown()
@@ -671,6 +749,7 @@ def run_campaign(
     sink: ResultSink | None = None,
     chunksize: int = 1,
     trace_mode: str = CAMPAIGN_TRACE_MODE,
+    memo: CampaignMemo | None = None,
 ) -> CampaignResult:
     """Execute ``variants`` on an execution backend; aggregate outcomes.
 
@@ -704,6 +783,7 @@ def run_campaign(
                 sink=sink,
                 chunksize=chunksize,
                 trace_mode=trace_mode,
+                memo=memo,
             ),
             key=lambda pair: pair[0],
         )
@@ -788,6 +868,7 @@ class CampaignRunner:
         cancel: CancelToken | None = None,
         sink: ResultSink | None = None,
         trace_mode: str = CAMPAIGN_TRACE_MODE,
+        memo: CampaignMemo | None = None,
     ) -> CampaignResult:
         """Run the given (or all) variants on the configured backend."""
         selected = tuple(variants) if variants is not None else self.select()
@@ -802,6 +883,7 @@ class CampaignRunner:
                 cancel=cancel,
                 sink=sink,
                 trace_mode=trace_mode,
+                memo=memo,
             )
         finally:
             self.close()
@@ -809,10 +891,12 @@ class CampaignRunner:
 
 __all__ = [
     "CAMPAIGN_TRACE_MODE",
+    "CampaignMemo",
     "CampaignResult",
     "CampaignRunner",
     "ERROR_VERDICT",
     "VariantOutcome",
+    "error_outcome",
     "execute_variant",
     "iter_campaign",
     "run_campaign",

@@ -29,6 +29,7 @@ import dataclasses
 import io
 import json
 import threading
+from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import ValidationError
@@ -495,19 +496,50 @@ class ResultSink:
     * an optional ``on_record`` callback observes each arrival (the
       :class:`~repro.api.Workspace` uses it to keep its own accumulated
       set current without polling).
+
+    **Spill mode** (``ResultSink(path=...)``): every record is appended
+    to ``path`` as one JSON line and flushed immediately, and is **not**
+    kept resident -- a daemon streaming a million outcomes holds none of
+    them in memory, and a reader can tail the file while the run is
+    live.  :meth:`snapshot` re-reads the file (see :func:`read_jsonl`);
+    ``__len__`` counts what this sink received.  Close the sink (or use
+    it as a context manager) to release the file handle.
     """
 
     def __init__(
-        self, on_record: Callable[[RunRecord], None] | None = None
+        self,
+        on_record: Callable[[RunRecord], None] | None = None,
+        *,
+        path: "str | Path | None" = None,
     ) -> None:
         self._records: list[RunRecord] = []
         self._on_record = on_record
         self._lock = threading.Lock()
+        self._path = Path(path) if path is not None else None
+        self._file: Any = None
+        self._count = 0
+
+    @property
+    def path(self) -> "Path | None":
+        """The spill file (``None`` for an in-memory sink)."""
+        return self._path
 
     def add(self, record: RunRecord) -> None:
         """Receive one streamed record."""
         with self._lock:
-            self._records.append(record)
+            if self._path is not None:
+                if self._file is None:
+                    self._path.parent.mkdir(parents=True, exist_ok=True)
+                    self._file = open(  # noqa: SIM115 - held open for appends
+                        self._path, "a", encoding="utf-8"
+                    )
+                self._file.write(
+                    json.dumps(record.to_payload(), sort_keys=False) + "\n"
+                )
+                self._file.flush()
+            else:
+                self._records.append(record)
+            self._count += 1
         if self._on_record is not None:
             self._on_record(record)
 
@@ -518,12 +550,63 @@ class ResultSink:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._records)
+            return self._count
 
     def snapshot(self) -> ResultSet:
-        """Everything received so far, as an immutable set."""
+        """Everything received so far, as an immutable set.
+
+        A spill sink re-reads its file, so the snapshot includes records
+        appended by *earlier* sinks on the same path too.
+        """
         with self._lock:
+            if self._path is not None:
+                if self._file is not None:
+                    self._file.flush()
+                return read_jsonl(self._path)
             return ResultSet(records=tuple(self._records))
+
+    def close(self) -> None:
+        """Release the spill file handle (idempotent; no-op in-memory)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "ResultSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_jsonl(path: "str | Path") -> ResultSet:
+    """Read a JSONL spill file back into a :class:`ResultSet`.
+
+    One :meth:`RunRecord.to_payload` object per line; blank lines are
+    skipped, a truncated final line (producer killed mid-append) is
+    tolerated, but a structurally invalid record raises.
+
+    Raises:
+        ValidationError: for unreadable files or schema-mismatched rows.
+    """
+    path = Path(path)
+    if not path.exists():
+        return ResultSet(records=())
+    records = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                continue  # torn final append from a killed producer
+            raise ValidationError(
+                f"{path}:{lineno}: undecodable JSONL record: {exc}"
+            ) from exc
+        records.append(RunRecord.from_payload(payload))
+    return ResultSet(records=tuple(records))
 
 
 __all__ = [
@@ -538,4 +621,5 @@ __all__ = [
     "ResultSink",
     "RunRecord",
     "freeze_items",
+    "read_jsonl",
 ]

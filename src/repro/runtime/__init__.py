@@ -54,6 +54,7 @@ from repro.runtime.runtime import (
     MAX_SEED,
     CancelToken,
     JobError,
+    JobFuture,
     JobResult,
     ProgressEvent,
     Runtime,
@@ -69,6 +70,7 @@ __all__ = [
     "ExecutionBackend",
     "JOBS_ENV",
     "JobError",
+    "JobFuture",
     "JobResult",
     "MAX_SEED",
     "ProcessBackend",

@@ -23,6 +23,7 @@ module answers *how a workload runs well*:
 
 from __future__ import annotations
 
+import concurrent.futures as _futures
 import dataclasses
 import functools
 import hashlib
@@ -61,19 +62,55 @@ class CancelToken:
     Hand one token to a runtime (or several) and call :meth:`cancel`
     from any thread -- an event callback, a signal handler, a watchdog.
     Jobs already running finish; nothing new starts.
+
+    Tokens compose into trees: :meth:`child` derives a token that trips
+    when its parent trips but can also be cancelled alone -- the shape a
+    long-lived service needs, where cancelling one submission must not
+    take the daemon (or its other submissions) down, while daemon
+    shutdown must cancel everything at once.
     """
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._callbacks: list[Callable[[], None]] = []
 
     def cancel(self) -> None:
-        """Request cancellation (idempotent)."""
-        self._event.set()
+        """Request cancellation (idempotent; fires linked callbacks once)."""
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
 
     @property
     def cancelled(self) -> bool:
         """True once :meth:`cancel` has been called."""
         return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until cancelled (or ``timeout``); True when cancelled."""
+        return self._event.wait(timeout)
+
+    def on_cancel(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to fire (once) on cancellation.
+
+        An already-cancelled token fires the callback immediately, so
+        registration order and cancellation order cannot race.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback()
+
+    def child(self) -> "CancelToken":
+        """A linked token: parent cancellation trips it, not vice versa."""
+        token = CancelToken()
+        self.on_cancel(token.cancel)
+        return token
 
 
 @dataclasses.dataclass(frozen=True)
@@ -199,6 +236,53 @@ def _chunked(
         tuple(jobs[start : start + chunksize])
         for start in range(0, len(jobs), chunksize)
     ]
+
+
+class JobFuture:
+    """A single in-flight job, resolvable to one :class:`JobResult`.
+
+    The async-friendly sibling of :meth:`Runtime.map`: where ``map``
+    drains a whole workload, a future lets a scheduler keep many
+    independent jobs in flight on one shared backend and harvest each
+    as it lands -- errors still arrive as error-carrying results, never
+    as raised exceptions (only infrastructure faults raise).
+    """
+
+    def __init__(self, future: "_futures.Future[list[dict[str, Any]]]", index: int, seed: int) -> None:
+        self._future = future
+        self.index = index
+        self.seed = seed
+
+    def done(self) -> bool:
+        """True once the job has finished (or was cancelled)."""
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        """Try to cancel; False if the job already started running."""
+        return self._future.cancel()
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block for the job's :class:`JobResult` (cancelled jobs yield
+        an error-carrying result rather than raising)."""
+        try:
+            payloads = self._future.result(timeout=timeout)
+        except _futures.CancelledError:
+            error = JobError(type="CancelledError", message="job cancelled before start")
+            return JobResult(index=self.index, value=None, error=error, seed=self.seed)
+        payload = payloads[0]
+        error_payload = payload.get("error")
+        return JobResult(
+            index=payload["index"],
+            value=payload.get("value"),
+            error=JobError(**error_payload) if error_payload else None,
+            seed=payload["seed"],
+            wall_time_s=payload["wall_time_s"],
+        )
+
+    def add_done_callback(self, callback: "Callable[[JobFuture], None]") -> None:
+        """Run ``callback(self)`` when the job completes (or immediately
+        if it already has)."""
+        self._future.add_done_callback(lambda _f: callback(self))
 
 
 def _run_batch(
@@ -347,6 +431,27 @@ class Runtime:
         )
         yield from self._stream_payloads(stream, total)
 
+    def submit_job(
+        self,
+        fn: Callable[..., Any],
+        item: Any,
+        *,
+        index: int = 0,
+        seeded: bool = False,
+    ) -> JobFuture:
+        """Submit one job; return a :class:`JobFuture` immediately.
+
+        The job runs through the same worker-side shape as :meth:`map`
+        (``_run_chunk`` with a one-job chunk), so seeding and error
+        capture are identical -- ``index`` stands in for the position a
+        batch map would have assigned, and the seed derives from it.
+        """
+        seed = derive_seed(self.seed, index)
+        future = self.backend.submit(
+            _run_chunk, fn, seeded, ((index, seed, item),)
+        )
+        return JobFuture(future, index, seed)
+
     def run(
         self,
         fn: Callable[..., Any],
@@ -377,6 +482,7 @@ class Runtime:
 __all__ = [
     "CancelToken",
     "JobError",
+    "JobFuture",
     "JobResult",
     "MAX_SEED",
     "ProgressEvent",

@@ -1,0 +1,216 @@
+"""``ServiceClient`` -- the blocking client of the campaign daemon.
+
+One method call == one connection == one request: the client connects,
+sends a single JSON line, and consumes the response line(s).  Simple
+operations (:meth:`ServiceClient.ping`, :meth:`~ServiceClient.status`,
+:meth:`~ServiceClient.cancel`, :meth:`~ServiceClient.shutdown`) return
+one decoded response; :meth:`~ServiceClient.submit_stream` yields
+incrementally -- each variant's :class:`~repro.engine.campaign.
+VariantOutcome` the moment the daemon streams it -- and
+:meth:`~ServiceClient.submit` collects the stream into submission order.
+
+Anything that goes wrong on the wire (daemon not running, daemon-side
+error response, truncated stream) surfaces as :class:`ServiceError`, a
+normal :class:`~repro.errors.ReproError` subclass, so CLI and tests
+handle service failures like any other library error.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.engine.campaign import VariantOutcome
+from repro.engine.spec import VariantSpec
+from repro.errors import ReproError, ValidationError
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    read_message,
+    write_message,
+)
+
+#: Seconds a client waits on one response line before giving up.  Long:
+#: a single uncached heavyweight variant can take seconds to execute.
+DEFAULT_TIMEOUT_S = 300.0
+
+
+class ServiceError(ReproError):
+    """A campaign-service request failed (connection, wire, or daemon)."""
+
+
+class ServiceClient:
+    """Blocking JSON-lines client for one daemon address.
+
+    Args:
+        port: The daemon's TCP port (see ``--port-file`` for discovery).
+        host: The daemon's host (loopback by default).
+        timeout: Per-read socket timeout in seconds.
+    """
+
+    def __init__(
+        self,
+        port: int,
+        host: str = DEFAULT_HOST,
+        *,
+        timeout: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_port_file(
+        cls,
+        path: str | Path,
+        host: str = DEFAULT_HOST,
+        *,
+        timeout: float = DEFAULT_TIMEOUT_S,
+    ) -> "ServiceClient":
+        """A client for the port a daemon published via ``--port-file``.
+
+        Raises:
+            ServiceError: when the file is missing or not a port number.
+        """
+        try:
+            text = Path(path).read_text(encoding="utf-8").strip()
+            port = int(text)
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"unreadable port file {path}: {exc}") from exc
+        return cls(port, host, timeout=timeout)
+
+    # -- wire --------------------------------------------------------------
+
+    def _responses(self, request: Mapping[str, Any]) -> Iterator[dict[str, Any]]:
+        """Send one request; yield response messages until EOF."""
+        try:
+            conn = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach campaign daemon at {self.host}:{self.port}: {exc}"
+            ) from exc
+        try:
+            with conn, conn.makefile("rwb") as stream:
+                write_message(stream, request)
+                conn.shutdown(socket.SHUT_WR)  # one request per connection
+                while True:
+                    try:
+                        message = read_message(stream)
+                    except ReproError as exc:
+                        raise ServiceError(f"bad wire line: {exc}") from exc
+                    if message is None:
+                        return
+                    yield message
+        except OSError as exc:
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} failed mid-request: {exc}"
+            ) from exc
+
+    def _roundtrip(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """One request, exactly one response; raise on daemon errors."""
+        for message in self._responses(request):
+            return self._checked(message)
+        raise ServiceError(
+            f"daemon at {self.host}:{self.port} closed the connection "
+            "without responding"
+        )
+
+    @staticmethod
+    def _checked(message: dict[str, Any]) -> dict[str, Any]:
+        if message.get("ok"):
+            return message
+        error = message.get("error") or {}
+        raise ServiceError(
+            f"daemon error: {error.get('type', 'Error')}: "
+            f"{error.get('message', 'unknown failure')}"
+        )
+
+    # -- simple operations -------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        """Liveness probe; returns the daemon's response (with its pid)."""
+        return self._roundtrip({"op": "ping"})
+
+    def status(self) -> dict[str, Any]:
+        """Scheduler + memo store health (see the daemon's ``status`` op)."""
+        return self._roundtrip({"op": "status"})
+
+    def cancel(self, submission_id: str) -> dict[str, Any]:
+        """Cancel one submission by id; returns its final summary."""
+        return self._roundtrip({"op": "cancel", "id": submission_id})
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the daemon to stop serving and exit."""
+        return self._roundtrip({"op": "shutdown"})
+
+    # -- submission --------------------------------------------------------
+
+    def submit_stream(
+        self,
+        variants: Sequence[VariantSpec] | None = None,
+        *,
+        select: Mapping[str, Any] | None = None,
+    ) -> Iterator[tuple[str, Any, Any]]:
+        """Submit and stream: yields ``("accepted", id, total)`` first,
+        then ``("outcome", index, outcome)`` per variant as the daemon
+        delivers it, then ``("done", id, summary)``.
+
+        Pass either explicit ``variants`` (shipped as payloads) or a
+        ``select`` filter the daemon resolves against its registry.
+        """
+        if (variants is None) == (select is None):
+            raise ValidationError("pass exactly one of variants= or select=")
+        request: dict[str, Any] = {"op": "submit"}
+        if variants is not None:
+            request["variants"] = [v.to_payload() for v in variants]
+        else:
+            request["select"] = dict(select or {})
+        done = False
+        submission_id = ""
+        for message in self._responses(request):
+            message = self._checked(message)
+            if message.get("op") == "submit":
+                submission_id = str(message.get("id", ""))
+                yield "accepted", submission_id, message.get("total", 0)
+            elif message.get("event") == "outcome":
+                yield (
+                    "outcome",
+                    int(message["index"]),
+                    VariantOutcome.from_payload(message["outcome"]),
+                )
+            elif message.get("event") == "done":
+                done = True
+                yield "done", submission_id, message.get("summary", {})
+            else:
+                raise ServiceError(f"unexpected stream message: {message}")
+        if not done:
+            raise ServiceError(
+                f"submission {submission_id or '<unacknowledged>'} stream "
+                "ended before its final summary (daemon died mid-campaign?)"
+            )
+
+    def submit(
+        self,
+        variants: Sequence[VariantSpec] | None = None,
+        *,
+        select: Mapping[str, Any] | None = None,
+    ) -> tuple[tuple[VariantOutcome, ...], dict[str, Any]]:
+        """Submit and collect: outcomes in submission order + summary."""
+        indexed: list[tuple[int, VariantOutcome]] = []
+        summary: dict[str, Any] = {}
+        for kind, key, payload in self.submit_stream(variants, select=select):
+            if kind == "outcome":
+                indexed.append((int(key), payload))
+            elif kind == "done":
+                summary = payload
+        indexed.sort(key=lambda pair: pair[0])
+        return tuple(outcome for _index, outcome in indexed), summary
+
+
+__all__ = [
+    "DEFAULT_TIMEOUT_S",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,132 @@
+"""The JSON-lines wire protocol the campaign daemon and clients speak.
+
+One request per connection: the client connects, writes a single JSON
+object terminated by ``\\n``, and reads JSON-object lines back until the
+server closes the stream.  Most operations answer with exactly one line;
+``submit`` streams -- an ``accepted`` line, one ``outcome`` line per
+variant as it lands, and a final ``done`` summary -- so clients see
+verdicts incrementally rather than at campaign end.
+
+Every message carries ``"schema": "repro.service/v1"``.  Requests name
+their operation in ``"op"`` (one of :data:`OPS`); responses either carry
+``"ok": true`` plus operation-specific fields, or ``"ok": false`` with
+an ``"error"`` object (``type`` and ``message``).
+
+This module is pure message-shaping: no sockets, no threads, no engine
+imports -- the daemon and the client both build on it, and tests can
+exercise framing against plain file objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Mapping
+
+from repro.errors import ValidationError
+
+#: Schema tag stamped on (and required of) every wire message.
+SERVICE_SCHEMA = "repro.service/v1"
+
+#: The daemon binds loopback only -- the service plane is local by design.
+DEFAULT_HOST = "127.0.0.1"
+
+#: Operations a request may name, in the order `repro status` reports them.
+OPS = ("ping", "status", "submit", "cancel", "shutdown")
+
+#: Hard cap on one message line (16 MiB): a full-registry submission with
+#: inline variant payloads is ~100 KiB, so this only trips on garbage.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+def encode_line(message: Mapping[str, Any]) -> bytes:
+    """One wire line: compact JSON, schema-stamped, ``\\n``-terminated."""
+    payload = {"schema": SERVICE_SCHEMA, **message}
+    return (json.dumps(payload, separators=(",", ":"), default=repr) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one wire line back into a message dict.
+
+    Raises:
+        ValidationError: for non-JSON input, a non-object payload, or a
+            missing/mismatched schema tag.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"undecodable wire line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ValidationError(
+            f"wire line must be a JSON object, got {type(message).__name__}"
+        )
+    schema = message.get("schema")
+    if schema != SERVICE_SCHEMA:
+        raise ValidationError(
+            f"wire schema mismatch: expected {SERVICE_SCHEMA!r}, got {schema!r}"
+        )
+    return message
+
+
+def write_message(stream: IO[bytes], message: Mapping[str, Any]) -> None:
+    """Encode and flush one message onto a binary stream."""
+    stream.write(encode_line(message))
+    stream.flush()
+
+
+def read_message(stream: IO[bytes]) -> dict[str, Any] | None:
+    """Read one message off a binary stream; ``None`` at clean EOF.
+
+    Raises:
+        ValidationError: on an oversized or malformed line.
+    """
+    line = stream.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ValidationError(
+            f"wire line exceeds {MAX_LINE_BYTES} bytes; refusing to buffer"
+        )
+    if line.strip() == b"":
+        return None
+    return decode_line(line)
+
+
+def validate_request(message: Mapping[str, Any]) -> str:
+    """Check a decoded request names a known op; return that op.
+
+    Raises:
+        ValidationError: when ``op`` is missing or not one of :data:`OPS`.
+    """
+    op = message.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ValidationError(
+            f"unknown service op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    return op
+
+
+def error_response(exc: BaseException, **extra: Any) -> dict[str, Any]:
+    """The standard ``ok: false`` response for a failed request."""
+    return {
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+        **extra,
+    }
+
+
+__all__ = [
+    "DEFAULT_HOST",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "SERVICE_SCHEMA",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "read_message",
+    "validate_request",
+    "write_message",
+]

@@ -1,0 +1,10 @@
+"""REP009 fixture: socket/server machinery imported outside repro.service."""
+
+import socket
+from asyncio import get_event_loop
+
+
+def open_port():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    return sock, get_event_loop()

@@ -1,0 +1,8 @@
+"""REP009 fixture: daemon access goes through the service client."""
+
+from repro.service import ServiceClient
+
+
+def warm_cache(port, variants):
+    client = ServiceClient(port)
+    return client.submit(variants)

@@ -49,6 +49,7 @@ RULE_FIXTURES = {
     "REP006": ("rep006", "repro.stride.fake", 1),
     "REP007": ("rep007", "repro.sim.fake", 1),
     "REP008": ("rep008", "repro.tara.fake", 1),
+    "REP009": ("rep009", "repro.engine.fake", 2),
 }
 
 

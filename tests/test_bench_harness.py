@@ -308,3 +308,108 @@ class TestCompareCli:
         corrupt.write_text("{not json", encoding="utf-8")
         assert main(["bench", "--compare", str(corrupt)]) == 1
         assert "ERROR" in capsys.readouterr().err
+
+
+class TestBenchHistory:
+    """The append-only BENCH_HISTORY.jsonl trajectory file."""
+
+    def _results(self, **metrics):
+        return {"rq1": [make_record(metrics=freeze_items(
+            metrics or {"build_s": 0.01}
+        ))]}
+
+    def test_entry_payload_is_validated(self):
+        from repro.bench import HISTORY_SCHEMA, history_entry_payload
+
+        payload = history_entry_payload(self._results(), {"commit": "abc"})
+        assert payload["schema"] == HISTORY_SCHEMA
+        assert payload["meta"] == {"commit": "abc"}
+        assert list(payload["suites"]) == ["rq1"]
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        from repro.bench import append_history, load_history
+
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        append_history(path, self._results(build_s=0.5))
+        append_history(path, self._results(build_s=0.4))
+        entries = load_history(path)
+        assert len(entries) == 2
+        first, second = (
+            e["suites"]["rq1"][0]["metrics"]["build_s"] for e in entries
+        )
+        assert (first, second) == (0.5, 0.4)  # oldest first
+
+    def test_latest_entry_wins(self, tmp_path):
+        from repro.bench import append_history, latest_history_records
+
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        append_history(path, self._results(build_s=0.5))
+        append_history(path, self._results(build_s=0.25))
+        latest = latest_history_records(path)
+        assert dict(latest["rq1"][0].metrics)["build_s"] == 0.25
+
+    def test_missing_history_loads_empty_but_latest_raises(self, tmp_path):
+        from repro.bench import latest_history_records, load_history
+
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        assert load_history(path) == []
+        with pytest.raises(ValidationError, match="no entries"):
+            latest_history_records(path)
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        from repro.bench import append_history, load_history
+
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        append_history(path, self._results())
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": "repro.bench-history/v1", "sui')
+        assert len(load_history(path)) == 1
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        from repro.bench import append_history, load_history
+
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        append_history(path, self._results())
+        with pytest.raises(ValidationError):
+            load_history(path)
+
+    def test_load_baseline_reads_both_formats(self, tmp_path):
+        from repro.bench import (
+            append_history,
+            load_baseline,
+            write_bench_file,
+        )
+
+        jsonl = tmp_path / "BENCH_HISTORY.jsonl"
+        append_history(jsonl, self._results(build_s=0.125))
+        from_history = load_baseline(jsonl)
+        assert dict(from_history["rq1"][0].metrics)["build_s"] == 0.125
+
+        single = write_bench_file("rq1", [make_record()], tmp_path)
+        from_file = load_baseline(single)
+        assert list(from_file) == ["rq1"]
+
+    def test_cli_history_flag_appends(self, tmp_path, capsys):
+        from repro.bench import load_history
+
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        assert main([
+            "bench", "rq1", "--out", str(tmp_path), "--history", str(path),
+        ]) == 0
+        assert "appended history entry" in capsys.readouterr().out
+        entries = load_history(path)
+        assert len(entries) == 1
+        assert "rq1" in entries[0]["suites"]
+
+    def test_cli_compare_against_history_baseline(self, tmp_path, capsys):
+        # Two runs into the history, then gate against its latest entry.
+        path = tmp_path / "BENCH_HISTORY.jsonl"
+        assert main([
+            "bench", "rq1", "--out", str(tmp_path), "--history", str(path),
+        ]) == 0
+        assert main([
+            "bench", "--compare", str(path), "--out", str(tmp_path),
+        ]) == 0
+        assert "within" in capsys.readouterr().out

@@ -10,6 +10,7 @@ from repro.results import (
     SOURCE_FUZZ,
     SOURCE_PIPELINE,
     ResultSet,
+    ResultSink,
     RunRecord,
     freeze_items,
 )
@@ -271,3 +272,88 @@ class TestAdapters:
         assert verdicts == {"ATTACK_FAILED"}
         assert ResultSet.from_json(mixed.to_json()) == mixed
         assert ResultSet.from_csv(mixed.to_csv()) == mixed
+
+
+class TestResultSinkSpill:
+    """Spill mode: records go to a JSONL file, not resident memory."""
+
+    def _sink_path(self, tmp_path):
+        return tmp_path / "out" / "results.jsonl"
+
+    def test_spill_appends_jsonl_and_holds_nothing(self, tmp_path):
+        from repro.results import read_jsonl
+
+        path = self._sink_path(tmp_path)
+        with ResultSink(path=path) as sink:
+            sink.add(record())
+            sink.add(record(subject="uc1/baseline/jam", passed=False,
+                            verdict="ATTACK_SUCCEEDED"))
+            assert len(sink) == 2
+            assert sink._records == []  # nothing resident
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert read_jsonl(path).records[0] == record()
+
+    def test_snapshot_rereads_the_file(self, tmp_path):
+        path = self._sink_path(tmp_path)
+        with ResultSink(path=path) as sink:
+            sink.add(record())
+            snap = sink.snapshot()
+        assert isinstance(snap, ResultSet)
+        assert len(snap) == 1
+
+    def test_snapshot_includes_earlier_sinks_on_same_path(self, tmp_path):
+        path = self._sink_path(tmp_path)
+        with ResultSink(path=path) as first:
+            first.add(record())
+        with ResultSink(path=path) as second:
+            second.add(record(subject="uc2/baseline/stock"))
+            assert len(second) == 1  # own count...
+            assert len(second.snapshot()) == 2  # ...full file contents
+
+    def test_on_record_callback_still_fires_in_spill_mode(self, tmp_path):
+        seen = []
+        with ResultSink(seen.append, path=self._sink_path(tmp_path)) as sink:
+            sink.add(record())
+        assert seen == [record()]
+
+    def test_in_memory_mode_unchanged(self):
+        sink = ResultSink()
+        sink.add(record())
+        assert sink.path is None
+        assert len(sink.snapshot()) == 1
+
+
+class TestReadJsonl:
+    def test_missing_file_is_an_empty_set(self, tmp_path):
+        from repro.results import read_jsonl
+
+        assert read_jsonl(tmp_path / "nope.jsonl").records == ()
+
+    def test_blank_lines_skipped_torn_tail_tolerated(self, tmp_path):
+        import json as _json
+
+        from repro.results import read_jsonl
+
+        path = tmp_path / "results.jsonl"
+        path.write_text(
+            _json.dumps(record().to_payload()) + "\n\n"
+            + '{"source": "campaign", "subject": "tru',
+            encoding="utf-8",
+        )
+        loaded = read_jsonl(path)
+        assert len(loaded) == 1
+
+    def test_mid_file_corruption_is_fatal(self, tmp_path):
+        import json as _json
+
+        from repro.results import read_jsonl
+
+        path = tmp_path / "results.jsonl"
+        path.write_text(
+            "definitely not json\n"
+            + _json.dumps(record().to_payload()) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ValidationError, match="results.jsonl:1"):
+            read_jsonl(path)

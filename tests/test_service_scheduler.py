@@ -1,0 +1,189 @@
+"""The shard-and-steal scheduler: delivery, stealing, cancellation.
+
+Everything here runs in-process (no sockets): the scheduler is a plain
+library object, which is exactly the layering REP009 enforces.  Wire
+behaviour is covered by ``tests/test_service_daemon.py``.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine.campaign import execute_variant
+from repro.engine.registry import default_registry
+from repro.engine.spec import VariantSpec
+from repro.errors import ValidationError
+from repro.service import MemoStore, Scheduler
+from repro.runtime import CancelToken
+
+
+def _variants(count=6):
+    return default_registry().variants(family="zone-geometry")[:count]
+
+
+def _poisoned_variant():
+    return VariantSpec(
+        variant_id="test/poison/bad-attack",
+        scenario="uc2-keyless-entry",
+        family="poison",
+        attack="no-such-catalog-attack",
+    )
+
+
+class _GateMemo:
+    """A memo stub that parks the first worker inside ``lookup`` so the
+    test can cancel a submission at a deterministic point."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.gate = threading.Event()
+
+    def lookup(self, variant, trace_mode=None):
+        self.entered.set()
+        assert self.gate.wait(timeout=10.0)
+        return None
+
+    def record(self, variant, outcome, trace_mode=None):
+        return None
+
+
+class TestSubmission:
+    def test_outcomes_stream_with_input_indices(self):
+        variants = _variants(5)
+        with Scheduler(shards=2, workers=2) as scheduler:
+            submission = scheduler.submit(variants)
+            events = list(submission.events())
+        outcomes = {index: payload for kind, index, payload in events
+                    if kind == "outcome"}
+        assert sorted(outcomes) == list(range(5))
+        for index, outcome in outcomes.items():
+            assert outcome.variant_id == variants[index].variant_id
+        kind, _index, summary = events[-1]
+        assert kind == "done"
+        assert summary["completed"] == 5
+        assert summary["errors"] == 0
+        assert summary["done"] is True
+
+    def test_verdict_parity_with_direct_execution(self):
+        variants = _variants(4)
+        direct = [execute_variant(v) for v in variants]
+        with Scheduler(shards=2, workers=2) as scheduler:
+            submission = scheduler.submit(variants)
+            assert submission.wait(timeout=60.0)
+            delivered = dict(
+                (index, payload)
+                for kind, index, payload in submission.events()
+                if kind == "outcome"
+            )
+        for index, expected in enumerate(direct):
+            actual = delivered[index]
+            assert (actual.verdict, actual.violated_goals) == (
+                expected.verdict, expected.violated_goals
+            )
+
+    def test_empty_submission_finishes_instantly(self):
+        with Scheduler(shards=1, workers=1) as scheduler:
+            submission = scheduler.submit([])
+            assert submission.wait(timeout=5.0)
+            assert submission.summary()["total"] == 0
+
+    def test_poisoned_variant_becomes_error_outcome(self):
+        with Scheduler(shards=1, workers=1) as scheduler:
+            submission = scheduler.submit([_poisoned_variant()])
+            events = list(submission.events())
+        (_kind, _index, outcome), (_done, _none, summary) = events
+        assert outcome.is_error
+        assert summary["errors"] == 1
+        assert summary["done"] is True
+
+
+class TestScheduling:
+    def test_single_worker_steals_other_shards_units(self):
+        # One worker homed on shard 0, units dealt round-robin across 4
+        # shards: most of the work can only arrive by stealing.
+        with Scheduler(shards=4, workers=1, unit_size=1) as scheduler:
+            submission = scheduler.submit(_variants(8))
+            assert submission.wait(timeout=60.0)
+            status = scheduler.status()
+        assert status["stolen_units"] > 0
+        assert status["executed"] == 8
+
+    def test_status_reports_geometry_and_progress(self):
+        with Scheduler(shards=3, workers=2) as scheduler:
+            submission = scheduler.submit(_variants(3))
+            assert submission.wait(timeout=60.0)
+            status = scheduler.status()
+        assert status["shards"] == 3
+        assert status["workers"] == 2
+        assert status["total_submissions"] == 1
+        assert status["submissions"][0]["id"] == submission.id
+
+    def test_cancel_skips_remaining_variants(self):
+        memo = _GateMemo()
+        scheduler = Scheduler(memo, shards=1, workers=1, unit_size=4)
+        try:
+            submission = scheduler.submit(_variants(6))
+            assert memo.entered.wait(timeout=10.0)
+            scheduler.cancel_submission(submission.id)
+            memo.gate.set()
+            assert submission.wait(timeout=30.0)
+            summary = submission.summary()
+            # The in-flight variant finishes; everything queued is skipped.
+            assert summary["completed"] == 1
+            assert summary["skipped"] == 5
+            assert summary["cancelled"] is True
+        finally:
+            memo.gate.set()
+            scheduler.shutdown()
+
+    def test_scheduler_cancel_token_fans_out_to_submissions(self):
+        memo = _GateMemo()
+        cancel = CancelToken()
+        scheduler = Scheduler(
+            memo, shards=1, workers=1, unit_size=2, cancel=cancel
+        )
+        try:
+            first = scheduler.submit(_variants(4))
+            second = scheduler.submit(_variants(2))
+            assert memo.entered.wait(timeout=10.0)
+            # Cancelling the scheduler-wide token cancels every
+            # submission's child token at once (the shutdown path).
+            cancel.cancel()
+            assert first.cancel.cancelled
+            assert second.cancel.cancelled
+        finally:
+            memo.gate.set()
+            scheduler.shutdown(wait=False)
+
+    def test_unknown_submission_id_raises(self):
+        with Scheduler(shards=1, workers=1) as scheduler:
+            with pytest.raises(ValidationError, match="unknown submission"):
+                scheduler.get("sub-9999")
+
+    def test_submit_after_shutdown_raises(self):
+        scheduler = Scheduler(shards=1, workers=1)
+        scheduler.shutdown()
+        with pytest.raises(ValidationError, match="shut down"):
+            scheduler.submit(_variants(1))
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValidationError, match="shards"):
+            Scheduler(shards=0)
+        with pytest.raises(ValidationError, match="unit_size"):
+            Scheduler(unit_size=0)
+        with pytest.raises(ValidationError, match="workers"):
+            Scheduler(workers=0)
+
+
+class TestSchedulerMemo:
+    def test_second_submission_is_fully_cached(self, tmp_path):
+        variants = _variants(4)
+        store = MemoStore(tmp_path)
+        with Scheduler(store, shards=2, workers=2) as scheduler:
+            cold = scheduler.submit(variants)
+            assert cold.wait(timeout=60.0)
+            assert cold.summary()["cached"] == 0
+            warm = scheduler.submit(variants)
+            assert warm.wait(timeout=60.0)
+            assert warm.summary()["cached"] == len(variants)
+        assert store.hits == len(variants)
