@@ -51,6 +51,7 @@ from repro.analysis.rules import (
     ExportContractRule,
     MultiprocessingIsolationRule,
     MutableDefaultRule,
+    NumpyIsolationRule,
     PrintInLibraryRule,
     RULE_TYPES,
     RetainedTopicRule,
@@ -81,6 +82,7 @@ __all__ = [
     "MultiprocessingIsolationRule",
     "MutableDefaultRule",
     "NOQA_CODE",
+    "NumpyIsolationRule",
     "PrintInLibraryRule",
     "REGISTRY_PATH",
     "RULE_TYPES",

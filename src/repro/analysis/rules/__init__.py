@@ -27,6 +27,7 @@ from repro.analysis.rules.isolation import (
     MultiprocessingIsolationRule,
     ServiceIsolationRule,
 )
+from repro.analysis.rules.optional_deps import NumpyIsolationRule
 from repro.analysis.rules.topics import RetainedTopicRule
 
 from repro.errors import ValidationError
@@ -42,6 +43,7 @@ RULE_TYPES: tuple[type, ...] = (
     RetainedTopicRule,             # REP007
     PrintInLibraryRule,            # REP008
     ServiceIsolationRule,          # REP009
+    NumpyIsolationRule,            # REP010
 )
 
 
@@ -81,6 +83,7 @@ __all__ = [
     "ExportContractRule",
     "MultiprocessingIsolationRule",
     "MutableDefaultRule",
+    "NumpyIsolationRule",
     "PrintInLibraryRule",
     "RULE_TYPES",
     "RetainedTopicRule",

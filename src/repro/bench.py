@@ -862,7 +862,182 @@ def bench_fleet(jobs: int | None = None) -> list[BenchRecord]:
             ),
         )
     )
+    records.extend(_bench_fleet_large(run_campaign))
+    records.append(_tick_scaling_record())
     return records
+
+
+def _large_fleet_variants(size: int):
+    """Baseline + jam variants rescaled to a ``size``-vehicle convoy.
+
+    The n=8 geometry is translated so the lead vehicle keeps its n=8
+    distances to the RSU and the zone (only the tail grows backwards),
+    keeping the scenario semantics comparable across sizes.  Flood
+    variants are deliberately excluded: their cost is O(packets * n)
+    receiver fan-out, which belongs in a soak run, not a smoke suite.
+    """
+    from repro.engine.spec import freeze_params
+
+    lead_m = (size - 1) * 40.0
+    geometry = {
+        "fleet_size": size,
+        "headway_m": 40.0,
+        "zone_start_m": lead_m + 600.0,
+        "zone_end_m": lead_m + 700.0,
+        "rsu_position_m": lead_m + 399.0,
+        "rsu_range_m": 500.0,
+        "road_length_m": lead_m + 3000.0,
+    }
+    return tuple(
+        dataclasses.replace(
+            variant,
+            variant_id=f"{variant.variant_id}@n{size}",
+            params=freeze_params({**variant.params_dict(), **geometry}),
+        )
+        for variant in fleet_variants_of_size(8)
+        if variant.attack in (None, "jam")
+    )
+
+
+def _bench_fleet_large(run_campaign) -> list[BenchRecord]:
+    """n=64 / n=256 variants/sec legs (serial + batched-serial).
+
+    Tracks how campaign throughput scales with convoy size -- the SoA
+    tick engine is what keeps these legs from degrading linearly.
+    Parity between the two backends is part of each record's gate.
+    """
+    from repro.runtime import BatchedBackend, SerialBackend
+
+    records: list[BenchRecord] = []
+    for size in (64, 256):
+        variants = _large_fleet_variants(size)
+        verdicts: dict[str, list[tuple]] = {}
+        for make_backend in (
+            lambda: SerialBackend(),
+            lambda: BatchedBackend(SerialBackend(), batch_size=4),
+        ):
+            backend = make_backend()
+            with backend:
+                result = run_campaign(variants, backend=backend)
+            verdicts[backend.name] = [
+                (o.variant_id, o.verdict, o.violated_goals)
+                for o in result.outcomes
+            ]
+            records.append(
+                BenchRecord(
+                    suite="fleet",
+                    name=f"campaign_{backend.name}_n{size}",
+                    metrics=freeze_items(
+                        {
+                            "fleet_size": size,
+                            "variants": result.total,
+                            "wall_s": result.wall_time_s,
+                            "variants_per_s": result.total
+                            / max(result.wall_time_s, 1e-9),
+                        }
+                    ),
+                    meta=freeze_items(
+                        {"backend": backend.name, "family": "fleet-large"}
+                    ),
+                )
+            )
+        if verdicts["serial"] != verdicts["batched-serial"]:
+            records[-1] = dataclasses.replace(records[-1], status="failed")
+    return records
+
+
+def _tick_scaling_record() -> BenchRecord:
+    """SoA vs scalar ``Topology.step`` cost at n=8/64/256.
+
+    Builds a mixed convoy (constant-speed lead third, follow-leader
+    rest) per size and times the per-tick step under both engines (the
+    scalar engine is forced via :data:`~repro.sim.topology.NO_NUMPY_ENV`
+    in-process).  Gate: with numpy active, growing the fleet 8x from
+    n=8 to n=64 must cost the vectorised step *sub-linearly* (< 8x),
+    while the scalar engine is expected to grow roughly linearly --
+    this is the acceptance criterion of the SoA tick engine.  Without
+    numpy the record is informational only.
+    """
+    import os
+
+    from repro.sim.clock import SimClock
+    from repro.sim.topology import (
+        NO_NUMPY_ENV,
+        ConstantSpeedMobility,
+        FollowLeaderMobility,
+        Topology,
+        numpy_enabled,
+    )
+    from repro.sim.world import World
+
+    sizes = (8, 64, 256)
+    ticks = 300
+
+    def step_seconds(size: int, scalar: bool) -> float:
+        previous = os.environ.get(NO_NUMPY_ENV)
+        if scalar:
+            os.environ[NO_NUMPY_ENV] = "1"
+        elif previous is not None:
+            del os.environ[NO_NUMPY_ENV]
+        try:
+            clock = SimClock()
+            world = World((size + 2) * 50.0 + 20000.0)
+            topology = Topology(world, clock=clock, tick_ms=100.0)
+            for index in range(size):
+                if index % 3 == 0:
+                    mobility = ConstantSpeedMobility(25.0)
+                else:
+                    mobility = FollowLeaderMobility(
+                        f"car-{index - 1}", gap_m=30.0
+                    )
+                topology.add_mobile(
+                    f"car-{index}", size * 50.0 - index * 50.0, mobility
+                )
+            topology.step()  # warm the compiled plan
+            best = float("inf")
+            for _repeat in range(3):
+                started = time.perf_counter()
+                for _tick in range(ticks):
+                    topology.step()
+                best = min(best, time.perf_counter() - started)
+            return best / ticks
+        finally:
+            if previous is None:
+                os.environ.pop(NO_NUMPY_ENV, None)
+            else:
+                os.environ[NO_NUMPY_ENV] = previous
+
+    vector_on = numpy_enabled()
+    metrics: dict[str, Any] = {"ticks": ticks, "numpy": 1 if vector_on else 0}
+    scalar_us: dict[int, float] = {}
+    vector_us: dict[int, float] = {}
+    for size in sizes:
+        scalar_us[size] = step_seconds(size, scalar=True) * 1e6
+        metrics[f"scalar_step_us_n{size}"] = scalar_us[size]
+        if vector_on:
+            vector_us[size] = step_seconds(size, scalar=False) * 1e6
+            metrics[f"vector_step_us_n{size}"] = vector_us[size]
+    status = "ok"
+    if vector_on:
+        vector_growth = vector_us[64] / max(vector_us[8], 1e-9)
+        scalar_growth = scalar_us[64] / max(scalar_us[8], 1e-9)
+        metrics["vector_growth_8_to_64"] = vector_growth
+        metrics["scalar_growth_8_to_64"] = scalar_growth
+        metrics["speedup_n64"] = scalar_us[64] / max(vector_us[64], 1e-9)
+        metrics["speedup_n256"] = scalar_us[256] / max(vector_us[256], 1e-9)
+        # Sub-linear gate: an 8x fleet must cost the vectorised step
+        # < 8x (generous margin for timer noise on loaded CI runners).
+        if vector_growth >= 8.0:
+            status = "failed"
+    return BenchRecord(
+        suite="fleet",
+        name="tick_scaling",
+        status=status,
+        metrics=freeze_items(metrics),
+        meta=freeze_items(
+            {"engine": "numpy+scalar" if vector_on else "scalar-only"}
+        ),
+    )
 
 
 def bench_kernel() -> list[BenchRecord]:
@@ -1286,15 +1461,55 @@ BENCH_SUITES: dict[str, Callable[[], list[BenchRecord]]] = {
 }
 
 
+#: ``--profile`` dumps this many cProfile rows per suite.
+PROFILE_TOP_ROWS = 20
+
+
+def profile_suite(
+    name: str, sink: Callable[[str], None] = print
+) -> list[BenchRecord]:
+    """Run one suite under cProfile; dump the top cumulative rows.
+
+    The profile goes to ``sink`` line by line (top
+    :data:`PROFILE_TOP_ROWS` rows by cumulative time), the records are
+    returned unchanged -- wall-clock metrics measured *under* the
+    profiler are inflated and must not be written as trajectory
+    snapshots, which is why the CLI never combines ``--profile`` output
+    with ``--out``/``--history``.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        records = BENCH_SUITES[name]()
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP_ROWS)
+    sink(f"== profile: suite {name!r} (top {PROFILE_TOP_ROWS} cumulative) ==")
+    for line in buffer.getvalue().splitlines():
+        sink(line)
+    return records
+
+
 def run_suites(
     names: Iterable[str] | None = None,
     out_dir: str | Path | None = ".",
+    profile: bool = False,
 ) -> tuple[dict[str, list[BenchRecord]], list[Path]]:
     """Run built-in suites; write one ``BENCH_<suite>.json`` per suite.
 
     Args:
         names: Suites to run (default: all of :data:`BENCH_SUITES`).
         out_dir: Where the bench files go; ``None`` skips writing.
+        profile: Run each suite under cProfile and print its top
+            cumulative rows (see :func:`profile_suite`).  Profiled
+            wall-clock numbers are inflated, so no bench files are
+            written in this mode regardless of ``out_dir``.
 
     Returns:
         ``(records_by_suite, written_paths)``.
@@ -1309,6 +1524,9 @@ def run_suites(
     results: dict[str, list[BenchRecord]] = {}
     paths: list[Path] = []
     for name in selected:
+        if profile:
+            results[name] = profile_suite(name)
+            continue
         results[name] = BENCH_SUITES[name]()
         if out_dir is not None:
             paths.append(write_bench_file(name, results[name], out_dir))
@@ -1322,6 +1540,7 @@ __all__ = [
     "DEFAULT_REGRESSION_THRESHOLD_PCT",
     "HISTORY_SCHEMA",
     "MetricDelta",
+    "PROFILE_TOP_ROWS",
     "STATUSES",
     "append_history",
     "bench_backends",
@@ -1341,6 +1560,7 @@ __all__ = [
     "load_baseline",
     "load_bench_file",
     "load_history",
+    "profile_suite",
     "records_from_pytest_benchmark",
     "run_suites",
     "validate_bench_payload",

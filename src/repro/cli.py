@@ -344,9 +344,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
     selected = list(
         dict.fromkeys(list(args.suites) + list(args.suite or ()))
     )
+    if args.profile and args.history is not None:
+        print(
+            "ERROR: --profile numbers are inflated by the profiler; "
+            "refusing to append them to the history",
+            file=sys.stderr,
+        )
+        return 1
     try:
         results, paths = run_suites(
-            selected or None, out_dir=args.out
+            selected or None, out_dir=args.out, profile=args.profile
         )
         if args.history is not None:
             from repro.bench import append_history
@@ -738,6 +745,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--history", metavar="HISTORY.jsonl", default=None,
         help="append this run's records to an append-only JSONL history "
         "(the commit-over-commit perf trajectory)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="run each suite under cProfile and print its top-20 "
+        "cumulative rows (no bench files are written: profiled "
+        "wall-clock numbers are inflated)",
     )
     bench.set_defaults(handler=cmd_bench)
 

@@ -75,6 +75,7 @@ from repro.sim.events import (
     TRACE_MODES,
     EventBus,
     SimEvent,
+    TopicProbe,
 )
 from repro.sim.kernel import KernelScenario, ScenarioResult, SimKernel
 from repro.sim.monitor import InvariantCheck, SafetyMonitor, Violation
@@ -85,6 +86,7 @@ from repro.sim.network import (
     Message,
     PropagationModel,
     Receiver,
+    shared_message_memo,
 )
 from repro.sim.scenarios import (
     CONTROL_AUTH,
@@ -103,6 +105,7 @@ from repro.sim.scenarios import (
 from repro.sim.topology import (
     NO_NUMPY_ENV,
     Actor,
+    CompiledTickPlan,
     ConstantSpeedMobility,
     FollowLeaderMobility,
     MobilityModel,
@@ -111,6 +114,7 @@ from repro.sim.topology import (
     StationaryMobility,
     Topology,
     numpy_enabled,
+    shared_tick_plans,
 )
 from repro.sim.v2x import (
     KIND_HAZARD_WARNING,
@@ -141,6 +145,7 @@ __all__ = [
     "ChallengeResponse",
     "Channel",
     "ClampedPosition",
+    "CompiledTickPlan",
     "ConstantSpeedMobility",
     "ConstructionSiteScenario",
     "ControlPipeline",
@@ -204,6 +209,7 @@ __all__ = [
     "SpoofingAttack",
     "StationaryMobility",
     "TamperingAttack",
+    "TopicProbe",
     "Topology",
     "UC1_ALL_CONTROLS",
     "UC2_ALL_CONTROLS",
@@ -220,5 +226,7 @@ __all__ = [
     "make_frame",
     "numpy_enabled",
     "shared_mac_memo",
+    "shared_message_memo",
+    "shared_tick_plans",
     "verify_mac",
 ]

@@ -63,6 +63,8 @@ class FloodingAttack(AttackInjector):
         self._keystore = keystore
         self._payload_factory = payload_factory or (lambda n: {"flood": n})
         self._counter = 0
+        self._burst_end = 0.0
+        self._burst_step = 0
         if authenticated:
             if keystore is None:
                 raise ValueError(
@@ -74,36 +76,51 @@ class FloodingAttack(AttackInjector):
     def launch(self, start_ms: float) -> None:
         """Schedule the flood over [start_ms, start_ms + duration_ms]."""
         self._validate_window(start_ms, self.duration_ms)
-        end = start_ms + self.duration_ms
-        self._clock.schedule_at(start_ms, lambda: self._burst(end, 0))
+        self._burst_end = start_ms + self.duration_ms
+        self._burst_step = 0
+        self._clock.schedule_at(start_ms, self._burst)
 
-    def _burst(self, end: float, step: int) -> None:
-        if self._clock.now > end:
+    def _burst(self) -> None:
+        # The whole flood repeats through this one bound method -- a
+        # closure per packet would allocate ~12k lambdas per variant.
+        if self._clock.now > self._burst_end:
             self._mark_end()
             return
         self._send_one()
         gap = self.interval_ms
         if self.chaotic:
-            gap *= _CHAOTIC_PATTERN[step % len(_CHAOTIC_PATTERN)]
-        self._clock.schedule(
-            max(gap, 0.01), lambda: self._burst(end, step + 1)
-        )
+            gap *= _CHAOTIC_PATTERN[self._burst_step % len(_CHAOTIC_PATTERN)]
+        self._burst_step += 1
+        # post, not schedule: the burst never cancels itself, so the
+        # per-packet EventHandle allocation is pure overhead.
+        clock = self._clock
+        clock.post(clock.now + max(gap, 0.01), self._burst)
 
     def _send_one(self) -> None:
         self._counter += 1
         # Timestamp at construction: one Message build per flood packet
-        # instead of a construct + replace pair on the hottest send path.
-        message = Message(
-            kind=self.kind,
-            sender=self.name,
-            payload=self._payload_factory(self._counter),
-            counter=self._counter,
-            timestamp=self._clock.now,
-            location=self.location,
-        )
+        # (create_signed constructs the signed instance directly) on the
+        # hottest send path.
         if self.authenticated:
             assert self._keystore is not None
-            message = message.signed(self._keystore)
+            message = Message.create_signed(
+                self._keystore,
+                kind=self.kind,
+                sender=self.name,
+                payload=self._payload_factory(self._counter),
+                counter=self._counter,
+                timestamp=self._clock.now,
+                location=self.location,
+            )
+        else:
+            message = Message(
+                kind=self.kind,
+                sender=self.name,
+                payload=self._payload_factory(self._counter),
+                counter=self._counter,
+                timestamp=self._clock.now,
+                location=self.location,
+            )
         self._emit(message)
 
 

@@ -115,19 +115,19 @@ class SimClock:
     :meth:`run_until` / :meth:`run`.
     """
 
-    __slots__ = ("_now", "_sequence", "_queue", "_pending")
+    __slots__ = ("now", "_sequence", "_queue", "_pending")
 
     def __init__(self) -> None:
-        self._now = 0.0
+        #: Current simulation time in milliseconds.  A plain slot
+        #: attribute rather than a property: ``clock.now`` is read on
+        #: every admit/publish/send in a campaign (hundreds of thousands
+        #: of reads per flood variant) and the property dispatch was
+        #: measurable.  Only the run loops write it.
+        self.now = 0.0
         self._sequence = 0
         # Heap of (time, sequence, EventHandle | None, callback).
         self._queue: list[tuple] = []
         self._pending = 0
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in milliseconds."""
-        return self._now
 
     def _push(
         self,
@@ -148,12 +148,15 @@ class SimClock:
         Raises:
             SimulationError: when scheduling in the past.
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time} ms; clock is at {self._now} ms"
+                f"cannot schedule at {time} ms; clock is at {self.now} ms"
             )
         handle = EventHandle(self, time)
-        self._push(time, handle, callback)
+        # _push inlined: schedule_at runs per attack packet / timer tick.
+        heappush(self._queue, (time, self._sequence, handle, callback))
+        self._sequence += 1
+        self._pending += 1
         return handle
 
     def schedule(
@@ -166,7 +169,7 @@ class SimClock:
         """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self.now + delay, callback)
 
     def post(self, time: float, callback: Callable[[], None]) -> None:
         """Fire-and-forget :meth:`schedule_at`: no :class:`EventHandle`.
@@ -178,11 +181,15 @@ class SimClock:
         Raises:
             SimulationError: when scheduling in the past.
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time} ms; clock is at {self._now} ms"
+                f"cannot schedule at {time} ms; clock is at {self.now} ms"
             )
-        self._push(time, None, callback)
+        # _push inlined: post runs once per delivery and per ECU service
+        # slot -- the two highest-volume scheduling sites in a campaign.
+        heappush(self._queue, (time, self._sequence, None, callback))
+        self._sequence += 1
+        self._pending += 1
 
     def schedule_periodic(
         self,
@@ -200,10 +207,10 @@ class SimClock:
         """
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period}")
-        first = start if start is not None else self._now + period
-        if first < self._now:
+        first = start if start is not None else self.now + period
+        if first < self.now:
             raise SimulationError(
-                f"cannot schedule at {first} ms; clock is at {self._now} ms"
+                f"cannot schedule at {first} ms; clock is at {self.now} ms"
             )
         self._push(
             first, None, _PeriodicSchedule(self, period, callback, first, until)
@@ -215,9 +222,9 @@ class SimClock:
         Returns the number of events executed.  The clock ends exactly at
         ``time`` even if the queue drains earlier.
         """
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot run backwards to {time} ms from {self._now} ms"
+                f"cannot run backwards to {time} ms from {self.now} ms"
             )
         queue = self._queue
         executed = 0
@@ -228,10 +235,10 @@ class SimClock:
                     continue  # counter already adjusted at cancel time
                 handle._state = _DONE
             self._pending -= 1
-            self._now = event_time
+            self.now = event_time
             callback()
             executed += 1
-        self._now = time
+        self.now = time
         return executed
 
     def run(self) -> int:
@@ -248,7 +255,7 @@ class SimClock:
                     continue
                 handle._state = _DONE
             self._pending -= 1
-            self._now = event_time
+            self.now = event_time
             callback()
             executed += 1
         return executed

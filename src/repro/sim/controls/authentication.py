@@ -24,6 +24,8 @@ class SenderAuthentication(SecurityControl):
     or whose tag does not verify (spoofed identity or tampered payload).
     """
 
+    __slots__ = ("_keystore",)
+
     def __init__(self, keystore: KeyStore, name: str = "sender-auth") -> None:
         super().__init__(name)
         self._keystore = keystore
@@ -57,6 +59,8 @@ class MessageCounterCheck(SecurityControl):
     counter; a badly implemented flood reuses counters; both are "broken
     messages" and denied.
     """
+
+    __slots__ = ("_last",)
 
     def __init__(self, name: str = "message-counter") -> None:
         super().__init__(name)

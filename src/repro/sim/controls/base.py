@@ -14,16 +14,20 @@ decide the *Attack Fails* criteria.
 from __future__ import annotations
 
 import abc
-import dataclasses
+from typing import NamedTuple
 
 from repro.sim.clock import SimClock
 from repro.sim.events import EventBus
 from repro.sim.network import Message
 
 
-@dataclasses.dataclass(frozen=True)
-class Decision:
+class Decision(NamedTuple):
     """The verdict of one control over one message.
+
+    A ``NamedTuple`` rather than a frozen dataclass: decisions are
+    allocated on the per-message admit path (one per denial under a
+    flood), and tuple construction skips the dataclass ``__init__``
+    overhead while keeping immutability and field names.
 
     Attributes:
         allowed: True to pass the message on.
@@ -53,9 +57,12 @@ class Decision:
         return cls(allowed=False, control=control, reason=reason)
 
 
-@dataclasses.dataclass(frozen=True)
-class DetectionRecord:
-    """One detection-log entry (a denied message)."""
+class DetectionRecord(NamedTuple):
+    """One detection-log entry (a denied message).
+
+    A ``NamedTuple`` for the same reason as :class:`Decision`: a
+    protected ECU under a flood appends one record per denied packet.
+    """
 
     time: float
     control: str
@@ -70,7 +77,15 @@ class SecurityControl(abc.ABC):
     Subclasses implement :meth:`inspect`; they may keep per-sender state
     (counters, rate windows, replay caches) -- one control instance guards
     one ECU, so state is per protection point, as in a real SUT.
+
+    ``__slots__``-based (as are the built-in subclasses): ``inspect``
+    runs once per delivered message per ECU, where slot attribute access
+    is measurably cheaper than a ``__dict__`` walk.  Subclasses that
+    declare no ``__slots__`` of their own still work (they just carry a
+    ``__dict__`` for their extra attributes).
     """
+
+    __slots__ = ("name", "pass_decision")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -97,6 +112,17 @@ class ControlPipeline:
     ``control.detection.<ecu>`` so oracles and the safety monitor can react.
     """
 
+    __slots__ = (
+        "ecu_name",
+        "_clock",
+        "_bus",
+        "_controls",
+        "_detections",
+        "_counts",
+        "_detection_topic",
+        "_detection_probe",
+    )
+
     def __init__(
         self,
         ecu_name: str,
@@ -108,9 +134,18 @@ class ControlPipeline:
         self._clock = clock
         self._bus = bus
         self._controls: list[SecurityControl] = list(controls or [])
-        self._detections: list[DetectionRecord] = []
+        # Columnar log: plain 5-tuples in DetectionRecord field order.
+        # A flood appends one row per denied packet; the named view is
+        # materialised lazily (``detections``) while per-control totals
+        # are kept incrementally (``control_counts``), so verdict
+        # derivation never walks tens of thousands of rows.
+        self._detections: list[tuple] = []
+        self._counts: dict[str, int] = {}
         # Built once: a per-denial f-string means a fresh hash per publish.
         self._detection_topic = f"control.detection.{ecu_name}"
+        # A flood denies tens of thousands of messages per variant; the
+        # probe keeps each unobserved denial event at counter cost.
+        self._detection_probe = bus.probe(self._detection_topic)
 
     def add(self, control: SecurityControl) -> "ControlPipeline":
         """Append a control; returns self for chaining."""
@@ -124,41 +159,75 @@ class ControlPipeline:
 
     def admit(self, message: Message) -> Decision:
         """Run all controls; first denial wins and is logged."""
+        controls = self._controls
+        if not controls:
+            return _PIPELINE_PASS
         now = self._clock.now
-        for control in self._controls:
+        for control in controls:
             decision = control.inspect(message, now)
             if not decision.allowed:
-                record = DetectionRecord(
-                    time=now,
-                    control=decision.control or control.name,
-                    reason=decision.reason,
-                    message_kind=message.kind,
-                    sender=message.sender,
+                # Raw-tuple row (DetectionRecord field order): building
+                # the NamedTuple here costs ~3x on a path that runs
+                # once per denied packet; named access is restored
+                # lazily by the ``detections`` view.
+                name = decision.control or control.name
+                self._detections.append(
+                    (
+                        now,
+                        name,
+                        decision.reason,
+                        message.kind,
+                        message.sender,
+                    )
                 )
-                self._detections.append(record)
-                self._bus.publish(
-                    now,
-                    self._detection_topic,
-                    self.ecu_name,
-                    control=record.control,
-                    reason=record.reason,
-                    kind=record.message_kind,
-                    sender=record.sender,
-                )
+                counts = self._counts
+                counts[name] = counts.get(name, 0) + 1
+                if self._detection_probe.active:
+                    self._bus.publish(
+                        now,
+                        self._detection_topic,
+                        self.ecu_name,
+                        control=name,
+                        reason=decision.reason,
+                        kind=message.kind,
+                        sender=message.sender,
+                    )
+                else:
+                    # Inlined EventBus.tally: one increment per denial.
+                    topic_counts = self._detection_probe.counts
+                    topic = self._detection_topic
+                    try:
+                        topic_counts[topic] += 1
+                    except KeyError:
+                        topic_counts[topic] = 1
                 return decision
         return _PIPELINE_PASS
 
     @property
     def detections(self) -> tuple[DetectionRecord, ...]:
-        """The intrusion log of this ECU."""
+        """The intrusion log of this ECU (named records, built on read)."""
+        return tuple(map(DetectionRecord._make, self._detections))
+
+    def raw_detections(self) -> tuple[tuple, ...]:
+        """The intrusion log as plain rows (DetectionRecord field order).
+
+        Rows compare equal to the corresponding :class:`DetectionRecord`
+        (both are tuples); scenario result collection uses this form to
+        avoid materialising one NamedTuple per denied flood packet.
+        """
         return tuple(self._detections)
+
+    @property
+    def control_counts(self) -> dict[str, int]:
+        """Denials per control name (maintained incrementally)."""
+        return dict(self._counts)
 
     def detections_by(self, control_name: str) -> tuple[DetectionRecord, ...]:
         """Detections raised by one named control."""
         return tuple(
-            record
-            for record in self._detections
-            if record.control == control_name
+            DetectionRecord._make(row)
+            for row in self._detections
+            if row[1] == control_name
         )
 
     def reset(self) -> None:
@@ -166,6 +235,7 @@ class ControlPipeline:
         for control in self._controls:
             control.reset()
         self._detections.clear()
+        self._counts.clear()
 
 
 __all__ = [

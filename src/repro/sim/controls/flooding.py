@@ -26,6 +26,17 @@ class FloodingDetector(SecurityControl):
         cooldown_ms: Block duration once a sender is flagged.
     """
 
+    __slots__ = (
+        "window_ms",
+        "max_messages",
+        "cooldown_ms",
+        "_history",
+        "_blocked_until",
+        "_flagged",
+        "_block_decisions",
+        "_last_block",
+    )
+
     def __init__(
         self,
         window_ms: float = 1000.0,
@@ -46,13 +57,23 @@ class FloodingDetector(SecurityControl):
         self._flagged: set[str] = set()
         # (sender, blocked_until) -> the deny Decision for that block
         # window: a sustained flood denies thousands of messages with
-        # the identical (immutable) verdict -- format it once.
+        # the identical (immutable) verdict -- format it once.  The last
+        # block is additionally kept unpacked: consecutive denials of
+        # one flooding sender hit it without building a tuple key.
         self._block_decisions: dict[tuple[str, float], Decision] = {}
+        self._last_block: tuple[str, float, Decision] | None = None
 
     def inspect(self, message: Message, now: float) -> Decision:
         sender = message.sender
         blocked_until = self._blocked_until.get(sender, -1.0)
         if now < blocked_until:
+            last = self._last_block
+            if (
+                last is not None
+                and last[1] == blocked_until
+                and last[0] == sender
+            ):
+                return last[2]
             block = (sender, blocked_until)
             decision = self._block_decisions.get(block)
             if decision is None:
@@ -61,6 +82,7 @@ class FloodingDetector(SecurityControl):
                     f"sender {sender!r} blocked until {blocked_until:.0f} ms "
                     "(enforced frequency change)",
                 )
+            self._last_block = (sender, blocked_until, decision)
             return decision
         window = self._history.get(sender)
         if window is None:  # setdefault would build a deque per message
@@ -93,6 +115,8 @@ class FloodingDetector(SecurityControl):
         self._history.clear()
         self._blocked_until.clear()
         self._flagged.clear()
+        self._block_decisions.clear()
+        self._last_block = None
 
 
 __all__ = [

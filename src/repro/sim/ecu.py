@@ -40,7 +40,32 @@ class Ecu:
             arrivals, the ECU gives up and shuts down -- AD20's success
             criterion, "Shutdown of service".  ``None`` disables the
             failure mode (the ECU degrades but never dies).
+
+    ``__slots__``-based: ``receive`` runs once per receiver per
+    delivery, the hottest fan-out in the simulator.  Subclasses without
+    their own ``__slots__`` still work (they carry a ``__dict__``).
     """
+
+    __slots__ = (
+        "name",
+        "service_time_ms",
+        "queue_capacity",
+        "shutdown_after_overloads",
+        "pipeline",
+        "_clock",
+        "_bus",
+        "_busy_until",
+        "_queued",
+        "_processed",
+        "_rejected",
+        "_overloaded",
+        "_shut_down",
+        "_topic_processed",
+        "_topic_overload",
+        "_topic_shutdown",
+        "_processed_probe",
+        "_admit",
+    )
 
     def __init__(
         self,
@@ -74,6 +99,11 @@ class Ecu:
         self._topic_processed = f"ecu.{name}.processed"
         self._topic_overload = f"ecu.{name}.overload"
         self._topic_shutdown = f"ecu.{name}.shutdown"
+        # One processed event per admitted message: the probe keeps the
+        # unobserved case (counts mode, no subscriber) at counter cost.
+        self._processed_probe = bus.probe(self._topic_processed)
+        # Bound once: receive() runs once per receiver per delivery.
+        self._admit = self.pipeline.admit
 
     # -- Receiver protocol -------------------------------------------------
 
@@ -81,8 +111,7 @@ class Ecu:
         """Admission control, then enqueue for processing."""
         if self._shut_down:
             return
-        decision = self.pipeline.admit(message)
-        if not decision.allowed:
+        if not self._admit(message).allowed:
             self._rejected += 1
             return
         if (
@@ -119,13 +148,22 @@ class Ecu:
     def _process(self, message: Message) -> None:
         self._queued -= 1
         self._processed += 1
-        self._bus.publish(
-            self._clock.now,
-            self._topic_processed,
-            self.name,
-            kind=message.kind,
-            sender=message.sender,
-        )
+        if self._processed_probe.active:
+            self._bus.publish(
+                self._clock.now,
+                self._topic_processed,
+                self.name,
+                kind=message.kind,
+                sender=message.sender,
+            )
+        else:
+            # Inlined EventBus.tally: one increment per processed message.
+            topic_counts = self._processed_probe.counts
+            topic = self._topic_processed
+            try:
+                topic_counts[topic] += 1
+            except KeyError:
+                topic_counts[topic] = 1
         self.handle(message)
 
     # -- subclass API --------------------------------------------------------
@@ -170,6 +208,8 @@ class Gateway(Ecu):
     routed kind is transformed and sent on the target network after
     processing.  Unrouted kinds are simply processed (and countable).
     """
+
+    __slots__ = ("_routes", "_forwarded")
 
     def __init__(
         self,

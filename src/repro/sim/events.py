@@ -111,6 +111,9 @@ class EventBus:
         # prefix -> [(subscription order, subscriber), ...]
         self._subscribers: dict[str, list[tuple[int, Subscriber]]] = {}
         self._subscription_count = 0
+        # Bumped with every subscribe()/retain(): TopicProbe caches its
+        # "does anyone want this topic" answer against it.
+        self.plan_epoch = 0
         self._trace: list[SimEvent] = []
         self._topic_counts: dict[str, int] = {}
         self._retained: frozenset[str] = frozenset()
@@ -119,6 +122,10 @@ class EventBus:
         # topic -> (ordered subscribers, retained?) -- the publish fast
         # path; invalidated wholesale on subscribe()/retain().
         self._plans: dict[str, tuple[tuple[Subscriber, ...], bool]] = {}
+        # Issued probes, refreshed eagerly whenever the plan epoch moves
+        # (rare) so their ``active`` flag is a plain attribute read on
+        # the per-message hot paths (frequent).
+        self._probes: dict[str, "TopicProbe"] = {}
         # Cached immutable views, invalidated on publish/clear.
         self._events_cache: dict[str, tuple[SimEvent, ...]] = {}
         self._trace_cache: tuple[SimEvent, ...] | None = None
@@ -135,6 +142,8 @@ class EventBus:
         )
         self._subscription_count += 1
         self._plans.clear()
+        self.plan_epoch += 1
+        self._refresh_probes()
 
     def retain(self, topic_prefix: str) -> None:
         """Keep events under ``topic_prefix`` in the trace in every mode.
@@ -148,6 +157,8 @@ class EventBus:
         if topic_prefix not in self._retained:
             self._retained = self._retained | {topic_prefix}
             self._plans.clear()
+            self.plan_epoch += 1
+            self._refresh_probes()
 
     def publish(
         self,
@@ -184,6 +195,46 @@ class EventBus:
         for subscriber in subscribers:
             subscriber(event)
         return event
+
+    def tally(self, time: float, topic: str, source: str) -> None:
+        """Count a publication that nothing would observe.
+
+        Equivalent to :meth:`publish` for a topic :meth:`wants` answered
+        ``False`` for: the per-topic counter ticks, no event is
+        allocated.  Hot publishers pair it with a :class:`TopicProbe`
+        so the per-message cost is one dict increment instead of a
+        kwargs build plus plan lookup.  (``time``/``source`` are
+        accepted so call sites stay shaped like ``publish``.)
+        """
+        counts = self._topic_counts
+        try:
+            counts[topic] += 1
+        except KeyError:
+            counts[topic] = 1
+
+    def wants(self, topic: str) -> bool:
+        """True when publishing ``topic`` would retain or dispatch.
+
+        The answer is only stable while :attr:`plan_epoch` stands still;
+        :class:`TopicProbe` keeps a live copy for hot paths.
+        """
+        plan = self._plans.get(topic)
+        if plan is None:
+            plan = self._build_plan(topic)
+        subscribers, retained = plan
+        return retained or bool(subscribers)
+
+    def probe(self, topic: str) -> "TopicProbe":
+        """A cached :meth:`wants` probe for one hot-path topic."""
+        cached = self._probes.get(topic)
+        if cached is None:
+            cached = self._probes[topic] = TopicProbe(self, topic)
+        return cached
+
+    def _refresh_probes(self) -> None:
+        """Re-answer every issued probe after a plan-epoch move."""
+        for probe in self._probes.values():
+            probe.active = self.wants(probe.topic)
 
     def _build_plan(
         self, topic: str
@@ -285,7 +336,8 @@ class EventBus:
             tally
             for topic, tally in counts.items()
             if topic != topic_prefix
-            and topic_prefix in prefixes_of[topic]
+            and topic_prefix
+            in (prefixes_of.get(topic) or _segment_prefixes(topic))
         )
 
     def last(self, topic_prefix: str) -> SimEvent | None:
@@ -317,10 +369,45 @@ def _matches(prefix: str, topic: str) -> bool:
     return topic == prefix or topic.startswith(prefix + ".")
 
 
+class TopicProbe:
+    """A per-topic "would anyone observe this publish?" cache.
+
+    Hot publishers (per-denial detection logs, per-delivery channel
+    events) emit hundreds of thousands of events per campaign variant
+    that -- in ``"counts"`` mode with no subscriber -- only ever tick a
+    counter.  A probe answers :meth:`EventBus.wants` once per
+    subscription epoch, so those call sites degrade to
+    :meth:`EventBus.tally` (one dict increment) instead of building
+    kwargs for an event nobody would see.  Dispatch semantics are
+    untouched: the moment a subscriber or retention prefix appears, the
+    bus refreshes every issued probe, so :attr:`active` is always
+    current and hot paths can branch on a plain attribute read.
+    """
+
+    __slots__ = ("bus", "topic", "active", "counts")
+
+    def __init__(self, bus: EventBus, topic: str) -> None:
+        self.bus = bus
+        self.topic = topic
+        #: Live "would a publish be observed" answer, maintained by the
+        #: bus on every subscribe()/retain() (read-only for callers).
+        self.active = bus.wants(topic)
+        #: The bus's live per-topic counter map: when :attr:`active` is
+        #: False the call site increments ``counts[topic]`` directly --
+        #: the whole of :meth:`EventBus.tally` without the call.
+        self.counts = bus._topic_counts
+        bus._probes.setdefault(topic, self)
+
+    def wants(self) -> bool:
+        """The probe's current answer (an alias for :attr:`active`)."""
+        return self.active
+
+
 __all__ = [
     "EventBus",
     "SimEvent",
     "TRACE_COUNTS",
     "TRACE_FULL",
     "TRACE_MODES",
+    "TopicProbe",
 ]

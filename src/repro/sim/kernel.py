@@ -41,13 +41,23 @@ class ScenarioResult:
         violations: Safety-goal violations recorded by the monitor.
         detections: Per-ECU detection-log sizes (control name -> count is
             available via ``detection_records``).
-        detection_records: The full intrusion logs per ECU.
+        detection_records: The full intrusion logs per ECU.  Rows are
+            tuples in :class:`~repro.sim.controls.base.DetectionRecord`
+            field order -- either the NamedTuple itself or the
+            pipeline's plain raw rows (value-equal; index access works
+            for both).
+        detection_control_counts: Per-ECU ``{control: denial count}``
+            maps, when the scenario maintains them incrementally
+            (``None`` otherwise).  Verdict derivation prefers these over
+            walking ``detection_records``: a flood variant logs tens of
+            thousands of rows.
         stats: Component statistics (channels, ECUs, locks).
     """
 
     violations: tuple[Violation, ...]
     detection_records: dict[str, tuple]
     stats: dict[str, Any]
+    detection_control_counts: dict[str, dict[str, int]] | None = None
 
     def violated(self, goal_id: str) -> bool:
         """True when the named safety goal was violated."""
@@ -64,10 +74,20 @@ class ScenarioResult:
 
     def detections_of(self, ecu: str, control: str | None = None) -> int:
         """Detection count of one ECU (optionally one control)."""
+        counts = (
+            self.detection_control_counts.get(ecu)
+            if self.detection_control_counts is not None
+            else None
+        )
+        if counts is not None:
+            if control is None:
+                return sum(counts.values())
+            return counts.get(control, 0)
         records = self.detection_records.get(ecu, ())
         if control is None:
             return len(records)
-        return sum(1 for record in records if record.control == control)
+        # Index 1 is the control name; rows may be plain tuples.
+        return sum(1 for record in records if record[1] == control)
 
     def detection_counts(self) -> dict[str, int]:
         """Total detection-log size per ECU (plain data, picklable)."""
@@ -261,6 +281,15 @@ class KernelScenario:
         """The intrusion logs per protected ECU (subclass hook)."""
         return {}
 
+    def detection_control_counts(self) -> dict[str, dict[str, int]] | None:
+        """Per-ECU per-control denial counts (subclass hook).
+
+        Scenarios whose pipelines maintain incremental counts return
+        them here so verdict derivation skips walking the full logs;
+        the default ``None`` keeps the walk-the-records fallback.
+        """
+        return None
+
     def collect_stats(self) -> dict[str, Any]:
         """Component statistics for the result (subclass hook)."""
         return self.kernel.medium_stats()
@@ -280,6 +309,7 @@ class KernelScenario:
             violations=self.monitor.violations,
             detection_records=self.detection_records(),
             stats=self.collect_stats(),
+            detection_control_counts=self.detection_control_counts(),
         )
 
 

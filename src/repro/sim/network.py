@@ -18,21 +18,82 @@ verification and freshness checks.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import functools
 import itertools
+import threading
 from collections import deque
-from typing import Any, Callable, ClassVar, Protocol, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Iterable,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
-from repro.sim.crypto import (
-    KeyStore,
-    canonical_payload,
-    compute_mac,
-    verify_mac,
-)
+from repro.sim.crypto import KeyStore, compute_mac, verify_mac
 from repro.sim.events import EventBus
+
+# Batch-scoped signed-message memo (see shared_message_memo).  Thread-
+# local for the same reason as crypto._MEMO_STATE: thread-backend
+# workers must never share mutable state.
+_MESSAGE_MEMO_STATE = threading.local()
+_MESSAGE_MEMO_LIMIT = 65536
+
+
+@contextlib.contextmanager
+def shared_message_memo():
+    """Activate cross-variant reuse of honestly signed messages.
+
+    Variants of one scenario family replay identical deterministic
+    traffic: the same senders sign the same (kind, counter, timestamp,
+    payload) tuples with the same derived keys -- a flooding attacker's
+    whole schedule is repeated verbatim by its exposed/protected twin.
+    Inside this scope :meth:`Message.create_signed` returns the *same
+    frozen instance* for a repeated signature request, skipping payload
+    canonicalisation, the HMAC, and dataclass construction.
+
+    Sharing an instance is safe for the same reason broadcasts are: a
+    ``Message`` is frozen, its payload is immutable by contract, and its
+    per-instance caches memoise pure functions of those fields.  Scoped
+    to :func:`repro.engine.batch.execute_batch` so unbatched runs keep
+    their exact cost profile.  Nesting reuses the outer memo.
+    """
+    previous = getattr(_MESSAGE_MEMO_STATE, "memo", None)
+    memo = {} if previous is None else previous
+    _MESSAGE_MEMO_STATE.memo = memo
+    try:
+        yield memo
+    finally:
+        _MESSAGE_MEMO_STATE.memo = previous
+
+
+def _signing_payload(
+    kind: str,
+    sender: str,
+    counter: int,
+    timestamp: float,
+    payload: dict[str, Any],
+) -> bytes:
+    """The canonical signing bytes of a message, built directly.
+
+    Byte-identical to ``canonical_payload({...})`` over the field dict
+    the tag has always covered: the fixed field names sort as ``counter
+    < kind < payload.* < sender < timestamp``, and prefixing payload
+    keys with ``payload.`` preserves their relative ``sorted`` order, so
+    the parts can be emitted in one pass without building and re-sorting
+    the intermediate dict (signing sits on the per-send hot path).
+    """
+    parts = [f"counter={counter!r}", f"kind={kind!r}"]
+    for key in sorted(payload):
+        parts.append(f"payload.{key}={payload[key]!r}")
+    parts.append(f"sender={sender!r}")
+    parts.append(f"timestamp={timestamp!r}")
+    return "|".join(parts).encode("utf-8")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,17 +145,10 @@ class Message:
         receiver's authentication check)."""
         cached = self._signing_cache
         if cached is None:
-            fields = {
-                "kind": self.kind,
-                "sender": self.sender,
-                "counter": self.counter,
-                "timestamp": self.timestamp,
-                **{
-                    f"payload.{key}": value
-                    for key, value in self.payload.items()
-                },
-            }
-            cached = canonical_payload(fields)
+            cached = _signing_payload(
+                self.kind, self.sender, self.counter, self.timestamp,
+                self.payload,
+            )
             object.__setattr__(self, "_signing_cache", cached)
         return cached
 
@@ -148,6 +202,68 @@ class Message:
         object.__setattr__(copy, "_signing_cache", signing)
         object.__setattr__(copy, "_mac_cache", {key: True})
         return copy
+
+    @classmethod
+    def create_signed(
+        cls,
+        keystore: KeyStore,
+        *,
+        kind: str,
+        sender: str,
+        payload: dict[str, Any],
+        counter: int = 0,
+        timestamp: float = -1.0,
+        location: str = "",
+    ) -> "Message":
+        """Construct a message already carrying a valid auth tag.
+
+        Equivalent to ``Message(...).signed(keystore)`` but with a single
+        construction: the signing bytes are built from the raw fields,
+        the tag is computed, and the one instance is created with both
+        caches pre-seeded.  Consumes exactly one ``unique_id`` -- the
+        same as the two-step spelling, whose ``signed()`` copy carries
+        the throwaway original's id.
+
+        Inside a :func:`shared_message_memo` scope, a repeated request
+        (same fields, same key) returns the previously built instance.
+        """
+        key = keystore.key_of(sender)
+        memo = getattr(_MESSAGE_MEMO_STATE, "memo", None)
+        token = None
+        if memo is not None:
+            try:
+                token = (
+                    kind,
+                    sender,
+                    counter,
+                    timestamp,
+                    location,
+                    key,
+                    tuple(sorted(payload.items())),
+                )
+                cached = memo.get(token)
+            except TypeError:  # unhashable payload value: not memoisable
+                memo = None
+            else:
+                if cached is not None:
+                    return cached
+        signing = _signing_payload(kind, sender, counter, timestamp, payload)
+        message = cls(
+            kind=kind,
+            sender=sender,
+            payload=payload,
+            counter=counter,
+            timestamp=timestamp,
+            auth_tag=compute_mac(key, signing),
+            location=location,
+        )
+        object.__setattr__(message, "_signing_cache", signing)
+        object.__setattr__(message, "_mac_cache", {key: True})
+        if memo is not None and token is not None:
+            if len(memo) >= _MESSAGE_MEMO_LIMIT:
+                memo.clear()
+            memo[token] = message
+        return message
 
     def with_timestamp(self, time: float) -> "Message":
         """Copy with ``timestamp`` set (tag untouched -- stamp first, then sign)."""
@@ -273,6 +389,11 @@ class Channel:
         self._clock = clock
         self._bus = bus
         self._receivers: list[Receiver] = []
+        # Receivers that only care about some kinds (e.g. relays that
+        # never act on CAM floods) declare them at attach(); deliveries
+        # of other kinds skip them entirely via per-kind fan-out lists.
+        self._kind_limits: dict[Receiver, frozenset[str]] = {}
+        self._kind_views: dict[str, list[Receiver]] = {}
         self._taps: list[Callable[[Message], None]] = []
         self._jam_until = -1.0
         self._next_free = 0.0
@@ -284,12 +405,46 @@ class Channel:
         # Topic strings built once; per-message f-strings rehash per publish.
         self._topic_delivered = f"channel.{name}.delivered"
         self._topic_dropped = f"channel.{name}.dropped"
+        # One delivered event per message: the probe keeps the
+        # unobserved case (counts mode, no subscriber) at counter cost.
+        self._delivered_probe = bus.probe(self._topic_delivered)
 
     # -- wiring -----------------------------------------------------------
 
-    def attach(self, receiver: Receiver) -> None:
-        """Attach a receiver; it gets every delivered message."""
+    def attach(
+        self, receiver: Receiver, kinds: Iterable[str] | None = None
+    ) -> None:
+        """Attach a receiver; it gets every delivered message.
+
+        ``kinds`` optionally restricts the receiver to the named message
+        kinds: deliveries of any other kind never call its ``receive``.
+        Use it for endpoints whose ``receive`` is a no-op outside a fixed
+        kind set (e.g. V2V relays only forward road-works warnings), so
+        a high-rate flood of an uninteresting kind does not pay one call
+        per attached-but-indifferent node.  Semantically identical to
+        attaching without ``kinds`` as long as the declaration really
+        covers every kind the receiver acts on.
+        """
         self._receivers.append(receiver)
+        if kinds is not None:
+            self._kind_limits[receiver] = frozenset(kinds)
+        self._kind_views.clear()
+
+    def detach(self, receiver: Receiver) -> None:
+        """Remove a receiver from delivery (idempotent).
+
+        Scenarios use this to take dead nodes off the air: an ECU that
+        shut down ignores everything it receives anyway, so dropping it
+        from the fan-out preserves behaviour while a flood no longer
+        pays per-delivery calls into receivers that are gone.
+        """
+        try:
+            self._receivers.remove(receiver)
+        except ValueError:
+            pass
+        else:
+            self._kind_limits.pop(receiver, None)
+            self._kind_views.clear()
 
     def tap(self, listener: Callable[[Message], None]) -> None:
         """Attach a passive tap (eavesdropper); sees sends immediately."""
@@ -322,7 +477,7 @@ class Channel:
         self._sent += 1
         for listener in self._taps:
             listener(message)
-        if self.jammed:
+        if self._clock.now < self._jam_until:  # inline `jammed` (hot path)
             self._dropped += 1
             self._bus.publish(
                 self._clock.now,
@@ -351,19 +506,44 @@ class Channel:
 
     def _deliver(self, message: Message) -> None:
         self._delivered += 1
-        self._bus.publish(
-            self._clock.now,
-            self._topic_delivered,
-            self.name,
-            kind=message.kind,
-            sender=message.sender,
-        )
+        if self._delivered_probe.active:
+            self._bus.publish(
+                self._clock.now,
+                self._topic_delivered,
+                self.name,
+                kind=message.kind,
+                sender=message.sender,
+            )
+        else:
+            # Inlined EventBus.tally: one increment per delivery.
+            topic_counts = self._delivered_probe.counts
+            topic = self._topic_delivered
+            try:
+                topic_counts[topic] += 1
+            except KeyError:
+                topic_counts[topic] = 1
         # Range membership is evaluated now, at delivery time; receiver
         # order is the deterministic attach order, so range-edge cases
         # resolve through the clock's scheduling sequence alone.  The
         # attach list is handed to the propagation model directly --
         # models must not mutate it (InfiniteRange returns it unchanged).
         attached = self._receivers
+        if self._kind_limits:
+            kind = message.kind
+            view = self._kind_views.get(kind)
+            if view is None:
+                # Built once per kind (invalidated by attach/detach):
+                # the fan-out for a kind only visits receivers that
+                # declared it (or declared nothing).  Stable list
+                # identity keeps downstream propagation memos valid.
+                limits = self._kind_limits
+                view = self._kind_views[kind] = [
+                    receiver
+                    for receiver in attached
+                    if (limit := limits.get(receiver)) is None
+                    or kind in limit
+                ]
+            attached = view
         reached = self.propagation.receivers(message, attached)
         if reached is not attached:
             self._out_of_range += len(attached) - len(reached)
@@ -394,4 +574,5 @@ __all__ = [
     "Message",
     "PropagationModel",
     "Receiver",
+    "shared_message_memo",
 ]

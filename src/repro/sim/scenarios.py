@@ -46,7 +46,13 @@ from repro.sim.controls import (
     ValueRangeCheck,
 )
 from repro.sim.topology import RangePropagation
-from repro.sim.v2x import OnBoardUnit, RoadsideUnit, V2VRelay
+from repro.sim.v2x import (
+    KIND_ROAD_WORKS,
+    KIND_V2V_RELAY,
+    OnBoardUnit,
+    RoadsideUnit,
+    V2VRelay,
+)
 from repro.sim.vehicle import Driver, DrivingMode, Vehicle
 
 __all__ = [
@@ -176,6 +182,12 @@ class ConstructionSiteScenario(KernelScenario):
         )
         self._deploy_obu_controls()
         self.v2x.attach(self.obu)
+        # A shut-down OBU ignores every delivery forever; take it off the
+        # air so a sustained flood stops paying for calls into a corpse.
+        self.bus.subscribe(
+            f"ecu.{self.obu.name}.shutdown",
+            lambda event: self.v2x.detach(self.obu),
+        )
 
         self.rsu.broadcast_periodically(
             rsu_period_ms, zone_start_m, zone_speed_limit_mps, until=None
@@ -267,7 +279,10 @@ class ConstructionSiteScenario(KernelScenario):
     # -- result collection ---------------------------------------------------
 
     def detection_records(self) -> dict[str, tuple]:
-        return {"OBU": self.obu.pipeline.detections}
+        return {"OBU": self.obu.pipeline.raw_detections()}
+
+    def detection_control_counts(self) -> dict[str, dict[str, int]]:
+        return {"OBU": self.obu.pipeline.control_counts}
 
     def collect_stats(self) -> dict[str, Any]:
         return {
@@ -396,6 +411,11 @@ class FleetConstructionSiteScenario(KernelScenario):
             self._deploy_obu_controls(obu)
             self.topology.bind(obu.name, vehicle.name)
             self.v2x.attach(obu)
+            # As in the single-vehicle scenario: dead OBUs leave the air.
+            self.bus.subscribe(
+                f"ecu.{obu.name}.shutdown",
+                lambda event, obu=obu: self.v2x.detach(obu),
+            )
             self.vehicles.append(vehicle)
             self.drivers.append(driver)
             self.obus.append(obu)
@@ -409,7 +429,12 @@ class FleetConstructionSiteScenario(KernelScenario):
                     max_hops=v2v_max_hops,
                 )
                 self.topology.bind(relay.name, vehicle.name)
-                self.v2x.attach(relay)
+                # Relays only forward road-works warnings (original or
+                # relayed); declaring the kinds keeps a CAM flood from
+                # paying one no-op receive per relay per packet.
+                self.v2x.attach(
+                    relay, kinds=(KIND_ROAD_WORKS, KIND_V2V_RELAY)
+                )
                 self.relays.append(relay)
 
         self.topology.add_stationary(
@@ -522,7 +547,10 @@ class FleetConstructionSiteScenario(KernelScenario):
         }
 
     def detection_records(self) -> dict[str, tuple]:
-        return {obu.name: obu.pipeline.detections for obu in self.obus}
+        return {obu.name: obu.pipeline.raw_detections() for obu in self.obus}
+
+    def detection_control_counts(self) -> dict[str, dict[str, int]]:
+        return {obu.name: obu.pipeline.control_counts for obu in self.obus}
 
     def collect_stats(self) -> dict[str, Any]:
         handovers = sum(
@@ -704,7 +732,10 @@ class KeylessEntryScenario(KernelScenario):
     # -- result collection ---------------------------------------------------
 
     def detection_records(self) -> dict[str, tuple]:
-        return {"ECU_GW": self.access_ecu.pipeline.detections}
+        return {"ECU_GW": self.access_ecu.pipeline.raw_detections()}
+
+    def detection_control_counts(self) -> dict[str, dict[str, int]]:
+        return {"ECU_GW": self.access_ecu.pipeline.control_counts}
 
     def collect_stats(self) -> dict[str, Any]:
         return {

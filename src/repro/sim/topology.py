@@ -14,14 +14,7 @@ Case I's radio-coverage story actually needs:
   periodic tick in actor-insertion order.
 * :class:`SpatialIndex` -- an immutable sorted-position snapshot
   answering range queries in ``O(log n + k)``, with results ordered
-  deterministically by ``(distance, name)``.  With :mod:`numpy`
-  installed (the ``repro[perf]`` extra) the index keeps its positions
-  as a float64 structure-of-arrays and answers ``within()`` /
-  ``nearest()`` with vectorised ``searchsorted`` + ``lexsort``; the
-  pure-Python path merges the two distance-sorted halves of the hit
-  slice lazily (no re-sort of the slice), so both paths return exactly
-  the same ``(distance, name)`` ordering.  Set ``REPRO_NO_NUMPY=1`` to
-  force the fallback without uninstalling numpy.
+  deterministically by ``(distance, name)``.
 * :class:`RangePropagation` -- the range-aware
   :class:`~repro.sim.network.PropagationModel`: a message reaches
   exactly the receivers whose actors sit within the *sender's* transmit
@@ -29,6 +22,45 @@ Case I's radio-coverage story actually needs:
   range``) and delivery order is the channel's deterministic attach
   order, so range-edge outcomes never depend on iteration accidents --
   the clock's scheduling sequence is the only tie-breaker in play.
+
+Structure-of-arrays core
+------------------------
+
+With :mod:`numpy` installed (the ``repro[perf]`` extra) the topology
+keeps its spatial state as parallel float64 arrays -- positions,
+velocities and transmit ranges, one slot per actor in registration
+order, clamped against the road bounds via
+:meth:`~repro.sim.world.World.clamp_array`.  All three mobility models
+compile into an immutable :class:`CompiledTickPlan` of per-tick array
+stages:
+
+* constant speed -- one gather of the current speeds, a masked velocity
+  add over the constant-speed slots, one clamp;
+* follow-leader -- leader-index gathers organised into dependency
+  *waves* (a follower whose leader is itself a follower earlier in
+  registration order steps one wave later, reproducing the per-chain
+  lag of the scalar loop exactly);
+* stationary -- a zero mask (no-op unless an actor was force-placed
+  off-road, in which case it clamps exactly like the scalar step).
+
+``Topology.step`` is then a handful of array ops regardless of fleet
+size.  Plans are structural (slots and wave shape only): model
+parameters (speeds, gaps, caps) are re-read every tick, so mutating a
+model mid-run behaves exactly like the scalar path, and one compiled
+plan can be shared by every variant of a scenario family via
+:func:`shared_tick_plans`.  The pure-Python engine remains as the
+``REPRO_NO_NUMPY=1`` fallback with step-for-step parity, asserted by
+the property tests.
+
+Version counters drive cache invalidation: ``position_version`` bumps
+whenever any position may have changed (a tick, a setter write, a
+tracked vehicle reporting motion), ``registration_version`` whenever
+the actor set or alias table changes.  :class:`RangePropagation` keys
+its per-sender delivery sets on them, so a flood of messages inside one
+clock timestamp resolves its receiver set once and replays it from
+cache -- falling back to per-delivery resolution the moment a position
+changes mid-timestamp (or when a tracked component cannot report
+motion at all).
 
 Placement is validated: negative positions are rejected with
 :class:`~repro.errors.SimulationError` (the silent ``clamp``-to-zero of
@@ -40,9 +72,11 @@ road ends is surfaced through :class:`~repro.sim.world.ClampedPosition`'s
 from __future__ import annotations
 
 import bisect
+import contextlib
 import heapq
 import itertools
 import os
+import threading
 from typing import Callable, Iterable, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
@@ -59,9 +93,15 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
 #: numpy is importable (the CI fallback leg, A/B benchmarking).
 NO_NUMPY_ENV = "REPRO_NO_NUMPY"
 
-#: Below this many vectorisable actors the numpy round-trip costs more
-#: than the Python loop it replaces; the tick falls back transparently.
-_MIN_VECTOR_RUN = 4
+#: Below this many mobility-stepped actors the numpy round-trip costs
+#: more than the scalar loop it replaces; the tick falls back
+#: transparently (the compiled plan records the choice).
+_MIN_VECTOR_ACTORS = 4
+
+#: Below this many attached receivers the vectorised range query costs
+#: more than the scalar membership loop; the channel view picks per
+#: attach list.
+_MIN_VECTOR_RECEIVERS = 8
 
 
 def numpy_enabled() -> bool:
@@ -76,6 +116,7 @@ def numpy_enabled() -> bool:
 
 __all__ = [
     "Actor",
+    "CompiledTickPlan",
     "ConstantSpeedMobility",
     "FollowLeaderMobility",
     "MobilityModel",
@@ -85,6 +126,7 @@ __all__ = [
     "StationaryMobility",
     "Topology",
     "numpy_enabled",
+    "shared_tick_plans",
 ]
 
 
@@ -189,6 +231,11 @@ class Actor:
         self.mobility = mobility
         self.tracker = tracker
         self._position_m = position_m
+        # Back-reference + slot index, filled in by Topology.add(): the
+        # topology's structure-of-arrays mirror and version counters
+        # must observe setter writes.
+        self._owner: "Topology | None" = None
+        self._slot = -1
 
     @property
     def position_m(self) -> float:
@@ -205,6 +252,8 @@ class Actor:
                 "component instead"
             )
         self._position_m = value
+        if self._owner is not None:
+            self._owner._record_motion(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -338,6 +387,192 @@ class SpatialIndex:
         )
 
 
+# -- compiled tick plans ------------------------------------------------------
+
+#: Thread-local stack of shared plan caches (see shared_tick_plans()).
+_PLAN_STATE = threading.local()
+
+
+@contextlib.contextmanager
+def shared_tick_plans():
+    """Share compiled tick plans across the topologies of this thread.
+
+    A batch of variants from one scenario family builds structurally
+    identical topologies; inside this scope each distinct plan
+    *signature* is compiled once and the immutable
+    :class:`CompiledTickPlan` is reused by every subsequent topology
+    with the same structure.  Plans hold slot indices and wave shape
+    only -- never actor or model references -- so sharing them across
+    variants is semantically transparent.  Mirrors
+    :func:`repro.sim.crypto.shared_mac_memo`: scoped (not a module
+    global) so unbatched runs keep their exact cost profile and
+    serial-vs-batched benchmarks stay honest; nesting reuses the outer
+    cache.
+    """
+    previous = getattr(_PLAN_STATE, "plans", None)
+    plans: dict = {} if previous is None else previous
+    _PLAN_STATE.plans = plans
+    try:
+        yield plans
+    finally:
+        _PLAN_STATE.plans = previous
+
+
+class _Wave:
+    """One follow-leader dependency wave of a compiled plan.
+
+    All followers in a wave step together: their leaders' this-tick
+    values are already final (earlier stage or earlier wave) or are, by
+    registration order, the *previous*-tick values -- ``old_mask``
+    records which, reproducing the scalar loop's insertion-order
+    semantics exactly.
+    """
+
+    __slots__ = (
+        "follower_slots",
+        "follower_idx",
+        "leader_idx",
+        "old_mask",
+        "needs_old",
+    )
+
+    def __init__(
+        self, followers: list[int], leaders: list[int], use_old: list[bool]
+    ) -> None:
+        self.follower_slots = tuple(followers)
+        self.follower_idx = _np.array(followers, dtype=_np.intp)
+        self.leader_idx = _np.array(leaders, dtype=_np.intp)
+        self.old_mask = _np.array(use_old, dtype=bool)
+        self.needs_old = any(use_old)
+
+
+class CompiledTickPlan:
+    """An immutable, structurally keyed mobility step program.
+
+    Holds only *structure* -- slot indices, wave partition, the
+    vectorise/scalar choice -- so a plan compiled for one topology
+    applies to every topology with the same :attr:`signature` (same
+    actor count, same mobility kinds in the same slots, same leader
+    wiring).  Model parameters are re-read from the live topology every
+    tick, preserving the scalar path's mid-run mutability semantics.
+    """
+
+    __slots__ = (
+        "signature",
+        "vectorised",
+        "const_slots",
+        "const_idx",
+        "stationary_slots",
+        "stationary_idx",
+        "waves",
+        "needs_old",
+        "mobile_slots",
+        "mobile_idx",
+    )
+
+    def __init__(self, signature: tuple, topology: "Topology") -> None:
+        self.signature = signature
+        const: list[int] = []
+        stationary: list[int] = []
+        # (slot, leader slot, gather-from-old, wave depth) per follower
+        followers: list[tuple[int, int, bool, int]] = []
+        mobile: list[int] = []
+        vectorisable = numpy_enabled()
+        follow_depth: dict[int, int] = {}
+        actors = topology._slot_actors
+        for slot, actor in enumerate(actors):
+            model = actor.mobility
+            if model is None:
+                continue
+            mobile.append(slot)
+            kind = type(model)
+            if kind is ConstantSpeedMobility:
+                const.append(slot)
+            elif kind is StationaryMobility:
+                stationary.append(slot)
+            elif kind is FollowLeaderMobility:
+                leader = topology._resolve(model.leader)
+                if leader is None:
+                    # The scalar step raises mid-tick for an unknown
+                    # leader; only the scalar loop reproduces that.
+                    vectorisable = False
+                    continue
+                lslot = leader._slot
+                # The scalar loop steps in registration order: a leader
+                # registered *after* its follower has not moved yet when
+                # the follower steps, so the follower reads the
+                # previous-tick value.
+                use_old = lslot > slot
+                depth = 0
+                if not use_old and lslot in follow_depth:
+                    depth = follow_depth[lslot] + 1
+                follow_depth[slot] = depth
+                followers.append((slot, lslot, use_old, depth))
+            else:
+                # Custom models may read arbitrary topology state; only
+                # the scalar loop honours their ordering contract.
+                vectorisable = False
+        if len(mobile) < _MIN_VECTOR_ACTORS:
+            vectorisable = False
+        self.vectorised = vectorisable
+        if not vectorisable:
+            self.const_slots = tuple(const)
+            self.const_idx = None
+            self.stationary_slots = tuple(stationary)
+            self.stationary_idx = None
+            self.waves = ()
+            self.needs_old = False
+            self.mobile_slots = tuple(mobile)
+            self.mobile_idx = None
+            return
+        self.const_slots = tuple(const)
+        self.const_idx = _np.array(const, dtype=_np.intp)
+        self.stationary_slots = tuple(stationary)
+        self.stationary_idx = _np.array(stationary, dtype=_np.intp)
+        max_depth = max((f[3] for f in followers), default=-1)
+        waves = []
+        for depth in range(max_depth + 1):
+            in_wave = [f for f in followers if f[3] == depth]
+            waves.append(
+                _Wave(
+                    [f[0] for f in in_wave],
+                    [f[1] for f in in_wave],
+                    [f[2] for f in in_wave],
+                )
+            )
+        self.waves = tuple(waves)
+        self.needs_old = any(wave.needs_old for wave in waves)
+        self.mobile_slots = tuple(mobile)
+        self.mobile_idx = _np.array(mobile, dtype=_np.intp)
+
+
+def _plan_signature(topology: "Topology") -> tuple:
+    """The structural key of a topology's mobility step.
+
+    Two topologies with equal signatures (actor count, mobility kind
+    per slot, leader wiring) compile to interchangeable plans; model
+    parameters are deliberately excluded -- plans re-read them per tick.
+    """
+    parts: list = [(len(topology._slot_actors), numpy_enabled())]
+    for slot, actor in enumerate(topology._slot_actors):
+        model = actor.mobility
+        if model is None:
+            continue
+        kind = type(model)
+        if kind is ConstantSpeedMobility:
+            parts.append((slot, "c"))
+        elif kind is StationaryMobility:
+            parts.append((slot, "s"))
+        elif kind is FollowLeaderMobility:
+            leader = topology._resolve(model.leader)
+            parts.append(
+                (slot, "f", leader._slot if leader is not None else None)
+            )
+        else:
+            parts.append((slot, "x"))
+    return tuple(parts)
+
+
 class Topology:
     """The actor registry of one simulated traffic world.
 
@@ -347,6 +582,13 @@ class Topology:
     named ``"OBU-2"``) are bound to their carrying actor (``"ego-2"``)
     with :meth:`bind`, so the propagation model can locate both senders
     and receivers.
+
+    Attributes:
+        position_version: Bumped whenever any actor position may have
+            changed (tick, setter write, tracked-component motion).
+            Consumers key position-derived caches on it.
+        registration_version: Bumped whenever the actor set or the
+            alias table changes (which also invalidates the tick plan).
     """
 
     def __init__(
@@ -359,12 +601,27 @@ class Topology:
             raise SimulationError("topology tick must be positive")
         self.world = world
         self.tick_ms = tick_ms
+        self.position_version = 0
+        self.registration_version = 0
         self._clock = clock
         self._actors: dict[str, Actor] = {}
+        self._slot_actors: list[Actor] = []
         self._aliases: dict[str, str] = {}
         self._saturated: set[str] = set()
         self._ticking = False
-        self._tick_plan: list | None = None
+        self._tick_plan: CompiledTickPlan | None = None
+        # Structure-of-arrays mirror (numpy only): positions/velocities/
+        # ranges per slot, plus the versions they were synced at.
+        self._positions = None
+        self._velocities = None
+        self._ranges = None
+        self._arrays_reg = -1
+        self._arrays_pos = -1
+        self._tracked_entries: list[tuple[int, Actor]] = []
+        # True when a tracked component cannot report motion: position
+        # caches can never trust ``position_version`` then.
+        self._volatile = False
+        self._index_cache: tuple[int, SpatialIndex] | None = None
 
     # -- registration -------------------------------------------------------
 
@@ -376,8 +633,15 @@ class Topology:
             self.world.place(actor.position_m)
         except SimulationError as exc:
             raise SimulationError(f"actor {actor.name!r}: {exc}") from None
+        actor._owner = self
+        actor._slot = len(self._slot_actors)
         self._actors[actor.name] = actor
+        self._slot_actors.append(actor)
+        if actor.tracker is not None:
+            self._tracked_entries.append((actor._slot, actor))
         self._tick_plan = None  # registration changes the step plan
+        self.registration_version += 1
+        self.position_version += 1
         if actor.mobility is not None:
             self._ensure_ticking()
         return actor
@@ -425,9 +689,14 @@ class Topology:
         """Track a component owning its own kinematics (a Vehicle).
 
         The component provides ``name`` and ``position_m``; the actor's
-        position always reads through to it.
+        position always reads through to it.  Components exposing
+        ``add_motion_listener`` (e.g. :class:`~repro.sim.vehicle.Vehicle`)
+        notify the topology on movement, which keeps position-keyed
+        caches (batched propagation, index snapshots) valid between
+        motions; components without it mark the topology *volatile* and
+        every spatial query resolves per call, exactly as before.
         """
-        return self.add(
+        actor = self.add(
             Actor(
                 component.name,
                 position_m=component.position_m,
@@ -435,6 +704,12 @@ class Topology:
                 tracker=lambda: component.position_m,
             )
         )
+        subscribe = getattr(component, "add_motion_listener", None)
+        if subscribe is not None:
+            subscribe(self._on_tracked_motion)
+        else:
+            self._volatile = True
+        return actor
 
     def bind(self, alias: str, actor_name: str) -> None:
         """Bind a channel-endpoint name to its carrying actor.
@@ -449,6 +724,53 @@ class Topology:
         if self._resolve(alias) is not None:
             raise SimulationError(f"name {alias!r} already registered")
         self._aliases[alias] = actor_name
+        self.registration_version += 1
+        self._tick_plan = None  # a follower's leader may resolve now
+
+    # -- version bookkeeping ------------------------------------------------
+
+    def _record_motion(self, actor: Actor) -> None:
+        """An actor's position was written through its setter."""
+        self.position_version += 1
+        positions = self._positions
+        if positions is not None and self._arrays_reg == self.registration_version:
+            positions[actor._slot] = actor._position_m
+
+    def _on_tracked_motion(self) -> None:
+        """A tracked component reported that it moved."""
+        self.position_version += 1
+
+    def _sync_arrays(self):
+        """The SoA positions array, synced to the current versions.
+
+        Rebuilds on registration change; otherwise refreshes only the
+        tracked slots (mobility/stationary slots are written through on
+        every motion).  Volatile topologies refresh tracked slots on
+        every call -- their motion is invisible to the version counter.
+        """
+        if self._arrays_reg != self.registration_version:
+            actors = self._slot_actors
+            self._positions = _np.array(
+                [actor.position_m for actor in actors], dtype=_np.float64
+            )
+            self._velocities = _np.zeros(len(actors), dtype=_np.float64)
+            self._ranges = _np.array(
+                [
+                    _np.inf
+                    if actor.transmit_range_m is None
+                    else actor.transmit_range_m
+                    for actor in actors
+                ],
+                dtype=_np.float64,
+            )
+            self._arrays_reg = self.registration_version
+            self._arrays_pos = self.position_version
+        elif self._volatile or self._arrays_pos != self.position_version:
+            positions = self._positions
+            for slot, actor in self._tracked_entries:
+                positions[slot] = actor.tracker()
+            self._arrays_pos = self.position_version
+        return self._positions
 
     # -- lookup -------------------------------------------------------------
 
@@ -473,7 +795,7 @@ class Topology:
     @property
     def actors(self) -> tuple[Actor, ...]:
         """All actors, in registration order."""
-        return tuple(self._actors.values())
+        return tuple(self._slot_actors)
 
     @property
     def saturated_actors(self) -> tuple[str, ...]:
@@ -513,10 +835,24 @@ class Topology:
         return tuple(n for n in names if n != actor.name)
 
     def index(self) -> SpatialIndex:
-        """A :class:`SpatialIndex` snapshot of the current positions."""
-        return SpatialIndex(
-            (actor.position_m, actor.name) for actor in self._actors.values()
+        """A :class:`SpatialIndex` snapshot of the current positions.
+
+        Snapshots are cached per ``position_version`` (positions cannot
+        have changed while the version stands still), except on volatile
+        topologies, which rebuild per call.
+        """
+        cached = self._index_cache
+        if (
+            cached is not None
+            and not self._volatile
+            and cached[0] == self.position_version
+        ):
+            return cached[1]
+        index = SpatialIndex(
+            (actor.position_m, actor.name) for actor in self._slot_actors
         )
+        self._index_cache = (self.position_version, index)
+        return index
 
     # -- mobility -----------------------------------------------------------
 
@@ -532,54 +868,21 @@ class Topology:
         )
         self._ticking = True
 
-    def _build_tick_plan(self) -> list:
-        """Partition mobile actors into sequential-vs-vectorisable segments.
-
-        The plan preserves the step's exact insertion-order semantics: a
-        *run* of consecutive constant-speed actors reads nothing but its
-        own positions, so it advances as one array op; any other mobility
-        model (a convoy follower reading its leader mid-tick) stays a
-        sequential segment at its original position in the order.  The
-        plan is structural only -- speeds and positions are re-read every
-        tick, so mutating a model's ``speed_mps`` mid-run behaves exactly
-        like the scalar path.
-        """
-        plan: list = []
-        run: list[Actor] = []
-        for actor in self._actors.values():
-            if actor.mobility is None:
-                continue
-            if type(actor.mobility) is ConstantSpeedMobility:
-                run.append(actor)
-                continue
-            if run:
-                plan.append(("vector", tuple(run)))
-                run = []
-            plan.append(("scalar", actor))
-        if run:
-            plan.append(("vector", tuple(run)))
+    def _compiled_plan(self) -> CompiledTickPlan:
+        """The (possibly shared) tick plan for the current structure."""
+        plan = self._tick_plan
+        if plan is not None:
+            return plan
+        signature = _plan_signature(self)
+        shared = getattr(_PLAN_STATE, "plans", None)
+        if shared is not None:
+            plan = shared.get(signature)
+        if plan is None:
+            plan = CompiledTickPlan(signature, self)
+            if shared is not None:
+                shared[signature] = plan
+        self._tick_plan = plan
         return plan
-
-    def _step_vector_run(self, run: tuple[Actor, ...], dt: float) -> None:
-        """Advance one constant-speed run as a single array op."""
-        count = len(run)
-        positions = _np.fromiter(
-            (actor._position_m for actor in run),
-            dtype=_np.float64,
-            count=count,
-        )
-        speeds = _np.fromiter(
-            (actor.mobility.speed_mps for actor in run),
-            dtype=_np.float64,
-            count=count,
-        )
-        proposed = positions + speeds * dt
-        clamped, saturated = self.world.clamp_array(proposed)
-        if saturated.any():
-            for index in _np.flatnonzero(saturated).tolist():
-                self._saturated.add(run[index].name)
-        for actor, position in zip(run, clamped.tolist()):
-            actor._position_m = position
 
     def _step_scalar(self, actor: Actor, dt: float) -> None:
         proposed = actor.mobility.next_position(actor, self, dt)
@@ -588,31 +891,206 @@ class Topology:
             self._saturated.add(actor.name)
         actor.position_m = position
 
+    def _mark_saturated(self, mask, slots: tuple[int, ...]) -> None:
+        if mask.any():
+            actors = self._slot_actors
+            for index in _np.flatnonzero(mask).tolist():
+                self._saturated.add(actors[slots[index]].name)
+
+    def _step_vector(self, plan: CompiledTickPlan, dt: float) -> None:
+        """One tick of the compiled array program.
+
+        Stage order (constants, stationary, waves) differs from the
+        scalar loop's registration order, but each follower's leader
+        gather source (``old`` vs current) is chosen at compile time to
+        reproduce exactly what the scalar loop would have read -- the
+        property tests pin the equivalence over random fleets.
+        """
+        positions = self._sync_arrays()
+        velocities = self._velocities
+        world = self.world
+        actors = self._slot_actors
+        old = positions.copy() if plan.needs_old else None
+        if plan.const_slots:
+            count = len(plan.const_slots)
+            speeds = _np.fromiter(
+                (actors[slot].mobility.speed_mps for slot in plan.const_slots),
+                dtype=_np.float64,
+                count=count,
+            )
+            velocities[plan.const_idx] = speeds
+            proposed = positions[plan.const_idx] + speeds * dt
+            clamped, saturated = world.clamp_array(proposed)
+            positions[plan.const_idx] = clamped
+            self._mark_saturated(saturated, plan.const_slots)
+        if plan.stationary_slots:
+            # Zero mask: stationary actors move only if force-placed
+            # off-road, where the scalar step clamps them back on.
+            current = positions[plan.stationary_idx]
+            off_road = (current < 0.0) | (current > world.road_length_m)
+            if off_road.any():
+                clamped, saturated = world.clamp_array(current)
+                positions[plan.stationary_idx] = clamped
+                self._mark_saturated(saturated, plan.stationary_slots)
+        for wave in plan.waves:
+            count = len(wave.follower_slots)
+            gaps = _np.fromiter(
+                (actors[slot].mobility.gap_m for slot in wave.follower_slots),
+                dtype=_np.float64,
+                count=count,
+            )
+            caps = _np.fromiter(
+                (
+                    actors[slot].mobility.max_speed_mps
+                    for slot in wave.follower_slots
+                ),
+                dtype=_np.float64,
+                count=count,
+            )
+            if wave.needs_old:
+                leader_vals = _np.where(
+                    wave.old_mask,
+                    old[wave.leader_idx],
+                    positions[wave.leader_idx],
+                )
+            else:
+                leader_vals = positions[wave.leader_idx]
+            current = positions[wave.follower_idx]
+            # Exact scalar op order: target = leader - gap;
+            # headroom = target - pos; pos + min(headroom, cap * dt).
+            headroom = (leader_vals - gaps) - current
+            advanced = current + _np.minimum(headroom, caps * dt)
+            proposed = _np.where(headroom <= 0.0, current, advanced)
+            clamped, saturated = world.clamp_array(proposed)
+            positions[wave.follower_idx] = clamped
+            velocities[wave.follower_idx] = (clamped - current) / dt
+            self._mark_saturated(saturated, wave.follower_slots)
+        # Write the moved slots back to the actors as plain floats: the
+        # arrays stay authoritative for batch queries, the actors for
+        # every scalar consumer.
+        moved = positions[plan.mobile_idx].tolist()
+        for slot, value in zip(plan.mobile_slots, moved):
+            actors[slot]._position_m = value
+        self.position_version += 1
+        self._arrays_pos = self.position_version
+
     def step(self, dt_s: float | None = None) -> None:
         """Advance every mobile actor one tick, in insertion order.
 
-        With numpy active, maximal runs of constant-speed actors advance
-        as single vectorised array ops (add, clamp, saturation mask) --
-        bit-identical to the scalar fallback, which the property tests
-        assert across random fleets.
+        With numpy active, the compiled plan advances all three mobility
+        models as a handful of array ops (masked velocity add, wave
+        gathers, zero mask + clamp) -- value-identical to the scalar
+        fallback, which the property tests assert across random fleets.
         """
         dt = self.tick_ms / 1000.0 if dt_s is None else dt_s
-        if not numpy_enabled():
-            for actor in self._actors.values():
-                if actor.mobility is None:
-                    continue
-                self._step_scalar(actor, dt)
-            return
-        if self._tick_plan is None:
-            self._tick_plan = self._build_tick_plan()
-        for kind, payload in self._tick_plan:
-            if kind == "vector" and len(payload) >= _MIN_VECTOR_RUN:
-                self._step_vector_run(payload, dt)
-            elif kind == "vector":
-                for actor in payload:
-                    self._step_scalar(actor, dt)
+        if numpy_enabled():
+            plan = self._compiled_plan()
+            if plan.vectorised:
+                self._step_vector(plan, dt)
+                return
+        for actor in self._slot_actors:
+            if actor.mobility is None:
+                continue
+            self._step_scalar(actor, dt)
+        self.position_version += 1
+
+
+class _ChannelView:
+    """One channel attach list, resolved against a topology once.
+
+    Caches the per-receiver actor resolution (names never re-resolve
+    per delivery) and the per-sender reached lists, keyed on the
+    topology's version counters: while no position changes, a sender's
+    delivery set -- e.g. every packet of a flood burst inside one clock
+    timestamp -- is a dict hit.  Invalidated by re-resolution when the
+    attach list grows or the actor/alias tables change.
+    """
+
+    __slots__ = (
+        "topology",
+        "receivers",
+        "length",
+        "reg_version",
+        "entries",
+        "slot_idx",
+        "unplaced_mask",
+        "any_unplaced",
+        "_memo",
+    )
+
+    def __init__(self, topology: Topology, receivers: list[Receiver]) -> None:
+        self.topology = topology
+        self.receivers = receivers
+        self.length = len(receivers)
+        self.reg_version = topology.registration_version
+        self.entries = [
+            topology._resolve(receiver.name) for receiver in receivers
+        ]
+        self.slot_idx = None
+        self.unplaced_mask = None
+        self.any_unplaced = any(actor is None for actor in self.entries)
+        if numpy_enabled() and self.length >= _MIN_VECTOR_RECEIVERS:
+            self.slot_idx = _np.array(
+                [
+                    0 if actor is None else actor._slot
+                    for actor in self.entries
+                ],
+                dtype=_np.intp,
+            )
+            if self.any_unplaced:
+                self.unplaced_mask = _np.array(
+                    [actor is None for actor in self.entries], dtype=bool
+                )
+        self._memo: dict[str, tuple] = {}
+
+    def current(self) -> bool:
+        """True while this resolution still matches the live state."""
+        return (
+            self.length == len(self.receivers)
+            and self.reg_version == self.topology.registration_version
+        )
+
+    def reached(self, sender: Actor, range_m: float) -> list[Receiver]:
+        """The receivers ``sender`` reaches, memoised per position era."""
+        topology = self.topology
+        volatile = topology._volatile
+        if not volatile:
+            memo = self._memo.get(sender.name)
+            if (
+                memo is not None
+                and memo[0] == topology.position_version
+                and memo[1] == range_m
+            ):
+                return memo[2]
+        sender_pos = sender.position_m
+        receivers = self.receivers
+        if self.slot_idx is not None:
+            positions = topology._sync_arrays()
+            mask = (
+                _np.abs(positions[self.slot_idx] - sender_pos) <= range_m
+            )
+            if self.any_unplaced:
+                mask |= self.unplaced_mask
+            if mask.all():
+                selected = list(receivers)
             else:
-                self._step_scalar(payload, dt)
+                selected = [
+                    receivers[i] for i in _np.flatnonzero(mask).tolist()
+                ]
+        else:
+            selected = []
+            for receiver, actor in zip(receivers, self.entries):
+                if actor is None:
+                    selected.append(receiver)  # unplaced observers hear all
+                elif abs(actor.position_m - sender_pos) <= range_m:
+                    selected.append(receiver)
+        if not volatile:
+            self._memo[sender.name] = (
+                topology.position_version,
+                range_m,
+                selected,
+            )
+        return selected
 
 
 class RangePropagation:
@@ -628,6 +1106,17 @@ class RangePropagation:
     unknown to the topology (passive observers without a road position)
     hear everything unless explicitly placed.
 
+    Delivery sets resolve in batch: the attach list is resolved to
+    actors once (per registration era), and each sender's reached list
+    is computed through one vectorised range query against the
+    topology's position array (scalar loop below
+    ``_MIN_VECTOR_RECEIVERS``), then memoised on
+    ``Topology.position_version`` -- senders firing repeatedly within
+    one clock timestamp replay the cached set.  The moment any position
+    changes (or on topologies whose tracked components cannot report
+    motion), resolution falls back to per-delivery recomputation, so
+    membership always reflects positions at delivery time.
+
     Note the model's shared-band semantics: range gating filters who
     *decodes* a transmission, never who *transmits* -- every send still
     occupies the channel's bandwidth budget (airtime), so an
@@ -637,29 +1126,28 @@ class RangePropagation:
 
     def __init__(self, topology: Topology) -> None:
         self.topology = topology
+        self._views: dict[int, _ChannelView] = {}
 
     def receivers(
         self, message: Message, receivers: list[Receiver]
     ) -> list[Receiver]:
         """The attached receivers the message actually reaches.
 
-        Runs once per delivered message, so each name is resolved to its
-        actor exactly once (not once per knows/position lookup).
+        May return a list shared with previous deliveries of the same
+        era; callers own the channel contract of treating the result as
+        read-only.
         """
-        resolve = self.topology._resolve
-        sender = resolve(message.sender)
+        topology = self.topology
+        sender = topology._resolve(message.sender)
         if sender is None:
             # No position to gate from: the sender transmits globally.
             return list(receivers)
         range_m = sender.transmit_range_m
         if range_m is None:
             return list(receivers)
-        sender_pos = sender.position_m
-        selected = []
-        for receiver in receivers:
-            actor = resolve(receiver.name)
-            if actor is None:
-                selected.append(receiver)  # unplaced observers hear all
-            elif abs(actor.position_m - sender_pos) <= range_m:
-                selected.append(receiver)
-        return selected
+        key = id(receivers)
+        view = self._views.get(key)
+        if view is None or view.receivers is not receivers or not view.current():
+            view = _ChannelView(topology, receivers)
+            self._views[key] = view
+        return view.reached(sender, range_m)

@@ -61,9 +61,10 @@ class RoadsideUnit:
 
     def _send(self, kind: str, payload: dict) -> Message:
         self._counter += 1
-        # Timestamp at construction (not via with_timestamp) -- one
-        # Message build fewer on the periodic-broadcast hot path.
-        message = Message(
+        # Timestamp at construction and create_signed (not construct +
+        # signed copy) -- one Message build per periodic broadcast.
+        message = Message.create_signed(
+            self._keystore,
             kind=kind,
             sender=self.name,
             payload=payload,
@@ -71,7 +72,7 @@ class RoadsideUnit:
             timestamp=self._clock.now,
             location=self.location,
         )
-        return self._channel.send(message.signed(self._keystore))
+        return self._channel.send(message)
 
     def send_road_works_warning(
         self, zone_start_m: float, speed_limit_mps: float
@@ -197,14 +198,15 @@ class V2VRelay:
     def _forward(self, payload: dict) -> None:
         self._counter += 1
         self.forwarded += 1
-        message = Message(
+        message = Message.create_signed(
+            self._keystore,
             kind=KIND_V2V_RELAY,
             sender=self.name,
             payload=payload,
             counter=self._counter,
             timestamp=self._clock.now,
         )
-        self._channel.send(message.signed(self._keystore))
+        self._channel.send(message)
         self._bus.publish(
             self._clock.now,
             "v2v.relayed",
@@ -222,6 +224,8 @@ class OnBoardUnit(Ecu):
     surfaced to the driver (and counted, for SG05's "too many unintended
     warnings" concern).
     """
+
+    __slots__ = ("_vehicle", "warnings_shown")
 
     def __init__(
         self,

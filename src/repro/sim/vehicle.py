@@ -20,6 +20,7 @@ notification without returning driving control to human") and their FTTIs.
 from __future__ import annotations
 
 import enum
+from typing import Callable
 
 from repro.errors import SimulationError
 from repro.sim.clock import SimClock
@@ -63,9 +64,12 @@ class Vehicle:
         if speed_mps < 0:
             raise SimulationError("initial speed must be >= 0")
         self.name = name
+        # Motion listeners let a tracking Topology key position caches
+        # on actual movement; the property setter notifies them.
+        self._motion_listeners: list[Callable[[], None]] = []
         # Placement is validated, not silently clamped: a scenario that
         # puts a vehicle off-road is mis-specified, not "at the end".
-        self.position_m = world.place(position_m)
+        self._position_m = world.place(position_m)
         self.position_saturated = False
         self.speed_mps = speed_mps
         self.mode = DrivingMode.AUTOMATED
@@ -143,6 +147,30 @@ class Vehicle:
         )
 
     # -- state ------------------------------------------------------------
+
+    @property
+    def position_m(self) -> float:
+        """Current position along the road."""
+        return self._position_m
+
+    @position_m.setter
+    def position_m(self, value: float) -> None:
+        changed = value != self._position_m
+        self._position_m = value
+        if changed:
+            for listener in self._motion_listeners:
+                listener()
+
+    def add_motion_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener`` whenever this vehicle's position changes.
+
+        The hook is how a :class:`~repro.sim.topology.Topology` tracking
+        this vehicle keeps its position-keyed caches (batched
+        propagation, spatial snapshots) coherent without polling: no
+        notification between two reads guarantees the position is
+        unchanged.
+        """
+        self._motion_listeners.append(listener)
 
     @property
     def handover_requested_at(self) -> float | None:

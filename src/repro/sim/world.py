@@ -15,6 +15,11 @@ import dataclasses
 
 from repro.errors import SimulationError
 
+try:  # numpy is the optional ``repro[perf]`` extra, never a hard dep
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
 
 class ClampedPosition(float):
     """A road position produced by :meth:`World.clamp`.
@@ -131,9 +136,7 @@ class World:
         structure-of-arrays mobility tick.  Requires numpy (the caller
         gates on :func:`repro.sim.topology.numpy_enabled`).
         """
-        import numpy
-
-        clamped = numpy.clip(positions, 0.0, self.road_length_m)
+        clamped = _np.clip(positions, 0.0, self.road_length_m)
         return clamped, clamped != positions
 
     def clamp_value(self, position: float) -> tuple[float, bool]:

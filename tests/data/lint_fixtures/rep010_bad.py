@@ -1,0 +1,8 @@
+"""REP010 fixture: numpy imported outside the SoA spatial kernel."""
+
+import numpy
+from numpy import asarray
+
+
+def midpoint(positions):
+    return float(numpy.mean(asarray(positions)))

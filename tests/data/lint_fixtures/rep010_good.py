@@ -1,0 +1,7 @@
+"""REP010 fixture: spatial maths goes through the topology kernel."""
+
+from repro.sim.topology import Topology
+
+
+def receivers_in_range(topology: Topology, channel):
+    return topology.step() and channel

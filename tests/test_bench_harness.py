@@ -12,6 +12,7 @@ from repro.bench import (
     compare_records,
     is_throughput_metric,
     load_bench_file,
+    profile_suite,
     records_from_pytest_benchmark,
     validate_bench_payload,
     validate_record,
@@ -171,6 +172,46 @@ class TestBenchCli:
             validate_bench_payload(
                 json.loads(written.read_text(encoding="utf-8"))
             )
+
+    def test_bench_profile_dumps_rows_and_writes_nothing(
+        self, tmp_path, capsys
+    ):
+        """`repro bench rq1 --profile` prints the top cumulative rows
+        and refuses to write bench files (profiled numbers are
+        inflated, not trajectory material)."""
+        assert main(
+            ["bench", "rq1", "--profile", "--out", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== profile: suite 'rq1'" in out
+        assert "cumulative" in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_bench_profile_refuses_history(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        assert main(
+            [
+                "bench", "rq1", "--profile",
+                "--history", str(history), "--out", str(tmp_path),
+            ]
+        ) == 1
+        assert "inflated" in capsys.readouterr().err
+        assert not history.exists()
+
+
+class TestProfileSuite:
+    def test_profile_suite_returns_records_and_sinks_rows(self):
+        lines = []
+        records = profile_suite("rq1", sink=lines.append)
+        assert records
+        for record in records:
+            validate_record(record.to_payload())
+        assert lines[0].startswith("== profile: suite 'rq1'")
+        assert any("cumulative" in line for line in lines)
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError):
+            profile_suite("rq9", sink=lambda line: None)
 
 
 def make_rate_record(name="campaign", **metrics) -> BenchRecord:

@@ -216,6 +216,167 @@ class TestSpatialEngineParity:
 
         assert run(False) == run(True)
 
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(positions, min_size=2, max_size=20),
+        st.floats(min_value=5.0, max_value=60.0, allow_nan=False),
+        st.integers(min_value=1, max_value=30),
+    )
+    def test_follow_leader_chain_parity(self, placements, gap, ticks):
+        """A whole chain of followers (each tracking the previous car)
+        traces identical trajectories on the vector and scalar ticks."""
+        if not numpy_enabled():
+            pytest.skip("numpy kernel inactive; nothing to compare")
+
+        def run(force_scalar: bool) -> list[float]:
+            if force_scalar:
+                os.environ[NO_NUMPY_ENV] = "1"
+            try:
+                clock = SimClock()
+                topology = Topology(World(5000.0), clock=clock, tick_ms=100.0)
+                topology.add_mobile(
+                    "car-0", placements[0], ConstantSpeedMobility(20.0)
+                )
+                for index, position in enumerate(placements[1:], start=1):
+                    topology.add_mobile(
+                        f"car-{index}",
+                        position,
+                        FollowLeaderMobility(f"car-{index - 1}", gap_m=gap),
+                    )
+                clock.run_until(ticks * 100.0)
+                return [actor.position_m for actor in topology.actors]
+            finally:
+                if force_scalar:
+                    os.environ.pop(NO_NUMPY_ENV, None)
+
+        assert run(False) == run(True)
+
+    @pytest.mark.parametrize("size", [8, 64])
+    def test_mixed_fleet_parity_at_scale(self, size):
+        """The bench convoy shape (every third car constant-speed, the
+        rest followers) at n=64: bit-identical trajectories on both
+        engines.  Not hypothesis-driven -- the point is the fixed large
+        fleet, where the SoA kernel actually engages."""
+        if not numpy_enabled():
+            pytest.skip("numpy kernel inactive; nothing to compare")
+
+        def run(force_scalar: bool) -> list[float]:
+            if force_scalar:
+                os.environ[NO_NUMPY_ENV] = "1"
+            try:
+                clock = SimClock()
+                topology = Topology(
+                    World(size * 50.0 + 20000.0), clock=clock, tick_ms=100.0
+                )
+                for index in range(size):
+                    position = size * 50.0 - index * 50.0
+                    if index % 3 == 0:
+                        mobility = ConstantSpeedMobility(25.0)
+                    else:
+                        mobility = FollowLeaderMobility(
+                            f"car-{index - 1}", gap_m=30.0
+                        )
+                    topology.add_mobile(f"car-{index}", position, mobility)
+                clock.run_until(300 * 100.0)
+                return [actor.position_m for actor in topology.actors]
+            finally:
+                if force_scalar:
+                    os.environ.pop(NO_NUMPY_ENV, None)
+
+        assert run(False) == run(True)
+
+
+class _Ear:
+    """A named receiver that records nothing (propagation probes only)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def receive(self, message: Message) -> None:  # pragma: no cover
+        pass
+
+
+class TestBatchedPropagationParity:
+    """The vectorised batch delivery-set resolution equals the
+    per-delivery membership check, receiver for receiver, in order."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(positions, min_size=8, max_size=24, unique=True),
+        st.integers(min_value=0, max_value=3),
+        positions,
+        ranges,
+    )
+    def test_batched_receiver_set_matches_per_delivery_oracle(
+        self, placed, unplaced_count, sender_pos, range_m
+    ):
+        topology = Topology(World(1000.0))
+        topology.add_stationary("tx", sender_pos, transmit_range_m=range_m)
+        attached: list = []
+        for index, position in enumerate(placed):
+            name = f"rx-{index:02d}"
+            topology.add_stationary(name, position)
+            attached.append(_Ear(name))
+        for index in range(unplaced_count):
+            attached.append(_Ear(f"observer-{index}"))
+
+        # Per-delivery oracle: one membership check per receiver, in
+        # attach order (unplaced observers always hear).
+        expected = [
+            ear
+            for ear in attached
+            if topology._resolve(ear.name) is None
+            or abs(topology.position_of(ear.name) - sender_pos) <= range_m
+        ]
+
+        message = Message(kind="k", sender="tx", payload={})
+        batched = RangePropagation(topology)
+        # Twice through the same view: the second call exercises the
+        # memoised (position_version, range) fast path.
+        assert list(batched.receivers(message, attached)) == expected
+        assert list(batched.receivers(message, attached)) == expected
+        if numpy_enabled():
+            os.environ[NO_NUMPY_ENV] = "1"
+            try:
+                scalar = RangePropagation(topology)
+                assert list(scalar.receivers(message, attached)) == expected
+            finally:
+                os.environ.pop(NO_NUMPY_ENV, None)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(positions, min_size=8, max_size=16, unique=True),
+        positions,
+        ranges,
+        st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+    )
+    def test_batched_set_tracks_motion(
+        self, placed, sender_pos, range_m, step_m
+    ):
+        """Moving a receiver between deliveries invalidates the memo:
+        the batched set always reflects positions at delivery time."""
+        topology = Topology(World(1000.0))
+        topology.add_stationary("tx", sender_pos, transmit_range_m=range_m)
+        attached = []
+        for index, position in enumerate(placed):
+            name = f"rx-{index:02d}"
+            topology.add_stationary(name, position)
+            attached.append(_Ear(name))
+        propagation = RangePropagation(topology)
+        message = Message(kind="k", sender="tx", payload={})
+
+        def oracle():
+            return [
+                ear
+                for ear in attached
+                if abs(topology.position_of(ear.name) - sender_pos) <= range_m
+            ]
+
+        assert list(propagation.receivers(message, attached)) == oracle()
+        moved = topology.actor(attached[0].name)
+        moved.position_m = min(placed[0] + step_m, 1000.0)
+        assert list(propagation.receivers(message, attached)) == oracle()
+
 
 class TestInfiniteRangeEquivalence:
     @settings(max_examples=25, deadline=None)
