@@ -56,6 +56,7 @@ from repro.analysis.rules import (
     RULE_TYPES,
     RetainedTopicRule,
     ServiceIsolationRule,
+    SleepRetryLoopRule,
     UnseededRandomnessRule,
     WallClockRule,
     default_rules,
@@ -90,6 +91,7 @@ __all__ = [
     "Rule",
     "SEVERITIES",
     "ServiceIsolationRule",
+    "SleepRetryLoopRule",
     "Suppression",
     "UnseededRandomnessRule",
     "WallClockRule",

@@ -28,6 +28,7 @@ from repro.analysis.rules.isolation import (
     ServiceIsolationRule,
 )
 from repro.analysis.rules.optional_deps import NumpyIsolationRule
+from repro.analysis.rules.resilience import SleepRetryLoopRule
 from repro.analysis.rules.topics import RetainedTopicRule
 
 from repro.errors import ValidationError
@@ -44,6 +45,7 @@ RULE_TYPES: tuple[type, ...] = (
     PrintInLibraryRule,            # REP008
     ServiceIsolationRule,          # REP009
     NumpyIsolationRule,            # REP010
+    SleepRetryLoopRule,            # REP011
 )
 
 
@@ -88,6 +90,7 @@ __all__ = [
     "RULE_TYPES",
     "RetainedTopicRule",
     "ServiceIsolationRule",
+    "SleepRetryLoopRule",
     "UnseededRandomnessRule",
     "WallClockRule",
     "default_rules",

@@ -1,0 +1,70 @@
+"""Fault-tolerance invariants: REP011.
+
+Hand-rolled ``time.sleep`` retry loops scatter ad-hoc, untestable
+backoff behaviour through the codebase: the delays are arbitrary, the
+retried error classes are implicit, and nothing bounds the attempts.
+The execution plane centralises all of that in
+:class:`repro.runtime.RetryPolicy` (deterministic, seeded, transient-
+class-aware), so :mod:`repro.runtime` is the only package allowed to
+put a sleep inside a loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.astlint import ModuleUnderLint
+from repro.analysis.report import Finding
+from repro.analysis.rules.determinism import _resolved_calls
+
+#: The one package allowed a sleep-based retry loop (RetryPolicy.wait).
+_RUNTIME_PACKAGE = "repro.runtime"
+
+#: Loop constructs a sleep must not lexically sit inside.
+_LOOPS = (ast.While, ast.For, ast.AsyncFor)
+
+
+class SleepRetryLoopRule:
+    """REP011: no ``time.sleep``-based retry loops outside the runtime."""
+
+    code = "REP011"
+    name = "sleep-retry-loop"
+    summary = (
+        "time.sleep inside a loop outside repro.runtime is a hand-rolled "
+        "retry/poll loop; use RetryPolicy (deterministic seeded backoff, "
+        "explicit transient classes) or an event wait instead"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[Finding]:
+        if module.in_package(_RUNTIME_PACKAGE):
+            return
+        sleeps = [
+            call
+            for call, dotted in _resolved_calls(module)
+            if dotted == "time.sleep"
+        ]
+        if not sleeps:
+            return
+        seen: set[tuple[int, int]] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _LOOPS):
+                continue
+            for child in ast.walk(node):
+                if not isinstance(child, ast.Call):
+                    continue
+                position = (child.lineno, child.col_offset)
+                if position in seen:
+                    continue
+                if any(child is call for call in sleeps):
+                    seen.add(position)
+                    yield module.finding(
+                        self.code,
+                        "time.sleep inside a loop (hand-rolled retry/"
+                        "backoff; use repro.runtime.RetryPolicy.wait, "
+                        "which is deterministic and cancellable)",
+                        node=child,
+                    )
+
+
+__all__ = ["SleepRetryLoopRule"]

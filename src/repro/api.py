@@ -476,6 +476,8 @@ class Workspace:
         on_event: Any | None = None,
         cancel: Any | None = None,
         trace_mode: str | None = None,
+        retry: Any | None = None,
+        deadline_s: float | None = None,
     ):
         """Run a scenario campaign; outcomes **stream** into the result set.
 
@@ -497,7 +499,11 @@ class Workspace:
         from an ``on_event`` callback.  ``trace_mode`` picks the
         scenarios' event-trace retention (lean ``"counts"`` by default;
         ``"full"`` keeps complete traces -- verdicts are identical
-        either way).  Returns the
+        either way).  ``retry`` takes a
+        :class:`~repro.runtime.RetryPolicy` (transient failures are
+        re-executed, exhaustion quarantines the variant) and
+        ``deadline_s`` sets the campaign-level per-variant wall-clock
+        budget (a variant's own ``deadline_s`` wins).  Returns the
         :class:`~repro.engine.campaign.CampaignResult`.
         """
         # Imported lazily: the engine pulls in the whole simulator stack,
@@ -550,6 +556,8 @@ class Workspace:
             on_event=on_event,
             cancel=cancel,
             trace_mode=trace_mode,
+            retry=retry,
+            deadline_s=deadline_s,
         )
 
     def crosscheck(

@@ -1449,6 +1449,157 @@ def bench_service() -> list[BenchRecord]:
     return records
 
 
+def bench_faults() -> list[BenchRecord]:
+    """The fault-tolerant execution plane: overhead and recovery cost.
+
+    * ``no_fault_overhead`` -- the same serial campaign with and without
+      the fault-plane plumbing armed (retry policy + campaign deadline,
+      no fault plan): the plumbing must cost <= 5% (each side takes the
+      best of two runs, and sub-0.25s absolute deltas never fail the
+      gate -- wall-clock noise on a short campaign is not a regression);
+    * ``transient_recovery`` -- two injected transient failures under a
+      retry policy: verdict parity plus the wall-clock cost of the
+      retries;
+    * ``respawn_recovery`` -- an injected worker kill on the process
+      backend: verdict parity plus the cost of the pool respawn and the
+      re-enqueued jobs.
+    """
+    import os
+    import tempfile
+
+    from repro.engine.campaign import run_campaign
+    from repro.engine.registry import default_registry
+    from repro.faults import FAULT_PLAN_ENV, compile_plan, reset_fault_state
+    from repro.runtime import ProcessBackend, RetryPolicy
+
+    records: list[BenchRecord] = []
+    variants = default_registry().variants(family="coverage")
+    retry = RetryPolicy(base_delay_s=0.01)
+
+    os.environ.pop(FAULT_PLAN_ENV, None)
+    reset_fault_state()
+
+    def serial_plain():
+        return run_campaign(variants, backend="serial")
+
+    def serial_armed():
+        return run_campaign(
+            variants,
+            backend="serial",
+            retry=retry,
+            deadline_s=600.0,
+            on_error="record",
+        )
+
+    (clean, plain_s), (_, plain_s2) = _timed(serial_plain), _timed(serial_plain)
+    (armed, armed_s), (_, armed_s2) = _timed(serial_armed), _timed(serial_armed)
+    plain_best = min(plain_s, plain_s2)
+    armed_best = min(armed_s, armed_s2)
+    ref_verdicts = [outcome.verdict for outcome in clean.outcomes]
+    overhead_pct = 100.0 * (armed_best - plain_best) / max(plain_best, 1e-9)
+    overhead_ok = overhead_pct <= 5.0 or (armed_best - plain_best) < 0.25
+    records.append(
+        BenchRecord(
+            suite="faults",
+            name="no_fault_overhead",
+            status="ok" if overhead_ok else "failed",
+            metrics=freeze_items(
+                {
+                    "variants": len(variants),
+                    "plain_s": plain_best,
+                    "armed_s": armed_best,
+                    "overhead_pct": overhead_pct,
+                }
+            ),
+        )
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        plan = compile_plan(
+            1,
+            ("raise-transient", "raise-transient"),
+            total_jobs=len(variants),
+            state_dir=os.path.join(tmp, "transient"),
+        )
+        os.environ[FAULT_PLAN_ENV] = plan.to_json()
+        reset_fault_state()
+        try:
+            faulted, faulted_s = _timed(
+                lambda: run_campaign(
+                    variants,
+                    backend="serial",
+                    retry=retry,
+                    on_error="record",
+                )
+            )
+        finally:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+            reset_fault_state()
+        parity = [o.verdict for o in faulted.outcomes] == ref_verdicts
+        retried = sum(
+            1
+            for o in faulted.outcomes
+            if int(o.stats.get("attempts", 1)) > 1
+        )
+        records.append(
+            BenchRecord(
+                suite="faults",
+                name="transient_recovery",
+                status="ok" if parity and retried == 2 else "failed",
+                metrics=freeze_items(
+                    {
+                        "variants": len(variants),
+                        "wall_s": faulted_s,
+                        "recovery_overhead_s": max(0.0, faulted_s - plain_best),
+                        "retried": retried,
+                        "verdict_parity": 1 if parity else 0,
+                    }
+                ),
+            )
+        )
+
+        plan = compile_plan(
+            2,
+            ("kill-worker",),
+            total_jobs=len(variants),
+            state_dir=os.path.join(tmp, "kill"),
+        )
+        os.environ[FAULT_PLAN_ENV] = plan.to_json()
+        reset_fault_state()
+        backend = ProcessBackend(jobs=2)
+        try:
+            killed, killed_s = _timed(
+                lambda: run_campaign(
+                    variants,
+                    backend=backend,
+                    retry=retry,
+                    on_error="record",
+                )
+            )
+            respawns = backend.respawns
+        finally:
+            backend.shutdown()
+            os.environ.pop(FAULT_PLAN_ENV, None)
+            reset_fault_state()
+        parity = [o.verdict for o in killed.outcomes] == ref_verdicts
+        records.append(
+            BenchRecord(
+                suite="faults",
+                name="respawn_recovery",
+                status="ok" if parity and respawns == 1 else "failed",
+                metrics=freeze_items(
+                    {
+                        "variants": len(variants),
+                        "wall_s": killed_s,
+                        "respawns": respawns,
+                        "verdict_parity": 1 if parity else 0,
+                    }
+                ),
+            )
+        )
+    return records
+
+
 #: The built-in suites ``repro bench`` runs, in execution order.
 BENCH_SUITES: dict[str, Callable[[], list[BenchRecord]]] = {
     "rq1": bench_rq1,
@@ -1458,6 +1609,7 @@ BENCH_SUITES: dict[str, Callable[[], list[BenchRecord]]] = {
     "fleet": bench_fleet,
     "kernel": bench_kernel,
     "service": bench_service,
+    "faults": bench_faults,
 }
 
 
@@ -1544,6 +1696,7 @@ __all__ = [
     "STATUSES",
     "append_history",
     "bench_backends",
+    "bench_faults",
     "bench_file_payload",
     "bench_fleet",
     "bench_kernel",

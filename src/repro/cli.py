@@ -30,6 +30,8 @@ Usage (also via ``python -m repro``)::
     repro lint --json --out lint-out  # schema-stable LINT.json for CI
     repro lint --list-rules           # the codified invariant catalog
     repro lint --diff LINT.json       # gate on *new* findings only
+    repro chaos --family coverage     # fault-injection parity gate
+    repro chaos --kinds kill-worker,drop-connection --out chaos-out
 
 The CLI is a thin shell over the :mod:`repro.api` facade; every command
 returns a proper exit code (0 ok, 1 user error, 2 validation/semantic
@@ -271,11 +273,21 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 0
     workspace = Workspace()
     try:
+        retry = None
+        if args.retries is not None:
+            from repro.runtime import RetryPolicy
+
+            retry = RetryPolicy(max_attempts=args.retries)
         result = workspace.campaign(
             variants=variants,
             backend=backend,
             jobs=jobs,
             batch_size=batch_size,
+            retry=retry,
+            deadline_s=args.deadline_s,
+            # Fault-tolerant runs record failures as tagged outcomes
+            # (quarantine) instead of failing the whole campaign.
+            on_error="record" if (retry or args.deadline_s) else "raise",
         )
     except ReproError as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
@@ -476,6 +488,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             shards=args.shards,
             workers=args.workers,
             port_file=args.port_file,
+            failure_threshold=args.failure_threshold,
+            deadline_s=args.deadline_s,
         )
     except (ReproError, OSError) as exc:
         print(f"ERROR: {exc}", file=sys.stderr)
@@ -589,6 +603,198 @@ def cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Deterministic chaos gate: faulted runs must reproduce clean verdicts.
+
+    Two phases, each against the same variant selection:
+
+    * **engine** -- job-site faults (``kill-worker``, ``delay-job``,
+      ``raise-transient``) on a process backend with a retry policy;
+    * **service** -- wire/journal faults (``drop-connection``,
+      ``torn-journal``) through an in-process daemon and a resuming
+      client.
+
+    A phase passes when its verdicts (and violated-goal sets) are
+    bit-identical to the clean serial run -- and to ``--golden`` when
+    given -- with zero quarantined variants.  Exit 0 on full parity,
+    2 on any divergence.
+    """
+    import dataclasses
+    import os
+    import tempfile
+
+    from repro.engine.campaign import run_campaign
+    from repro.engine.registry import default_registry
+    from repro.faults import (
+        FAULT_PLAN_ENV,
+        SITE_BY_KIND,
+        compile_plan,
+        reset_fault_state,
+    )
+    from repro.runtime import ProcessBackend, RetryPolicy
+
+    registry = default_registry()
+    select = {
+        key: value
+        for key, value in {
+            "scenario": args.scenario,
+            "family": args.family,
+            "limit": args.limit,
+        }.items()
+        if value is not None
+    }
+    variants = registry.variants(**select)
+    if not variants:
+        print("ERROR: selection matched no variants", file=sys.stderr)
+        return 1
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    unknown = [k for k in kinds if k not in SITE_BY_KIND]
+    if unknown:
+        print(
+            f"ERROR: unknown fault kind(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(SITE_BY_KIND))})",
+            file=sys.stderr,
+        )
+        return 1
+    engine_kinds = tuple(k for k in kinds if SITE_BY_KIND[k] == "job-start")
+    service_kinds = tuple(k for k in kinds if SITE_BY_KIND[k] != "job-start")
+
+    golden = None
+    if args.golden:
+        golden = json.loads(Path(args.golden).read_text(encoding="utf-8"))
+
+    def signature(outcomes):
+        return [
+            (o.variant_id, o.verdict, list(o.violated_goals))
+            for o in outcomes
+        ]
+
+    print(
+        f"chaos: {len(variants)} variant(s), seed {args.seed}, "
+        f"kinds: {', '.join(kinds) or '(none)'}"
+    )
+    os.environ.pop(FAULT_PLAN_ENV, None)
+    reset_fault_state()
+    clean = run_campaign(variants, registry=registry, backend="serial")
+    reference = signature(clean.outcomes)
+    report: dict = {
+        "variants": len(variants),
+        "seed": args.seed,
+        "kinds": list(kinds),
+        "phases": [],
+    }
+    failures = 0
+    if golden is not None:
+        mismatched = [
+            vid
+            for vid, verdict, goals in reference
+            if vid not in golden or golden[vid] != [verdict, goals]
+        ]
+        ok = not mismatched
+        report["golden"] = {"path": str(args.golden), "parity": ok}
+        print(f"  [{'ok' if ok else 'FAIL'}] clean run vs golden capture")
+        if not ok:
+            print(f"    diverged: {', '.join(mismatched[:5])}", file=sys.stderr)
+            failures += 1
+
+    retry = RetryPolicy(seed=args.seed)
+    state_root = tempfile.mkdtemp(prefix="repro-chaos-")
+
+    def run_phase(phase, plan, execute):
+        os.environ[FAULT_PLAN_ENV] = plan.to_json()
+        reset_fault_state()
+        try:
+            outcomes, extra = execute()
+        finally:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+            reset_fault_state()
+        quarantined = sum(1 for o in outcomes if o.stats.get("quarantined"))
+        parity = signature(outcomes) == reference
+        entry = {
+            "phase": phase,
+            "parity": parity,
+            "quarantined": quarantined,
+            "errors": sum(1 for o in outcomes if o.is_error),
+            "faults": [dataclasses.asdict(f) for f in plan.faults],
+            **extra,
+        }
+        report["phases"].append(entry)
+        ok = parity and quarantined == 0
+        print(
+            f"  [{'ok' if ok else 'FAIL'}] {phase} phase: parity={parity}, "
+            f"quarantined={quarantined}, "
+            f"faults={[(f.kind, f.at) for f in plan.faults]}"
+        )
+        return ok
+
+    if engine_kinds:
+        plan = compile_plan(
+            args.seed,
+            engine_kinds,
+            total_jobs=len(variants),
+            state_dir=os.path.join(state_root, "engine"),
+        )
+
+        def execute_engine():
+            backend = ProcessBackend(jobs=args.jobs)
+            try:
+                result = run_campaign(
+                    variants,
+                    backend=backend,
+                    on_error="record",
+                    retry=retry,
+                )
+            finally:
+                respawns = backend.respawns
+                backend.shutdown()
+            return result.outcomes, {"backend": "process", "respawns": respawns}
+
+        if not run_phase("engine", plan, execute_engine):
+            failures += 1
+
+    if service_kinds:
+        from repro.service import CampaignDaemon, ServiceClient
+
+        plan = compile_plan(
+            args.seed,
+            service_kinds,
+            total_jobs=len(variants),
+            state_dir=os.path.join(state_root, "service"),
+        )
+
+        def execute_service():
+            with CampaignDaemon(
+                memo_dir=os.path.join(state_root, "memo"), shards=2
+            ).start() as daemon:
+                client = ServiceClient(daemon.port, retry=retry)
+                outcomes, summary = client.submit(variants)
+            return outcomes, {
+                "backend": "service",
+                "cached": summary.get("cached", 0),
+            }
+
+        if not run_phase("service", plan, execute_service):
+            failures += 1
+
+    report["parity"] = failures == 0
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / "CHAOS.json"
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    if failures:
+        print(
+            f"CHAOS FAILED: {failures} phase(s)/gate(s) diverged",
+            file=sys.stderr,
+        )
+        return 2
+    print("chaos parity holds: every faulted run matched the clean verdicts")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Print the goal/attack/threat traceability matrix."""
     from repro.api import Workspace
@@ -688,6 +894,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap the number of variants run",
     )
     campaign.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transiently-failing variants up to N total attempts "
+        "(deterministic seeded backoff; exhaustion quarantines the "
+        "variant instead of failing the campaign)",
+    )
+    campaign.add_argument(
+        "--deadline-s", type=float, default=None, metavar="SECONDS",
+        help="per-variant wall-clock budget (a variant's own deadline_s "
+        "takes precedence); a breach records a DeadlineExceededError "
+        "outcome",
+    )
+    campaign.add_argument(
         "--list", action="store_true",
         help="enumerate matching variants without running them",
     )
@@ -783,6 +1001,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=None,
         help="worker threads (default: one per shard)",
+    )
+    serve.add_argument(
+        "--deadline-s", type=float, default=None, metavar="SECONDS",
+        help="per-variant wall-clock budget for scheduled work (a "
+        "variant's own deadline_s takes precedence)",
+    )
+    serve.add_argument(
+        "--failure-threshold", type=int, default=None, metavar="N",
+        help="consecutive fresh failures before a scheduler shard is "
+        "marked unhealthy and its queue redistributed (default 3)",
     )
     serve.add_argument(
         "--verbose", action="store_true", help="debug-level daemon logs"
@@ -882,6 +1110,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.set_defaults(handler=cmd_lint)
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="fault-injection parity gate (faulted runs must reproduce "
+        "clean verdicts)",
+    )
+    chaos.add_argument(
+        "--scenario", help="only this scenario (e.g. uc1-fleet-convoy)"
+    )
+    chaos.add_argument(
+        "--family", default="coverage",
+        help="variant family to run under faults (default: coverage)",
+    )
+    chaos.add_argument(
+        "--limit", type=int, default=None,
+        help="cap the number of variants run",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-plan seed (same seed, same faults, same positions; "
+        "default 0)",
+    )
+    chaos.add_argument(
+        "--kinds", default="kill-worker,raise-transient,delay-job",
+        help="comma-separated fault kinds to inject (job-site kinds run "
+        "the engine phase, wire/journal kinds the service phase; "
+        "default: kill-worker,raise-transient,delay-job)",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=2,
+        help="process-backend workers for the engine phase (default 2)",
+    )
+    chaos.add_argument(
+        "--golden", metavar="GOLDEN.json", default=None,
+        help="also gate the clean run against a golden-verdict capture "
+        "(tests/data/golden_verdicts.json format)",
+    )
+    chaos.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write the CHAOS.json report under DIR (the CI artifact)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable chaos report",
+    )
+    chaos.set_defaults(handler=cmd_chaos)
+
     return parser
 
 
@@ -896,6 +1170,7 @@ __all__ = [
     "cmd_attack",
     "cmd_bench",
     "cmd_campaign",
+    "cmd_chaos",
     "cmd_export",
     "cmd_lint",
     "cmd_report",

@@ -179,16 +179,19 @@ def execute_batch(
     registry: ScenarioRegistry | None = None,
     trace_mode: str | None = None,
     as_payload: bool = False,
+    default_deadline_s: float | None = None,
 ) -> list[dict[str, Any]]:
     """Execute one batch; return per-variant payload dicts.
 
     ``jobs`` is the runtime's ``(original_index, seed, item)`` shape;
     items are :class:`VariantSpec` in-process or their payload dicts
     across a pickle boundary.  Failures are captured per variant (the
-    rest of the batch still runs), matching the unbatched error
-    contract.
+    rest of the batch still runs, so one bad variant never poisons its
+    batch), matching the unbatched error contract --
+    ``default_deadline_s`` is the campaign-level deadline applied to
+    variants without their own.
     """
-    from repro.engine.campaign import CAMPAIGN_TRACE_MODE, execute_variant
+    from repro.engine.campaign import CAMPAIGN_TRACE_MODE, _execute_checked
 
     registry = registry if registry is not None else default_registry()
     if trace_mode is None:
@@ -215,8 +218,11 @@ def execute_batch(
         for (index, seed, _item), variant in zip(jobs, variants):
             started = time.perf_counter()
             try:
-                outcome = execute_variant(
-                    variant, registry, trace_mode=trace_mode
+                outcome = _execute_checked(
+                    variant,
+                    registry,
+                    trace_mode=trace_mode,
+                    default_deadline_s=default_deadline_s,
                 )
             except Exception as exc:  # noqa: BLE001 - captured, reported
                 results.append(
@@ -250,10 +256,15 @@ def execute_batch_in_process(
     jobs: Sequence[tuple[int, int, Any]],
     registry: ScenarioRegistry | None = None,
     trace_mode: str | None = None,
+    default_deadline_s: float | None = None,
 ) -> list[dict[str, Any]]:
     """Serial/thread batch job: outcomes stay live objects."""
     return execute_batch(
-        context, jobs, registry=registry, trace_mode=trace_mode
+        context,
+        jobs,
+        registry=registry,
+        trace_mode=trace_mode,
+        default_deadline_s=default_deadline_s,
     )
 
 
@@ -261,13 +272,19 @@ def run_batch_payload(
     context: BatchContext,
     jobs: Sequence[tuple[int, int, Any]],
     trace_mode: str | None = None,
+    default_deadline_s: float | None = None,
 ) -> list[dict[str, Any]]:
     """Process-backend batch job: claim worker identity, return plain data."""
     from repro.engine.campaign import _ensure_worker_identity
 
     _ensure_worker_identity()
     return execute_batch(
-        context, jobs, registry=None, trace_mode=trace_mode, as_payload=True
+        context,
+        jobs,
+        registry=None,
+        trace_mode=trace_mode,
+        as_payload=True,
+        default_deadline_s=default_deadline_s,
     )
 
 

@@ -43,7 +43,12 @@ from typing import (
 from repro.engine.attacks import arm_catalog_attack
 from repro.engine.registry import ScenarioRegistry, default_registry
 from repro.engine.spec import VariantSpec
-from repro.errors import ValidationError, VariantExecutionError
+from repro.errors import (
+    DeadlineExceededError,
+    ValidationError,
+    VariantExecutionError,
+)
+from repro.faults import fault_point
 from repro.results import (
     SOURCE_CAMPAIGN,
     ResultSet,
@@ -57,6 +62,7 @@ from repro.runtime import (
     JobError,
     ProcessBackend,
     ProgressEvent,
+    RetryPolicy,
     Runtime,
     SerialBackend,
     in_worker_process,
@@ -330,14 +336,49 @@ def _ensure_worker_identity() -> None:
 
 
 def _run_payload(
-    payload: dict, trace_mode: str = CAMPAIGN_TRACE_MODE
+    payload: dict,
+    trace_mode: str = CAMPAIGN_TRACE_MODE,
+    default_deadline_s: float | None = None,
 ) -> dict:
     """Process-backend job: rebuild the variant, execute, return plain data."""
     _ensure_worker_identity()
-    outcome = execute_variant(
-        VariantSpec.from_payload(payload), trace_mode=trace_mode
+    outcome = _execute_checked(
+        VariantSpec.from_payload(payload),
+        trace_mode=trace_mode,
+        default_deadline_s=default_deadline_s,
     )
     return dataclasses.asdict(outcome)
+
+
+def _execute_checked(
+    variant: VariantSpec,
+    registry: ScenarioRegistry | None = None,
+    trace_mode: str = CAMPAIGN_TRACE_MODE,
+    default_deadline_s: float | None = None,
+) -> VariantOutcome:
+    """:func:`execute_variant` under the fault-tolerance contract.
+
+    The single chokepoint every campaign execution path (serial, thread,
+    process, batched, the service scheduler) funnels through: it hosts
+    the ``job-start`` fault-injection hook and enforces the variant's
+    wall-clock deadline.  Deadlines are cooperative -- the run completes
+    and the breach is reported afterwards as a
+    :class:`~repro.errors.DeadlineExceededError`, keeping the check
+    deterministic (no timer races, no partially-executed simulations).
+    """
+    fault_point("job-start")
+    outcome = execute_variant(variant, registry, trace_mode=trace_mode)
+    deadline = (
+        variant.deadline_s
+        if variant.deadline_s is not None
+        else default_deadline_s
+    )
+    if deadline is not None and outcome.wall_time_s > deadline:
+        raise DeadlineExceededError(
+            f"variant {variant.variant_id!r} exceeded its {deadline:g}s "
+            f"deadline ({outcome.wall_time_s:.3f}s)"
+        )
+    return outcome
 
 
 # -- the runner ---------------------------------------------------------------
@@ -461,12 +502,31 @@ class CampaignResult:
 
 
 def error_outcome(
-    variant: VariantSpec, error: JobError, wall_time_s: float = 0.0
+    variant: VariantSpec,
+    error: JobError,
+    wall_time_s: float = 0.0,
+    *,
+    attempts: int = 1,
+    quarantined: bool = False,
 ) -> VariantOutcome:
     """A tagged ``ERROR`` outcome for a variant whose execution raised.
 
     Public so out-of-band executors (the service scheduler) report
-    failures in exactly the shape ``on_error="record"`` produces."""
+    failures in exactly the shape ``on_error="record"`` produces.
+    ``attempts`` records how many executions were tried and
+    ``quarantined=True`` tags a variant that exhausted its
+    :class:`~repro.runtime.RetryPolicy` budget -- the campaign carries
+    on without it, so one pathological variant never poisons its batch.
+    """
+    stats: dict[str, Any] = {
+        "error_type": error.type,
+        "error_traceback": error.traceback,
+        "attempts": attempts,
+    }
+    notes = f"{error.type}: {error.message}"
+    if quarantined:
+        stats["quarantined"] = True
+        notes = f"quarantined after {attempts} attempt(s) -- {notes}"
     return VariantOutcome(
         variant_id=variant.variant_id,
         scenario=variant.scenario,
@@ -477,10 +537,10 @@ def error_outcome(
         violations=(),
         detections=(),
         detections_by_control=(),
-        stats={"error_type": error.type, "error_traceback": error.traceback},
+        stats=stats,
         duration_ms=0.0,
         wall_time_s=wall_time_s,
-        notes=f"{error.type}: {error.message}",
+        notes=notes,
     )
 
 
@@ -561,6 +621,8 @@ def iter_campaign(
     chunksize: int = 1,
     trace_mode: str = CAMPAIGN_TRACE_MODE,
     memo: CampaignMemo | None = None,
+    retry: RetryPolicy | None = None,
+    deadline_s: float | None = None,
 ) -> Iterator[VariantOutcome]:
     """Execute ``variants`` on ``backend``; yield outcomes as they finish.
 
@@ -593,6 +655,14 @@ def iter_campaign(
             :class:`repro.service.MemoStore`): variants it already knows
             are yielded instantly as ``from_cache`` outcomes and never
             re-executed; fresh outcomes are recorded back into it.
+        retry: Optional :class:`~repro.runtime.RetryPolicy`: a variant
+            failing with a transient error class is re-executed (with
+            the policy's deterministic backoff) instead of failing the
+            campaign; a variant that exhausts the budget yields a
+            ``quarantined`` error outcome under ``on_error="record"``
+            (or raises, under ``"raise"``).
+        deadline_s: Campaign-level wall-clock budget per variant;
+            a variant's own ``deadline_s`` takes precedence.
     """
     for _index, outcome in _iter_campaign_indexed(
         variants,
@@ -605,6 +675,8 @@ def iter_campaign(
         chunksize=chunksize,
         trace_mode=trace_mode,
         memo=memo,
+        retry=retry,
+        deadline_s=deadline_s,
     ):
         yield outcome
 
@@ -621,6 +693,8 @@ def _iter_campaign_indexed(
     chunksize: int = 1,
     trace_mode: str = CAMPAIGN_TRACE_MODE,
     memo: CampaignMemo | None = None,
+    retry: RetryPolicy | None = None,
+    deadline_s: float | None = None,
 ) -> Iterator[tuple[int, VariantOutcome]]:
     """:func:`iter_campaign` plus each outcome's input position, so
     aggregators can restore exact submission order even when variant ids
@@ -628,6 +702,10 @@ def _iter_campaign_indexed(
     if on_error not in ("raise", "record"):
         raise ValidationError(
             f"on_error must be 'raise' or 'record', got {on_error!r}"
+        )
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValidationError(
+            f"deadline_s must be positive, got {deadline_s}"
         )
     owns_backend = isinstance(backend, str)
     if isinstance(backend, str):
@@ -688,11 +766,14 @@ def _iter_campaign_indexed(
                     execute_batch_in_process,
                     registry=registry,
                     trace_mode=trace_mode,
+                    default_deadline_s=deadline_s,
                 )
                 batches = [(batch.context(), batch.jobs()) for batch in plan]
             else:
                 batch_fn = functools.partial(
-                    run_batch_payload, trace_mode=trace_mode
+                    run_batch_payload,
+                    trace_mode=trace_mode,
+                    default_deadline_s=deadline_s,
                 )
                 batches = [
                     (batch.context(), batch.jobs(as_payload=True))
@@ -701,16 +782,27 @@ def _iter_campaign_indexed(
             stream = runtime.map_batches(batch_fn, batches)
         elif backend.shares_memory:
             fn: Callable[[Any], Any] = functools.partial(
-                _execute_in_process, registry=registry, trace_mode=trace_mode
+                _execute_in_process,
+                registry=registry,
+                trace_mode=trace_mode,
+                default_deadline_s=deadline_s,
             )
             stream = runtime.map(fn, submit_variants, chunksize=chunksize)
         else:
-            fn = functools.partial(_run_payload, trace_mode=trace_mode)
+            fn = functools.partial(
+                _run_payload,
+                trace_mode=trace_mode,
+                default_deadline_s=deadline_s,
+            )
             stream = runtime.map(
                 fn,
                 [variant.to_payload() for variant in submit_variants],
                 chunksize=chunksize,
             )
+        # Transient failures are parked here and re-executed after the
+        # main stream drains; ``run_campaign``'s position sort restores
+        # input order, so late retries never move another verdict.
+        retries: list[tuple[int, JobError]] = []
         for result in stream:
             variant = submit_variants[result.index]
             if result.ok:
@@ -722,6 +814,9 @@ def _iter_campaign_indexed(
                 )
                 if memo is not None:
                     memo.record(variant, outcome, trace_mode)
+            elif retry is not None and retry.should_retry(result.error, 1):
+                retries.append((result.index, result.error))
+                continue
             elif on_error == "record":
                 outcome = error_outcome(
                     variant, result.error, result.wall_time_s
@@ -738,18 +833,108 @@ def _iter_campaign_indexed(
             if sink is not None:
                 sink.add(outcome.to_record())
             yield positions[result.index], outcome
+        for submit_index, first_error in retries:
+            if cancel is not None and cancel.cancelled:
+                return
+            variant = submit_variants[submit_index]
+            yield positions[submit_index], _retry_variant(
+                variant,
+                first_error,
+                retry=retry,
+                registry=registry if backend.shares_memory else None,
+                trace_mode=trace_mode,
+                deadline_s=deadline_s,
+                on_error=on_error,
+                backend_name=backend.name,
+                memo=memo,
+                sink=sink,
+                cancel=cancel,
+            )
     finally:
         if owns_backend:
             backend.shutdown()
+
+
+def _retry_variant(
+    variant: VariantSpec,
+    first_error: JobError,
+    *,
+    retry: RetryPolicy,
+    registry: ScenarioRegistry | None,
+    trace_mode: str,
+    deadline_s: float | None,
+    on_error: str,
+    backend_name: str,
+    memo: CampaignMemo | None,
+    sink: ResultSink | None,
+    cancel: CancelToken | None,
+) -> VariantOutcome:
+    """Re-run one transiently-failed variant under the retry policy.
+
+    Retries run inline in the driver process: they are rare, variant
+    execution is unseeded, and the simulator is deterministic, so the
+    verdict matches what any backend's worker would have produced.  Each
+    attempt waits out the policy's seeded backoff first (the wait doubles
+    as a cancellation point).  Returns the final outcome -- a success
+    annotated with its attempt count, or a ``quarantined`` error outcome
+    under ``on_error="record"``; under ``"raise"`` exhaustion raises
+    :class:`~repro.errors.VariantExecutionError`.
+    """
+    error = first_error
+    attempt = 1
+    while retry.should_retry(error, attempt) and not (
+        cancel is not None and cancel.cancelled
+    ):
+        retry.wait(attempt, variant.variant_id, cancel=cancel)
+        attempt += 1
+        try:
+            outcome = _execute_checked(
+                variant,
+                registry,
+                trace_mode=trace_mode,
+                default_deadline_s=deadline_s,
+            )
+        except Exception as exc:  # noqa: BLE001 - captured, policy decides
+            error = JobError.from_exception(exc)
+            continue
+        outcome = dataclasses.replace(
+            outcome, stats={**outcome.stats, "attempts": attempt}
+        )
+        if memo is not None:
+            memo.record(variant, outcome, trace_mode)
+        if sink is not None:
+            sink.add(outcome.to_record())
+        return outcome
+    if on_error == "record":
+        outcome = error_outcome(
+            variant, error, attempts=attempt, quarantined=True
+        )
+        if sink is not None:
+            sink.add(outcome.to_record())
+        return outcome
+    raise VariantExecutionError(
+        f"variant {variant.variant_id!r} quarantined after {attempt} "
+        f"attempt(s) on the {backend_name} backend: {error.type}: "
+        f"{error.message}",
+        variant_id=variant.variant_id,
+        error_type=error.type,
+        error_traceback=error.traceback,
+    )
 
 
 def _execute_in_process(
     variant: VariantSpec,
     registry=None,
     trace_mode: str = CAMPAIGN_TRACE_MODE,
+    default_deadline_s: float | None = None,
 ) -> VariantOutcome:
     """Serial/thread-backend job: no payload round-trip needed."""
-    return execute_variant(variant, registry, trace_mode=trace_mode)
+    return _execute_checked(
+        variant,
+        registry,
+        trace_mode=trace_mode,
+        default_deadline_s=default_deadline_s,
+    )
 
 
 def run_campaign(
@@ -766,6 +951,8 @@ def run_campaign(
     chunksize: int = 1,
     trace_mode: str = CAMPAIGN_TRACE_MODE,
     memo: CampaignMemo | None = None,
+    retry: RetryPolicy | None = None,
+    deadline_s: float | None = None,
 ) -> CampaignResult:
     """Execute ``variants`` on an execution backend; aggregate outcomes.
 
@@ -800,6 +987,8 @@ def run_campaign(
                 chunksize=chunksize,
                 trace_mode=trace_mode,
                 memo=memo,
+                retry=retry,
+                deadline_s=deadline_s,
             ),
             key=lambda pair: pair[0],
         )
@@ -885,6 +1074,8 @@ class CampaignRunner:
         sink: ResultSink | None = None,
         trace_mode: str = CAMPAIGN_TRACE_MODE,
         memo: CampaignMemo | None = None,
+        retry: RetryPolicy | None = None,
+        deadline_s: float | None = None,
     ) -> CampaignResult:
         """Run the given (or all) variants on the configured backend."""
         selected = tuple(variants) if variants is not None else self.select()
@@ -900,6 +1091,8 @@ class CampaignRunner:
                 sink=sink,
                 trace_mode=trace_mode,
                 memo=memo,
+                retry=retry,
+                deadline_s=deadline_s,
             )
         finally:
             self.close()

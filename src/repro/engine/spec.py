@@ -224,6 +224,9 @@ class VariantSpec:
         attack_params: Parameters for a catalog attack.
         duration_ms: Run horizon override (``None``: the binding's or
             scenario's default).
+        deadline_s: Per-variant wall-clock budget (``None``: the
+            campaign-level default, if any).  A run that takes longer
+            reports a ``DeadlineExceededError``-typed error outcome.
         description: One-line human summary.
     """
 
@@ -234,6 +237,7 @@ class VariantSpec:
     attack: str | None = None
     attack_params: ParamItems = ()
     duration_ms: float | None = None
+    deadline_s: float | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -242,6 +246,10 @@ class VariantSpec:
         if self.duration_ms is not None and self.duration_ms <= 0:
             raise ValidationError(
                 f"variant {self.variant_id}: duration must be positive"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValidationError(
+                f"variant {self.variant_id}: deadline must be positive"
             )
         if self.uses_bound_attack and self.attack_params:
             # Bound attacks run their Step-4 binding verbatim; silently

@@ -18,7 +18,9 @@ specific subclass that applies:
   case, asking for a verdict before execution, ...).
 * :class:`ExecutionError` -- a job failed inside an execution backend;
   :class:`VariantExecutionError` additionally names the campaign variant
-  whose worker-side execution raised.
+  whose worker-side execution raised, :class:`TransientError` marks a
+  failure as retry-worthy, and :class:`DeadlineExceededError` reports a
+  variant that ran past its wall-clock budget.
 """
 
 from __future__ import annotations
@@ -105,6 +107,27 @@ class ExecutionError(ReproError):
         self.error_traceback = error_traceback
 
 
+class TransientError(ExecutionError):
+    """A failure the raiser believes is temporary.
+
+    Raising (or subclassing) this marks an error as retry-worthy: the
+    default :class:`repro.runtime.RetryPolicy` treats ``TransientError``
+    -- alongside the usual transient OS-level classes -- as eligible for
+    another attempt, while everything else fails fast.
+    """
+
+
+class DeadlineExceededError(ExecutionError):
+    """A variant ran past its wall-clock deadline.
+
+    Deadlines are cooperative: the job runs to completion and the breach
+    is detected afterwards, so the error is deterministic evidence of a
+    too-slow variant rather than a race with a timer.  It is deliberately
+    *not* transient -- a deterministic workload that blew its budget once
+    will blow it again, so retrying would only burn the retry budget.
+    """
+
+
 class VariantExecutionError(ExecutionError):
     """A campaign variant's worker-side execution raised.
 
@@ -128,6 +151,7 @@ class VariantExecutionError(ExecutionError):
 __all__ = [
     "CatalogError",
     "CoverageError",
+    "DeadlineExceededError",
     "DslError",
     "DslSemanticError",
     "DslSyntaxError",
@@ -136,6 +160,7 @@ __all__ = [
     "ReproError",
     "SerializationError",
     "SimulationError",
+    "TransientError",
     "ValidationError",
     "VariantExecutionError",
 ]

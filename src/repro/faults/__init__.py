@@ -1,0 +1,60 @@
+"""``repro.faults`` -- deterministic fault injection for the execution plane.
+
+Chaos testing with reproducibility guarantees: a :class:`FaultPlan` is
+*compiled from a seed* (same seed, same faults, same positions), carried
+to every process through the ``REPRO_FAULT_PLAN`` environment variable,
+and fired **exactly once** per fault via a shared state directory -- a
+re-enqueued job or respawned worker never re-triggers a consumed fault.
+
+Five fault kinds cover the failure modes the fault-tolerant execution
+plane must survive:
+
+* ``kill-worker`` -- hard-exit a process worker at its k-th job
+  (exercises :class:`~repro.runtime.ProcessBackend` supervision);
+* ``delay-job`` -- stall one job by a fixed amount (exercises
+  deadlines);
+* ``raise-transient`` -- raise a
+  :class:`~repro.errors.TransientError` from one job (exercises
+  :class:`~repro.runtime.RetryPolicy`);
+* ``drop-connection`` -- reset the client socket mid-outcome-stream
+  (exercises :class:`~repro.service.ServiceClient` resume);
+* ``torn-journal`` -- truncate one memo journal append mid-line
+  (exercises the journal loader's corrupt-tail tolerance).
+
+Production code stays fault-free by construction: every hook is a call
+to :func:`fault_point`, which is a single dictionary check when no plan
+is armed.  The ``repro chaos`` CLI subcommand runs a campaign under a
+plan and asserts verdict parity against the clean run.
+"""
+
+from repro.faults.inject import (
+    active_plan,
+    fault_point,
+    reset_fault_state,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FAULT_PLAN_SCHEMA,
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    SITE_BY_KIND,
+    compile_plan,
+    load_plan_from_env,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FAULT_PLAN_SCHEMA",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "SITE_BY_KIND",
+    "active_plan",
+    "compile_plan",
+    "fault_point",
+    "load_plan_from_env",
+    "reset_fault_state",
+]

@@ -1,0 +1,136 @@
+"""The injection hook: where armed fault plans actually fire.
+
+Production call sites sprinkle ``fault_point("<site>")`` at the spots a
+real fault would strike -- job execution, the client's outcome stream,
+the memo journal's append.  With no plan armed the hook is one global
+check; with a plan it counts calls per site and fires each scheduled
+fault exactly once across the whole process tree (marker files in the
+plan's ``state_dir`` arbitrate between processes).
+
+Kind semantics at the hook:
+
+* ``kill-worker`` hard-exits the process -- but only inside a pool
+  worker (:func:`~repro.runtime.in_worker_process`), never the driver
+  or daemon, so a chaos plan can at worst cost a respawn;
+* ``delay-job`` sleeps ``param`` seconds before the job runs;
+* ``raise-transient`` raises :class:`~repro.errors.TransientError`;
+* ``drop-connection`` raises :class:`ConnectionResetError`;
+* ``torn-journal`` does nothing here -- the spec is *returned* and the
+  journal writer enacts the torn write itself.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.errors import TransientError, ValidationError
+from repro.faults.plan import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    load_plan_from_env,
+)
+from repro.runtime import in_worker_process
+
+_lock = threading.Lock()
+_loaded = False
+_plan: FaultPlan | None = None
+_counters: dict[str, int] = {}
+_fired: set[tuple[str, int]] = set()
+
+
+def reset_fault_state() -> None:
+    """Forget the cached plan and counters (the env is re-read lazily).
+
+    Call between phases that re-arm ``REPRO_FAULT_PLAN`` with different
+    plans in one process (the chaos driver does).
+    """
+    global _loaded, _plan
+    with _lock:
+        _loaded = False
+        _plan = None
+        _counters.clear()
+        _fired.clear()
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan this process is running under, if any (loads lazily)."""
+    global _loaded, _plan
+    with _lock:
+        if not _loaded:
+            _plan = load_plan_from_env()
+            _loaded = True
+        return _plan
+
+
+def _claim(plan: FaultPlan, spec: FaultSpec) -> bool:
+    """Consume ``spec`` exactly once across every process on the plan."""
+    if not plan.state_dir:
+        key = (spec.kind, spec.at)
+        if key in _fired:
+            return False
+        _fired.add(key)
+        return True
+    os.makedirs(plan.state_dir, exist_ok=True)
+    marker = os.path.join(plan.state_dir, f"{spec.kind}-{spec.at}.fired")
+    try:
+        handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(handle)
+    return True
+
+
+def fault_point(site: str) -> FaultSpec | None:
+    """Fire any fault scheduled for this call of ``site``.
+
+    Returns the claimed spec for kinds the *caller* enacts
+    (``torn-journal``); action kinds raise or exit here.  No plan armed
+    means no counter bookkeeping at all.
+    """
+    if site not in FAULT_SITES:
+        raise ValidationError(
+            f"unknown fault site {site!r} (known: {FAULT_SITES})"
+        )
+    plan = active_plan()
+    if plan is None:
+        return None
+    matched: FaultSpec | None = None
+    with _lock:
+        count = _counters.get(site, 0) + 1
+        _counters[site] = count
+        for spec in plan.for_site(site):
+            if spec.at != count:
+                continue
+            if spec.kind == "kill-worker" and not in_worker_process():
+                # Never kill the driver, a scheduler thread, or the
+                # daemon; the fault stays unclaimed for a real worker.
+                continue
+            if _claim(plan, spec):
+                matched = spec
+                break
+    if matched is None:
+        return None
+    if matched.kind == "kill-worker":
+        os._exit(1)
+    if matched.kind == "delay-job":
+        time.sleep(matched.param)
+        return matched
+    if matched.kind == "raise-transient":
+        raise TransientError(
+            f"injected transient fault ({site} call {matched.at})"
+        )
+    if matched.kind == "drop-connection":
+        raise ConnectionResetError(
+            f"injected connection drop ({site} call {matched.at})"
+        )
+    return matched
+
+
+__all__ = [
+    "active_plan",
+    "fault_point",
+    "reset_fault_state",
+]

@@ -1,0 +1,222 @@
+"""Fault plans: seed-compiled, serialisable schedules of injected faults.
+
+A plan is plain data.  Compiling one never arms anything; injection only
+happens when the plan travels through ``REPRO_FAULT_PLAN`` (see
+:mod:`repro.faults.inject`) to the processes that execute jobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Sequence
+
+from repro.errors import ValidationError
+from repro.runtime import derive_seed
+
+#: Environment variable carrying the armed plan: either the plan's JSON
+#: text, or ``@/path/to/plan.json``.  Workers inherit it under both
+#: ``fork`` and ``spawn``, so one variable arms a whole process tree.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Schema tag embedded in serialised plans.
+FAULT_PLAN_SCHEMA = "repro.faults/v1"
+
+#: Every fault kind the injector understands.
+FAULT_KINDS = (
+    "kill-worker",
+    "delay-job",
+    "raise-transient",
+    "drop-connection",
+    "torn-journal",
+)
+
+#: Which :func:`~repro.faults.inject.fault_point` site each kind fires
+#: at.  The first three hit job execution; the socket and journal kinds
+#: hit the service plane.
+SITE_BY_KIND = {
+    "kill-worker": "job-start",
+    "delay-job": "job-start",
+    "raise-transient": "job-start",
+    "drop-connection": "client-outcome",
+    "torn-journal": "journal-append",
+}
+
+#: All sites, for validation at the hook.
+FAULT_SITES = tuple(sorted(set(SITE_BY_KIND.values())))
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire ``kind`` at the site's ``at``-th call.
+
+    ``at`` counts calls to the fault's site *within one process*
+    (1-based); the first process to reach the count claims the fault.
+    ``param`` parameterises kinds that need it (the delay in seconds for
+    ``delay-job``); others ignore it.
+    """
+
+    kind: str
+    at: int
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r} (known: {FAULT_KINDS})"
+            )
+        if self.at < 1:
+            raise ValidationError(f"fault position is 1-based, got {self.at}")
+        if self.param < 0:
+            raise ValidationError(f"fault param must be >= 0, got {self.param}")
+
+    @property
+    def site(self) -> str:
+        """The injection site this fault fires at."""
+        return SITE_BY_KIND[self.kind]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A full injection schedule plus its exactly-once bookkeeping dir.
+
+    ``state_dir`` holds one marker file per consumed fault, shared by
+    every process under the plan; an empty string degrades to
+    once-per-process semantics (fine for single-process tests).
+    """
+
+    seed: int
+    faults: tuple[FaultSpec, ...]
+    state_dir: str = ""
+
+    def for_site(self, site: str) -> tuple[FaultSpec, ...]:
+        """The scheduled faults firing at ``site``."""
+        return tuple(spec for spec in self.faults if spec.site == site)
+
+    def to_payload(self) -> dict[str, Any]:
+        """The plan as JSON-ready plain data."""
+        return {
+            "schema": FAULT_PLAN_SCHEMA,
+            "seed": self.seed,
+            "state_dir": self.state_dir,
+            "faults": [dataclasses.asdict(spec) for spec in self.faults],
+        }
+
+    def to_json(self) -> str:
+        """The plan serialised for ``REPRO_FAULT_PLAN``."""
+        return json.dumps(self.to_payload(), sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_payload` data."""
+        schema = payload.get("schema")
+        if schema != FAULT_PLAN_SCHEMA:
+            raise ValidationError(
+                f"fault plan schema mismatch: {schema!r} != "
+                f"{FAULT_PLAN_SCHEMA!r}"
+            )
+        return cls(
+            seed=int(payload["seed"]),
+            state_dir=str(payload.get("state_dir", "")),
+            faults=tuple(
+                FaultSpec(**spec) for spec in payload.get("faults", ())
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from its JSON form."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"fault plan is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ValidationError("fault plan JSON must be an object")
+        return cls.from_payload(payload)
+
+
+def compile_plan(
+    seed: int,
+    kinds: Sequence[str] = FAULT_KINDS,
+    *,
+    total_jobs: int = 12,
+    delay_s: float = 0.05,
+    state_dir: str = "",
+) -> FaultPlan:
+    """Compile a deterministic plan: one fault per requested kind.
+
+    Each fault's position derives from ``(seed, kind)`` over
+    ``[1, total_jobs]``, so the same seed always schedules the same
+    faults at the same points -- the property that makes a chaos run
+    debuggable and replayable.
+    """
+    if total_jobs < 1:
+        raise ValidationError(f"total_jobs must be >= 1, got {total_jobs}")
+    unknown = [kind for kind in kinds if kind not in FAULT_KINDS]
+    if unknown:
+        raise ValidationError(
+            f"unknown fault kind(s) {unknown} (known: {FAULT_KINDS})"
+        )
+    # Positions are deduplicated per site (linear probing) so a plan may
+    # schedule the same kind several times -- "inject two transients" --
+    # and every fault keeps a distinct, exactly-once identity.
+    faults = []
+    taken: dict[str, set[int]] = {}
+    for occurrence, kind in enumerate(kinds):
+        site = SITE_BY_KIND[kind]
+        used = taken.setdefault(site, set())
+        if len(used) >= total_jobs:
+            raise ValidationError(
+                f"more faults at site {site!r} than positions "
+                f"({total_jobs}); raise total_jobs"
+            )
+        at = 1 + derive_seed(seed, "fault-at", kind, occurrence) % total_jobs
+        while at in used:
+            at = 1 + (at % total_jobs)
+        used.add(at)
+        faults.append(
+            FaultSpec(
+                kind=kind,
+                at=at,
+                param=delay_s if kind == "delay-job" else 0.0,
+            )
+        )
+    return FaultPlan(seed=seed, faults=tuple(faults), state_dir=state_dir)
+
+
+def load_plan_from_env(environ: dict[str, str] | None = None) -> FaultPlan | None:
+    """The plan armed via ``REPRO_FAULT_PLAN``, or ``None``.
+
+    The value is the plan's JSON, or ``@path`` pointing at a JSON file.
+    A present-but-malformed plan raises: silently running *without*
+    faults when the caller asked for them would invert a chaos test.
+    """
+    value = (environ if environ is not None else os.environ).get(
+        FAULT_PLAN_ENV, ""
+    ).strip()
+    if not value:
+        return None
+    if value.startswith("@"):
+        path = value[1:]
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                value = handle.read()
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot read fault plan file {path!r}: {exc}"
+            )
+    return FaultPlan.from_json(value)
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FAULT_PLAN_SCHEMA",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "SITE_BY_KIND",
+    "compile_plan",
+    "load_plan_from_env",
+]

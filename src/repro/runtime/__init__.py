@@ -9,7 +9,10 @@ through this package:
   (the only module in the repository importing :mod:`multiprocessing`);
 * :mod:`repro.runtime.runtime` -- the :class:`Runtime` facade adding
   chunking, deterministic per-job seeds, progress events, structured
-  error capture and cooperative cancellation on top of any backend.
+  error capture and cooperative cancellation on top of any backend;
+* :mod:`repro.runtime.retry` -- :class:`RetryPolicy`, the deterministic
+  transient-failure retry/backoff contract every retry loop in the tree
+  must go through (rule ``REP011`` bans ad-hoc sleep loops elsewhere).
 
 Quick use::
 
@@ -50,6 +53,10 @@ from repro.runtime.backends import (
     usable_cpus,
     worker_index,
 )
+from repro.runtime.retry import (
+    DEFAULT_TRANSIENT_TYPES,
+    RetryPolicy,
+)
 from repro.runtime.runtime import (
     MAX_SEED,
     CancelToken,
@@ -67,6 +74,7 @@ __all__ = [
     "BATCH_SIZE_ENV",
     "BatchedBackend",
     "CancelToken",
+    "DEFAULT_TRANSIENT_TYPES",
     "ExecutionBackend",
     "JOBS_ENV",
     "JobError",
@@ -75,6 +83,7 @@ __all__ = [
     "MAX_SEED",
     "ProcessBackend",
     "ProgressEvent",
+    "RetryPolicy",
     "Runtime",
     "START_METHOD_ENV",
     "SerialBackend",

@@ -28,6 +28,7 @@ with ``spawn`` as the portable fallback.
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
 import os
 import threading
@@ -43,6 +44,8 @@ from typing import (
 )
 
 from repro.errors import ValidationError
+
+_log = logging.getLogger("repro.runtime")
 
 #: Environment variable selecting the process start method (CI matrix).
 START_METHOD_ENV = "MULTIPROCESSING_START_METHOD"
@@ -342,6 +345,16 @@ class ProcessBackend(_PoolBackend):
     ``initializer``.  Works under both ``fork`` and ``spawn`` -- the
     shared counter travels through the executor's process-creation
     arguments, never through a task pickle.
+
+    The backend is *supervised*: a worker dying mid-job (OOM kill,
+    segfault, hard ``os._exit``) breaks a :class:`ProcessPoolExecutor`
+    permanently, which by default would fail every in-flight job.
+    :meth:`map_unordered` instead discards the broken pool, respawns a
+    fresh one (up to ``respawn_limit`` times per backend), and
+    re-enqueues exactly the jobs that never produced a result.  Past the
+    budget it degrades to an inline serial drain in the calling process
+    -- slower, but a campaign always terminates rather than hanging or
+    crashing.  ``respawns`` counts pool replacements for observability.
     """
 
     name = "process"
@@ -353,11 +366,18 @@ class ProcessBackend(_PoolBackend):
         start_method: str | None = None,
         initializer: Callable[..., None] | None = None,
         initargs: tuple = (),
+        respawn_limit: int = 2,
     ) -> None:
         super().__init__(jobs if jobs is not None else usable_cpus())
+        if respawn_limit < 0:
+            raise ValidationError(
+                f"respawn_limit must be >= 0, got {respawn_limit}"
+            )
         self._start_method = start_method
         self._initializer = initializer
         self._initargs = initargs
+        self.respawn_limit = respawn_limit
+        self.respawns = 0
 
     @property
     def start_method(self) -> str:
@@ -373,6 +393,49 @@ class ProcessBackend(_PoolBackend):
             initializer=_process_worker_init,
             initargs=(sequence, self._initializer, self._initargs),
         )
+
+    def map_unordered(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[tuple[int, Any]]:
+        remaining = dict(enumerate(items))
+        while remaining:
+            if self.respawns > self.respawn_limit:
+                # Degraded mode: the pool kept dying, so finish the
+                # leftovers inline rather than hang or crash the stream.
+                _log.warning(
+                    "process pool exceeded its respawn budget (%d); "
+                    "draining %d job(s) inline",
+                    self.respawn_limit,
+                    len(remaining),
+                )
+                for index in sorted(remaining):
+                    yield index, fn(remaining.pop(index))
+                return
+            pending: dict[_futures.Future, int] = {}
+            try:
+                for index in sorted(remaining):
+                    pending[self.submit(fn, remaining[index])] = index
+                for future in _futures.as_completed(list(pending)):
+                    index = pending.pop(future)
+                    value = future.result()
+                    del remaining[index]
+                    yield index, value
+            except _futures.BrokenExecutor:
+                # A worker died (exitcode watch is the executor's own
+                # management thread); every pending future is poisoned.
+                # Replace the pool and re-enqueue the unfinished jobs.
+                self.respawns += 1
+                _log.warning(
+                    "process worker died; pool replacement %d (budget %d), "
+                    "%d job(s) to re-enqueue",
+                    self.respawns,
+                    self.respawn_limit,
+                    len(remaining),
+                )
+                self.shutdown(wait=False, cancel_pending=True)
+            finally:
+                for future in pending:
+                    future.cancel()
 
 
 class BatchedBackend(_BackendBase):

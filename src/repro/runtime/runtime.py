@@ -32,7 +32,7 @@ import time
 import traceback
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.errors import ExecutionError, ValidationError
+from repro.errors import DeadlineExceededError, ExecutionError, ValidationError
 from repro.runtime.backends import ExecutionBackend, SerialBackend
 
 #: Largest derived seed (63 bits: always a positive Python/NumPy-safe int).
@@ -136,13 +136,30 @@ class JobError:
 
     @classmethod
     def from_exception(cls, exc: BaseException) -> "JobError":
-        """Capture a live exception into its plain-data form."""
-        return cls(
-            type=type(exc).__name__,
-            message=str(exc),
-            traceback="".join(
+        """Capture a live exception into its plain-data form.
+
+        Capture must never raise: a poisoned exception (one whose
+        ``__str__`` blows up, or whose payload cannot pickle across a
+        spawn boundary) would otherwise crash the worker's error path
+        and take the whole backend down with it.  The message degrades
+        to ``repr()`` and then to a placeholder; the traceback degrades
+        to empty.
+        """
+        try:
+            message = str(exc)
+        except Exception:  # noqa: BLE001 - poisoned __str__
+            try:
+                message = repr(exc)
+            except Exception:  # noqa: BLE001 - poisoned __repr__ too
+                message = f"<unprintable {type(exc).__name__}>"
+        try:
+            formatted = "".join(
                 traceback.format_exception(type(exc), exc, exc.__traceback__)
-            ),
+            )
+        except Exception:  # noqa: BLE001 - rendering touches the payload
+            formatted = ""
+        return cls(
+            type=type(exc).__name__, message=message, traceback=formatted
         )
 
 
@@ -201,8 +218,15 @@ def _run_chunk(
     fn: Callable[..., Any],
     seeded: bool,
     chunk: Sequence[tuple[int, int, Any]],
+    deadline_s: float | None = None,
 ) -> list[dict[str, Any]]:
-    """Execute one chunk of ``(index, seed, item)`` jobs; capture errors."""
+    """Execute one chunk of ``(index, seed, item)`` jobs; capture errors.
+
+    ``deadline_s`` is a cooperative per-job wall-clock budget: the job
+    runs to completion and a breach is reported afterwards as a
+    :class:`~repro.errors.DeadlineExceededError`-typed error payload, so
+    the check is deterministic rather than a race with a timer thread.
+    """
     results: list[dict[str, Any]] = []
     for index, seed, item in chunk:
         started = time.perf_counter()
@@ -218,14 +242,31 @@ def _run_chunk(
                 }
             )
         else:
-            results.append(
-                {
-                    "index": index,
-                    "seed": seed,
-                    "value": value,
-                    "wall_time_s": time.perf_counter() - started,
-                }
-            )
+            elapsed = time.perf_counter() - started
+            if deadline_s is not None and elapsed > deadline_s:
+                breach = DeadlineExceededError(
+                    f"job {index} exceeded its {deadline_s:g}s deadline "
+                    f"({elapsed:.3f}s)"
+                )
+                results.append(
+                    {
+                        "index": index,
+                        "seed": seed,
+                        "error": dataclasses.asdict(
+                            JobError.from_exception(breach)
+                        ),
+                        "wall_time_s": elapsed,
+                    }
+                )
+            else:
+                results.append(
+                    {
+                        "index": index,
+                        "seed": seed,
+                        "value": value,
+                        "wall_time_s": elapsed,
+                    }
+                )
     return results
 
 
@@ -309,6 +350,9 @@ class Runtime:
         seed: Root seed all per-job seeds derive from.
         on_event: Progress callback receiving :class:`ProgressEvent`.
         cancel: Shared cancellation token (one is created if omitted).
+        deadline_s: Cooperative per-job wall-clock budget applied by
+            :meth:`map` and :meth:`submit_job`; a job that runs longer
+            yields a ``DeadlineExceededError``-typed error result.
     """
 
     def __init__(
@@ -318,10 +362,16 @@ class Runtime:
         seed: int = 1,
         on_event: Callable[[ProgressEvent], None] | None = None,
         cancel: CancelToken | None = None,
+        deadline_s: float | None = None,
     ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValidationError(
+                f"deadline_s must be positive, got {deadline_s}"
+            )
         self.backend = backend if backend is not None else SerialBackend()
         self.seed = seed
         self.cancel = cancel if cancel is not None else CancelToken()
+        self.deadline_s = deadline_s
         self._on_event = on_event
 
     # -- events ------------------------------------------------------------
@@ -365,7 +415,10 @@ class Runtime:
         # partial over the module-level _run_chunk pickles, so one shape
         # serves the in-process and the process backends alike.
         stream = self.backend.map_unordered(
-            functools.partial(_run_chunk, fn, seeded), chunks
+            functools.partial(
+                _run_chunk, fn, seeded, deadline_s=self.deadline_s
+            ),
+            chunks,
         )
         yield from self._stream_payloads(stream, total)
 
@@ -448,7 +501,7 @@ class Runtime:
         """
         seed = derive_seed(self.seed, index)
         future = self.backend.submit(
-            _run_chunk, fn, seeded, ((index, seed, item),)
+            _run_chunk, fn, seeded, ((index, seed, item),), self.deadline_s
         )
         return JobFuture(future, index, seed)
 

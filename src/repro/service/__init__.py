@@ -12,8 +12,10 @@ invocation (the ``iter_campaign`` lifecycle):
   -- is served from cache instead of re-executed;
 * :mod:`repro.service.scheduler` -- the :class:`Scheduler`: shards
   submissions into :class:`~repro.engine.batch.BatchPlan`-derived work
-  units across a worker pool with work-stealing between shards, and
-  streams outcomes back per submission as they land;
+  units across a worker pool with work-stealing between shards, tracks
+  per-shard health (a repeatedly-failing shard is drained and benched
+  until it recovers), and streams outcomes back per submission as they
+  land;
 * :mod:`repro.service.protocol` -- the JSON-lines wire protocol
   (schema ``repro.service/v1``) daemon and clients speak;
 * :mod:`repro.service.daemon` -- :class:`CampaignDaemon`, the socket
@@ -41,6 +43,7 @@ from repro.service.protocol import (
     MAX_LINE_BYTES,
     OPS,
     SERVICE_SCHEMA,
+    SUBMISSION_EVENTS,
     decode_line,
     encode_line,
     error_response,
@@ -48,10 +51,16 @@ from repro.service.protocol import (
     validate_request,
     write_message,
 )
-from repro.service.scheduler import DEFAULT_UNIT_SIZE, Scheduler, Submission
+from repro.service.scheduler import (
+    DEFAULT_FAILURE_THRESHOLD,
+    DEFAULT_UNIT_SIZE,
+    Scheduler,
+    Submission,
+)
 
 __all__ = [
     "CampaignDaemon",
+    "DEFAULT_FAILURE_THRESHOLD",
     "DEFAULT_HOST",
     "DEFAULT_TIMEOUT_S",
     "DEFAULT_UNIT_SIZE",
@@ -61,6 +70,7 @@ __all__ = [
     "MemoStore",
     "OPS",
     "SERVICE_SCHEMA",
+    "SUBMISSION_EVENTS",
     "Scheduler",
     "ServiceClient",
     "ServiceError",

@@ -108,6 +108,11 @@ class CampaignDaemon:
             :class:`~repro.service.scheduler.Scheduler`).
         registry: Scenario registry submissions resolve against.
         port_file: Path the bound port is written to after binding.
+        failure_threshold: Consecutive failures before the scheduler
+            marks a shard unhealthy and redistributes its queue
+            (``None``: the scheduler's default).
+        deadline_s: Service-wide wall-clock budget per variant
+            (``None``: no deadline; a variant's own takes precedence).
     """
 
     def __init__(
@@ -121,12 +126,18 @@ class CampaignDaemon:
         unit_size: int | None = None,
         registry: ScenarioRegistry | None = None,
         port_file: str | Path | None = None,
+        failure_threshold: int | None = None,
+        deadline_s: float | None = None,
     ) -> None:
         self.registry = registry or default_registry()
         self.memo = MemoStore(memo_dir, registry=self.registry)
         scheduler_args: dict[str, Any] = {"shards": shards, "workers": workers}
         if unit_size is not None:
             scheduler_args["unit_size"] = unit_size
+        if failure_threshold is not None:
+            scheduler_args["failure_threshold"] = failure_threshold
+        if deadline_s is not None:
+            scheduler_args["deadline_s"] = deadline_s
         self.scheduler = Scheduler(
             self.memo, registry=self.registry, **scheduler_args
         )

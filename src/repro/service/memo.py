@@ -38,6 +38,7 @@ from repro.engine.campaign import CAMPAIGN_TRACE_MODE, VariantOutcome
 from repro.engine.registry import ScenarioRegistry, default_registry
 from repro.engine.spec import VariantSpec
 from repro.errors import ReproError
+from repro.faults import fault_point
 from repro.runtime import derive_seed
 
 #: Schema tag of every journal entry; part of the key derivation too, so
@@ -147,6 +148,7 @@ class MemoStore:
         self._entries: dict[str, dict[str, Any]] = {}
         self._lock = threading.RLock()
         self._file: Any = None
+        self._torn = False
         self.hits = 0
         self.misses = 0
         self.stale = 0
@@ -204,7 +206,22 @@ class MemoStore:
             self._file = open(  # noqa: SIM115 - held open for appends
                 self.journal_path, "a", encoding="utf-8"
             )
-        self._file.write(json.dumps(entry, default=repr) + "\n")
+        line = json.dumps(entry, default=repr)
+        if self._torn:
+            # Recover the line boundary after a torn tail: starting on a
+            # fresh line confines the damage to the one torn entry.
+            self._file.write("\n")
+            self._torn = False
+        if fault_point("journal-append") is not None:
+            # Injected torn write: persist half a line with no newline,
+            # exactly what a hard kill mid-append leaves behind.  The
+            # in-memory entry stays valid; only the journalled copy is
+            # torn, and the loader's corrupt-line handling skips it.
+            self._file.write(line[: max(1, len(line) // 2)])
+            self._file.flush()
+            self._torn = True
+            return
+        self._file.write(line + "\n")
         self._file.flush()
 
     def close(self) -> None:

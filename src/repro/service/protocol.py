@@ -33,6 +33,12 @@ DEFAULT_HOST = "127.0.0.1"
 #: Operations a request may name, in the order `repro status` reports them.
 OPS = ("ping", "status", "submit", "cancel", "shutdown")
 
+#: Event kinds a streaming ``submit`` response carries after acceptance:
+#: any number of ``outcome`` lines, then exactly one ``done``.  A stream
+#: that ends without ``done`` was torn (daemon death, dropped socket) --
+#: clients treat that as resumable, not as a completed submission.
+SUBMISSION_EVENTS = ("outcome", "done")
+
 #: Hard cap on one message line (16 MiB): a full-registry submission with
 #: inline variant payloads is ~100 KiB, so this only trips on garbage.
 MAX_LINE_BYTES = 16 * 1024 * 1024
@@ -123,6 +129,7 @@ __all__ = [
     "MAX_LINE_BYTES",
     "OPS",
     "SERVICE_SCHEMA",
+    "SUBMISSION_EVENTS",
     "decode_line",
     "encode_line",
     "error_response",

@@ -18,6 +18,13 @@ and records its fresh outcome after -- and failure-proof: a variant
 whose execution raises becomes a tagged ``ERROR`` outcome via
 :func:`~repro.engine.campaign.error_outcome`, never a dead worker.
 
+Shards carry **health**: every fresh execution feeds its shard's
+consecutive-failure counter, and a shard that fails ``failure_threshold``
+times in a row is marked unhealthy -- its queued units are redistributed
+to the healthy shards and new submissions stop dealing to it until a
+success on that shard heals it.  The last healthy shard is never marked,
+so the scheduler always keeps accepting work.
+
 Cancellation composes through :meth:`~repro.runtime.CancelToken.child`:
 each submission gets a child of the scheduler's token, so cancelling one
 submission (client disconnect, explicit ``cancel`` op) skips its
@@ -40,8 +47,8 @@ from repro.engine.campaign import (
     CAMPAIGN_TRACE_MODE,
     CampaignMemo,
     VariantOutcome,
+    _execute_checked,
     error_outcome,
-    execute_variant,
 )
 from repro.engine.registry import ScenarioRegistry, default_registry
 from repro.engine.spec import VariantSpec
@@ -52,6 +59,9 @@ _log = logging.getLogger("repro.service")
 
 #: Default variants per work unit (the stealing granularity).
 DEFAULT_UNIT_SIZE = 4
+
+#: Consecutive fresh failures before a shard is marked unhealthy.
+DEFAULT_FAILURE_THRESHOLD = 3
 
 
 class Submission:
@@ -163,6 +173,12 @@ class Scheduler:
         trace_mode: Trace mode every execution runs under.
         cancel: Scheduler-wide cancellation token; each submission gets
             a :meth:`~repro.runtime.CancelToken.child` of it.
+        failure_threshold: Consecutive fresh (non-memo) failures after
+            which a shard is marked unhealthy and its queued units are
+            redistributed to healthy shards.  The last healthy shard is
+            never marked; a later success heals the shard.
+        deadline_s: Scheduler-level wall-clock budget per variant; a
+            variant's own ``deadline_s`` takes precedence.
     """
 
     def __init__(
@@ -175,11 +191,21 @@ class Scheduler:
         registry: ScenarioRegistry | None = None,
         trace_mode: str = CAMPAIGN_TRACE_MODE,
         cancel: CancelToken | None = None,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        deadline_s: float | None = None,
     ) -> None:
         if shards < 1:
             raise ValidationError(f"shards must be >= 1, got {shards}")
         if unit_size < 1:
             raise ValidationError(f"unit_size must be >= 1, got {unit_size}")
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValidationError(
+                f"deadline_s must be positive, got {deadline_s}"
+            )
         self.memo = memo
         self.shards = shards
         self.workers = workers if workers is not None else shards
@@ -189,6 +215,8 @@ class Scheduler:
         self.registry = registry or default_registry()
         self.trace_mode = trace_mode
         self.cancel = cancel if cancel is not None else CancelToken()
+        self.failure_threshold = failure_threshold
+        self.deadline_s = deadline_s
         self._deques: list[collections.deque] = [
             collections.deque() for _ in range(shards)
         ]
@@ -200,6 +228,9 @@ class Scheduler:
         )
         self._stolen = 0
         self._executed = 0
+        self._consecutive_failures = [0] * shards
+        self._unhealthy: set[int] = set()
+        self._redistributed = 0
         self._stopping = False
         self._threads = [
             threading.Thread(
@@ -237,8 +268,13 @@ class Scheduler:
             for start in range(0, len(jobs), self.unit_size):
                 units.append((submission, jobs[start : start + self.unit_size]))
         with self._cond:
+            healthy = [
+                i for i in range(self.shards) if i not in self._unhealthy
+            ] or list(range(self.shards))
             for unit in units:
-                self._deques[next(self._shard_rr) % self.shards].append(unit)
+                self._deques[
+                    healthy[next(self._shard_rr) % len(healthy)]
+                ].append(unit)
             self._cond.notify_all()
         return submission
 
@@ -310,18 +346,26 @@ class Scheduler:
                 if submission.cancel.cancelled:
                     submission._skip(1)
                     continue
-                submission._deliver(index, self._run_one(variant))
+                submission._deliver(index, self._run_one(variant, home))
 
-    def _run_one(self, variant: VariantSpec) -> VariantOutcome:
-        """Memo lookup -> execute -> memo record, error-proofed."""
+    def _run_one(self, variant: VariantSpec, shard: int) -> VariantOutcome:
+        """Memo lookup -> execute -> memo record, error-proofed.
+
+        Every fresh execution feeds the owning shard's health counter:
+        memo hits are neutral, successes heal, failures accumulate
+        towards :attr:`failure_threshold` (see :meth:`_note_result`).
+        """
         if self.memo is not None:
             hit = self.memo.lookup(variant, self.trace_mode)
             if hit is not None:
                 return hit
         started = time.perf_counter()
         try:
-            outcome = execute_variant(
-                variant, self.registry, trace_mode=self.trace_mode
+            outcome = _execute_checked(
+                variant,
+                self.registry,
+                trace_mode=self.trace_mode,
+                default_deadline_s=self.deadline_s,
             )
         except Exception as exc:  # noqa: BLE001 - the daemon must survive
             _log.warning(
@@ -330,6 +374,7 @@ class Scheduler:
                 type(exc).__name__,
                 exc,
             )
+            self._note_result(shard, failed=True)
             return error_outcome(
                 variant,
                 JobError.from_exception(exc),
@@ -337,9 +382,55 @@ class Scheduler:
             )
         with self._cond:
             self._executed += 1
+        self._note_result(shard, failed=False)
         if self.memo is not None:
             self.memo.record(variant, outcome, self.trace_mode)
         return outcome
+
+    def _note_result(self, shard: int, *, failed: bool) -> None:
+        """Track one fresh execution against ``shard``'s health.
+
+        ``failure_threshold`` consecutive failures mark the shard
+        unhealthy: its queued units move to healthy shards (so work never
+        strands behind a poisoned queue) and :meth:`submit` stops dealing
+        to it.  The *last* healthy shard is never marked -- somebody has
+        to keep accepting work -- and any later success heals the shard.
+        """
+        with self._cond:
+            if not failed:
+                self._consecutive_failures[shard] = 0
+                if shard in self._unhealthy:
+                    self._unhealthy.discard(shard)
+                    _log.info("shard %d healed; dealing resumes", shard)
+                return
+            self._consecutive_failures[shard] += 1
+            if (
+                shard in self._unhealthy
+                or self._consecutive_failures[shard] < self.failure_threshold
+            ):
+                return
+            healthy = [
+                i
+                for i in range(self.shards)
+                if i != shard and i not in self._unhealthy
+            ]
+            if not healthy:
+                return
+            self._unhealthy.add(shard)
+            moved = 0
+            while self._deques[shard]:
+                unit = self._deques[shard].popleft()
+                self._deques[healthy[moved % len(healthy)]].append(unit)
+                moved += 1
+            self._redistributed += moved
+            _log.warning(
+                "shard %d unhealthy after %d consecutive failures; "
+                "redistributed %d queued unit(s)",
+                shard,
+                self._consecutive_failures[shard],
+                moved,
+            )
+            self._cond.notify_all()
 
     # -- reporting / lifecycle ---------------------------------------------
 
@@ -350,6 +441,8 @@ class Scheduler:
             submissions = [s.summary() for s in self._submissions.values()]
             stolen = self._stolen
             executed = self._executed
+            unhealthy = sorted(self._unhealthy)
+            redistributed = self._redistributed
         active = sum(1 for s in submissions if not s["done"])
         return {
             "shards": self.shards,
@@ -359,6 +452,8 @@ class Scheduler:
             "total_submissions": len(submissions),
             "executed": executed,
             "stolen_units": stolen,
+            "unhealthy_shards": unhealthy,
+            "redistributed_units": redistributed,
             "submissions": submissions,
         }
 
@@ -396,6 +491,7 @@ class Scheduler:
 
 
 __all__ = [
+    "DEFAULT_FAILURE_THRESHOLD",
     "DEFAULT_UNIT_SIZE",
     "Scheduler",
     "Submission",

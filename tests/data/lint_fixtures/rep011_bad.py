@@ -1,0 +1,17 @@
+"""REP011 fixture: hand-rolled time.sleep retry/poll loops."""
+
+import time
+
+
+def fetch_with_retries(fetch):
+    for _attempt in range(3):
+        try:
+            return fetch()
+        except ConnectionError:
+            time.sleep(0.5)
+    return None
+
+
+def wait_until_ready(is_ready):
+    while not is_ready():
+        time.sleep(0.1)

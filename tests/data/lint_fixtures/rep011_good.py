@@ -1,0 +1,24 @@
+"""REP011 fixture: deterministic backoff via RetryPolicy, event waits."""
+
+import time
+
+from repro.runtime import RetryPolicy
+
+
+def fetch_with_retries(fetch):
+    policy = RetryPolicy(max_attempts=3)
+    attempt = 1
+    while True:
+        try:
+            return fetch()
+        except ConnectionError as exc:
+            if not policy.should_retry(type(exc).__name__, attempt):
+                raise
+            policy.wait(attempt, "fetch")
+            attempt += 1
+
+
+def wait_until_ready(ready_event):
+    # A single settle delay outside any loop is not a retry loop.
+    time.sleep(0.05)
+    return ready_event.wait(timeout=5.0)

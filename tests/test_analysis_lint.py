@@ -51,6 +51,7 @@ RULE_FIXTURES = {
     "REP008": ("rep008", "repro.tara.fake", 1),
     "REP009": ("rep009", "repro.engine.fake", 2),
     "REP010": ("rep010", "repro.engine.fake", 2),
+    "REP011": ("rep011", "repro.service.fake", 2),
 }
 
 

@@ -16,6 +16,7 @@ PACKAGES = {
     "repro.analysis": None,  # eager package: the static-verification plane
     "repro.tara": None,  # eager package: names live in vars(package)
     "repro.engine": None,  # lazy package: names resolve via __getattr__
+    "repro.faults": None,  # eager package: deterministic fault injection
     "repro.runtime": None,  # eager package: the execution layer
     "repro.service": None,  # eager package: the campaign service plane
     "repro.sim": None,  # eager package: the simulation substrate
